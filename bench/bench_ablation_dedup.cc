@@ -1,0 +1,124 @@
+// Ablation A4 (DESIGN.md): accuracy-aware deduplication tolerance
+// (paper Sec. 4(1)). A weight matrix with near-duplicate structure
+// (repeated embedding-like row groups plus noise) is chunked into
+// blocks and deduplicated at increasing tolerances; we report storage
+// saved vs the worst-case effect on inference outputs, plus the
+// 8-bit quantized variant the storage optimizer would also keep.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "graph/model.h"
+#include "kernels/kernels.h"
+#include "storage/dedup.h"
+#include "storage/quantize.h"
+#include "tensor/tensor_block.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace {
+
+// Builds a [rows, cols] weight with `groups` distinct block patterns
+// repeated with +-noise — the near-duplicate weight structure the
+// paper's dedup targets (shared embeddings, repeated heads).
+Result<Tensor> NearDuplicateWeight(int64_t rows, int64_t cols,
+                                   int64_t block, int groups,
+                                   float noise) {
+  RELSERVE_ASSIGN_OR_RETURN(Tensor w, Tensor::Create(Shape{rows, cols}));
+  Rng rng(17);
+  std::vector<std::vector<float>> patterns(
+      groups, std::vector<float>(block * block));
+  for (auto& p : patterns) {
+    for (float& v : p) v = rng.Normal(0.0f, 0.05f);
+  }
+  for (int64_t rb = 0; rb < rows / block; ++rb) {
+    for (int64_t cb = 0; cb < cols / block; ++cb) {
+      const auto& p =
+          patterns[(rb * (cols / block) + cb) % groups];
+      for (int64_t r = 0; r < block; ++r) {
+        for (int64_t c = 0; c < block; ++c) {
+          w.At(rb * block + r, cb * block + c) =
+              p[r * block + c] + rng.Normal(0.0f, noise);
+        }
+      }
+    }
+  }
+  return w;
+}
+
+int Run() {
+  const int64_t rows = 1024, cols = 1024, block = 128;
+  const int groups = 6;
+  const float noise = 2e-4f;
+
+  auto weight = NearDuplicateWeight(rows, cols, block, groups, noise);
+  if (!weight.ok()) return 1;
+  auto input = workloads::GenBatch(64, Shape{cols}, 9);
+  if (!input.ok()) return 1;
+  auto reference = kernels::MatMul(*input, *weight, true);
+  if (!reference.ok()) return 1;
+
+  std::printf("Ablation A4: accuracy-aware dedup tolerance sweep "
+              "(weight %lldx%lld, %lldx%lld blocks, %d latent "
+              "patterns)\n\n",
+              static_cast<long long>(rows),
+              static_cast<long long>(cols),
+              static_cast<long long>(block),
+              static_cast<long long>(block), groups);
+  bench::PrintRow({"Tolerance", "UniqueBlocks", "Compression",
+                   "MaxWeightErr", "MaxOutputErr"});
+  bench::PrintRule(5);
+
+  auto blocks = SplitMatrix(*weight, block, block);
+  if (!blocks.ok()) return 1;
+  const BlockedShape geometry{rows, cols, block, block};
+
+  for (float tolerance :
+       {0.0f, 1e-4f, 5e-4f, 1e-3f, 5e-3f, 1e-2f}) {
+    auto dedup = DeduplicateBlocks(*blocks, tolerance);
+    if (!dedup.ok()) return 1;
+    auto restored = AssembleMatrix(ExpandDedup(*dedup), geometry);
+    if (!restored.ok()) return 1;
+    auto output = kernels::MatMul(*input, *restored, true);
+    if (!output.ok()) return 1;
+    char tol[32], comp[32], werr[32], oerr[32];
+    std::snprintf(tol, sizeof(tol), "%.0e", tolerance);
+    std::snprintf(comp, sizeof(comp), "%.2fx",
+                  dedup->stats.CompressionRatio());
+    std::snprintf(werr, sizeof(werr), "%.2e",
+                  weight->MaxAbsDiff(*restored));
+    std::snprintf(oerr, sizeof(oerr), "%.2e",
+                  reference->MaxAbsDiff(*output));
+    bench::PrintRow({tol, std::to_string(dedup->stats.unique_blocks),
+                     comp, werr, oerr});
+  }
+
+  // The quantized model version the storage optimizer can also serve.
+  auto q = QuantizeUniform8(*weight);
+  if (!q.ok()) return 1;
+  auto dq = Dequantize(*q);
+  if (!dq.ok()) return 1;
+  auto q_out = kernels::MatMul(*input, *dq, true);
+  if (!q_out.ok()) return 1;
+  char werr[32], oerr[32];
+  std::snprintf(werr, sizeof(werr), "%.2e", QuantizationError(*weight, *q));
+  std::snprintf(oerr, sizeof(oerr), "%.2e",
+                reference->MaxAbsDiff(*q_out));
+  bench::PrintRow({"int8-quant", "-", "4.00x", werr, oerr});
+
+  std::printf(
+      "\nExpected shape: tolerances at the noise scale collapse the "
+      "blocks to the\nlatent patterns (large compression, bounded "
+      "output error); tolerances far\nbelow it save nothing. The "
+      "SLA-aware optimizer picks the version whose\noutput error fits "
+      "the application.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace relserve
+
+int main() { return relserve::Run(); }

@@ -1,0 +1,98 @@
+// Sec. 7.2.1 of the paper: model decomposition and push-down.
+//
+// Pipeline: similarity-join two vertically partitioned feature tables
+// (Bosch-like: 968 features split 484 + 484), then run an FFNN with a
+// 256-neuron hidden layer over the joined features. The rewrite pushes
+// the two halves of the first-layer multiplication below the join, so
+// the join moves 256-wide partial activations instead of 968-wide raw
+// features and never recomputes the first layer on fanned-out rows.
+// The paper reports a 5.7x speedup on 1.18 M rows.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/model_zoo.h"
+#include "serving/join_pipeline.h"
+#include "serving/serving_session.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace {
+
+int Run() {
+  const int repeats = bench::RepeatsFromEnv();
+  const char* rows_env = std::getenv("RELSERVE_ROWS");
+  const int64_t rows = rows_env != nullptr ? std::atoll(rows_env) : 5000;
+  const int64_t features_each = 484;  // paper's split of 968
+
+  ServingConfig config;
+  config.working_memory_bytes = 8LL << 30;
+  ServingSession session(config);
+
+  auto d1 = session.CreateTable("d1", workloads::PartitionedTableSchema());
+  auto d2 = session.CreateTable("d2", workloads::PartitionedTableSchema());
+  if (!d1.ok() || !d2.ok()) return 1;
+  // key_spread/epsilon tuned for a mild fan-out (each row matches its
+  // partner and occasionally a neighbor), like an entity-resolution
+  // style similarity join.
+  if (!workloads::FillBoschPartitions(*d1, *d2, rows, features_each,
+                                      /*key_spread=*/0.02, 11)
+           .ok()) {
+    return 1;
+  }
+  auto model = zoo::BuildBoschFfnn(2 * features_each, 3);
+  if (!model.ok() || !session.RegisterModel(std::move(*model)).ok()) {
+    return 1;
+  }
+
+  JoinInferenceSpec spec;
+  spec.d1_table = "d1";
+  spec.d2_table = "d2";
+  spec.epsilon = 0.3;  // band width sets the join fan-out (~4x here)
+  spec.model = "Bosch-FFNN";
+
+  std::printf("Sec 7.2.1: model decomposition & push-down "
+              "(rows=%lld, 484+484 features, FFNN 968/256/2)\n\n",
+              static_cast<long long>(rows));
+
+  int64_t matches = 0;
+  auto naive = bench::TimeBest(repeats, [&]() -> Status {
+    RELSERVE_ASSIGN_OR_RETURN(JoinInferenceResult r,
+                              RunJoinThenInfer(&session, spec));
+    matches = r.join_matches;
+    return Status::OK();
+  });
+  auto decomposed = bench::TimeBest(repeats, [&]() -> Status {
+    RELSERVE_ASSIGN_OR_RETURN(JoinInferenceResult r,
+                              RunDecomposedInfer(&session, spec));
+    matches = r.join_matches;
+    return Status::OK();
+  });
+  if (!naive.ok() || !decomposed.ok()) {
+    std::fprintf(stderr, "naive: %s, decomposed: %s\n",
+                 naive.status().ToString().c_str(),
+                 decomposed.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintRow({"Plan", "JoinMatches", "Latency(s)", "Speedup"});
+  bench::PrintRule(4);
+  char n_s[32], d_s[32], sp[32];
+  std::snprintf(n_s, sizeof(n_s), "%.3f", *naive);
+  std::snprintf(d_s, sizeof(d_s), "%.3f", *decomposed);
+  std::snprintf(sp, sizeof(sp), "%.2fx", *naive / *decomposed);
+  bench::PrintRow({"join-then-infer", std::to_string(matches), n_s,
+                   "1.00x"});
+  bench::PrintRow({"decomposed+pushdown", std::to_string(matches), d_s,
+                   sp});
+  std::printf(
+      "\nExpected shape (paper): decomposition wins (paper: 5.7x at "
+      "1.18M rows);\nthe gap grows with join fan-out and feature "
+      "width.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace relserve
+
+int main() { return relserve::Run(); }

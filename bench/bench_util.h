@@ -1,0 +1,95 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each bench prints the rows of one table/figure of the paper
+// (EXPERIMENTS.md maps bench -> artifact). Scale factors default to a
+// laptop-friendly geometry and can be overridden with environment
+// variables:
+//   RELSERVE_SCALE    — model scale for the large models (default 0.01)
+//   RELSERVE_REPEATS  — timing repetitions (default 3)
+
+#ifndef RELSERVE_BENCH_BENCH_UTIL_H_
+#define RELSERVE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+
+namespace relserve {
+namespace bench {
+
+inline double ScaleFromEnv(double fallback = 0.01) {
+  const char* s = std::getenv("RELSERVE_SCALE");
+  return s != nullptr ? std::atof(s) : fallback;
+}
+
+inline int RepeatsFromEnv(int fallback = 3) {
+  const char* s = std::getenv("RELSERVE_REPEATS");
+  return s != nullptr ? std::atoi(s) : fallback;
+}
+
+// Times `fn` `repeats` times and returns the best (minimum) seconds,
+// the standard steady-state metric for serving latency.
+inline Result<double> TimeBest(int repeats,
+                               const std::function<Status()>& fn) {
+  double best = 1e100;
+  for (int i = 0; i < repeats; ++i) {
+    Timer timer;
+    RELSERVE_RETURN_NOT_OK(fn());
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+// Formats a latency-or-OOM cell like the paper's Table 3.
+inline std::string Cell(const Result<double>& seconds) {
+  if (!seconds.ok()) {
+    if (seconds.status().IsOutOfMemory()) return "OOM";
+    return seconds.status().ToString();
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", *seconds);
+  return buf;
+}
+
+inline std::string HumanBytes(int64_t bytes) {
+  char buf[32];
+  if (bytes >= (1LL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / (1LL << 30));
+  } else if (bytes >= (1LL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                  static_cast<double>(bytes) / (1LL << 20));
+  } else if (bytes >= (1LL << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                  static_cast<double>(bytes) / (1LL << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B",
+                  static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+// Fixed-width row printer for paper-style tables.
+inline void PrintRow(const std::vector<std::string>& cells,
+                     int width = 18) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintRule(size_t columns, int width = 18) {
+  std::printf("%s\n",
+              std::string(columns * static_cast<size_t>(width), '-')
+                  .c_str());
+}
+
+}  // namespace bench
+}  // namespace relserve
+
+#endif  // RELSERVE_BENCH_BENCH_UTIL_H_

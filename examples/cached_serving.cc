@@ -1,0 +1,95 @@
+// Inference-result caching with an SLA gate (paper Sec. 5 / 7.2.2):
+// repeated, similar requests (a chatbot / recommender pattern) are
+// answered from an HNSW-indexed cache of past predictions; a Monte
+// Carlo estimate decides whether the accuracy cost fits the SLA.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.h"
+#include "graph/model.h"
+#include "serving/serving_session.h"
+#include "workloads/datasets.h"
+
+using namespace relserve;  // example code; library code never does this
+
+int main() {
+  ServingSession session(ServingConfig{});
+
+  auto model = BuildFFNN("recommender", {64, 512, 1024, 16}, 9);
+  if (!model.ok() || !session.RegisterModel(std::move(*model)).ok()) {
+    return 1;
+  }
+  if (!session.Deploy("recommender", ServingMode::kAdaptive, 4000)
+           .ok()) {
+    return 1;
+  }
+
+  // Clustered request stream: users repeat near-identical contexts.
+  auto requests = workloads::GenClusteredData(4000, 64, 25, 0.02f, 31);
+  if (!requests.ok()) return 1;
+
+  // Serve once uncached for the baseline latency.
+  Timer cold;
+  auto baseline = session.PredictBatch("recommender",
+                                       requests->features);
+  if (!baseline.ok()) return 1;
+  auto baseline_t = baseline->ToTensor(session.exec_context());
+  if (!baseline_t.ok()) return 1;
+  const double cold_seconds = cold.ElapsedSeconds();
+
+  // Enable the approximate cache and warm it with the same stream.
+  ApproxResultCache::Config cache_config;
+  cache_config.max_distance = 0.6f;
+  if (!session.EnableApproxCache("recommender", 64, cache_config)
+           .ok()) {
+    return 1;
+  }
+  auto warm = session.PredictWithCache("recommender",
+                                       requests->features);
+  if (!warm.ok()) return 1;
+
+  // SLA gate: estimate cached-vs-true agreement on a sample.
+  auto cache = session.GetApproxCache("recommender");
+  if (!cache.ok()) return 1;
+  std::vector<std::vector<float>> sample;
+  for (int i = 0; i < 64; ++i) {
+    const float* row = requests->features.data() + i * 64;
+    sample.emplace_back(row, row + 64);
+  }
+  auto infer = [&](const std::vector<float>& x)
+      -> Result<std::vector<float>> {
+    auto t = Tensor::FromData(Shape{1, 64}, x);
+    RELSERVE_RETURN_NOT_OK(t.status());
+    RELSERVE_ASSIGN_OR_RETURN(ExecOutput out,
+                              session.PredictBatch("recommender", *t));
+    RELSERVE_ASSIGN_OR_RETURN(Tensor pred,
+                              out.ToTensor(session.exec_context()));
+    return std::vector<float>(pred.data(),
+                              pred.data() + pred.NumElements());
+  };
+  auto decision = MonteCarloCachePolicy(*cache, sample, infer,
+                                        /*sla_min_accuracy=*/0.9);
+  if (!decision.ok()) return 1;
+  std::printf("SLA gate: estimated accuracy %.2f%% over %lld samples "
+              "-> cache %s\n",
+              100.0 * decision->estimated_accuracy,
+              static_cast<long long>(decision->sample_size),
+              decision->enable_cache ? "ENABLED" : "DISABLED");
+
+  if (decision->enable_cache) {
+    Timer hot;
+    auto served = session.PredictWithCache("recommender",
+                                           requests->features);
+    if (!served.ok()) return 1;
+    const double hot_seconds = hot.ElapsedSeconds();
+    std::printf("uncached: %.4f s, cached: %.4f s  (%.1fx speedup, "
+                "hit rate %.0f%%)\n",
+                cold_seconds, hot_seconds, cold_seconds / hot_seconds,
+                100.0 * (*cache)->stats().HitRate());
+    std::printf("max served-vs-model diff: %.3f (bounded by the SLA "
+                "policy)\n",
+                static_cast<double>(baseline_t->MaxAbsDiff(*served)));
+  }
+  return 0;
+}

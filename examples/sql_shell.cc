@@ -1,0 +1,61 @@
+// Interactive SQL shell over a relserve session, pre-loaded with the
+// fraud workload. Supports SELECT / EXPLAIN SELECT / CREATE TABLE /
+// INSERT INTO, including PREDICT(...) items and GROUP BY over
+// inference results.
+//
+//   $ ./build/examples/sql_shell
+//   relserve> SELECT PREDICT_CLASS(fraud) AS c, COUNT(*) FROM tx
+//             GROUP BY c
+//
+// Also works non-interactively:
+//   $ echo "SELECT COUNT(*) FROM tx" | ./build/examples/sql_shell
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "graph/model.h"
+#include "serving/serving_session.h"
+#include "sql/query_executor.h"
+#include "workloads/datasets.h"
+
+using namespace relserve;  // example code; library code never does this
+
+int main() {
+  ServingSession session(ServingConfig{});
+
+  // Pre-load a demo table and model so queries work immediately.
+  auto table =
+      session.CreateTable("tx", workloads::FeatureTableSchema());
+  if (!table.ok()) return 1;
+  if (!workloads::FillFeatureTable(*table, 5000, 28, 11).ok()) return 1;
+  auto model = BuildFFNN("fraud", {28, 256, 2}, 3);
+  if (!model.ok() || !session.RegisterModel(std::move(*model)).ok()) {
+    return 1;
+  }
+  std::printf(
+      "relserve SQL shell — table 'tx' (5000 rows: id, features[28]) "
+      "and model 'fraud' are loaded.\nStatements: SELECT / EXPLAIN "
+      "SELECT / CREATE TABLE / INSERT INTO. Ctrl-D to exit.\n");
+
+  std::string line;
+  while (true) {
+    std::printf("relserve> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+    auto result = sql::ExecuteStatement(&session, line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (result->has_rows) {
+      std::printf("%s", result->query.ToString(25).c_str());
+    } else {
+      std::printf("%s\n", result->message.c_str());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

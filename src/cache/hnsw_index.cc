@@ -1,0 +1,234 @@
+#include "cache/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace relserve {
+
+HnswIndex::HnswIndex(int dim, Config config)
+    : dim_(dim),
+      config_(config),
+      level_lambda_(1.0 / std::log(std::max(2, config.max_links))),
+      rng_(config.seed) {
+  RELSERVE_CHECK(dim >= 1);
+}
+
+float HnswIndex::DistanceSq(const float* a, const float* b) const {
+  float sum = 0.0f;
+  for (int i = 0; i < dim_; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+int HnswIndex::RandomLevel() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  double r = dist(rng_);
+  // Avoid log(0).
+  r = std::max(r, 1e-12);
+  return static_cast<int>(-std::log(r) * level_lambda_);
+}
+
+std::vector<std::pair<float, int64_t>> HnswIndex::SearchLayer(
+    const float* query, int64_t entry, int level, int ef) const {
+  // Max-heap of current best (farthest on top) + min-heap of
+  // candidates to expand (closest on top). Visited nodes are tracked
+  // with a flat byte vector — far cheaper than a hash set on the
+  // serving hot path.
+  using Item = std::pair<float, int64_t>;
+  std::priority_queue<Item> best;                      // max by dist
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+  std::vector<uint8_t> visited(nodes_.size(), 0);
+
+  const float entry_dist = DistanceSq(query, nodes_[entry].vec.data());
+  best.emplace(entry_dist, entry);
+  frontier.emplace(entry_dist, entry);
+  visited[entry] = 1;
+
+  while (!frontier.empty()) {
+    const auto [dist, id] = frontier.top();
+    frontier.pop();
+    if (dist > best.top().first &&
+        static_cast<int>(best.size()) >= ef) {
+      break;
+    }
+    if (level < static_cast<int>(nodes_[id].links.size())) {
+      for (const int64_t next : nodes_[id].links[level]) {
+        if (visited[next]) continue;
+        visited[next] = 1;
+        const float next_dist =
+            DistanceSq(query, nodes_[next].vec.data());
+        if (static_cast<int>(best.size()) < ef ||
+            next_dist < best.top().first) {
+          best.emplace(next_dist, next);
+          frontier.emplace(next_dist, next);
+          if (static_cast<int>(best.size()) > ef) best.pop();
+        }
+      }
+    }
+  }
+
+  std::vector<Item> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());  // closest first
+  return out;
+}
+
+std::vector<int64_t> HnswIndex::SelectNeighbors(
+    const std::vector<std::pair<float, int64_t>>& candidates, int m,
+    int64_t exclude) const {
+  // Malkov & Yashunin's heuristic: take a candidate only if it is
+  // closer to the base point than to every already-selected neighbor.
+  // This diversifies links across directions (and clusters), keeping
+  // the graph navigable where plain "M closest" would trap it inside
+  // one dense cluster.
+  std::vector<int64_t> selected;
+  selected.reserve(m);
+  for (const auto& [dist, id] : candidates) {
+    if (id == exclude) continue;
+    if (static_cast<int>(selected.size()) >= m) break;
+    bool diverse = true;
+    for (const int64_t other : selected) {
+      if (DistanceSq(nodes_[id].vec.data(),
+                     nodes_[other].vec.data()) < dist) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) selected.push_back(id);
+  }
+  // Backfill with the closest skipped candidates if diversity left
+  // slots unused.
+  if (static_cast<int>(selected.size()) < m) {
+    for (const auto& [dist, id] : candidates) {
+      if (static_cast<int>(selected.size()) >= m) break;
+      if (id == exclude) continue;
+      if (std::find(selected.begin(), selected.end(), id) ==
+          selected.end()) {
+        selected.push_back(id);
+      }
+    }
+  }
+  return selected;
+}
+
+Result<int64_t> HnswIndex::Add(const std::vector<float>& vec) {
+  if (static_cast<int>(vec.size()) != dim_) {
+    return Status::InvalidArgument(
+        "vector of " + std::to_string(vec.size()) + " dims in index of " +
+        std::to_string(dim_));
+  }
+  const int64_t id = static_cast<int64_t>(nodes_.size());
+  const int level = RandomLevel();
+  NodeData node;
+  node.vec = vec;
+  node.links.resize(level + 1);
+  nodes_.push_back(std::move(node));
+
+  if (entry_point_ < 0) {
+    entry_point_ = id;
+    max_level_ = level;
+    return id;
+  }
+
+  int64_t entry = entry_point_;
+  // Greedy descent through layers above the new node's level.
+  for (int l = max_level_; l > level; --l) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      if (l < static_cast<int>(nodes_[entry].links.size())) {
+        const float cur =
+            DistanceSq(vec.data(), nodes_[entry].vec.data());
+        for (const int64_t next : nodes_[entry].links[l]) {
+          if (DistanceSq(vec.data(), nodes_[next].vec.data()) < cur) {
+            entry = next;
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Connect at each level from min(level, max_level_) down to 0.
+  for (int l = std::min(level, max_level_); l >= 0; --l) {
+    auto candidates =
+        SearchLayer(vec.data(), entry, l, config_.ef_construction);
+    if (!candidates.empty()) entry = candidates.front().second;
+    const std::vector<int64_t> selected =
+        SelectNeighbors(candidates, config_.max_links, id);
+    for (const int64_t neighbor : selected) {
+      nodes_[id].links[l].push_back(neighbor);
+      auto& back_links = nodes_[neighbor].links[l];
+      back_links.push_back(id);
+      // Re-select the neighbor's links with the same diversification
+      // heuristic when they overflow M.
+      if (static_cast<int>(back_links.size()) > config_.max_links) {
+        const float* base = nodes_[neighbor].vec.data();
+        std::vector<std::pair<float, int64_t>> pool;
+        pool.reserve(back_links.size());
+        for (const int64_t link : back_links) {
+          pool.emplace_back(DistanceSq(base, nodes_[link].vec.data()),
+                            link);
+        }
+        std::sort(pool.begin(), pool.end());
+        back_links =
+            SelectNeighbors(pool, config_.max_links, neighbor);
+      }
+    }
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = id;
+  }
+  return id;
+}
+
+Result<std::vector<HnswIndex::Neighbor>> HnswIndex::Search(
+    const std::vector<float>& query, int k) const {
+  if (static_cast<int>(query.size()) != dim_) {
+    return Status::InvalidArgument("query dim mismatch");
+  }
+  std::vector<Neighbor> out;
+  if (entry_point_ < 0 || k <= 0) return out;
+
+  int64_t entry = entry_point_;
+  for (int l = max_level_; l > 0; --l) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      if (l < static_cast<int>(nodes_[entry].links.size())) {
+        const float cur =
+            DistanceSq(query.data(), nodes_[entry].vec.data());
+        for (const int64_t next : nodes_[entry].links[l]) {
+          if (DistanceSq(query.data(), nodes_[next].vec.data()) < cur) {
+            entry = next;
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  const int ef = std::max(config_.ef_search, k);
+  auto candidates = SearchLayer(query.data(), entry, 0, ef);
+  const int take = std::min<int>(k, static_cast<int>(candidates.size()));
+  out.reserve(take);
+  for (int i = 0; i < take; ++i) {
+    out.push_back(Neighbor{candidates[i].second,
+                           std::sqrt(candidates[i].first)});
+  }
+  return out;
+}
+
+}  // namespace relserve

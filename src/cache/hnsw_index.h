@@ -1,0 +1,82 @@
+// HnswIndex: Hierarchical Navigable Small World approximate
+// nearest-neighbor index (Malkov & Yashunin, 2018), from scratch.
+//
+// The paper (Sec. 5(1), Sec. 7.2.2) uses Faiss's HNSW to index the
+// features of frequent inference requests so a query can retrieve a
+// cached prediction instead of running the model. This is the same
+// algorithm: multi-layer skip-list-like graph, greedy descent through
+// upper layers, beam (ef) search on layer 0.
+
+#ifndef RELSERVE_CACHE_HNSW_INDEX_H_
+#define RELSERVE_CACHE_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "cache/ann_index.h"
+#include "common/result.h"
+
+namespace relserve {
+
+class HnswIndex : public AnnIndex {
+ public:
+  struct Config {
+    int max_links = 16;         // M: links per node per layer
+    int ef_construction = 100;  // beam width while building
+    int ef_search = 50;         // beam width while querying
+    uint64_t seed = 42;
+  };
+
+  explicit HnswIndex(int dim) : HnswIndex(dim, Config()) {}
+  HnswIndex(int dim, Config config);
+
+  // Inserts a vector (must have `dim` elements); returns its id
+  // (sequential from 0).
+  Result<int64_t> Add(const std::vector<float>& vec) override;
+
+  // k approximate nearest neighbors, closest first.
+  Result<std::vector<Neighbor>> Search(const std::vector<float>& query,
+                                       int k) const override;
+
+  int64_t size() const override {
+    return static_cast<int64_t>(nodes_.size());
+  }
+  int dim() const override { return dim_; }
+  const std::vector<float>& vector(int64_t id) const {
+    return nodes_[id].vec;
+  }
+
+ private:
+  struct NodeData {
+    std::vector<float> vec;
+    // links[level] = neighbor ids at that level.
+    std::vector<std::vector<int64_t>> links;
+  };
+
+  float DistanceSq(const float* a, const float* b) const;
+  int RandomLevel();
+
+  // Diversifying neighbor selection (the HNSW paper's heuristic):
+  // keeps the graph navigable on clustered data.
+  std::vector<int64_t> SelectNeighbors(
+      const std::vector<std::pair<float, int64_t>>& candidates, int m,
+      int64_t exclude) const;
+
+  // Beam search at one level from `entry`, returning up to `ef`
+  // candidates as (dist_sq, id), closest first.
+  std::vector<std::pair<float, int64_t>> SearchLayer(
+      const float* query, int64_t entry, int level, int ef) const;
+
+  const int dim_;
+  const Config config_;
+  const double level_lambda_;  // 1/ln(M)
+  std::mt19937_64 rng_;
+  std::vector<NodeData> nodes_;
+  int64_t entry_point_ = -1;
+  int max_level_ = -1;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_CACHE_HNSW_INDEX_H_

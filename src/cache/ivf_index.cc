@@ -1,0 +1,149 @@
+#include "cache/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "common/logging.h"
+
+namespace relserve {
+
+IvfIndex::IvfIndex(int dim, Config config)
+    : dim_(dim), config_(config) {
+  RELSERVE_CHECK(dim >= 1);
+  RELSERVE_CHECK(config.num_lists >= 1);
+  RELSERVE_CHECK(config.num_probes >= 1);
+}
+
+float IvfIndex::DistanceSq(const float* a, const float* b) const {
+  float sum = 0.0f;
+  for (int i = 0; i < dim_; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+int IvfIndex::NearestCentroid(const float* vec) const {
+  int best = 0;
+  float best_dist = DistanceSq(vec, centroids_[0].data());
+  for (size_t c = 1; c < centroids_.size(); ++c) {
+    const float d = DistanceSq(vec, centroids_[c].data());
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+void IvfIndex::Train() {
+  const int k = std::min<int>(config_.num_lists,
+                              static_cast<int>(vectors_.size()));
+  // Init: k distinct random vectors as seeds.
+  std::mt19937_64 rng(config_.seed);
+  std::vector<int64_t> seeds(vectors_.size());
+  for (size_t i = 0; i < seeds.size(); ++i) seeds[i] = i;
+  std::shuffle(seeds.begin(), seeds.end(), rng);
+  centroids_.assign(k, std::vector<float>(dim_));
+  for (int c = 0; c < k; ++c) centroids_[c] = vectors_[seeds[c]];
+
+  std::vector<int> assignment(vectors_.size(), 0);
+  for (int iter = 0; iter < config_.kmeans_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < vectors_.size(); ++i) {
+      const int c = NearestCentroid(vectors_[i].data());
+      if (c != assignment[i]) {
+        assignment[i] = c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centroids.
+    std::vector<std::vector<double>> sums(
+        k, std::vector<double>(dim_, 0.0));
+    std::vector<int64_t> counts(k, 0);
+    for (size_t i = 0; i < vectors_.size(); ++i) {
+      ++counts[assignment[i]];
+      for (int d = 0; d < dim_; ++d) {
+        sums[assignment[i]][d] += vectors_[i][d];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty list keeps its seed
+      for (int d = 0; d < dim_; ++d) {
+        centroids_[c][d] = static_cast<float>(sums[c][d] / counts[c]);
+      }
+    }
+  }
+  lists_.assign(k, {});
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    lists_[assignment[i]].push_back(static_cast<int64_t>(i));
+  }
+  trained_ = true;
+}
+
+Result<int64_t> IvfIndex::Add(const std::vector<float>& vec) {
+  if (static_cast<int>(vec.size()) != dim_) {
+    return Status::InvalidArgument("vector dim mismatch");
+  }
+  const int64_t id = static_cast<int64_t>(vectors_.size());
+  vectors_.push_back(vec);
+  if (trained_) {
+    lists_[NearestCentroid(vec.data())].push_back(id);
+  } else if (static_cast<int>(vectors_.size()) >=
+             config_.train_threshold) {
+    Train();
+  }
+  return id;
+}
+
+Result<std::vector<AnnIndex::Neighbor>> IvfIndex::Search(
+    const std::vector<float>& query, int k) const {
+  if (static_cast<int>(query.size()) != dim_) {
+    return Status::InvalidArgument("query dim mismatch");
+  }
+  std::vector<Neighbor> out;
+  if (vectors_.empty() || k <= 0) return out;
+
+  std::vector<std::pair<float, int64_t>> candidates;
+  if (!trained_) {
+    // Exact scan until trained.
+    candidates.reserve(vectors_.size());
+    for (size_t i = 0; i < vectors_.size(); ++i) {
+      candidates.emplace_back(DistanceSq(query.data(),
+                                         vectors_[i].data()),
+                              static_cast<int64_t>(i));
+    }
+  } else {
+    // Rank centroids, scan the nprobe closest lists.
+    std::vector<std::pair<float, int>> by_centroid;
+    by_centroid.reserve(centroids_.size());
+    for (size_t c = 0; c < centroids_.size(); ++c) {
+      by_centroid.emplace_back(
+          DistanceSq(query.data(), centroids_[c].data()),
+          static_cast<int>(c));
+    }
+    const int probes = std::min<int>(config_.num_probes,
+                                     static_cast<int>(by_centroid.size()));
+    std::partial_sort(by_centroid.begin(),
+                      by_centroid.begin() + probes, by_centroid.end());
+    for (int p = 0; p < probes; ++p) {
+      for (const int64_t id : lists_[by_centroid[p].second]) {
+        candidates.emplace_back(
+            DistanceSq(query.data(), vectors_[id].data()), id);
+      }
+    }
+  }
+  const int take = std::min<int>(k, static_cast<int>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end());
+  out.reserve(take);
+  for (int i = 0; i < take; ++i) {
+    out.push_back(Neighbor{candidates[i].second,
+                           std::sqrt(candidates[i].first)});
+  }
+  return out;
+}
+
+}  // namespace relserve

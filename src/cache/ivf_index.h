@@ -1,0 +1,58 @@
+// IvfIndex: inverted-file (IVF-Flat) approximate nearest-neighbor
+// index (Sivic & Zisserman's inverted file, as used by Faiss).
+//
+// Vectors are bucketed by their nearest coarse centroid (k-means over
+// the first vectors seen); a query scans only the `nprobe` closest
+// buckets. Before enough vectors arrive to train the centroids the
+// index answers by brute force (exact), then trains lazily.
+
+#ifndef RELSERVE_CACHE_IVF_INDEX_H_
+#define RELSERVE_CACHE_IVF_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/ann_index.h"
+
+namespace relserve {
+
+class IvfIndex : public AnnIndex {
+ public:
+  struct Config {
+    int num_lists = 16;      // coarse centroids
+    int num_probes = 2;      // lists scanned per query
+    int kmeans_iterations = 8;
+    // Train once this many vectors have been added.
+    int train_threshold = 256;
+    uint64_t seed = 42;
+  };
+
+  explicit IvfIndex(int dim) : IvfIndex(dim, Config()) {}
+  IvfIndex(int dim, Config config);
+
+  Result<int64_t> Add(const std::vector<float>& vec) override;
+  Result<std::vector<Neighbor>> Search(const std::vector<float>& query,
+                                       int k) const override;
+  int64_t size() const override {
+    return static_cast<int64_t>(vectors_.size());
+  }
+  int dim() const override { return dim_; }
+
+  bool trained() const { return trained_; }
+
+ private:
+  float DistanceSq(const float* a, const float* b) const;
+  void Train();
+  int NearestCentroid(const float* vec) const;
+
+  const int dim_;
+  const Config config_;
+  std::vector<std::vector<float>> vectors_;
+  bool trained_ = false;
+  std::vector<std::vector<float>> centroids_;
+  std::vector<std::vector<int64_t>> lists_;  // per-centroid id lists
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_CACHE_IVF_INDEX_H_

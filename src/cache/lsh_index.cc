@@ -1,0 +1,98 @@
+#include "cache/lsh_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace relserve {
+
+LshIndex::LshIndex(int dim, Config config)
+    : dim_(dim), config_(config) {
+  RELSERVE_CHECK(dim >= 1);
+  RELSERVE_CHECK(config.num_tables >= 1);
+  RELSERVE_CHECK(config.hashes_per_table >= 1);
+  RELSERVE_CHECK(config.bucket_width > 0.0f);
+  std::mt19937_64 rng(config.seed);
+  std::normal_distribution<float> gaussian(0.0f, 1.0f);
+  std::uniform_real_distribution<float> uniform(0.0f,
+                                                config.bucket_width);
+  tables_.resize(config.num_tables);
+  for (HashTable& table : tables_) {
+    table.projections.resize(
+        static_cast<size_t>(config.hashes_per_table) * dim_);
+    for (float& p : table.projections) p = gaussian(rng);
+    table.offsets.resize(config.hashes_per_table);
+    for (float& b : table.offsets) b = uniform(rng);
+  }
+}
+
+float LshIndex::DistanceSq(const float* a, const float* b) const {
+  float sum = 0.0f;
+  for (int i = 0; i < dim_; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+std::string LshIndex::BucketKey(const HashTable& table,
+                                const float* vec) const {
+  std::string key;
+  key.reserve(config_.hashes_per_table * sizeof(int32_t));
+  for (int h = 0; h < config_.hashes_per_table; ++h) {
+    const float* a = table.projections.data() + h * dim_;
+    float dot = 0.0f;
+    for (int i = 0; i < dim_; ++i) dot += a[i] * vec[i];
+    const int32_t slot = static_cast<int32_t>(std::floor(
+        (dot + table.offsets[h]) / config_.bucket_width));
+    key.append(reinterpret_cast<const char*>(&slot), sizeof(slot));
+  }
+  return key;
+}
+
+Result<int64_t> LshIndex::Add(const std::vector<float>& vec) {
+  if (static_cast<int>(vec.size()) != dim_) {
+    return Status::InvalidArgument("vector dim mismatch");
+  }
+  const int64_t id = static_cast<int64_t>(vectors_.size());
+  vectors_.push_back(vec);
+  for (HashTable& table : tables_) {
+    table.buckets[BucketKey(table, vec.data())].push_back(id);
+  }
+  return id;
+}
+
+Result<std::vector<AnnIndex::Neighbor>> LshIndex::Search(
+    const std::vector<float>& query, int k) const {
+  if (static_cast<int>(query.size()) != dim_) {
+    return Status::InvalidArgument("query dim mismatch");
+  }
+  std::vector<Neighbor> out;
+  if (vectors_.empty() || k <= 0) return out;
+
+  std::unordered_set<int64_t> seen;
+  std::vector<std::pair<float, int64_t>> candidates;
+  for (const HashTable& table : tables_) {
+    const auto it = table.buckets.find(BucketKey(table, query.data()));
+    if (it == table.buckets.end()) continue;
+    for (const int64_t id : it->second) {
+      if (!seen.insert(id).second) continue;
+      candidates.emplace_back(
+          DistanceSq(query.data(), vectors_[id].data()), id);
+    }
+  }
+  const int take = std::min<int>(k, static_cast<int>(candidates.size()));
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end());
+  out.reserve(take);
+  for (int i = 0; i < take; ++i) {
+    out.push_back(Neighbor{candidates[i].second,
+                           std::sqrt(candidates[i].first)});
+  }
+  return out;
+}
+
+}  // namespace relserve

@@ -1,0 +1,61 @@
+// LshIndex: Euclidean locality-sensitive hashing (E2LSH, p-stable
+// scheme): h(v) = floor((a.v + b) / w) with Gaussian a and uniform b.
+// Vectors land in per-table buckets; a query unions the buckets its
+// hashes select across all tables and ranks the candidates by true
+// distance. Third ANN option of the paper's Sec. 5(1) list.
+
+#ifndef RELSERVE_CACHE_LSH_INDEX_H_
+#define RELSERVE_CACHE_LSH_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/ann_index.h"
+
+namespace relserve {
+
+class LshIndex : public AnnIndex {
+ public:
+  struct Config {
+    int num_tables = 8;       // independent hash tables (recall knob)
+    int hashes_per_table = 4; // concatenated hashes (precision knob)
+    // Quantization width; should be on the order of the nearest-
+    // neighbor distances in the data.
+    float bucket_width = 1.0f;
+    uint64_t seed = 42;
+  };
+
+  explicit LshIndex(int dim) : LshIndex(dim, Config()) {}
+  LshIndex(int dim, Config config);
+
+  Result<int64_t> Add(const std::vector<float>& vec) override;
+  Result<std::vector<Neighbor>> Search(const std::vector<float>& query,
+                                       int k) const override;
+  int64_t size() const override {
+    return static_cast<int64_t>(vectors_.size());
+  }
+  int dim() const override { return dim_; }
+
+ private:
+  struct HashTable {
+    // hashes_per_table projections, each `dim` floats, plus offsets.
+    std::vector<float> projections;  // [hashes_per_table * dim]
+    std::vector<float> offsets;      // [hashes_per_table]
+    std::unordered_map<std::string, std::vector<int64_t>> buckets;
+  };
+
+  std::string BucketKey(const HashTable& table,
+                        const float* vec) const;
+  float DistanceSq(const float* a, const float* b) const;
+
+  const int dim_;
+  const Config config_;
+  std::vector<HashTable> tables_;
+  std::vector<std::vector<float>> vectors_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_CACHE_LSH_INDEX_H_

@@ -1,0 +1,105 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace relserve {
+
+ApproxResultCache::ApproxResultCache(int dim, Config config)
+    : config_(config) {
+  switch (config.index_kind) {
+    case IndexKind::kHnsw:
+      index_ = std::make_unique<HnswIndex>(dim, config.hnsw);
+      break;
+    case IndexKind::kIvf:
+      index_ = std::make_unique<IvfIndex>(dim, config.ivf);
+      break;
+    case IndexKind::kLsh:
+      index_ = std::make_unique<LshIndex>(dim, config.lsh);
+      break;
+  }
+}
+
+std::string ExactResultCache::Key(const std::vector<float>& features) {
+  return std::string(reinterpret_cast<const char*>(features.data()),
+                     features.size() * sizeof(float));
+}
+
+void ExactResultCache::Insert(const std::vector<float>& features,
+                              std::vector<float> prediction) {
+  map_[Key(features)] = std::move(prediction);
+  stats_.insertions += 1;
+}
+
+std::optional<std::vector<float>> ExactResultCache::Lookup(
+    const std::vector<float>& features) {
+  stats_.lookups += 1;
+  auto it = map_.find(Key(features));
+  if (it == map_.end()) return std::nullopt;
+  stats_.hits += 1;
+  return it->second;
+}
+
+Status ApproxResultCache::Insert(const std::vector<float>& features,
+                                 std::vector<float> prediction) {
+  RELSERVE_ASSIGN_OR_RETURN(int64_t id, index_->Add(features));
+  if (id != static_cast<int64_t>(predictions_.size())) {
+    return Status::Internal("cache id out of sync with index");
+  }
+  predictions_.push_back(std::move(prediction));
+  stats_.insertions += 1;
+  return Status::OK();
+}
+
+std::optional<std::vector<float>> ApproxResultCache::Lookup(
+    const std::vector<float>& features) {
+  stats_.lookups += 1;
+  auto neighbors = index_->Search(features, 1);
+  if (!neighbors.ok() || neighbors->empty()) return std::nullopt;
+  const AnnIndex::Neighbor& nearest = neighbors->front();
+  if (nearest.distance > config_.max_distance) return std::nullopt;
+  stats_.hits += 1;
+  return predictions_[nearest.id];
+}
+
+namespace {
+
+int64_t ArgMax(const std::vector<float>& v) {
+  return static_cast<int64_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+Result<CachePolicyDecision> MonteCarloCachePolicy(
+    ApproxResultCache* cache,
+    const std::vector<std::vector<float>>& sample_requests,
+    const std::function<Result<std::vector<float>>(
+        const std::vector<float>&)>& infer,
+    double sla_min_accuracy) {
+  if (sample_requests.empty()) {
+    return Status::InvalidArgument("empty Monte Carlo sample");
+  }
+  int64_t agreements = 0;
+  int64_t decided = 0;
+  for (const std::vector<float>& request : sample_requests) {
+    RELSERVE_ASSIGN_OR_RETURN(std::vector<float> truth, infer(request));
+    std::optional<std::vector<float>> cached = cache->Lookup(request);
+    ++decided;
+    if (!cached.has_value()) {
+      // A miss falls through to real inference — no accuracy cost.
+      ++agreements;
+      continue;
+    }
+    if (ArgMax(*cached) == ArgMax(truth)) ++agreements;
+  }
+  CachePolicyDecision decision;
+  decision.sample_size = decided;
+  decision.estimated_accuracy =
+      static_cast<double>(agreements) / decided;
+  decision.enable_cache =
+      decision.estimated_accuracy >= sla_min_accuracy;
+  return decision;
+}
+
+}  // namespace relserve

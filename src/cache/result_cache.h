@@ -1,0 +1,116 @@
+// Inference result caches (paper Sec. 5(1), validated in Sec. 7.2.2).
+//
+// Two flavors:
+//  - ExactResultCache: hash of the exact feature bytes -> prediction;
+//    zero accuracy loss, only helps on exact repeats.
+//  - ApproxResultCache: HNSW over request features; a query within
+//    `max_distance` of a cached request reuses its prediction,
+//    trading accuracy for latency.
+// MonteCarloCachePolicy estimates the accuracy cost on a sample and
+// decides whether the trade is within the application's SLA.
+
+#ifndef RELSERVE_CACHE_RESULT_CACHE_H_
+#define RELSERVE_CACHE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/ann_index.h"
+#include "cache/hnsw_index.h"
+#include "cache/ivf_index.h"
+#include "cache/lsh_index.h"
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+
+struct CacheStats {
+  int64_t lookups = 0;
+  int64_t hits = 0;
+  int64_t insertions = 0;
+
+  double HitRate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+class ExactResultCache {
+ public:
+  void Insert(const std::vector<float>& features,
+              std::vector<float> prediction);
+
+  // The cached prediction for exactly these features, if present.
+  std::optional<std::vector<float>> Lookup(
+      const std::vector<float>& features);
+
+  const CacheStats& stats() const { return stats_; }
+  int64_t size() const { return static_cast<int64_t>(map_.size()); }
+
+ private:
+  static std::string Key(const std::vector<float>& features);
+
+  std::unordered_map<std::string, std::vector<float>> map_;
+  CacheStats stats_;
+};
+
+class ApproxResultCache {
+ public:
+  enum class IndexKind { kHnsw, kIvf, kLsh };
+
+  struct Config {
+    // A lookup hits iff the nearest cached request is within this L2
+    // distance.
+    float max_distance = 1.0f;
+    IndexKind index_kind = IndexKind::kHnsw;
+    HnswIndex::Config hnsw;
+    IvfIndex::Config ivf;
+    LshIndex::Config lsh;
+  };
+
+  ApproxResultCache(int dim, Config config);
+
+  // Bring-your-own index (any AnnIndex implementation).
+  ApproxResultCache(Config config, std::unique_ptr<AnnIndex> index)
+      : config_(config), index_(std::move(index)) {}
+
+  Status Insert(const std::vector<float>& features,
+                std::vector<float> prediction);
+
+  std::optional<std::vector<float>> Lookup(
+      const std::vector<float>& features);
+
+  const CacheStats& stats() const { return stats_; }
+  int64_t size() const { return index_->size(); }
+  const AnnIndex& index() const { return *index_; }
+
+ private:
+  Config config_;
+  std::unique_ptr<AnnIndex> index_;
+  std::vector<std::vector<float>> predictions_;  // by index id
+  CacheStats stats_;
+};
+
+// Decides whether approximate caching meets the SLA (paper Sec. 5(1):
+// "estimate a probabilistic error bound using Monte Carlo sampling").
+// `infer` must produce the true prediction row for a feature vector.
+struct CachePolicyDecision {
+  bool enable_cache = false;
+  double estimated_accuracy = 0.0;  // agreement of cached vs true argmax
+  int64_t sample_size = 0;
+};
+
+Result<CachePolicyDecision> MonteCarloCachePolicy(
+    ApproxResultCache* cache,
+    const std::vector<std::vector<float>>& sample_requests,
+    const std::function<Result<std::vector<float>>(
+        const std::vector<float>&)>& infer,
+    double sla_min_accuracy);
+
+}  // namespace relserve
+
+#endif  // RELSERVE_CACHE_RESULT_CACHE_H_

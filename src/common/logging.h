@@ -1,0 +1,69 @@
+// Minimal leveled logging and fatal-check macros.
+
+#ifndef RELSERVE_COMMON_LOGGING_H_
+#define RELSERVE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace relserve {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define RELSERVE_LOG(level)                                              \
+  if (::relserve::LogLevel::k##level >= ::relserve::GetLogLevel())       \
+  ::relserve::internal::LogMessage(::relserve::LogLevel::k##level,       \
+                                   __FILE__, __LINE__)                   \
+      .stream()
+
+// Invariant check: aborts with a message on violation. Use only for
+// programmer errors (broken invariants), never for reachable runtime
+// failures — those return Status.
+#define RELSERVE_CHECK(cond)                                             \
+  if (!(cond))                                                           \
+  ::relserve::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define RELSERVE_DCHECK(cond) RELSERVE_CHECK(cond)
+
+}  // namespace relserve
+
+#endif  // RELSERVE_COMMON_LOGGING_H_

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random helpers for synthetic workloads and tests.
+
+#ifndef RELSERVE_COMMON_RANDOM_H_
+#define RELSERVE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace relserve {
+
+// A seeded engine wrapper so workloads are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  float Uniform(float lo = 0.0f, float hi = 1.0f) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  float Normal(float mean = 0.0f, float stddev = 1.0f) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  int64_t UniformInt(int64_t lo, int64_t hi) {  // inclusive bounds
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_COMMON_RANDOM_H_

@@ -1,0 +1,72 @@
+// Result<T>: a value or a Status, never both (arrow::Result idiom).
+
+#ifndef RELSERVE_COMMON_RESULT_H_
+#define RELSERVE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace relserve {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call
+  // sites terse: `return tensor;` / `return Status::OutOfMemory(...)`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not hold an OK status without a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Assign the value of a Result expression to `lhs`, or propagate its
+// error Status to the caller.
+#define RELSERVE_CONCAT_IMPL(a, b) a##b
+#define RELSERVE_CONCAT(a, b) RELSERVE_CONCAT_IMPL(a, b)
+
+#define RELSERVE_ASSIGN_OR_RETURN(lhs, expr)                      \
+  auto RELSERVE_CONCAT(_res_, __LINE__) = (expr);                 \
+  if (!RELSERVE_CONCAT(_res_, __LINE__).ok())                     \
+    return RELSERVE_CONCAT(_res_, __LINE__).status();             \
+  lhs = std::move(RELSERVE_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+}  // namespace relserve
+
+#endif  // RELSERVE_COMMON_RESULT_H_

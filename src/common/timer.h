@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef RELSERVE_COMMON_TIMER_H_
+#define RELSERVE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace relserve {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_COMMON_TIMER_H_

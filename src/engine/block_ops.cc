@@ -1,0 +1,377 @@
+#include "engine/block_ops.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "kernels/kernels.h"
+
+namespace relserve {
+namespace blockops {
+
+namespace {
+
+// (row_block, col_block) -> entry index for O(1) join probes.
+using BlockIndex = std::unordered_map<int64_t, int64_t>;
+
+BlockIndex IndexEntries(const BlockStore& store) {
+  const int64_t num_cb = store.geometry().NumColBlocks();
+  BlockIndex index;
+  index.reserve(store.entries().size());
+  for (int64_t i = 0; i < static_cast<int64_t>(store.entries().size());
+       ++i) {
+    const BlockStore::BlockEntry& e = store.entries()[i];
+    index[e.row_block * num_cb + e.col_block] = i;
+  }
+  return index;
+}
+
+Result<std::unique_ptr<BlockStore>> NewStore(ExecContext* ctx,
+                                             BlockedShape geometry) {
+  if (ctx->buffer_pool == nullptr) {
+    return Status::InvalidArgument(
+        "relation-centric execution needs a buffer pool");
+  }
+  return std::make_unique<BlockStore>(ctx->buffer_pool, geometry);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BlockStore>> ChunkMatrix(const Tensor& m,
+                                                ExecContext* ctx) {
+  if (m.shape().ndim() != 2) {
+    return Status::InvalidArgument("ChunkMatrix expects a matrix");
+  }
+  BlockedShape geometry{m.shape().dim(0), m.shape().dim(1),
+                        ctx->block_rows, ctx->block_cols};
+  RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> store,
+                            NewStore(ctx, geometry));
+  RELSERVE_RETURN_NOT_OK(store->PutMatrix(m, ctx->tracker));
+  ctx->stats.chunkings += 1;
+  ctx->stats.blocks_written +=
+      static_cast<int64_t>(store->entries().size());
+  return store;
+}
+
+Result<Tensor> Assemble(const BlockStore& store, ExecContext* ctx) {
+  ctx->stats.assembles += 1;
+  ctx->stats.blocks_read +=
+      static_cast<int64_t>(store.entries().size());
+  return store.ToMatrix(ctx->tracker);
+}
+
+Result<std::unique_ptr<BlockStore>> BlockMatMul(const BlockStore& x,
+                                                const BlockStore& w,
+                                                ExecContext* ctx) {
+  const BlockedShape& xg = x.geometry();
+  const BlockedShape& wg = w.geometry();
+  if (xg.cols != wg.cols) {
+    return Status::InvalidArgument(
+        "BlockMatMul inner dimension mismatch: x cols " +
+        std::to_string(xg.cols) + " vs w cols " +
+        std::to_string(wg.cols));
+  }
+  if (xg.block_cols != wg.block_cols) {
+    return Status::InvalidArgument(
+        "BlockMatMul inner block width mismatch");
+  }
+  BlockedShape cg{xg.rows, wg.rows, xg.block_rows, wg.block_rows};
+  RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> c,
+                            NewStore(ctx, cg));
+
+  const BlockIndex x_index = IndexEntries(x);
+  const BlockIndex w_index = IndexEntries(w);
+  const int64_t inner_blocks = xg.NumColBlocks();
+  const int64_t x_num_cb = inner_blocks;
+  const int64_t w_num_cb = wg.NumColBlocks();
+
+  for (int64_t rb = 0; rb < xg.NumRowBlocks(); ++rb) {
+    for (int64_t jb = 0; jb < wg.NumRowBlocks(); ++jb) {
+      RELSERVE_ASSIGN_OR_RETURN(
+          Tensor acc, Tensor::Zeros(Shape{cg.RowsInBlock(rb),
+                                          cg.ColsInBlock(jb)},
+                                    ctx->tracker));
+      // The join on the inner block index kb, aggregating partial
+      // products into `acc`.
+      for (int64_t kb = 0; kb < inner_blocks; ++kb) {
+        const auto x_it = x_index.find(rb * x_num_cb + kb);
+        const auto w_it = w_index.find(jb * w_num_cb + kb);
+        if (x_it == x_index.end() || w_it == w_index.end()) {
+          continue;  // absent block == all-zero contribution
+        }
+        RELSERVE_ASSIGN_OR_RETURN(
+            TensorBlock xb,
+            x.Get(x.entries()[x_it->second], ctx->tracker));
+        RELSERVE_ASSIGN_OR_RETURN(
+            TensorBlock wb,
+            w.Get(w.entries()[w_it->second], ctx->tracker));
+        ctx->stats.blocks_read += 2;
+        RELSERVE_RETURN_NOT_OK(kernels::GemmInto(
+            xb.data, wb.data, /*transpose_b=*/true,
+            /*accumulate=*/true, &acc, ctx->pool));
+      }
+      RELSERVE_RETURN_NOT_OK(c->Put(TensorBlock{rb, jb, std::move(acc)}));
+      ctx->stats.blocks_written += 1;
+    }
+  }
+  return c;
+}
+
+Result<std::unique_ptr<BlockStore>> MapBlocks(
+    const BlockStore& input,
+    const std::function<Status(int64_t, int64_t, Tensor*)>& fn,
+    ExecContext* ctx) {
+  RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> out,
+                            NewStore(ctx, input.geometry()));
+  for (const BlockStore::BlockEntry& entry : input.entries()) {
+    RELSERVE_ASSIGN_OR_RETURN(TensorBlock block,
+                              input.Get(entry, ctx->tracker));
+    ctx->stats.blocks_read += 1;
+    RELSERVE_RETURN_NOT_OK(
+        fn(block.row_block, block.col_block, &block.data));
+    RELSERVE_RETURN_NOT_OK(out->Put(block));
+    ctx->stats.blocks_written += 1;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<BlockStore>> BlockBiasAdd(const BlockStore& input,
+                                                 const Tensor& bias,
+                                                 ExecContext* ctx) {
+  if (bias.shape().ndim() != 1 ||
+      bias.shape().dim(0) != input.geometry().cols) {
+    return Status::InvalidArgument("BlockBiasAdd bias width mismatch");
+  }
+  const int64_t block_cols = input.geometry().block_cols;
+  return MapBlocks(
+      input,
+      [&bias, block_cols](int64_t, int64_t cb, Tensor* payload) {
+        const int64_t col0 = cb * block_cols;
+        const int64_t width = payload->shape().dim(1);
+        // Slice of the bias covering this column block.
+        RELSERVE_ASSIGN_OR_RETURN(Tensor slice,
+                                  Tensor::Create(Shape{width}, nullptr));
+        std::memcpy(slice.data(), bias.data() + col0,
+                    width * sizeof(float));
+        return kernels::BiasAddInPlace(payload, slice);
+      },
+      ctx);
+}
+
+Result<std::unique_ptr<BlockStore>> BlockRelu(const BlockStore& input,
+                                              ExecContext* ctx) {
+  return MapBlocks(
+      input,
+      [](int64_t, int64_t, Tensor* payload) {
+        kernels::ReluInPlace(payload);
+        return Status::OK();
+      },
+      ctx);
+}
+
+Result<std::unique_ptr<BlockStore>> BlockSoftmaxRows(
+    const BlockStore& input, ExecContext* ctx) {
+  const BlockedShape& g = input.geometry();
+  RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> out,
+                            NewStore(ctx, g));
+  const BlockIndex index = IndexEntries(input);
+  const int64_t num_cb = g.NumColBlocks();
+  for (int64_t rb = 0; rb < g.NumRowBlocks(); ++rb) {
+    const int64_t br = g.RowsInBlock(rb);
+    // Assemble one row strip: needs whole rows for the normalization.
+    RELSERVE_ASSIGN_OR_RETURN(
+        Tensor strip, Tensor::Zeros(Shape{br, g.cols}, ctx->tracker));
+    for (int64_t cb = 0; cb < num_cb; ++cb) {
+      const auto it = index.find(rb * num_cb + cb);
+      if (it == index.end()) continue;
+      RELSERVE_ASSIGN_OR_RETURN(
+          TensorBlock block,
+          input.Get(input.entries()[it->second], ctx->tracker));
+      ctx->stats.blocks_read += 1;
+      const int64_t col0 = cb * g.block_cols;
+      const int64_t bc = block.data.shape().dim(1);
+      for (int64_t r = 0; r < br; ++r) {
+        std::memcpy(strip.data() + r * g.cols + col0,
+                    block.data.data() + r * bc, bc * sizeof(float));
+      }
+    }
+    RELSERVE_RETURN_NOT_OK(kernels::SoftmaxRowsInPlace(&strip));
+    for (int64_t cb = 0; cb < num_cb; ++cb) {
+      const int64_t bc = g.ColsInBlock(cb);
+      const int64_t col0 = cb * g.block_cols;
+      RELSERVE_ASSIGN_OR_RETURN(
+          Tensor payload, Tensor::Create(Shape{br, bc}, ctx->tracker));
+      for (int64_t r = 0; r < br; ++r) {
+        std::memcpy(payload.data() + r * bc,
+                    strip.data() + r * g.cols + col0,
+                    bc * sizeof(float));
+      }
+      RELSERVE_RETURN_NOT_OK(
+          out->Put(TensorBlock{rb, cb, std::move(payload)}));
+      ctx->stats.blocks_written += 1;
+    }
+  }
+  return out;
+}
+
+Result<BlockedRowAppender> BlockedRowAppender::Create(int64_t num_rows,
+                                                      int64_t row_width,
+                                                      ExecContext* ctx) {
+  BlockedRowAppender appender;
+  appender.ctx_ = ctx;
+  appender.num_rows_ = num_rows;
+  appender.row_width_ = row_width;
+  // Keep each row-strip block the same element count as a regular
+  // block so working-set accounting is uniform.
+  appender.block_width_ =
+      std::min(row_width, ctx->block_rows * ctx->block_cols);
+  BlockedShape geometry{num_rows, row_width, 1, appender.block_width_};
+  RELSERVE_ASSIGN_OR_RETURN(appender.store_, NewStore(ctx, geometry));
+  return appender;
+}
+
+Status BlockedRowAppender::Append(const float* values, int64_t n) {
+  while (n > 0) {
+    if (current_col_ >= row_width_) {
+      return Status::InvalidArgument("row overflow in appender");
+    }
+    const int64_t cb = current_col_ / block_width_;
+    const int64_t block_cols =
+        store_->geometry().ColsInBlock(cb);
+    const int64_t offset_in_block = current_col_ % block_width_;
+    if (!pending_.is_valid()) {
+      RELSERVE_ASSIGN_OR_RETURN(
+          pending_, Tensor::Zeros(Shape{1, block_cols}, ctx_->tracker));
+    }
+    const int64_t take = std::min(n, block_cols - offset_in_block);
+    std::memcpy(pending_.data() + offset_in_block, values,
+                take * sizeof(float));
+    values += take;
+    n -= take;
+    current_col_ += take;
+    if (current_col_ % block_width_ == 0 ||
+        current_col_ == row_width_) {
+      RELSERVE_RETURN_NOT_OK(
+          store_->Put(TensorBlock{current_row_, cb, std::move(pending_)}));
+      ctx_->stats.blocks_written += 1;
+      pending_ = Tensor();
+    }
+  }
+  return Status::OK();
+}
+
+Status BlockedRowAppender::EndRow() {
+  if (current_col_ != row_width_) {
+    return Status::InvalidArgument(
+        "EndRow with " + std::to_string(current_col_) + "/" +
+        std::to_string(row_width_) + " values written");
+  }
+  current_col_ = 0;
+  ++current_row_;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<BlockStore>> BlockedRowAppender::Finish() {
+  if (current_row_ != num_rows_) {
+    return Status::InvalidArgument(
+        "Finish with " + std::to_string(current_row_) + "/" +
+        std::to_string(num_rows_) + " rows written");
+  }
+  return std::move(store_);
+}
+
+Result<MatrixStreamWriter> MatrixStreamWriter::Create(int64_t rows,
+                                                      int64_t cols,
+                                                      ExecContext* ctx) {
+  if (rows <= 0 || cols <= 0) {
+    return Status::InvalidArgument("empty matrix stream");
+  }
+  MatrixStreamWriter writer;
+  writer.ctx_ = ctx;
+  writer.rows_ = rows;
+  writer.cols_ = cols;
+  const int64_t block_elems = ctx->block_rows * ctx->block_cols;
+  writer.strip_rows_ = std::max<int64_t>(
+      1, std::min(rows, block_elems / std::max<int64_t>(1, cols)));
+  BlockedShape geometry{rows, cols, writer.strip_rows_,
+                        ctx->block_cols};
+  RELSERVE_ASSIGN_OR_RETURN(writer.store_, NewStore(ctx, geometry));
+  RELSERVE_ASSIGN_OR_RETURN(
+      writer.strip_,
+      Tensor::Create(Shape{writer.strip_rows_, cols}, ctx->tracker));
+  return writer;
+}
+
+Status MatrixStreamWriter::FlushStrip() {
+  if (in_strip_ == 0) return Status::OK();
+  const int64_t rb = (next_row_ - in_strip_) / strip_rows_;
+  const BlockedShape& g = store_->geometry();
+  for (int64_t cb = 0; cb < g.NumColBlocks(); ++cb) {
+    const int64_t bc = g.ColsInBlock(cb);
+    const int64_t col0 = cb * g.block_cols;
+    RELSERVE_ASSIGN_OR_RETURN(
+        Tensor payload,
+        Tensor::Create(Shape{in_strip_, bc}, ctx_->tracker));
+    for (int64_t r = 0; r < in_strip_; ++r) {
+      std::memcpy(payload.data() + r * bc,
+                  strip_.data() + r * cols_ + col0, bc * sizeof(float));
+    }
+    RELSERVE_RETURN_NOT_OK(
+        store_->Put(TensorBlock{rb, cb, std::move(payload)}));
+    ctx_->stats.blocks_written += 1;
+  }
+  in_strip_ = 0;
+  return Status::OK();
+}
+
+Status MatrixStreamWriter::AppendRow(const float* row) {
+  if (next_row_ >= rows_) {
+    return Status::InvalidArgument("matrix stream overflow");
+  }
+  std::memcpy(strip_.data() + in_strip_ * cols_, row,
+              cols_ * sizeof(float));
+  ++in_strip_;
+  ++next_row_;
+  if (in_strip_ == strip_rows_) {
+    RELSERVE_RETURN_NOT_OK(FlushStrip());
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<BlockStore>> MatrixStreamWriter::Finish() {
+  if (next_row_ != rows_) {
+    return Status::InvalidArgument(
+        "matrix stream finished with " + std::to_string(next_row_) +
+        "/" + std::to_string(rows_) + " rows");
+  }
+  RELSERVE_RETURN_NOT_OK(FlushStrip());
+  return std::move(store_);
+}
+
+Result<Tensor> LoadRow(const BlockStore& store, int64_t row,
+                       ExecContext* ctx) {
+  const BlockedShape& g = store.geometry();
+  if (row < 0 || row >= g.rows) {
+    return Status::InvalidArgument("row out of range");
+  }
+  RELSERVE_ASSIGN_OR_RETURN(Tensor out,
+                            Tensor::Zeros(Shape{g.cols}, ctx->tracker));
+  const BlockIndex index = IndexEntries(store);
+  const int64_t rb = row / g.block_rows;
+  const int64_t offset = row % g.block_rows;
+  const int64_t num_cb = g.NumColBlocks();
+  for (int64_t cb = 0; cb < num_cb; ++cb) {
+    const auto it = index.find(rb * num_cb + cb);
+    if (it == index.end()) continue;
+    RELSERVE_ASSIGN_OR_RETURN(
+        TensorBlock block,
+        store.Get(store.entries()[it->second], ctx->tracker));
+    ctx->stats.blocks_read += 1;
+    const int64_t bc = block.data.shape().dim(1);
+    std::memcpy(out.data() + cb * g.block_cols,
+                block.data.data() + offset * bc, bc * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace blockops
+}  // namespace relserve

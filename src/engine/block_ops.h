@@ -1,0 +1,139 @@
+// Block-level tensor operators over BlockStores — the physical
+// implementation of the relation-centric representation.
+//
+// BlockMatMul is literally the paper's "join followed by aggregation"
+// (Sec. 2, Sec. 7.1): the X relation {(i, k, payload)} joins the W
+// relation {(j, k, payload)} on the inner block index k, each matched
+// pair contributes a partial product, and partials aggregate by output
+// coordinate (i, j). The physical plan here is an index-nested-loop
+// join ordered so each output block's partials aggregate in registers
+// before a single write — never more than three blocks are resident.
+
+#ifndef RELSERVE_ENGINE_BLOCK_OPS_H_
+#define RELSERVE_ENGINE_BLOCK_OPS_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/result.h"
+#include "engine/exec_context.h"
+#include "storage/block_store.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+namespace blockops {
+
+// Chunks an in-memory matrix into a new buffer-pool-backed store with
+// the context's block geometry, using O(block) scratch memory.
+Result<std::unique_ptr<BlockStore>> ChunkMatrix(const Tensor& m,
+                                                ExecContext* ctx);
+
+// Assembles a store back into a whole tensor charged to the context
+// arena (may OOM — that is the point of the experiment).
+Result<Tensor> Assemble(const BlockStore& store, ExecContext* ctx);
+
+// C = X * W^T as block join + aggregation.
+//   x: [rows, inner] blocked; w: [out, inner] blocked (weight layout).
+// Result store has shape [rows, out].
+Result<std::unique_ptr<BlockStore>> BlockMatMul(const BlockStore& x,
+                                                const BlockStore& w,
+                                                ExecContext* ctx);
+
+// Applies `fn` to every block payload, producing a new store with the
+// same geometry. `fn` receives the block's (row_block, col_block).
+Result<std::unique_ptr<BlockStore>> MapBlocks(
+    const BlockStore& input,
+    const std::function<Status(int64_t, int64_t, Tensor*)>& fn,
+    ExecContext* ctx);
+
+// x[r, c] += bias[c], blockwise (bias sliced per column block).
+Result<std::unique_ptr<BlockStore>> BlockBiasAdd(const BlockStore& input,
+                                                 const Tensor& bias,
+                                                 ExecContext* ctx);
+
+// Elementwise relu, blockwise.
+Result<std::unique_ptr<BlockStore>> BlockRelu(const BlockStore& input,
+                                              ExecContext* ctx);
+
+// Row-wise softmax. Needs whole rows, so it assembles one row-block
+// strip (block_rows x total_cols) at a time.
+Result<std::unique_ptr<BlockStore>> BlockSoftmaxRows(
+    const BlockStore& input, ExecContext* ctx);
+
+// Appends logical rows of a fixed-width matrix into a block store in
+// sequential chunks — used by the relation-centric convolution to
+// stream each image's output feature map into the next activation
+// relation without materializing it.
+class BlockedRowAppender {
+ public:
+  // Creates a store of shape [num_rows, row_width] with row-strip
+  // blocks (block_rows=1, block_cols=ctx block area) and positions the
+  // cursor at (0, 0).
+  static Result<BlockedRowAppender> Create(int64_t num_rows,
+                                           int64_t row_width,
+                                           ExecContext* ctx);
+
+  // Appends `n` values to the current row. Must not overflow the row.
+  Status Append(const float* values, int64_t n);
+
+  // Finishes the current row (it must be exactly full) and moves to
+  // the next.
+  Status EndRow();
+
+  // Releases the completed store (all rows must be ended).
+  Result<std::unique_ptr<BlockStore>> Finish();
+
+ private:
+  BlockedRowAppender() = default;
+
+  ExecContext* ctx_ = nullptr;
+  std::unique_ptr<BlockStore> store_;
+  int64_t num_rows_ = 0;
+  int64_t row_width_ = 0;
+  int64_t block_width_ = 0;
+  int64_t current_row_ = 0;
+  int64_t current_col_ = 0;
+  Tensor pending_;  // current partial block
+};
+
+// Loads one logical row [width] of a store as a tensor (used to pull a
+// single image out of an activation relation).
+Result<Tensor> LoadRow(const BlockStore& store, int64_t row,
+                       ExecContext* ctx);
+
+// Streams a [rows, cols] matrix into a block relation one row at a
+// time — how a table scan feeds a batch too large to materialize.
+// The emitted geometry keeps the context's column blocking (so the
+// store joins correctly against chunked weights in BlockMatMul) but
+// shrinks the row-strip height so the internal buffer stays at one
+// nominal block:  strip_rows = max(1, block_rows*block_cols / cols).
+class MatrixStreamWriter {
+ public:
+  static Result<MatrixStreamWriter> Create(int64_t rows, int64_t cols,
+                                           ExecContext* ctx);
+
+  // Appends one full row (`cols` floats).
+  Status AppendRow(const float* row);
+
+  // All rows must have been appended.
+  Result<std::unique_ptr<BlockStore>> Finish();
+
+ private:
+  MatrixStreamWriter() = default;
+
+  Status FlushStrip();
+
+  ExecContext* ctx_ = nullptr;
+  std::unique_ptr<BlockStore> store_;
+  Tensor strip_;            // [strip_rows, cols] staging buffer
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  int64_t strip_rows_ = 0;  // nominal strip height
+  int64_t next_row_ = 0;    // rows appended so far
+  int64_t in_strip_ = 0;    // rows buffered in the current strip
+};
+
+}  // namespace blockops
+}  // namespace relserve
+
+#endif  // RELSERVE_ENGINE_BLOCK_OPS_H_

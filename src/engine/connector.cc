@@ -1,0 +1,148 @@
+#include "engine/connector.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace relserve {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const char*& cursor, const char* end, T* v) {
+  if (cursor + sizeof(T) > end) return false;
+  std::memcpy(v, cursor, sizeof(T));
+  cursor += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> Connector::EncodeFeatureStream(RowIterator* rows,
+                                                   int feature_col) {
+  RELSERVE_RETURN_NOT_OK(rows->Open());
+  std::string out;
+  Row row;
+  while (true) {
+    RELSERVE_ASSIGN_OR_RETURN(bool has, rows->Next(&row));
+    if (!has) break;
+    const Value& v = row.value(feature_col);
+    if (v.type() != ValueType::kFloatVector) {
+      return Status::InvalidArgument(
+          "feature column must be FLOAT_VECTOR, got " +
+          std::string(ValueTypeName(v.type())));
+    }
+    const std::vector<float>& features = v.AsFloatVector();
+    AppendPod<uint32_t>(&out, static_cast<uint32_t>(features.size()));
+    out.append(reinterpret_cast<const char*>(features.data()),
+               features.size() * sizeof(float));
+  }
+  return out;
+}
+
+Result<std::string> Connector::EncodeFeatureStream(const Tensor& batch) {
+  if (batch.shape().ndim() != 2) {
+    return Status::InvalidArgument(
+        "feature batch must be [batch, features]");
+  }
+  const int64_t n = batch.shape().dim(0);
+  const int64_t width = batch.shape().dim(1);
+  std::string out;
+  out.reserve(n * (sizeof(uint32_t) + width * sizeof(float)));
+  for (int64_t r = 0; r < n; ++r) {
+    AppendPod<uint32_t>(&out, static_cast<uint32_t>(width));
+    out.append(reinterpret_cast<const char*>(batch.data() + r * width),
+               width * sizeof(float));
+  }
+  return out;
+}
+
+Result<Tensor> Connector::DecodeFeatureStream(const std::string& bytes,
+                                              MemoryTracker* tracker) {
+  // First pass: count rows and validate framing.
+  const char* cursor = bytes.data();
+  const char* end = cursor + bytes.size();
+  int64_t rows = 0;
+  int64_t width = -1;
+  while (cursor < end) {
+    uint32_t n;
+    if (!ReadPod(cursor, end, &n) || cursor + n * sizeof(float) > end) {
+      return Status::Internal("feature stream framing error");
+    }
+    if (width < 0) {
+      width = n;
+    } else if (width != n) {
+      return Status::InvalidArgument("ragged feature stream");
+    }
+    cursor += n * sizeof(float);
+    ++rows;
+  }
+  if (rows == 0) {
+    return Status::InvalidArgument("empty feature stream");
+  }
+  RELSERVE_ASSIGN_OR_RETURN(Tensor out,
+                            Tensor::Create(Shape{rows, width}, tracker));
+  cursor = bytes.data();
+  float* dst = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    cursor += sizeof(uint32_t);
+    std::memcpy(dst + r * width, cursor, width * sizeof(float));
+    cursor += width * sizeof(float);
+  }
+  return out;
+}
+
+Result<std::string> Connector::EncodeTensor(const Tensor& t) {
+  if (!t.is_valid()) {
+    return Status::InvalidArgument("encode of empty tensor");
+  }
+  std::string out;
+  AppendPod<uint32_t>(&out, static_cast<uint32_t>(t.shape().ndim()));
+  for (int64_t d : t.shape().dims()) AppendPod<int64_t>(&out, d);
+  out.append(reinterpret_cast<const char*>(t.data()), t.ByteSize());
+  return out;
+}
+
+Result<Tensor> Connector::DecodeTensor(const std::string& bytes,
+                                       MemoryTracker* tracker) {
+  const char* cursor = bytes.data();
+  const char* end = cursor + bytes.size();
+  uint32_t ndim;
+  if (!ReadPod(cursor, end, &ndim) || ndim > 8) {
+    return Status::Internal("tensor wire: bad rank");
+  }
+  std::vector<int64_t> dims(ndim);
+  for (uint32_t i = 0; i < ndim; ++i) {
+    if (!ReadPod(cursor, end, &dims[i])) {
+      return Status::Internal("tensor wire: truncated dims");
+    }
+  }
+  RELSERVE_ASSIGN_OR_RETURN(
+      Tensor out, Tensor::Create(Shape(std::move(dims)), tracker));
+  if (cursor + out.ByteSize() != end) {
+    return Status::Internal("tensor wire: payload size mismatch");
+  }
+  std::memcpy(out.data(), cursor, out.ByteSize());
+  return out;
+}
+
+std::string Connector::Transmit(const std::string& payload) {
+  return std::string(payload.data(), payload.size());
+}
+
+std::string Connector::Transmit(const std::string& payload,
+                                const TransferLink& link) {
+  const double seconds =
+      link.SecondsFor(static_cast<int64_t>(payload.size()));
+  if (seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+  return std::string(payload.data(), payload.size());
+}
+
+}  // namespace relserve

@@ -1,0 +1,78 @@
+// Connector: the cross-system boundary of the DL-centric architecture.
+//
+// Models the ConnectorX-style export path of the paper's baselines:
+// features leave the RDBMS as a length-framed row-oriented byte
+// stream, are copied ("transmitted") into the external runtime's
+// memory, and are decoded into a batch tensor there; predictions make
+// the reverse trip. All of this is real work (encode + copy + decode),
+// not injected sleeps — the latency penalty the paper attributes to
+// cross-system transfer emerges from the extra data movement itself.
+
+#ifndef RELSERVE_ENGINE_CONNECTOR_H_
+#define RELSERVE_ENGINE_CONNECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "relational/operator.h"
+#include "resource/memory_tracker.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+
+// Cost model of the RDBMS <-> DL-runtime hop. In the paper's
+// baselines this hop is a real one — PostgreSQL -> ConnectorX ->
+// Python/TensorFlow in another process — which a single-process
+// reproduction cannot exhibit, so the link is *simulated*: each
+// message pays a fixed per-message latency (connection/query/
+// client-library overhead) plus payload/bandwidth. Defaults are
+// loopback-client magnitudes; set both to zero for a free link.
+// This is the only injected (non-measured) cost in relserve and is
+// called out in DESIGN.md's substitution table.
+struct TransferLink {
+  double bandwidth_bytes_per_sec = 200e6;  // ~loopback client thrpt
+  double fixed_latency_seconds = 0.02;     // per-message overhead
+
+  double SecondsFor(int64_t bytes) const {
+    double seconds = fixed_latency_seconds;
+    if (bandwidth_bytes_per_sec > 0) {
+      seconds += static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+    }
+    return seconds;
+  }
+};
+
+class Connector {
+ public:
+  // Encodes the float-vector feature column `feature_col` of every row
+  // into the wire format: [u32 n_features][floats] per row.
+  static Result<std::string> EncodeFeatureStream(RowIterator* rows,
+                                                 int feature_col);
+
+  // Encodes an in-memory [batch, features] tensor the same way.
+  static Result<std::string> EncodeFeatureStream(const Tensor& batch);
+
+  // Decodes a feature stream into a [batch, features] tensor charged
+  // to `tracker` (the receiver's arena).
+  static Result<Tensor> DecodeFeatureStream(const std::string& bytes,
+                                            MemoryTracker* tracker);
+
+  // Tensor wire format: [u32 ndim][i64 dims...][floats].
+  static Result<std::string> EncodeTensor(const Tensor& t);
+  static Result<Tensor> DecodeTensor(const std::string& bytes,
+                                     MemoryTracker* tracker);
+
+  // The "network": copies the payload into a receiver-side buffer.
+  // The receiver (ExternalRuntime) charges the buffer to its own
+  // arena for as long as it holds it. The zero-argument-link overload
+  // is a pure in-process copy (used in unit tests); production
+  // DL-centric paths pass a TransferLink.
+  static std::string Transmit(const std::string& payload);
+  static std::string Transmit(const std::string& payload,
+                              const struct TransferLink& link);
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_ENGINE_CONNECTOR_H_

@@ -1,0 +1,47 @@
+// ExecContext: the resources one inference query executes against.
+
+#ifndef RELSERVE_ENGINE_EXEC_CONTEXT_H_
+#define RELSERVE_ENGINE_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "resource/memory_tracker.h"
+#include "resource/thread_pool.h"
+#include "storage/buffer_pool.h"
+
+namespace relserve {
+
+struct ExecStats {
+  int64_t blocks_read = 0;     // tensor blocks loaded from the store
+  int64_t blocks_written = 0;  // tensor blocks written to the store
+  int64_t assembles = 0;       // blocked -> whole-tensor transitions
+  int64_t chunkings = 0;       // whole-tensor -> blocked transitions
+
+  std::string ToString() const {
+    return "blocks_read=" + std::to_string(blocks_read) +
+           " blocks_written=" + std::to_string(blocks_written) +
+           " assembles=" + std::to_string(assembles) +
+           " chunkings=" + std::to_string(chunkings);
+  }
+};
+
+struct ExecContext {
+  // Working-memory arena: whole tensors in UDF-centric mode, and the
+  // few in-flight blocks in relation-centric mode, are charged here.
+  MemoryTracker* tracker = nullptr;
+  // Intra-operator parallelism (may be null for serial execution).
+  ThreadPool* pool = nullptr;
+  // Page cache backing relation-centric block stores (required for
+  // relation-centric / hybrid plans).
+  BufferPool* buffer_pool = nullptr;
+  // Nominal tensor block geometry for relation-centric chunking.
+  int64_t block_rows = 512;
+  int64_t block_cols = 512;
+
+  ExecStats stats;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_ENGINE_EXEC_CONTEXT_H_

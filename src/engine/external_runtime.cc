@@ -1,0 +1,84 @@
+#include "engine/external_runtime.h"
+
+#include "engine/connector.h"
+#include "engine/hybrid_executor.h"
+
+namespace relserve {
+
+namespace {
+
+// Every node whole-tensor: the only mode a decoupled framework has
+// here.
+InferencePlan AllUdfPlan(const Model& model) {
+  InferencePlan plan;
+  plan.batch_size = 0;
+  plan.memory_threshold_bytes = 0;
+  plan.decisions.reserve(model.nodes().size());
+  for (const Node& node : model.nodes()) {
+    plan.decisions.push_back(NodeDecision{node.id, Repr::kUdf, 0});
+  }
+  return plan;
+}
+
+}  // namespace
+
+ExternalRuntime::ExternalRuntime(std::string name,
+                                 int64_t memory_limit_bytes,
+                                 ThreadPool* pool)
+    : tracker_(std::move(name), memory_limit_bytes), pool_(pool) {
+  ctx_.tracker = &tracker_;
+  ctx_.pool = pool_;
+  ctx_.buffer_pool = nullptr;
+}
+
+Status ExternalRuntime::RegisterModel(const Model* model) {
+  if (models_.count(model->name()) > 0) {
+    return Status::AlreadyExists("model '" + model->name() +
+                                 "' already registered");
+  }
+  LoadedModel loaded;
+  loaded.model = model;
+  RELSERVE_ASSIGN_OR_RETURN(
+      PreparedModel prepared,
+      PreparedModel::Prepare(model, AllUdfPlan(*model), &ctx_));
+  loaded.prepared = std::make_unique<PreparedModel>(std::move(prepared));
+  models_.emplace(model->name(), std::move(loaded));
+  return Status::OK();
+}
+
+Result<std::string> ExternalRuntime::Infer(
+    const std::string& model_name, const std::string& request_bytes) {
+  auto it = models_.find(model_name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + model_name +
+                            "' not registered in runtime");
+  }
+  stats_.requests += 1;
+  stats_.bytes_received += static_cast<int64_t>(request_bytes.size());
+
+  // The received buffer occupies runtime memory until decode finishes.
+  const int64_t wire_bytes = static_cast<int64_t>(request_bytes.size());
+  RELSERVE_RETURN_NOT_OK(tracker_.Allocate(wire_bytes));
+  Result<Tensor> input =
+      Connector::DecodeFeatureStream(request_bytes, &tracker_);
+  tracker_.Release(wire_bytes);
+  RELSERVE_RETURN_NOT_OK(input.status());
+
+  // A framework feeds the model in the sample shape it expects.
+  const Model& model = *it->second.model;
+  std::vector<int64_t> dims = {input->shape().dim(0)};
+  for (int64_t d : model.sample_shape().dims()) dims.push_back(d);
+  RELSERVE_ASSIGN_OR_RETURN(Tensor shaped,
+                            input->Reshape(Shape(std::move(dims))));
+
+  RELSERVE_ASSIGN_OR_RETURN(
+      ExecOutput out,
+      HybridExecutor::Run(*it->second.prepared, shaped, &ctx_));
+  RELSERVE_ASSIGN_OR_RETURN(Tensor prediction, out.ToTensor(&ctx_));
+  RELSERVE_ASSIGN_OR_RETURN(std::string response,
+                            Connector::EncodeTensor(prediction));
+  stats_.bytes_sent += static_cast<int64_t>(response.size());
+  return response;
+}
+
+}  // namespace relserve

@@ -1,0 +1,300 @@
+#include "engine/hybrid_executor.h"
+
+#include <algorithm>
+
+#include "engine/block_ops.h"
+#include "kernels/kernels.h"
+
+namespace relserve {
+
+namespace {
+
+// The executor's rolling activation: exactly one of tensor/store set.
+struct Activation {
+  Tensor tensor;
+  std::unique_ptr<BlockStore> store;
+  // Whether `tensor` is writable (false while it aliases the caller's
+  // input buffer).
+  bool owned = false;
+
+  bool blocked() const { return store != nullptr; }
+};
+
+// Blocked -> whole (or reshape a whole tensor to the expected shape).
+Status EnsureWhole(Activation* act, const Shape& expected,
+                   ExecContext* ctx) {
+  if (act->blocked()) {
+    RELSERVE_ASSIGN_OR_RETURN(Tensor assembled,
+                              blockops::Assemble(*act->store, ctx));
+    RELSERVE_ASSIGN_OR_RETURN(act->tensor,
+                              assembled.Reshape(expected));
+    act->store.reset();
+    act->owned = true;
+    return Status::OK();
+  }
+  if (act->tensor.shape() != expected) {
+    RELSERVE_ASSIGN_OR_RETURN(act->tensor,
+                              act->tensor.Reshape(expected));
+  }
+  return Status::OK();
+}
+
+// Whole -> blocked matrix [batch, width].
+Status EnsureBlocked(Activation* act, int64_t batch, ExecContext* ctx) {
+  if (act->blocked()) return Status::OK();
+  const int64_t width = act->tensor.NumElements() / batch;
+  RELSERVE_ASSIGN_OR_RETURN(Tensor flat,
+                            act->tensor.Reshape(Shape{batch, width}));
+  RELSERVE_ASSIGN_OR_RETURN(act->store,
+                            blockops::ChunkMatrix(flat, ctx));
+  act->tensor = Tensor();
+  act->owned = false;
+  return Status::OK();
+}
+
+// Makes the whole tensor writable for in-place ops.
+Status EnsureOwned(Activation* act, ExecContext* ctx) {
+  if (act->owned) return Status::OK();
+  RELSERVE_ASSIGN_OR_RETURN(act->tensor,
+                            act->tensor.Clone(ctx->tracker));
+  act->owned = true;
+  return Status::OK();
+}
+
+// Relation-centric convolution: streams each image through the
+// im2col ("spatial rewriting") relation and a broadcast join with the
+// kernel relation, appending output feature-map rows into the next
+// activation relation. Working set: one image + one im2col block +
+// one output strip.
+Status RelationalConv(const Node& node, const PreparedModel& prepared,
+                      const Shape& in_shape, const Shape& out_shape,
+                      Activation* act, ExecContext* ctx) {
+  RELSERVE_ASSIGN_OR_RETURN(const Tensor* kernel,
+                            prepared.ResidentWeight(node.weight_name));
+  const int64_t batch = in_shape.dim(0);
+  const int64_t h = in_shape.dim(1);
+  const int64_t w = in_shape.dim(2);
+  const int64_t c = in_shape.dim(3);
+  const int64_t out_c = kernel->shape().dim(0);
+  const int64_t kh = kernel->shape().dim(1);
+  const int64_t kw = kernel->shape().dim(2);
+  const int64_t patch = kh * kw * c;
+  const int64_t out_pixels = out_shape.dim(1) * out_shape.dim(2);
+  RELSERVE_ASSIGN_OR_RETURN(Tensor kernel_mat,
+                            kernel->Reshape(Shape{out_c, patch}));
+
+  // Pixel rows per chunk, sized so both the im2col block and the
+  // output strip stay near one nominal block.
+  const int64_t block_elems = ctx->block_rows * ctx->block_cols;
+  const int64_t rows_per_chunk = std::max<int64_t>(
+      1, block_elems / std::max<int64_t>(patch, out_c));
+
+  RELSERVE_ASSIGN_OR_RETURN(
+      blockops::BlockedRowAppender appender,
+      blockops::BlockedRowAppender::Create(batch, out_pixels * out_c,
+                                           ctx));
+  for (int64_t img = 0; img < batch; ++img) {
+    RELSERVE_ASSIGN_OR_RETURN(Tensor row,
+                              blockops::LoadRow(*act->store, img, ctx));
+    RELSERVE_ASSIGN_OR_RETURN(Tensor image,
+                              row.Reshape(Shape{h, w, c}));
+    for (int64_t p0 = 0; p0 < out_pixels; p0 += rows_per_chunk) {
+      const int64_t p1 = std::min(out_pixels, p0 + rows_per_chunk);
+      RELSERVE_ASSIGN_OR_RETURN(
+          Tensor cols,
+          Tensor::Create(Shape{p1 - p0, patch}, ctx->tracker));
+      RELSERVE_RETURN_NOT_OK(
+          kernels::Im2ColRowsInto(image, kh, kw, node.stride, p0, p1,
+                                  &cols));
+      RELSERVE_ASSIGN_OR_RETURN(
+          Tensor strip,
+          kernels::MatMul(cols, kernel_mat, /*transpose_b=*/true,
+                          ctx->tracker, ctx->pool));
+      RELSERVE_RETURN_NOT_OK(
+          appender.Append(strip.data(), strip.NumElements()));
+    }
+    RELSERVE_RETURN_NOT_OK(appender.EndRow());
+  }
+  RELSERVE_ASSIGN_OR_RETURN(act->store, appender.Finish());
+  act->tensor = Tensor();
+  act->owned = false;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Tensor> ExecOutput::ToTensor(ExecContext* ctx) const {
+  if (!blocked()) return tensor;
+  return blockops::Assemble(*store, ctx);
+}
+
+namespace {
+
+Result<ExecOutput> RunImpl(const PreparedModel& prepared,
+                           Activation act, int64_t batch,
+                           ExecContext* ctx) {
+  const Model& model = prepared.model();
+  const InferencePlan& plan = prepared.plan();
+  // The plan's representation choices are reused across batch sizes
+  // (the paper's AoT idea: plans compiled at load time, picked at run
+  // time); shapes are re-inferred for the actual batch.
+  RELSERVE_ASSIGN_OR_RETURN(std::vector<Shape> shapes,
+                            model.InferShapes(batch));
+
+  for (const Node& node : model.nodes()) {
+    const Repr repr = plan.decisions[node.id].repr;
+    switch (node.kind) {
+      case OpKind::kInput: {
+        if (!act.blocked() && repr == Repr::kRelational) {
+          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
+        }
+        break;
+      }
+      case OpKind::kMatMul: {
+        if (repr == Repr::kUdf) {
+          RELSERVE_RETURN_NOT_OK(
+              EnsureWhole(&act, shapes[node.input], ctx));
+          RELSERVE_ASSIGN_OR_RETURN(
+              const Tensor* weight,
+              prepared.ResidentWeight(node.weight_name));
+          RELSERVE_ASSIGN_OR_RETURN(
+              act.tensor,
+              kernels::MatMul(act.tensor, *weight,
+                              /*transpose_b=*/true, ctx->tracker,
+                              ctx->pool));
+          act.owned = true;
+        } else {
+          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
+          RELSERVE_ASSIGN_OR_RETURN(
+              const BlockStore* weight,
+              prepared.BlockedWeight(node.weight_name));
+          RELSERVE_ASSIGN_OR_RETURN(
+              act.store, blockops::BlockMatMul(*act.store, *weight, ctx));
+        }
+        break;
+      }
+      case OpKind::kBiasAdd: {
+        RELSERVE_ASSIGN_OR_RETURN(
+            const Tensor* bias,
+            prepared.ResidentWeight(node.weight_name));
+        if (repr == Repr::kUdf) {
+          RELSERVE_RETURN_NOT_OK(
+              EnsureWhole(&act, shapes[node.input], ctx));
+          RELSERVE_RETURN_NOT_OK(EnsureOwned(&act, ctx));
+          RELSERVE_RETURN_NOT_OK(
+              kernels::BiasAddInPlace(&act.tensor, *bias));
+        } else {
+          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
+          RELSERVE_ASSIGN_OR_RETURN(
+              act.store, blockops::BlockBiasAdd(*act.store, *bias, ctx));
+        }
+        break;
+      }
+      case OpKind::kRelu: {
+        if (repr == Repr::kUdf) {
+          RELSERVE_RETURN_NOT_OK(
+              EnsureWhole(&act, shapes[node.input], ctx));
+          RELSERVE_RETURN_NOT_OK(EnsureOwned(&act, ctx));
+          kernels::ReluInPlace(&act.tensor);
+        } else {
+          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
+          RELSERVE_ASSIGN_OR_RETURN(act.store,
+                                    blockops::BlockRelu(*act.store, ctx));
+        }
+        break;
+      }
+      case OpKind::kSoftmax: {
+        if (repr == Repr::kUdf) {
+          RELSERVE_RETURN_NOT_OK(
+              EnsureWhole(&act, shapes[node.input], ctx));
+          RELSERVE_RETURN_NOT_OK(EnsureOwned(&act, ctx));
+          RELSERVE_RETURN_NOT_OK(
+              kernels::SoftmaxRowsInPlace(&act.tensor));
+        } else {
+          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
+          RELSERVE_ASSIGN_OR_RETURN(
+              act.store, blockops::BlockSoftmaxRows(*act.store, ctx));
+        }
+        break;
+      }
+      case OpKind::kConv2D: {
+        if (repr == Repr::kUdf) {
+          RELSERVE_RETURN_NOT_OK(
+              EnsureWhole(&act, shapes[node.input], ctx));
+          RELSERVE_ASSIGN_OR_RETURN(
+              const Tensor* kernel,
+              prepared.ResidentWeight(node.weight_name));
+          RELSERVE_ASSIGN_OR_RETURN(
+              act.tensor,
+              kernels::Conv2D(act.tensor, *kernel, node.stride,
+                              ctx->tracker, ctx->pool));
+          act.owned = true;
+        } else {
+          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
+          RELSERVE_RETURN_NOT_OK(
+              RelationalConv(node, prepared, shapes[node.input],
+                             shapes[node.id], &act, ctx));
+        }
+        break;
+      }
+      case OpKind::kMaxPool: {
+        // No block-relation pooling kernel: pooling windows straddle
+        // block boundaries and the op only appears in small CNNs, so
+        // both representations execute it whole-tensor.
+        RELSERVE_RETURN_NOT_OK(
+            EnsureWhole(&act, shapes[node.input], ctx));
+        RELSERVE_ASSIGN_OR_RETURN(
+            act.tensor, kernels::MaxPool2x2(act.tensor, ctx->tracker));
+        act.owned = true;
+        break;
+      }
+      case OpKind::kFlatten: {
+        if (act.blocked()) {
+          // A blocked activation is already a [batch, width] relation.
+          break;
+        }
+        RELSERVE_ASSIGN_OR_RETURN(act.tensor,
+                                  act.tensor.Reshape(shapes[node.id]));
+        break;
+      }
+    }
+  }
+
+  ExecOutput out;
+  if (act.blocked()) {
+    out.store = std::move(act.store);
+  } else {
+    // Final shape as inferred (e.g. [batch, classes]).
+    RELSERVE_ASSIGN_OR_RETURN(
+        out.tensor, act.tensor.Reshape(shapes[model.output_node()]));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ExecOutput> HybridExecutor::Run(const PreparedModel& prepared,
+                                       const Tensor& input,
+                                       ExecContext* ctx) {
+  if (input.shape().ndim() < 1) {
+    return Status::InvalidArgument("input must have a batch dimension");
+  }
+  Activation act;
+  act.tensor = input;
+  act.owned = false;
+  return RunImpl(prepared, std::move(act), input.shape().dim(0), ctx);
+}
+
+Result<ExecOutput> HybridExecutor::RunOnStore(
+    const PreparedModel& prepared,
+    std::unique_ptr<BlockStore> input_store, ExecContext* ctx) {
+  if (input_store == nullptr) {
+    return Status::InvalidArgument("null input store");
+  }
+  const int64_t batch = input_store->geometry().rows;
+  Activation act;
+  act.store = std::move(input_store);
+  return RunImpl(prepared, std::move(act), batch, ctx);
+}
+
+}  // namespace relserve

@@ -1,0 +1,60 @@
+// HybridExecutor: runs a model under a per-node representation plan.
+//
+// This is the paper's "middle ground": any subgraph may execute
+// UDF-centric (whole tensors in the working arena) or
+// relation-centric (block relations through the buffer pool), with
+// automatic transitions between the two. A plan of all-UDF nodes is
+// the pure UDF-centric architecture; all-relational is the pure
+// relation-centric architecture; the adaptive optimizer emits mixes.
+//
+// Every allocation on the UDF path is charged to the context arena, so
+// an operator whose whole-tensor footprint exceeds the arena comes
+// back as Status::OutOfMemory — the Table 3 outcome.
+
+#ifndef RELSERVE_ENGINE_HYBRID_EXECUTOR_H_
+#define RELSERVE_ENGINE_HYBRID_EXECUTOR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "engine/exec_context.h"
+#include "engine/prepared_model.h"
+#include "storage/block_store.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+
+// The result of an inference: whole tensor if the final node ran
+// UDF-centric, block relation if it ran relation-centric (a
+// larger-than-memory output stays blocked, as LandCover's feature map
+// must).
+struct ExecOutput {
+  Tensor tensor;
+  std::unique_ptr<BlockStore> store;
+
+  bool blocked() const { return store != nullptr; }
+
+  // Materializes the output as a whole tensor (assembling a blocked
+  // result through the arena, which may OOM if it truly does not fit).
+  Result<Tensor> ToTensor(ExecContext* ctx) const;
+};
+
+class HybridExecutor {
+ public:
+  // `input` is the batched feature tensor, batch on dim 0, sample
+  // dims matching the model's sample shape.
+  static Result<ExecOutput> Run(const PreparedModel& prepared,
+                                const Tensor& input, ExecContext* ctx);
+
+  // Runs on an input that is already a block relation
+  // ([batch, sample_width]) — used when the batch itself exceeds the
+  // working arena and was streamed into the store straight from a
+  // table scan, never materialized whole.
+  static Result<ExecOutput> RunOnStore(
+      const PreparedModel& prepared,
+      std::unique_ptr<BlockStore> input_store, ExecContext* ctx);
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_ENGINE_HYBRID_EXECUTOR_H_

@@ -1,0 +1,196 @@
+#include "engine/pipeline_executor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "resource/bounded_queue.h"
+
+namespace relserve {
+
+namespace {
+
+struct Chunk {
+  int64_t row_offset = 0;
+  Tensor data;  // [rows, sample dims of the producing node]
+};
+
+using ChunkQueue = BoundedQueue<Chunk>;
+
+// First error wins; later errors are dropped.
+class ErrorSlot {
+ public:
+  void Set(Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_.ok()) first_ = std::move(status);
+  }
+  Status Get() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_;
+  }
+
+ private:
+  std::mutex mu_;
+  Status first_;
+};
+
+// Applies one operator to a micro-batch (whole-tensor, in place where
+// the op allows). `rows` is the chunk's batch dimension.
+Result<Tensor> ApplyNode(const Model& model,
+                         const PreparedModel& prepared, const Node& node,
+                         Tensor chunk, int64_t rows,
+                         MemoryTracker* tracker) {
+  // Per-chunk shapes: cheap (O(nodes)) and exact for ragged tails.
+  RELSERVE_ASSIGN_OR_RETURN(std::vector<Shape> shapes,
+                            model.InferShapes(rows));
+  RELSERVE_ASSIGN_OR_RETURN(Tensor in,
+                            chunk.Reshape(shapes[node.input]));
+  switch (node.kind) {
+    case OpKind::kInput:
+      return Status::Internal("input node has no stage");
+    case OpKind::kMatMul: {
+      RELSERVE_ASSIGN_OR_RETURN(const Tensor* w,
+                                prepared.ResidentWeight(node.weight_name));
+      return kernels::MatMul(in, *w, /*transpose_b=*/true, tracker,
+                             /*pool=*/nullptr);
+    }
+    case OpKind::kBiasAdd: {
+      RELSERVE_ASSIGN_OR_RETURN(const Tensor* bias,
+                                prepared.ResidentWeight(node.weight_name));
+      RELSERVE_RETURN_NOT_OK(kernels::BiasAddInPlace(&in, *bias));
+      return in;
+    }
+    case OpKind::kRelu:
+      kernels::ReluInPlace(&in);
+      return in;
+    case OpKind::kSoftmax:
+      RELSERVE_RETURN_NOT_OK(kernels::SoftmaxRowsInPlace(&in));
+      return in;
+    case OpKind::kConv2D: {
+      RELSERVE_ASSIGN_OR_RETURN(const Tensor* kernel,
+                                prepared.ResidentWeight(node.weight_name));
+      return kernels::Conv2D(in, *kernel, node.stride, tracker,
+                             /*pool=*/nullptr);
+    }
+    case OpKind::kMaxPool:
+      return kernels::MaxPool2x2(in, tracker);
+    case OpKind::kFlatten:
+      return in.Reshape(shapes[node.id]);
+  }
+  return Status::Internal("unhandled op kind");
+}
+
+}  // namespace
+
+Result<Tensor> PipelineExecutor::Run(const PreparedModel& prepared,
+                                     const Tensor& input,
+                                     ExecContext* ctx,
+                                     PipelineConfig config) {
+  const Model& model = prepared.model();
+  if (input.shape().ndim() < 1) {
+    return Status::InvalidArgument("input must have a batch dimension");
+  }
+  if (config.micro_batch_rows <= 0 || config.queue_capacity <= 0) {
+    return Status::InvalidArgument("bad pipeline configuration");
+  }
+  for (const NodeDecision& d : prepared.plan().decisions) {
+    if (d.repr != Repr::kUdf) {
+      return Status::InvalidArgument(
+          "pipeline stages execute whole micro-batches; prepare the "
+          "model with the UDF representation");
+    }
+  }
+  const int64_t batch = input.shape().dim(0);
+  const int64_t sample_width = input.NumElements() / batch;
+  const int num_stages = static_cast<int>(model.nodes().size()) - 1;
+  if (num_stages < 1) {
+    return Status::InvalidArgument("model has no operators");
+  }
+  RELSERVE_ASSIGN_OR_RETURN(std::vector<Shape> out_shapes,
+                            model.InferShapes(batch));
+  RELSERVE_ASSIGN_OR_RETURN(
+      Tensor output,
+      Tensor::Create(out_shapes[model.output_node()], ctx->tracker));
+  const int64_t out_width = output.NumElements() / batch;
+
+  // One queue feeding each stage plus one carrying the final output.
+  std::vector<std::unique_ptr<ChunkQueue>> queues;
+  queues.reserve(num_stages + 1);
+  for (int i = 0; i <= num_stages; ++i) {
+    queues.push_back(std::make_unique<ChunkQueue>(
+        static_cast<size_t>(config.queue_capacity)));
+  }
+  ErrorSlot error;
+  auto abort_all = [&queues]() {
+    for (auto& q : queues) q->Close();
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_stages + 1);
+
+  // Producer: slices the input into micro-batches.
+  workers.emplace_back([&, batch, sample_width]() {
+    for (int64_t row = 0; row < batch;
+         row += config.micro_batch_rows) {
+      const int64_t rows =
+          std::min(config.micro_batch_rows, batch - row);
+      auto chunk = Tensor::Create(Shape{rows, sample_width},
+                                  ctx->tracker);
+      if (!chunk.ok()) {
+        error.Set(chunk.status());
+        abort_all();
+        return;
+      }
+      std::memcpy(chunk->data(),
+                  input.data() + row * sample_width,
+                  rows * sample_width * sizeof(float));
+      if (!queues[0]->Push(Chunk{row, std::move(*chunk)})) return;
+    }
+    queues[0]->Close();
+  });
+
+  // One worker per operator stage.
+  for (int stage = 0; stage < num_stages; ++stage) {
+    workers.emplace_back([&, stage]() {
+      const Node& node = model.node(stage + 1);
+      while (true) {
+        std::optional<Chunk> chunk = queues[stage]->Pop();
+        if (!chunk.has_value()) break;  // upstream done or aborted
+        const int64_t rows = chunk->data.shape().dim(0);
+        Result<Tensor> out =
+            ApplyNode(model, prepared, node, std::move(chunk->data),
+                      rows, ctx->tracker);
+        if (!out.ok()) {
+          error.Set(out.status());
+          abort_all();
+          return;
+        }
+        if (!queues[stage + 1]->Push(
+                Chunk{chunk->row_offset, std::move(*out)})) {
+          return;
+        }
+      }
+      queues[stage + 1]->Close();
+    });
+  }
+
+  // Collector (this thread): scatter finished chunks into the output.
+  while (true) {
+    std::optional<Chunk> chunk = queues[num_stages]->Pop();
+    if (!chunk.has_value()) break;
+    const int64_t rows = chunk->data.NumElements() / out_width;
+    std::memcpy(output.data() + chunk->row_offset * out_width,
+                chunk->data.data(),
+                rows * out_width * sizeof(float));
+  }
+  for (std::thread& w : workers) w.join();
+
+  RELSERVE_RETURN_NOT_OK(error.Get());
+  return output;
+}
+
+}  // namespace relserve

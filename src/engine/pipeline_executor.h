@@ -1,0 +1,46 @@
+// PipelineExecutor: the paper's Sec. 5(2) — DL-style pipelining inside
+// the RDBMS. The model UDF is broken into fine-grained operator UDFs,
+// one pipeline stage per operator, connected by bounded queues of
+// micro-batches and executed by concurrent stage workers in streaming
+// fashion.
+//
+// This is the *other* parallelism regime the paper contrasts with the
+// RDBMS's data parallelism: peak memory is bounded by
+//   stages x queue_capacity x micro-batch activation size
+// instead of whole-batch activations, and no global shuffle is needed
+// between operators. (With one worker per stage it also overlaps
+// operator compute across micro-batches on multicore hosts.)
+
+#ifndef RELSERVE_ENGINE_PIPELINE_EXECUTOR_H_
+#define RELSERVE_ENGINE_PIPELINE_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "engine/exec_context.h"
+#include "engine/prepared_model.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+
+struct PipelineConfig {
+  // Rows per in-flight micro-batch.
+  int64_t micro_batch_rows = 64;
+  // Bounded queue depth between adjacent stages (backpressure).
+  int64_t queue_capacity = 2;
+};
+
+class PipelineExecutor {
+ public:
+  // Runs the model as a stage-per-operator stream pipeline over
+  // `input` ([batch, sample...]). Every node must have been prepared
+  // with the UDF representation (stages execute whole micro-batch
+  // tensors). Returns the assembled [batch, out...] prediction.
+  static Result<Tensor> Run(const PreparedModel& prepared,
+                            const Tensor& input, ExecContext* ctx,
+                            PipelineConfig config = PipelineConfig());
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_ENGINE_PIPELINE_EXECUTOR_H_

@@ -1,0 +1,59 @@
+// PreparedModel: a model bound to an execution plan and an
+// ExecContext — the artifact produced when a model is "loaded into the
+// RDBMS".
+//
+// Weights used by UDF-centric nodes are made resident in the working
+// arena (whole tensors); weights of relation-centric matmul nodes are
+// chunked into buffer-pool-backed block stores and the whole-tensor
+// copy is not charged. If even making the resident weights fit fails,
+// Prepare reports OutOfMemory — mirroring the paper's observation that
+// "simply the weight matrix exceeds the threshold" for Amazon-14k.
+
+#ifndef RELSERVE_ENGINE_PREPARED_MODEL_H_
+#define RELSERVE_ENGINE_PREPARED_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "engine/exec_context.h"
+#include "graph/model.h"
+#include "optimizer/plan.h"
+#include "storage/block_store.h"
+
+namespace relserve {
+
+class PreparedModel {
+ public:
+  static Result<PreparedModel> Prepare(const Model* model,
+                                       InferencePlan plan,
+                                       ExecContext* ctx);
+
+  PreparedModel(PreparedModel&&) = default;
+  PreparedModel& operator=(PreparedModel&&) = default;
+
+  const Model& model() const { return *model_; }
+  const InferencePlan& plan() const { return plan_; }
+
+  // Whole-tensor weight for a UDF-centric node (resident in the
+  // working arena). For Conv2D the kernel is stored in its original
+  // rank-4 layout.
+  Result<const Tensor*> ResidentWeight(const std::string& name) const;
+
+  // Block store of a relation-centric matmul weight ([out, in]
+  // layout).
+  Result<const BlockStore*> BlockedWeight(const std::string& name) const;
+
+ private:
+  PreparedModel() = default;
+
+  const Model* model_ = nullptr;
+  InferencePlan plan_;
+  std::map<std::string, Tensor> resident_;
+  std::map<std::string, std::unique_ptr<BlockStore>> blocked_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_ENGINE_PREPARED_MODEL_H_

@@ -1,0 +1,221 @@
+#include "engine/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "kernels/kernels.h"
+
+namespace relserve {
+
+namespace {
+
+struct Layer {
+  std::string w_name;
+  std::string b_name;
+  bool relu = false;  // hidden layers; the last layer is softmax
+};
+
+// Parses the FFNN chain or fails.
+Result<std::vector<Layer>> ExtractLayers(const Model& model) {
+  const auto& nodes = model.nodes();
+  if (nodes.empty() || nodes[0].kind != OpKind::kInput) {
+    return Status::InvalidArgument("model does not start with Input");
+  }
+  std::vector<Layer> layers;
+  size_t i = 1;
+  while (i < nodes.size()) {
+    if (i + 2 >= nodes.size() + 1 || nodes[i].kind != OpKind::kMatMul ||
+        i + 1 >= nodes.size() ||
+        nodes[i + 1].kind != OpKind::kBiasAdd ||
+        i + 2 >= nodes.size()) {
+      return Status::InvalidArgument(
+          "not a trainable FFNN chain (MatMul/BiasAdd/activation)");
+    }
+    Layer layer;
+    layer.w_name = nodes[i].weight_name;
+    layer.b_name = nodes[i + 1].weight_name;
+    const OpKind act = nodes[i + 2].kind;
+    if (act == OpKind::kRelu) {
+      layer.relu = true;
+    } else if (act == OpKind::kSoftmax) {
+      layer.relu = false;
+      if (i + 3 != nodes.size()) {
+        return Status::InvalidArgument(
+            "softmax must be the final operator");
+      }
+    } else {
+      return Status::InvalidArgument("unsupported activation in chain");
+    }
+    layers.push_back(std::move(layer));
+    i += 3;
+  }
+  if (layers.empty() || layers.back().relu) {
+    return Status::InvalidArgument("chain must end in softmax");
+  }
+  return layers;
+}
+
+}  // namespace
+
+bool SgdTrainer::IsTrainable(const Model& model) {
+  return ExtractLayers(model).ok();
+}
+
+Result<double> SgdTrainer::TrainStep(Model* model, const Tensor& x,
+                                     const std::vector<int64_t>& labels,
+                                     float learning_rate,
+                                     ExecContext* ctx) {
+  RELSERVE_ASSIGN_OR_RETURN(std::vector<Layer> layers,
+                            ExtractLayers(*model));
+  const int64_t batch = x.shape().dim(0);
+  if (static_cast<int64_t>(labels.size()) != batch) {
+    return Status::InvalidArgument("labels/batch mismatch");
+  }
+  const size_t num_layers = layers.size();
+
+  // Forward, retaining pre-activation inputs per layer.
+  // inputs[l] = activation feeding layer l; z[l] = its pre-activation
+  // output (post-bias, pre-relu).
+  std::vector<Tensor> inputs(num_layers);
+  std::vector<Tensor> z(num_layers);
+  Tensor a = x;
+  for (size_t l = 0; l < num_layers; ++l) {
+    inputs[l] = a;
+    RELSERVE_ASSIGN_OR_RETURN(const Tensor* w,
+                              model->GetWeight(layers[l].w_name));
+    RELSERVE_ASSIGN_OR_RETURN(const Tensor* b,
+                              model->GetWeight(layers[l].b_name));
+    RELSERVE_ASSIGN_OR_RETURN(
+        Tensor out, kernels::MatMul(a, *w, /*transpose_b=*/true,
+                                    ctx->tracker, ctx->pool));
+    RELSERVE_RETURN_NOT_OK(kernels::BiasAddInPlace(&out, *b));
+    z[l] = out;
+    if (layers[l].relu) {
+      RELSERVE_ASSIGN_OR_RETURN(a, out.Clone(ctx->tracker));
+      kernels::ReluInPlace(&a);
+    } else {
+      a = out;
+    }
+  }
+
+  // Softmax probabilities + mean cross-entropy.
+  RELSERVE_ASSIGN_OR_RETURN(Tensor probs,
+                            z.back().Clone(ctx->tracker));
+  RELSERVE_RETURN_NOT_OK(kernels::SoftmaxRowsInPlace(&probs));
+  const int64_t classes = probs.shape().dim(1);
+  double loss = 0.0;
+  for (int64_t i = 0; i < batch; ++i) {
+    if (labels[i] < 0 || labels[i] >= classes) {
+      return Status::InvalidArgument("label out of range");
+    }
+    loss -= std::log(
+        std::max(probs.At(i, labels[i]), 1e-12f));
+  }
+  loss /= static_cast<double>(batch);
+
+  // Backward: dz for the softmax + cross-entropy head.
+  RELSERVE_ASSIGN_OR_RETURN(Tensor dz, probs.Clone(ctx->tracker));
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int64_t i = 0; i < batch; ++i) {
+    dz.At(i, labels[i]) -= 1.0f;
+  }
+  for (int64_t i = 0; i < dz.NumElements(); ++i) {
+    dz.data()[i] *= inv_batch;
+  }
+
+  for (size_t l = num_layers; l-- > 0;) {
+    RELSERVE_ASSIGN_OR_RETURN(Tensor * w,
+                              model->GetMutableWeight(layers[l].w_name));
+    RELSERVE_ASSIGN_OR_RETURN(Tensor * b,
+                              model->GetMutableWeight(layers[l].b_name));
+    // dW[out, in] = dz^T * input; db = colsum(dz).
+    RELSERVE_ASSIGN_OR_RETURN(Tensor dw,
+                              Tensor::Create(w->shape(), ctx->tracker));
+    RELSERVE_RETURN_NOT_OK(
+        kernels::GemmTransAInto(dz, inputs[l], /*accumulate=*/false,
+                                &dw));
+    RELSERVE_ASSIGN_OR_RETURN(Tensor db,
+                              Tensor::Create(b->shape(), ctx->tracker));
+    RELSERVE_RETURN_NOT_OK(kernels::ColumnSumInto(dz, &db));
+
+    if (l > 0) {
+      // da_prev = dz * W; then through the previous relu's mask.
+      RELSERVE_ASSIGN_OR_RETURN(
+          Tensor da, kernels::MatMul(dz, *w, /*transpose_b=*/false,
+                                     ctx->tracker, ctx->pool));
+      const Tensor& prev_z = z[l - 1];
+      for (int64_t i = 0; i < da.NumElements(); ++i) {
+        if (prev_z.data()[i] <= 0.0f) da.data()[i] = 0.0f;
+      }
+      dz = std::move(da);
+    }
+
+    // SGD update, in place.
+    for (int64_t i = 0; i < w->NumElements(); ++i) {
+      w->data()[i] -= learning_rate * dw.data()[i];
+    }
+    for (int64_t i = 0; i < b->NumElements(); ++i) {
+      b->data()[i] -= learning_rate * db.data()[i];
+    }
+  }
+  return loss;
+}
+
+Result<double> SgdTrainer::Fit(Model* model, const Tensor& x,
+                               const std::vector<int64_t>& labels,
+                               float learning_rate, int epochs,
+                               int64_t batch_size, ExecContext* ctx) {
+  const int64_t n = x.shape().dim(0);
+  const int64_t width = x.shape().dim(1);
+  double epoch_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    epoch_loss = 0.0;
+    int64_t steps = 0;
+    for (int64_t row = 0; row < n; row += batch_size) {
+      const int64_t rows = std::min(batch_size, n - row);
+      RELSERVE_ASSIGN_OR_RETURN(
+          Tensor chunk, Tensor::Create(Shape{rows, width},
+                                       ctx->tracker));
+      std::memcpy(chunk.data(), x.data() + row * width,
+                  rows * width * sizeof(float));
+      std::vector<int64_t> chunk_labels(labels.begin() + row,
+                                        labels.begin() + row + rows);
+      RELSERVE_ASSIGN_OR_RETURN(
+          double loss, TrainStep(model, chunk, chunk_labels,
+                                 learning_rate, ctx));
+      epoch_loss += loss;
+      ++steps;
+    }
+    epoch_loss /= std::max<int64_t>(1, steps);
+  }
+  return epoch_loss;
+}
+
+Result<double> SgdTrainer::Evaluate(const Model& model, const Tensor& x,
+                                    const std::vector<int64_t>& labels,
+                                    ExecContext* ctx) {
+  RELSERVE_ASSIGN_OR_RETURN(std::vector<Layer> layers,
+                            ExtractLayers(model));
+  Tensor a = x;
+  for (const Layer& layer : layers) {
+    RELSERVE_ASSIGN_OR_RETURN(const Tensor* w,
+                              model.GetWeight(layer.w_name));
+    RELSERVE_ASSIGN_OR_RETURN(const Tensor* b,
+                              model.GetWeight(layer.b_name));
+    RELSERVE_ASSIGN_OR_RETURN(
+        Tensor out, kernels::MatMul(a, *w, /*transpose_b=*/true,
+                                    ctx->tracker, ctx->pool));
+    RELSERVE_RETURN_NOT_OK(kernels::BiasAddInPlace(&out, *b));
+    if (layer.relu) kernels::ReluInPlace(&out);
+    a = std::move(out);
+  }
+  const std::vector<int64_t> pred = kernels::ArgMaxRows(a);
+  int64_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    correct += pred[i] == labels[i];
+  }
+  return static_cast<double>(correct) / pred.size();
+}
+
+}  // namespace relserve

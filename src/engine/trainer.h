@@ -1,0 +1,52 @@
+// SgdTrainer: the paper's Sec. 6.1 extension — training inside the
+// RDBMS under the UDF-centric architecture.
+//
+// For an FFNN chain (Input, then repeated MatMul/BiasAdd/Relu, ending
+// MatMul/BiasAdd/Softmax) the trainer runs a forward pass that retains
+// activations, computes softmax + cross-entropy gradients, and
+// backpropagates with the same GEMM kernels the inference UDFs use —
+// the backward operators are "a set of separated fine-grained UDFs
+// corresponding to each of the forward UDFs", exactly the structure
+// the paper sketches. Weight updates are plain SGD, in place.
+
+#ifndef RELSERVE_ENGINE_TRAINER_H_
+#define RELSERVE_ENGINE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/exec_context.h"
+#include "graph/model.h"
+
+namespace relserve {
+
+class SgdTrainer {
+ public:
+  // True iff the model is a trainable FFNN chain as described above.
+  static bool IsTrainable(const Model& model);
+
+  // One SGD step on (x [batch, features], labels [batch]); mutates the
+  // model's weights in place. Returns the mean cross-entropy loss
+  // *before* the update. Allocation is charged to ctx->tracker.
+  static Result<double> TrainStep(Model* model, const Tensor& x,
+                                  const std::vector<int64_t>& labels,
+                                  float learning_rate,
+                                  ExecContext* ctx);
+
+  // Runs `epochs` full passes in `batch_size` chunks; returns the mean
+  // loss of the final epoch.
+  static Result<double> Fit(Model* model, const Tensor& x,
+                            const std::vector<int64_t>& labels,
+                            float learning_rate, int epochs,
+                            int64_t batch_size, ExecContext* ctx);
+
+  // Classification accuracy of the model on (x, labels) in [0, 1].
+  static Result<double> Evaluate(const Model& model, const Tensor& x,
+                                 const std::vector<int64_t>& labels,
+                                 ExecContext* ctx);
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_ENGINE_TRAINER_H_

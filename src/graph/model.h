@@ -1,0 +1,124 @@
+// Model graph IR (paper Sec. 2): a model UDF lowered to a DAG of
+// linear-algebra operators. Each node is one tensor operator; the
+// adaptive optimizer walks this graph, estimates per-operator memory,
+// and picks a representation (UDF-centric or relation-centric) per
+// node — or the whole model is shipped to the external runtime
+// (DL-centric).
+
+#ifndef RELSERVE_GRAPH_MODEL_H_
+#define RELSERVE_GRAPH_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+
+enum class OpKind {
+  kInput,    // the batched feature tensor
+  kMatMul,   // x * W^T with weight W of shape [out, in]
+  kBiasAdd,  // x + bias (rank-1 weight)
+  kRelu,
+  kSoftmax,  // row-wise over a matrix
+  kConv2D,   // valid conv, weight [out_c, kh, kw, in_c]
+  kMaxPool,  // 2x2 stride 2
+  kFlatten,  // [n, ...] -> [n, prod(...)]
+};
+
+const char* OpKindName(OpKind kind);
+
+struct Node {
+  int id = -1;
+  OpKind kind = OpKind::kInput;
+  int input = -1;                // producing node (single-input chain ops)
+  std::string weight_name;       // for kMatMul / kBiasAdd / kConv2D
+  int64_t stride = 1;            // for kConv2D
+  std::string name;              // display name
+};
+
+// A container of nodes in topological order plus named weights.
+class Model {
+ public:
+  Model() = default;
+  Model(std::string name, Shape sample_shape)
+      : name_(std::move(name)), sample_shape_(std::move(sample_shape)) {}
+
+  const std::string& name() const { return name_; }
+  // Shape of one sample (without the batch dimension).
+  const Shape& sample_shape() const { return sample_shape_; }
+
+  // Appends a node; returns its id. `input` defaults to the previous
+  // node (chain models). The first added node must be kInput.
+  int AddNode(OpKind kind, std::string weight_name = "",
+              int64_t stride = 1, int input = -2);
+
+  Status AddWeight(const std::string& name, Tensor weight);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(int id) const { return nodes_[id]; }
+  int output_node() const {
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  Result<const Tensor*> GetWeight(const std::string& name) const;
+
+  // Mutable access for in-place weight updates (training, Sec. 6.1).
+  Result<Tensor*> GetMutableWeight(const std::string& name);
+  const std::map<std::string, Tensor>& weights() const {
+    return weights_;
+  }
+
+  int64_t TotalWeightBytes() const;
+
+  // Per-node output shapes for a given batch size (batch is dim 0).
+  Result<std::vector<Shape>> InferShapes(int64_t batch_size) const;
+
+  // Total floating-point operations for one batch.
+  Result<double> EstimateFlops(int64_t batch_size) const;
+
+  // Floating-point operations of a single node at `batch_size`.
+  Result<double> EstimateNodeFlops(int node_id,
+                                   int64_t batch_size) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  Shape sample_shape_;
+  std::vector<Node> nodes_;
+  std::map<std::string, Tensor> weights_;
+};
+
+// --- Builders for the paper's model families ------------------------
+
+// Fully connected network: dims = {in, hidden..., out}. Hidden layers
+// get Relu; the output layer gets Softmax. Weights are random normal
+// scaled by 1/sqrt(fan_in) (Xavier-ish) from `seed`.
+Result<Model> BuildFFNN(const std::string& name,
+                        const std::vector<int64_t>& dims, uint64_t seed,
+                        MemoryTracker* tracker = nullptr);
+
+struct ConvLayerSpec {
+  int64_t out_channels = 1;
+  int64_t kernel_h = 1;
+  int64_t kernel_w = 1;
+  int64_t stride = 1;
+  bool relu = true;
+  bool maxpool = false;  // 2x2 pool after activation
+};
+
+// Convolutional network over [h, w, c] samples: conv stack, flatten,
+// then fully connected dims (empty fc_dims makes the conv output the
+// model output).
+Result<Model> BuildCNN(const std::string& name, Shape sample_shape,
+                       const std::vector<ConvLayerSpec>& conv_layers,
+                       const std::vector<int64_t>& fc_dims,
+                       uint64_t seed, MemoryTracker* tracker = nullptr);
+
+}  // namespace relserve
+
+#endif  // RELSERVE_GRAPH_MODEL_H_

@@ -1,0 +1,152 @@
+#include "graph/model_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace relserve {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'S', 'L', 'V'};
+constexpr uint32_t kVersion = 1;
+
+class FileWriter {
+ public:
+  explicit FileWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "wb")) {}
+  ~FileWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  template <typename T>
+  void Write(T v) {
+    if (ok() && std::fwrite(&v, sizeof(T), 1, file_) != 1) failed_ = true;
+  }
+  void WriteBytes(const void* data, size_t n) {
+    if (ok() && n > 0 && std::fwrite(data, 1, n, file_) != n) {
+      failed_ = true;
+    }
+  }
+  void WriteString(const std::string& s) {
+    Write<uint32_t>(static_cast<uint32_t>(s.size()));
+    WriteBytes(s.data(), s.size());
+  }
+
+ private:
+  std::FILE* file_;
+  bool failed_ = false;
+};
+
+class FileReader {
+ public:
+  explicit FileReader(const std::string& path)
+      : file_(std::fopen(path.c_str(), "rb")) {}
+  ~FileReader() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  template <typename T>
+  T Read() {
+    T v{};
+    if (ok() && std::fread(&v, sizeof(T), 1, file_) != 1) failed_ = true;
+    return v;
+  }
+  void ReadBytes(void* data, size_t n) {
+    if (ok() && n > 0 && std::fread(data, 1, n, file_) != n) {
+      failed_ = true;
+    }
+  }
+  std::string ReadString() {
+    const uint32_t len = Read<uint32_t>();
+    if (!ok() || len > (1u << 20)) {
+      failed_ = true;
+      return "";
+    }
+    std::string s(len, '\0');
+    ReadBytes(s.data(), len);
+    return s;
+  }
+
+ private:
+  std::FILE* file_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+Status SaveModel(const Model& model, const std::string& path) {
+  FileWriter out(path);
+  if (!out.ok()) return Status::IOError("cannot open " + path);
+  out.WriteBytes(kMagic, sizeof(kMagic));
+  out.Write<uint32_t>(kVersion);
+  out.WriteString(model.name());
+  out.Write<uint32_t>(static_cast<uint32_t>(model.sample_shape().ndim()));
+  for (int64_t d : model.sample_shape().dims()) out.Write<int64_t>(d);
+  out.Write<uint32_t>(static_cast<uint32_t>(model.nodes().size()));
+  for (const Node& node : model.nodes()) {
+    out.Write<uint8_t>(static_cast<uint8_t>(node.kind));
+    out.Write<int32_t>(node.input);
+    out.Write<int64_t>(node.stride);
+    out.WriteString(node.weight_name);
+  }
+  out.Write<uint32_t>(static_cast<uint32_t>(model.weights().size()));
+  for (const auto& [name, weight] : model.weights()) {
+    out.WriteString(name);
+    out.Write<uint32_t>(static_cast<uint32_t>(weight.shape().ndim()));
+    for (int64_t d : weight.shape().dims()) out.Write<int64_t>(d);
+    out.WriteBytes(weight.data(), weight.ByteSize());
+  }
+  if (!out.ok()) return Status::IOError("write failure for " + path);
+  return Status::OK();
+}
+
+Result<Model> LoadModel(const std::string& path, MemoryTracker* tracker) {
+  FileReader in(path);
+  if (!in.ok()) return Status::IOError("cannot open " + path);
+  char magic[4];
+  in.ReadBytes(magic, sizeof(magic));
+  if (!in.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError(path + " is not a relserve model");
+  }
+  const uint32_t version = in.Read<uint32_t>();
+  if (version != kVersion) {
+    return Status::IOError("unsupported model version " +
+                           std::to_string(version));
+  }
+  const std::string name = in.ReadString();
+  const uint32_t sample_ndim = in.Read<uint32_t>();
+  std::vector<int64_t> sample_dims(sample_ndim);
+  for (uint32_t i = 0; i < sample_ndim; ++i) {
+    sample_dims[i] = in.Read<int64_t>();
+  }
+  Model model(name, Shape(std::move(sample_dims)));
+
+  const uint32_t num_nodes = in.Read<uint32_t>();
+  for (uint32_t i = 0; i < num_nodes && in.ok(); ++i) {
+    const OpKind kind = static_cast<OpKind>(in.Read<uint8_t>());
+    const int32_t input = in.Read<int32_t>();
+    const int64_t stride = in.Read<int64_t>();
+    const std::string weight_name = in.ReadString();
+    model.AddNode(kind, weight_name, stride, input);
+  }
+
+  const uint32_t num_weights = in.Read<uint32_t>();
+  for (uint32_t i = 0; i < num_weights && in.ok(); ++i) {
+    const std::string w_name = in.ReadString();
+    const uint32_t ndim = in.Read<uint32_t>();
+    std::vector<int64_t> dims(ndim);
+    for (uint32_t d = 0; d < ndim; ++d) dims[d] = in.Read<int64_t>();
+    RELSERVE_ASSIGN_OR_RETURN(
+        Tensor weight, Tensor::Create(Shape(std::move(dims)), tracker));
+    in.ReadBytes(weight.data(), weight.ByteSize());
+    RELSERVE_RETURN_NOT_OK(model.AddWeight(w_name, std::move(weight)));
+  }
+  if (!in.ok()) return Status::IOError("truncated model file " + path);
+  return model;
+}
+
+}  // namespace relserve

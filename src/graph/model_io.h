@@ -1,0 +1,28 @@
+// Binary model (de)serialization — the "load a model into the RDBMS"
+// step of the paper's workflow. Format (little-endian):
+//   magic "RSLV", u32 version
+//   u32 name_len, name bytes
+//   u32 sample_ndim, i64 dims...
+//   u32 num_nodes, per node: u8 kind, i32 input, i64 stride,
+//                            u32 weight_name_len, bytes
+//   u32 num_weights, per weight: u32 name_len, bytes,
+//                                u32 ndim, i64 dims..., f32 values...
+
+#ifndef RELSERVE_GRAPH_MODEL_IO_H_
+#define RELSERVE_GRAPH_MODEL_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/model.h"
+
+namespace relserve {
+
+Status SaveModel(const Model& model, const std::string& path);
+
+Result<Model> LoadModel(const std::string& path,
+                        MemoryTracker* tracker = nullptr);
+
+}  // namespace relserve
+
+#endif  // RELSERVE_GRAPH_MODEL_IO_H_

@@ -1,0 +1,81 @@
+#include "graph/model_zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relserve {
+namespace zoo {
+
+namespace {
+
+int64_t Scaled(int64_t value, double scale, int64_t min_value = 1) {
+  return std::max<int64_t>(
+      min_value, static_cast<int64_t>(std::llround(value * scale)));
+}
+
+}  // namespace
+
+std::vector<FcSpec> Table1FcSpecs(double scale) {
+  return {
+      {"Fraud-FC-256", {28, 256, 2}},
+      {"Fraud-FC-512", {28, 512, 2}},
+      {"Encoder-FC", {76, 3072, 768}},
+      {"Amazon-14k-FC",
+       {Scaled(597540, scale), 1024, Scaled(14588, scale)}},
+  };
+}
+
+std::vector<ConvSpec> Table2ConvSpecs(double scale) {
+  // LandCover scales by sqrt in each image dimension so pixel count
+  // (and thus the im2col matrix height) scales linearly with `scale`.
+  const double side = std::sqrt(scale);
+  return {
+      {"DeepBench-CONV1", 112, 112, 64, 64, 1, 1},
+      {"LandCover", Scaled(2500, side), Scaled(2500, side), 3,
+       Scaled(2048, scale), 1, 1},
+  };
+}
+
+Result<Model> BuildFromSpec(const FcSpec& spec, uint64_t seed,
+                            MemoryTracker* tracker) {
+  return BuildFFNN(spec.name, spec.dims, seed, tracker);
+}
+
+Result<Model> BuildFromSpec(const ConvSpec& spec, uint64_t seed,
+                            MemoryTracker* tracker) {
+  ConvLayerSpec layer;
+  layer.out_channels = spec.out_channels;
+  layer.kernel_h = spec.kernel_h;
+  layer.kernel_w = spec.kernel_w;
+  layer.stride = 1;
+  layer.relu = true;
+  layer.maxpool = false;
+  return BuildCNN(spec.name,
+                  Shape{spec.image_h, spec.image_w, spec.image_c},
+                  {layer}, /*fc_dims=*/{}, seed, tracker);
+}
+
+Result<Model> BuildCachingCnn(uint64_t seed, MemoryTracker* tracker) {
+  // Paper Sec. 7.2.2: conv 32x3x3, conv 16x3x3, fc 64, fc 10 on MNIST.
+  ConvLayerSpec conv1{/*out_channels=*/32, 3, 3, /*stride=*/1,
+                      /*relu=*/true, /*maxpool=*/true};
+  ConvLayerSpec conv2{/*out_channels=*/16, 3, 3, /*stride=*/1,
+                      /*relu=*/true, /*maxpool=*/true};
+  return BuildCNN("Caching-CNN", Shape{28, 28, 1}, {conv1, conv2},
+                  {64, 10}, seed, tracker);
+}
+
+Result<Model> BuildCachingFfnn(uint64_t seed, MemoryTracker* tracker) {
+  // Paper Sec. 7.2.2: four FC layers 128/1024/2048/64 then 10 classes.
+  return BuildFFNN("Caching-FFNN", {784, 128, 1024, 2048, 64, 10}, seed,
+                   tracker);
+}
+
+Result<Model> BuildBoschFfnn(int64_t total_features, uint64_t seed,
+                             MemoryTracker* tracker) {
+  return BuildFFNN("Bosch-FFNN", {total_features, 256, 2}, seed,
+                   tracker);
+}
+
+}  // namespace zoo
+}  // namespace relserve

@@ -1,0 +1,96 @@
+// Dense linear-algebra kernels shared by every execution architecture.
+//
+// The UDF-centric executor calls these on whole tensors; the
+// relation-centric executor calls them on individual tensor blocks; the
+// simulated external DL runtime calls them inside its own arena. Using
+// one kernel set everywhere means latency differences between
+// architectures come only from data movement, blocking overheads, and
+// memory management — the effects the paper's evaluation isolates.
+//
+// "Into" variants write into a caller-allocated output; allocating
+// variants charge a MemoryTracker and can therefore fail with
+// OutOfMemory.
+
+#ifndef RELSERVE_KERNELS_KERNELS_H_
+#define RELSERVE_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "resource/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+namespace kernels {
+
+// out[m,n] = a[m,k] * b[k,n]   (transpose_b=false, b is [k,n])
+// out[m,n] = a[m,k] * b[n,k]^T (transpose_b=true,  b is [n,k])
+// If `accumulate` is true, adds into `out` instead of overwriting.
+// `pool` may be null (serial execution).
+Status GemmInto(const Tensor& a, const Tensor& b, bool transpose_b,
+                bool accumulate, Tensor* out, ThreadPool* pool = nullptr);
+
+// Allocating matmul; `out = a * b(^T)`.
+Result<Tensor> MatMul(const Tensor& a, const Tensor& b, bool transpose_b,
+                      MemoryTracker* tracker = nullptr,
+                      ThreadPool* pool = nullptr);
+
+// out[m, k] = a[n, m]^T * b[n, k] — the weight-gradient contraction of
+// backpropagation (dW = dZ^T * A). If `accumulate`, adds into `out`.
+Status GemmTransAInto(const Tensor& a, const Tensor& b, bool accumulate,
+                      Tensor* out);
+
+// Column sums of a matrix into a rank-1 tensor (bias gradients).
+Status ColumnSumInto(const Tensor& x, Tensor* out);
+
+// Elementwise max(x, 0) in place.
+void ReluInPlace(Tensor* x);
+
+// x[r, c] += bias[c] for every row r. `bias` must be rank-1 with
+// bias.dim(0) == x.dim(last).
+Status BiasAddInPlace(Tensor* x, const Tensor& bias);
+
+// Row-wise numerically-stable softmax over the last dimension of a
+// matrix.
+Status SoftmaxRowsInPlace(Tensor* x);
+
+// a += b, elementwise; shapes must match.
+Status AddInPlace(Tensor* a, const Tensor& b);
+
+// Per-row argmax of a matrix — the class decision of a classifier head.
+std::vector<int64_t> ArgMaxRows(const Tensor& x);
+
+// Lowers one [h, w, c] image to the im2col matrix
+// [out_h*out_w, kh*kw*c] for valid convolution with the given stride —
+// the "spatial rewriting" of the paper's Sec. 7.1 (there with 1x1
+// kernels, where the matrix is [h*w, c]).
+Result<Tensor> Im2Col(const Tensor& image, int64_t kernel_h,
+                      int64_t kernel_w, int64_t stride,
+                      MemoryTracker* tracker = nullptr);
+
+// Writes rows [row_lo, row_hi) of the im2col matrix into `out`
+// (shape [row_hi-row_lo, kh*kw*c]). Lets the relation-centric executor
+// materialize the im2col relation one block at a time instead of all
+// out_h*out_w rows at once.
+Status Im2ColRowsInto(const Tensor& image, int64_t kernel_h,
+                      int64_t kernel_w, int64_t stride, int64_t row_lo,
+                      int64_t row_hi, Tensor* out);
+
+// Valid 2-D convolution of a batch.
+//   input:  [n, h, w, in_c]
+//   kernel: [out_c, kh, kw, in_c]
+//   output: [n, out_h, out_w, out_c]
+// Implemented as im2col followed by GEMM against the flattened kernel.
+Result<Tensor> Conv2D(const Tensor& input, const Tensor& kernel,
+                      int64_t stride, MemoryTracker* tracker = nullptr,
+                      ThreadPool* pool = nullptr);
+
+// 2x2 max-pooling with stride 2 over [n, h, w, c].
+Result<Tensor> MaxPool2x2(const Tensor& input,
+                          MemoryTracker* tracker = nullptr);
+
+}  // namespace kernels
+}  // namespace relserve
+
+#endif  // RELSERVE_KERNELS_KERNELS_H_

@@ -1,0 +1,85 @@
+#include "optimizer/decomposition.h"
+
+#include <cstring>
+
+namespace relserve {
+
+namespace {
+
+// The first non-input node, or -1.
+int FirstOperatorId(const Model& model) {
+  return model.nodes().size() > 1 ? 1 : -1;
+}
+
+}  // namespace
+
+bool CanDecomposeFirstLayer(const Model& model) {
+  const int first = FirstOperatorId(model);
+  if (first < 0) return false;
+  const Node& node = model.node(first);
+  if (node.kind != OpKind::kMatMul) return false;
+  auto weight = model.GetWeight(node.weight_name);
+  if (!weight.ok()) return false;
+  // [out, in]: reduction means out < in.
+  return (*weight)->shape().dim(0) < (*weight)->shape().dim(1);
+}
+
+Result<SplitWeights> SplitFirstLayerWeights(const Model& model,
+                                            int64_t d1_width,
+                                            MemoryTracker* tracker) {
+  const int first = FirstOperatorId(model);
+  if (first < 0 || model.node(first).kind != OpKind::kMatMul) {
+    return Status::InvalidArgument(
+        "model's first operator is not a MatMul");
+  }
+  RELSERVE_ASSIGN_OR_RETURN(
+      const Tensor* w, model.GetWeight(model.node(first).weight_name));
+  const int64_t out = w->shape().dim(0);
+  const int64_t in = w->shape().dim(1);
+  if (d1_width <= 0 || d1_width >= in) {
+    return Status::InvalidArgument(
+        "split width " + std::to_string(d1_width) +
+        " out of range for input width " + std::to_string(in));
+  }
+  SplitWeights split;
+  RELSERVE_ASSIGN_OR_RETURN(
+      split.w1, Tensor::Create(Shape{out, d1_width}, tracker));
+  RELSERVE_ASSIGN_OR_RETURN(
+      split.w2, Tensor::Create(Shape{out, in - d1_width}, tracker));
+  for (int64_t r = 0; r < out; ++r) {
+    std::memcpy(split.w1.data() + r * d1_width, w->data() + r * in,
+                d1_width * sizeof(float));
+    std::memcpy(split.w2.data() + r * (in - d1_width),
+                w->data() + r * in + d1_width,
+                (in - d1_width) * sizeof(float));
+  }
+  return split;
+}
+
+Result<Model> BuildTailModel(const Model& model) {
+  const int first = FirstOperatorId(model);
+  if (first < 0 || model.node(first).kind != OpKind::kMatMul) {
+    return Status::InvalidArgument(
+        "model's first operator is not a MatMul");
+  }
+  RELSERVE_ASSIGN_OR_RETURN(
+      const Tensor* w, model.GetWeight(model.node(first).weight_name));
+  const int64_t hidden = w->shape().dim(0);
+
+  Model tail(model.name() + "-tail", Shape{hidden});
+  tail.AddNode(OpKind::kInput);
+  for (size_t i = first + 1; i < model.nodes().size(); ++i) {
+    const Node& node = model.node(static_cast<int>(i));
+    tail.AddNode(node.kind, node.weight_name, node.stride);
+    if (!node.weight_name.empty() &&
+        !tail.GetWeight(node.weight_name).ok()) {
+      RELSERVE_ASSIGN_OR_RETURN(const Tensor* weight,
+                                model.GetWeight(node.weight_name));
+      // Tensors share buffers; this is a reference, not a copy.
+      RELSERVE_RETURN_NOT_OK(tail.AddWeight(node.weight_name, *weight));
+    }
+  }
+  return tail;
+}
+
+}  // namespace relserve

@@ -1,0 +1,48 @@
+// Model decomposition and push-down (paper Sec. 2, validated in
+// Sec. 7.2.1).
+//
+// For a pipeline  join(D1, D2) |> FFNN  whose first layer W reduces
+// dimensionality, the multiplication distributes over the
+// concatenation produced by the join:
+//     W x (D1 |><| D2) = (W1 x D1) |><| (W2 x D2)
+// where W = [W1 | W2] split by the columns each input contributes.
+// Pushing the two sub-multiplications below the join shrinks the
+// joined tuples from the raw feature width to the hidden width, and —
+// when the join fans out — avoids recomputing the first layer on
+// duplicated features.
+
+#ifndef RELSERVE_OPTIMIZER_DECOMPOSITION_H_
+#define RELSERVE_OPTIMIZER_DECOMPOSITION_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/model.h"
+
+namespace relserve {
+
+// True iff the rewrite applies: the first operator is a MatMul and its
+// output width is smaller than its input width (the "reduces feature
+// dimensions significantly" precondition; we require any reduction and
+// leave profitability to the caller's cost model).
+bool CanDecomposeFirstLayer(const Model& model);
+
+struct SplitWeights {
+  Tensor w1;  // [out, d1_width]
+  Tensor w2;  // [out, in - d1_width]
+};
+
+// Splits the first MatMul weight [out, in] by input columns at
+// `d1_width`.
+Result<SplitWeights> SplitFirstLayerWeights(const Model& model,
+                                            int64_t d1_width,
+                                            MemoryTracker* tracker);
+
+// The model that remains after the first MatMul: its input is the
+// [hidden] pre-bias activation, its nodes are everything downstream
+// (BiasAdd, Relu, later layers...). Weights are shared by reference.
+Result<Model> BuildTailModel(const Model& model);
+
+}  // namespace relserve
+
+#endif  // RELSERVE_OPTIMIZER_DECOMPOSITION_H_

@@ -1,0 +1,87 @@
+#include "optimizer/optimizer.h"
+
+namespace relserve {
+
+const char* ReprName(Repr repr) {
+  switch (repr) {
+    case Repr::kUdf:
+      return "udf";
+    case Repr::kRelational:
+      return "relational";
+  }
+  return "?";
+}
+
+std::string InferencePlan::ToString(const Model& model) const {
+  std::string out = "Plan for " + model.name() + " @ batch " +
+                    std::to_string(batch_size) + " (threshold " +
+                    std::to_string(memory_threshold_bytes) + " B)\n";
+  for (const NodeDecision& d : decisions) {
+    const Node& node = model.node(d.node_id);
+    out += "  #" + std::to_string(d.node_id) + " " +
+           OpKindName(node.kind) + " est=" +
+           std::to_string(d.estimated_bytes) + "B -> " +
+           ReprName(d.repr);
+    if (d.device != DeviceKind::kCpu) {
+      out += " @";
+      out += DeviceKindName(d.device);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<int64_t> EstimateNodeBytes(const Model& model, int node_id,
+                                  int64_t batch_size) {
+  RELSERVE_ASSIGN_OR_RETURN(std::vector<Shape> shapes,
+                            model.InferShapes(batch_size));
+  const Node& node = model.node(node_id);
+  constexpr int64_t kFloat = sizeof(float);
+  int64_t bytes = shapes[node_id].NumElements() * kFloat;  // output
+  if (node.input >= 0) {
+    bytes += shapes[node.input].NumElements() * kFloat;  // input
+  }
+  if (!node.weight_name.empty()) {
+    RELSERVE_ASSIGN_OR_RETURN(const Tensor* w,
+                              model.GetWeight(node.weight_name));
+    bytes += w->ByteSize();
+  }
+  return bytes;
+}
+
+Result<InferencePlan> RuleBasedOptimizer::Optimize(
+    const Model& model, int64_t batch_size) const {
+  InferencePlan plan;
+  plan.batch_size = batch_size;
+  plan.memory_threshold_bytes = memory_threshold_bytes_;
+  plan.decisions.reserve(model.nodes().size());
+  for (const Node& node : model.nodes()) {
+    NodeDecision decision;
+    decision.node_id = node.id;
+    RELSERVE_ASSIGN_OR_RETURN(
+        decision.estimated_bytes,
+        EstimateNodeBytes(model, node.id, batch_size));
+    decision.repr = (decision.estimated_bytes > memory_threshold_bytes_)
+                        ? Repr::kRelational
+                        : Repr::kUdf;
+    if (devices_ != nullptr && decision.repr == Repr::kUdf &&
+        node.kind != OpKind::kInput) {
+      RELSERVE_ASSIGN_OR_RETURN(
+          std::vector<Shape> shapes, model.InferShapes(batch_size));
+      RELSERVE_ASSIGN_OR_RETURN(
+          double flops, model.EstimateNodeFlops(node.id, batch_size));
+      OperatorProfile profile;
+      profile.flops = flops;
+      profile.input_bytes =
+          node.input >= 0
+              ? shapes[node.input].NumElements() * 4
+              : 0;
+      profile.output_bytes = shapes[node.id].NumElements() * 4;
+      decision.device = devices_->Choose(profile).kind;
+    }
+    plan.decisions.push_back(decision);
+  }
+  return plan;
+}
+
+}  // namespace relserve

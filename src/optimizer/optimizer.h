@@ -1,0 +1,56 @@
+// The rule-based adaptive optimizer of the paper's Sec. 7.1.
+//
+// For every operator it estimates the memory requirement as the sum of
+// the operator's input, weight, and output sizes (for a matmul with
+// inputs m x k and k x n this is exactly the paper's
+// m*k + k*n + m*n rule) and selects the relation-centric
+// representation when the estimate exceeds a configurable threshold,
+// the UDF-centric representation otherwise.
+
+#ifndef RELSERVE_OPTIMIZER_OPTIMIZER_H_
+#define RELSERVE_OPTIMIZER_OPTIMIZER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/model.h"
+#include "optimizer/plan.h"
+
+namespace relserve {
+
+// Estimated working-set bytes of one operator at `batch_size`:
+// input activation + weight + output activation (float32).
+Result<int64_t> EstimateNodeBytes(const Model& model, int node_id,
+                                  int64_t batch_size);
+
+class RuleBasedOptimizer {
+ public:
+  // `memory_threshold_bytes` mirrors the paper's 2 GB constant.
+  // `devices` (optional, not owned) enables per-operator device
+  // placement via the producer-transfer-consumer latency estimate
+  // (Sec. 3(2)): an operator goes to the accelerator only when the
+  // compute saving beats the host<->device transfer of its inputs and
+  // outputs. Only UDF-centric operators are eligible — tensor blocks
+  // flowing through the buffer pool stay on the CPU.
+  explicit RuleBasedOptimizer(int64_t memory_threshold_bytes,
+                              const DeviceAllocator* devices = nullptr)
+      : memory_threshold_bytes_(memory_threshold_bytes),
+        devices_(devices) {}
+
+  // Chooses a representation per node. Input nodes follow their own
+  // footprint (a batch too large to materialize is chunked on entry).
+  Result<InferencePlan> Optimize(const Model& model,
+                                 int64_t batch_size) const;
+
+  int64_t memory_threshold_bytes() const {
+    return memory_threshold_bytes_;
+  }
+
+ private:
+  int64_t memory_threshold_bytes_;
+  const DeviceAllocator* devices_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,57 @@
+// InferencePlan: the optimizer's per-operator representation choice.
+
+#ifndef RELSERVE_OPTIMIZER_PLAN_H_
+#define RELSERVE_OPTIMIZER_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/model.h"
+#include "resource/device_model.h"
+
+namespace relserve {
+
+// The in-database representations the adaptive optimizer chooses
+// between per operator (paper Sec. 7.1). DL-centric offload is a
+// whole-query decision made above this level (ServingSession).
+enum class Repr {
+  kUdf,         // whole-tensor execution inside the RDBMS process
+  kRelational,  // tensor-as-block-relation execution
+};
+
+const char* ReprName(Repr repr);
+
+struct NodeDecision {
+  int node_id = -1;
+  Repr repr = Repr::kUdf;
+  // The optimizer's memory estimate for the operator (inputs + weights
+  // + outputs), in bytes.
+  int64_t estimated_bytes = 0;
+  // Device placement from the producer-transfer-consumer cost model
+  // (paper Sec. 3(2)); annotated when the optimizer is given a
+  // DeviceAllocator, advisory otherwise.
+  DeviceKind device = DeviceKind::kCpu;
+};
+
+struct InferencePlan {
+  int64_t batch_size = 0;
+  int64_t memory_threshold_bytes = 0;
+  std::vector<NodeDecision> decisions;  // index == node id
+
+  bool AllUdf() const {
+    for (const NodeDecision& d : decisions) {
+      if (d.repr != Repr::kUdf) return false;
+    }
+    return true;
+  }
+
+  bool AnyRelational() const { return !AllUdf(); }
+
+  // Human-readable EXPLAIN-style rendering.
+  std::string ToString(const Model& model) const;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_OPTIMIZER_PLAN_H_

@@ -1,0 +1,70 @@
+// A small expression tree evaluated against rows: column references,
+// literals, arithmetic, comparisons, and boolean connectives. Used by
+// Filter predicates and computed projections.
+
+#ifndef RELSERVE_RELATIONAL_EXPRESSION_H_
+#define RELSERVE_RELATIONAL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/row.h"
+
+namespace relserve {
+
+class Expression;
+using ExprPtr = std::shared_ptr<const Expression>;
+
+enum class ExprKind {
+  kColumn,     // value of a column by index
+  kLiteral,    // constant
+  kAdd,        // numeric +
+  kSub,        // numeric -
+  kMul,        // numeric *
+  kEq,         // equality (any type) -> Int64 0/1
+  kLt,         // numeric <
+  kLe,         // numeric <=
+  kAnd,        // boolean and
+  kOr,         // boolean or
+  kNot,        // boolean not
+  kAbsDiffLe,  // |a - b| <= c, the band-join predicate
+};
+
+class Expression {
+ public:
+  // Factory functions — expressions are immutable and shared.
+  static ExprPtr Column(int index);
+  static ExprPtr Literal(Value v);
+  static ExprPtr Binary(ExprKind kind, ExprPtr left, ExprPtr right);
+  static ExprPtr Not(ExprPtr operand);
+  // |left - right| <= epsilon (all numeric).
+  static ExprPtr AbsDiffLe(ExprPtr left, ExprPtr right, double epsilon);
+
+  ExprKind kind() const { return kind_; }
+  int column_index() const { return column_index_; }
+  const Value& literal() const { return literal_; }
+
+  // Evaluates against one row. Comparison/boolean results are Int64
+  // 0/1.
+  Result<Value> Evaluate(const Row& row) const;
+
+  // Convenience: evaluate and interpret as a boolean.
+  Result<bool> EvaluateBool(const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  Expression() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  int column_index_ = -1;
+  Value literal_;
+  double epsilon_ = 0.0;
+  std::vector<ExprPtr> children_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_RELATIONAL_EXPRESSION_H_

@@ -1,0 +1,116 @@
+#include "relational/row.h"
+
+#include <cstring>
+
+namespace relserve {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const char*& cursor, const char* end, T* v) {
+  if (cursor + sizeof(T) > end) return false;
+  std::memcpy(v, cursor, sizeof(T));
+  cursor += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::string Row::ToString() const {
+  std::string out = "[";
+  for (int i = 0; i < num_values(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+void Row::SerializeTo(std::string* out) const {
+  for (const Value& v : values_) {
+    AppendPod<uint8_t>(out, static_cast<uint8_t>(v.type()));
+    switch (v.type()) {
+      case ValueType::kInt64:
+        AppendPod<int64_t>(out, v.AsInt64());
+        break;
+      case ValueType::kFloat64:
+        AppendPod<double>(out, v.AsFloat64());
+        break;
+      case ValueType::kString: {
+        const std::string& s = v.AsString();
+        AppendPod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+        out->append(s);
+        break;
+      }
+      case ValueType::kFloatVector: {
+        const std::vector<float>& vec = v.AsFloatVector();
+        AppendPod<uint32_t>(out, static_cast<uint32_t>(vec.size()));
+        out->append(reinterpret_cast<const char*>(vec.data()),
+                    vec.size() * sizeof(float));
+        break;
+      }
+    }
+  }
+}
+
+Result<Row> Row::Deserialize(const char* data, int64_t size) {
+  const char* cursor = data;
+  const char* end = data + size;
+  std::vector<Value> values;
+  while (cursor < end) {
+    uint8_t tag;
+    if (!ReadPod(cursor, end, &tag)) {
+      return Status::Internal("row decode: truncated tag");
+    }
+    switch (static_cast<ValueType>(tag)) {
+      case ValueType::kInt64: {
+        int64_t v;
+        if (!ReadPod(cursor, end, &v)) {
+          return Status::Internal("row decode: truncated int64");
+        }
+        values.emplace_back(v);
+        break;
+      }
+      case ValueType::kFloat64: {
+        double v;
+        if (!ReadPod(cursor, end, &v)) {
+          return Status::Internal("row decode: truncated float64");
+        }
+        values.emplace_back(v);
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t len;
+        if (!ReadPod(cursor, end, &len) || cursor + len > end) {
+          return Status::Internal("row decode: truncated string");
+        }
+        values.emplace_back(std::string(cursor, len));
+        cursor += len;
+        break;
+      }
+      case ValueType::kFloatVector: {
+        uint32_t n;
+        if (!ReadPod(cursor, end, &n) ||
+            cursor + n * sizeof(float) > end) {
+          return Status::Internal("row decode: truncated vector");
+        }
+        std::vector<float> vec(n);
+        std::memcpy(vec.data(), cursor, n * sizeof(float));
+        cursor += n * sizeof(float);
+        values.emplace_back(std::move(vec));
+        break;
+      }
+      default:
+        return Status::Internal("row decode: bad type tag " +
+                                std::to_string(tag));
+    }
+  }
+  return Row(std::move(values));
+}
+
+}  // namespace relserve

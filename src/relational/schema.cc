@@ -1,0 +1,41 @@
+#include "relational/schema.h"
+
+namespace relserve {
+
+Result<int> Schema::FieldIndex(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Schema Schema::Project(const std::vector<int>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (int i : indices) cols.push_back(columns_[i]);
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Concat(const Schema& right) const {
+  std::vector<Column> cols = columns_;
+  for (const Column& c : right.columns()) {
+    Column copy = c;
+    if (FieldIndex(copy.name).ok()) copy.name += "_r";
+    cols.push_back(std::move(copy));
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ": ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace relserve

@@ -1,0 +1,47 @@
+// Schema: ordered, named, typed columns of a relation.
+
+#ifndef RELSERVE_RELATIONAL_SCHEMA_H_
+#define RELSERVE_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace relserve {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Index of the column named `name`, or NotFound.
+  Result<int> FieldIndex(const std::string& name) const;
+
+  // Schema of a projection over column indices.
+  Schema Project(const std::vector<int>& indices) const;
+
+  // Concatenation (for join outputs); right-side duplicate names get a
+  // suffix.
+  Schema Concat(const Schema& right) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,67 @@
+#include "relational/value.h"
+
+#include <functional>
+
+namespace relserve {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kFloat64:
+      return "FLOAT64";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kFloatVector:
+      return "FLOAT_VECTOR";
+  }
+  return "?";
+}
+
+double Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(std::get<int64_t>(repr_));
+    case ValueType::kFloat64:
+      return std::get<double>(repr_);
+    default:
+      RELSERVE_CHECK(false) << "AsNumeric on " << ValueTypeName(type());
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kFloat64:
+      return std::to_string(AsFloat64());
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kFloatVector:
+      return "<vec[" + std::to_string(AsFloatVector().size()) + "]>";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::hash<int64_t>{}(AsInt64());
+    case ValueType::kFloat64:
+      return std::hash<double>{}(AsFloat64());
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+    case ValueType::kFloatVector: {
+      size_t h = 14695981039346656037ULL;
+      for (float f : AsFloatVector()) {
+        h ^= std::hash<float>{}(f);
+        h *= 1099511628211ULL;
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+}  // namespace relserve

@@ -1,0 +1,78 @@
+// Value: one cell of a relational row.
+//
+// Besides scalars, a Value may hold a float vector: inference queries
+// carry wide feature columns (hundreds of floats per tuple, e.g. the
+// 968-feature Bosch rows in Sec. 7.2.1), and packing them as one
+// vector-valued attribute mirrors how tensor-aware RDBMSs store
+// per-tuple embeddings.
+
+#ifndef RELSERVE_RELATIONAL_VALUE_H_
+#define RELSERVE_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace relserve {
+
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+  kFloatVector = 3,
+};
+
+const char* ValueTypeName(ValueType type);
+
+class Value {
+ public:
+  Value() : repr_(int64_t{0}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+  explicit Value(std::vector<float> v) : repr_(std::move(v)) {}
+
+  ValueType type() const {
+    return static_cast<ValueType>(repr_.index());
+  }
+
+  int64_t AsInt64() const {
+    RELSERVE_DCHECK(type() == ValueType::kInt64);
+    return std::get<int64_t>(repr_);
+  }
+  double AsFloat64() const {
+    RELSERVE_DCHECK(type() == ValueType::kFloat64);
+    return std::get<double>(repr_);
+  }
+  const std::string& AsString() const {
+    RELSERVE_DCHECK(type() == ValueType::kString);
+    return std::get<std::string>(repr_);
+  }
+  const std::vector<float>& AsFloatVector() const {
+    RELSERVE_DCHECK(type() == ValueType::kFloatVector);
+    return std::get<std::vector<float>>(repr_);
+  }
+
+  // Numeric view: Int64 and Float64 both convert; anything else is a
+  // programmer error.
+  double AsNumeric() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+  // Hash usable for join/aggregate keys.
+  size_t Hash() const;
+
+ private:
+  // Variant alternative order must match ValueType's enumerators.
+  std::variant<int64_t, double, std::string, std::vector<float>> repr_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_RELATIONAL_VALUE_H_

@@ -1,0 +1,45 @@
+#include "resource/device_model.h"
+
+#include "common/logging.h"
+
+namespace relserve {
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCpu:
+      return "cpu";
+    case DeviceKind::kAccelerator:
+      return "accelerator";
+  }
+  return "?";
+}
+
+double EstimateLatencySeconds(const OperatorProfile& op,
+                              const DeviceSpec& device) {
+  double seconds = device.launch_latency_seconds;
+  if (device.transfer_bytes_per_second > 0.0) {
+    seconds += static_cast<double>(op.input_bytes + op.output_bytes) /
+               device.transfer_bytes_per_second;
+  }
+  if (device.flops_per_second > 0.0) {
+    seconds += op.flops / device.flops_per_second;
+  }
+  return seconds;
+}
+
+const DeviceSpec& DeviceAllocator::Choose(
+    const OperatorProfile& op) const {
+  RELSERVE_CHECK(!devices_.empty()) << "no devices registered";
+  const DeviceSpec* best = &devices_[0];
+  double best_latency = EstimateLatencySeconds(op, *best);
+  for (size_t i = 1; i < devices_.size(); ++i) {
+    const double latency = EstimateLatencySeconds(op, devices_[i]);
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = &devices_[i];
+    }
+  }
+  return *best;
+}
+
+}  // namespace relserve

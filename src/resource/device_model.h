@@ -1,0 +1,67 @@
+// Device allocation cost model (Sec. 3(2) of the paper).
+//
+// The paper observes that whether an inference benefits from an
+// accelerator depends on whether the host→device transfer outweighs
+// the compute speedup, and proposes modeling each UDF as a
+// producer-transfer-consumer process. relserve has no physical GPU in
+// this environment, so the accelerator is *simulated*: a device with a
+// configurable compute speedup, transfer bandwidth, and fixed launch
+// latency. The allocator picks the device with the lower estimated
+// end-to-end latency — exactly the decision procedure the paper
+// motivates with its decision-forest study.
+
+#ifndef RELSERVE_RESOURCE_DEVICE_MODEL_H_
+#define RELSERVE_RESOURCE_DEVICE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relserve {
+
+enum class DeviceKind { kCpu, kAccelerator };
+
+const char* DeviceKindName(DeviceKind kind);
+
+struct DeviceSpec {
+  DeviceKind kind = DeviceKind::kCpu;
+  std::string name = "cpu";
+  // Sustained compute throughput in FLOP/s for dense linear algebra.
+  double flops_per_second = 50e9;
+  // Host<->device link; irrelevant (infinite) for the host CPU.
+  double transfer_bytes_per_second = 0.0;  // 0 => no transfer needed
+  // Fixed per-kernel launch overhead in seconds.
+  double launch_latency_seconds = 0.0;
+};
+
+struct OperatorProfile {
+  double flops = 0.0;           // arithmetic work
+  int64_t input_bytes = 0;      // moved host->device before compute
+  int64_t output_bytes = 0;     // moved device->host after compute
+};
+
+// Estimated end-to-end seconds for running `op` on `device`,
+// producer-transfer-consumer style: transfer-in + compute + transfer-out
+// (+ launch overhead). Transfers overlap nothing in this simple model,
+// matching the pessimistic bound the paper's estimator uses.
+double EstimateLatencySeconds(const OperatorProfile& op,
+                              const DeviceSpec& device);
+
+// Picks the device with the lowest estimated latency. Ties go to the
+// first (CPU-first ordering is conventional).
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(std::vector<DeviceSpec> devices)
+      : devices_(std::move(devices)) {}
+
+  const DeviceSpec& Choose(const OperatorProfile& op) const;
+
+  const std::vector<DeviceSpec>& devices() const { return devices_; }
+
+ private:
+  std::vector<DeviceSpec> devices_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_RESOURCE_DEVICE_MODEL_H_

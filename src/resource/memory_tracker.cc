@@ -1,0 +1,42 @@
+#include "resource/memory_tracker.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace relserve {
+
+Status MemoryTracker::Allocate(int64_t bytes) {
+  RELSERVE_CHECK(bytes >= 0) << "negative allocation of " << bytes;
+  int64_t current = used_bytes_.load(std::memory_order_relaxed);
+  while (true) {
+    if (limit_bytes_ != kUnlimited && current + bytes > limit_bytes_) {
+      oom_count_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OutOfMemory(
+          "arena '" + name_ + "': requested " + std::to_string(bytes) +
+          " bytes with " + std::to_string(current) + "/" +
+          std::to_string(limit_bytes_) + " in use");
+    }
+    if (used_bytes_.compare_exchange_weak(current, current + bytes,
+                                          std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  // Best-effort peak update; races can only under-report transiently.
+  int64_t now = current + bytes;
+  int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Release(int64_t bytes) {
+  RELSERVE_CHECK(bytes >= 0) << "negative release of " << bytes;
+  int64_t prev = used_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  RELSERVE_CHECK(prev >= bytes)
+      << "arena '" << name_ << "' released " << bytes << " with only "
+      << prev << " in use";
+}
+
+}  // namespace relserve

@@ -1,0 +1,72 @@
+// MemoryTracker: a named, bounded memory arena (Sec. 3 of the paper,
+// "Unified Resource Management").
+//
+// Every tensor allocation in relserve is charged against a tracker.
+// Each execution architecture gets its own arena with a hard limit:
+//  - the RDBMS working-memory arena bounds UDF-centric execution,
+//  - the external DL runtime's arena bounds DL-centric execution,
+//  - relation-centric execution only charges a few blocks at a time and
+//    relies on the buffer pool for the rest.
+// Exceeding the limit is reported as Status::OutOfMemory — the
+// experimental outcome Table 3 of the paper records — never as a crash.
+
+#ifndef RELSERVE_RESOURCE_MEMORY_TRACKER_H_
+#define RELSERVE_RESOURCE_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+
+namespace relserve {
+
+class MemoryTracker {
+ public:
+  static constexpr int64_t kUnlimited =
+      std::numeric_limits<int64_t>::max();
+
+  // `limit_bytes` is a hard cap; kUnlimited disables enforcement.
+  explicit MemoryTracker(std::string name,
+                         int64_t limit_bytes = kUnlimited)
+      : name_(std::move(name)), limit_bytes_(limit_bytes) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  // Charges `bytes` against the arena; OutOfMemory if it would exceed
+  // the limit (in which case nothing is charged).
+  Status Allocate(int64_t bytes);
+
+  // Returns `bytes` to the arena. Must match prior successful
+  // Allocate() charges.
+  void Release(int64_t bytes);
+
+  int64_t used_bytes() const {
+    return used_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t limit_bytes() const { return limit_bytes_; }
+  const std::string& name() const { return name_; }
+
+  // Number of allocation attempts rejected with OutOfMemory.
+  int64_t oom_count() const {
+    return oom_count_.load(std::memory_order_relaxed);
+  }
+
+  void ResetPeak() { peak_bytes_.store(used_bytes()); }
+
+ private:
+  const std::string name_;
+  const int64_t limit_bytes_;
+  std::atomic<int64_t> used_bytes_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+  std::atomic<int64_t> oom_count_{0};
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_RESOURCE_MEMORY_TRACKER_H_

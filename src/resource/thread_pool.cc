@@ -1,0 +1,84 @@
+#include "resource/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace relserve {
+
+ThreadPool::ThreadPool(int num_threads) {
+  RELSERVE_CHECK(num_threads >= 1) << "pool needs at least one thread";
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RELSERVE_CHECK(!shutting_down_) << "Submit after shutdown";
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int threads = num_threads();
+  // Below this size the dispatch overhead outweighs the parallelism.
+  constexpr int64_t kMinChunk = 256;
+  if (threads == 1 || n < 2 * kMinChunk) {
+    body(begin, end);
+    return;
+  }
+  const int64_t chunks = std::min<int64_t>(threads, (n + kMinChunk - 1) /
+                                                        kMinChunk);
+  const int64_t chunk_size = (n + chunks - 1) / chunks;
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t lo = begin + c * chunk_size;
+    const int64_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) break;
+    Submit([&body, lo, hi] { body(lo, hi); });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace relserve

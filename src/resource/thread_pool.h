@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a ParallelFor primitive.
+//
+// The paper's Sec. 3 calls out coordinating RDBMS worker threads with
+// the threads used inside linear-algebra UDFs (OpenMP in OpenBLAS).
+// relserve routes *all* intra-operator parallelism through one shared
+// pool so the two never oversubscribe each other.
+
+#ifndef RELSERVE_RESOURCE_THREAD_POOL_H_
+#define RELSERVE_RESOURCE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace relserve {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has completed.
+  void Wait();
+
+  // Splits [begin, end) into contiguous chunks and runs `body(lo, hi)`
+  // for each chunk across the pool, blocking until all complete.
+  // Executes inline when the range is small or the pool has 1 thread.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int64_t pending_ = 0;  // queued + running tasks
+  bool shutting_down_ = false;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_RESOURCE_THREAD_POOL_H_

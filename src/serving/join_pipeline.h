@@ -1,0 +1,46 @@
+// The Sec. 7.2.1 inference pipeline: a similarity join of two
+// vertically partitioned feature tables feeding an FFNN, executed
+// either naively (join first, then the model on wide joined tuples)
+// or with the decomposition + push-down rewrite (partial first-layer
+// products computed per partition *below* the join).
+
+#ifndef RELSERVE_SERVING_JOIN_PIPELINE_H_
+#define RELSERVE_SERVING_JOIN_PIPELINE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "serving/serving_session.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+
+struct JoinInferenceSpec {
+  std::string d1_table;
+  std::string d2_table;
+  std::string key_col = "sim_key";       // correlated numeric columns
+  std::string feature_col = "features";  // FLOAT_VECTOR columns
+  double epsilon = 0.5;                  // band-join radius
+  std::string model;  // registered FFNN over concatenated features
+};
+
+struct JoinInferenceResult {
+  Tensor predictions;     // [matches, classes]
+  int64_t join_matches = 0;
+};
+
+// Naive plan:  D1 |><|_eps D2  ->  concat features  ->  model.
+Result<JoinInferenceResult> RunJoinThenInfer(ServingSession* session,
+                                             const JoinInferenceSpec& spec);
+
+// Rewritten plan (Sec. 2 / Sec. 7.2.1):
+//   P1 = D1.features x W1^T,  P2 = D2.features x W2^T   (push-down)
+//   H  = P1 |><|_eps P2 combined by elementwise sum
+//   out = tail(H)   (bias, relu, remaining layers)
+// Produces the same predictions up to float summation order.
+Result<JoinInferenceResult> RunDecomposedInfer(
+    ServingSession* session, const JoinInferenceSpec& spec);
+
+}  // namespace relserve
+
+#endif  // RELSERVE_SERVING_JOIN_PIPELINE_H_

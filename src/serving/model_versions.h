@@ -1,0 +1,42 @@
+// Accuracy-aware model versions (paper Sec. 4(1)): the storage
+// optimizer keeps multiple versions of a model with different
+// size/accuracy trade-offs (here: the fp32 original and an int8
+// uniform-quantized variant), measures each version's output deviation
+// on a probe batch, and the query optimizer selects the smallest
+// version whose measured error fits the query's SLA.
+
+#ifndef RELSERVE_SERVING_MODEL_VERSIONS_H_
+#define RELSERVE_SERVING_MODEL_VERSIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serving/serving_session.h"
+
+namespace relserve {
+
+struct ModelVersion {
+  std::string model_name;      // registered name of this version
+  int64_t weight_bytes = 0;    // storage footprint
+  // Max |output - reference output| measured on the probe batch
+  // (0 for the reference version itself).
+  float max_output_error = 0.0f;
+};
+
+// Registers "<base>@int8" — the base model with every weight run
+// through uniform 8-bit quantize/dequantize — and measures its output
+// deviation against the base on a random probe batch. Returns the
+// version descriptors for both (base first).
+Result<std::vector<ModelVersion>> CreateQuantizedVersion(
+    ServingSession* session, const std::string& base_model,
+    int64_t probe_batch, uint64_t seed);
+
+// The smallest-footprint version with measured error <= max_error;
+// NotFound if none qualifies (callers then fall back to the base).
+Result<std::string> SelectVersionForSla(
+    const std::vector<ModelVersion>& versions, float max_error);
+
+}  // namespace relserve
+
+#endif  // RELSERVE_SERVING_MODEL_VERSIONS_H_

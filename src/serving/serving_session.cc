@@ -1,0 +1,437 @@
+#include "serving/serving_session.h"
+
+#include <cstring>
+
+#include "engine/block_ops.h"
+#include "engine/connector.h"
+#include "relational/operator.h"
+
+namespace relserve {
+
+namespace {
+
+InferencePlan ForcedPlan(const Model& model, Repr repr,
+                         int64_t batch_size) {
+  InferencePlan plan;
+  plan.batch_size = batch_size;
+  plan.memory_threshold_bytes = 0;
+  plan.decisions.reserve(model.nodes().size());
+  for (const Node& node : model.nodes()) {
+    plan.decisions.push_back(NodeDecision{node.id, repr, 0});
+  }
+  return plan;
+}
+
+// A plan's representation choices as a compact key ("uurru..."), the
+// identity under which AoT variants are cached.
+std::string PlanSignature(const InferencePlan& plan) {
+  std::string signature;
+  signature.reserve(plan.decisions.size());
+  for (const NodeDecision& d : plan.decisions) {
+    signature += d.repr == Repr::kUdf ? 'u' : 'r';
+  }
+  return signature;
+}
+
+}  // namespace
+
+ServingSession::ServingSession(ServingConfig config)
+    : config_(config),
+      disk_(std::make_unique<DiskManager>(config.spill_path)),
+      buffer_pool_(std::make_unique<BufferPool>(
+          disk_.get(), config.buffer_pool_pages)),
+      catalog_(std::make_unique<Catalog>(buffer_pool_.get())),
+      pool_(std::make_unique<ThreadPool>(config.num_threads)),
+      working_memory_("db-working-memory",
+                      config.working_memory_bytes) {
+  ctx_.tracker = &working_memory_;
+  ctx_.pool = pool_.get();
+  ctx_.buffer_pool = buffer_pool_.get();
+  ctx_.block_rows = config.block_rows;
+  ctx_.block_cols = config.block_cols;
+}
+
+Result<TableInfo*> ServingSession::CreateTable(const std::string& name,
+                                               Schema schema) {
+  return catalog_->CreateTable(name, std::move(schema));
+}
+
+Result<TableInfo*> ServingSession::GetTable(const std::string& name) {
+  return catalog_->GetTable(name);
+}
+
+Status ServingSession::RegisterModel(Model model) {
+  const std::string name = model.name();
+  if (models_.count(name) > 0) {
+    return Status::AlreadyExists("model '" + name + "'");
+  }
+  models_.emplace(name, std::make_unique<Model>(std::move(model)));
+  return Status::OK();
+}
+
+Result<const Model*> ServingSession::GetModel(
+    const std::string& name) const {
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<const InferencePlan*> ServingSession::Deploy(
+    const std::string& model_name, ServingMode mode,
+    int64_t batch_size) {
+  RELSERVE_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
+  InferencePlan plan;
+  switch (mode) {
+    case ServingMode::kAdaptive: {
+      RuleBasedOptimizer optimizer(config_.memory_threshold_bytes);
+      RELSERVE_ASSIGN_OR_RETURN(plan,
+                                optimizer.Optimize(*model, batch_size));
+      break;
+    }
+    case ServingMode::kForceUdf:
+      plan = ForcedPlan(*model, Repr::kUdf, batch_size);
+      break;
+    case ServingMode::kForceRelational:
+      plan = ForcedPlan(*model, Repr::kRelational, batch_size);
+      break;
+  }
+  // Drop any previous deployment first so its resident weights leave
+  // the arena before the new ones are charged.
+  deployments_.erase(model_name);
+  RELSERVE_ASSIGN_OR_RETURN(
+      PreparedModel prepared,
+      PreparedModel::Prepare(model, std::move(plan), &ctx_));
+  Deployment deployment;
+  deployment.plan = prepared.plan();
+  deployment.prepared =
+      std::make_unique<PreparedModel>(std::move(prepared));
+  auto [it, inserted] =
+      deployments_.emplace(model_name, std::move(deployment));
+  return &it->second.plan;
+}
+
+Result<int> ServingSession::DeployAot(
+    const std::string& model_name,
+    const std::vector<int64_t>& batch_sizes) {
+  RELSERVE_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
+  if (batch_sizes.empty()) {
+    return Status::InvalidArgument("no batch sizes to compile for");
+  }
+  RuleBasedOptimizer optimizer(config_.memory_threshold_bytes);
+  std::map<std::string, Deployment>& variants = aot_plans_[model_name];
+  variants.clear();
+  for (const int64_t batch : batch_sizes) {
+    RELSERVE_ASSIGN_OR_RETURN(InferencePlan plan,
+                              optimizer.Optimize(*model, batch));
+    const std::string signature = PlanSignature(plan);
+    if (variants.count(signature) > 0) continue;
+    RELSERVE_ASSIGN_OR_RETURN(
+        PreparedModel prepared,
+        PreparedModel::Prepare(model, std::move(plan), &ctx_));
+    Deployment deployment;
+    deployment.plan = prepared.plan();
+    deployment.prepared =
+        std::make_unique<PreparedModel>(std::move(prepared));
+    variants.emplace(signature, std::move(deployment));
+  }
+  return static_cast<int>(variants.size());
+}
+
+int ServingSession::NumAotPlans(const std::string& model_name) const {
+  auto it = aot_plans_.find(model_name);
+  return it == aot_plans_.end() ? 0
+                                : static_cast<int>(it->second.size());
+}
+
+Result<ServingSession::Deployment*> ServingSession::GetDeployment(
+    const std::string& model_name, int64_t batch_size) {
+  // Runtime plan selection among the AoT-compiled variants: cheap
+  // re-optimization yields the signature; the matching prepared plan
+  // is reused without re-chunking any weights.
+  auto aot = aot_plans_.find(model_name);
+  if (batch_size >= 0 && aot != aot_plans_.end() &&
+      !aot->second.empty()) {
+    auto model = GetModel(model_name);
+    if (model.ok()) {
+      RuleBasedOptimizer optimizer(config_.memory_threshold_bytes);
+      auto plan = optimizer.Optimize(**model, batch_size);
+      if (plan.ok()) {
+        auto variant = aot->second.find(PlanSignature(*plan));
+        if (variant != aot->second.end()) return &variant->second;
+      }
+    }
+  }
+  auto it = deployments_.find(model_name);
+  if (it == deployments_.end()) {
+    if (aot != aot_plans_.end() && !aot->second.empty()) {
+      return Status::NotFound(
+          "no AoT plan variant matches batch " +
+          std::to_string(batch_size) + " for model '" + model_name +
+          "' and the model has no default deployment");
+    }
+    return Status::NotFound("model '" + model_name +
+                            "' is not deployed");
+  }
+  return &it->second;
+}
+
+Result<ExecOutput> ServingSession::Predict(
+    const std::string& model_name, const std::string& table_name,
+    const std::string& feature_col) {
+  RELSERVE_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
+  RELSERVE_ASSIGN_OR_RETURN(TableInfo* table,
+                            catalog_->GetTable(table_name));
+  RELSERVE_ASSIGN_OR_RETURN(int col,
+                            table->schema.FieldIndex(feature_col));
+
+  const int64_t n = table->heap->num_records();
+  if (n == 0) return Status::InvalidArgument("empty table");
+  RELSERVE_ASSIGN_OR_RETURN(Deployment* deployment,
+                            GetDeployment(model_name, n));
+  const int64_t width = model->sample_shape().NumElements();
+
+  SeqScan scan(table->heap.get(), table->schema);
+  const bool stream_input =
+      deployment->plan.decisions[0].repr == Repr::kRelational;
+
+  if (stream_input) {
+    // The batch never exists whole: rows go straight into a block
+    // relation through a one-block staging buffer.
+    RELSERVE_ASSIGN_OR_RETURN(
+        blockops::MatrixStreamWriter writer,
+        blockops::MatrixStreamWriter::Create(n, width, &ctx_));
+    RELSERVE_RETURN_NOT_OK(scan.Open());
+    Row row;
+    while (true) {
+      RELSERVE_ASSIGN_OR_RETURN(bool has, scan.Next(&row));
+      if (!has) break;
+      const std::vector<float>& features =
+          row.value(col).AsFloatVector();
+      if (static_cast<int64_t>(features.size()) != width) {
+        return Status::InvalidArgument(
+            "feature width " + std::to_string(features.size()) +
+            " != model input width " + std::to_string(width));
+      }
+      RELSERVE_RETURN_NOT_OK(writer.AppendRow(features.data()));
+    }
+    RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> store,
+                              writer.Finish());
+    return HybridExecutor::RunOnStore(*deployment->prepared,
+                                      std::move(store), &ctx_);
+  }
+
+  // Whole-batch path: materialize [n, width] in the working arena.
+  RELSERVE_ASSIGN_OR_RETURN(
+      Tensor input, Tensor::Create(Shape{n, width}, &working_memory_));
+  RELSERVE_RETURN_NOT_OK(scan.Open());
+  Row row;
+  int64_t r = 0;
+  while (true) {
+    RELSERVE_ASSIGN_OR_RETURN(bool has, scan.Next(&row));
+    if (!has) break;
+    const std::vector<float>& features =
+        row.value(col).AsFloatVector();
+    if (static_cast<int64_t>(features.size()) != width) {
+      return Status::InvalidArgument(
+          "feature width " + std::to_string(features.size()) +
+          " != model input width " + std::to_string(width));
+    }
+    std::memcpy(input.data() + r * width, features.data(),
+                width * sizeof(float));
+    ++r;
+  }
+  // Feed in the model's sample shape.
+  std::vector<int64_t> dims = {n};
+  for (int64_t d : model->sample_shape().dims()) dims.push_back(d);
+  RELSERVE_ASSIGN_OR_RETURN(Tensor shaped,
+                            input.Reshape(Shape(std::move(dims))));
+  return HybridExecutor::Run(*deployment->prepared, shaped, &ctx_);
+}
+
+Result<ExecOutput> ServingSession::PredictBatch(
+    const std::string& model_name, const Tensor& input) {
+  if (input.shape().ndim() < 1) {
+    return Status::InvalidArgument("input must have a batch dimension");
+  }
+  RELSERVE_ASSIGN_OR_RETURN(
+      Deployment* deployment,
+      GetDeployment(model_name, input.shape().dim(0)));
+  return HybridExecutor::Run(*deployment->prepared, input, &ctx_);
+}
+
+Status ServingSession::OffloadModel(const std::string& model_name,
+                                    ExternalRuntime* runtime) {
+  RELSERVE_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
+  RELSERVE_RETURN_NOT_OK(runtime->RegisterModel(model));
+  offloaded_[model_name] = runtime;
+  return Status::OK();
+}
+
+Result<Tensor> ServingSession::PredictViaRuntime(
+    const std::string& model_name, const std::string& table_name,
+    const std::string& feature_col) {
+  auto it = offloaded_.find(model_name);
+  if (it == offloaded_.end()) {
+    return Status::NotFound("model '" + model_name +
+                            "' is not offloaded to a runtime");
+  }
+  ExternalRuntime* runtime = it->second;
+  RELSERVE_ASSIGN_OR_RETURN(TableInfo* table,
+                            catalog_->GetTable(table_name));
+  RELSERVE_ASSIGN_OR_RETURN(int col,
+                            table->schema.FieldIndex(feature_col));
+
+  // Export: scan -> wire encoding -> copy across the system boundary.
+  SeqScan scan(table->heap.get(), table->schema);
+  RELSERVE_ASSIGN_OR_RETURN(std::string encoded,
+                            Connector::EncodeFeatureStream(&scan, col));
+  const std::string request =
+      Connector::Transmit(encoded, config_.connector_link);
+  RELSERVE_ASSIGN_OR_RETURN(std::string response,
+                            runtime->Infer(model_name, request));
+  // Import: copy back -> decode into database memory.
+  const std::string imported =
+      Connector::Transmit(response, config_.connector_link);
+  return Connector::DecodeTensor(imported, &working_memory_);
+}
+
+Status ServingSession::EnableApproxCache(
+    const std::string& model_name, int64_t dim,
+    ApproxResultCache::Config config) {
+  if (models_.count(model_name) == 0) {
+    return Status::NotFound("model '" + model_name + "'");
+  }
+  caches_[model_name] = std::make_unique<ApproxResultCache>(
+      static_cast<int>(dim), config);
+  return Status::OK();
+}
+
+Result<ApproxResultCache*> ServingSession::GetApproxCache(
+    const std::string& model_name) {
+  auto it = caches_.find(model_name);
+  if (it == caches_.end()) {
+    return Status::NotFound("no cache for model '" + model_name + "'");
+  }
+  return it->second.get();
+}
+
+Status ServingSession::EnableExactCache(const std::string& model_name) {
+  if (models_.count(model_name) == 0) {
+    return Status::NotFound("model '" + model_name + "'");
+  }
+  exact_caches_[model_name] = std::make_unique<ExactResultCache>();
+  return Status::OK();
+}
+
+Result<ExactResultCache*> ServingSession::GetExactCache(
+    const std::string& model_name) {
+  auto it = exact_caches_.find(model_name);
+  if (it == exact_caches_.end()) {
+    return Status::NotFound("no exact cache for model '" + model_name +
+                            "'");
+  }
+  return it->second.get();
+}
+
+Result<Tensor> ServingSession::PredictWithCache(
+    const std::string& model_name, const Tensor& input) {
+  auto approx_it = caches_.find(model_name);
+  auto exact_it = exact_caches_.find(model_name);
+  ApproxResultCache* approx =
+      approx_it == caches_.end() ? nullptr : approx_it->second.get();
+  ExactResultCache* exact = exact_it == exact_caches_.end()
+                                ? nullptr
+                                : exact_it->second.get();
+  if (approx == nullptr && exact == nullptr) {
+    return Status::NotFound("no cache enabled for model '" +
+                            model_name + "'");
+  }
+  RELSERVE_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
+  if (input.shape().ndim() != 2) {
+    return Status::InvalidArgument(
+        "PredictWithCache expects [batch, features]");
+  }
+  const int64_t n = input.shape().dim(0);
+  const int64_t width = input.shape().dim(1);
+
+  std::vector<int64_t> miss_rows;
+  std::vector<std::vector<float>> hits(n);
+  std::vector<bool> hit_mask(n, false);
+  for (int64_t r = 0; r < n; ++r) {
+    std::vector<float> features(input.data() + r * width,
+                                input.data() + (r + 1) * width);
+    // Exact tier first (free of accuracy cost), then approximate.
+    std::optional<std::vector<float>> cached;
+    if (exact != nullptr) cached = exact->Lookup(features);
+    if (!cached.has_value() && approx != nullptr) {
+      cached = approx->Lookup(features);
+    }
+    if (cached.has_value()) {
+      hits[r] = std::move(*cached);
+      hit_mask[r] = true;
+    } else {
+      miss_rows.push_back(r);
+    }
+  }
+
+  int64_t out_width = -1;
+  Tensor miss_output;
+  if (!miss_rows.empty()) {
+    RELSERVE_ASSIGN_OR_RETURN(
+        Tensor misses,
+        Tensor::Create(
+            Shape{static_cast<int64_t>(miss_rows.size()), width},
+            &working_memory_));
+    for (size_t i = 0; i < miss_rows.size(); ++i) {
+      std::memcpy(misses.data() + i * width,
+                  input.data() + miss_rows[i] * width,
+                  width * sizeof(float));
+    }
+    std::vector<int64_t> dims = {
+        static_cast<int64_t>(miss_rows.size())};
+    for (int64_t d : model->sample_shape().dims()) dims.push_back(d);
+    RELSERVE_ASSIGN_OR_RETURN(Tensor shaped,
+                              misses.Reshape(Shape(std::move(dims))));
+    RELSERVE_ASSIGN_OR_RETURN(ExecOutput out,
+                              PredictBatch(model_name, shaped));
+    RELSERVE_ASSIGN_OR_RETURN(miss_output, out.ToTensor(&ctx_));
+    out_width = miss_output.shape().dim(1);
+    // Populate every enabled tier with the fresh predictions.
+    for (size_t i = 0; i < miss_rows.size(); ++i) {
+      std::vector<float> features(
+          input.data() + miss_rows[i] * width,
+          input.data() + (miss_rows[i] + 1) * width);
+      std::vector<float> prediction(
+          miss_output.data() + i * out_width,
+          miss_output.data() + (i + 1) * out_width);
+      if (exact != nullptr) exact->Insert(features, prediction);
+      if (approx != nullptr) {
+        RELSERVE_RETURN_NOT_OK(
+            approx->Insert(features, std::move(prediction)));
+      }
+    }
+  } else {
+    out_width = static_cast<int64_t>(hits[0].size());
+  }
+
+  RELSERVE_ASSIGN_OR_RETURN(
+      Tensor output,
+      Tensor::Create(Shape{n, out_width}, &working_memory_));
+  size_t miss_cursor = 0;
+  for (int64_t r = 0; r < n; ++r) {
+    if (hit_mask[r]) {
+      std::memcpy(output.data() + r * out_width, hits[r].data(),
+                  out_width * sizeof(float));
+    } else {
+      std::memcpy(output.data() + r * out_width,
+                  miss_output.data() + miss_cursor * out_width,
+                  out_width * sizeof(float));
+      ++miss_cursor;
+    }
+  }
+  return output;
+}
+
+}  // namespace relserve

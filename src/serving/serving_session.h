@@ -1,0 +1,189 @@
+// ServingSession: the public API of relserve — an RDBMS session that
+// manages tables, loads models, optimizes inference queries across the
+// UDF-centric / relation-centric middle ground, optionally offloads to
+// an external DL runtime (DL-centric), and serves cached predictions.
+//
+// Typical use (see examples/quickstart.cc):
+//   ServingSession session(ServingConfig{});
+//   auto* table = *session.CreateTable("tx", FeatureTableSchema());
+//   ... load rows ...
+//   session.RegisterModel(*BuildFFNN("fraud", {28, 256, 2}, 1));
+//   session.Deploy("fraud", ServingMode::kAdaptive, batch);
+//   Tensor scores = *session.Predict("fraud", "tx");
+
+#ifndef RELSERVE_SERVING_SERVING_SESSION_H_
+#define RELSERVE_SERVING_SERVING_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/result_cache.h"
+#include "common/result.h"
+#include "engine/connector.h"
+#include "engine/exec_context.h"
+#include "engine/external_runtime.h"
+#include "engine/hybrid_executor.h"
+#include "engine/prepared_model.h"
+#include "graph/model.h"
+#include "optimizer/optimizer.h"
+#include "storage/catalog.h"
+
+namespace relserve {
+
+struct ServingConfig {
+  // Buffer pool size in pages (kPageSize each) — the paper's "20 GB
+  // buffer pool", scaled.
+  int64_t buffer_pool_pages = 2048;  // 128 MiB
+  // Hard limit of the in-database working-memory arena.
+  int64_t working_memory_bytes = 512LL * 1024 * 1024;
+  // The adaptive optimizer's representation threshold — the paper's
+  // "2 GB", scaled.
+  int64_t memory_threshold_bytes = 64LL * 1024 * 1024;
+  // Tensor block geometry for relation-centric execution.
+  int64_t block_rows = 512;
+  int64_t block_cols = 512;
+  int num_threads = 4;
+  // Spill file path; empty = unique temp file.
+  std::string spill_path;
+  // Simulated cost of the RDBMS <-> external-runtime hop used by
+  // PredictViaRuntime (see TransferLink in engine/connector.h). Zero
+  // both fields for a free link.
+  TransferLink connector_link;
+};
+
+enum class ServingMode {
+  kAdaptive,          // the rule-based optimizer decides per operator
+  kForceUdf,          // pure UDF-centric
+  kForceRelational,   // pure relation-centric
+};
+
+class ServingSession {
+ public:
+  explicit ServingSession(ServingConfig config);
+
+  ServingSession(const ServingSession&) = delete;
+  ServingSession& operator=(const ServingSession&) = delete;
+
+  Catalog* catalog() { return catalog_.get(); }
+  ExecContext* exec_context() { return &ctx_; }
+  MemoryTracker* working_memory() { return &working_memory_; }
+  ThreadPool* thread_pool() { return pool_.get(); }
+  const ServingConfig& config() const { return config_; }
+
+  // --- Tables -------------------------------------------------------
+
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
+  Result<TableInfo*> GetTable(const std::string& name);
+
+  // --- Models -------------------------------------------------------
+
+  // Takes ownership of the model (weights included).
+  Status RegisterModel(Model model);
+  Result<const Model*> GetModel(const std::string& name) const;
+
+  // Optimizes + prepares a model for execution. Re-deploying with a
+  // different mode/batch replaces the prepared instance. Returns the
+  // plan for inspection (EXPLAIN).
+  Result<const InferencePlan*> Deploy(const std::string& model_name,
+                                      ServingMode mode,
+                                      int64_t batch_size);
+
+  // Ahead-of-time compilation (paper Sec. 2): when the model is
+  // loaded, compile one prepared plan per *distinct representation
+  // signature* across the given batch sizes; at query time
+  // PredictBatch/Predict pick the matching plan without re-preparing.
+  // Returns the number of distinct plans compiled.
+  Result<int> DeployAot(const std::string& model_name,
+                        const std::vector<int64_t>& batch_sizes);
+
+  // The number of AoT plan variants held for a model (0 if none).
+  int NumAotPlans(const std::string& model_name) const;
+
+  // --- In-database inference ----------------------------------------
+
+  // Runs the deployed model over every row of `table_name`
+  // (feature_col must be a FLOAT_VECTOR column). If the plan chunks
+  // the input, rows are streamed straight into a block relation and
+  // the batch tensor is never materialized.
+  Result<ExecOutput> Predict(const std::string& model_name,
+                             const std::string& table_name,
+                             const std::string& feature_col = "features");
+
+  // Runs the deployed model on an in-memory batch.
+  Result<ExecOutput> PredictBatch(const std::string& model_name,
+                                  const Tensor& input);
+
+  // --- DL-centric offload -------------------------------------------
+
+  // Attaches an external runtime (not owned) and registers the model
+  // with it.
+  Status OffloadModel(const std::string& model_name,
+                      ExternalRuntime* runtime);
+
+  // Full DL-centric round trip: export features over the connector,
+  // infer in the external runtime, import predictions.
+  Result<Tensor> PredictViaRuntime(const std::string& model_name,
+                                   const std::string& table_name,
+                                   const std::string& feature_col =
+                                       "features");
+
+  // --- Inference result caching --------------------------------------
+
+  // Creates an approximate result cache for the model (input must be
+  // rank-1 flattenable features of `dim`).
+  Status EnableApproxCache(const std::string& model_name, int64_t dim,
+                           ApproxResultCache::Config config);
+
+  Result<ApproxResultCache*> GetApproxCache(
+      const std::string& model_name);
+
+  // Enables the exact (hash-keyed) result cache tier for a model —
+  // zero accuracy cost, hits only on byte-identical requests. When
+  // both tiers are enabled, lookups consult exact before approximate.
+  Status EnableExactCache(const std::string& model_name);
+
+  Result<ExactResultCache*> GetExactCache(
+      const std::string& model_name);
+
+  // Row-wise serving through the enabled cache tiers: hits return the
+  // cached prediction; misses run the model (batched) and populate
+  // every enabled tier.
+  Result<Tensor> PredictWithCache(const std::string& model_name,
+                                  const Tensor& input);
+
+ private:
+  struct Deployment {
+    InferencePlan plan;
+    std::unique_ptr<PreparedModel> prepared;
+  };
+
+  // Resolves the deployment serving `model_name` for a query of
+  // `batch_size` rows: an AoT variant whose representation signature
+  // matches what the optimizer would pick for that batch, else the
+  // single Deploy()-ed instance. `batch_size` < 0 skips AoT matching.
+  Result<Deployment*> GetDeployment(const std::string& model_name,
+                                    int64_t batch_size = -1);
+
+  ServingConfig config_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> buffer_pool_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<ThreadPool> pool_;
+  MemoryTracker working_memory_;
+  ExecContext ctx_;
+
+  std::map<std::string, std::unique_ptr<Model>> models_;
+  std::map<std::string, Deployment> deployments_;
+  // AoT variants: model name -> representation signature -> deployment.
+  std::map<std::string, std::map<std::string, Deployment>> aot_plans_;
+  std::map<std::string, ExternalRuntime*> offloaded_;
+  std::map<std::string, std::unique_ptr<ApproxResultCache>> caches_;
+  std::map<std::string, std::unique_ptr<ExactResultCache>>
+      exact_caches_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_SERVING_SERVING_SESSION_H_

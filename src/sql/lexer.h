@@ -1,0 +1,41 @@
+// SQL lexer for the inference-query dialect (see parser.h).
+
+#ifndef RELSERVE_SQL_LEXER_H_
+#define RELSERVE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace relserve {
+namespace sql {
+
+enum class TokenKind {
+  kIdentifier,  // table / column / model / function names
+  kKeyword,     // SELECT, FROM, WHERE, AND, OR, NOT, LIMIT, AS
+  kNumber,      // integer or decimal literal
+  kString,      // 'single quoted'
+  kSymbol,      // ( ) , * = < > <= >= != .
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // keywords upper-cased; identifiers as written
+
+  bool IsKeyword(const std::string& kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const std::string& s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+// Tokenizes `input`; the final token is always kEnd.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace sql
+}  // namespace relserve
+
+#endif  // RELSERVE_SQL_LEXER_H_

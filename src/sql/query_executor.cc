@@ -1,0 +1,519 @@
+#include "sql/query_executor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "kernels/kernels.h"
+#include "relational/expression.h"
+#include "relational/operator.h"
+#include "sql/parser.h"
+
+namespace relserve {
+namespace sql {
+
+namespace {
+
+Result<ExprPtr> BindOperand(const Operand& operand,
+                            const Schema& schema) {
+  if (!operand.is_column) {
+    return Expression::Literal(operand.literal);
+  }
+  RELSERVE_ASSIGN_OR_RETURN(int index,
+                            schema.FieldIndex(operand.column));
+  return Expression::Column(index);
+}
+
+Result<ExprPtr> BindPredicate(const Predicate& predicate,
+                              const Schema& schema) {
+  switch (predicate.kind) {
+    case PredicateKind::kComparison: {
+      RELSERVE_ASSIGN_OR_RETURN(
+          ExprPtr left, BindOperand(predicate.comparison.left, schema));
+      RELSERVE_ASSIGN_OR_RETURN(
+          ExprPtr right,
+          BindOperand(predicate.comparison.right, schema));
+      switch (predicate.comparison.op) {
+        case CompareOp::kEq:
+          return Expression::Binary(ExprKind::kEq, left, right);
+        case CompareOp::kNe:
+          return Expression::Not(
+              Expression::Binary(ExprKind::kEq, left, right));
+        case CompareOp::kLt:
+          return Expression::Binary(ExprKind::kLt, left, right);
+        case CompareOp::kLe:
+          return Expression::Binary(ExprKind::kLe, left, right);
+        case CompareOp::kGt:  // a > b  ==  b < a
+          return Expression::Binary(ExprKind::kLt, right, left);
+        case CompareOp::kGe:  // a >= b ==  b <= a
+          return Expression::Binary(ExprKind::kLe, right, left);
+      }
+      return Status::Internal("unhandled comparison");
+    }
+    case PredicateKind::kAnd:
+    case PredicateKind::kOr: {
+      RELSERVE_ASSIGN_OR_RETURN(ExprPtr left,
+                                BindPredicate(*predicate.left, schema));
+      RELSERVE_ASSIGN_OR_RETURN(
+          ExprPtr right, BindPredicate(*predicate.right, schema));
+      return Expression::Binary(predicate.kind == PredicateKind::kAnd
+                                    ? ExprKind::kAnd
+                                    : ExprKind::kOr,
+                                left, right);
+    }
+    case PredicateKind::kNot: {
+      RELSERVE_ASSIGN_OR_RETURN(ExprPtr inner,
+                                BindPredicate(*predicate.left, schema));
+      return Expression::Not(inner);
+    }
+  }
+  return Status::Internal("unhandled predicate kind");
+}
+
+// Runs a PREDICT over the qualifying rows' feature column; returns the
+// model output matrix [rows.size(), classes].
+Result<Tensor> RunPredict(ServingSession* session,
+                          const SelectItem& item, const Schema& schema,
+                          const std::vector<Row>& rows) {
+  RELSERVE_ASSIGN_OR_RETURN(int col,
+                            schema.FieldIndex(item.feature_col));
+  RELSERVE_ASSIGN_OR_RETURN(const Model* model,
+                            session->GetModel(item.model));
+  const int64_t n = static_cast<int64_t>(rows.size());
+  const int64_t width = model->sample_shape().NumElements();
+  RELSERVE_ASSIGN_OR_RETURN(
+      Tensor input,
+      Tensor::Create(Shape{n, width}, session->working_memory()));
+  for (int64_t r = 0; r < n; ++r) {
+    const Value& v = rows[r].value(col);
+    if (v.type() != ValueType::kFloatVector ||
+        static_cast<int64_t>(v.AsFloatVector().size()) != width) {
+      return Status::InvalidArgument(
+          "column '" + item.feature_col +
+          "' is not a feature vector of width " +
+          std::to_string(width));
+    }
+    std::memcpy(input.data() + r * width, v.AsFloatVector().data(),
+                width * sizeof(float));
+  }
+  std::vector<int64_t> dims = {n};
+  for (int64_t d : model->sample_shape().dims()) dims.push_back(d);
+  RELSERVE_ASSIGN_OR_RETURN(Tensor shaped,
+                            input.Reshape(Shape(std::move(dims))));
+
+  // Deploy on first use (adaptive), then reuse the deployment.
+  Result<ExecOutput> out = session->PredictBatch(item.model, shaped);
+  if (!out.ok() && out.status().IsNotFound()) {
+    RELSERVE_RETURN_NOT_OK(
+        session->Deploy(item.model, ServingMode::kAdaptive, n)
+            .status());
+    out = session->PredictBatch(item.model, shaped);
+  }
+  RELSERVE_RETURN_NOT_OK(out.status());
+  RELSERVE_ASSIGN_OR_RETURN(Tensor scores,
+                            out->ToTensor(session->exec_context()));
+  const int64_t classes = scores.NumElements() / n;
+  return scores.Reshape(Shape{n, classes});
+}
+
+std::string AggName(AggregateFunc func) {
+  switch (func) {
+    case AggregateFunc::kCount:
+      return "count";
+    case AggregateFunc::kSum:
+      return "sum";
+    case AggregateFunc::kAvg:
+      return "avg";
+    case AggregateFunc::kMin:
+      return "min";
+    case AggregateFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+std::string DefaultName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  switch (item.kind) {
+    case ItemKind::kColumn:
+      return item.column;
+    case ItemKind::kPredict:
+      return "predict_" + item.model;
+    case ItemKind::kPredictClass:
+      return "class_" + item.model;
+    case ItemKind::kAggregate:
+      return AggName(item.agg) +
+             (item.column == "*" ? "" : "_" + item.column);
+    case ItemKind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+// ORDER BY (over output column names) + the post-sort LIMIT.
+Status ApplyOrderAndLimit(const SelectStatement& stmt,
+                          QueryResult* result) {
+  if (stmt.order_by.has_value()) {
+    RELSERVE_ASSIGN_OR_RETURN(
+        int key, result->schema.FieldIndex(*stmt.order_by));
+    auto less = [key](const Row& a, const Row& b) {
+      const Value& va = a.value(key);
+      const Value& vb = b.value(key);
+      if (va.type() == ValueType::kString &&
+          vb.type() == ValueType::kString) {
+        return va.AsString() < vb.AsString();
+      }
+      return va.AsNumeric() < vb.AsNumeric();
+    };
+    std::stable_sort(result->rows.begin(), result->rows.end(), less);
+    if (stmt.order_desc) {
+      std::reverse(result->rows.begin(), result->rows.end());
+    }
+    if (stmt.limit.has_value() &&
+        static_cast<int64_t>(result->rows.size()) > *stmt.limit) {
+      result->rows.resize(*stmt.limit);
+    }
+  }
+  return Status::OK();
+}
+
+// Grouped/aggregated evaluation over the extended relation.
+Result<QueryResult> RunGrouped(const SelectStatement& stmt,
+                               const Schema& extended_schema,
+                               std::vector<Row> extended_rows) {
+  // Every non-aggregate select item must be a GROUP BY name.
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind == ItemKind::kAggregate) continue;
+    if (item.kind == ItemKind::kStar) {
+      return Status::InvalidArgument("* is not valid with GROUP BY");
+    }
+    const std::string name = item.kind == ItemKind::kColumn
+                                 ? item.column
+                                 : DefaultName(item);
+    if (std::find(stmt.group_by.begin(), stmt.group_by.end(), name) ==
+        stmt.group_by.end()) {
+      return Status::InvalidArgument(
+          "'" + name + "' must appear in GROUP BY or an aggregate");
+    }
+  }
+
+  // Bind group keys and aggregate specs against the extended schema.
+  std::vector<int> group_keys;
+  for (const std::string& name : stmt.group_by) {
+    RELSERVE_ASSIGN_OR_RETURN(int index,
+                              extended_schema.FieldIndex(name));
+    group_keys.push_back(index);
+  }
+  std::vector<AggSpec> specs;
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind != ItemKind::kAggregate) continue;
+    AggSpec spec;
+    spec.output_name = DefaultName(item);
+    switch (item.agg) {
+      case AggregateFunc::kCount:
+        spec.func = AggFunc::kCount;
+        break;
+      case AggregateFunc::kSum:
+        spec.func = AggFunc::kSum;
+        break;
+      case AggregateFunc::kAvg:
+        spec.func = AggFunc::kAvg;
+        break;
+      case AggregateFunc::kMin:
+        spec.func = AggFunc::kMin;
+        break;
+      case AggregateFunc::kMax:
+        spec.func = AggFunc::kMax;
+        break;
+    }
+    if (item.column != "*") {
+      RELSERVE_ASSIGN_OR_RETURN(
+          spec.column, extended_schema.FieldIndex(item.column));
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  HashAggregate agg(std::make_unique<MemScan>(std::move(extended_rows),
+                                              extended_schema),
+                    group_keys, specs);
+  RELSERVE_ASSIGN_OR_RETURN(std::vector<Row> agg_rows, Collect(&agg));
+
+  // Reproject (keys..., aggs...) into the select-list order.
+  std::vector<int> out_indices;
+  std::vector<Column> out_columns;
+  int agg_cursor = 0;
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind == ItemKind::kAggregate) {
+      const int index =
+          static_cast<int>(group_keys.size()) + agg_cursor;
+      out_indices.push_back(index);
+      out_columns.push_back(agg.schema().column(index));
+      ++agg_cursor;
+    } else {
+      const std::string name = item.kind == ItemKind::kColumn
+                                   ? item.column
+                                   : DefaultName(item);
+      const auto it =
+          std::find(stmt.group_by.begin(), stmt.group_by.end(), name);
+      const int index =
+          static_cast<int>(it - stmt.group_by.begin());
+      out_indices.push_back(index);
+      Column column = agg.schema().column(index);
+      column.name = DefaultName(item);
+      out_columns.push_back(std::move(column));
+    }
+  }
+  QueryResult result;
+  result.schema = Schema(std::move(out_columns));
+  result.rows.reserve(agg_rows.size());
+  for (const Row& row : agg_rows) {
+    std::vector<Value> values;
+    values.reserve(out_indices.size());
+    for (int index : out_indices) values.push_back(row.value(index));
+    result.rows.emplace_back(std::move(values));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string QueryResult::ToString(int64_t max_rows) const {
+  std::string out = schema.ToString() + "\n";
+  const int64_t n =
+      std::min<int64_t>(max_rows, static_cast<int64_t>(rows.size()));
+  for (int64_t i = 0; i < n; ++i) {
+    out += rows[i].ToString() + "\n";
+  }
+  if (n < static_cast<int64_t>(rows.size())) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  }
+  return out;
+}
+
+namespace {
+
+// EXPLAIN: the bound relational pipeline plus each referenced model's
+// optimizer plan at the table's current cardinality.
+Result<std::string> ExplainSelect(ServingSession* session,
+                                  const SelectStatement& stmt) {
+  RELSERVE_ASSIGN_OR_RETURN(TableInfo * table,
+                            session->GetTable(stmt.table));
+  std::string out;
+  const int64_t rows = table->heap->num_records();
+  out += "SeqScan " + stmt.table + " (" + std::to_string(rows) +
+         " rows)\n";
+  if (stmt.where != nullptr) {
+    RELSERVE_ASSIGN_OR_RETURN(ExprPtr predicate,
+                              BindPredicate(*stmt.where, table->schema));
+    out += "  Filter: " + predicate->ToString() + "\n";
+  }
+  if (!stmt.group_by.empty()) {
+    out += "  GroupBy:";
+    for (const std::string& key : stmt.group_by) out += " " + key;
+    out += "\n";
+  }
+  if (stmt.limit.has_value()) {
+    out += "  Limit: " + std::to_string(*stmt.limit) + "\n";
+  }
+  RuleBasedOptimizer optimizer(
+      session->config().memory_threshold_bytes);
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind != ItemKind::kPredict &&
+        item.kind != ItemKind::kPredictClass) {
+      continue;
+    }
+    RELSERVE_ASSIGN_OR_RETURN(const Model* model,
+                              session->GetModel(item.model));
+    RELSERVE_ASSIGN_OR_RETURN(
+        InferencePlan plan,
+        optimizer.Optimize(*model, std::max<int64_t>(1, rows)));
+    out += plan.ToString(*model);
+  }
+  return out;
+}
+
+Status CheckInsertRow(const Schema& schema,
+                      const std::vector<Value>& row) {
+  if (static_cast<int>(row.size()) != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "INSERT row has " + std::to_string(row.size()) +
+        " values; table has " + std::to_string(schema.num_columns()) +
+        " columns");
+  }
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    ValueType got = row[c].type();
+    const ValueType want = schema.column(c).type;
+    // Int literals are accepted for FLOAT64 columns.
+    if (got == ValueType::kInt64 && want == ValueType::kFloat64) {
+      continue;
+    }
+    if (got != want) {
+      return Status::InvalidArgument(
+          "column '" + schema.column(c).name + "' expects " +
+          ValueTypeName(want) + ", got " + ValueTypeName(got));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<StatementResult> ExecuteStatement(ServingSession* session,
+                                         const std::string& sql) {
+  RELSERVE_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  StatementResult result;
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect: {
+      // Re-dispatch through the SELECT path below.
+      break;
+    }
+    case Statement::Kind::kExplainSelect: {
+      RELSERVE_ASSIGN_OR_RETURN(result.message,
+                                ExplainSelect(session, stmt.select));
+      return result;
+    }
+    case Statement::Kind::kCreateTable: {
+      RELSERVE_RETURN_NOT_OK(
+          session->CreateTable(stmt.create.table,
+                               Schema(stmt.create.columns))
+              .status());
+      result.message = "created table " + stmt.create.table;
+      return result;
+    }
+    case Statement::Kind::kInsert: {
+      RELSERVE_ASSIGN_OR_RETURN(TableInfo * table,
+                                session->GetTable(stmt.insert.table));
+      for (const std::vector<Value>& values : stmt.insert.rows) {
+        RELSERVE_RETURN_NOT_OK(CheckInsertRow(table->schema, values));
+        // Coerce int literals destined for FLOAT64 columns.
+        std::vector<Value> coerced = values;
+        for (int c = 0; c < table->schema.num_columns(); ++c) {
+          if (table->schema.column(c).type == ValueType::kFloat64 &&
+              coerced[c].type() == ValueType::kInt64) {
+            coerced[c] = Value(
+                static_cast<double>(coerced[c].AsInt64()));
+          }
+        }
+        Row row(std::move(coerced));
+        std::string bytes;
+        row.SerializeTo(&bytes);
+        RELSERVE_RETURN_NOT_OK(table->heap->Append(bytes));
+      }
+      result.message = "inserted " +
+                       std::to_string(stmt.insert.rows.size()) +
+                       " rows into " + stmt.insert.table;
+      return result;
+    }
+  }
+  result.has_rows = true;
+  RELSERVE_ASSIGN_OR_RETURN(result.query, ExecuteQuery(session, sql));
+  return result;
+}
+
+Result<QueryResult> ExecuteQuery(ServingSession* session,
+                                 const std::string& query) {
+  RELSERVE_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(query));
+  RELSERVE_ASSIGN_OR_RETURN(TableInfo * table,
+                            session->GetTable(stmt.table));
+  const Schema& schema = table->schema;
+
+  // scan -> [filter] -> [limit]
+  RowIteratorPtr plan =
+      std::make_unique<SeqScan>(table->heap.get(), schema);
+  if (stmt.where != nullptr) {
+    RELSERVE_ASSIGN_OR_RETURN(ExprPtr predicate,
+                              BindPredicate(*stmt.where, schema));
+    plan = std::make_unique<Filter>(std::move(plan), predicate);
+  }
+  // With ORDER BY, LIMIT applies to the *sorted* output, so it cannot
+  // be pushed into the pipeline.
+  if (stmt.limit.has_value() && !stmt.order_by.has_value()) {
+    plan = std::make_unique<Limit>(std::move(plan), *stmt.limit);
+  }
+  RELSERVE_ASSIGN_OR_RETURN(std::vector<Row> base_rows,
+                            Collect(plan.get()));
+
+  // Evaluate PREDICT items and append their values as extra columns
+  // of an "extended" relation the select list (and any GROUP BY)
+  // resolves against.
+  std::vector<Column> extended_columns = schema.columns();
+  std::vector<Row> extended_rows = std::move(base_rows);
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind != ItemKind::kPredict &&
+        item.kind != ItemKind::kPredictClass) {
+      continue;
+    }
+    extended_columns.push_back(
+        Column{DefaultName(item), item.kind == ItemKind::kPredict
+                                      ? ValueType::kFloatVector
+                                      : ValueType::kInt64});
+    if (extended_rows.empty()) continue;
+    RELSERVE_ASSIGN_OR_RETURN(
+        Tensor scores, RunPredict(session, item, schema, extended_rows));
+    const int64_t classes = scores.shape().dim(1);
+    for (size_t r = 0; r < extended_rows.size(); ++r) {
+      if (item.kind == ItemKind::kPredict) {
+        std::vector<float> row_scores(
+            scores.data() + r * classes,
+            scores.data() + (r + 1) * classes);
+        extended_rows[r].Append(Value(std::move(row_scores)));
+      } else {
+        int64_t best = 0;
+        for (int64_t c = 1; c < classes; ++c) {
+          if (scores.At(r, c) > scores.At(r, best)) best = c;
+        }
+        extended_rows[r].Append(Value(best));
+      }
+    }
+  }
+  Schema extended_schema(extended_columns);
+
+  const bool has_aggregates =
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const SelectItem& item) {
+                    return item.kind == ItemKind::kAggregate;
+                  });
+  if (!stmt.group_by.empty() || has_aggregates) {
+    RELSERVE_ASSIGN_OR_RETURN(
+        QueryResult grouped,
+        RunGrouped(stmt, extended_schema, std::move(extended_rows)));
+    RELSERVE_RETURN_NOT_OK(ApplyOrderAndLimit(stmt, &grouped));
+    return grouped;
+  }
+
+  // Plain projection over the extended relation.
+  QueryResult result;
+  std::vector<Column> out_columns;
+  std::vector<int> out_indices;
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind == ItemKind::kStar) {
+      for (int c = 0; c < schema.num_columns(); ++c) {
+        out_columns.push_back(schema.column(c));
+        out_indices.push_back(c);
+      }
+      continue;
+    }
+    const std::string name = item.kind == ItemKind::kColumn
+                                 ? item.column
+                                 : DefaultName(item);
+    RELSERVE_ASSIGN_OR_RETURN(int index,
+                              extended_schema.FieldIndex(name));
+    Column column = extended_schema.column(index);
+    column.name = DefaultName(item);
+    out_columns.push_back(std::move(column));
+    out_indices.push_back(index);
+  }
+  result.schema = Schema(std::move(out_columns));
+  result.rows.reserve(extended_rows.size());
+  for (const Row& row : extended_rows) {
+    std::vector<Value> values;
+    values.reserve(out_indices.size());
+    for (int index : out_indices) values.push_back(row.value(index));
+    result.rows.emplace_back(std::move(values));
+  }
+  RELSERVE_RETURN_NOT_OK(ApplyOrderAndLimit(stmt, &result));
+  return result;
+}
+
+}  // namespace sql
+}  // namespace relserve

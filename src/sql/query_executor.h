@@ -1,0 +1,50 @@
+// Executes the SQL inference dialect against a ServingSession: binds
+// the statement to catalog schemas, runs the relational pipeline
+// (scan -> filter -> limit), and evaluates PREDICT / PREDICT_CLASS
+// items by batching the qualifying rows through the deployed model —
+// the "inference query" of the paper, end to end inside the database.
+
+#ifndef RELSERVE_SQL_QUERY_EXECUTOR_H_
+#define RELSERVE_SQL_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/row.h"
+#include "relational/schema.h"
+#include "serving/serving_session.h"
+
+namespace relserve {
+namespace sql {
+
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+
+  // Plain-text table rendering (up to max_rows rows).
+  std::string ToString(int64_t max_rows = 20) const;
+};
+
+// Parses and executes one SELECT. Models referenced by PREDICT items
+// must be registered; if not yet deployed they are deployed
+// adaptively for the qualifying batch size.
+Result<QueryResult> ExecuteQuery(ServingSession* session,
+                                 const std::string& query);
+
+// Any supported statement: SELECT (rows), EXPLAIN SELECT (the bound
+// plan, including each referenced model's per-operator representation
+// decisions), CREATE TABLE, INSERT INTO ... VALUES.
+struct StatementResult {
+  bool has_rows = false;
+  QueryResult query;    // when has_rows
+  std::string message;  // DDL/DML confirmations and EXPLAIN text
+};
+
+Result<StatementResult> ExecuteStatement(ServingSession* session,
+                                         const std::string& sql);
+
+}  // namespace sql
+}  // namespace relserve
+
+#endif  // RELSERVE_SQL_QUERY_EXECUTOR_H_

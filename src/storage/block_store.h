@@ -1,0 +1,83 @@
+// BlockStore: a tensor relation — the on-page home of TensorBlocks.
+//
+// This is the storage half of the relation-centric architecture: a
+// large matrix is chunked (SplitMatrix / ExtractBlock) and each block's
+// payload is laid out across buffer-pool pages. Reading a block back
+// materializes just that block, charged to the caller's arena; the rest
+// of the tensor stays on pages (resident or spilled). Block metadata
+// (coordinates, shape, page list) is kept in memory — it is catalog
+// data, tiny compared to payloads.
+
+#ifndef RELSERVE_STORAGE_BLOCK_STORE_H_
+#define RELSERVE_STORAGE_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "tensor/tensor_block.h"
+
+namespace relserve {
+
+class BlockStore {
+ public:
+  struct BlockEntry {
+    int64_t row_block = 0;
+    int64_t col_block = 0;
+    int64_t rows = 0;
+    int64_t cols = 0;
+    std::vector<PageId> pages;
+
+    int64_t ByteSize() const {
+      return rows * cols * static_cast<int64_t>(sizeof(float));
+    }
+  };
+
+  BlockStore(BufferPool* pool, BlockedShape geometry)
+      : pool_(pool), geometry_(geometry) {}
+
+  // Dropping a store recycles its pages back to the disk manager's
+  // free list — intermediate activation relations are transient, and
+  // without recycling every query would grow the spill file.
+  ~BlockStore();
+
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+  BlockStore(BlockStore&& other) noexcept
+      : pool_(other.pool_),
+        geometry_(other.geometry_),
+        entries_(std::move(other.entries_)) {
+    other.entries_.clear();
+  }
+
+  // Writes one block's payload to fresh pages and records its entry.
+  Status Put(const TensorBlock& block);
+
+  // Chunks an in-memory matrix and stores every block. Uses O(block)
+  // transient memory (charged to `scratch`, may be null).
+  Status PutMatrix(const Tensor& m, MemoryTracker* scratch = nullptr);
+
+  // Reads a stored block back into a Tensor charged to `tracker`.
+  Result<TensorBlock> Get(const BlockEntry& entry,
+                          MemoryTracker* tracker = nullptr) const;
+
+  // Reassembles the full matrix (requires it to fit in `tracker`).
+  Result<Tensor> ToMatrix(MemoryTracker* tracker = nullptr) const;
+
+  const std::vector<BlockEntry>& entries() const { return entries_; }
+  const BlockedShape& geometry() const { return geometry_; }
+  BufferPool* pool() const { return pool_; }
+
+  // Total payload bytes across all stored blocks.
+  int64_t TotalBytes() const;
+
+ private:
+  BufferPool* pool_;
+  BlockedShape geometry_;
+  std::vector<BlockEntry> entries_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_STORAGE_BLOCK_STORE_H_

@@ -1,0 +1,145 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace relserve {
+
+std::string BufferPoolStats::ToString() const {
+  return "hits=" + std::to_string(hits) +
+         " misses=" + std::to_string(misses) +
+         " evictions=" + std::to_string(evictions);
+}
+
+BufferPool::BufferPool(DiskManager* disk, int64_t capacity_pages)
+    : disk_(disk), capacity_pages_(capacity_pages) {
+  RELSERVE_CHECK(capacity_pages >= 1);
+  frames_.resize(capacity_pages);
+}
+
+Result<int64_t> BufferPool::GetFreeFrameLocked() {
+  // First preference: a frame never used.
+  for (int64_t i = 0; i < capacity_pages_; ++i) {
+    if (frames_[i].page_id == kInvalidPageId) {
+      if (frames_[i].data == nullptr) {
+        frames_[i].data = std::make_unique<char[]>(kPageSize);
+      }
+      return i;
+    }
+  }
+  // Otherwise evict the least-recently-used unpinned frame.
+  int64_t victim = -1;
+  uint64_t oldest = std::numeric_limits<uint64_t>::max();
+  for (int64_t i = 0; i < capacity_pages_; ++i) {
+    if (frames_[i].pin_count == 0 && frames_[i].last_used < oldest) {
+      oldest = frames_[i].last_used;
+      victim = i;
+    }
+  }
+  if (victim < 0) {
+    return Status::OutOfMemory(
+        "buffer pool: all " + std::to_string(capacity_pages_) +
+        " frames pinned");
+  }
+  Frame& frame = frames_[victim];
+  if (frame.dirty) {
+    RELSERVE_RETURN_NOT_OK(disk_->WritePage(frame.page_id, frame.data.get()));
+    frame.dirty = false;
+  }
+  page_table_.erase(frame.page_id);
+  frame.page_id = kInvalidPageId;
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<char*> BufferPool::FetchPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    frame.last_used = ++clock_;
+    ++stats_.hits;
+    return frame.data.get();
+  }
+  ++stats_.misses;
+  RELSERVE_ASSIGN_OR_RETURN(int64_t idx, GetFreeFrameLocked());
+  Frame& frame = frames_[idx];
+  RELSERVE_RETURN_NOT_OK(disk_->ReadPage(page_id, frame.data.get()));
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.last_used = ++clock_;
+  page_table_[page_id] = idx;
+  return frame.data.get();
+}
+
+Result<char*> BufferPool::NewPage(PageId* out_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RELSERVE_ASSIGN_OR_RETURN(int64_t idx, GetFreeFrameLocked());
+  const PageId page_id = disk_->AllocatePage();
+  Frame& frame = frames_[idx];
+  std::memset(frame.data.get(), 0, kPageSize);
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = true;  // must reach disk even if never rewritten
+  frame.last_used = ++clock_;
+  page_table_[page_id] = idx;
+  *out_id = page_id;
+  return frame.data.get();
+}
+
+Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("unpin of non-resident page " +
+                            std::to_string(page_id));
+  }
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count <= 0) {
+    return Status::Internal("unpin of unpinned page " +
+                            std::to_string(page_id));
+  }
+  --frame.pin_count;
+  frame.dirty = frame.dirty || dirty;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.dirty) {
+      RELSERVE_RETURN_NOT_OK(
+          disk_->WritePage(frame.page_id, frame.data.get()));
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DeletePage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    if (frame.pin_count > 0) {
+      return Status::Internal("delete of pinned page " +
+                              std::to_string(page_id));
+    }
+    frame.page_id = kInvalidPageId;
+    frame.dirty = false;
+    page_table_.erase(it);
+  }
+  disk_->FreePage(page_id);
+  return Status::OK();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace relserve

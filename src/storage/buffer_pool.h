@@ -1,0 +1,125 @@
+// BufferPool: fixed-capacity page cache with LRU eviction and pinning.
+//
+// The relation-centric architecture inherits the RDBMS's ability to
+// operate on data larger than memory (paper Sec. 1, Sec. 7.1): tensor
+// blocks live on pages; only the working set is resident; cold pages
+// spill to the DiskManager and reload on demand. The pool's
+// hit/miss/eviction counters are what the block-size and pool-size
+// ablations (A2/A3) report.
+
+#ifndef RELSERVE_STORAGE_BUFFER_POOL_H_
+#define RELSERVE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace relserve {
+
+struct BufferPoolStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+
+  std::string ToString() const;
+};
+
+class BufferPool {
+ public:
+  // `capacity_pages` frames of kPageSize each; the pool never holds
+  // more than capacity_pages * kPageSize bytes of page data.
+  BufferPool(DiskManager* disk, int64_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins an existing page and returns its frame data. The caller must
+  // Unpin with the same id exactly once per fetch.
+  Result<char*> FetchPage(PageId page_id);
+
+  // Allocates a new zeroed page, pinned. `out_id` receives the id.
+  Result<char*> NewPage(PageId* out_id);
+
+  // Releases a pin; `dirty` marks the frame for write-back on
+  // eviction/flush.
+  Status UnpinPage(PageId page_id, bool dirty);
+
+  // Writes back every dirty resident page.
+  Status FlushAll();
+
+  // Drops a page: discards any resident (even dirty) copy and returns
+  // the id to the disk manager's free list. The page must be
+  // unpinned. Used when a tensor relation is dropped so its pages are
+  // recycled instead of bloating the spill file.
+  Status DeletePage(PageId page_id);
+
+  int64_t capacity_pages() const { return capacity_pages_; }
+  int64_t capacity_bytes() const { return capacity_pages_ * kPageSize; }
+  BufferPoolStats stats() const;
+  DiskManager* disk() { return disk_; }
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    std::unique_ptr<char[]> data;
+    int pin_count = 0;
+    bool dirty = false;
+    uint64_t last_used = 0;  // LRU clock
+  };
+
+  // Finds a frame to (re)use, evicting an unpinned page if needed.
+  // Called with mu_ held.
+  Result<int64_t> GetFreeFrameLocked();
+
+  DiskManager* const disk_;
+  const int64_t capacity_pages_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, int64_t> page_table_;  // page -> frame idx
+  uint64_t clock_ = 0;
+  BufferPoolStats stats_;
+};
+
+// RAII pin guard: unpins on scope exit.
+class PageGuard {
+ public:
+  PageGuard(BufferPool* pool, PageId page_id, char* data)
+      : pool_(pool), page_id_(page_id), data_(data) {}
+  ~PageGuard() {
+    if (pool_ != nullptr) pool_->UnpinPage(page_id_, dirty_);
+  }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    pool_ = other.pool_;
+    page_id_ = other.page_id_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    return *this;
+  }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  PageId page_id() const { return page_id_; }
+  void MarkDirty() { dirty_ = true; }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId page_id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_STORAGE_BUFFER_POOL_H_

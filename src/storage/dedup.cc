@@ -1,0 +1,106 @@
+#include "storage/dedup.h"
+
+#include <cmath>
+
+namespace relserve {
+
+namespace {
+
+// Mean of a payload; used as a cheap prefilter before the full
+// elementwise comparison.
+float BlockMean(const Tensor& t) {
+  const float* data = t.data();
+  const int64_t n = t.NumElements();
+  if (n == 0) return 0.0f;
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) sum += data[i];
+  return static_cast<float>(sum / n);
+}
+
+// Max |a-b| if it stays <= tolerance, else a value > tolerance (early
+// exit).
+float BoundedMaxAbsDiff(const Tensor& a, const Tensor& b,
+                        float tolerance) {
+  const float* ad = a.data();
+  const float* bd = b.data();
+  const int64_t n = a.NumElements();
+  float max_diff = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = std::fabs(ad[i] - bd[i]);
+    if (d > tolerance) return d;
+    if (d > max_diff) max_diff = d;
+  }
+  return max_diff;
+}
+
+}  // namespace
+
+std::string DedupStats::ToString() const {
+  return "blocks " + std::to_string(input_blocks) + " -> " +
+         std::to_string(unique_blocks) + ", bytes " +
+         std::to_string(input_bytes) + " -> " +
+         std::to_string(stored_bytes) +
+         ", max_err=" + std::to_string(max_substitution_error);
+}
+
+Result<DedupResult> DeduplicateBlocks(
+    const std::vector<TensorBlock>& blocks, float tolerance) {
+  if (tolerance < 0.0f) {
+    return Status::InvalidArgument("negative dedup tolerance");
+  }
+  DedupResult out;
+  out.mapping.reserve(blocks.size());
+  out.logical_coords.reserve(blocks.size());
+  std::vector<float> means;
+  for (const TensorBlock& block : blocks) {
+    out.logical_coords.emplace_back(block.row_block, block.col_block);
+    out.stats.input_blocks += 1;
+    out.stats.input_bytes += block.data.ByteSize();
+    const float mean = BlockMean(block.data);
+    int64_t match = -1;
+    float match_err = 0.0f;
+    for (int64_t u = 0;
+         u < static_cast<int64_t>(out.unique_blocks.size()); ++u) {
+      const Tensor& candidate = out.unique_blocks[u].data;
+      if (candidate.shape() != block.data.shape()) continue;
+      if (std::fabs(means[u] - mean) > tolerance) continue;
+      const float err =
+          BoundedMaxAbsDiff(candidate, block.data, tolerance);
+      if (err <= tolerance) {
+        match = u;
+        match_err = err;
+        break;
+      }
+    }
+    if (match >= 0) {
+      out.mapping.push_back(match);
+      if (match_err > out.stats.max_substitution_error) {
+        out.stats.max_substitution_error = match_err;
+      }
+    } else {
+      out.mapping.push_back(
+          static_cast<int64_t>(out.unique_blocks.size()));
+      out.unique_blocks.push_back(blocks[out.stats.input_blocks - 1]);
+      means.push_back(mean);
+      out.stats.stored_bytes += block.data.ByteSize();
+    }
+  }
+  out.stats.unique_blocks =
+      static_cast<int64_t>(out.unique_blocks.size());
+  return out;
+}
+
+std::vector<TensorBlock> ExpandDedup(const DedupResult& dedup) {
+  std::vector<TensorBlock> out;
+  out.reserve(dedup.mapping.size());
+  for (size_t i = 0; i < dedup.mapping.size(); ++i) {
+    TensorBlock block = dedup.unique_blocks[dedup.mapping[i]];
+    // Payload is shared; coordinates are the logical position's.
+    block.row_block = dedup.logical_coords[i].first;
+    block.col_block = dedup.logical_coords[i].second;
+    out.push_back(std::move(block));
+  }
+  return out;
+}
+
+}  // namespace relserve

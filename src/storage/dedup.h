@@ -1,0 +1,60 @@
+// Accuracy-aware tensor-block deduplication (paper Sec. 4(1)).
+//
+// Relational data must be stored exactly, but model weights tolerate
+// bounded error. Blocks whose payloads agree within an L-infinity
+// tolerance are stored once; the logical blocks become references to
+// the shared physical block. Tolerance 0 gives exact dedup.
+
+#ifndef RELSERVE_STORAGE_DEDUP_H_
+#define RELSERVE_STORAGE_DEDUP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor_block.h"
+
+namespace relserve {
+
+struct DedupStats {
+  int64_t input_blocks = 0;
+  int64_t unique_blocks = 0;
+  int64_t input_bytes = 0;
+  int64_t stored_bytes = 0;
+  // Largest elementwise error introduced by any substitution.
+  float max_substitution_error = 0.0f;
+
+  double CompressionRatio() const {
+    return stored_bytes == 0
+               ? 1.0
+               : static_cast<double>(input_bytes) / stored_bytes;
+  }
+  std::string ToString() const;
+};
+
+struct DedupResult {
+  // Physical blocks actually stored.
+  std::vector<TensorBlock> unique_blocks;
+  // mapping[i] = index into unique_blocks serving logical block i.
+  std::vector<int64_t> mapping;
+  // The logical coordinates of every input block, in input order
+  // (needed to reconstruct the original layout: a shared physical
+  // block serves several logical positions).
+  std::vector<std::pair<int64_t, int64_t>> logical_coords;
+  DedupStats stats;
+};
+
+// Deduplicates `blocks` with elementwise tolerance `tolerance`.
+// Quadratic in the number of *unique* blocks but with a cheap
+// mean/shape prefilter, which is fine at catalog scale.
+Result<DedupResult> DeduplicateBlocks(
+    const std::vector<TensorBlock>& blocks, float tolerance);
+
+// Reconstructs the logical block list from a dedup result (payloads
+// are shared, not copied).
+std::vector<TensorBlock> ExpandDedup(const DedupResult& dedup);
+
+}  // namespace relserve
+
+#endif  // RELSERVE_STORAGE_DEDUP_H_

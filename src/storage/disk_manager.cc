@@ -1,0 +1,94 @@
+#include "storage/disk_manager.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace relserve {
+
+DiskManager::DiskManager(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) {
+    char templ[] = "/tmp/relserve_spill_XXXXXX";
+    const int fd = ::mkstemp(templ);
+    RELSERVE_CHECK(fd >= 0) << "mkstemp failed";
+    path_ = templ;
+    unlink_on_close_ = true;
+    file_ = ::fdopen(fd, "w+b");
+  } else {
+    file_ = std::fopen(path_.c_str(), "w+b");
+  }
+  RELSERVE_CHECK(file_ != nullptr)
+      << "failed to open spill file " << path_;
+}
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+  if (unlink_on_close_) ::unlink(path_.c_str());
+}
+
+PageId DiskManager::AllocatePage() {
+  {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    if (!free_list_.empty()) {
+      const PageId id = free_list_.back();
+      free_list_.pop_back();
+      return id;
+    }
+  }
+  return next_page_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DiskManager::FreePage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(free_mu_);
+  free_list_.push_back(page_id);
+}
+
+int64_t DiskManager::num_free() const {
+  std::lock_guard<std::mutex> lock(free_mu_);
+  return static_cast<int64_t>(free_list_.size());
+}
+
+Status DiskManager::ReadPage(PageId page_id, char* out) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (std::fseek(file_, page_id * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek to page " + std::to_string(page_id));
+  }
+  const size_t n = std::fread(out, 1, kPageSize, file_);
+  if (n < static_cast<size_t>(kPageSize)) {
+    // Pages written short (or never written) read back zero-padded;
+    // this mirrors sparse-file semantics and keeps allocation lazy.
+    std::memset(out + n, 0, kPageSize - n);
+    std::clearerr(file_);
+  }
+  num_reads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId page_id, const char* data) {
+  // Injected failures decrement even when concurrent; slight
+  // over-failing under races is fine for a test hook.
+  int pending = inject_write_failures_.load(std::memory_order_relaxed);
+  while (pending > 0) {
+    if (inject_write_failures_.compare_exchange_weak(
+            pending, pending - 1, std::memory_order_relaxed)) {
+      return Status::IOError("injected write failure for page " +
+                             std::to_string(page_id));
+    }
+  }
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (std::fseek(file_, page_id * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek to page " + std::to_string(page_id));
+  }
+  if (std::fwrite(data, 1, kPageSize, file_) !=
+      static_cast<size_t>(kPageSize)) {
+    return Status::IOError("short write to page " +
+                           std::to_string(page_id));
+  }
+  num_writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace relserve

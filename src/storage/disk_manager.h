@@ -1,0 +1,71 @@
+// DiskManager: page-granular I/O on a single backing file.
+//
+// This is the spill target of the buffer pool — the mechanism that
+// lets relation-centric execution stream tensors larger than memory
+// (paper Sec. 7.1, Table 3).
+
+#ifndef RELSERVE_STORAGE_DISK_MANAGER_H_
+#define RELSERVE_STORAGE_DISK_MANAGER_H_
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace relserve {
+
+class DiskManager {
+ public:
+  // Creates/truncates the backing file at `path`. If `path` is empty a
+  // unique temporary file is created and unlinked on destruction.
+  explicit DiskManager(std::string path = "");
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  // Hands out a page id — recycled from the free list if possible,
+  // fresh otherwise (no I/O until first write).
+  PageId AllocatePage();
+
+  // Returns a page to the free list for reuse. The caller must hold
+  // no live references to it.
+  void FreePage(PageId page_id);
+
+  int64_t num_free() const;
+
+  // Reads/writes exactly kPageSize bytes at the page's offset.
+  Status ReadPage(PageId page_id, char* out);
+  Status WritePage(PageId page_id, const char* data);
+
+  int64_t num_reads() const { return num_reads_.load(); }
+  int64_t num_writes() const { return num_writes_.load(); }
+  int64_t num_allocated() const { return next_page_id_.load(); }
+
+  bool ok() const { return file_ != nullptr; }
+
+  // Test hook: the next `n` WritePage calls fail with IOError, then
+  // behaviour returns to normal. Lets tests drive the spill-failure
+  // paths without a real full disk.
+  void InjectWriteFailures(int n) { inject_write_failures_.store(n); }
+
+ private:
+  std::string path_;
+  bool unlink_on_close_ = false;
+  std::FILE* file_ = nullptr;
+  std::mutex io_mu_;
+  mutable std::mutex free_mu_;
+  std::vector<PageId> free_list_;
+  std::atomic<PageId> next_page_id_{0};
+  std::atomic<int64_t> num_reads_{0};
+  std::atomic<int64_t> num_writes_{0};
+  std::atomic<int> inject_write_failures_{0};
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_STORAGE_DISK_MANAGER_H_

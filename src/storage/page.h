@@ -1,0 +1,20 @@
+// Page constants shared by the disk manager and buffer pool.
+
+#ifndef RELSERVE_STORAGE_PAGE_H_
+#define RELSERVE_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace relserve {
+
+using PageId = int64_t;
+inline constexpr PageId kInvalidPageId = -1;
+
+// 64 KiB pages: large enough that a tensor block of a few thousand
+// floats spans a handful of pages, small enough that the buffer pool
+// ablations (A3) show real eviction behaviour at laptop scale.
+inline constexpr int64_t kPageSize = 64 * 1024;
+
+}  // namespace relserve
+
+#endif  // RELSERVE_STORAGE_PAGE_H_

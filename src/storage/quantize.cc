@@ -1,0 +1,54 @@
+#include "storage/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relserve {
+
+Result<QuantizedTensor> QuantizeUniform8(const Tensor& t) {
+  if (!t.is_valid()) {
+    return Status::InvalidArgument("quantize of empty tensor");
+  }
+  const float* data = t.data();
+  const int64_t n = t.NumElements();
+  float lo = data[0], hi = data[0];
+  for (int64_t i = 1; i < n; ++i) {
+    lo = std::min(lo, data[i]);
+    hi = std::max(hi, data[i]);
+  }
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.offset = lo;
+  q.scale = (hi > lo) ? (hi - lo) / 255.0f : 1.0f;
+  q.values.resize(n);
+  const float inv_scale = 1.0f / q.scale;
+  for (int64_t i = 0; i < n; ++i) {
+    const float normalized = (data[i] - q.offset) * inv_scale;
+    q.values[i] = static_cast<uint8_t>(
+        std::clamp(std::lround(normalized), 0L, 255L));
+  }
+  return q;
+}
+
+Result<Tensor> Dequantize(const QuantizedTensor& q,
+                          MemoryTracker* tracker) {
+  RELSERVE_ASSIGN_OR_RETURN(Tensor t, Tensor::Create(q.shape, tracker));
+  float* data = t.data();
+  for (size_t i = 0; i < q.values.size(); ++i) {
+    data[i] = q.values[i] * q.scale + q.offset;
+  }
+  return t;
+}
+
+float QuantizationError(const Tensor& original,
+                        const QuantizedTensor& q) {
+  const float* data = original.data();
+  float max_err = 0.0f;
+  for (size_t i = 0; i < q.values.size(); ++i) {
+    const float restored = q.values[i] * q.scale + q.offset;
+    max_err = std::max(max_err, std::fabs(data[i] - restored));
+  }
+  return max_err;
+}
+
+}  // namespace relserve

@@ -1,0 +1,41 @@
+// Uniform 8-bit quantization (paper Sec. 4(1)): the storage optimizer
+// can keep multiple versions of a model with different size/accuracy
+// trade-offs and let the query optimizer pick per the SLA.
+
+#ifndef RELSERVE_STORAGE_QUANTIZE_H_
+#define RELSERVE_STORAGE_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+
+struct QuantizedTensor {
+  Shape shape;
+  std::vector<uint8_t> values;
+  float scale = 1.0f;       // dequant: value * scale + offset
+  float offset = 0.0f;
+
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(values.size());
+  }
+};
+
+// Affine-quantizes `t` to 8 bits over its [min, max] range.
+Result<QuantizedTensor> QuantizeUniform8(const Tensor& t);
+
+// Reconstructs a float tensor (with quantization error).
+Result<Tensor> Dequantize(const QuantizedTensor& q,
+                          MemoryTracker* tracker = nullptr);
+
+// Max |original - dequantized| — the error bound the accuracy-aware
+// optimizer reasons about. For uniform 8-bit this is <= range/2/255.
+float QuantizationError(const Tensor& original,
+                        const QuantizedTensor& q);
+
+}  // namespace relserve
+
+#endif  // RELSERVE_STORAGE_QUANTIZE_H_

@@ -1,0 +1,175 @@
+#include "storage/table_heap.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace relserve {
+
+namespace {
+
+int32_t ReadI32(const char* p) {
+  int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void WriteI32(char* p, int32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+constexpr int32_t kOverflowTag = -1;
+
+}  // namespace
+
+Status TableHeap::Append(const char* data, int64_t size) {
+  const int64_t payload = kPageSize - kHeaderSize;
+  if (size + static_cast<int64_t>(sizeof(int32_t)) <= payload) {
+    RELSERVE_RETURN_NOT_OK(AppendInline(data, size));
+    ++num_records_;
+    return Status::OK();
+  }
+  // Out-of-line: payload spans fresh overflow pages; the heap page
+  // holds a stub referencing the overflow entry.
+  OverflowEntry entry;
+  entry.size = size;
+  int64_t remaining = size;
+  const char* src = data;
+  while (remaining > 0) {
+    PageId page_id = kInvalidPageId;
+    RELSERVE_ASSIGN_OR_RETURN(char* page, pool_->NewPage(&page_id));
+    const int64_t chunk = std::min(remaining, kPageSize);
+    std::memcpy(page, src, chunk);
+    RELSERVE_RETURN_NOT_OK(pool_->UnpinPage(page_id, /*dirty=*/true));
+    entry.pages.push_back(page_id);
+    src += chunk;
+    remaining -= chunk;
+  }
+  const int64_t index = static_cast<int64_t>(overflow_.size());
+  overflow_.push_back(std::move(entry));
+  char stub[sizeof(int64_t)];
+  std::memcpy(stub, &index, sizeof(index));
+  RELSERVE_RETURN_NOT_OK(AppendInline(stub, sizeof(stub)));
+  // Patch the stub's length tag to the overflow marker.
+  {
+    const PageId last = pages_.back();
+    RELSERVE_ASSIGN_OR_RETURN(char* page, pool_->FetchPage(last));
+    const int32_t used = ReadI32(page + 4);
+    char* tag = page + kHeaderSize + used -
+                static_cast<int64_t>(sizeof(stub)) - sizeof(int32_t);
+    WriteI32(tag, kOverflowTag);
+    RELSERVE_RETURN_NOT_OK(pool_->UnpinPage(last, /*dirty=*/true));
+  }
+  ++num_records_;
+  return Status::OK();
+}
+
+Status TableHeap::AppendInline(const char* data, int64_t size) {
+  const int64_t need = size + sizeof(int32_t);
+  // Try the last page first.
+  if (!pages_.empty()) {
+    const PageId last = pages_.back();
+    RELSERVE_ASSIGN_OR_RETURN(char* page, pool_->FetchPage(last));
+    const int32_t count = ReadI32(page);
+    const int32_t used = ReadI32(page + 4);
+    if (kHeaderSize + used + need <= kPageSize) {
+      char* dst = page + kHeaderSize + used;
+      WriteI32(dst, static_cast<int32_t>(size));
+      std::memcpy(dst + sizeof(int32_t), data, size);
+      WriteI32(page, count + 1);
+      WriteI32(page + 4, used + static_cast<int32_t>(need));
+      return pool_->UnpinPage(last, /*dirty=*/true);
+    }
+    RELSERVE_RETURN_NOT_OK(pool_->UnpinPage(last, /*dirty=*/false));
+  }
+  // Start a fresh page.
+  PageId page_id = kInvalidPageId;
+  RELSERVE_ASSIGN_OR_RETURN(char* page, pool_->NewPage(&page_id));
+  WriteI32(page, 1);
+  WriteI32(page + 4, static_cast<int32_t>(need));
+  char* dst = page + kHeaderSize;
+  WriteI32(dst, static_cast<int32_t>(size));
+  std::memcpy(dst + sizeof(int32_t), data, size);
+  RELSERVE_RETURN_NOT_OK(pool_->UnpinPage(page_id, /*dirty=*/true));
+  pages_.push_back(page_id);
+  return Status::OK();
+}
+
+Status TableHeap::ReadOverflow(int64_t index, std::string* out) const {
+  if (index < 0 || index >= static_cast<int64_t>(overflow_.size())) {
+    return Status::Internal("bad overflow index " +
+                            std::to_string(index));
+  }
+  const OverflowEntry& entry = overflow_[index];
+  out->resize(entry.size);
+  char* dst = out->data();
+  int64_t remaining = entry.size;
+  for (const PageId page_id : entry.pages) {
+    RELSERVE_ASSIGN_OR_RETURN(char* page, pool_->FetchPage(page_id));
+    const int64_t chunk = std::min(remaining, kPageSize);
+    std::memcpy(dst, page, chunk);
+    RELSERVE_RETURN_NOT_OK(pool_->UnpinPage(page_id, /*dirty=*/false));
+    dst += chunk;
+    remaining -= chunk;
+  }
+  if (remaining != 0) {
+    return Status::Internal("overflow entry page list too short");
+  }
+  return Status::OK();
+}
+
+Status TableHeap::ReadPageRecords(int64_t page_index,
+                                  std::vector<std::string>* out) const {
+  if (page_index < 0 || page_index >= num_pages()) {
+    return Status::InvalidArgument("page index " +
+                                   std::to_string(page_index) +
+                                   " out of range");
+  }
+  const PageId page_id = pages_[page_index];
+  // Decode the inline records (and stub indices) while the page is
+  // pinned; resolve overflow payloads afterwards so only one page is
+  // ever pinned at a time.
+  std::vector<int64_t> overflow_slots;  // out index -> overflow index
+  {
+    RELSERVE_ASSIGN_OR_RETURN(char* page, pool_->FetchPage(page_id));
+    const int32_t count = ReadI32(page);
+    const char* cursor = page + kHeaderSize;
+    out->clear();
+    out->reserve(count);
+    overflow_slots.assign(count, -1);
+    for (int32_t i = 0; i < count; ++i) {
+      const int32_t len = ReadI32(cursor);
+      cursor += sizeof(int32_t);
+      if (len == kOverflowTag) {
+        int64_t index;
+        std::memcpy(&index, cursor, sizeof(index));
+        cursor += sizeof(index);
+        overflow_slots[i] = index;
+        out->emplace_back();
+      } else {
+        out->emplace_back(cursor, len);
+        cursor += len;
+      }
+    }
+    RELSERVE_RETURN_NOT_OK(pool_->UnpinPage(page_id, /*dirty=*/false));
+  }
+  for (size_t i = 0; i < out->size(); ++i) {
+    if (overflow_slots[i] >= 0) {
+      RELSERVE_RETURN_NOT_OK(
+          ReadOverflow(overflow_slots[i], &(*out)[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Status TableHeap::Scan(
+    const std::function<Status(const char*, int64_t)>& fn) const {
+  std::vector<std::string> records;
+  for (int64_t p = 0; p < num_pages(); ++p) {
+    RELSERVE_RETURN_NOT_OK(ReadPageRecords(p, &records));
+    for (const std::string& record : records) {
+      RELSERVE_RETURN_NOT_OK(
+          fn(record.data(), static_cast<int64_t>(record.size())));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace relserve

@@ -1,0 +1,80 @@
+// TableHeap: append-only record storage on buffer-pool pages.
+//
+// Records are opaque byte strings (the relational layer serializes
+// rows into them). Each page holds a small header and a packed run of
+// length-prefixed records. Records wider than a page's payload (wide
+// image rows, e.g. LandCover's 250x250x3 floats) are stored out of
+// line on a dedicated chain of overflow pages, with an inline stub
+// (length tag -1 + overflow index) in the heap page — the classic
+// TOAST/overflow-page design.
+
+#ifndef RELSERVE_STORAGE_TABLE_HEAP_H_
+#define RELSERVE_STORAGE_TABLE_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+
+namespace relserve {
+
+class TableHeap {
+ public:
+  explicit TableHeap(BufferPool* pool) : pool_(pool) {}
+
+  TableHeap(const TableHeap&) = delete;
+  TableHeap& operator=(const TableHeap&) = delete;
+
+  // Appends one record of any size (large records go to overflow
+  // pages).
+  Status Append(const char* data, int64_t size);
+  Status Append(const std::string& record) {
+    return Append(record.data(), static_cast<int64_t>(record.size()));
+  }
+
+  // Invokes `fn(data, size)` for every record in insertion order.
+  // Pages are fetched (and possibly reloaded from disk) one at a time,
+  // so a scan never needs more than one resident page.
+  Status Scan(
+      const std::function<Status(const char*, int64_t)>& fn) const;
+
+  // Decodes every record on the page at `page_index` (0-based within
+  // this heap) into `out`. Lets pull-based scans hold only one page's
+  // rows at a time.
+  Status ReadPageRecords(int64_t page_index,
+                         std::vector<std::string>* out) const;
+
+  int64_t num_records() const { return num_records_; }
+  int64_t num_pages() const {
+    return static_cast<int64_t>(pages_.size());
+  }
+
+ private:
+  // Page layout: [int32 count][int32 used][records...], where each
+  // record is [int32 len][bytes]; len == -1 marks an overflow stub
+  // whose payload is [int64 overflow_index].
+  static constexpr int64_t kHeaderSize = 2 * sizeof(int32_t);
+
+  struct OverflowEntry {
+    int64_t size = 0;
+    std::vector<PageId> pages;
+  };
+
+  // Appends an already-encoded inline record (fits a page).
+  Status AppendInline(const char* data, int64_t size);
+
+  // Reads overflow entry `index` into `out`.
+  Status ReadOverflow(int64_t index, std::string* out) const;
+
+  BufferPool* const pool_;
+  std::vector<PageId> pages_;
+  std::vector<OverflowEntry> overflow_;
+  int64_t num_records_ = 0;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_STORAGE_TABLE_HEAP_H_

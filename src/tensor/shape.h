@@ -1,0 +1,38 @@
+// Shape: dimensions of a dense row-major tensor.
+
+#ifndef RELSERVE_TENSOR_SHAPE_H_
+#define RELSERVE_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace relserve {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int ndim() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const { return dims_[i]; }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  // Product of all dimensions; 1 for a scalar (rank-0) shape.
+  int64_t NumElements() const;
+
+  // e.g. "[128, 1024]".
+  std::string ToString() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_TENSOR_SHAPE_H_

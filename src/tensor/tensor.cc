@@ -1,0 +1,95 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <new>
+
+namespace relserve {
+
+Result<Tensor> Tensor::Create(Shape shape, MemoryTracker* tracker) {
+  const int64_t n = shape.NumElements();
+  if (n < 0) {
+    return Status::InvalidArgument("negative-sized shape " +
+                                   shape.ToString());
+  }
+  const int64_t bytes = n * static_cast<int64_t>(sizeof(float));
+  if (tracker != nullptr) {
+    RELSERVE_RETURN_NOT_OK(tracker->Allocate(bytes));
+  }
+  float* data = new (std::nothrow) float[n];
+  if (data == nullptr) {
+    if (tracker != nullptr) tracker->Release(bytes);
+    return Status::OutOfMemory("physical allocation of " +
+                               std::to_string(bytes) + " bytes failed");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.buffer_ = std::make_shared<Buffer>();
+  t.buffer_->data = data;
+  t.buffer_->bytes = bytes;
+  t.buffer_->tracker = tracker;
+  return t;
+}
+
+Result<Tensor> Tensor::Zeros(Shape shape, MemoryTracker* tracker) {
+  RELSERVE_ASSIGN_OR_RETURN(Tensor t, Create(std::move(shape), tracker));
+  std::memset(t.data(), 0, t.ByteSize());
+  return t;
+}
+
+Result<Tensor> Tensor::Full(Shape shape, float value,
+                            MemoryTracker* tracker) {
+  RELSERVE_ASSIGN_OR_RETURN(Tensor t, Create(std::move(shape), tracker));
+  std::fill_n(t.data(), t.NumElements(), value);
+  return t;
+}
+
+Result<Tensor> Tensor::FromData(Shape shape,
+                                const std::vector<float>& values,
+                                MemoryTracker* tracker) {
+  if (static_cast<int64_t>(values.size()) != shape.NumElements()) {
+    return Status::InvalidArgument(
+        "FromData: " + std::to_string(values.size()) +
+        " values for shape " + shape.ToString());
+  }
+  RELSERVE_ASSIGN_OR_RETURN(Tensor t, Create(std::move(shape), tracker));
+  std::memcpy(t.data(), values.data(), t.ByteSize());
+  return t;
+}
+
+Result<Tensor> Tensor::Clone(MemoryTracker* tracker) const {
+  if (!is_valid()) return Status::InvalidArgument("Clone of empty tensor");
+  RELSERVE_ASSIGN_OR_RETURN(Tensor t, Create(shape_, tracker));
+  std::memcpy(t.data(), data(), ByteSize());
+  return t;
+}
+
+Result<Tensor> Tensor::Reshape(Shape new_shape) const {
+  if (!is_valid()) {
+    return Status::InvalidArgument("Reshape of empty tensor");
+  }
+  if (new_shape.NumElements() != NumElements()) {
+    return Status::InvalidArgument(
+        "Reshape " + shape_.ToString() + " -> " + new_shape.ToString() +
+        " changes element count");
+  }
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+float Tensor::MaxAbsDiff(const Tensor& other) const {
+  RELSERVE_CHECK(is_valid() && other.is_valid());
+  RELSERVE_CHECK(shape_ == other.shape_)
+      << shape_.ToString() << " vs " << other.shape_.ToString();
+  float max_diff = 0.0f;
+  const float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < NumElements(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace relserve

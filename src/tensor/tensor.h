@@ -1,0 +1,100 @@
+// Tensor: dense row-major float32 array with shared ownership.
+//
+// All element data lives in a refcounted Buffer that is charged
+// against a MemoryTracker arena at allocation and released at the last
+// reference drop. Creation is fallible (Result<Tensor>) because an
+// arena may be at its limit — this is how the UDF-centric and
+// DL-centric architectures hit the OOM outcomes of the paper's
+// Table 3.
+
+#ifndef RELSERVE_TENSOR_TENSOR_H_
+#define RELSERVE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "resource/memory_tracker.h"
+#include "tensor/shape.h"
+
+namespace relserve {
+
+class Tensor {
+ public:
+  // An empty (invalid) tensor; useful as a placeholder.
+  Tensor() = default;
+
+  // Allocates uninitialized storage charged to `tracker` (may be null
+  // for untracked scratch memory).
+  static Result<Tensor> Create(Shape shape,
+                               MemoryTracker* tracker = nullptr);
+
+  // Allocates and zero-fills.
+  static Result<Tensor> Zeros(Shape shape,
+                              MemoryTracker* tracker = nullptr);
+
+  // Allocates and fills with `value`.
+  static Result<Tensor> Full(Shape shape, float value,
+                             MemoryTracker* tracker = nullptr);
+
+  // Copies `values` (must match shape.NumElements()).
+  static Result<Tensor> FromData(Shape shape,
+                                 const std::vector<float>& values,
+                                 MemoryTracker* tracker = nullptr);
+
+  bool is_valid() const { return buffer_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  int64_t NumElements() const { return shape_.NumElements(); }
+  int64_t ByteSize() const {
+    return NumElements() * static_cast<int64_t>(sizeof(float));
+  }
+
+  float* data() {
+    RELSERVE_DCHECK(is_valid());
+    return buffer_->data;
+  }
+  const float* data() const {
+    RELSERVE_DCHECK(is_valid());
+    return buffer_->data;
+  }
+
+  // 2-D element accessors (row-major). Only valid for matrices.
+  float& At(int64_t row, int64_t col) {
+    RELSERVE_DCHECK(shape_.ndim() == 2);
+    return buffer_->data[row * shape_.dim(1) + col];
+  }
+  float At(int64_t row, int64_t col) const {
+    RELSERVE_DCHECK(shape_.ndim() == 2);
+    return buffer_->data[row * shape_.dim(1) + col];
+  }
+
+  // Deep copy into (possibly) another arena.
+  Result<Tensor> Clone(MemoryTracker* tracker = nullptr) const;
+
+  // Same-storage view with a different shape (element count must
+  // match). Cheap: shares the buffer.
+  Result<Tensor> Reshape(Shape new_shape) const;
+
+  // Max absolute elementwise difference; both must share a shape.
+  float MaxAbsDiff(const Tensor& other) const;
+
+ private:
+  struct Buffer {
+    float* data = nullptr;
+    int64_t bytes = 0;
+    MemoryTracker* tracker = nullptr;
+    ~Buffer() {
+      delete[] data;
+      if (tracker != nullptr) tracker->Release(bytes);
+    }
+  };
+
+  Shape shape_;
+  std::shared_ptr<Buffer> buffer_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_TENSOR_TENSOR_H_

@@ -1,0 +1,99 @@
+#include "tensor/tensor_block.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace relserve {
+
+int64_t BlockedShape::RowsInBlock(int64_t row_block) const {
+  return std::min(block_rows, rows - row_block * block_rows);
+}
+
+int64_t BlockedShape::ColsInBlock(int64_t col_block) const {
+  return std::min(block_cols, cols - col_block * block_cols);
+}
+
+Result<TensorBlock> ExtractBlock(const Tensor& m,
+                                 const BlockedShape& geometry,
+                                 int64_t row_block, int64_t col_block,
+                                 MemoryTracker* tracker) {
+  if (m.shape().ndim() != 2) {
+    return Status::InvalidArgument("ExtractBlock expects a matrix, got " +
+                                   m.shape().ToString());
+  }
+  const int64_t br = geometry.RowsInBlock(row_block);
+  const int64_t bc = geometry.ColsInBlock(col_block);
+  if (br <= 0 || bc <= 0) {
+    return Status::InvalidArgument("block coordinate out of range");
+  }
+  RELSERVE_ASSIGN_OR_RETURN(Tensor payload,
+                            Tensor::Create(Shape{br, bc}, tracker));
+  const int64_t row0 = row_block * geometry.block_rows;
+  const int64_t col0 = col_block * geometry.block_cols;
+  const int64_t src_stride = m.shape().dim(1);
+  const float* src = m.data() + row0 * src_stride + col0;
+  float* dst = payload.data();
+  for (int64_t r = 0; r < br; ++r) {
+    std::memcpy(dst + r * bc, src + r * src_stride,
+                bc * sizeof(float));
+  }
+  return TensorBlock{row_block, col_block, std::move(payload)};
+}
+
+Result<std::vector<TensorBlock>> SplitMatrix(const Tensor& m,
+                                             int64_t block_rows,
+                                             int64_t block_cols,
+                                             MemoryTracker* tracker) {
+  if (m.shape().ndim() != 2) {
+    return Status::InvalidArgument("SplitMatrix expects a matrix, got " +
+                                   m.shape().ToString());
+  }
+  if (block_rows <= 0 || block_cols <= 0) {
+    return Status::InvalidArgument("non-positive block size");
+  }
+  const BlockedShape geometry{m.shape().dim(0), m.shape().dim(1),
+                              block_rows, block_cols};
+  std::vector<TensorBlock> blocks;
+  blocks.reserve(geometry.NumRowBlocks() * geometry.NumColBlocks());
+  for (int64_t rb = 0; rb < geometry.NumRowBlocks(); ++rb) {
+    for (int64_t cb = 0; cb < geometry.NumColBlocks(); ++cb) {
+      RELSERVE_ASSIGN_OR_RETURN(TensorBlock block,
+                                ExtractBlock(m, geometry, rb, cb, tracker));
+      blocks.push_back(std::move(block));
+    }
+  }
+  return blocks;
+}
+
+Result<Tensor> AssembleMatrix(const std::vector<TensorBlock>& blocks,
+                              const BlockedShape& geometry,
+                              MemoryTracker* tracker) {
+  RELSERVE_ASSIGN_OR_RETURN(
+      Tensor out,
+      Tensor::Zeros(Shape{geometry.rows, geometry.cols}, tracker));
+  const int64_t dst_stride = geometry.cols;
+  for (const TensorBlock& block : blocks) {
+    const int64_t br = block.data.shape().dim(0);
+    const int64_t bc = block.data.shape().dim(1);
+    if (block.data.shape().ndim() != 2 ||
+        br != geometry.RowsInBlock(block.row_block) ||
+        bc != geometry.ColsInBlock(block.col_block)) {
+      return Status::InvalidArgument(
+          "block payload shape " + block.data.shape().ToString() +
+          " inconsistent with geometry at (" +
+          std::to_string(block.row_block) + ", " +
+          std::to_string(block.col_block) + ")");
+    }
+    const int64_t row0 = block.row_block * geometry.block_rows;
+    const int64_t col0 = block.col_block * geometry.block_cols;
+    const float* src = block.data.data();
+    float* dst = out.data() + row0 * dst_stride + col0;
+    for (int64_t r = 0; r < br; ++r) {
+      std::memcpy(dst + r * dst_stride, src + r * bc,
+                  bc * sizeof(float));
+    }
+  }
+  return out;
+}
+
+}  // namespace relserve

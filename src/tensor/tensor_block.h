@@ -1,0 +1,67 @@
+// TensorBlock: the unit of the relation-centric representation.
+//
+// The paper views a large tensor as a *relation of tensor blocks*
+// (Sec. 1, Fig. 1c; Sec. 7.1). A matrix of shape R x C chunked with
+// block size (br, bc) becomes a set of tuples
+//   (row_block, col_block, payload[br' x bc'])
+// where edge blocks may be ragged. Matmul over two such relations is a
+// join on the inner block index followed by a sum-aggregation on the
+// output block coordinates.
+
+#ifndef RELSERVE_TENSOR_TENSOR_BLOCK_H_
+#define RELSERVE_TENSOR_TENSOR_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+
+struct TensorBlock {
+  int64_t row_block = 0;  // block-row coordinate
+  int64_t col_block = 0;  // block-column coordinate
+  Tensor data;            // payload; shape [rows, cols] of this block
+};
+
+// Geometry of a matrix chunked into blocks.
+struct BlockedShape {
+  int64_t rows = 0;        // full matrix rows
+  int64_t cols = 0;        // full matrix cols
+  int64_t block_rows = 0;  // nominal block height
+  int64_t block_cols = 0;  // nominal block width
+
+  int64_t NumRowBlocks() const {
+    return (rows + block_rows - 1) / block_rows;
+  }
+  int64_t NumColBlocks() const {
+    return (cols + block_cols - 1) / block_cols;
+  }
+  // Actual height/width of the block at a coordinate (ragged edges).
+  int64_t RowsInBlock(int64_t row_block) const;
+  int64_t ColsInBlock(int64_t col_block) const;
+};
+
+// Chunks matrix `m` into blocks of (block_rows x block_cols); edge
+// blocks are smaller. Payloads are charged to `tracker`.
+Result<std::vector<TensorBlock>> SplitMatrix(
+    const Tensor& m, int64_t block_rows, int64_t block_cols,
+    MemoryTracker* tracker = nullptr);
+
+// Reassembles a full matrix from blocks produced with `geometry`.
+Result<Tensor> AssembleMatrix(const std::vector<TensorBlock>& blocks,
+                              const BlockedShape& geometry,
+                              MemoryTracker* tracker = nullptr);
+
+// Extracts a single block of `m` without materializing the rest —
+// used when streaming a large matrix into the block store one block at
+// a time so only O(block) memory is ever charged.
+Result<TensorBlock> ExtractBlock(const Tensor& m,
+                                 const BlockedShape& geometry,
+                                 int64_t row_block, int64_t col_block,
+                                 MemoryTracker* tracker = nullptr);
+
+}  // namespace relserve
+
+#endif  // RELSERVE_TENSOR_TENSOR_BLOCK_H_

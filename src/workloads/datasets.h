@@ -1,0 +1,72 @@
+// Synthetic stand-ins for the paper's datasets (see DESIGN.md,
+// "Substitutions"): generators that match each dataset's *shape* —
+// row counts, feature widths, join-key correlation, label/cluster
+// structure — which is what the latency/memory experiments exercise.
+
+#ifndef RELSERVE_WORKLOADS_DATASETS_H_
+#define RELSERVE_WORKLOADS_DATASETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+namespace workloads {
+
+// Schema (id: INT64, features: FLOAT_VECTOR) — the generic inference
+// input table (Fraud, Encoder, Amazon rows all use it).
+Schema FeatureTableSchema();
+
+// Fills `table` with n rows of d uniform features each.
+Status FillFeatureTable(TableInfo* table, int64_t n, int64_t d,
+                        uint64_t seed);
+
+// Schema (id: INT64, sim_key: FLOAT64, features: FLOAT_VECTOR) — one
+// vertical partition of the Bosch-like dataset (Sec. 7.2.1).
+Schema PartitionedTableSchema();
+
+// Fills the two vertical partitions. sim_key values are drawn from a
+// shared latent key plus small jitter, so a band join
+// |d1.sim_key - d2.sim_key| <= epsilon reconstructs related rows with
+// an average fan-out controlled by `key_spread` (smaller spread =>
+// denser matches).
+Status FillBoschPartitions(TableInfo* d1, TableInfo* d2, int64_t n,
+                           int64_t features_each, double key_spread,
+                           uint64_t seed);
+
+// MNIST-like clustered data: `num_classes` random centers in
+// [0, 1]^dim, each sample = center + N(0, noise), label = its center.
+// Nearby samples share labels, which is exactly the structure the
+// approximate result cache exploits (and mis-predicts across cluster
+// boundaries, producing the paper's accuracy drop).
+struct LabeledData {
+  Tensor features;              // [n, dim]
+  std::vector<int64_t> labels;  // n entries in [0, num_classes)
+  Tensor centers;               // [num_classes, dim] cluster centers
+};
+// `centers_seed` fixes the cluster centers independently of the
+// sample draw, so multiple datasets (warm/serve splits) can share the
+// same latent clusters; 0 derives it from `seed`.
+Result<LabeledData> GenClusteredData(int64_t n, int64_t dim,
+                                     int num_classes, float noise,
+                                     uint64_t seed,
+                                     MemoryTracker* tracker = nullptr,
+                                     uint64_t centers_seed = 0);
+
+// A uniform random batch shaped [batch, sample...].
+Result<Tensor> GenBatch(int64_t batch, const Shape& sample_shape,
+                        uint64_t seed,
+                        MemoryTracker* tracker = nullptr);
+
+// Streams `n` feature rows of width `d` directly into a table without
+// ever holding more than one row in memory.
+Status AppendFeatureRows(TableInfo* table, int64_t n, int64_t d,
+                         uint64_t seed);
+
+}  // namespace workloads
+}  // namespace relserve
+
+#endif  // RELSERVE_WORKLOADS_DATASETS_H_

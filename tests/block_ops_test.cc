@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "engine/block_ops.h"
+#include "kernels/kernels.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace relserve {
+namespace {
+
+class BlockOpsTest : public ::testing::Test {
+ protected:
+  BlockOpsTest()
+      : disk_(), pool_(&disk_, 64), tracker_("scratch") {
+    ctx_.tracker = &tracker_;
+    ctx_.buffer_pool = &pool_;
+    ctx_.block_rows = 4;
+    ctx_.block_cols = 4;
+  }
+
+  Tensor RandomMatrix(int64_t rows, int64_t cols, int seed = 1) {
+    auto t = Tensor::Create(Shape{rows, cols});
+    EXPECT_TRUE(t.ok());
+    for (int64_t i = 0; i < rows * cols; ++i) {
+      t->data()[i] = std::sin(static_cast<float>(i * seed + 1));
+    }
+    return *t;
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  MemoryTracker tracker_;
+  ExecContext ctx_;
+};
+
+TEST_F(BlockOpsTest, ChunkAssembleRoundTrip) {
+  Tensor m = RandomMatrix(10, 7);
+  auto store = blockops::ChunkMatrix(m, &ctx_);
+  ASSERT_TRUE(store.ok());
+  auto back = blockops::Assemble(**store, &ctx_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FLOAT_EQ(m.MaxAbsDiff(*back), 0.0f);
+  EXPECT_EQ(ctx_.stats.chunkings, 1);
+  EXPECT_EQ(ctx_.stats.assembles, 1);
+}
+
+TEST_F(BlockOpsTest, ChunkLeavesNoScratchCharged) {
+  Tensor m = RandomMatrix(16, 16);
+  auto store = blockops::ChunkMatrix(m, &ctx_);
+  ASSERT_TRUE(store.ok());
+  // All block payloads flushed to pages: arena back to zero.
+  EXPECT_EQ(tracker_.used_bytes(), 0);
+  // Peak was only one block, not the whole matrix.
+  EXPECT_LE(tracker_.peak_bytes(), 4 * 4 * 4);
+}
+
+TEST_F(BlockOpsTest, BlockMatMulMatchesDenseKernel) {
+  Tensor x = RandomMatrix(9, 11, 1);
+  Tensor w = RandomMatrix(6, 11, 2);  // weight layout [out, in]
+  auto expected = kernels::MatMul(x, w, /*transpose_b=*/true);
+  ASSERT_TRUE(expected.ok());
+
+  auto x_store = blockops::ChunkMatrix(x, &ctx_);
+  auto w_store = blockops::ChunkMatrix(w, &ctx_);
+  ASSERT_TRUE(x_store.ok() && w_store.ok());
+  auto c_store = blockops::BlockMatMul(**x_store, **w_store, &ctx_);
+  ASSERT_TRUE(c_store.ok());
+  auto c = blockops::Assemble(**c_store, &ctx_);
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(expected->MaxAbsDiff(*c), 1e-5f);
+}
+
+TEST_F(BlockOpsTest, BlockMatMulRejectsInnerMismatch) {
+  auto x = blockops::ChunkMatrix(RandomMatrix(4, 5), &ctx_);
+  auto w = blockops::ChunkMatrix(RandomMatrix(4, 6), &ctx_);
+  ASSERT_TRUE(x.ok() && w.ok());
+  EXPECT_TRUE(blockops::BlockMatMul(**x, **w, &ctx_)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(BlockOpsTest, BlockReluAndBiasMatchWholeTensor) {
+  Tensor m = RandomMatrix(6, 10);
+  auto bias = Tensor::Create(Shape{10});
+  ASSERT_TRUE(bias.ok());
+  for (int i = 0; i < 10; ++i) bias->data()[i] = 0.1f * i - 0.4f;
+
+  Tensor expected = *m.Clone();
+  ASSERT_TRUE(kernels::BiasAddInPlace(&expected, *bias).ok());
+  kernels::ReluInPlace(&expected);
+
+  auto store = blockops::ChunkMatrix(m, &ctx_);
+  ASSERT_TRUE(store.ok());
+  auto biased = blockops::BlockBiasAdd(**store, *bias, &ctx_);
+  ASSERT_TRUE(biased.ok());
+  auto relued = blockops::BlockRelu(**biased, &ctx_);
+  ASSERT_TRUE(relued.ok());
+  auto got = blockops::Assemble(**relued, &ctx_);
+  ASSERT_TRUE(got.ok());
+  EXPECT_LT(expected.MaxAbsDiff(*got), 1e-6f);
+}
+
+TEST_F(BlockOpsTest, BlockBiasRejectsWidthMismatch) {
+  auto store = blockops::ChunkMatrix(RandomMatrix(4, 6), &ctx_);
+  ASSERT_TRUE(store.ok());
+  auto bias = Tensor::Zeros(Shape{5});
+  EXPECT_TRUE(blockops::BlockBiasAdd(**store, *bias, &ctx_)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(BlockOpsTest, BlockSoftmaxMatchesWholeTensor) {
+  Tensor m = RandomMatrix(7, 9);
+  Tensor expected = *m.Clone();
+  ASSERT_TRUE(kernels::SoftmaxRowsInPlace(&expected).ok());
+
+  auto store = blockops::ChunkMatrix(m, &ctx_);
+  ASSERT_TRUE(store.ok());
+  auto soft = blockops::BlockSoftmaxRows(**store, &ctx_);
+  ASSERT_TRUE(soft.ok());
+  auto got = blockops::Assemble(**soft, &ctx_);
+  ASSERT_TRUE(got.ok());
+  EXPECT_LT(expected.MaxAbsDiff(*got), 1e-6f);
+}
+
+TEST_F(BlockOpsTest, MapBlocksPreservesGeometryAndCoordinates) {
+  Tensor m = RandomMatrix(10, 6);
+  auto store = blockops::ChunkMatrix(m, &ctx_);
+  ASSERT_TRUE(store.ok());
+  auto doubled = blockops::MapBlocks(
+      **store,
+      [](int64_t, int64_t, Tensor* payload) {
+        for (int64_t i = 0; i < payload->NumElements(); ++i) {
+          payload->data()[i] *= 2.0f;
+        }
+        return Status::OK();
+      },
+      &ctx_);
+  ASSERT_TRUE(doubled.ok());
+  auto got = blockops::Assemble(**doubled, &ctx_);
+  ASSERT_TRUE(got.ok());
+  for (int64_t i = 0; i < m.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(got->data()[i], 2.0f * m.data()[i]);
+  }
+}
+
+TEST_F(BlockOpsTest, RowAppenderStreamsRows) {
+  const int64_t rows = 3, width = 10;
+  auto appender = blockops::BlockedRowAppender::Create(rows, width, &ctx_);
+  ASSERT_TRUE(appender.ok());
+  Tensor m = RandomMatrix(rows, width);
+  for (int64_t r = 0; r < rows; ++r) {
+    // Append in two uneven chunks to exercise partial-block paths.
+    ASSERT_TRUE(appender->Append(m.data() + r * width, 7).ok());
+    ASSERT_TRUE(appender->Append(m.data() + r * width + 7, 3).ok());
+    ASSERT_TRUE(appender->EndRow().ok());
+  }
+  auto store = appender->Finish();
+  ASSERT_TRUE(store.ok());
+  auto got = blockops::Assemble(**store, &ctx_);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FLOAT_EQ(m.MaxAbsDiff(*got), 0.0f);
+}
+
+TEST_F(BlockOpsTest, RowAppenderRejectsIncompleteRow) {
+  auto appender = blockops::BlockedRowAppender::Create(1, 10, &ctx_);
+  ASSERT_TRUE(appender.ok());
+  float v[3] = {1, 2, 3};
+  ASSERT_TRUE(appender->Append(v, 3).ok());
+  EXPECT_TRUE(appender->EndRow().IsInvalidArgument());
+  EXPECT_FALSE(appender->Finish().ok());
+}
+
+TEST_F(BlockOpsTest, LoadRowExtractsSingleRow) {
+  Tensor m = RandomMatrix(9, 13);
+  auto store = blockops::ChunkMatrix(m, &ctx_);
+  ASSERT_TRUE(store.ok());
+  for (int64_t r : {int64_t{0}, int64_t{4}, int64_t{8}}) {
+    auto row = blockops::LoadRow(**store, r, &ctx_);
+    ASSERT_TRUE(row.ok());
+    ASSERT_EQ(row->shape(), (Shape{13}));
+    for (int64_t c = 0; c < 13; ++c) {
+      EXPECT_FLOAT_EQ(row->data()[c], m.At(r, c));
+    }
+  }
+  EXPECT_TRUE(
+      blockops::LoadRow(**store, 9, &ctx_).status().IsInvalidArgument());
+}
+
+TEST_F(BlockOpsTest, MatrixStreamWriterMatchesChunkMatrix) {
+  Tensor m = RandomMatrix(11, 9);
+  auto writer = blockops::MatrixStreamWriter::Create(11, 9, &ctx_);
+  ASSERT_TRUE(writer.ok());
+  for (int64_t r = 0; r < 11; ++r) {
+    ASSERT_TRUE(writer->AppendRow(m.data() + r * 9).ok());
+  }
+  auto store = writer->Finish();
+  ASSERT_TRUE(store.ok());
+  auto got = blockops::Assemble(**store, &ctx_);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FLOAT_EQ(m.MaxAbsDiff(*got), 0.0f);
+}
+
+TEST_F(BlockOpsTest, MatrixStreamJoinsAgainstChunkedWeights) {
+  // The streamed store's column blocking must align with ChunkMatrix
+  // weights for BlockMatMul (this is the Predict streaming path).
+  Tensor x = RandomMatrix(10, 9, 1);
+  Tensor w = RandomMatrix(5, 9, 2);
+  auto writer = blockops::MatrixStreamWriter::Create(10, 9, &ctx_);
+  ASSERT_TRUE(writer.ok());
+  for (int64_t r = 0; r < 10; ++r) {
+    ASSERT_TRUE(writer->AppendRow(x.data() + r * 9).ok());
+  }
+  auto x_store = writer->Finish();
+  auto w_store = blockops::ChunkMatrix(w, &ctx_);
+  ASSERT_TRUE(x_store.ok() && w_store.ok());
+  auto c_store = blockops::BlockMatMul(**x_store, **w_store, &ctx_);
+  ASSERT_TRUE(c_store.ok());
+  auto c = blockops::Assemble(**c_store, &ctx_);
+  auto expected = kernels::MatMul(x, w, true);
+  ASSERT_TRUE(c.ok() && expected.ok());
+  EXPECT_LT(expected->MaxAbsDiff(*c), 1e-5f);
+}
+
+TEST_F(BlockOpsTest, MatrixStreamWriterRejectsOverAndUnderflow) {
+  auto writer = blockops::MatrixStreamWriter::Create(2, 3, &ctx_);
+  ASSERT_TRUE(writer.ok());
+  float row[3] = {1, 2, 3};
+  ASSERT_TRUE(writer->AppendRow(row).ok());
+  EXPECT_FALSE(writer->Finish().ok());  // underflow
+}
+
+TEST_F(BlockOpsTest, RequiresBufferPool) {
+  ExecContext no_pool;
+  no_pool.tracker = &tracker_;
+  Tensor m = RandomMatrix(4, 4);
+  EXPECT_TRUE(blockops::ChunkMatrix(m, &no_pool)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace relserve

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace relserve {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::OutOfMemory("arena full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsOutOfMemory());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(s.message(), "arena full");
+  EXPECT_EQ(s.ToString(), "OutOfMemory: arena full");
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_FALSE(Status::NotFound("x").IsOutOfMemory());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_FALSE(Status::OK().IsNotFound());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfMemory), "OutOfMemory");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotImplemented),
+               "NotImplemented");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    RELSERVE_RETURN_NOT_OK(Status::IOError("disk gone"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kIOError);
+
+  auto succeeds = []() -> Status {
+    RELSERVE_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_EQ(succeeds().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto inner = []() -> Result<int> {
+    return Status::OutOfMemory("full");
+  };
+  auto outer = [&]() -> Status {
+    RELSERVE_ASSIGN_OR_RETURN(int v, inner());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsOutOfMemory());
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto inner = []() -> Result<int> { return 41; };
+  auto outer = [&]() -> Result<int> {
+    RELSERVE_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(), 42);
+}
+
+}  // namespace
+}  // namespace relserve

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/block_ops.h"
+#include "engine/hybrid_executor.h"
+#include "engine/prepared_model.h"
+#include "graph/model.h"
+#include "graph/model_zoo.h"
+#include "kernels/kernels.h"
+#include "optimizer/optimizer.h"
+#include "storage/buffer_pool.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace {
+
+InferencePlan UniformPlan(const Model& model, Repr repr) {
+  InferencePlan plan;
+  for (const Node& node : model.nodes()) {
+    plan.decisions.push_back(NodeDecision{node.id, repr, 0});
+  }
+  return plan;
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : disk_(), pool_(&disk_, 256), tracker_("work") {
+    ctx_.tracker = &tracker_;
+    ctx_.buffer_pool = &pool_;
+    ctx_.block_rows = 8;
+    ctx_.block_cols = 8;
+  }
+
+  Result<Tensor> RunWithPlan(const Model& model, InferencePlan plan,
+                             const Tensor& input) {
+    RELSERVE_ASSIGN_OR_RETURN(
+        PreparedModel prepared,
+        PreparedModel::Prepare(&model, std::move(plan), &ctx_));
+    RELSERVE_ASSIGN_OR_RETURN(
+        ExecOutput out, HybridExecutor::Run(prepared, input, &ctx_));
+    return out.ToTensor(&ctx_);
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  MemoryTracker tracker_;
+  ExecContext ctx_;
+};
+
+TEST_F(ExecutorTest, UdfFfnnMatchesManualComputation) {
+  auto model = BuildFFNN("m", {3, 4, 2}, 5);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(2, Shape{3}, 9);
+  ASSERT_TRUE(input.ok());
+
+  auto got = RunWithPlan(*model, UniformPlan(*model, Repr::kUdf), *input);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->shape(), (Shape{2, 2}));
+
+  // Manual forward pass with the kernels.
+  auto h = kernels::MatMul(*input, **model->GetWeight("w0"), true);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(
+      kernels::BiasAddInPlace(&*h, **model->GetWeight("b0")).ok());
+  kernels::ReluInPlace(&*h);
+  auto o = kernels::MatMul(*h, **model->GetWeight("w1"), true);
+  ASSERT_TRUE(o.ok());
+  ASSERT_TRUE(
+      kernels::BiasAddInPlace(&*o, **model->GetWeight("b1")).ok());
+  ASSERT_TRUE(kernels::SoftmaxRowsInPlace(&*o).ok());
+  EXPECT_LT(got->MaxAbsDiff(*o), 1e-6f);
+}
+
+TEST_F(ExecutorTest, RelationalFfnnMatchesUdf) {
+  auto model = BuildFFNN("m", {20, 30, 5}, 5);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(17, Shape{20}, 9);
+  ASSERT_TRUE(input.ok());
+  auto udf = RunWithPlan(*model, UniformPlan(*model, Repr::kUdf), *input);
+  auto rel = RunWithPlan(*model, UniformPlan(*model, Repr::kRelational),
+                         *input);
+  ASSERT_TRUE(udf.ok());
+  ASSERT_TRUE(rel.ok());
+  EXPECT_LT(udf->MaxAbsDiff(*rel), 1e-5f);
+}
+
+TEST_F(ExecutorTest, MixedPlanMatchesUdf) {
+  auto model = BuildFFNN("m", {12, 40, 3}, 2);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(10, Shape{12}, 4);
+  ASSERT_TRUE(input.ok());
+  // First layer relational, rest UDF: exercises the blocked->whole
+  // transition mid-model.
+  InferencePlan mixed = UniformPlan(*model, Repr::kUdf);
+  mixed.decisions[0].repr = Repr::kRelational;
+  mixed.decisions[1].repr = Repr::kRelational;
+  mixed.decisions[2].repr = Repr::kRelational;
+  auto udf = RunWithPlan(*model, UniformPlan(*model, Repr::kUdf), *input);
+  auto got = RunWithPlan(*model, std::move(mixed), *input);
+  ASSERT_TRUE(udf.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_LT(udf->MaxAbsDiff(*got), 1e-5f);
+  EXPECT_GE(ctx_.stats.assembles, 1);
+}
+
+TEST_F(ExecutorTest, UdfCnnMatchesRelationalCnn) {
+  ConvLayerSpec conv{3, 2, 2, 1, /*relu=*/true, /*maxpool=*/false};
+  auto model = BuildCNN("cnn", Shape{6, 6, 2}, {conv}, {}, 3);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(2, Shape{6, 6, 2}, 11);
+  ASSERT_TRUE(input.ok());
+  auto udf = RunWithPlan(*model, UniformPlan(*model, Repr::kUdf), *input);
+  auto rel = RunWithPlan(*model, UniformPlan(*model, Repr::kRelational),
+                         *input);
+  ASSERT_TRUE(udf.ok());
+  ASSERT_TRUE(rel.ok());
+  // Relational conv output stays blocked [batch, pixels*channels];
+  // compare flattened.
+  auto udf_flat = udf->Reshape(rel->shape());
+  ASSERT_TRUE(udf_flat.ok());
+  EXPECT_LT(udf_flat->MaxAbsDiff(*rel), 1e-5f);
+}
+
+TEST_F(ExecutorTest, CnnWithPoolAndFcRuns) {
+  auto model = zoo::BuildCachingCnn(4);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(3, Shape{28, 28, 1}, 8);
+  ASSERT_TRUE(input.ok());
+  auto out = RunWithPlan(*model, UniformPlan(*model, Repr::kUdf), *input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{3, 10}));
+  // Softmax rows sum to 1.
+  for (int64_t r = 0; r < 3; ++r) {
+    float sum = 0;
+    for (int64_t c = 0; c < 10; ++c) sum += out->At(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+TEST_F(ExecutorTest, UdfOomsWhenArenaTooSmallButRelationalSucceeds) {
+  auto model = BuildFFNN("m", {64, 128, 4}, 6);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(64, Shape{64}, 3);
+  ASSERT_TRUE(input.ok());
+
+  // Arena smaller than weights + activations: whole-tensor prepare or
+  // execution must OOM.
+  MemoryTracker small("small", 40 * 1024);
+  ExecContext tight = ctx_;
+  tight.tracker = &small;
+  auto udf_prepared = PreparedModel::Prepare(
+      &*model, UniformPlan(*model, Repr::kUdf), &tight);
+  bool oomed = false;
+  if (!udf_prepared.ok()) {
+    oomed = udf_prepared.status().IsOutOfMemory();
+  } else {
+    auto out = HybridExecutor::Run(*udf_prepared, *input, &tight);
+    oomed = !out.ok() && out.status().IsOutOfMemory();
+  }
+  EXPECT_TRUE(oomed);
+
+  // The same arena runs the model relation-centric: block working set
+  // fits.
+  MemoryTracker small2("small2", 40 * 1024);
+  ExecContext tight2 = ctx_;
+  tight2.tracker = &small2;
+  auto rel_prepared = PreparedModel::Prepare(
+      &*model, UniformPlan(*model, Repr::kRelational), &tight2);
+  ASSERT_TRUE(rel_prepared.ok()) << rel_prepared.status();
+  auto out = HybridExecutor::Run(*rel_prepared, *input, &tight2);
+  ASSERT_TRUE(out.ok()) << out.status();
+  auto tensor = out->ToTensor(&ctx_);  // assemble via the big arena
+  ASSERT_TRUE(tensor.ok());
+  EXPECT_EQ(tensor->shape(), (Shape{64, 4}));
+}
+
+TEST_F(ExecutorTest, RunOnStoreMatchesRunOnTensor) {
+  auto model = BuildFFNN("m", {10, 16, 3}, 7);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(9, Shape{10}, 2);
+  ASSERT_TRUE(input.ok());
+  auto plan = UniformPlan(*model, Repr::kRelational);
+  auto prepared = PreparedModel::Prepare(&*model, plan, &ctx_);
+  ASSERT_TRUE(prepared.ok());
+
+  auto from_tensor = HybridExecutor::Run(*prepared, *input, &ctx_);
+  ASSERT_TRUE(from_tensor.ok());
+  auto expected = from_tensor->ToTensor(&ctx_);
+  ASSERT_TRUE(expected.ok());
+
+  auto writer = blockops::MatrixStreamWriter::Create(9, 10, &ctx_);
+  ASSERT_TRUE(writer.ok());
+  for (int64_t r = 0; r < 9; ++r) {
+    ASSERT_TRUE(writer->AppendRow(input->data() + r * 10).ok());
+  }
+  auto store = writer->Finish();
+  ASSERT_TRUE(store.ok());
+  auto from_store =
+      HybridExecutor::RunOnStore(*prepared, std::move(*store), &ctx_);
+  ASSERT_TRUE(from_store.ok());
+  auto got = from_store->ToTensor(&ctx_);
+  ASSERT_TRUE(got.ok());
+  EXPECT_LT(expected->MaxAbsDiff(*got), 1e-5f);
+}
+
+TEST_F(ExecutorTest, InputTensorIsNotMutated) {
+  auto model = BuildFFNN("m", {4, 4, 2}, 1);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(2, Shape{4}, 5);
+  ASSERT_TRUE(input.ok());
+  auto before = input->Clone();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(
+      RunWithPlan(*model, UniformPlan(*model, Repr::kUdf), *input).ok());
+  EXPECT_FLOAT_EQ(input->MaxAbsDiff(*before), 0.0f);
+}
+
+TEST_F(ExecutorTest, ArenaFullyReleasedAfterQuery) {
+  auto model = BuildFFNN("m", {8, 16, 2}, 1);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(4, Shape{8}, 5);
+  ASSERT_TRUE(input.ok());
+  {
+    auto prepared = PreparedModel::Prepare(
+        &*model, UniformPlan(*model, Repr::kUdf), &ctx_);
+    ASSERT_TRUE(prepared.ok());
+    auto out = HybridExecutor::Run(*prepared, *input, &ctx_);
+    ASSERT_TRUE(out.ok());
+  }
+  // Prepared weights and all intermediates are out of scope.
+  EXPECT_EQ(tracker_.used_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace relserve

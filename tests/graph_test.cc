@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/model.h"
+#include "graph/model_io.h"
+#include "graph/model_zoo.h"
+
+namespace relserve {
+namespace {
+
+TEST(ModelTest, FFNNBuilderStructure) {
+  auto model = BuildFFNN("m", {28, 256, 2}, 1);
+  ASSERT_TRUE(model.ok());
+  // input + 2x (matmul, bias, act)
+  EXPECT_EQ(model->nodes().size(), 7u);
+  EXPECT_EQ(model->node(0).kind, OpKind::kInput);
+  EXPECT_EQ(model->node(1).kind, OpKind::kMatMul);
+  EXPECT_EQ(model->node(3).kind, OpKind::kRelu);
+  EXPECT_EQ(model->node(6).kind, OpKind::kSoftmax);
+  auto w0 = model->GetWeight("w0");
+  ASSERT_TRUE(w0.ok());
+  EXPECT_EQ((*w0)->shape(), (Shape{256, 28}));
+  EXPECT_EQ(model->TotalWeightBytes(),
+            (256 * 28 + 256 + 2 * 256 + 2) * 4);
+}
+
+TEST(ModelTest, ShapeInferenceFfnn) {
+  auto model = BuildFFNN("m", {28, 256, 2}, 1);
+  ASSERT_TRUE(model.ok());
+  auto shapes = model->InferShapes(100);
+  ASSERT_TRUE(shapes.ok());
+  EXPECT_EQ((*shapes)[0], (Shape{100, 28}));
+  EXPECT_EQ((*shapes)[1], (Shape{100, 256}));
+  EXPECT_EQ((*shapes)[6], (Shape{100, 2}));
+}
+
+TEST(ModelTest, CnnBuilderAndShapeInference) {
+  ConvLayerSpec conv{8, 3, 3, 1, /*relu=*/true, /*maxpool=*/true};
+  auto model = BuildCNN("cnn", Shape{28, 28, 1}, {conv}, {10}, 1);
+  ASSERT_TRUE(model.ok());
+  auto shapes = model->InferShapes(4);
+  ASSERT_TRUE(shapes.ok());
+  // conv -> [4, 26, 26, 8], pool -> [4, 13, 13, 8], flatten ->
+  // [4, 1352], fc -> [4, 10]
+  EXPECT_EQ((*shapes)[1], (Shape{4, 26, 26, 8}));
+  EXPECT_EQ((*shapes)[3], (Shape{4, 13, 13, 8}));
+  EXPECT_EQ((*shapes).back(), (Shape{4, 10}));
+}
+
+TEST(ModelTest, FlopsScaleWithBatch) {
+  auto model = BuildFFNN("m", {28, 256, 2}, 1);
+  ASSERT_TRUE(model.ok());
+  auto f1 = model->EstimateFlops(1);
+  auto f10 = model->EstimateFlops(10);
+  ASSERT_TRUE(f1.ok() && f10.ok());
+  EXPECT_NEAR(*f10 / *f1, 10.0, 0.01);
+}
+
+TEST(ModelTest, BuilderValidatesInput) {
+  EXPECT_TRUE(BuildFFNN("m", {28}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(BuildCNN("m", Shape{28, 28}, {}, {}, 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ModelTest, DeterministicWeightsFromSeed) {
+  auto a = BuildFFNN("m", {4, 8, 2}, 7);
+  auto b = BuildFFNN("m", {4, 8, 2}, 7);
+  auto c = BuildFFNN("m", {4, 8, 2}, 8);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_FLOAT_EQ(
+      (*a->GetWeight("w0"))->MaxAbsDiff(**b->GetWeight("w0")), 0.0f);
+  EXPECT_GT((*a->GetWeight("w0"))->MaxAbsDiff(**c->GetWeight("w0")),
+            0.0f);
+}
+
+TEST(ModelIoTest, SaveLoadRoundTrip) {
+  auto model = BuildFFNN("roundtrip", {4, 8, 2}, 3);
+  ASSERT_TRUE(model.ok());
+  const std::string path = "/tmp/relserve_model_test.bin";
+  ASSERT_TRUE(SaveModel(*model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name(), "roundtrip");
+  EXPECT_EQ(loaded->nodes().size(), model->nodes().size());
+  EXPECT_EQ(loaded->sample_shape(), model->sample_shape());
+  for (const auto& [name, weight] : model->weights()) {
+    auto w = loaded->GetWeight(name);
+    ASSERT_TRUE(w.ok()) << name;
+    EXPECT_FLOAT_EQ((*w)->MaxAbsDiff(weight), 0.0f) << name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadRejectsGarbageFile) {
+  const std::string path = "/tmp/relserve_bad_model.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("not a model", f);
+  fclose(f);
+  EXPECT_FALSE(LoadModel(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadModel("/tmp/does_not_exist_relserve.bin").ok());
+}
+
+TEST(ModelZooTest, Table1SpecsMatchPaperAtFullScale) {
+  auto specs = zoo::Table1FcSpecs(1.0);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].dims, (std::vector<int64_t>{28, 256, 2}));
+  EXPECT_EQ(specs[1].dims, (std::vector<int64_t>{28, 512, 2}));
+  EXPECT_EQ(specs[2].dims, (std::vector<int64_t>{76, 3072, 768}));
+  EXPECT_EQ(specs[3].dims,
+            (std::vector<int64_t>{597540, 1024, 14588}));
+}
+
+TEST(ModelZooTest, ScaleShrinksOnlyLargeModels) {
+  auto specs = zoo::Table1FcSpecs(0.1);
+  EXPECT_EQ(specs[0].dims[0], 28);       // Fraud untouched
+  EXPECT_EQ(specs[3].dims[0], 59754);    // Amazon scaled
+  auto conv = zoo::Table2ConvSpecs(0.04);
+  EXPECT_EQ(conv[0].image_h, 112);       // DeepBench untouched
+  EXPECT_EQ(conv[1].image_h, 500);       // LandCover side scaled by 0.2
+  EXPECT_EQ(conv[1].out_channels, 82);   // 2048 * 0.04
+}
+
+TEST(ModelZooTest, CachingModelsMatchSec722) {
+  auto cnn = zoo::BuildCachingCnn(1);
+  ASSERT_TRUE(cnn.ok());
+  auto conv0 = cnn->GetWeight("conv0");
+  ASSERT_TRUE(conv0.ok());
+  EXPECT_EQ((*conv0)->shape(), (Shape{32, 3, 3, 1}));
+  auto ffnn = zoo::BuildCachingFfnn(1);
+  ASSERT_TRUE(ffnn.ok());
+  auto shapes = ffnn->InferShapes(1);
+  ASSERT_TRUE(shapes.ok());
+  EXPECT_EQ(shapes->back(), (Shape{1, 10}));
+}
+
+TEST(ModelZooTest, SpecsBuildRunnableModels) {
+  for (const auto& spec : zoo::Table1FcSpecs(0.01)) {
+    auto model = zoo::BuildFromSpec(spec, 1);
+    ASSERT_TRUE(model.ok()) << spec.name;
+    EXPECT_TRUE(model->InferShapes(2).ok()) << spec.name;
+  }
+  for (const auto& spec : zoo::Table2ConvSpecs(0.001)) {
+    auto model = zoo::BuildFromSpec(spec, 1);
+    ASSERT_TRUE(model.ok()) << spec.name;
+    EXPECT_TRUE(model->InferShapes(1).ok()) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace relserve

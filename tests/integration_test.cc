@@ -1,0 +1,232 @@
+// End-to-end scenarios mirroring the paper's evaluation at test scale:
+// the Table 3 OOM-vs-spilling story, the adaptive optimizer's choice
+// of representation, and the Sec. 7.2.2 caching workflow with the
+// Monte Carlo SLA policy.
+
+#include <gtest/gtest.h>
+
+#include "engine/connector.h"
+#include "engine/external_runtime.h"
+#include "graph/model_zoo.h"
+#include "relational/row.h"
+#include "serving/serving_session.h"
+#include "sql/query_executor.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace {
+
+TEST(IntegrationTest, Table3StoryLargeModelOomsExceptRelational) {
+  // A model whose first-layer operator exceeds every whole-tensor
+  // arena: weight 2000x4000 = 32 MB, batch 256 input 4 MB.
+  ServingConfig config;
+  config.buffer_pool_pages = 2048;
+  config.working_memory_bytes = 16LL << 20;   // 16 MB in-DB arena
+  config.memory_threshold_bytes = 16LL << 20;
+  config.block_rows = 256;
+  config.block_cols = 256;
+  ServingSession session(config);
+
+  auto model = BuildFFNN("big", {4000, 2000, 16}, 1);
+  ASSERT_TRUE(model.ok());
+  auto table =
+      session.CreateTable("data", workloads::FeatureTableSchema());
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(workloads::FillFeatureTable(*table, 256, 4000, 2).ok());
+  ASSERT_TRUE(session.RegisterModel(std::move(*model)).ok());
+
+  // UDF-centric: the resident weight alone busts the 16 MB arena.
+  auto udf_deploy = session.Deploy("big", ServingMode::kForceUdf, 256);
+  EXPECT_TRUE(udf_deploy.status().IsOutOfMemory());
+
+  // External runtime with the same memory budget: OOM as well.
+  ExternalRuntime runtime("sim", 16LL << 20);
+  auto reg = session.OffloadModel("big", &runtime);
+  EXPECT_TRUE(reg.IsOutOfMemory());
+
+  // Adaptive: the optimizer lowers the big operator to
+  // relation-centric and the query completes by spilling blocks.
+  auto plan = session.Deploy("big", ServingMode::kAdaptive, 256);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE((*plan)->AnyRelational());
+  auto out = session.Predict("big", "data");
+  ASSERT_TRUE(out.ok()) << out.status();
+  auto scores = out->ToTensor(session.exec_context());
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->shape(), (Shape{256, 16}));
+  // The working arena never held the whole weight.
+  EXPECT_LT(session.working_memory()->peak_bytes(),
+            16LL << 20);
+}
+
+TEST(IntegrationTest, AdaptiveEqualsUdfForSmallModels) {
+  ServingSession session(ServingConfig{});
+  auto model = BuildFFNN("fraud", {28, 256, 2}, 1);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(session.RegisterModel(std::move(*model)).ok());
+  auto plan = session.Deploy("fraud", ServingMode::kAdaptive, 512);
+  ASSERT_TRUE(plan.ok());
+  // The paper: small models fit the threshold, so the optimizer picks
+  // the single-UDF representation.
+  EXPECT_TRUE((*plan)->AllUdf());
+}
+
+TEST(IntegrationTest, AllThreeArchitecturesAgreeNumerically) {
+  ServingConfig config;
+  config.block_rows = 32;
+  config.block_cols = 32;
+  ServingSession session(config);
+  auto model = BuildFFNN("m", {40, 24, 4}, 5);
+  ASSERT_TRUE(model.ok());
+  auto table = session.CreateTable("t", workloads::FeatureTableSchema());
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(workloads::FillFeatureTable(*table, 64, 40, 3).ok());
+  ASSERT_TRUE(session.RegisterModel(std::move(*model)).ok());
+
+  ASSERT_TRUE(session.Deploy("m", ServingMode::kForceUdf, 64).ok());
+  auto udf = session.Predict("m", "t");
+  ASSERT_TRUE(udf.ok());
+  auto udf_t = udf->ToTensor(session.exec_context());
+  ASSERT_TRUE(udf_t.ok());
+
+  ASSERT_TRUE(
+      session.Deploy("m", ServingMode::kForceRelational, 64).ok());
+  auto rel = session.Predict("m", "t");
+  ASSERT_TRUE(rel.ok());
+  auto rel_t = rel->ToTensor(session.exec_context());
+  ASSERT_TRUE(rel_t.ok());
+
+  ExternalRuntime runtime("sim", 64LL << 20);
+  ASSERT_TRUE(session.OffloadModel("m", &runtime).ok());
+  auto dl = session.PredictViaRuntime("m", "t");
+  ASSERT_TRUE(dl.ok());
+
+  EXPECT_LT(udf_t->MaxAbsDiff(*rel_t), 1e-5f);
+  EXPECT_LT(udf_t->MaxAbsDiff(*dl), 1e-5f);
+}
+
+TEST(IntegrationTest, CachingWorkflowWithSlaPolicy) {
+  // Sec. 7.2.2 at test scale: clustered requests, FFNN classifier,
+  // HNSW-backed cache, Monte Carlo accuracy estimate.
+  ServingSession session(ServingConfig{});
+  auto model = BuildFFNN("clf", {16, 32, 10}, 1);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(session.RegisterModel(std::move(*model)).ok());
+  ASSERT_TRUE(session.Deploy("clf", ServingMode::kForceUdf, 64).ok());
+
+  auto data = workloads::GenClusteredData(256, 16, 10, 0.02f, 9);
+  ASSERT_TRUE(data.ok());
+
+  ApproxResultCache::Config cache_config;
+  cache_config.max_distance = 0.25f;
+  ASSERT_TRUE(session.EnableApproxCache("clf", 16, cache_config).ok());
+
+  // Warm the cache with the first half.
+  auto warm = data->features.Reshape(Shape{256, 16});
+  ASSERT_TRUE(warm.ok());
+  auto first = session.PredictWithCache("clf", *warm);
+  ASSERT_TRUE(first.ok());
+
+  // Second pass over the same requests: mostly hits (measured on the
+  // second pass alone, not the cold warm-up).
+  auto cache = session.GetApproxCache("clf");
+  ASSERT_TRUE(cache.ok());
+  const CacheStats before = (*cache)->stats();
+  auto second = session.PredictWithCache("clf", *warm);
+  ASSERT_TRUE(second.ok());
+  const CacheStats after = (*cache)->stats();
+  const double second_pass_rate =
+      static_cast<double>(after.hits - before.hits) /
+      (after.lookups - before.lookups);
+  EXPECT_GT(second_pass_rate, 0.6);
+
+  // Monte Carlo policy: with tight clusters the accuracy estimate is
+  // high enough for a 90% SLA.
+  std::vector<std::vector<float>> sample;
+  for (int i = 0; i < 32; ++i) {
+    sample.emplace_back(data->features.data() + i * 16,
+                        data->features.data() + (i + 1) * 16);
+  }
+  auto infer = [&](const std::vector<float>& x)
+      -> Result<std::vector<float>> {
+    auto t = Tensor::FromData(Shape{1, 16}, x);
+    RELSERVE_RETURN_NOT_OK(t.status());
+    RELSERVE_ASSIGN_OR_RETURN(ExecOutput out,
+                              session.PredictBatch("clf", *t));
+    RELSERVE_ASSIGN_OR_RETURN(Tensor pred,
+                              out.ToTensor(session.exec_context()));
+    return std::vector<float>(pred.data(),
+                              pred.data() + pred.NumElements());
+  };
+  auto decision = MonteCarloCachePolicy(*cache, sample, infer, 0.9);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->enable_cache);
+}
+
+TEST(IntegrationTest, SqlPredictOverRelationCentricModel) {
+  // A SQL inference query whose PREDICT auto-deploys a model that the
+  // optimizer lowers to relation-centric: the whole paper stack in
+  // one statement.
+  ServingConfig config;
+  config.working_memory_bytes = 8LL << 20;
+  config.memory_threshold_bytes = 2LL << 20;
+  config.block_rows = 128;
+  config.block_cols = 128;
+  ServingSession session(config);
+
+  auto table =
+      session.CreateTable("events", workloads::FeatureTableSchema());
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(workloads::FillFeatureTable(*table, 64, 2000, 3).ok());
+  // Weight 512x2000 = 4 MB > 2 MB threshold -> relational matmul.
+  auto model = BuildFFNN("wide", {2000, 512, 4}, 5);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(session.RegisterModel(std::move(*model)).ok());
+
+  auto result = sql::ExecuteQuery(
+      &session,
+      "SELECT PREDICT_CLASS(wide) AS cls, COUNT(*) AS n FROM events "
+      "GROUP BY cls ORDER BY n DESC");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The auto-deployment chose relational for the big layer.
+  auto plan = session.Deploy("wide", ServingMode::kAdaptive, 64);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE((*plan)->AnyRelational());
+  int64_t total = 0;
+  for (const Row& row : result->rows) total += row.value(1).AsInt64();
+  EXPECT_EQ(total, 64);
+}
+
+TEST(IntegrationTest, ConvModelEndToEndThroughSession) {
+  ServingConfig config;
+  config.block_rows = 64;
+  config.block_cols = 64;
+  ServingSession session(config);
+  // DeepBench-CONV1 geometry at reduced image size.
+  zoo::ConvSpec spec{"conv", 28, 28, 8, 16, 1, 1};
+  auto model = zoo::BuildFromSpec(spec, 1);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(session.RegisterModel(std::move(*model)).ok());
+  ASSERT_TRUE(session.Deploy("conv", ServingMode::kForceUdf, 2).ok());
+  auto input = workloads::GenBatch(2, Shape{28, 28, 8}, 7);
+  ASSERT_TRUE(input.ok());
+  auto udf = session.PredictBatch("conv", *input);
+  ASSERT_TRUE(udf.ok());
+  auto udf_t = udf->ToTensor(session.exec_context());
+  ASSERT_TRUE(udf_t.ok());
+  EXPECT_EQ(udf_t->shape(), (Shape{2, 28, 28, 16}));
+
+  ASSERT_TRUE(
+      session.Deploy("conv", ServingMode::kForceRelational, 2).ok());
+  auto rel = session.PredictBatch("conv", *input);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_TRUE(rel->blocked());
+  auto rel_t = rel->ToTensor(session.exec_context());
+  ASSERT_TRUE(rel_t.ok());
+  auto udf_flat = udf_t->Reshape(rel_t->shape());
+  ASSERT_TRUE(udf_flat.ok());
+  EXPECT_LT(udf_flat->MaxAbsDiff(*rel_t), 1e-4f);
+}
+
+}  // namespace
+}  // namespace relserve

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/kernels.h"
+#include "resource/thread_pool.h"
+
+namespace relserve {
+namespace {
+
+Tensor Make(Shape shape, std::vector<float> values) {
+  auto t = Tensor::FromData(std::move(shape), values);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+TEST(GemmTest, SmallKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Tensor a = Make(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Make(Shape{2, 2}, {5, 6, 7, 8});
+  auto c = kernels::MatMul(a, b, /*transpose_b=*/false);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FLOAT_EQ(c->At(0, 0), 19);
+  EXPECT_FLOAT_EQ(c->At(0, 1), 22);
+  EXPECT_FLOAT_EQ(c->At(1, 0), 43);
+  EXPECT_FLOAT_EQ(c->At(1, 1), 50);
+}
+
+TEST(GemmTest, TransposeBMatchesManual) {
+  Tensor a = Make(Shape{1, 3}, {1, 2, 3});
+  Tensor b = Make(Shape{2, 3}, {4, 5, 6, 7, 8, 9});  // b^T is [3, 2]
+  auto c = kernels::MatMul(a, b, /*transpose_b=*/true);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FLOAT_EQ(c->At(0, 0), 1 * 4 + 2 * 5 + 3 * 6);
+  EXPECT_FLOAT_EQ(c->At(0, 1), 1 * 7 + 2 * 8 + 3 * 9);
+}
+
+TEST(GemmTest, AccumulateAddsIntoOutput) {
+  Tensor a = Make(Shape{1, 1}, {2});
+  Tensor b = Make(Shape{1, 1}, {3});
+  auto out = Tensor::Full(Shape{1, 1}, 10.0f);
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(kernels::GemmInto(a, b, false, /*accumulate=*/true,
+                                &*out)
+                  .ok());
+  EXPECT_FLOAT_EQ(out->At(0, 0), 16.0f);
+}
+
+TEST(GemmTest, RejectsDimensionMismatch) {
+  Tensor a = Make(Shape{2, 3}, std::vector<float>(6, 1));
+  Tensor b = Make(Shape{2, 2}, std::vector<float>(4, 1));
+  EXPECT_TRUE(
+      kernels::MatMul(a, b, false).status().IsInvalidArgument());
+}
+
+TEST(GemmTest, ParallelMatchesSerial) {
+  const int64_t m = 64, k = 37, n = 29;
+  auto a = Tensor::Create(Shape{m, k});
+  auto b = Tensor::Create(Shape{k, n});
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int64_t i = 0; i < m * k; ++i) {
+    a->data()[i] = std::sin(static_cast<float>(i));
+  }
+  for (int64_t i = 0; i < k * n; ++i) {
+    b->data()[i] = std::cos(static_cast<float>(i));
+  }
+  auto serial = kernels::MatMul(*a, *b, false);
+  ThreadPool pool(4);
+  auto parallel = kernels::MatMul(*a, *b, false, nullptr, &pool);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_LT(serial->MaxAbsDiff(*parallel), 1e-5f);
+}
+
+TEST(ElementwiseTest, Relu) {
+  Tensor x = Make(Shape{4}, {-1, 0, 2, -3});
+  kernels::ReluInPlace(&x);
+  EXPECT_FLOAT_EQ(x.data()[0], 0);
+  EXPECT_FLOAT_EQ(x.data()[1], 0);
+  EXPECT_FLOAT_EQ(x.data()[2], 2);
+  EXPECT_FLOAT_EQ(x.data()[3], 0);
+}
+
+TEST(ElementwiseTest, BiasAddBroadcastsOverRows) {
+  Tensor x = Make(Shape{2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias = Make(Shape{3}, {10, 20, 30});
+  ASSERT_TRUE(kernels::BiasAddInPlace(&x, bias).ok());
+  EXPECT_FLOAT_EQ(x.At(0, 0), 10);
+  EXPECT_FLOAT_EQ(x.At(0, 2), 30);
+  EXPECT_FLOAT_EQ(x.At(1, 1), 21);
+}
+
+TEST(ElementwiseTest, BiasAddRejectsWidthMismatch) {
+  Tensor x = Make(Shape{2, 3}, std::vector<float>(6, 0));
+  Tensor bias = Make(Shape{2}, {1, 2});
+  EXPECT_TRUE(kernels::BiasAddInPlace(&x, bias).IsInvalidArgument());
+}
+
+TEST(ElementwiseTest, SoftmaxRowsSumToOneAndOrderPreserved) {
+  Tensor x = Make(Shape{2, 3}, {1, 2, 3, -1, -1, 5});
+  ASSERT_TRUE(kernels::SoftmaxRowsInPlace(&x).ok());
+  for (int64_t r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (int64_t c = 0; c < 3; ++c) sum += x.At(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_LT(x.At(0, 0), x.At(0, 2));
+  EXPECT_GT(x.At(1, 2), 0.9f);
+}
+
+TEST(ElementwiseTest, SoftmaxIsStableForLargeLogits) {
+  Tensor x = Make(Shape{1, 2}, {1000.0f, 1001.0f});
+  ASSERT_TRUE(kernels::SoftmaxRowsInPlace(&x).ok());
+  EXPECT_FALSE(std::isnan(x.At(0, 0)));
+  EXPECT_NEAR(x.At(0, 0) + x.At(0, 1), 1.0f, 1e-5f);
+}
+
+TEST(ElementwiseTest, AddInPlace) {
+  Tensor a = Make(Shape{3}, {1, 2, 3});
+  Tensor b = Make(Shape{3}, {10, 20, 30});
+  ASSERT_TRUE(kernels::AddInPlace(&a, b).ok());
+  EXPECT_FLOAT_EQ(a.data()[2], 33);
+}
+
+TEST(ElementwiseTest, ArgMaxRows) {
+  Tensor x = Make(Shape{2, 3}, {0.1f, 0.7f, 0.2f, 5, 1, 2});
+  auto argmax = kernels::ArgMaxRows(x);
+  EXPECT_EQ(argmax[0], 1);
+  EXPECT_EQ(argmax[1], 0);
+}
+
+TEST(Im2ColTest, OneByOneKernelIsReshape) {
+  // With a 1x1 kernel, im2col is the [h*w, c] flattening the paper
+  // describes for LandCover.
+  Tensor image = Make(Shape{2, 2, 3},
+                      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  auto cols = kernels::Im2Col(image, 1, 1, 1);
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->shape(), (Shape{4, 3}));
+  EXPECT_FLOAT_EQ(cols->At(0, 0), 1);
+  EXPECT_FLOAT_EQ(cols->At(3, 2), 12);
+}
+
+TEST(Im2ColTest, TwoByTwoPatchLayout) {
+  // 3x3 single-channel image, 2x2 kernel, stride 1 -> 4 patches.
+  Tensor image = Make(Shape{3, 3, 1}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  auto cols = kernels::Im2Col(image, 2, 2, 1);
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->shape(), (Shape{4, 4}));
+  // Patch at (0,0): 1 2 4 5.
+  EXPECT_FLOAT_EQ(cols->At(0, 0), 1);
+  EXPECT_FLOAT_EQ(cols->At(0, 1), 2);
+  EXPECT_FLOAT_EQ(cols->At(0, 2), 4);
+  EXPECT_FLOAT_EQ(cols->At(0, 3), 5);
+  // Patch at (1,1): 5 6 8 9.
+  EXPECT_FLOAT_EQ(cols->At(3, 0), 5);
+  EXPECT_FLOAT_EQ(cols->At(3, 3), 9);
+}
+
+TEST(Im2ColTest, RowRangeMatchesFull) {
+  auto image = Tensor::Create(Shape{5, 4, 2});
+  ASSERT_TRUE(image.ok());
+  for (int64_t i = 0; i < image->NumElements(); ++i) {
+    image->data()[i] = static_cast<float>(i);
+  }
+  auto full = kernels::Im2Col(*image, 2, 2, 1);
+  ASSERT_TRUE(full.ok());
+  const int64_t rows = full->shape().dim(0);
+  const int64_t patch = full->shape().dim(1);
+  for (int64_t lo = 0; lo < rows; lo += 3) {
+    const int64_t hi = std::min(rows, lo + 3);
+    auto part = Tensor::Create(Shape{hi - lo, patch});
+    ASSERT_TRUE(part.ok());
+    ASSERT_TRUE(
+        kernels::Im2ColRowsInto(*image, 2, 2, 1, lo, hi, &*part).ok());
+    for (int64_t r = lo; r < hi; ++r) {
+      for (int64_t c = 0; c < patch; ++c) {
+        EXPECT_FLOAT_EQ(part->At(r - lo, c), full->At(r, c));
+      }
+    }
+  }
+}
+
+TEST(Conv2DTest, IdentityOneByOneKernel) {
+  // One output channel copying input channel 0.
+  Tensor image = Make(Shape{1, 2, 2, 2}, {1, 10, 2, 20, 3, 30, 4, 40});
+  Tensor kernel = Make(Shape{1, 1, 1, 2}, {1, 0});
+  auto out = kernels::Conv2D(image, kernel, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{1, 2, 2, 1}));
+  EXPECT_FLOAT_EQ(out->data()[0], 1);
+  EXPECT_FLOAT_EQ(out->data()[3], 4);
+}
+
+TEST(Conv2DTest, SumKernelComputesWindowSums) {
+  Tensor image = Make(Shape{1, 3, 3, 1}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor kernel = Make(Shape{1, 2, 2, 1}, {1, 1, 1, 1});
+  auto out = kernels::Conv2D(image, kernel, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{1, 2, 2, 1}));
+  EXPECT_FLOAT_EQ(out->data()[0], 1 + 2 + 4 + 5);
+  EXPECT_FLOAT_EQ(out->data()[3], 5 + 6 + 8 + 9);
+}
+
+TEST(Conv2DTest, StrideTwoShrinksOutput) {
+  auto image = Tensor::Zeros(Shape{1, 5, 5, 1});
+  Tensor kernel = Make(Shape{1, 1, 1, 1}, {1});
+  auto out = kernels::Conv2D(*image, kernel, 2);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{1, 3, 3, 1}));
+}
+
+TEST(Conv2DTest, BatchIsPerImage) {
+  Tensor image = Make(Shape{2, 1, 1, 1}, {2, 5});
+  Tensor kernel = Make(Shape{1, 1, 1, 1}, {3});
+  auto out = kernels::Conv2D(image, kernel, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ(out->data()[0], 6);
+  EXPECT_FLOAT_EQ(out->data()[1], 15);
+}
+
+TEST(MaxPoolTest, TakesWindowMax) {
+  Tensor image = Make(Shape{1, 2, 2, 1}, {1, 5, 3, 2});
+  auto out = kernels::MaxPool2x2(image);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out->data()[0], 5);
+}
+
+TEST(MaxPoolTest, PerChannel) {
+  Tensor image =
+      Make(Shape{1, 2, 2, 2}, {1, 10, 2, 20, 3, 30, 4, 40});
+  auto out = kernels::MaxPool2x2(image);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FLOAT_EQ(out->data()[0], 4);
+  EXPECT_FLOAT_EQ(out->data()[1], 40);
+}
+
+}  // namespace
+}  // namespace relserve

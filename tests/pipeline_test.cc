@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "engine/hybrid_executor.h"
+#include "engine/pipeline_executor.h"
+#include "graph/model.h"
+#include "graph/model_zoo.h"
+#include "resource/bounded_queue.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 4; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, PopAfterCloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  q.Close();
+  EXPECT_FALSE(q.Push(2));
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, BackpressureBlocksProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    q.Push(2);
+    second_pushed = true;
+  });
+  // Producer must be blocked while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(q.Push(2));  // woken by Close, push fails
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : tracker_("pipeline") { ctx_.tracker = &tracker_; }
+
+  static InferencePlan AllUdf(const Model& model) {
+    InferencePlan plan;
+    for (const Node& node : model.nodes()) {
+      plan.decisions.push_back(NodeDecision{node.id, Repr::kUdf, 0});
+    }
+    return plan;
+  }
+
+  Result<Tensor> RunBatch(const PreparedModel& prepared,
+                          const Tensor& input) {
+    RELSERVE_ASSIGN_OR_RETURN(ExecOutput out,
+                              HybridExecutor::Run(prepared, input, &ctx_));
+    return out.ToTensor(&ctx_);
+  }
+
+  MemoryTracker tracker_;
+  ExecContext ctx_;
+};
+
+TEST_F(PipelineTest, MatchesBatchExecutionFfnn) {
+  auto model = BuildFFNN("m", {12, 24, 5}, 3);
+  ASSERT_TRUE(model.ok());
+  auto prepared = PreparedModel::Prepare(&*model, AllUdf(*model), &ctx_);
+  ASSERT_TRUE(prepared.ok());
+  auto input = workloads::GenBatch(100, Shape{12}, 7);
+  ASSERT_TRUE(input.ok());
+  auto batch = RunBatch(*prepared, *input);
+  ASSERT_TRUE(batch.ok());
+  PipelineConfig config;
+  config.micro_batch_rows = 16;  // ragged tail: 100 = 6*16 + 4
+  auto piped = PipelineExecutor::Run(*prepared, *input, &ctx_, config);
+  ASSERT_TRUE(piped.ok()) << piped.status();
+  EXPECT_EQ(piped->shape(), batch->shape());
+  EXPECT_LT(batch->MaxAbsDiff(*piped), 1e-6f);
+}
+
+TEST_F(PipelineTest, MatchesBatchExecutionCnn) {
+  auto model = zoo::BuildCachingCnn(2);
+  ASSERT_TRUE(model.ok());
+  auto prepared = PreparedModel::Prepare(&*model, AllUdf(*model), &ctx_);
+  ASSERT_TRUE(prepared.ok());
+  auto input = workloads::GenBatch(10, Shape{28, 28, 1}, 5);
+  ASSERT_TRUE(input.ok());
+  auto batch = RunBatch(*prepared, *input);
+  ASSERT_TRUE(batch.ok());
+  PipelineConfig config;
+  config.micro_batch_rows = 3;
+  auto piped = PipelineExecutor::Run(*prepared, *input, &ctx_, config);
+  ASSERT_TRUE(piped.ok()) << piped.status();
+  EXPECT_LT(batch->MaxAbsDiff(*piped), 1e-5f);
+}
+
+class PipelineChunkSweep : public PipelineTest,
+                           public ::testing::WithParamInterface<int64_t> {
+};
+
+TEST_P(PipelineChunkSweep, AnyMicroBatchSizeIsEquivalent) {
+  auto model = BuildFFNN("m", {8, 16, 4}, 9);
+  ASSERT_TRUE(model.ok());
+  auto prepared = PreparedModel::Prepare(&*model, AllUdf(*model), &ctx_);
+  ASSERT_TRUE(prepared.ok());
+  auto input = workloads::GenBatch(37, Shape{8}, 1);
+  ASSERT_TRUE(input.ok());
+  auto batch = RunBatch(*prepared, *input);
+  ASSERT_TRUE(batch.ok());
+  PipelineConfig config;
+  config.micro_batch_rows = GetParam();
+  auto piped = PipelineExecutor::Run(*prepared, *input, &ctx_, config);
+  ASSERT_TRUE(piped.ok());
+  EXPECT_LT(batch->MaxAbsDiff(*piped), 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineChunkSweep,
+                         ::testing::Values(1, 2, 5, 16, 37, 64));
+
+TEST_F(PipelineTest, BoundedPeakMemory) {
+  // A deep-ish model over a big batch: the pipeline's peak arena use
+  // must stay near (stages x queue x micro-batch), far below the
+  // whole-batch activations.
+  auto model = BuildFFNN("m", {256, 512, 512, 8}, 1);
+  ASSERT_TRUE(model.ok());
+  auto prepared = PreparedModel::Prepare(&*model, AllUdf(*model), &ctx_);
+  ASSERT_TRUE(prepared.ok());
+  auto input = workloads::GenBatch(2048, Shape{256}, 4);
+  ASSERT_TRUE(input.ok());
+
+  tracker_.ResetPeak();
+  auto batch = RunBatch(*prepared, *input);
+  ASSERT_TRUE(batch.ok());
+  const int64_t batch_peak = tracker_.peak_bytes();
+
+  tracker_.ResetPeak();
+  PipelineConfig config;
+  config.micro_batch_rows = 32;
+  auto piped = PipelineExecutor::Run(*prepared, *input, &ctx_, config);
+  ASSERT_TRUE(piped.ok());
+  const int64_t pipe_peak = tracker_.peak_bytes();
+
+  EXPECT_LT(batch->MaxAbsDiff(*piped), 1e-4f);
+  // Pipeline holds micro-batches, not whole activations (the output
+  // tensor dominates its peak).
+  EXPECT_LT(pipe_peak, batch_peak / 2);
+}
+
+TEST_F(PipelineTest, RejectsRelationalPreparedModels) {
+  auto model = BuildFFNN("m", {8, 8, 2}, 1);
+  ASSERT_TRUE(model.ok());
+  DiskManager disk;
+  BufferPool pool(&disk, 32);
+  ExecContext rel_ctx = ctx_;
+  rel_ctx.buffer_pool = &pool;
+  InferencePlan plan;
+  for (const Node& node : model->nodes()) {
+    plan.decisions.push_back(
+        NodeDecision{node.id, Repr::kRelational, 0});
+  }
+  auto prepared = PreparedModel::Prepare(&*model, plan, &rel_ctx);
+  ASSERT_TRUE(prepared.ok());
+  auto input = workloads::GenBatch(4, Shape{8}, 1);
+  ASSERT_TRUE(input.ok());
+  EXPECT_TRUE(PipelineExecutor::Run(*prepared, *input, &rel_ctx)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PipelineTest, PropagatesStageOom) {
+  auto model = BuildFFNN("m", {64, 128, 8}, 1);
+  ASSERT_TRUE(model.ok());
+  // Prepare with an unlimited arena, then execute with a tiny one so
+  // the failure happens mid-pipeline.
+  auto prepared = PreparedModel::Prepare(&*model, AllUdf(*model), &ctx_);
+  ASSERT_TRUE(prepared.ok());
+  auto input = workloads::GenBatch(512, Shape{64}, 1);
+  ASSERT_TRUE(input.ok());
+  MemoryTracker tiny("tiny", 64 * 1024);
+  ExecContext tight;
+  tight.tracker = &tiny;
+  PipelineConfig config;
+  config.micro_batch_rows = 128;
+  auto out = PipelineExecutor::Run(*prepared, *input, &tight, config);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsOutOfMemory());
+  // Nothing leaked even on the failure path.
+  EXPECT_EQ(tiny.used_bytes(), 0);
+}
+
+TEST_F(PipelineTest, RejectsBadConfig) {
+  auto model = BuildFFNN("m", {4, 4, 2}, 1);
+  ASSERT_TRUE(model.ok());
+  auto prepared = PreparedModel::Prepare(&*model, AllUdf(*model), &ctx_);
+  ASSERT_TRUE(prepared.ok());
+  auto input = workloads::GenBatch(4, Shape{4}, 1);
+  ASSERT_TRUE(input.ok());
+  PipelineConfig config;
+  config.micro_batch_rows = 0;
+  EXPECT_TRUE(PipelineExecutor::Run(*prepared, *input, &ctx_, config)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace relserve

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "relational/expression.h"
+#include "relational/operator.h"
+#include "relational/row.h"
+#include "relational/schema.h"
+#include "storage/buffer_pool.h"
+#include "storage/table_heap.h"
+
+namespace relserve {
+namespace {
+
+Row MakeRow(std::vector<Value> values) { return Row(std::move(values)); }
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kFloat64);
+  EXPECT_EQ(Value(std::string("x")).type(), ValueType::kString);
+  EXPECT_EQ(Value(std::vector<float>{1, 2}).type(),
+            ValueType::kFloatVector);
+  EXPECT_EQ(Value(int64_t{5}).AsNumeric(), 5.0);
+  EXPECT_EQ(Value(2.5).AsNumeric(), 2.5);
+}
+
+TEST(ValueTest, EqualityAndHash) {
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_NE(Value(int64_t{3}), Value(3.0));  // typed equality
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(int64_t{3}).Hash());
+  EXPECT_EQ(Value(std::vector<float>{1, 2}).Hash(),
+            Value(std::vector<float>{1, 2}).Hash());
+}
+
+TEST(SchemaTest, FieldIndexAndProject) {
+  Schema s({{"a", ValueType::kInt64}, {"b", ValueType::kFloat64}});
+  EXPECT_EQ(*s.FieldIndex("b"), 1);
+  EXPECT_TRUE(s.FieldIndex("z").status().IsNotFound());
+  Schema p = s.Project({1});
+  EXPECT_EQ(p.num_columns(), 1);
+  EXPECT_EQ(p.column(0).name, "b");
+}
+
+TEST(SchemaTest, ConcatRenamesDuplicates) {
+  Schema a({{"id", ValueType::kInt64}});
+  Schema b({{"id", ValueType::kInt64}, {"x", ValueType::kFloat64}});
+  Schema joined = a.Concat(b);
+  EXPECT_EQ(joined.num_columns(), 3);
+  EXPECT_EQ(joined.column(1).name, "id_r");
+  EXPECT_EQ(joined.column(2).name, "x");
+}
+
+TEST(RowTest, SerializeRoundTripAllTypes) {
+  Row row = MakeRow({Value(int64_t{-7}), Value(3.25),
+                     Value(std::string("hello")),
+                     Value(std::vector<float>{1.5f, -2.5f})});
+  std::string bytes;
+  row.SerializeTo(&bytes);
+  auto back = Row::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, row);
+}
+
+TEST(RowTest, DeserializeRejectsGarbage) {
+  std::string bytes = "\xff\x01\x02";
+  EXPECT_FALSE(Row::Deserialize(bytes.data(), bytes.size()).ok());
+}
+
+TEST(ExpressionTest, ColumnAndLiteral) {
+  Row row = MakeRow({Value(int64_t{10}), Value(2.5)});
+  auto col = Expression::Column(1);
+  EXPECT_EQ((*col->Evaluate(row)).AsFloat64(), 2.5);
+  auto lit = Expression::Literal(Value(int64_t{3}));
+  EXPECT_EQ((*lit->Evaluate(row)).AsInt64(), 3);
+  EXPECT_TRUE(Expression::Column(9)->Evaluate(row).status()
+                  .IsInvalidArgument());
+}
+
+TEST(ExpressionTest, ArithmeticAndComparison) {
+  Row row = MakeRow({Value(4.0), Value(int64_t{3})});
+  auto sum = Expression::Binary(ExprKind::kAdd, Expression::Column(0),
+                                Expression::Column(1));
+  EXPECT_EQ((*sum->Evaluate(row)).AsFloat64(), 7.0);
+  auto lt = Expression::Binary(ExprKind::kLt, Expression::Column(1),
+                               Expression::Column(0));
+  EXPECT_TRUE(*lt->EvaluateBool(row));
+  auto eq = Expression::Binary(
+      ExprKind::kEq, Expression::Column(1),
+      Expression::Literal(Value(int64_t{3})));
+  EXPECT_TRUE(*eq->EvaluateBool(row));
+}
+
+TEST(ExpressionTest, BooleanShortCircuit) {
+  Row row = MakeRow({Value(int64_t{0})});
+  // (col0 != 0) AND (bad column ref): short-circuits before the error.
+  auto bad = Expression::Column(99);
+  auto guard = Expression::Binary(
+      ExprKind::kAnd,
+      Expression::Binary(ExprKind::kEq, Expression::Column(0),
+                         Expression::Literal(Value(int64_t{1}))),
+      bad);
+  auto result = guard->EvaluateBool(row);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST(ExpressionTest, AbsDiffLeIsTheBandPredicate) {
+  Row row = MakeRow({Value(1.0), Value(1.4)});
+  auto within = Expression::AbsDiffLe(Expression::Column(0),
+                                      Expression::Column(1), 0.5);
+  EXPECT_TRUE(*within->EvaluateBool(row));
+  auto outside = Expression::AbsDiffLe(Expression::Column(0),
+                                       Expression::Column(1), 0.3);
+  EXPECT_FALSE(*outside->EvaluateBool(row));
+}
+
+TEST(ExpressionTest, ToStringIsReadable) {
+  auto e = Expression::Binary(
+      ExprKind::kAnd,
+      Expression::Binary(ExprKind::kLt, Expression::Column(0),
+                         Expression::Literal(Value(int64_t{5}))),
+      Expression::Not(Expression::Column(1)));
+  EXPECT_EQ(e->ToString(), "(($0 < 5) AND (NOT $1))");
+}
+
+class OperatorTest : public ::testing::Test {
+ protected:
+  OperatorTest() : disk_(), pool_(&disk_, 32) {}
+
+  // Builds a table of (id, score) rows 0..n-1 with score = id * 1.5.
+  std::unique_ptr<TableHeap> MakeTable(int n) {
+    auto heap = std::make_unique<TableHeap>(&pool_);
+    for (int i = 0; i < n; ++i) {
+      Row row = MakeRow({Value(int64_t{i}), Value(i * 1.5)});
+      std::string bytes;
+      row.SerializeTo(&bytes);
+      EXPECT_TRUE(heap->Append(bytes).ok());
+    }
+    return heap;
+  }
+
+  Schema schema_ =
+      Schema({{"id", ValueType::kInt64}, {"score", ValueType::kFloat64}});
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(OperatorTest, SeqScanReturnsAllRowsInOrder) {
+  auto heap = MakeTable(10);
+  SeqScan scan(heap.get(), schema_);
+  auto rows = Collect(&scan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ((*rows)[i].value(0).AsInt64(), i);
+  }
+}
+
+TEST_F(OperatorTest, SeqScanIsRestartable) {
+  auto heap = MakeTable(3);
+  SeqScan scan(heap.get(), schema_);
+  ASSERT_TRUE(Collect(&scan).ok());
+  auto again = Collect(&scan);  // Collect re-opens
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), 3u);
+}
+
+TEST_F(OperatorTest, FilterKeepsMatching) {
+  auto heap = MakeTable(10);
+  auto scan = std::make_unique<SeqScan>(heap.get(), schema_);
+  auto pred = Expression::Binary(
+      ExprKind::kLt, Expression::Column(1),
+      Expression::Literal(Value(4.0)));  // score < 4 => id 0, 1, 2
+  Filter filter(std::move(scan), pred);
+  auto rows = Collect(&filter);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(OperatorTest, ProjectReordersColumns) {
+  auto heap = MakeTable(2);
+  auto scan = std::make_unique<SeqScan>(heap.get(), schema_);
+  Project project(std::move(scan), {1, 0});
+  EXPECT_EQ(project.schema().column(0).name, "score");
+  auto rows = Collect(&project);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[1].value(1).AsInt64(), 1);
+}
+
+TEST_F(OperatorTest, HashJoinMatchesEqualKeys) {
+  std::vector<Row> left = {MakeRow({Value(int64_t{1}),
+                                    Value(std::string("a"))}),
+                           MakeRow({Value(int64_t{2}),
+                                    Value(std::string("b"))}),
+                           MakeRow({Value(int64_t{3}),
+                                    Value(std::string("c"))})};
+  std::vector<Row> right = {
+      MakeRow({Value(int64_t{2}), Value(20.0)}),
+      MakeRow({Value(int64_t{2}), Value(21.0)}),
+      MakeRow({Value(int64_t{3}), Value(30.0)})};
+  Schema ls({{"id", ValueType::kInt64}, {"tag", ValueType::kString}});
+  Schema rs({{"id", ValueType::kInt64}, {"v", ValueType::kFloat64}});
+  HashJoin join(std::make_unique<MemScan>(left, ls),
+                std::make_unique<MemScan>(right, rs), 0, 0);
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  // id=2 fans out to 2 matches, id=3 to 1, id=1 to none.
+  EXPECT_EQ(rows->size(), 3u);
+  EXPECT_EQ(join.schema().num_columns(), 4);
+}
+
+TEST_F(OperatorTest, HashJoinEmptySides) {
+  Schema s({{"id", ValueType::kInt64}});
+  HashJoin join(std::make_unique<MemScan>(std::vector<Row>{}, s),
+                std::make_unique<MemScan>(std::vector<Row>{}, s), 0, 0);
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(OperatorTest, SimilarityJoinBandSemantics) {
+  Schema s({{"key", ValueType::kFloat64}, {"id", ValueType::kInt64}});
+  std::vector<Row> left = {MakeRow({Value(1.0), Value(int64_t{0})}),
+                           MakeRow({Value(5.0), Value(int64_t{1})})};
+  std::vector<Row> right = {MakeRow({Value(1.2), Value(int64_t{10})}),
+                            MakeRow({Value(1.6), Value(int64_t{11})}),
+                            MakeRow({Value(4.9), Value(int64_t{12})}),
+                            MakeRow({Value(9.0), Value(int64_t{13})})};
+  SimilarityJoin join(std::make_unique<MemScan>(left, s),
+                      std::make_unique<MemScan>(right, s), 0, 0, 0.5);
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  // left 0 (1.0) matches 1.2; left 1 (5.0) matches 4.9.
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].value(3).AsInt64(), 10);
+  EXPECT_EQ((*rows)[1].value(3).AsInt64(), 12);
+}
+
+TEST_F(OperatorTest, SimilarityJoinInclusiveBoundary) {
+  Schema s({{"key", ValueType::kFloat64}});
+  std::vector<Row> left = {MakeRow({Value(1.0)})};
+  std::vector<Row> right = {MakeRow({Value(1.5)}),
+                            MakeRow({Value(0.5)})};
+  SimilarityJoin join(std::make_unique<MemScan>(left, s),
+                      std::make_unique<MemScan>(right, s), 0, 0, 0.5);
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // both endpoints included
+}
+
+TEST_F(OperatorTest, HashAggregateGlobalGroup) {
+  auto heap = MakeTable(5);  // scores 0, 1.5, 3, 4.5, 6
+  auto scan = std::make_unique<SeqScan>(heap.get(), schema_);
+  HashAggregate agg(std::move(scan), {},
+                    {{AggFunc::kCount, -1, "n"},
+                     {AggFunc::kSum, 1, "total"},
+                     {AggFunc::kMin, 1, "lo"},
+                     {AggFunc::kMax, 1, "hi"},
+                     {AggFunc::kAvg, 1, "mean"}});
+  auto rows = Collect(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  const Row& r = (*rows)[0];
+  EXPECT_EQ(r.value(0).AsInt64(), 5);
+  EXPECT_DOUBLE_EQ(r.value(1).AsFloat64(), 15.0);
+  EXPECT_DOUBLE_EQ(r.value(2).AsFloat64(), 0.0);
+  EXPECT_DOUBLE_EQ(r.value(3).AsFloat64(), 6.0);
+  EXPECT_DOUBLE_EQ(r.value(4).AsFloat64(), 3.0);
+}
+
+TEST_F(OperatorTest, HashAggregateGroupsByKey) {
+  Schema s({{"k", ValueType::kInt64}, {"v", ValueType::kFloat64}});
+  std::vector<Row> rows = {MakeRow({Value(int64_t{1}), Value(10.0)}),
+                           MakeRow({Value(int64_t{2}), Value(20.0)}),
+                           MakeRow({Value(int64_t{1}), Value(30.0)})};
+  HashAggregate agg(std::make_unique<MemScan>(rows, s), {0},
+                    {{AggFunc::kSum, 1, "total"}});
+  auto out = Collect(&agg);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  double sum_for_1 = 0;
+  for (const Row& r : *out) {
+    if (r.value(0).AsInt64() == 1) sum_for_1 = r.value(1).AsFloat64();
+  }
+  EXPECT_DOUBLE_EQ(sum_for_1, 40.0);
+}
+
+TEST_F(OperatorTest, PipelineScanFilterAggregate) {
+  auto heap = MakeTable(100);
+  auto scan = std::make_unique<SeqScan>(heap.get(), schema_);
+  auto pred = Expression::Binary(
+      ExprKind::kLt, Expression::Column(0),
+      Expression::Literal(Value(int64_t{50})));
+  auto filter = std::make_unique<Filter>(std::move(scan), pred);
+  HashAggregate agg(std::move(filter), {},
+                    {{AggFunc::kCount, -1, "n"}});
+  auto rows = Collect(&agg);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0].value(0).AsInt64(), 50);
+}
+
+}  // namespace
+}  // namespace relserve

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "resource/device_model.h"
+#include "resource/memory_tracker.h"
+#include "resource/thread_pool.h"
+
+namespace relserve {
+namespace {
+
+TEST(MemoryTrackerTest, TracksUsage) {
+  MemoryTracker t("test", 1000);
+  EXPECT_TRUE(t.Allocate(400).ok());
+  EXPECT_EQ(t.used_bytes(), 400);
+  EXPECT_TRUE(t.Allocate(600).ok());
+  EXPECT_EQ(t.used_bytes(), 1000);
+  t.Release(1000);
+  EXPECT_EQ(t.used_bytes(), 0);
+}
+
+TEST(MemoryTrackerTest, RejectsOverLimit) {
+  MemoryTracker t("test", 1000);
+  EXPECT_TRUE(t.Allocate(800).ok());
+  Status s = t.Allocate(300);
+  EXPECT_TRUE(s.IsOutOfMemory());
+  // Failed allocation charges nothing.
+  EXPECT_EQ(t.used_bytes(), 800);
+  EXPECT_EQ(t.oom_count(), 1);
+  // Exactly reaching the limit is allowed.
+  EXPECT_TRUE(t.Allocate(200).ok());
+}
+
+TEST(MemoryTrackerTest, TracksPeak) {
+  MemoryTracker t("test", MemoryTracker::kUnlimited);
+  ASSERT_TRUE(t.Allocate(500).ok());
+  t.Release(400);
+  ASSERT_TRUE(t.Allocate(100).ok());
+  EXPECT_EQ(t.peak_bytes(), 500);
+  EXPECT_EQ(t.used_bytes(), 200);
+}
+
+TEST(MemoryTrackerTest, UnlimitedNeverOoms) {
+  MemoryTracker t("test");
+  EXPECT_TRUE(t.Allocate(int64_t{1} << 60).ok());
+  t.Release(int64_t{1} << 60);
+}
+
+TEST(MemoryTrackerTest, ConcurrentAllocationsNeverExceedLimit) {
+  constexpr int64_t kLimit = 10000;
+  MemoryTracker t("test", kLimit);
+  std::atomic<int64_t> granted{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 1000; ++j) {
+        if (t.Allocate(7).ok()) granted.fetch_add(7);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(granted.load(), kLimit);
+  EXPECT_EQ(t.used_bytes(), granted.load());
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(0, 10000, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  int64_t total = 0;
+  pool.ParallelFor(0, 3, [&](int64_t lo, int64_t hi) {
+    total += hi - lo;  // runs inline for tiny ranges
+  });
+  EXPECT_EQ(total, 3);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(DeviceModelTest, LatencyIncludesTransferAndCompute) {
+  DeviceSpec gpu{DeviceKind::kAccelerator, "gpu", 1e9, 1e6, 0.001};
+  OperatorProfile op{2e6, 1000000, 0};
+  // 0.001 launch + 1.0 transfer + 0.002 compute
+  EXPECT_NEAR(EstimateLatencySeconds(op, gpu), 1.003, 1e-9);
+}
+
+TEST(DeviceModelTest, CpuHasNoTransferTerm) {
+  DeviceSpec cpu{DeviceKind::kCpu, "cpu", 1e9, 0.0, 0.0};
+  OperatorProfile op{3e9, 1 << 30, 1 << 20};
+  EXPECT_NEAR(EstimateLatencySeconds(op, cpu), 3.0, 1e-9);
+}
+
+TEST(DeviceModelTest, SmallOpStaysOnCpuLargeOpGoesToAccelerator) {
+  // Matches the paper's decision-forest observation: transfer
+  // overheads dominate for small inputs.
+  DeviceAllocator alloc({
+      DeviceSpec{DeviceKind::kCpu, "cpu", 50e9, 0.0, 0.0},
+      DeviceSpec{DeviceKind::kAccelerator, "gpu", 5000e9, 10e9, 1e-4},
+  });
+  OperatorProfile small{/*flops=*/1e6, /*in=*/4096, /*out=*/1024};
+  EXPECT_EQ(alloc.Choose(small).kind, DeviceKind::kCpu);
+  OperatorProfile large{/*flops=*/5e12, /*in=*/100 << 20,
+                        /*out=*/10 << 20};
+  EXPECT_EQ(alloc.Choose(large).kind, DeviceKind::kAccelerator);
+}
+
+}  // namespace
+}  // namespace relserve

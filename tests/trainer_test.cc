@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/trainer.h"
+#include "graph/model.h"
+#include "graph/model_zoo.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  TrainerTest() : tracker_("train") { ctx_.tracker = &tracker_; }
+  MemoryTracker tracker_;
+  ExecContext ctx_;
+};
+
+TEST_F(TrainerTest, TrainabilityCheck) {
+  auto ffnn = BuildFFNN("m", {8, 16, 4}, 1);
+  ASSERT_TRUE(ffnn.ok());
+  EXPECT_TRUE(SgdTrainer::IsTrainable(*ffnn));
+  auto cnn = zoo::BuildCachingCnn(1);
+  ASSERT_TRUE(cnn.ok());
+  EXPECT_FALSE(SgdTrainer::IsTrainable(*cnn));
+}
+
+TEST_F(TrainerTest, GradientMatchesFiniteDifference) {
+  auto model = BuildFFNN("m", {3, 5, 2}, 7);
+  ASSERT_TRUE(model.ok());
+  auto x = workloads::GenBatch(4, Shape{3}, 2);
+  ASSERT_TRUE(x.ok());
+  std::vector<int64_t> labels = {0, 1, 1, 0};
+
+  // Analytic gradient of w0[2][1] via one TrainStep with lr so small
+  // the loss itself is effectively unchanged: grad = (w_before -
+  // w_after) / lr.
+  const float lr = 1e-4f;
+  auto w0 = model->GetMutableWeight("w0");
+  ASSERT_TRUE(w0.ok());
+  const float before = (*w0)->At(2, 1);
+  auto loss0 = SgdTrainer::TrainStep(&*model, *x, labels, lr, &ctx_);
+  ASSERT_TRUE(loss0.ok());
+  const float analytic = (before - (*w0)->At(2, 1)) / lr;
+  // Undo the update for the finite-difference probe.
+  auto fresh = BuildFFNN("m", {3, 5, 2}, 7);
+  ASSERT_TRUE(fresh.ok());
+
+  const float eps = 1e-3f;
+  auto loss_at = [&](float delta) -> double {
+    auto probe = BuildFFNN("m", {3, 5, 2}, 7);  // same seed
+    EXPECT_TRUE(probe.ok());
+    auto w = probe->GetMutableWeight("w0");
+    EXPECT_TRUE(w.ok());
+    (*w)->At(2, 1) += delta;
+    // TrainStep with lr=0 returns the loss without changing weights.
+    auto loss = SgdTrainer::TrainStep(&*probe, *x, labels, 0.0f, &ctx_);
+    EXPECT_TRUE(loss.ok());
+    return *loss;
+  };
+  const double numeric =
+      (loss_at(eps) - loss_at(-eps)) / (2.0 * eps);
+  EXPECT_NEAR(analytic, numeric, 1e-2 * std::max(1.0, std::fabs(numeric)));
+}
+
+TEST_F(TrainerTest, LossDecreasesAndAccuracyRises) {
+  const int64_t n = 512;
+  const int64_t dim = 16;
+  auto data = workloads::GenClusteredData(n, dim, 4, 0.05f, 11);
+  ASSERT_TRUE(data.ok());
+  auto model = BuildFFNN("clf", {dim, 32, 4}, 3);
+  ASSERT_TRUE(model.ok());
+
+  auto acc_before =
+      SgdTrainer::Evaluate(*model, data->features, data->labels, &ctx_);
+  ASSERT_TRUE(acc_before.ok());
+
+  auto first_loss = SgdTrainer::TrainStep(&*model, data->features,
+                                          data->labels, 0.5f, &ctx_);
+  ASSERT_TRUE(first_loss.ok());
+  auto final_loss =
+      SgdTrainer::Fit(&*model, data->features, data->labels,
+                      /*learning_rate=*/0.5f, /*epochs=*/30,
+                      /*batch_size=*/128, &ctx_);
+  ASSERT_TRUE(final_loss.ok());
+  EXPECT_LT(*final_loss, *first_loss);
+
+  auto acc_after =
+      SgdTrainer::Evaluate(*model, data->features, data->labels, &ctx_);
+  ASSERT_TRUE(acc_after.ok());
+  EXPECT_GT(*acc_after, 0.9);
+  EXPECT_GT(*acc_after, *acc_before);
+}
+
+TEST_F(TrainerTest, RejectsBadInputs) {
+  auto model = BuildFFNN("m", {4, 8, 2}, 1);
+  ASSERT_TRUE(model.ok());
+  auto x = workloads::GenBatch(3, Shape{4}, 1);
+  ASSERT_TRUE(x.ok());
+  // Wrong label count.
+  EXPECT_TRUE(SgdTrainer::TrainStep(&*model, *x, {0, 1}, 0.1f, &ctx_)
+                  .status()
+                  .IsInvalidArgument());
+  // Label out of range.
+  EXPECT_TRUE(SgdTrainer::TrainStep(&*model, *x, {0, 1, 5}, 0.1f, &ctx_)
+                  .status()
+                  .IsInvalidArgument());
+  // Non-chain model.
+  auto cnn = zoo::BuildCachingCnn(1);
+  ASSERT_TRUE(cnn.ok());
+  auto img = workloads::GenBatch(2, Shape{28, 28, 1}, 1);
+  ASSERT_TRUE(img.ok());
+  EXPECT_TRUE(SgdTrainer::TrainStep(&*cnn, *img, {0, 1}, 0.1f, &ctx_)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(TrainerTest, NoArenaLeakAcrossSteps) {
+  auto model = BuildFFNN("m", {8, 16, 3}, 2);
+  ASSERT_TRUE(model.ok());
+  auto x = workloads::GenBatch(32, Shape{8}, 3);
+  ASSERT_TRUE(x.ok());
+  std::vector<int64_t> labels(32);
+  for (int i = 0; i < 32; ++i) labels[i] = i % 3;
+  for (int step = 0; step < 5; ++step) {
+    ASSERT_TRUE(
+        SgdTrainer::TrainStep(&*model, *x, labels, 0.1f, &ctx_).ok());
+  }
+  EXPECT_EQ(tracker_.used_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace relserve
