@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_annindex.dir/bench_ablation_annindex.cc.o"
+  "CMakeFiles/bench_ablation_annindex.dir/bench_ablation_annindex.cc.o.d"
+  "bench_ablation_annindex"
+  "bench_ablation_annindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_annindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

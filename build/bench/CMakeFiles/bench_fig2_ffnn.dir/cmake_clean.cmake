@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ffnn.dir/bench_fig2_ffnn.cc.o"
+  "CMakeFiles/bench_fig2_ffnn.dir/bench_fig2_ffnn.cc.o.d"
+  "bench_fig2_ffnn"
+  "bench_fig2_ffnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ffnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cnn.dir/bench_fig3_cnn.cc.o"
+  "CMakeFiles/bench_fig3_cnn.dir/bench_fig3_cnn.cc.o.d"
+  "bench_fig3_cnn"
+  "bench_fig3_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

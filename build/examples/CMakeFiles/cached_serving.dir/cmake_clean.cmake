@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cached_serving.dir/cached_serving.cc.o"
+  "CMakeFiles/cached_serving.dir/cached_serving.cc.o.d"
+  "cached_serving"
+  "cached_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cached_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

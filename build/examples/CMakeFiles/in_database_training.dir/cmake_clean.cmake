@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/in_database_training.dir/in_database_training.cc.o"
+  "CMakeFiles/in_database_training.dir/in_database_training.cc.o.d"
+  "in_database_training"
+  "in_database_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/in_database_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_model_spilling.dir/large_model_spilling.cc.o"
+  "CMakeFiles/large_model_spilling.dir/large_model_spilling.cc.o.d"
+  "large_model_spilling"
+  "large_model_spilling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_model_spilling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

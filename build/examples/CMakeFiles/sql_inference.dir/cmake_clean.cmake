@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_inference.dir/sql_inference.cc.o"
+  "CMakeFiles/sql_inference.dir/sql_inference.cc.o.d"
+  "sql_inference"
+  "sql_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

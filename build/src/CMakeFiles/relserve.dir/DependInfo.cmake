@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/hnsw_index.cc" "src/CMakeFiles/relserve.dir/cache/hnsw_index.cc.o" "gcc" "src/CMakeFiles/relserve.dir/cache/hnsw_index.cc.o.d"
+  "/root/repo/src/cache/ivf_index.cc" "src/CMakeFiles/relserve.dir/cache/ivf_index.cc.o" "gcc" "src/CMakeFiles/relserve.dir/cache/ivf_index.cc.o.d"
+  "/root/repo/src/cache/lsh_index.cc" "src/CMakeFiles/relserve.dir/cache/lsh_index.cc.o" "gcc" "src/CMakeFiles/relserve.dir/cache/lsh_index.cc.o.d"
+  "/root/repo/src/cache/result_cache.cc" "src/CMakeFiles/relserve.dir/cache/result_cache.cc.o" "gcc" "src/CMakeFiles/relserve.dir/cache/result_cache.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/relserve.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/relserve.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/relserve.dir/common/status.cc.o" "gcc" "src/CMakeFiles/relserve.dir/common/status.cc.o.d"
+  "/root/repo/src/engine/block_ops.cc" "src/CMakeFiles/relserve.dir/engine/block_ops.cc.o" "gcc" "src/CMakeFiles/relserve.dir/engine/block_ops.cc.o.d"
+  "/root/repo/src/engine/connector.cc" "src/CMakeFiles/relserve.dir/engine/connector.cc.o" "gcc" "src/CMakeFiles/relserve.dir/engine/connector.cc.o.d"
+  "/root/repo/src/engine/external_runtime.cc" "src/CMakeFiles/relserve.dir/engine/external_runtime.cc.o" "gcc" "src/CMakeFiles/relserve.dir/engine/external_runtime.cc.o.d"
+  "/root/repo/src/engine/hybrid_executor.cc" "src/CMakeFiles/relserve.dir/engine/hybrid_executor.cc.o" "gcc" "src/CMakeFiles/relserve.dir/engine/hybrid_executor.cc.o.d"
+  "/root/repo/src/engine/pipeline_executor.cc" "src/CMakeFiles/relserve.dir/engine/pipeline_executor.cc.o" "gcc" "src/CMakeFiles/relserve.dir/engine/pipeline_executor.cc.o.d"
+  "/root/repo/src/engine/prepared_model.cc" "src/CMakeFiles/relserve.dir/engine/prepared_model.cc.o" "gcc" "src/CMakeFiles/relserve.dir/engine/prepared_model.cc.o.d"
+  "/root/repo/src/engine/trainer.cc" "src/CMakeFiles/relserve.dir/engine/trainer.cc.o" "gcc" "src/CMakeFiles/relserve.dir/engine/trainer.cc.o.d"
+  "/root/repo/src/graph/model.cc" "src/CMakeFiles/relserve.dir/graph/model.cc.o" "gcc" "src/CMakeFiles/relserve.dir/graph/model.cc.o.d"
+  "/root/repo/src/graph/model_io.cc" "src/CMakeFiles/relserve.dir/graph/model_io.cc.o" "gcc" "src/CMakeFiles/relserve.dir/graph/model_io.cc.o.d"
+  "/root/repo/src/graph/model_zoo.cc" "src/CMakeFiles/relserve.dir/graph/model_zoo.cc.o" "gcc" "src/CMakeFiles/relserve.dir/graph/model_zoo.cc.o.d"
+  "/root/repo/src/kernels/kernels.cc" "src/CMakeFiles/relserve.dir/kernels/kernels.cc.o" "gcc" "src/CMakeFiles/relserve.dir/kernels/kernels.cc.o.d"
+  "/root/repo/src/optimizer/decomposition.cc" "src/CMakeFiles/relserve.dir/optimizer/decomposition.cc.o" "gcc" "src/CMakeFiles/relserve.dir/optimizer/decomposition.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/relserve.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/relserve.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/relational/expression.cc" "src/CMakeFiles/relserve.dir/relational/expression.cc.o" "gcc" "src/CMakeFiles/relserve.dir/relational/expression.cc.o.d"
+  "/root/repo/src/relational/operator.cc" "src/CMakeFiles/relserve.dir/relational/operator.cc.o" "gcc" "src/CMakeFiles/relserve.dir/relational/operator.cc.o.d"
+  "/root/repo/src/relational/row.cc" "src/CMakeFiles/relserve.dir/relational/row.cc.o" "gcc" "src/CMakeFiles/relserve.dir/relational/row.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/relserve.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/relserve.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/relserve.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/relserve.dir/relational/value.cc.o.d"
+  "/root/repo/src/resource/device_model.cc" "src/CMakeFiles/relserve.dir/resource/device_model.cc.o" "gcc" "src/CMakeFiles/relserve.dir/resource/device_model.cc.o.d"
+  "/root/repo/src/resource/memory_tracker.cc" "src/CMakeFiles/relserve.dir/resource/memory_tracker.cc.o" "gcc" "src/CMakeFiles/relserve.dir/resource/memory_tracker.cc.o.d"
+  "/root/repo/src/resource/thread_pool.cc" "src/CMakeFiles/relserve.dir/resource/thread_pool.cc.o" "gcc" "src/CMakeFiles/relserve.dir/resource/thread_pool.cc.o.d"
+  "/root/repo/src/serving/join_pipeline.cc" "src/CMakeFiles/relserve.dir/serving/join_pipeline.cc.o" "gcc" "src/CMakeFiles/relserve.dir/serving/join_pipeline.cc.o.d"
+  "/root/repo/src/serving/model_versions.cc" "src/CMakeFiles/relserve.dir/serving/model_versions.cc.o" "gcc" "src/CMakeFiles/relserve.dir/serving/model_versions.cc.o.d"
+  "/root/repo/src/serving/serving_session.cc" "src/CMakeFiles/relserve.dir/serving/serving_session.cc.o" "gcc" "src/CMakeFiles/relserve.dir/serving/serving_session.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/relserve.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/relserve.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/relserve.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/relserve.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/query_executor.cc" "src/CMakeFiles/relserve.dir/sql/query_executor.cc.o" "gcc" "src/CMakeFiles/relserve.dir/sql/query_executor.cc.o.d"
+  "/root/repo/src/storage/block_store.cc" "src/CMakeFiles/relserve.dir/storage/block_store.cc.o" "gcc" "src/CMakeFiles/relserve.dir/storage/block_store.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/relserve.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/relserve.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/relserve.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/relserve.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/dedup.cc" "src/CMakeFiles/relserve.dir/storage/dedup.cc.o" "gcc" "src/CMakeFiles/relserve.dir/storage/dedup.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/relserve.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/relserve.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/quantize.cc" "src/CMakeFiles/relserve.dir/storage/quantize.cc.o" "gcc" "src/CMakeFiles/relserve.dir/storage/quantize.cc.o.d"
+  "/root/repo/src/storage/table_heap.cc" "src/CMakeFiles/relserve.dir/storage/table_heap.cc.o" "gcc" "src/CMakeFiles/relserve.dir/storage/table_heap.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/CMakeFiles/relserve.dir/tensor/shape.cc.o" "gcc" "src/CMakeFiles/relserve.dir/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/relserve.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/relserve.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/tensor_block.cc" "src/CMakeFiles/relserve.dir/tensor/tensor_block.cc.o" "gcc" "src/CMakeFiles/relserve.dir/tensor/tensor_block.cc.o.d"
+  "/root/repo/src/workloads/datasets.cc" "src/CMakeFiles/relserve.dir/workloads/datasets.cc.o" "gcc" "src/CMakeFiles/relserve.dir/workloads/datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for relserve.
+# This may be replaced when dependencies are built.
