@@ -1,0 +1,141 @@
+// Parallel scaling of relation-centric execution (morsel-driven
+// ParallelFor over output blocks + concurrent buffer pool).
+//
+// Runs the same relation-centric FFNN inference at 1/2/4/8 worker
+// threads under two pool configurations:
+//   memory — the blocked working set fits in the buffer pool (the
+//            morsels only contend on the page table mutex), and
+//   spill  — a tiny pool forces constant eviction, so speedup also
+//            depends on I/O overlapping compute (per-frame latches,
+//            positioned pread/pwrite outside the global mutex).
+//
+// Each measurement is emitted both as a table row and as a standard
+// BENCH JSON line (grep ^BENCH_JSON). Speedups are relative to the
+// 1-thread run of the same configuration. Note: on a single-core
+// machine the measured speedup is ~1.0 by construction; the numbers
+// are only meaningful on real multi-core hardware.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench_util.h"
+#include "graph/model.h"
+#include "serving/serving_session.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace {
+
+struct PoolConfig {
+  const char* name;
+  int64_t pages;
+};
+
+Result<double> RunOnce(const PoolConfig& pool_config, int threads,
+                       int repeats, int64_t batch,
+                       BufferPoolStats* stats_out,
+                       int64_t* disk_reads, int64_t* disk_writes) {
+  ServingConfig config;
+  config.working_memory_bytes = 2LL << 30;
+  config.buffer_pool_pages = pool_config.pages;
+  config.block_rows = 256;
+  config.block_cols = 256;
+  config.num_threads = threads;
+  ServingSession session(config);
+  RELSERVE_ASSIGN_OR_RETURN(
+      TableInfo * table,
+      session.CreateTable("t", workloads::FeatureTableSchema()));
+  RELSERVE_RETURN_NOT_OK(
+      workloads::FillFeatureTable(table, batch, 2048, 1));
+  RELSERVE_ASSIGN_OR_RETURN(Model model,
+                            BuildFFNN("m", {2048, 512, 64}, 1));
+  RELSERVE_RETURN_NOT_OK(session.RegisterModel(std::move(model)));
+  RELSERVE_RETURN_NOT_OK(
+      session.Deploy("m", ServingMode::kForceRelational, batch)
+          .status());
+  RELSERVE_ASSIGN_OR_RETURN(
+      double latency, bench::TimeBest(repeats, [&]() -> Status {
+        RELSERVE_ASSIGN_OR_RETURN(ExecOutput out,
+                                  session.Predict("m", "t"));
+        (void)out;
+        return Status::OK();
+      }));
+  *stats_out = session.catalog()->pool()->stats();
+  *disk_reads = session.catalog()->pool()->disk()->num_reads();
+  *disk_writes = session.catalog()->pool()->disk()->num_writes();
+  return latency;
+}
+
+int Run() {
+  const int repeats = bench::RepeatsFromEnv(3);
+  const int64_t batch = 256;
+  const PoolConfig pool_configs[] = {
+      // 4096 pages = 256 MiB: the blocked working set stays resident.
+      {"memory", 4096},
+      // 64 pages = 4 MiB: far below the working set; every block join
+      // probe churns the pool.
+      {"spill", 64},
+  };
+  const int thread_counts[] = {1, 2, 4, 8};
+
+  std::printf(
+      "Parallel scaling: relation-centric FFNN 2048/512/64, batch "
+      "%lld, 256x256 blocks (hardware threads available: %u)\n\n",
+      static_cast<long long>(batch),
+      std::thread::hardware_concurrency());
+  bench::PrintRow({"Config", "Threads", "Latency(s)", "Speedup",
+                   "Evictions", "DiskReads", "DiskWrites"});
+  bench::PrintRule(7);
+
+  for (const PoolConfig& pool_config : pool_configs) {
+    double baseline = 0.0;
+    for (int threads : thread_counts) {
+      BufferPoolStats stats;
+      int64_t disk_reads = 0;
+      int64_t disk_writes = 0;
+      Result<double> latency =
+          RunOnce(pool_config, threads, repeats, batch, &stats,
+                  &disk_reads, &disk_writes);
+      if (!latency.ok()) {
+        std::printf("%s @ %d threads failed: %s\n", pool_config.name,
+                    threads, latency.status().ToString().c_str());
+        return 1;
+      }
+      if (threads == 1) baseline = *latency;
+      const double speedup =
+          *latency > 0.0 ? baseline / *latency : 0.0;
+      char speedup_cell[32];
+      std::snprintf(speedup_cell, sizeof(speedup_cell), "%.2fx",
+                    speedup);
+      bench::PrintRow({pool_config.name, std::to_string(threads),
+                       bench::Cell(latency), speedup_cell,
+                       std::to_string(stats.evictions),
+                       std::to_string(disk_reads),
+                       std::to_string(disk_writes)});
+      bench::PrintBenchJson(
+          "parallel_scaling",
+          {{"config", bench::JsonStr(pool_config.name)},
+           {"threads", std::to_string(threads)},
+           {"pool_pages", std::to_string(pool_config.pages)},
+           {"batch", std::to_string(batch)},
+           {"latency_s", bench::JsonNum(*latency)},
+           {"speedup_vs_1t", bench::JsonNum(speedup)},
+           {"evictions", std::to_string(stats.evictions)},
+           {"disk_reads", std::to_string(disk_reads)},
+           {"disk_writes", std::to_string(disk_writes)}});
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (multi-core hardware): memory-resident speedup "
+      "approaches\nthe core count until out-block morsels run out; "
+      "the spilling config scales\nless but still improves because "
+      "page I/O overlaps other morsels' compute.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace relserve
+
+int main() { return relserve::Run(); }

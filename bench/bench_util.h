@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -87,6 +88,33 @@ inline void PrintRule(size_t columns, int width = 18) {
   std::printf("%s\n",
               std::string(columns * static_cast<size_t>(width), '-')
                   .c_str());
+}
+
+// Standard BENCH JSON: one machine-readable line per measurement, so
+// CI and plotting scripts can scrape benches without parsing the
+// human-readable tables. Lines look like
+//   BENCH_JSON {"bench":"parallel_scaling","threads":4,...}
+// and are greppable with `grep ^BENCH_JSON`. Field values must
+// already be valid JSON fragments (use JsonStr for strings).
+inline std::string JsonStr(const std::string& s) {
+  return "\"" + s + "\"";
+}
+
+inline std::string JsonNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline void PrintBenchJson(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string line = "BENCH_JSON {\"bench\":" + JsonStr(bench);
+  for (const auto& [key, value] : fields) {
+    line += ",\"" + key + "\":" + value;
+  }
+  line += "}";
+  std::printf("%s\n", line.c_str());
 }
 
 }  // namespace bench

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# ThreadSanitizer smoke check for the concurrent substrate.
+#
+# Builds the repo with -DRELSERVE_SANITIZE=thread into build-tsan/ and
+# runs the three test binaries that exercise the morsel-driven
+# ThreadPool, the concurrent BufferPool/DiskManager, and the parallel
+# block operators. Any data race makes the binaries exit non-zero
+# (halt_on_error=1), failing this script.
+#
+# Usage: scripts/tsan_check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DRELSERVE_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j \
+    --target resource_test storage_test block_ops_test
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+for test in resource_test storage_test block_ops_test; do
+    echo "== TSan: $test =="
+    "$BUILD_DIR/tests/$test"
+done
+echo "TSan smoke check passed."

@@ -1,6 +1,8 @@
 #include "engine/block_ops.h"
 
+#include <atomic>
 #include <cstring>
+#include <mutex>
 #include <unordered_map>
 
 #include "kernels/kernels.h"
@@ -32,6 +34,39 @@ Result<std::unique_ptr<BlockStore>> NewStore(ExecContext* ctx,
         "relation-centric execution needs a buffer pool");
   }
   return std::make_unique<BlockStore>(ctx->buffer_pool, geometry);
+}
+
+// Runs body(i) for each i in [0, n) as ParallelFor morsels (serial
+// when the pool is absent or there is a single task). On error the
+// remaining morsels are skipped and one of the failing statuses is
+// returned; blocks already written to the output store are recycled
+// with it.
+Status ParallelBlockTasks(ThreadPool* pool, int64_t n,
+                          const std::function<Status(int64_t)>& body) {
+  if (pool == nullptr || n <= 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      RELSERVE_RETURN_NOT_OK(body(i));
+    }
+    return Status::OK();
+  }
+  std::mutex mu;
+  Status first;
+  std::atomic<bool> failed{false};
+  pool->ParallelFor(
+      0, n,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          Status s = body(i);
+          if (!s.ok()) {
+            failed.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mu);
+            if (first.ok()) first = std::move(s);
+          }
+        }
+      },
+      /*grain=*/1);
+  return first;
 }
 
 }  // namespace
@@ -83,36 +118,51 @@ Result<std::unique_ptr<BlockStore>> BlockMatMul(const BlockStore& x,
   const int64_t inner_blocks = xg.NumColBlocks();
   const int64_t x_num_cb = inner_blocks;
   const int64_t w_num_cb = wg.NumColBlocks();
+  const int64_t num_rb = xg.NumRowBlocks();
+  const int64_t num_jb = wg.NumRowBlocks();
+  const int64_t out_blocks = num_rb * num_jb;
 
-  for (int64_t rb = 0; rb < xg.NumRowBlocks(); ++rb) {
-    for (int64_t jb = 0; jb < wg.NumRowBlocks(); ++jb) {
-      RELSERVE_ASSIGN_OR_RETURN(
-          Tensor acc, Tensor::Zeros(Shape{cg.RowsInBlock(rb),
-                                          cg.ColsInBlock(jb)},
-                                    ctx->tracker));
-      // The join on the inner block index kb, aggregating partial
-      // products into `acc`.
-      for (int64_t kb = 0; kb < inner_blocks; ++kb) {
-        const auto x_it = x_index.find(rb * x_num_cb + kb);
-        const auto w_it = w_index.find(jb * w_num_cb + kb);
-        if (x_it == x_index.end() || w_it == w_index.end()) {
-          continue;  // absent block == all-zero contribution
-        }
-        RELSERVE_ASSIGN_OR_RETURN(
-            TensorBlock xb,
-            x.Get(x.entries()[x_it->second], ctx->tracker));
-        RELSERVE_ASSIGN_OR_RETURN(
-            TensorBlock wb,
-            w.Get(w.entries()[w_it->second], ctx->tracker));
-        ctx->stats.blocks_read += 2;
-        RELSERVE_RETURN_NOT_OK(kernels::GemmInto(
-            xb.data, wb.data, /*transpose_b=*/true,
-            /*accumulate=*/true, &acc, ctx->pool));
+  // Morsel = one output block (rb, jb): the probe side of the join.
+  // Each morsel owns its accumulator and aggregates partials over kb
+  // in ascending order, so float results are bit-identical to the
+  // serial plan no matter how morsels land on threads. Row-level GEMM
+  // parallelism is only worth adding when there are too few output
+  // blocks to occupy the pool; it partitions rows, which also
+  // preserves each element's accumulation order.
+  ThreadPool* inner_pool =
+      (ctx->pool != nullptr && out_blocks < ctx->pool->num_threads())
+          ? ctx->pool
+          : nullptr;
+  auto compute_block = [&](int64_t t) -> Status {
+    const int64_t rb = t / num_jb;
+    const int64_t jb = t % num_jb;
+    RELSERVE_ASSIGN_OR_RETURN(
+        Tensor acc,
+        Tensor::Zeros(Shape{cg.RowsInBlock(rb), cg.ColsInBlock(jb)},
+                      ctx->tracker));
+    // The join on the inner block index kb, aggregating partial
+    // products into `acc`.
+    for (int64_t kb = 0; kb < inner_blocks; ++kb) {
+      const auto x_it = x_index.find(rb * x_num_cb + kb);
+      const auto w_it = w_index.find(jb * w_num_cb + kb);
+      if (x_it == x_index.end() || w_it == w_index.end()) {
+        continue;  // absent block == all-zero contribution
       }
-      RELSERVE_RETURN_NOT_OK(c->Put(TensorBlock{rb, jb, std::move(acc)}));
-      ctx->stats.blocks_written += 1;
+      RELSERVE_ASSIGN_OR_RETURN(
+          TensorBlock xb, x.Get(x.entries()[x_it->second], ctx->tracker));
+      RELSERVE_ASSIGN_OR_RETURN(
+          TensorBlock wb, w.Get(w.entries()[w_it->second], ctx->tracker));
+      ctx->stats.blocks_read += 2;
+      RELSERVE_RETURN_NOT_OK(kernels::GemmInto(
+          xb.data, wb.data, /*transpose_b=*/true,
+          /*accumulate=*/true, &acc, inner_pool));
     }
-  }
+    RELSERVE_RETURN_NOT_OK(c->Put(TensorBlock{rb, jb, std::move(acc)}));
+    ctx->stats.blocks_written += 1;
+    return Status::OK();
+  };
+  RELSERVE_RETURN_NOT_OK(
+      ParallelBlockTasks(ctx->pool, out_blocks, compute_block));
   return c;
 }
 
@@ -122,15 +172,19 @@ Result<std::unique_ptr<BlockStore>> MapBlocks(
     ExecContext* ctx) {
   RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> out,
                             NewStore(ctx, input.geometry()));
-  for (const BlockStore::BlockEntry& entry : input.entries()) {
-    RELSERVE_ASSIGN_OR_RETURN(TensorBlock block,
-                              input.Get(entry, ctx->tracker));
-    ctx->stats.blocks_read += 1;
-    RELSERVE_RETURN_NOT_OK(
-        fn(block.row_block, block.col_block, &block.data));
-    RELSERVE_RETURN_NOT_OK(out->Put(block));
-    ctx->stats.blocks_written += 1;
-  }
+  const int64_t n = static_cast<int64_t>(input.entries().size());
+  RELSERVE_RETURN_NOT_OK(ParallelBlockTasks(
+      ctx->pool, n, [&](int64_t i) -> Status {
+        const BlockStore::BlockEntry& entry = input.entries()[i];
+        RELSERVE_ASSIGN_OR_RETURN(TensorBlock block,
+                                  input.Get(entry, ctx->tracker));
+        ctx->stats.blocks_read += 1;
+        RELSERVE_RETURN_NOT_OK(
+            fn(block.row_block, block.col_block, &block.data));
+        RELSERVE_RETURN_NOT_OK(out->Put(block));
+        ctx->stats.blocks_written += 1;
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -175,7 +229,10 @@ Result<std::unique_ptr<BlockStore>> BlockSoftmaxRows(
                             NewStore(ctx, g));
   const BlockIndex index = IndexEntries(input);
   const int64_t num_cb = g.NumColBlocks();
-  for (int64_t rb = 0; rb < g.NumRowBlocks(); ++rb) {
+  // Morsel = one row-block strip: softmax normalizes within a row, so
+  // strips are independent.
+  RELSERVE_RETURN_NOT_OK(ParallelBlockTasks(
+      ctx->pool, g.NumRowBlocks(), [&](int64_t rb) -> Status {
     const int64_t br = g.RowsInBlock(rb);
     // Assemble one row strip: needs whole rows for the normalization.
     RELSERVE_ASSIGN_OR_RETURN(
@@ -209,7 +266,8 @@ Result<std::unique_ptr<BlockStore>> BlockSoftmaxRows(
           out->Put(TensorBlock{rb, cb, std::move(payload)}));
       ctx->stats.blocks_written += 1;
     }
-  }
+    return Status::OK();
+  }));
   return out;
 }
 

@@ -7,7 +7,14 @@
 // pair contributes a partial product, and partials aggregate by output
 // coordinate (i, j). The physical plan here is an index-nested-loop
 // join ordered so each output block's partials aggregate in registers
-// before a single write — never more than three blocks are resident.
+// before a single write — never more than three blocks are resident
+// per worker.
+//
+// Execution is morsel-parallel over ctx->pool (serial when null): one
+// morsel per independent output block / block entry / row strip. Every
+// morsel owns its accumulator and aggregates in the same order as the
+// serial plan, so results are bit-identical to serial execution; the
+// working set grows to ~three blocks per active worker.
 
 #ifndef RELSERVE_ENGINE_BLOCK_OPS_H_
 #define RELSERVE_ENGINE_BLOCK_OPS_H_
@@ -40,7 +47,9 @@ Result<std::unique_ptr<BlockStore>> BlockMatMul(const BlockStore& x,
                                                 ExecContext* ctx);
 
 // Applies `fn` to every block payload, producing a new store with the
-// same geometry. `fn` receives the block's (row_block, col_block).
+// same geometry. `fn` receives the block's (row_block, col_block) and
+// may be invoked from several pool workers concurrently — it must be
+// thread-safe (pure per-block transforms are).
 Result<std::unique_ptr<BlockStore>> MapBlocks(
     const BlockStore& input,
     const std::function<Status(int64_t, int64_t, Tensor*)>& fn,

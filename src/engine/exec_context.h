@@ -3,6 +3,7 @@
 #ifndef RELSERVE_ENGINE_EXEC_CONTEXT_H_
 #define RELSERVE_ENGINE_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -12,17 +13,30 @@
 
 namespace relserve {
 
+// Counters are atomics because relation-centric operators update them
+// from inside ParallelFor morsels; totals stay exact under any
+// interleaving.
 struct ExecStats {
-  int64_t blocks_read = 0;     // tensor blocks loaded from the store
-  int64_t blocks_written = 0;  // tensor blocks written to the store
-  int64_t assembles = 0;       // blocked -> whole-tensor transitions
-  int64_t chunkings = 0;       // whole-tensor -> blocked transitions
+  std::atomic<int64_t> blocks_read{0};  // tensor blocks loaded
+  std::atomic<int64_t> blocks_written{0};  // tensor blocks stored
+  std::atomic<int64_t> assembles{0};  // blocked -> whole transitions
+  std::atomic<int64_t> chunkings{0};  // whole -> blocked transitions
+
+  ExecStats() = default;
+  ExecStats(const ExecStats& other) { *this = other; }
+  ExecStats& operator=(const ExecStats& other) {
+    blocks_read = other.blocks_read.load();
+    blocks_written = other.blocks_written.load();
+    assembles = other.assembles.load();
+    chunkings = other.chunkings.load();
+    return *this;
+  }
 
   std::string ToString() const {
-    return "blocks_read=" + std::to_string(blocks_read) +
-           " blocks_written=" + std::to_string(blocks_written) +
-           " assembles=" + std::to_string(assembles) +
-           " chunkings=" + std::to_string(chunkings);
+    return "blocks_read=" + std::to_string(blocks_read.load()) +
+           " blocks_written=" + std::to_string(blocks_written.load()) +
+           " assembles=" + std::to_string(assembles.load()) +
+           " chunkings=" + std::to_string(chunkings.load());
   }
 };
 

@@ -39,11 +39,13 @@ class ErrorSlot {
 };
 
 // Applies one operator to a micro-batch (whole-tensor, in place where
-// the op allows). `rows` is the chunk's batch dimension.
+// the op allows). `rows` is the chunk's batch dimension. `pool` adds
+// intra-chunk parallelism to the heavy kernels; null keeps the stage
+// serial.
 Result<Tensor> ApplyNode(const Model& model,
                          const PreparedModel& prepared, const Node& node,
                          Tensor chunk, int64_t rows,
-                         MemoryTracker* tracker) {
+                         MemoryTracker* tracker, ThreadPool* pool) {
   // Per-chunk shapes: cheap (O(nodes)) and exact for ragged tails.
   RELSERVE_ASSIGN_OR_RETURN(std::vector<Shape> shapes,
                             model.InferShapes(rows));
@@ -56,7 +58,7 @@ Result<Tensor> ApplyNode(const Model& model,
       RELSERVE_ASSIGN_OR_RETURN(const Tensor* w,
                                 prepared.ResidentWeight(node.weight_name));
       return kernels::MatMul(in, *w, /*transpose_b=*/true, tracker,
-                             /*pool=*/nullptr);
+                             pool);
     }
     case OpKind::kBiasAdd: {
       RELSERVE_ASSIGN_OR_RETURN(const Tensor* bias,
@@ -73,8 +75,7 @@ Result<Tensor> ApplyNode(const Model& model,
     case OpKind::kConv2D: {
       RELSERVE_ASSIGN_OR_RETURN(const Tensor* kernel,
                                 prepared.ResidentWeight(node.weight_name));
-      return kernels::Conv2D(in, *kernel, node.stride, tracker,
-                             /*pool=*/nullptr);
+      return kernels::Conv2D(in, *kernel, node.stride, tracker, pool);
     }
     case OpKind::kMaxPool:
       return kernels::MaxPool2x2(in, tracker);
@@ -116,6 +117,18 @@ Result<Tensor> PipelineExecutor::Run(const PreparedModel& prepared,
       Tensor output,
       Tensor::Create(out_shapes[model.output_node()], ctx->tracker));
   const int64_t out_width = output.NumElements() / batch;
+
+  // Route kernel calls through the shared pool only when the pipeline
+  // itself leaves pool workers idle (fewer stages than threads);
+  // otherwise inter-stage parallelism already saturates the pool and
+  // intra-chunk morsels would only add dispatch overhead. ParallelFor
+  // task groups are per-call, so concurrent stages sharing the pool
+  // stay isolated.
+  ThreadPool* stage_pool = nullptr;
+  if (ctx->pool != nullptr &&
+      num_stages < ctx->pool->num_threads()) {
+    stage_pool = ctx->pool;
+  }
 
   // One queue feeding each stage plus one carrying the final output.
   std::vector<std::unique_ptr<ChunkQueue>> queues;
@@ -163,7 +176,7 @@ Result<Tensor> PipelineExecutor::Run(const PreparedModel& prepared,
         const int64_t rows = chunk->data.shape().dim(0);
         Result<Tensor> out =
             ApplyNode(model, prepared, node, std::move(chunk->data),
-                      rows, ctx->tracker);
+                      rows, ctx->tracker, stage_pool);
         if (!out.ok()) {
           error.Set(out.status());
           abort_all();

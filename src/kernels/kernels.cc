@@ -77,10 +77,16 @@ Status GemmInto(const Tensor& a, const Tensor& b, bool transpose_b,
   const float* b_data = b.data();
   float* out_data = out->data();
   if (pool != nullptr && m >= 2) {
-    pool->ParallelFor(0, m, [&](int64_t lo, int64_t hi) {
-      GemmRows(a_data, b_data, transpose_b, accumulate, out_data, lo, hi,
-               k, n);
-    });
+    // work_hint = flops per output row, so the pool's cost-based grain
+    // parallelizes tensor-block GEMMs (m of a few hundred) while tiny
+    // products still run inline.
+    pool->ParallelFor(
+        0, m,
+        [&](int64_t lo, int64_t hi) {
+          GemmRows(a_data, b_data, transpose_b, accumulate, out_data, lo,
+                   hi, k, n);
+        },
+        /*grain=*/0, /*work_hint=*/2 * k * n);
   } else {
     GemmRows(a_data, b_data, transpose_b, accumulate, out_data, 0, m, k,
              n);

@@ -1,10 +1,52 @@
 #include "resource/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "common/logging.h"
 
 namespace relserve {
+
+namespace {
+
+// One ParallelFor call's private state. Kept alive by shared_ptr so a
+// helper task that is dequeued after the call already finished (all
+// morsels claimed by other threads) can still touch the group safely;
+// such a stale helper claims nothing and exits without invoking the
+// body.
+struct TaskGroup {
+  std::function<void(int64_t, int64_t)> body;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk = 0;        // items per morsel
+  int64_t num_morsels = 0;
+  std::atomic<int64_t> next{0};  // next unclaimed morsel
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t completed = 0;  // guarded by mu
+};
+
+// Claims and runs morsels until the group is drained. Runs on the
+// calling thread and on any helper workers concurrently.
+void RunMorsels(TaskGroup* group) {
+  while (true) {
+    const int64_t m = group->next.fetch_add(1, std::memory_order_relaxed);
+    if (m >= group->num_morsels) return;
+    const int64_t lo = group->begin + m * group->chunk;
+    const int64_t hi = std::min(group->end, lo + group->chunk);
+    group->body(lo, hi);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(group->mu);
+      last = (++group->completed == group->num_morsels);
+    }
+    if (last) group->done_cv.notify_all();
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   RELSERVE_CHECK(num_threads >= 1) << "pool needs at least one thread";
@@ -40,26 +82,45 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(
     int64_t begin, int64_t end,
-    const std::function<void(int64_t, int64_t)>& body) {
+    const std::function<void(int64_t, int64_t)>& body, int64_t grain,
+    int64_t work_hint) {
   const int64_t n = end - begin;
   if (n <= 0) return;
-  const int threads = num_threads();
-  // Below this size the dispatch overhead outweighs the parallelism.
-  constexpr int64_t kMinChunk = 256;
-  if (threads == 1 || n < 2 * kMinChunk) {
+  if (grain <= 0) {
+    grain = std::max<int64_t>(
+        1, kMinWorkPerMorsel / std::max<int64_t>(work_hint, 1));
+  }
+  const int64_t threads = num_threads();
+  // More morsels than threads so fast workers steal the tail from slow
+  // ones (morsel-driven scheduling), capped to bound dispatch overhead.
+  const int64_t max_morsels = threads * 4;
+  int64_t num_morsels =
+      std::min((n + grain - 1) / grain, max_morsels);
+  if (threads == 1 || num_morsels <= 1) {
     body(begin, end);
     return;
   }
-  const int64_t chunks = std::min<int64_t>(threads, (n + kMinChunk - 1) /
-                                                        kMinChunk);
-  const int64_t chunk_size = (n + chunks - 1) / chunks;
-  for (int64_t c = 0; c < chunks; ++c) {
-    const int64_t lo = begin + c * chunk_size;
-    const int64_t hi = std::min(end, lo + chunk_size);
-    if (lo >= hi) break;
-    Submit([&body, lo, hi] { body(lo, hi); });
+  auto group = std::make_shared<TaskGroup>();
+  group->body = body;
+  group->begin = begin;
+  group->end = end;
+  group->chunk = (n + num_morsels - 1) / num_morsels;
+  group->num_morsels = (n + group->chunk - 1) / group->chunk;
+
+  // Enough helpers that every worker could join, but never more than
+  // the morsels left over after the calling thread takes one.
+  const int64_t helpers =
+      std::min<int64_t>(threads, group->num_morsels - 1);
+  for (int64_t i = 0; i < helpers; ++i) {
+    Submit([group] { RunMorsels(group.get()); });
   }
-  Wait();
+  // The calling thread works instead of blocking — this is what makes
+  // nested calls from inside a worker deadlock-free: the innermost
+  // caller can always drain its own group by itself.
+  RunMorsels(group.get());
+  std::unique_lock<std::mutex> lock(group->mu);
+  group->done_cv.wait(
+      lock, [&] { return group->completed == group->num_morsels; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -1,9 +1,21 @@
-// Fixed-size thread pool with a ParallelFor primitive.
+// Fixed-size thread pool with a morsel-driven ParallelFor primitive.
 //
 // The paper's Sec. 3 calls out coordinating RDBMS worker threads with
 // the threads used inside linear-algebra UDFs (OpenMP in OpenBLAS).
 // relserve routes *all* intra-operator parallelism through one shared
 // pool so the two never oversubscribe each other.
+//
+// ParallelFor is built on per-call task groups: every call owns its
+// completion state, the calling thread claims and executes morsels
+// itself instead of blocking idle, and only sleeps for morsels still
+// in flight on other workers. That makes the primitive
+//  - reentrant: a worker (or any thread) may call ParallelFor from
+//    inside a ParallelFor body — the nested call drains its own
+//    morsels on the calling thread plus any free workers;
+//  - isolated: concurrent ParallelFor calls from different threads
+//    never observe each other's completion state (no shared pending
+//    counter), so an RDBMS worker per query and intra-kernel morsels
+//    compose without cross-talk.
 
 #ifndef RELSERVE_RESOURCE_THREAD_POOL_H_
 #define RELSERVE_RESOURCE_THREAD_POOL_H_
@@ -34,11 +46,28 @@ class ThreadPool {
   // Blocks until every task submitted so far has completed.
   void Wait();
 
-  // Splits [begin, end) into contiguous chunks and runs `body(lo, hi)`
-  // for each chunk across the pool, blocking until all complete.
-  // Executes inline when the range is small or the pool has 1 thread.
+  // Splits [begin, end) into contiguous morsels of at least `grain`
+  // items and runs `body(lo, hi)` for each across the pool, blocking
+  // until all complete. Safe to call from inside a worker or from
+  // several threads concurrently (see file comment).
+  //
+  // `grain` is the minimum items per morsel; 0 picks a cost-based
+  // default of ceil(kMinWorkPerMorsel / work_hint) so that each morsel
+  // carries enough work to amortize dispatch. `work_hint` estimates
+  // the cost of one item in arbitrary units (~flops); callers doing
+  // heavy per-item work (a GEMM row, a tensor block) should pass it so
+  // small-looking ranges still parallelize.
+  //
+  // Morsel boundaries depend only on (begin, end, grain, work_hint,
+  // num_threads) — never on timing — so any body whose per-item result
+  // is independent of the partitioning produces identical output on
+  // every run.
   void ParallelFor(int64_t begin, int64_t end,
-                   const std::function<void(int64_t, int64_t)>& body);
+                   const std::function<void(int64_t, int64_t)>& body,
+                   int64_t grain = 0, int64_t work_hint = 1);
+
+  // Target work units per morsel used when `grain` is 0.
+  static constexpr int64_t kMinWorkPerMorsel = 16384;
 
  private:
   void WorkerLoop();
@@ -48,7 +77,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  int64_t pending_ = 0;  // queued + running tasks
+  int64_t pending_ = 0;  // queued + running tasks (Submit/Wait only)
   bool shutting_down_ = false;
 };
 

@@ -35,7 +35,10 @@ Status BlockStore::Put(const TensorBlock& block) {
     src += chunk;
     remaining -= chunk;
   }
-  entries_.push_back(std::move(entry));
+  {
+    std::lock_guard<std::mutex> lock(entries_mu_);
+    entries_.push_back(std::move(entry));
+  }
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #define RELSERVE_STORAGE_BLOCK_STORE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -52,6 +53,11 @@ class BlockStore {
   }
 
   // Writes one block's payload to fresh pages and records its entry.
+  // Thread-safe against concurrent Put (ParallelFor morsels emit
+  // output blocks concurrently); the entry order then follows
+  // completion order, which is irrelevant to the relation's contents.
+  // Do not interleave Put with entries()/Get/ToMatrix on the same
+  // store.
   Status Put(const TensorBlock& block);
 
   // Chunks an in-memory matrix and stores every block. Uses O(block)
@@ -75,6 +81,7 @@ class BlockStore {
  private:
   BufferPool* pool_;
   BlockedShape geometry_;
+  std::mutex entries_mu_;  // guards entries_ during concurrent Put
   std::vector<BlockEntry> entries_;
 };
 

@@ -19,21 +19,25 @@ BufferPool::BufferPool(DiskManager* disk, int64_t capacity_pages)
   frames_.resize(capacity_pages);
 }
 
-Result<int64_t> BufferPool::GetFreeFrameLocked() {
-  // First preference: a frame never used.
+Result<int64_t> BufferPool::ReserveFrame(
+    std::unique_lock<std::mutex>& lock) {
+  // First preference: a frame never used (and not reserved by another
+  // thread's in-flight load).
   for (int64_t i = 0; i < capacity_pages_; ++i) {
-    if (frames_[i].page_id == kInvalidPageId) {
+    if (frames_[i].page_id == kInvalidPageId && !frames_[i].io_pending) {
       if (frames_[i].data == nullptr) {
         frames_[i].data = std::make_unique<char[]>(kPageSize);
       }
+      frames_[i].io_pending = true;
       return i;
     }
   }
-  // Otherwise evict the least-recently-used unpinned frame.
+  // Otherwise evict the least-recently-used unpinned, unlatched frame.
   int64_t victim = -1;
   uint64_t oldest = std::numeric_limits<uint64_t>::max();
   for (int64_t i = 0; i < capacity_pages_; ++i) {
-    if (frames_[i].pin_count == 0 && frames_[i].last_used < oldest) {
+    if (frames_[i].pin_count == 0 && !frames_[i].io_pending &&
+        frames_[i].last_used < oldest) {
       oldest = frames_[i].last_used;
       victim = i;
     }
@@ -41,11 +45,23 @@ Result<int64_t> BufferPool::GetFreeFrameLocked() {
   if (victim < 0) {
     return Status::OutOfMemory(
         "buffer pool: all " + std::to_string(capacity_pages_) +
-        " frames pinned");
+        " frames pinned or latched");
   }
   Frame& frame = frames_[victim];
+  frame.io_pending = true;
   if (frame.dirty) {
-    RELSERVE_RETURN_NOT_OK(disk_->WritePage(frame.page_id, frame.data.get()));
+    // Write back with the map mutex dropped; the latch keeps the frame
+    // (and its page-table mapping) stable, and a concurrent fetch of
+    // this page waits on the latch, then re-misses after the erase.
+    const PageId victim_page = frame.page_id;
+    lock.unlock();
+    Status s = disk_->WritePage(victim_page, frame.data.get());
+    lock.lock();
+    if (!s.ok()) {
+      frame.io_pending = false;
+      io_cv_.notify_all();
+      return s;
+    }
     frame.dirty = false;
   }
   page_table_.erase(frame.page_id);
@@ -54,39 +70,76 @@ Result<int64_t> BufferPool::GetFreeFrameLocked() {
   return victim;
 }
 
+void BufferPool::ReleaseFrameLocked(int64_t idx) {
+  frames_[idx].io_pending = false;
+  io_cv_.notify_all();
+}
+
 Result<char*> BufferPool::FetchPage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    Frame& frame = frames_[it->second];
-    ++frame.pin_count;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = page_table_.find(page_id);
+    if (it != page_table_.end()) {
+      Frame& frame = frames_[it->second];
+      if (frame.io_pending) {
+        // Mid-load by another thread, or mid-write-back as an eviction
+        // victim. Wait for the latch and re-validate: the mapping may
+        // have completed (hit) or vanished (miss).
+        io_cv_.wait(lock);
+        continue;
+      }
+      ++frame.pin_count;
+      frame.last_used = ++clock_;
+      ++stats_.hits;
+      return frame.data.get();
+    }
+    RELSERVE_ASSIGN_OR_RETURN(int64_t idx, ReserveFrame(lock));
+    // ReserveFrame may have dropped the lock for a write-back; another
+    // thread could have loaded our page meanwhile. Counting the miss
+    // only after this check keeps hits+misses == fetches exact.
+    if (page_table_.find(page_id) != page_table_.end()) {
+      ReleaseFrameLocked(idx);
+      continue;
+    }
+    Frame& frame = frames_[idx];
+    ++stats_.misses;
+    frame.page_id = page_id;
+    frame.pin_count = 1;
+    frame.dirty = false;
     frame.last_used = ++clock_;
-    ++stats_.hits;
+    page_table_[page_id] = idx;
+    // Load outside the mutex: concurrent fetches of other pages
+    // proceed, and fetches of this page wait on the latch.
+    lock.unlock();
+    Status s = disk_->ReadPage(page_id, frame.data.get());
+    lock.lock();
+    frame.io_pending = false;
+    io_cv_.notify_all();
+    if (!s.ok()) {
+      page_table_.erase(page_id);
+      frame.page_id = kInvalidPageId;
+      frame.pin_count = 0;
+      return s;
+    }
     return frame.data.get();
   }
-  ++stats_.misses;
-  RELSERVE_ASSIGN_OR_RETURN(int64_t idx, GetFreeFrameLocked());
-  Frame& frame = frames_[idx];
-  RELSERVE_RETURN_NOT_OK(disk_->ReadPage(page_id, frame.data.get()));
-  frame.page_id = page_id;
-  frame.pin_count = 1;
-  frame.dirty = false;
-  frame.last_used = ++clock_;
-  page_table_[page_id] = idx;
-  return frame.data.get();
 }
 
 Result<char*> BufferPool::NewPage(PageId* out_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  RELSERVE_ASSIGN_OR_RETURN(int64_t idx, GetFreeFrameLocked());
+  std::unique_lock<std::mutex> lock(mu_);
+  RELSERVE_ASSIGN_OR_RETURN(int64_t idx, ReserveFrame(lock));
   const PageId page_id = disk_->AllocatePage();
   Frame& frame = frames_[idx];
-  std::memset(frame.data.get(), 0, kPageSize);
   frame.page_id = page_id;
   frame.pin_count = 1;
   frame.dirty = true;  // must reach disk even if never rewritten
   frame.last_used = ++clock_;
   page_table_[page_id] = idx;
+  lock.unlock();
+  std::memset(frame.data.get(), 0, kPageSize);
+  lock.lock();
+  frame.io_pending = false;
+  io_cv_.notify_all();
   *out_id = page_id;
   return frame.data.get();
 }
@@ -109,29 +162,44 @@ Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Frame& frame : frames_) {
-    if (frame.page_id != kInvalidPageId && frame.dirty) {
-      RELSERVE_RETURN_NOT_OK(
-          disk_->WritePage(frame.page_id, frame.data.get()));
-      frame.dirty = false;
-    }
+  std::unique_lock<std::mutex> lock(mu_);
+  for (int64_t i = 0; i < capacity_pages_; ++i) {
+    while (frames_[i].io_pending) io_cv_.wait(lock);
+    Frame& frame = frames_[i];
+    if (frame.page_id == kInvalidPageId || !frame.dirty) continue;
+    frame.io_pending = true;
+    const PageId page_id = frame.page_id;
+    lock.unlock();
+    Status s = disk_->WritePage(page_id, frame.data.get());
+    lock.lock();
+    frame.io_pending = false;
+    io_cv_.notify_all();
+    RELSERVE_RETURN_NOT_OK(s);
+    frame.dirty = false;
   }
   return Status::OK();
 }
 
 Status BufferPool::DeletePage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    Frame& frame = frames_[it->second];
-    if (frame.pin_count > 0) {
-      return Status::Internal("delete of pinned page " +
-                              std::to_string(page_id));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      auto it = page_table_.find(page_id);
+      if (it == page_table_.end()) break;
+      Frame& frame = frames_[it->second];
+      if (frame.io_pending) {
+        io_cv_.wait(lock);
+        continue;
+      }
+      if (frame.pin_count > 0) {
+        return Status::Internal("delete of pinned page " +
+                                std::to_string(page_id));
+      }
+      frame.page_id = kInvalidPageId;
+      frame.dirty = false;
+      page_table_.erase(it);
+      break;
     }
-    frame.page_id = kInvalidPageId;
-    frame.dirty = false;
-    page_table_.erase(it);
   }
   disk_->FreePage(page_id);
   return Status::OK();

@@ -1,4 +1,5 @@
-// BufferPool: fixed-capacity page cache with LRU eviction and pinning.
+// BufferPool: fixed-capacity page cache with LRU eviction, pinning,
+// and per-frame latching for genuinely concurrent fetches.
 //
 // The relation-centric architecture inherits the RDBMS's ability to
 // operate on data larger than memory (paper Sec. 1, Sec. 7.1): tensor
@@ -6,10 +7,22 @@
 // spill to the DiskManager and reload on demand. The pool's
 // hit/miss/eviction counters are what the block-size and pool-size
 // ablations (A2/A3) report.
+//
+// Latching protocol (DESIGN.md "Parallel execution model"): a short
+// global mutex guards only the page table and frame metadata; all disk
+// I/O — victim write-back and page load — happens with the mutex
+// dropped while the frame is reserved via its `io_pending` latch.
+// Threads that need a latched frame wait on a shared condition
+// variable and re-validate the mapping, so parallel block fetches from
+// ParallelFor morsels overlap their disk reads instead of serializing
+// behind one lock. Counters are maintained under the mutex and each
+// Fetch/NewPage contributes exactly one hit or miss and at most the
+// evictions that actually occurred.
 
 #ifndef RELSERVE_STORAGE_BUFFER_POOL_H_
 #define RELSERVE_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -41,7 +54,10 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   // Pins an existing page and returns its frame data. The caller must
-  // Unpin with the same id exactly once per fetch.
+  // Unpin with the same id exactly once per fetch. Safe to call from
+  // many threads; concurrent fetches of distinct pages overlap their
+  // disk reads, and concurrent fetches of the same page perform one
+  // load (one miss) while the others wait and count hits.
   Result<char*> FetchPage(PageId page_id);
 
   // Allocates a new zeroed page, pinned. `out_id` receives the id.
@@ -71,16 +87,28 @@ class BufferPool {
     std::unique_ptr<char[]> data;
     int pin_count = 0;
     bool dirty = false;
+    // Per-frame latch: the frame is reserved for I/O (load, zeroing,
+    // or victim write-back) with mu_ dropped. A latched frame is never
+    // evicted, fetched, or deleted; waiters sleep on io_cv_ and
+    // re-validate the page table afterwards.
+    bool io_pending = false;
     uint64_t last_used = 0;  // LRU clock
   };
 
-  // Finds a frame to (re)use, evicting an unpinned page if needed.
-  // Called with mu_ held.
-  Result<int64_t> GetFreeFrameLocked();
+  // Reserves a frame for the caller (io_pending set), evicting an
+  // unpinned unlatched page if needed. Called with `lock` held; drops
+  // and reacquires it around the victim's write-back, so the caller
+  // must re-validate the page table afterwards.
+  Result<int64_t> ReserveFrame(std::unique_lock<std::mutex>& lock);
+
+  // Returns a reserved-but-unused frame to the free state. Called with
+  // mu_ held.
+  void ReleaseFrameLocked(int64_t idx);
 
   DiskManager* const disk_;
   const int64_t capacity_pages_;
   mutable std::mutex mu_;
+  std::condition_variable io_cv_;  // signaled when any latch clears
   std::vector<Frame> frames_;
   std::unordered_map<PageId, int64_t> page_table_;  // page -> frame idx
   uint64_t clock_ = 0;

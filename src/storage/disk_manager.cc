@@ -1,7 +1,9 @@
 #include "storage/disk_manager.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
@@ -12,20 +14,18 @@ namespace relserve {
 DiskManager::DiskManager(std::string path) : path_(std::move(path)) {
   if (path_.empty()) {
     char templ[] = "/tmp/relserve_spill_XXXXXX";
-    const int fd = ::mkstemp(templ);
-    RELSERVE_CHECK(fd >= 0) << "mkstemp failed";
+    fd_ = ::mkstemp(templ);
+    RELSERVE_CHECK(fd_ >= 0) << "mkstemp failed";
     path_ = templ;
     unlink_on_close_ = true;
-    file_ = ::fdopen(fd, "w+b");
   } else {
-    file_ = std::fopen(path_.c_str(), "w+b");
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   }
-  RELSERVE_CHECK(file_ != nullptr)
-      << "failed to open spill file " << path_;
+  RELSERVE_CHECK(fd_ >= 0) << "failed to open spill file " << path_;
 }
 
 DiskManager::~DiskManager() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) ::close(fd_);
   if (unlink_on_close_) ::unlink(path_.c_str());
 }
 
@@ -51,17 +51,26 @@ int64_t DiskManager::num_free() const {
   return static_cast<int64_t>(free_list_.size());
 }
 
+// Positioned I/O (pread/pwrite) carries its own offset, so page reads
+// and write-backs issued by concurrent buffer-pool threads overlap in
+// the kernel instead of serializing behind a seek mutex.
+
 Status DiskManager::ReadPage(PageId page_id, char* out) {
-  std::lock_guard<std::mutex> lock(io_mu_);
-  if (std::fseek(file_, page_id * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek to page " + std::to_string(page_id));
+  int64_t done = 0;
+  while (done < kPageSize) {
+    const ssize_t n = ::pread(fd_, out + done, kPageSize - done,
+                              page_id * kPageSize + done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read of page " + std::to_string(page_id));
+    }
+    if (n == 0) break;  // past EOF
+    done += n;
   }
-  const size_t n = std::fread(out, 1, kPageSize, file_);
-  if (n < static_cast<size_t>(kPageSize)) {
+  if (done < kPageSize) {
     // Pages written short (or never written) read back zero-padded;
     // this mirrors sparse-file semantics and keeps allocation lazy.
-    std::memset(out + n, 0, kPageSize - n);
-    std::clearerr(file_);
+    std::memset(out + done, 0, kPageSize - done);
   }
   num_reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
@@ -78,14 +87,15 @@ Status DiskManager::WritePage(PageId page_id, const char* data) {
                              std::to_string(page_id));
     }
   }
-  std::lock_guard<std::mutex> lock(io_mu_);
-  if (std::fseek(file_, page_id * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek to page " + std::to_string(page_id));
-  }
-  if (std::fwrite(data, 1, kPageSize, file_) !=
-      static_cast<size_t>(kPageSize)) {
-    return Status::IOError("short write to page " +
-                           std::to_string(page_id));
+  int64_t done = 0;
+  while (done < kPageSize) {
+    const ssize_t n = ::pwrite(fd_, data + done, kPageSize - done,
+                               page_id * kPageSize + done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write to page " + std::to_string(page_id));
+    }
+    done += n;
   }
   num_writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();

@@ -8,7 +8,6 @@
 #define RELSERVE_STORAGE_DISK_MANAGER_H_
 
 #include <atomic>
-#include <cstdio>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -39,6 +38,8 @@ class DiskManager {
   int64_t num_free() const;
 
   // Reads/writes exactly kPageSize bytes at the page's offset.
+  // Positioned I/O: safe to call from many threads concurrently, and
+  // distinct pages' transfers overlap in the kernel.
   Status ReadPage(PageId page_id, char* out);
   Status WritePage(PageId page_id, const char* data);
 
@@ -46,7 +47,7 @@ class DiskManager {
   int64_t num_writes() const { return num_writes_.load(); }
   int64_t num_allocated() const { return next_page_id_.load(); }
 
-  bool ok() const { return file_ != nullptr; }
+  bool ok() const { return fd_ >= 0; }
 
   // Test hook: the next `n` WritePage calls fail with IOError, then
   // behaviour returns to normal. Lets tests drive the spill-failure
@@ -56,8 +57,7 @@ class DiskManager {
  private:
   std::string path_;
   bool unlink_on_close_ = false;
-  std::FILE* file_ = nullptr;
-  std::mutex io_mu_;
+  int fd_ = -1;
   mutable std::mutex free_mu_;
   std::vector<PageId> free_list_;
   std::atomic<PageId> next_page_id_{0};

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <memory>
 
 #include "engine/block_ops.h"
 #include "kernels/kernels.h"
+#include "resource/thread_pool.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 
@@ -231,6 +233,104 @@ TEST_F(BlockOpsTest, MatrixStreamWriterRejectsOverAndUnderflow) {
   float row[3] = {1, 2, 3};
   ASSERT_TRUE(writer->AppendRow(row).ok());
   EXPECT_FALSE(writer->Finish().ok());  // underflow
+}
+
+TEST_F(BlockOpsTest, ParallelBlockMatMulBitIdenticalToSerial) {
+  // The morsel-parallel join/aggregation must produce the exact same
+  // bits as the serial plan: each output block owns its accumulator
+  // and aggregates inner blocks in the same order.
+  Tensor x = RandomMatrix(37, 29, 1);
+  Tensor w = RandomMatrix(23, 29, 2);
+
+  auto run = [&](ExecContext* ctx) -> Tensor {
+    auto x_store = blockops::ChunkMatrix(x, ctx);
+    auto w_store = blockops::ChunkMatrix(w, ctx);
+    EXPECT_TRUE(x_store.ok() && w_store.ok());
+    auto c_store = blockops::BlockMatMul(**x_store, **w_store, ctx);
+    EXPECT_TRUE(c_store.ok());
+    auto c = blockops::Assemble(**c_store, ctx);
+    EXPECT_TRUE(c.ok());
+    return *c;
+  };
+
+  Tensor serial = run(&ctx_);  // ctx_.pool == nullptr
+
+  ThreadPool pool(4);
+  DiskManager par_disk;
+  BufferPool par_pages(&par_disk, 64);
+  ExecContext par_ctx;
+  par_ctx.tracker = &tracker_;
+  par_ctx.buffer_pool = &par_pages;
+  par_ctx.pool = &pool;
+  par_ctx.block_rows = 4;
+  par_ctx.block_cols = 4;
+  for (int round = 0; round < 5; ++round) {
+    Tensor parallel = run(&par_ctx);
+    ASSERT_EQ(serial.NumElements(), parallel.NumElements());
+    EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.NumElements() * sizeof(float)),
+              0)
+        << "round " << round;
+  }
+}
+
+TEST_F(BlockOpsTest, ParallelElementwiseOpsMatchSerial) {
+  Tensor m = RandomMatrix(33, 21);
+  auto bias = Tensor::Create(Shape{21});
+  ASSERT_TRUE(bias.ok());
+  for (int i = 0; i < 21; ++i) bias->data()[i] = 0.05f * i - 0.3f;
+
+  auto run = [&](ExecContext* ctx) -> Tensor {
+    auto store = blockops::ChunkMatrix(m, ctx);
+    EXPECT_TRUE(store.ok());
+    auto biased = blockops::BlockBiasAdd(**store, *bias, ctx);
+    EXPECT_TRUE(biased.ok());
+    auto relued = blockops::BlockRelu(**biased, ctx);
+    EXPECT_TRUE(relued.ok());
+    auto soft = blockops::BlockSoftmaxRows(**relued, ctx);
+    EXPECT_TRUE(soft.ok());
+    auto got = blockops::Assemble(**soft, ctx);
+    EXPECT_TRUE(got.ok());
+    return *got;
+  };
+
+  Tensor serial = run(&ctx_);
+
+  ThreadPool pool(4);
+  DiskManager par_disk;
+  BufferPool par_pages(&par_disk, 64);
+  ExecContext par_ctx;
+  par_ctx.tracker = &tracker_;
+  par_ctx.buffer_pool = &par_pages;
+  par_ctx.pool = &pool;
+  par_ctx.block_rows = 4;
+  par_ctx.block_cols = 4;
+  Tensor parallel = run(&par_ctx);
+  ASSERT_EQ(serial.NumElements(), parallel.NumElements());
+  EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                        serial.NumElements() * sizeof(float)),
+            0);
+}
+
+TEST_F(BlockOpsTest, ParallelExecStatsStayExact) {
+  // Counter totals must not lose updates when morsels race.
+  ThreadPool pool(4);
+  ExecContext par_ctx;
+  par_ctx.tracker = &tracker_;
+  par_ctx.buffer_pool = &pool_;
+  par_ctx.pool = &pool;
+  par_ctx.block_rows = 4;
+  par_ctx.block_cols = 4;
+  Tensor m = RandomMatrix(16, 16);
+  auto store = blockops::ChunkMatrix(m, &par_ctx);
+  ASSERT_TRUE(store.ok());
+  const int64_t written_after_chunk = par_ctx.stats.blocks_written.load();
+  EXPECT_EQ(written_after_chunk, 16);  // 4x4 geometry -> 16 blocks
+  auto doubled = blockops::BlockRelu(**store, &par_ctx);
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(par_ctx.stats.blocks_read.load(), 16);
+  EXPECT_EQ(par_ctx.stats.blocks_written.load(),
+            written_after_chunk + 16);
 }
 
 TEST_F(BlockOpsTest, RequiresBufferPool) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <random>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -408,6 +410,155 @@ TEST(BufferPoolTest, ConcurrentFetchStress) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(BufferPoolTest, ConcurrentStressTinyCapacityKeepsCountersExact) {
+  // Hammer a 4-frame pool from several threads with 24 pages: every
+  // fetch either hits or misses (never both, never neither), pin
+  // counts stay balanced, and page contents survive constant eviction
+  // and write-back.
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  constexpr int kPages = 24;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  std::vector<PageId> ids(kPages);
+  for (int i = 0; i < kPages; ++i) {
+    auto page = pool.NewPage(&ids[i]);
+    ASSERT_TRUE(page.ok());
+    std::memset(*page, static_cast<char>(i + 1), kPageSize);
+    ASSERT_TRUE(pool.UnpinPage(ids[i], true).ok());
+  }
+  const BufferPoolStats before = pool.stats();
+
+  std::atomic<int64_t> ok_fetches{0};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> unpin_failures{0};
+  // The pool allows concurrent pins of one page; *content* access is
+  // coordinated above it (as a DBMS page latch would), so rewriters
+  // take the page's latch exclusively and readers take it shared.
+  std::vector<std::shared_mutex> latches(kPages);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(1234 + t);
+      for (int iter = 0; iter < kIters; ++iter) {
+        const int i = static_cast<int>(rng() % kPages);
+        auto page = pool.FetchPage(ids[i]);
+        if (!page.ok()) continue;  // all frames transiently pinned
+        ok_fetches.fetch_add(1);
+        const char want = static_cast<char>(i + 1);
+        // Occasionally rewrite the page (dirty) to force write-backs.
+        const bool rewrite = (rng() % 4) == 0;
+        if (rewrite) {
+          std::unique_lock<std::shared_mutex> latch(latches[i]);
+          std::memset(*page, want, kPageSize);
+        } else {
+          std::shared_lock<std::shared_mutex> latch(latches[i]);
+          if ((*page)[0] != want || (*page)[kPageSize - 1] != want) {
+            mismatches.fetch_add(1);
+          }
+        }
+        if (!pool.UnpinPage(ids[i], rewrite).ok()) {
+          unpin_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(unpin_failures.load(), 0);
+  const BufferPoolStats after = pool.stats();
+  // Exactness: every successful fetch counted exactly one hit or miss.
+  EXPECT_EQ((after.hits - before.hits) + (after.misses - before.misses),
+            ok_fetches.load());
+  // All pins released: every page is fetchable and deletable again.
+  for (int i = 0; i < kPages; ++i) {
+    auto page = pool.FetchPage(ids[i]);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page)[0], static_cast<char>(i + 1));
+    ASSERT_TRUE(pool.UnpinPage(ids[i], false).ok());
+    ASSERT_TRUE(pool.DeletePage(ids[i]).ok());
+  }
+  EXPECT_EQ(disk.num_free(), kPages);
+}
+
+TEST(BufferPoolTest, ConcurrentNewDeleteChurn) {
+  // Threads allocate, stamp, drop, and reload pages concurrently —
+  // the fetch/unpin/drop races of parallel block stores sharing one
+  // pool with a tiny capacity.
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(77 + t);
+      for (int iter = 0; iter < 120; ++iter) {
+        PageId id = kInvalidPageId;
+        auto page = pool.NewPage(&id);
+        if (!page.ok()) continue;  // pool transiently full of pins
+        const char stamp = static_cast<char>(1 + (iter + t) % 120);
+        std::memset(*page, stamp, kPageSize);
+        if (!pool.UnpinPage(id, true).ok()) failures.fetch_add(1);
+        if (rng() % 2 == 0) {
+          auto again = pool.FetchPage(id);
+          if (again.ok()) {
+            if ((*again)[kPageSize / 2] != stamp) failures.fetch_add(1);
+            if (!pool.UnpinPage(id, false).ok()) failures.fetch_add(1);
+          }
+        }
+        if (!pool.DeletePage(id).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // After the churn every frame is reusable: fill the pool to capacity.
+  std::vector<PageId> ids(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.NewPage(&ids[i]).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.UnpinPage(ids[i], false).ok());
+  }
+}
+
+TEST(BlockStoreTest, ConcurrentPutFromMorsels) {
+  // BlockMatMul emits output blocks from parallel morsels; Put must
+  // tolerate concurrent callers on one store.
+  DiskManager disk;
+  BufferPool pool(&disk, 8);
+  BlockStore store(&pool, BlockedShape{32, 32, 4, 4});
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rb = 0; rb < 8; ++rb) {
+        for (int cb = t; cb < 8; cb += 4) {
+          auto payload = Tensor::Full(
+              Shape{4, 4}, static_cast<float>(rb * 8 + cb));
+          if (!payload.ok() ||
+              !store.Put(TensorBlock{rb, cb, std::move(*payload)})
+                   .ok()) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+  ASSERT_EQ(store.entries().size(), 64u);
+  auto m = store.ToMatrix();
+  ASSERT_TRUE(m.ok());
+  for (int rb = 0; rb < 8; ++rb) {
+    for (int cb = 0; cb < 8; ++cb) {
+      EXPECT_FLOAT_EQ(m->At(rb * 4, cb * 4),
+                      static_cast<float>(rb * 8 + cb));
+    }
+  }
 }
 
 TEST(DedupTest, ExactDuplicatesCollapse) {
