@@ -1,26 +1,48 @@
 #!/usr/bin/env bash
-# ThreadSanitizer smoke check for the concurrent substrate.
+# Sanitizer smoke checks for the concurrent + SIMD kernel substrate.
 #
-# Builds the repo with -DRELSERVE_SANITIZE=thread into build-tsan/ and
-# runs the three test binaries that exercise the morsel-driven
-# ThreadPool, the concurrent BufferPool/DiskManager, and the parallel
-# block operators. Any data race makes the binaries exit non-zero
-# (halt_on_error=1), failing this script.
+# Leg 1 (ThreadSanitizer): builds with -DRELSERVE_SANITIZE=thread into
+# build-tsan/ and runs the test binaries that exercise the
+# morsel-driven ThreadPool, the concurrent BufferPool/DiskManager, the
+# parallel block operators, and the packed GEMM layer (whose
+# macro-tile ParallelFor shares one read-only B panel and per-worker A
+# panels across pool threads). Any data race makes the binaries exit
+# non-zero (halt_on_error=1), failing this script.
 #
-# Usage: scripts/tsan_check.sh [build-dir]
+# Leg 2 (UndefinedBehaviorSanitizer): rebuilds with
+# -DRELSERVE_SANITIZE=undefined into build-ubsan/ and runs the kernel
+# and tensor tests. The micro-kernel layer leans on aligned loads,
+# pointer arithmetic over packed panels, and a function-pointer
+# dispatch table — exactly the constructs UBSan checks (misaligned
+# access, OOB pointer arithmetic, bad function-pointer calls).
+#
+# Usage: scripts/tsan_check.sh [tsan-build-dir] [ubsan-build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
+UBSAN_DIR="${2:-build-ubsan}"
+
+TSAN_TESTS=(resource_test storage_test block_ops_test kernels_test)
+UBSAN_TESTS=(kernels_test tensor_test block_ops_test)
 
 cmake -B "$BUILD_DIR" -S . -DRELSERVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j \
-    --target resource_test storage_test block_ops_test
+cmake --build "$BUILD_DIR" -j --target "${TSAN_TESTS[@]}"
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-for test in resource_test storage_test block_ops_test; do
+for test in "${TSAN_TESTS[@]}"; do
     echo "== TSan: $test =="
     "$BUILD_DIR/tests/$test"
 done
-echo "TSan smoke check passed."
+
+cmake -B "$UBSAN_DIR" -S . -DRELSERVE_SANITIZE=undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$UBSAN_DIR" -j --target "${UBSAN_TESTS[@]}"
+
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+for test in "${UBSAN_TESTS[@]}"; do
+    echo "== UBSan: $test =="
+    "$UBSAN_DIR/tests/$test"
+done
+echo "Sanitizer smoke checks passed."

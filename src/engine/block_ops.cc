@@ -125,10 +125,11 @@ Result<std::unique_ptr<BlockStore>> BlockMatMul(const BlockStore& x,
   // Morsel = one output block (rb, jb): the probe side of the join.
   // Each morsel owns its accumulator and aggregates partials over kb
   // in ascending order, so float results are bit-identical to the
-  // serial plan no matter how morsels land on threads. Row-level GEMM
+  // serial plan no matter how morsels land on threads. Intra-GEMM
   // parallelism is only worth adding when there are too few output
-  // blocks to occupy the pool; it partitions rows, which also
-  // preserves each element's accumulation order.
+  // blocks to occupy the pool; it partitions the packed macro-tiles
+  // (row ranges of C), which also preserves each element's
+  // accumulation order.
   ThreadPool* inner_pool =
       (ctx->pool != nullptr && out_blocks < ctx->pool->num_threads())
           ? ctx->pool

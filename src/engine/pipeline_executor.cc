@@ -121,9 +121,12 @@ Result<Tensor> PipelineExecutor::Run(const PreparedModel& prepared,
   // Route kernel calls through the shared pool only when the pipeline
   // itself leaves pool workers idle (fewer stages than threads);
   // otherwise inter-stage parallelism already saturates the pool and
-  // intra-chunk morsels would only add dispatch overhead. ParallelFor
-  // task groups are per-call, so concurrent stages sharing the pool
-  // stay isolated.
+  // intra-chunk morsels would only add dispatch overhead. The packed
+  // GEMM layer forks one morsel per mc-row macro-tile, so a chunk
+  // only fans out when micro_batch_rows spans several tiles —
+  // sub-tile chunks run inline on the stage thread regardless of this
+  // routing. ParallelFor task groups are per-call, so concurrent
+  // stages sharing the pool stay isolated.
   ThreadPool* stage_pool = nullptr;
   if (ctx->pool != nullptr &&
       num_stages < ctx->pool->num_threads()) {

@@ -134,7 +134,7 @@ Result<double> SgdTrainer::TrainStep(Model* model, const Tensor& x,
                               Tensor::Create(w->shape(), ctx->tracker));
     RELSERVE_RETURN_NOT_OK(
         kernels::GemmTransAInto(dz, inputs[l], /*accumulate=*/false,
-                                &dw));
+                                &dw, ctx->pool));
     RELSERVE_ASSIGN_OR_RETURN(Tensor db,
                               Tensor::Create(b->shape(), ctx->tracker));
     RELSERVE_RETURN_NOT_OK(kernels::ColumnSumInto(dz, &db));

@@ -1,0 +1,70 @@
+#include "kernels/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace relserve {
+namespace kernels {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+SimdLevel DetectSimdLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports consults cpuid once at program start and
+  // includes the OSXSAVE/XCR0 check, so "avx2" only reports true when
+  // the OS actually saves ymm state across context switches.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdLevel::kAvx2;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+namespace {
+
+SimdLevel ClampToHardware(SimdLevel requested) {
+  return (requested == SimdLevel::kAvx2 &&
+          DetectSimdLevel() != SimdLevel::kAvx2)
+             ? SimdLevel::kScalar
+             : requested;
+}
+
+SimdLevel ResolveInitialLevel() {
+  const char* env = std::getenv("RELSERVE_SIMD");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return SimdLevel::kScalar;
+  }
+  if (env != nullptr && std::strcmp(env, "avx2") == 0) {
+    return ClampToHardware(SimdLevel::kAvx2);
+  }
+  return DetectSimdLevel();
+}
+
+std::atomic<SimdLevel>& ActiveLevelStorage() {
+  static std::atomic<SimdLevel> level{ResolveInitialLevel()};
+  return level;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  return ActiveLevelStorage().load(std::memory_order_relaxed);
+}
+
+SimdLevel SetActiveSimdLevel(SimdLevel level) {
+  const SimdLevel installed = ClampToHardware(level);
+  ActiveLevelStorage().store(installed, std::memory_order_relaxed);
+  return installed;
+}
+
+}  // namespace kernels
+}  // namespace relserve

@@ -1,0 +1,41 @@
+// Runtime CPU-dispatch policy for the kernel substrate.
+//
+// The default build carries no -march flags: every translation unit
+// except the AVX2 backend compiles for the baseline ISA, and the one
+// AVX2+FMA translation unit is only *entered* after a cpuid probe says
+// the host executes those instructions. The level is resolved once on
+// first use and cached; benches and tests may override it to compare
+// code paths on the same machine.
+
+#ifndef RELSERVE_KERNELS_CPU_FEATURES_H_
+#define RELSERVE_KERNELS_CPU_FEATURES_H_
+
+namespace relserve {
+namespace kernels {
+
+enum class SimdLevel {
+  kScalar,  // portable fallback, correct on any hardware
+  kAvx2,    // 256-bit FMA micro-kernels (x86 with AVX2+FMA+OS support)
+};
+
+const char* SimdLevelName(SimdLevel level);
+
+// Raw hardware probe (cpuid on x86, kScalar elsewhere). Ignores the
+// environment override and the cached active level.
+SimdLevel DetectSimdLevel();
+
+// The level all kernels dispatch on. Resolved once: hardware probe,
+// then the RELSERVE_SIMD environment variable ("scalar" forces the
+// fallback; "avx2" requests the vector path but silently degrades to
+// scalar when the probe says the hardware cannot run it).
+SimdLevel ActiveSimdLevel();
+
+// Test/bench hook: pins the active level from now on. Requests the
+// hardware cannot satisfy degrade to kScalar; returns the level
+// actually installed.
+SimdLevel SetActiveSimdLevel(SimdLevel level);
+
+}  // namespace kernels
+}  // namespace relserve
+
+#endif  // RELSERVE_KERNELS_CPU_FEATURES_H_

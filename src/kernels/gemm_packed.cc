@@ -1,0 +1,165 @@
+#include "kernels/gemm_packed.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "common/aligned_alloc.h"
+#include "kernels/micro_kernel.h"
+
+namespace relserve {
+namespace kernels {
+namespace internal {
+
+namespace {
+
+// Packs A[ic .. ic+mc, pc .. pc+kc) into kMr-tall row slivers:
+//   dst[(ir/kMr) * kc * kMr + p * kMr + i] = A[ic+ir+i, pc+p]
+// zero-padding rows past mc so the micro-kernel always reads a full
+// sliver.
+void PackA(const float* a, int64_t lda, bool trans_a, int64_t ic,
+           int64_t pc, int64_t mc, int64_t kc, float* dst) {
+  for (int64_t ir = 0; ir < mc; ir += kMr) {
+    const int64_t m_r = std::min(kMr, mc - ir);
+    float* sliver = dst + (ir / kMr) * kc * kMr;
+    if (!trans_a) {
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* col = a + (ic + ir) * lda + pc + p;
+        float* out = sliver + p * kMr;
+        for (int64_t i = 0; i < m_r; ++i) out[i] = col[i * lda];
+        for (int64_t i = m_r; i < kMr; ++i) out[i] = 0.0f;
+      }
+    } else {
+      // Logical A[i, p] lives at a[p * lda + i]: a sliver column is
+      // contiguous in memory.
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* row = a + (pc + p) * lda + ic + ir;
+        float* out = sliver + p * kMr;
+        for (int64_t i = 0; i < m_r; ++i) out[i] = row[i];
+        for (int64_t i = m_r; i < kMr; ++i) out[i] = 0.0f;
+      }
+    }
+  }
+}
+
+// Packs B[pc .. pc+kc, jc .. jc+nc) into kNr-wide column slivers:
+//   dst[(jr/kNr) * kc * kNr + p * kNr + j] = B[pc+p, jc+jr+j]
+// zero-padding columns past nc.
+void PackB(const float* b, int64_t ldb, bool trans_b, int64_t pc,
+           int64_t jc, int64_t kc, int64_t nc, float* dst) {
+  for (int64_t jr = 0; jr < nc; jr += kNr) {
+    const int64_t n_r = std::min(kNr, nc - jr);
+    float* sliver = dst + (jr / kNr) * kc * kNr;
+    if (!trans_b) {
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* row = b + (pc + p) * ldb + jc + jr;
+        float* out = sliver + p * kNr;
+        for (int64_t j = 0; j < n_r; ++j) out[j] = row[j];
+        for (int64_t j = n_r; j < kNr; ++j) out[j] = 0.0f;
+      }
+    } else {
+      // Logical B[p, j] lives at b[j * ldb + p].
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* col = b + (jc + jr) * ldb + pc + p;
+        float* out = sliver + p * kNr;
+        for (int64_t j = 0; j < n_r; ++j) out[j] = col[j * ldb];
+        for (int64_t j = n_r; j < kNr; ++j) out[j] = 0.0f;
+      }
+    }
+  }
+}
+
+inline int64_t RoundUp(int64_t v, int64_t to) {
+  return (v + to - 1) / to * to;
+}
+
+}  // namespace
+
+Status GemmPacked(int64_t m, int64_t n, int64_t k, const float* a,
+                  int64_t lda, bool trans_a, const float* b, int64_t ldb,
+                  bool trans_b, float* c, int64_t ldc, bool accumulate,
+                  ThreadPool* pool) {
+  if (m <= 0 || n <= 0) return Status::OK();
+  if (k <= 0) {
+    // An empty contraction still defines the output.
+    if (!accumulate) {
+      for (int64_t i = 0; i < m; ++i) {
+        std::memset(c + i * ldc, 0, n * sizeof(float));
+      }
+    }
+    return Status::OK();
+  }
+  const KernelBackend* backend = GetKernelBackend(ActiveSimdLevel());
+
+  // One shared B panel, packed by the calling thread per (jc, pc) and
+  // read-only during the parallel macro-tile sweep.
+  AlignedBuffer b_packed(RoundUp(std::min(n, kNc), kNr) *
+                         std::min(k, kKc));
+  if (!b_packed.ok()) {
+    return Status::OutOfMemory("GEMM B packing panel");
+  }
+
+  for (int64_t jc = 0; jc < n; jc += kNc) {
+    const int64_t nc = std::min(kNc, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKc) {
+      const int64_t kc = std::min(kKc, k - pc);
+      // The first kc block either overwrites C or continues the
+      // caller's accumulation; later blocks always accumulate the
+      // partials already stored in C.
+      const bool acc_block = accumulate || pc > 0;
+      PackB(b, ldb, trans_b, pc, jc, kc, nc, b_packed.data());
+
+      const int64_t num_tiles = (m + kMc - 1) / kMc;
+      std::atomic<bool> panel_oom{false};
+      auto run_tiles = [&](int64_t t_lo, int64_t t_hi) {
+        // Each worker owns one A panel (kMc x kc floats, ~72 KiB).
+        AlignedBuffer a_packed(kMc * kc);
+        if (!a_packed.ok()) {
+          panel_oom.store(true, std::memory_order_relaxed);
+          return;
+        }
+        for (int64_t t = t_lo; t < t_hi; ++t) {
+          const int64_t ic = t * kMc;
+          const int64_t mc = std::min(kMc, m - ic);
+          PackA(a, lda, trans_a, ic, pc, mc, kc, a_packed.data());
+          for (int64_t jr = 0; jr < nc; jr += kNr) {
+            const int64_t n_r = std::min(kNr, nc - jr);
+            const float* b_sliver =
+                b_packed.data() + (jr / kNr) * kc * kNr;
+            for (int64_t ir = 0; ir < mc; ir += kMr) {
+              const int64_t m_r = std::min(kMr, mc - ir);
+              const float* a_sliver =
+                  a_packed.data() + (ir / kMr) * kc * kMr;
+              float* c_tile = c + (ic + ir) * ldc + jc + jr;
+              if (m_r == kMr && n_r == kNr) {
+                backend->gemm_tile(kc, a_sliver, b_sliver, c_tile, ldc,
+                                   acc_block);
+              } else {
+                backend->gemm_tile_edge(kc, a_sliver, b_sliver, c_tile,
+                                        ldc, acc_block, m_r, n_r);
+              }
+            }
+          }
+        }
+      };
+      if (pool != nullptr && num_tiles >= 2) {
+        // work_hint = flops in one macro-tile, so the pool's
+        // cost-based grain always gives tiles their own morsels
+        // (a tile is ~10^7 flops) while single-tile products run
+        // inline above.
+        pool->ParallelFor(0, num_tiles, run_tiles, /*grain=*/0,
+                          /*work_hint=*/2 * kMc * kc * nc);
+      } else {
+        run_tiles(0, num_tiles);
+      }
+      if (panel_oom.load(std::memory_order_relaxed)) {
+        return Status::OutOfMemory("GEMM A packing panel");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace relserve

@@ -1,0 +1,42 @@
+// Cache-blocked packed GEMM driver — the single entry point every
+// public matrix product in kernels.h lowers to.
+//
+// Computes, over row-major storage,
+//   C[m, n] ⊕= op_a(A) * op_b(B)
+// where op is optional transposition handled entirely inside the pack
+// routines: trans_a reads logical A[i, p] from a[p * lda + i] (the
+// dW = dZ^T * X contraction), trans_b reads logical B[p, j] from
+// b[j * ldb + p] (the x * W^T weight layout). ⊕ is += when
+// `accumulate`, plain assignment otherwise.
+//
+// Blocking follows the classical three-loop (nc, kc, mc) scheme of
+// micro_kernel.h; `pool` (nullable) parallelizes over the packed
+// mc-high macro-tiles of one (jc, pc) iteration, with the B panel
+// packed once and shared read-only across workers. Tiles partition C
+// rows and the kc blocks advance sequentially, so every output element
+// keeps one fixed ascending-k accumulation chain: results are
+// identical no matter how morsels land on threads.
+
+#ifndef RELSERVE_KERNELS_GEMM_PACKED_H_
+#define RELSERVE_KERNELS_GEMM_PACKED_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "resource/thread_pool.h"
+
+namespace relserve {
+namespace kernels {
+namespace internal {
+
+// Fails only when a packing panel cannot be allocated (OutOfMemory).
+Status GemmPacked(int64_t m, int64_t n, int64_t k, const float* a,
+                  int64_t lda, bool trans_a, const float* b, int64_t ldb,
+                  bool trans_b, float* c, int64_t ldc, bool accumulate,
+                  ThreadPool* pool);
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace relserve
+
+#endif  // RELSERVE_KERNELS_GEMM_PACKED_H_

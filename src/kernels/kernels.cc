@@ -4,49 +4,20 @@
 #include <cmath>
 #include <cstring>
 
+#include "kernels/cpu_features.h"
+#include "kernels/gemm_packed.h"
+#include "kernels/micro_kernel.h"
+
 namespace relserve {
 namespace kernels {
 
 namespace {
 
-// Serial GEMM over a row range [row_lo, row_hi) of `a`.
-void GemmRows(const float* a, const float* b, bool transpose_b,
-              bool accumulate, float* out, int64_t row_lo, int64_t row_hi,
-              int64_t k, int64_t n) {
-  if (!transpose_b) {
-    // i-k-j order: streams through b rows; good locality for row-major.
-    for (int64_t i = row_lo; i < row_hi; ++i) {
-      float* out_row = out + i * n;
-      if (!accumulate) std::memset(out_row, 0, n * sizeof(float));
-      const float* a_row = a + i * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float a_ik = a_row[kk];
-        if (a_ik == 0.0f) continue;
-        const float* b_row = b + kk * n;
-        for (int64_t j = 0; j < n; ++j) {
-          out_row[j] += a_ik * b_row[j];
-        }
-      }
-    }
-  } else {
-    // b is [n, k]; each output element is a contiguous dot product.
-    for (int64_t i = row_lo; i < row_hi; ++i) {
-      const float* a_row = a + i * k;
-      float* out_row = out + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* b_row = b + j * k;
-        float acc = 0.0f;
-        for (int64_t kk = 0; kk < k; ++kk) {
-          acc += a_row[kk] * b_row[kk];
-        }
-        if (accumulate) {
-          out_row[j] += acc;
-        } else {
-          out_row[j] = acc;
-        }
-      }
-    }
-  }
+// The ISA backend for the elementwise strips, re-resolved per call so
+// bench/test overrides of the active level take effect immediately
+// (the per-level tables themselves are immutable statics).
+const internal::KernelBackend* Backend() {
+  return internal::GetKernelBackend(ActiveSimdLevel());
 }
 
 }  // namespace
@@ -73,25 +44,12 @@ Status GemmInto(const Tensor& a, const Tensor& b, bool transpose_b,
                                    std::to_string(m) + ", " +
                                    std::to_string(n) + "]");
   }
-  const float* a_data = a.data();
-  const float* b_data = b.data();
-  float* out_data = out->data();
-  if (pool != nullptr && m >= 2) {
-    // work_hint = flops per output row, so the pool's cost-based grain
-    // parallelizes tensor-block GEMMs (m of a few hundred) while tiny
-    // products still run inline.
-    pool->ParallelFor(
-        0, m,
-        [&](int64_t lo, int64_t hi) {
-          GemmRows(a_data, b_data, transpose_b, accumulate, out_data, lo,
-                   hi, k, n);
-        },
-        /*grain=*/0, /*work_hint=*/2 * k * n);
-  } else {
-    GemmRows(a_data, b_data, transpose_b, accumulate, out_data, 0, m, k,
-             n);
-  }
-  return Status::OK();
+  // b's leading dimension in storage: [k, n] row-major or [n, k] when
+  // the caller hands the transposed (weight) layout.
+  const int64_t ldb = transpose_b ? k : n;
+  return internal::GemmPacked(m, n, k, a.data(), k, /*trans_a=*/false,
+                              b.data(), ldb, transpose_b, out->data(), n,
+                              accumulate, pool);
 }
 
 Result<Tensor> MatMul(const Tensor& a, const Tensor& b, bool transpose_b,
@@ -109,7 +67,7 @@ Result<Tensor> MatMul(const Tensor& a, const Tensor& b, bool transpose_b,
 }
 
 Status GemmTransAInto(const Tensor& a, const Tensor& b, bool accumulate,
-                      Tensor* out) {
+                      Tensor* out, ThreadPool* pool) {
   if (a.shape().ndim() != 2 || b.shape().ndim() != 2 ||
       out->shape().ndim() != 2) {
     return Status::InvalidArgument("GemmTransAInto expects matrices");
@@ -121,25 +79,11 @@ Status GemmTransAInto(const Tensor& a, const Tensor& b, bool accumulate,
       out->shape().dim(1) != k) {
     return Status::InvalidArgument("GemmTransAInto shape mismatch");
   }
-  float* dst = out->data();
-  if (!accumulate) std::memset(dst, 0, out->ByteSize());
-  const float* a_data = a.data();
-  const float* b_data = b.data();
-  // n-i-j order: each sample contributes a rank-1 update; inner loop
-  // streams a contiguous b row.
-  for (int64_t s = 0; s < n; ++s) {
-    const float* a_row = a_data + s * m;
-    const float* b_row = b_data + s * k;
-    for (int64_t i = 0; i < m; ++i) {
-      const float a_si = a_row[i];
-      if (a_si == 0.0f) continue;
-      float* out_row = dst + i * k;
-      for (int64_t j = 0; j < k; ++j) {
-        out_row[j] += a_si * b_row[j];
-      }
-    }
-  }
-  return Status::OK();
+  // out[m, k] = a^T * b with a stored [n, m]: trans_a packing reads
+  // logical A[i, s] from a[s * m + i].
+  return internal::GemmPacked(m, k, n, a.data(), m, /*trans_a=*/true,
+                              b.data(), k, /*trans_b=*/false,
+                              out->data(), k, accumulate, pool);
 }
 
 Status ColumnSumInto(const Tensor& x, Tensor* out) {
@@ -152,19 +96,15 @@ Status ColumnSumInto(const Tensor& x, Tensor* out) {
   std::memset(out->data(), 0, out->ByteSize());
   float* dst = out->data();
   const float* src = x.data();
+  const internal::KernelBackend* be = Backend();
   for (int64_t r = 0; r < rows; ++r) {
-    const float* row = src + r * cols;
-    for (int64_t c = 0; c < cols; ++c) dst[c] += row[c];
+    be->add(dst, src + r * cols, cols);
   }
   return Status::OK();
 }
 
 void ReluInPlace(Tensor* x) {
-  float* data = x->data();
-  const int64_t n = x->NumElements();
-  for (int64_t i = 0; i < n; ++i) {
-    data[i] = std::max(data[i], 0.0f);
-  }
+  Backend()->relu(x->data(), x->NumElements());
 }
 
 Status BiasAddInPlace(Tensor* x, const Tensor& bias) {
@@ -182,9 +122,9 @@ Status BiasAddInPlace(Tensor* x, const Tensor& bias) {
   float* data = x->data();
   const float* b = bias.data();
   const int64_t rows = x->NumElements() / width;
+  const internal::KernelBackend* be = Backend();
   for (int64_t r = 0; r < rows; ++r) {
-    float* row = data + r * width;
-    for (int64_t c = 0; c < width; ++c) row[c] += b[c];
+    be->add(data + r * width, b, width);
   }
   return Status::OK();
 }
@@ -196,17 +136,18 @@ Status SoftmaxRowsInPlace(Tensor* x) {
   const int64_t rows = x->shape().dim(0);
   const int64_t cols = x->shape().dim(1);
   float* data = x->data();
+  const internal::KernelBackend* be = Backend();
+  // Max and the final scale are vectorized; exp stays scalar (exact
+  // libm, identical across backends) with the sum fused into its loop.
   for (int64_t r = 0; r < rows; ++r) {
     float* row = data + r * cols;
-    float max_v = row[0];
-    for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, row[c]);
+    const float max_v = be->row_max(row, cols);
     float sum = 0.0f;
     for (int64_t c = 0; c < cols; ++c) {
       row[c] = std::exp(row[c] - max_v);
       sum += row[c];
     }
-    const float inv = 1.0f / sum;
-    for (int64_t c = 0; c < cols; ++c) row[c] *= inv;
+    be->scale(row, 1.0f / sum, cols);
   }
   return Status::OK();
 }
@@ -217,10 +158,7 @@ Status AddInPlace(Tensor* a, const Tensor& b) {
                                    a->shape().ToString() + " vs " +
                                    b.shape().ToString());
   }
-  float* ad = a->data();
-  const float* bd = b.data();
-  const int64_t n = a->NumElements();
-  for (int64_t i = 0; i < n; ++i) ad[i] += bd[i];
+  Backend()->add(a->data(), b.data(), a->NumElements());
   return Status::OK();
 }
 

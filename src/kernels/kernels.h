@@ -10,6 +10,16 @@
 // "Into" variants write into a caller-allocated output; allocating
 // variants charge a MemoryTracker and can therefore fail with
 // OutOfMemory.
+//
+// Every matrix product lowers to the cache-blocked, panel-packed
+// micro-kernel layer (gemm_packed.h / micro_kernel.h), which selects
+// an AVX2+FMA or portable-scalar register tile at runtime via
+// cpu_features.h; the elementwise strips dispatch on the same level.
+// The dense inner loops deliberately do NOT skip zero multiplicands —
+// a data-dependent branch per k-step costs more on dense weights than
+// the multiplies it saves. Sparsity exploitation belongs in an
+// explicit sparse entry point over deduplicated block relations, not
+// hidden inside the dense path.
 
 #ifndef RELSERVE_KERNELS_KERNELS_H_
 #define RELSERVE_KERNELS_KERNELS_H_
@@ -38,8 +48,9 @@ Result<Tensor> MatMul(const Tensor& a, const Tensor& b, bool transpose_b,
 
 // out[m, k] = a[n, m]^T * b[n, k] — the weight-gradient contraction of
 // backpropagation (dW = dZ^T * A). If `accumulate`, adds into `out`.
+// `pool` may be null (serial execution).
 Status GemmTransAInto(const Tensor& a, const Tensor& b, bool accumulate,
-                      Tensor* out);
+                      Tensor* out, ThreadPool* pool = nullptr);
 
 // Column sums of a matrix into a rank-1 tensor (bias gradients).
 Status ColumnSumInto(const Tensor& x, Tensor* out);

@@ -1,0 +1,97 @@
+// Internal micro-kernel backend interface for the packed GEMM layer
+// and the vectorized elementwise strips.
+//
+// Layering (GotoBLAS-style):
+//
+//   kernels.cc           public API, shape checks
+//     gemm_packed.cc     cache blocking (mc, kc, nc), panel packing,
+//                        ThreadPool parallelism over macro-tiles
+//       micro_kernel_*   one register-tiled inner kernel per ISA,
+//                        selected at runtime via cpu_features
+//
+// The packed operand layout is fixed across backends so the blocking
+// driver and the pack routines are ISA-independent:
+//
+//   A panel  (kMr-tall row slivers):  a_panel[p * kMr + i] = A[i, p]
+//   B panel  (kNr-wide column slivers): b_panel[p * kNr + j] = B[p, j]
+//
+// with i < kMr, j < kNr zero-padded past the matrix edge, p < kc. A
+// micro-kernel call computes the full kMr x kNr register tile
+//   C[i, j] ⊕= Σ_p a_panel[p*kMr+i] * b_panel[p*kNr+j]
+// accumulating directly into C in ascending-p order (⊕ is += when
+// `accumulate`, otherwise the chain starts from 0). Keeping the
+// per-element accumulation a single ascending-k chain makes the
+// scalar backend bit-identical to the historical triple-loop kernel;
+// the AVX2 backend differs only by FMA rounding within the chain.
+
+#ifndef RELSERVE_KERNELS_MICRO_KERNEL_H_
+#define RELSERVE_KERNELS_MICRO_KERNEL_H_
+
+#include <cstdint>
+
+#include "kernels/cpu_features.h"
+
+namespace relserve {
+namespace kernels {
+namespace internal {
+
+// Register tile: 6 rows x 16 columns (two 8-float AVX2 vectors wide).
+// 12 ymm accumulators + 2 B loads + 1 A broadcast = 15 of 16 ymm regs.
+inline constexpr int64_t kMr = 6;
+inline constexpr int64_t kNr = 16;
+
+// Cache blocking. kKc * kNr floats (one B micro-panel, 16 KiB) is the
+// L1 working set; kMc * kKc floats (one packed A macro-panel, 72 KiB)
+// targets L2; kKc * kNc floats (one packed B macro-panel, 1 MiB)
+// targets L3. kMc must be a multiple of kMr.
+inline constexpr int64_t kKc = 256;
+inline constexpr int64_t kMc = 72;
+inline constexpr int64_t kNc = 1024;
+static_assert(kMc % kMr == 0, "macro tile must hold whole row slivers");
+
+// One ISA's kernel set. Function pointers are resolved once per call
+// into the packed driver (the table itself is immutable static data).
+struct KernelBackend {
+  SimdLevel level;
+
+  // Full kMr x kNr tile accumulating into C (leading dimension ldc).
+  void (*gemm_tile)(int64_t kc, const float* a_panel,
+                    const float* b_panel, float* c, int64_t ldc,
+                    bool accumulate);
+  // Edge tile: only rows [0, m_r) and columns [0, n_r) of the tile
+  // are written (panels are zero-padded, so reading the full sliver
+  // is always safe).
+  void (*gemm_tile_edge)(int64_t kc, const float* a_panel,
+                         const float* b_panel, float* c, int64_t ldc,
+                         bool accumulate, int64_t m_r, int64_t n_r);
+
+  // Elementwise strips (all exact per-element ops; no reassociation
+  // except row_sum, which reduces in vector lanes).
+  void (*relu)(float* x, int64_t n);                     // x = max(x,0)
+  void (*add)(float* a, const float* b, int64_t n);      // a += b
+  void (*scale)(float* x, float s, int64_t n);           // x *= s
+  float (*row_max)(const float* x, int64_t n);           // max, n >= 1
+};
+
+// Always available.
+const KernelBackend* GetScalarBackend();
+
+// Returns nullptr when this build (or platform) has no AVX2 backend;
+// callers must then use the scalar backend regardless of cpuid.
+const KernelBackend* GetAvx2Backend();
+
+// Backend for `level`, degrading to scalar when the requested backend
+// is not compiled in.
+inline const KernelBackend* GetKernelBackend(SimdLevel level) {
+  if (level == SimdLevel::kAvx2) {
+    const KernelBackend* avx2 = GetAvx2Backend();
+    if (avx2 != nullptr) return avx2;
+  }
+  return GetScalarBackend();
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace relserve
+
+#endif  // RELSERVE_KERNELS_MICRO_KERNEL_H_

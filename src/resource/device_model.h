@@ -23,11 +23,20 @@ enum class DeviceKind { kCpu, kAccelerator };
 
 const char* DeviceKindName(DeviceKind kind);
 
+// Default CPU throughput for the cost model, re-calibrated against
+// the dispatched GEMM micro-kernels (`bench_kernels`, 512^3 fp32,
+// single thread, AVX2+FMA): ~75 GFLOP/s sustained on the reference
+// container vs ~11 GFLOP/s for the pre-micro-kernel scalar loops. A
+// faster CPU substrate shifts the producer-transfer-consumer balance
+// toward staying on the host, so keeping this constant honest keeps
+// the optimizer's device decisions honest.
+inline constexpr double kCalibratedCpuGemmFlops = 75e9;
+
 struct DeviceSpec {
   DeviceKind kind = DeviceKind::kCpu;
   std::string name = "cpu";
   // Sustained compute throughput in FLOP/s for dense linear algebra.
-  double flops_per_second = 50e9;
+  double flops_per_second = kCalibratedCpuGemmFlops;
   // Host<->device link; irrelevant (infinite) for the host CPU.
   double transfer_bytes_per_second = 0.0;  // 0 => no transfer needed
   // Fixed per-kernel launch overhead in seconds.

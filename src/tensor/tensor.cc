@@ -17,7 +17,7 @@ Result<Tensor> Tensor::Create(Shape shape, MemoryTracker* tracker) {
   if (tracker != nullptr) {
     RELSERVE_RETURN_NOT_OK(tracker->Allocate(bytes));
   }
-  float* data = new (std::nothrow) float[n];
+  float* data = AllocateAlignedFloats(n);
   if (data == nullptr) {
     if (tracker != nullptr) tracker->Release(bytes);
     return Status::OutOfMemory("physical allocation of " +

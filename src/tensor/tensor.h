@@ -14,12 +14,21 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned_alloc.h"
 #include "common/logging.h"
 #include "common/result.h"
 #include "resource/memory_tracker.h"
 #include "tensor/shape.h"
 
 namespace relserve {
+
+// Alignment contract: every Tensor buffer starts on a 64-byte (cache
+// line) boundary, so GEMM packing panels copied from tensor data and
+// SIMD loads on row starts of 16-float-multiple widths never straddle
+// a line. tensor_test asserts this on freshly created tensors.
+inline constexpr int64_t kTensorAlignmentBytes = kCacheLineBytes;
+static_assert(kTensorAlignmentBytes >= 32,
+              "tensor buffers must admit full-width AVX loads");
 
 class Tensor {
  public:
@@ -82,11 +91,11 @@ class Tensor {
 
  private:
   struct Buffer {
-    float* data = nullptr;
+    float* data = nullptr;  // kTensorAlignmentBytes-aligned
     int64_t bytes = 0;
     MemoryTracker* tracker = nullptr;
     ~Buffer() {
-      delete[] data;
+      FreeAlignedFloats(data);
       if (tracker != nullptr) tracker->Release(bytes);
     }
   };

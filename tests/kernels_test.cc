@@ -1,12 +1,31 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "kernels/cpu_features.h"
 #include "kernels/kernels.h"
 #include "resource/thread_pool.h"
 
 namespace relserve {
 namespace {
+
+using kernels::SimdLevel;
+
+// Pins the active SIMD level for one scope; restores detection after.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) {
+    installed_ = kernels::SetActiveSimdLevel(level);
+  }
+  ~ScopedSimdLevel() {
+    kernels::SetActiveSimdLevel(kernels::DetectSimdLevel());
+  }
+  SimdLevel installed() const { return installed_; }
+
+ private:
+  SimdLevel installed_;
+};
 
 Tensor Make(Shape shape, std::vector<float> values) {
   auto t = Tensor::FromData(std::move(shape), values);
@@ -69,6 +88,271 @@ TEST(GemmTest, ParallelMatchesSerial) {
   auto parallel = kernels::MatMul(*a, *b, false, nullptr, &pool);
   ASSERT_TRUE(serial.ok() && parallel.ok());
   EXPECT_LT(serial->MaxAbsDiff(*parallel), 1e-5f);
+}
+
+// The pre-micro-kernel GEMM, kept verbatim as the reference for the
+// exhaustive tail-shape matrix: i-k-j accumulation for row-major b,
+// per-element dot products for transposed b.
+void LegacyGemm(const Tensor& a, const Tensor& b, bool transpose_b,
+                bool accumulate, Tensor* out) {
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n =
+      transpose_b ? b.shape().dim(0) : b.shape().dim(1);
+  const float* a_data = a.data();
+  const float* b_data = b.data();
+  float* out_data = out->data();
+  if (!transpose_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* out_row = out_data + i * n;
+      const float* a_row = a_data + i * k;
+      if (!accumulate) {
+        for (int64_t j = 0; j < n; ++j) out_row[j] = 0.0f;
+      }
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float a_ik = a_row[kk];
+        const float* b_row = b_data + kk * n;
+        for (int64_t j = 0; j < n; ++j) out_row[j] += a_ik * b_row[j];
+      }
+    }
+  } else {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* a_row = a_data + i * k;
+      float* out_row = out_data + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* b_row = b_data + j * k;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+        if (accumulate) {
+          out_row[j] += acc;
+        } else {
+          out_row[j] = acc;
+        }
+      }
+    }
+  }
+}
+
+Tensor DeterministicTensor(Shape shape, float phase) {
+  auto t = Tensor::Create(std::move(shape));
+  EXPECT_TRUE(t.ok());
+  for (int64_t i = 0; i < t->NumElements(); ++i) {
+    t->data()[i] = std::sin(phase + 0.37f * static_cast<float>(i));
+  }
+  return *t;
+}
+
+// Every m, n, k tail class the packing layer distinguishes: below one
+// register tile, off-by-one around the kMr=6 / kNr=16 tile edges,
+// exact multiples, and sizes straddling the kMc=72 macro-tile.
+const int64_t kTailDims[] = {1, 3, 7, 15, 17, 64, 100, 129};
+
+// Dispatched-vs-reference agreement over the full tail-shape matrix
+// (all transpose/accumulate variants) for both the scalar backend and
+// whatever the hardware dispatches. The SIMD path may differ from the
+// reference by FMA/reassociation rounding only: tolerance 1e-4
+// relative. The scalar backend must match the legacy kernel
+// *bit-for-bit* wherever the legacy accumulation was itself the
+// single ascending-k chain the micro-kernel uses (everything except
+// transposed-b with accumulate, whose legacy form added a separately
+// rounded dot product at the end).
+TEST(GemmMicroKernelTest, TailShapeMatrixAgainstLegacyReference) {
+  const SimdLevel detected = kernels::DetectSimdLevel();
+  for (const int64_t m : kTailDims) {
+    for (const int64_t n : kTailDims) {
+      for (const int64_t k : kTailDims) {
+        const Tensor a = DeterministicTensor(Shape{m, k}, 0.1f);
+        const Tensor b_plain = DeterministicTensor(Shape{k, n}, 0.9f);
+        const Tensor b_trans = DeterministicTensor(Shape{n, k}, 0.9f);
+        for (const bool transpose_b : {false, true}) {
+          const Tensor& b = transpose_b ? b_trans : b_plain;
+          for (const bool accumulate : {false, true}) {
+            const Tensor seed =
+                DeterministicTensor(Shape{m, n}, 2.3f);
+            auto expected = seed.Clone();
+            ASSERT_TRUE(expected.ok());
+            LegacyGemm(a, b, transpose_b, accumulate, &*expected);
+            for (const SimdLevel level :
+                 {SimdLevel::kScalar, detected}) {
+              ScopedSimdLevel scoped(level);
+              auto out = seed.Clone();
+              ASSERT_TRUE(out.ok());
+              ASSERT_TRUE(kernels::GemmInto(a, b, transpose_b,
+                                            accumulate, &*out)
+                              .ok());
+              const bool exact =
+                  level == SimdLevel::kScalar &&
+                  !(transpose_b && accumulate);
+              for (int64_t i = 0; i < m * n; ++i) {
+                const float want = expected->data()[i];
+                const float got = out->data()[i];
+                if (exact) {
+                  ASSERT_EQ(want, got)
+                      << "scalar path diverged at " << i << " for m="
+                      << m << " n=" << n << " k=" << k
+                      << " transpose_b=" << transpose_b
+                      << " accumulate=" << accumulate;
+                } else {
+                  const float tol =
+                      1e-4f * std::max(1.0f, std::fabs(want));
+                  ASSERT_NEAR(want, got, tol)
+                      << "isa=" << kernels::SimdLevelName(level)
+                      << " m=" << m << " n=" << n << " k=" << k
+                      << " transpose_b=" << transpose_b
+                      << " accumulate=" << accumulate;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// GemmTransAInto lowers through the same packed layer with trans_a
+// packing; its legacy form (ascending rank-1 updates in memory) is
+// the flat chain in both accumulate variants, so the scalar backend
+// is exact everywhere.
+TEST(GemmMicroKernelTest, TransATailShapesAgainstLegacyReference) {
+  const SimdLevel detected = kernels::DetectSimdLevel();
+  for (const int64_t m : kTailDims) {
+    for (const int64_t k : kTailDims) {
+      for (const int64_t contraction : kTailDims) {
+        const Tensor a = DeterministicTensor(Shape{contraction, m}, 0.2f);
+        const Tensor b =
+            DeterministicTensor(Shape{contraction, k}, 1.1f);
+        for (const bool accumulate : {false, true}) {
+          const Tensor seed = DeterministicTensor(Shape{m, k}, 3.1f);
+          // Legacy n-i-j rank-1 updates, zero-skip removed.
+          auto expected = seed.Clone();
+          ASSERT_TRUE(expected.ok());
+          if (!accumulate) {
+            for (int64_t i = 0; i < m * k; ++i) {
+              expected->data()[i] = 0.0f;
+            }
+          }
+          for (int64_t s = 0; s < contraction; ++s) {
+            const float* a_row = a.data() + s * m;
+            const float* b_row = b.data() + s * k;
+            for (int64_t i = 0; i < m; ++i) {
+              float* out_row = expected->data() + i * k;
+              for (int64_t j = 0; j < k; ++j) {
+                out_row[j] += a_row[i] * b_row[j];
+              }
+            }
+          }
+          for (const SimdLevel level : {SimdLevel::kScalar, detected}) {
+            ScopedSimdLevel scoped(level);
+            auto out = seed.Clone();
+            ASSERT_TRUE(out.ok());
+            ASSERT_TRUE(
+                kernels::GemmTransAInto(a, b, accumulate, &*out).ok());
+            for (int64_t i = 0; i < m * k; ++i) {
+              const float want = expected->data()[i];
+              const float got = out->data()[i];
+              if (level == SimdLevel::kScalar) {
+                ASSERT_EQ(want, got)
+                    << "m=" << m << " k=" << k
+                    << " n=" << contraction
+                    << " accumulate=" << accumulate << " at " << i;
+              } else {
+                const float tol =
+                    1e-4f * std::max(1.0f, std::fabs(want));
+                ASSERT_NEAR(want, got, tol)
+                    << "m=" << m << " k=" << k
+                    << " n=" << contraction
+                    << " accumulate=" << accumulate << " at " << i;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Macro-tile parallelism partitions C rows and keeps every element's
+// ascending-k chain on one worker, so pooled execution is
+// bit-identical to serial on both backends.
+TEST(GemmMicroKernelTest, ParallelMacroTilesBitIdenticalToSerial) {
+  ThreadPool pool(4);
+  const SimdLevel detected = kernels::DetectSimdLevel();
+  for (const SimdLevel level : {SimdLevel::kScalar, detected}) {
+    ScopedSimdLevel scoped(level);
+    // 300 rows = 5 macro-tiles (kMc = 72), with edge tiles in n and k.
+    const Tensor a = DeterministicTensor(Shape{300, 129}, 0.4f);
+    const Tensor b = DeterministicTensor(Shape{129, 100}, 1.7f);
+    auto serial = Tensor::Create(Shape{300, 100});
+    auto parallel = Tensor::Create(Shape{300, 100});
+    ASSERT_TRUE(serial.ok() && parallel.ok());
+    ASSERT_TRUE(
+        kernels::GemmInto(a, b, false, false, &*serial).ok());
+    ASSERT_TRUE(
+        kernels::GemmInto(a, b, false, false, &*parallel, &pool).ok());
+    for (int64_t i = 0; i < serial->NumElements(); ++i) {
+      ASSERT_EQ(serial->data()[i], parallel->data()[i])
+          << "isa=" << kernels::SimdLevelName(level) << " at " << i;
+    }
+  }
+}
+
+// k > kKc exercises the sequential kc-block accumulation into C.
+TEST(GemmMicroKernelTest, MultiKcBlockContraction) {
+  const Tensor a = DeterministicTensor(Shape{17, 700}, 0.3f);
+  const Tensor b = DeterministicTensor(Shape{700, 33}, 1.3f);
+  auto expected = Tensor::Create(Shape{17, 33});
+  ASSERT_TRUE(expected.ok());
+  LegacyGemm(a, b, false, false, &*expected);
+  const SimdLevel detected = kernels::DetectSimdLevel();
+  for (const SimdLevel level : {SimdLevel::kScalar, detected}) {
+    ScopedSimdLevel scoped(level);
+    auto out = Tensor::Create(Shape{17, 33});
+    ASSERT_TRUE(out.ok());
+    ASSERT_TRUE(kernels::GemmInto(a, b, false, false, &*out).ok());
+    for (int64_t i = 0; i < out->NumElements(); ++i) {
+      const float want = expected->data()[i];
+      const float tol = 1e-4f * std::max(1.0f, std::fabs(want));
+      ASSERT_NEAR(want, out->data()[i], tol)
+          << "isa=" << kernels::SimdLevelName(level) << " at " << i;
+    }
+  }
+}
+
+// The elementwise strips dispatch on the same framework; relu, adds
+// and bias are exact per-element ops, so backends must agree
+// bit-for-bit on them.
+TEST(GemmMicroKernelTest, ElementwiseBackendsAgreeExactly) {
+  Tensor base = DeterministicTensor(Shape{7, 129}, 0.6f);
+  const Tensor bias = DeterministicTensor(Shape{129}, 1.9f);
+  const SimdLevel detected = kernels::DetectSimdLevel();
+
+  auto run = [&](SimdLevel level) -> Tensor {
+    ScopedSimdLevel scoped(level);
+    auto x = base.Clone();
+    EXPECT_TRUE(x.ok());
+    kernels::ReluInPlace(&*x);
+    EXPECT_TRUE(kernels::BiasAddInPlace(&*x, bias).ok());
+    EXPECT_TRUE(kernels::AddInPlace(&*x, base).ok());
+    return *x;
+  };
+  const Tensor scalar_out = run(SimdLevel::kScalar);
+  const Tensor simd_out = run(detected);
+  for (int64_t i = 0; i < scalar_out.NumElements(); ++i) {
+    ASSERT_EQ(scalar_out.data()[i], simd_out.data()[i]) << "at " << i;
+  }
+
+  // Softmax reassociates only the exp-sum; max and scale are exact.
+  auto softmax = [&](SimdLevel level) -> Tensor {
+    ScopedSimdLevel scoped(level);
+    auto x = base.Clone();
+    EXPECT_TRUE(x.ok());
+    EXPECT_TRUE(kernels::SoftmaxRowsInPlace(&*x).ok());
+    return *x;
+  };
+  const Tensor soft_scalar = softmax(SimdLevel::kScalar);
+  const Tensor soft_simd = softmax(detected);
+  EXPECT_LT(soft_scalar.MaxAbsDiff(soft_simd), 1e-6f);
 }
 
 TEST(ElementwiseTest, Relu) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "resource/memory_tracker.h"
 #include "tensor/shape.h"
 #include "tensor/tensor.h"
@@ -36,6 +38,24 @@ TEST(TensorTest, ZerosAndFull) {
   auto f = Tensor::Full(Shape{4}, 2.5f);
   ASSERT_TRUE(f.ok());
   for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(f->data()[i], 2.5f);
+}
+
+TEST(TensorTest, AllocationsAreCacheLineAligned) {
+  static_assert(kTensorAlignmentBytes == kCacheLineBytes,
+                "tensor buffers align to full cache lines");
+  static_assert(kTensorAlignmentBytes >= 32,
+                "alignment must satisfy aligned AVX loads of packed "
+                "micro-kernel panels");
+  // Odd element counts would expose any alignment drift in the
+  // allocator's rounding.
+  for (const int64_t n : {1, 3, 63, 64, 65, 1000}) {
+    auto t = Tensor::Create(Shape{n});
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(t->data()) %
+                  kTensorAlignmentBytes,
+              0u)
+        << "n=" << n;
+  }
 }
 
 TEST(TensorTest, FromDataValidatesSize) {
