@@ -1,0 +1,249 @@
+// Concurrent serving front-end throughput (DESIGN.md "Serving
+// front-end"): closed-loop multi-client harness driving single-row
+// PredictBatch requests at the RequestScheduler, swept over client
+// counts x max-delay batching windows, against a serialized-direct
+// baseline (what callers had to do before the front-end existed: one
+// global mutex around the session).
+//
+// Each client submits a 1-row request, waits for its result, then
+// sends the next — so throughput gains come purely from the
+// scheduler coalescing concurrent rows into micro-batches and
+// amortizing the per-query fixed cost across them.
+//
+// Reported per configuration: QPS, p50/p95/p99/mean latency, and the
+// scheduler's mean micro-batch size, both as a table and as
+// BENCH_JSON lines.
+//
+// Env knobs:
+//   RELSERVE_SERVE_REQUESTS — requests per client (default 32)
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "graph/model_zoo.h"
+#include "serving/request_scheduler.h"
+#include "serving/serving_session.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace {
+
+constexpr int64_t kDim = 28 * 28;
+const char* kModel = "Caching-FFNN";
+
+int RequestsPerClient() {
+  const char* s = std::getenv("RELSERVE_SERVE_REQUESTS");
+  return s != nullptr ? std::atoi(s) : 32;
+}
+
+struct RunResult {
+  double qps = 0.0;
+  bench::LatencySummary latency;  // milliseconds
+  double mean_batch_rows = 0.0;
+};
+
+// One pre-generated single-row request stream per client.
+Result<std::vector<std::vector<Tensor>>> MakeStreams(int clients,
+                                                     int per_client) {
+  std::vector<std::vector<Tensor>> streams(clients);
+  for (int c = 0; c < clients; ++c) {
+    streams[c].reserve(per_client);
+    for (int r = 0; r < per_client; ++r) {
+      RELSERVE_ASSIGN_OR_RETURN(
+          Tensor row,
+          workloads::GenBatch(1, Shape{kDim},
+                              1000003ULL * (c + 1) + r));
+      streams[c].push_back(std::move(row));
+    }
+  }
+  return streams;
+}
+
+// Baseline: clients serialize on a global mutex around the session —
+// the pre-front-end contract. Latency includes lock wait (queueing).
+Result<RunResult> RunSerial(
+    ServingSession* session,
+    const std::vector<std::vector<Tensor>>& streams) {
+  std::mutex session_mu;
+  std::vector<std::vector<double>> lat_ms(streams.size());
+  std::vector<std::thread> clients;
+  std::atomic<bool> failed{false};
+  Timer wall;
+  for (size_t c = 0; c < streams.size(); ++c) {
+    clients.emplace_back([&, c] {
+      for (const Tensor& row : streams[c]) {
+        Timer t;
+        std::lock_guard<std::mutex> lock(session_mu);
+        auto out = session->PredictBatch(kModel, row);
+        if (!out.ok() ||
+            !out->ToTensor(session->exec_context()).ok()) {
+          failed = true;
+          return;
+        }
+        lat_ms[c].push_back(t.ElapsedSeconds() * 1e3);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+  if (failed) return Status::Internal("serial baseline query failed");
+  std::vector<double> all;
+  int64_t n = 0;
+  for (const auto& v : lat_ms) {
+    all.insert(all.end(), v.begin(), v.end());
+    n += static_cast<int64_t>(v.size());
+  }
+  RunResult result;
+  result.qps = static_cast<double>(n) / wall_s;
+  result.latency = bench::Summarize(all);
+  result.mean_batch_rows = 1.0;
+  return result;
+}
+
+Result<RunResult> RunScheduled(
+    ServingSession* session,
+    const std::vector<std::vector<Tensor>>& streams,
+    int64_t max_delay_us) {
+  SchedulerConfig config;
+  config.max_delay_us = max_delay_us;
+  config.max_batch_rows = 256;
+  config.num_workers = 2;
+  RequestScheduler scheduler(session, config);
+
+  std::vector<std::vector<double>> lat_ms(streams.size());
+  std::vector<std::thread> clients;
+  std::atomic<bool> failed{false};
+  Timer wall;
+  for (size_t c = 0; c < streams.size(); ++c) {
+    clients.emplace_back([&, c] {
+      for (const Tensor& row : streams[c]) {
+        Timer t;
+        auto out = scheduler.PredictBatch(kModel, row);
+        if (!out.ok()) {
+          failed = true;
+          return;
+        }
+        lat_ms[c].push_back(t.ElapsedSeconds() * 1e3);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+  if (failed) return Status::Internal("scheduled query failed");
+  const SchedulerStats stats = scheduler.stats();
+  scheduler.Shutdown();
+  std::vector<double> all;
+  int64_t n = 0;
+  for (const auto& v : lat_ms) {
+    all.insert(all.end(), v.begin(), v.end());
+    n += static_cast<int64_t>(v.size());
+  }
+  RunResult result;
+  result.qps = static_cast<double>(n) / wall_s;
+  result.latency = bench::Summarize(all);
+  result.mean_batch_rows = stats.MeanBatchRows();
+  return result;
+}
+
+void Report(const std::string& mode, int clients, int64_t delay_us,
+            const RunResult& r) {
+  char delay[24];
+  if (mode == "serial") {
+    std::snprintf(delay, sizeof(delay), "-");
+  } else {
+    std::snprintf(delay, sizeof(delay), "%lld",
+                  static_cast<long long>(delay_us));
+  }
+  char qps[24], p50[24], p95[24], p99[24], rows[24];
+  std::snprintf(qps, sizeof(qps), "%.0f", r.qps);
+  std::snprintf(p50, sizeof(p50), "%.3f", r.latency.p50);
+  std::snprintf(p95, sizeof(p95), "%.3f", r.latency.p95);
+  std::snprintf(p99, sizeof(p99), "%.3f", r.latency.p99);
+  std::snprintf(rows, sizeof(rows), "%.1f", r.mean_batch_rows);
+  bench::PrintRow({mode, std::to_string(clients), delay, qps, p50,
+                   p95, p99, rows},
+                  12);
+  bench::PrintBenchJson(
+      "serving_throughput",
+      {{"mode", bench::JsonStr(mode)},
+       {"clients", bench::JsonNum(clients)},
+       {"max_delay_us", bench::JsonNum(static_cast<double>(
+                            mode == "serial" ? -1 : delay_us))},
+       {"qps", bench::JsonNum(r.qps)},
+       {"p50_ms", bench::JsonNum(r.latency.p50)},
+       {"p95_ms", bench::JsonNum(r.latency.p95)},
+       {"p99_ms", bench::JsonNum(r.latency.p99)},
+       {"mean_ms", bench::JsonNum(r.latency.mean)},
+       {"requests", bench::JsonNum(static_cast<double>(
+                        r.latency.count))},
+       {"mean_batch_rows", bench::JsonNum(r.mean_batch_rows)}});
+}
+
+Status Run() {
+  ServingConfig config;
+  config.working_memory_bytes = 4LL << 30;
+  ServingSession session(config);
+
+  RELSERVE_ASSIGN_OR_RETURN(Model model, zoo::BuildCachingFfnn(7));
+  RELSERVE_RETURN_NOT_OK(session.RegisterModel(std::move(model)));
+  // One plan serves every micro-batch size: the engine's per-row math
+  // is batch-size invariant, so coalescing is bit-transparent.
+  RELSERVE_RETURN_NOT_OK(
+      session.Deploy(kModel, ServingMode::kForceUdf, 256).status());
+
+  // Warm the engine (first-touch allocation, page cache).
+  {
+    RELSERVE_ASSIGN_OR_RETURN(Tensor warm,
+                              workloads::GenBatch(8, Shape{kDim}, 5));
+    RELSERVE_ASSIGN_OR_RETURN(ExecOutput out,
+                              session.PredictBatch(kModel, warm));
+    RELSERVE_RETURN_NOT_OK(
+        out.ToTensor(session.exec_context()).status());
+  }
+
+  const int per_client = RequestsPerClient();
+  const std::vector<int> client_counts = {1, 8, 32};
+  const std::vector<int64_t> delays_us = {0, 200, 1000};
+
+  std::printf("Concurrent serving front-end: closed-loop clients, "
+              "1-row requests, %d requests/client\n\n",
+              per_client);
+  bench::PrintRow({"mode", "clients", "delay_us", "qps", "p50_ms",
+                   "p95_ms", "p99_ms", "batch_rows"},
+                  12);
+  bench::PrintRule(8, 12);
+
+  for (int clients : client_counts) {
+    RELSERVE_ASSIGN_OR_RETURN(auto streams,
+                              MakeStreams(clients, per_client));
+    RELSERVE_ASSIGN_OR_RETURN(RunResult serial,
+                              RunSerial(&session, streams));
+    Report("serial", clients, -1, serial);
+    for (int64_t delay : delays_us) {
+      RELSERVE_ASSIGN_OR_RETURN(
+          RunResult sched,
+          RunScheduled(&session, streams, delay));
+      Report("scheduler", clients, delay, sched);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace relserve
+
+int main() {
+  relserve::Status status = relserve::Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench_serving_throughput: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 #ifndef RELSERVE_BENCH_BENCH_UTIL_H_
 #define RELSERVE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -88,6 +89,43 @@ inline void PrintRule(size_t columns, int width = 18) {
   std::printf("%s\n",
               std::string(columns * static_cast<size_t>(width), '-')
                   .c_str());
+}
+
+// Linear-interpolation percentile over an unsorted sample set
+// (`p` in [0, 100]); the serving benches report p50/p95/p99 tail
+// latency with this. Returns 0 for an empty sample.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank =
+      (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+// Tail-latency digest of one benchmark configuration.
+struct LatencySummary {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  size_t count = 0;
+};
+
+inline LatencySummary Summarize(const std::vector<double>& samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = Percentile(samples, 50.0);
+  s.p95 = Percentile(samples, 95.0);
+  s.p99 = Percentile(samples, 99.0);
+  return s;
 }
 
 // Standard BENCH JSON: one machine-readable line per measurement, so

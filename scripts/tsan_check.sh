@@ -23,7 +23,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 UBSAN_DIR="${2:-build-ubsan}"
 
-TSAN_TESTS=(resource_test storage_test block_ops_test kernels_test)
+TSAN_TESTS=(resource_test storage_test block_ops_test kernels_test
+            serving_concurrency_test)
 UBSAN_TESTS=(kernels_test tensor_test block_ops_test)
 
 cmake -B "$BUILD_DIR" -S . -DRELSERVE_SANITIZE=thread \

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 
 namespace relserve {
 
@@ -27,13 +28,17 @@ std::string ExactResultCache::Key(const std::vector<float>& features) {
 
 void ExactResultCache::Insert(const std::vector<float>& features,
                               std::vector<float> prediction) {
-  map_[Key(features)] = std::move(prediction);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    map_[Key(features)] = std::move(prediction);
+  }
   stats_.insertions += 1;
 }
 
 std::optional<std::vector<float>> ExactResultCache::Lookup(
     const std::vector<float>& features) {
   stats_.lookups += 1;
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = map_.find(Key(features));
   if (it == map_.end()) return std::nullopt;
   stats_.hits += 1;
@@ -42,11 +47,14 @@ std::optional<std::vector<float>> ExactResultCache::Lookup(
 
 Status ApproxResultCache::Insert(const std::vector<float>& features,
                                  std::vector<float> prediction) {
-  RELSERVE_ASSIGN_OR_RETURN(int64_t id, index_->Add(features));
-  if (id != static_cast<int64_t>(predictions_.size())) {
-    return Status::Internal("cache id out of sync with index");
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    RELSERVE_ASSIGN_OR_RETURN(int64_t id, index_->Add(features));
+    if (id != static_cast<int64_t>(predictions_.size())) {
+      return Status::Internal("cache id out of sync with index");
+    }
+    predictions_.push_back(std::move(prediction));
   }
-  predictions_.push_back(std::move(prediction));
   stats_.insertions += 1;
   return Status::OK();
 }
@@ -54,6 +62,7 @@ Status ApproxResultCache::Insert(const std::vector<float>& features,
 std::optional<std::vector<float>> ApproxResultCache::Lookup(
     const std::vector<float>& features) {
   stats_.lookups += 1;
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto neighbors = index_->Search(features, 1);
   if (!neighbors.ok() || neighbors->empty()) return std::nullopt;
   const AnnIndex::Neighbor& nearest = neighbors->front();

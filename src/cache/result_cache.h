@@ -12,10 +12,12 @@
 #ifndef RELSERVE_CACHE_RESULT_CACHE_H_
 #define RELSERVE_CACHE_RESULT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,16 +31,34 @@
 
 namespace relserve {
 
+// Counters are atomics because concurrent serving (the batched
+// cache-miss fill racing row lookups) updates them from several
+// threads; copy semantics mirror ExecStats so snapshots stay cheap.
 struct CacheStats {
-  int64_t lookups = 0;
-  int64_t hits = 0;
-  int64_t insertions = 0;
+  std::atomic<int64_t> lookups{0};
+  std::atomic<int64_t> hits{0};
+  std::atomic<int64_t> insertions{0};
+
+  CacheStats() = default;
+  CacheStats(const CacheStats& other) { *this = other; }
+  CacheStats& operator=(const CacheStats& other) {
+    lookups = other.lookups.load();
+    hits = other.hits.load();
+    insertions = other.insertions.load();
+    return *this;
+  }
 
   double HitRate() const {
-    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+    const int64_t l = lookups.load();
+    return l == 0 ? 0.0 : static_cast<double>(hits.load()) / l;
   }
 };
 
+// Both caches are safe under concurrent Lookup/Insert: lookups share
+// a reader lock, inserts take the writer lock, and the stats counters
+// are atomics updated outside any exclusive section. This is what
+// lets the serving scheduler fill a batched miss while other client
+// threads keep probing the same cache.
 class ExactResultCache {
  public:
   void Insert(const std::vector<float>& features,
@@ -49,11 +69,15 @@ class ExactResultCache {
       const std::vector<float>& features);
 
   const CacheStats& stats() const { return stats_; }
-  int64_t size() const { return static_cast<int64_t>(map_.size()); }
+  int64_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return static_cast<int64_t>(map_.size());
+  }
 
  private:
   static std::string Key(const std::vector<float>& features);
 
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::vector<float>> map_;
   CacheStats stats_;
 };
@@ -85,11 +109,17 @@ class ApproxResultCache {
       const std::vector<float>& features);
 
   const CacheStats& stats() const { return stats_; }
-  int64_t size() const { return index_->size(); }
+  int64_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return index_->size();
+  }
   const AnnIndex& index() const { return *index_; }
 
  private:
   Config config_;
+  // Guards the index graph and the predictions table together: Search
+  // is read-only on the graph (shared), Add rewires links (exclusive).
+  mutable std::shared_mutex mu_;
   std::unique_ptr<AnnIndex> index_;
   std::vector<std::vector<float>> predictions_;  // by index id
   CacheStats stats_;

@@ -23,6 +23,12 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  // Serving front-end outcomes (DESIGN.md "Serving front-end"): a
+  // request whose deadline passed before execution, and load shed by
+  // a full admission queue. Both are data the client acts on (retry,
+  // back off), never a crash.
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 // Human-readable name for a status code, e.g. "OutOfMemory".
@@ -61,12 +67,24 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const {
+    return code_ == StatusCode::kUnavailable;
   }
 
   StatusCode code() const { return code_; }

@@ -149,11 +149,29 @@ Result<std::unique_ptr<BlockStore>> BlockMatMul(const BlockStore& x,
       if (x_it == x_index.end() || w_it == w_index.end()) {
         continue;  // absent block == all-zero contribution
       }
+      int64_t prefetch_hits = 0;
       RELSERVE_ASSIGN_OR_RETURN(
-          TensorBlock xb, x.Get(x.entries()[x_it->second], ctx->tracker));
+          TensorBlock xb, x.Get(x.entries()[x_it->second], ctx->tracker,
+                                &prefetch_hits));
       RELSERVE_ASSIGN_OR_RETURN(
-          TensorBlock wb, w.Get(w.entries()[w_it->second], ctx->tracker));
+          TensorBlock wb, w.Get(w.entries()[w_it->second], ctx->tracker,
+                                &prefetch_hits));
       ctx->stats.blocks_read += 2;
+      ctx->stats.prefetch_useful += prefetch_hits;
+      // Overlap I/O with compute: schedule the next join probe's
+      // pages while this partial product runs on the CPU.
+      if (kb + 1 < inner_blocks) {
+        const auto xn = x_index.find(rb * x_num_cb + kb + 1);
+        const auto wn = w_index.find(jb * w_num_cb + kb + 1);
+        int64_t issued = 0;
+        if (xn != x_index.end()) {
+          issued += x.PrefetchEntry(x.entries()[xn->second]);
+        }
+        if (wn != w_index.end()) {
+          issued += w.PrefetchEntry(w.entries()[wn->second]);
+        }
+        ctx->stats.prefetch_issued += issued;
+      }
       RELSERVE_RETURN_NOT_OK(kernels::GemmInto(
           xb.data, wb.data, /*transpose_b=*/true,
           /*accumulate=*/true, &acc, inner_pool));
@@ -177,9 +195,18 @@ Result<std::unique_ptr<BlockStore>> MapBlocks(
   RELSERVE_RETURN_NOT_OK(ParallelBlockTasks(
       ctx->pool, n, [&](int64_t i) -> Status {
         const BlockStore::BlockEntry& entry = input.entries()[i];
-        RELSERVE_ASSIGN_OR_RETURN(TensorBlock block,
-                                  input.Get(entry, ctx->tracker));
+        int64_t prefetch_hits = 0;
+        RELSERVE_ASSIGN_OR_RETURN(
+            TensorBlock block,
+            input.Get(entry, ctx->tracker, &prefetch_hits));
         ctx->stats.blocks_read += 1;
+        ctx->stats.prefetch_useful += prefetch_hits;
+        // Pipeline the scan: the next entry's pages load while this
+        // block's transform computes.
+        if (i + 1 < n) {
+          ctx->stats.prefetch_issued +=
+              input.PrefetchEntry(input.entries()[i + 1]);
+        }
         RELSERVE_RETURN_NOT_OK(
             fn(block.row_block, block.col_block, &block.data));
         RELSERVE_RETURN_NOT_OK(out->Put(block));
@@ -241,10 +268,20 @@ Result<std::unique_ptr<BlockStore>> BlockSoftmaxRows(
     for (int64_t cb = 0; cb < num_cb; ++cb) {
       const auto it = index.find(rb * num_cb + cb);
       if (it == index.end()) continue;
+      int64_t prefetch_hits = 0;
       RELSERVE_ASSIGN_OR_RETURN(
           TensorBlock block,
-          input.Get(input.entries()[it->second], ctx->tracker));
+          input.Get(input.entries()[it->second], ctx->tracker,
+                    &prefetch_hits));
       ctx->stats.blocks_read += 1;
+      ctx->stats.prefetch_useful += prefetch_hits;
+      if (cb + 1 < num_cb) {
+        const auto next = index.find(rb * num_cb + cb + 1);
+        if (next != index.end()) {
+          ctx->stats.prefetch_issued +=
+              input.PrefetchEntry(input.entries()[next->second]);
+        }
+      }
       const int64_t col0 = cb * g.block_cols;
       const int64_t bc = block.data.shape().dim(1);
       for (int64_t r = 0; r < br; ++r) {

@@ -21,6 +21,11 @@ struct ExecStats {
   std::atomic<int64_t> blocks_written{0};  // tensor blocks stored
   std::atomic<int64_t> assembles{0};  // blocked -> whole transitions
   std::atomic<int64_t> chunkings{0};  // whole -> blocked transitions
+  // Block-scan prefetch pipeline: page prefetches issued for the next
+  // block while the current one computes, and page pins that found
+  // the page already loaded by that prefetch.
+  std::atomic<int64_t> prefetch_issued{0};
+  std::atomic<int64_t> prefetch_useful{0};
 
   ExecStats() = default;
   ExecStats(const ExecStats& other) { *this = other; }
@@ -29,6 +34,8 @@ struct ExecStats {
     blocks_written = other.blocks_written.load();
     assembles = other.assembles.load();
     chunkings = other.chunkings.load();
+    prefetch_issued = other.prefetch_issued.load();
+    prefetch_useful = other.prefetch_useful.load();
     return *this;
   }
 
@@ -36,7 +43,9 @@ struct ExecStats {
     return "blocks_read=" + std::to_string(blocks_read.load()) +
            " blocks_written=" + std::to_string(blocks_written.load()) +
            " assembles=" + std::to_string(assembles.load()) +
-           " chunkings=" + std::to_string(chunkings.load());
+           " chunkings=" + std::to_string(chunkings.load()) +
+           " prefetch_issued=" + std::to_string(prefetch_issued.load()) +
+           " prefetch_useful=" + std::to_string(prefetch_useful.load());
   }
 };
 

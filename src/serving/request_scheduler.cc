@@ -1,0 +1,399 @@
+#include "serving/request_scheduler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace relserve {
+
+namespace {
+
+void Fulfill(std::promise<Result<Tensor>>& promise,
+             Result<Tensor> value) {
+  promise.set_value(std::move(value));
+}
+
+}  // namespace
+
+RequestScheduler::RequestScheduler(ServingSession* session,
+                                   SchedulerConfig config)
+    : session_(session),
+      config_(config),
+      admission_(std::max<size_t>(1, config.queue_capacity)),
+      // The batch queue is the backpressure valve: one slot per
+      // worker, so a dispatcher ahead of the engine blocks here and
+      // the admission queue accumulates rows for the next batch.
+      batch_queue_(static_cast<size_t>(std::max(1, config.num_workers))) {
+  config_.num_workers = std::max(1, config_.num_workers);
+  config_.max_batch_rows = std::max<int64_t>(1, config_.max_batch_rows);
+  config_.max_delay_us = std::max<int64_t>(0, config_.max_delay_us);
+  paused_ = config_.start_paused;
+  dispatcher_ = std::thread(&RequestScheduler::DispatcherLoop, this);
+  workers_.reserve(config_.num_workers);
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back(&RequestScheduler::WorkerLoop, this);
+  }
+}
+
+RequestScheduler::~RequestScheduler() { Shutdown(); }
+
+std::future<Result<Tensor>> RequestScheduler::SubmitBatch(
+    const std::string& model, Tensor input, int64_t deadline_us) {
+  Request request;
+  request.kind = RequestKind::kBatch;
+  request.model = model;
+  request.input = std::move(input);
+  request.has_deadline = deadline_us != 0;
+  request.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(deadline_us);
+  return Submit(std::move(request));
+}
+
+std::future<Result<Tensor>> RequestScheduler::SubmitCached(
+    const std::string& model, Tensor input, int64_t deadline_us) {
+  Request request;
+  request.kind = RequestKind::kCached;
+  request.model = model;
+  request.input = std::move(input);
+  request.has_deadline = deadline_us != 0;
+  request.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(deadline_us);
+  return Submit(std::move(request));
+}
+
+std::future<Result<Tensor>> RequestScheduler::SubmitPredict(
+    const std::string& model, const std::string& table,
+    const std::string& feature_col, int64_t deadline_us) {
+  Request request;
+  request.kind = RequestKind::kTable;
+  request.model = model;
+  request.table = table;
+  request.feature_col = feature_col;
+  request.has_deadline = deadline_us != 0;
+  request.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(deadline_us);
+  return Submit(std::move(request));
+}
+
+std::future<Result<Tensor>> RequestScheduler::Submit(Request request) {
+  std::future<Result<Tensor>> future = request.promise.get_future();
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    if (stopped_) {
+      Fulfill(request.promise,
+              Status::Unavailable("scheduler is shut down"));
+      return future;
+    }
+  }
+  if (!admission_.TryPush(std::move(request))) {
+    // TryPush leaves `request` intact on failure, so the promise is
+    // still ours to resolve.
+    stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    Fulfill(request.promise,
+            Status::Unavailable(
+                "admission queue full: serving front-end overloaded"));
+  }
+  return future;
+}
+
+std::string RequestScheduler::CoalesceKey(const Request& request) {
+  // Table scans are already maximal batches; rank-<2 inputs have no
+  // row axis to concatenate along.
+  if (request.kind == RequestKind::kTable) return "";
+  if (request.input.shape().ndim() < 2) return "";
+  std::string key =
+      request.kind == RequestKind::kBatch ? "B|" : "C|";
+  key += request.model;
+  const Shape& shape = request.input.shape();
+  for (int i = 1; i < shape.ndim(); ++i) {
+    key += '|';
+    key += std::to_string(shape.dim(i));
+  }
+  return key;
+}
+
+int64_t RequestScheduler::RowsOf(const Request& request) {
+  if (request.kind == RequestKind::kTable) return 0;  // unknown here
+  if (request.input.shape().ndim() < 1) return 1;
+  return request.input.shape().ndim() < 2
+             ? 1
+             : request.input.shape().dim(0);
+}
+
+bool RequestScheduler::Expired(
+    const Request& request, std::chrono::steady_clock::time_point now) {
+  return request.has_deadline && request.deadline <= now;
+}
+
+void RequestScheduler::ShedExpired(Request request) {
+  stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+  Fulfill(request.promise,
+          Status::DeadlineExceeded(
+              "request deadline expired before execution"));
+}
+
+void RequestScheduler::DispatcherLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(control_mu_);
+      control_cv_.wait(lock, [this] { return !paused_ || stopped_; });
+    }
+    // Stashed requests (incompatible leftovers from an earlier
+    // batching window) are served before new arrivals — FIFO across
+    // coalesce keys, so nothing is starved.
+    Request first;
+    if (!stash_.empty()) {
+      first = std::move(stash_.front());
+      stash_.pop_front();
+    } else {
+      std::optional<Request> popped = admission_.Pop();
+      if (!popped) break;  // closed and drained: shut down
+      first = std::move(*popped);
+    }
+    if (Expired(first, std::chrono::steady_clock::now())) {
+      ShedExpired(std::move(first));
+      continue;
+    }
+
+    Batch batch;
+    const std::string key = CoalesceKey(first);
+    int64_t rows = RowsOf(first);
+    batch.requests.push_back(std::move(first));
+    if (!key.empty()) {
+      // First sweep the stash for compatible waiters, then hold the
+      // batching window open on the admission queue.
+      for (auto it = stash_.begin();
+           it != stash_.end() && rows < config_.max_batch_rows;) {
+        if (Expired(*it, std::chrono::steady_clock::now())) {
+          ShedExpired(std::move(*it));
+          it = stash_.erase(it);
+          continue;
+        }
+        if (CoalesceKey(*it) == key) {
+          rows += RowsOf(*it);
+          batch.requests.push_back(std::move(*it));
+          it = stash_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      const auto window =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(config_.max_delay_us);
+      while (rows < config_.max_batch_rows) {
+        std::optional<Request> next = admission_.PopUntil(window);
+        if (!next) break;  // window elapsed (or queue closed+empty)
+        if (Expired(*next, std::chrono::steady_clock::now())) {
+          ShedExpired(std::move(*next));
+          continue;
+        }
+        if (CoalesceKey(*next) == key) {
+          rows += RowsOf(*next);
+          batch.requests.push_back(std::move(*next));
+        } else {
+          stash_.push_back(std::move(*next));
+        }
+      }
+    }
+    // Blocking push = backpressure: while every worker is busy the
+    // admission queue keeps filling, so the next batch forms larger.
+    batch_queue_.Push(std::move(batch));
+  }
+
+  // Admission closed: everything left in the stash still gets served.
+  while (!stash_.empty()) {
+    Request first = std::move(stash_.front());
+    stash_.pop_front();
+    Batch batch;
+    const std::string key = CoalesceKey(first);
+    int64_t rows = RowsOf(first);
+    batch.requests.push_back(std::move(first));
+    if (!key.empty()) {
+      for (auto it = stash_.begin();
+           it != stash_.end() && rows < config_.max_batch_rows;) {
+        if (CoalesceKey(*it) == key) {
+          rows += RowsOf(*it);
+          batch.requests.push_back(std::move(*it));
+          it = stash_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    batch_queue_.Push(std::move(batch));
+  }
+  batch_queue_.Close();
+}
+
+void RequestScheduler::WorkerLoop() {
+  while (std::optional<Batch> batch = batch_queue_.Pop()) {
+    ExecuteBatch(std::move(*batch));
+  }
+}
+
+Result<Tensor> RequestScheduler::RunSingle(Request& request) {
+  switch (request.kind) {
+    case RequestKind::kTable: {
+      RELSERVE_ASSIGN_OR_RETURN(
+          ExecOutput out,
+          session_->Predict(request.model, request.table,
+                            request.feature_col));
+      return out.ToTensor(session_->exec_context());
+    }
+    case RequestKind::kBatch: {
+      RELSERVE_ASSIGN_OR_RETURN(
+          ExecOutput out,
+          session_->PredictBatch(request.model, request.input));
+      return out.ToTensor(session_->exec_context());
+    }
+    case RequestKind::kCached:
+      return session_->PredictWithCache(request.model, request.input);
+  }
+  return Status::Internal("unknown request kind");
+}
+
+void RequestScheduler::ExecuteBatch(Batch batch) {
+  // A batch may have aged in the queue; shed what is already late so
+  // the engine only burns cycles on results someone still wants.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Request> live;
+  live.reserve(batch.requests.size());
+  for (Request& request : batch.requests) {
+    if (Expired(request, now)) {
+      ShedExpired(std::move(request));
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+
+  if (live.size() == 1) {
+    Request& request = live[0];
+    Result<Tensor> result = RunSingle(request);
+    int64_t rows = RowsOf(request);
+    if (rows == 0 && result.ok()) {
+      // Table scans learn their row count from the output.
+      rows = result->shape().ndim() > 0 ? result->shape().dim(0) : 1;
+    }
+    stats_.total_rows.fetch_add(rows, std::memory_order_relaxed);
+    int64_t prev = stats_.max_batch_rows_seen.load();
+    while (prev < rows &&
+           !stats_.max_batch_rows_seen.compare_exchange_weak(prev,
+                                                             rows)) {
+    }
+    Fulfill(request.promise, std::move(result));
+    return;
+  }
+
+  // Coalesced path: every request shares kind, model, and per-row
+  // shape (the dispatcher's CoalesceKey guarantees it). Concatenate
+  // the row-major inputs into one contiguous micro-batch tensor.
+  int64_t total_rows = 0;
+  for (const Request& request : live) total_rows += RowsOf(request);
+  std::vector<int64_t> dims = live[0].input.shape().dims();
+  dims[0] = total_rows;
+
+  auto fail_all = [&live](const Status& status) {
+    for (Request& request : live) {
+      Fulfill(request.promise, Result<Tensor>(status));
+    }
+  };
+
+  Result<Tensor> merged_or = Tensor::Create(Shape(dims), nullptr);
+  if (!merged_or.ok()) {
+    fail_all(merged_or.status());
+    return;
+  }
+  Tensor merged = std::move(*merged_or);
+  {
+    float* dst = merged.data();
+    for (const Request& request : live) {
+      const int64_t n = request.input.NumElements();
+      std::memcpy(dst, request.input.data(), n * sizeof(float));
+      dst += n;
+    }
+  }
+
+  stats_.coalesced_requests.fetch_add(
+      static_cast<int64_t>(live.size()), std::memory_order_relaxed);
+  stats_.total_rows.fetch_add(total_rows, std::memory_order_relaxed);
+  int64_t prev = stats_.max_batch_rows_seen.load();
+  while (prev < total_rows &&
+         !stats_.max_batch_rows_seen.compare_exchange_weak(
+             prev, total_rows)) {
+  }
+
+  Result<Tensor> out_or = Status::Internal("uninitialized");
+  if (live[0].kind == RequestKind::kBatch) {
+    Result<ExecOutput> exec =
+        session_->PredictBatch(live[0].model, merged);
+    out_or = exec.ok() ? exec->ToTensor(session_->exec_context())
+                       : Result<Tensor>(exec.status());
+  } else {
+    out_or = session_->PredictWithCache(live[0].model, merged);
+  }
+  if (!out_or.ok()) {
+    fail_all(out_or.status());
+    return;
+  }
+  const Tensor& out = *out_or;
+  if (out.shape().ndim() < 1 || out.shape().dim(0) != total_rows ||
+      out.NumElements() % total_rows != 0) {
+    fail_all(Status::Internal(
+        "batched output shape " + out.shape().ToString() +
+        " does not cover " + std::to_string(total_rows) + " rows"));
+    return;
+  }
+
+  // Scatter: each caller gets exactly its row slice, bit-for-bit what
+  // a solo run would have produced.
+  const int64_t out_row_elems = out.NumElements() / total_rows;
+  std::vector<int64_t> out_dims = out.shape().dims();
+  int64_t offset_rows = 0;
+  for (Request& request : live) {
+    const int64_t rows = RowsOf(request);
+    out_dims[0] = rows;
+    Result<Tensor> slice_or = Tensor::Create(Shape(out_dims), nullptr);
+    if (!slice_or.ok()) {
+      Fulfill(request.promise, std::move(slice_or));
+      offset_rows += rows;
+      continue;
+    }
+    std::memcpy(slice_or->data(),
+                out.data() + offset_rows * out_row_elems,
+                rows * out_row_elems * sizeof(float));
+    offset_rows += rows;
+    Fulfill(request.promise, std::move(slice_or));
+  }
+}
+
+void RequestScheduler::Pause() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  paused_ = true;
+}
+
+void RequestScheduler::Resume() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  paused_ = false;
+  control_cv_.notify_all();
+}
+
+void RequestScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    paused_ = false;
+    control_cv_.notify_all();
+  }
+  admission_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+}  // namespace relserve

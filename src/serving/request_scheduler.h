@@ -1,0 +1,210 @@
+// RequestScheduler: the concurrent serving front-end.
+//
+// Many client threads submit Predict / PredictBatch / PredictWithCache
+// requests; the scheduler coalesces compatible ones (same kind, same
+// model, same per-row feature shape) into adaptive micro-batches so
+// the fixed per-query cost — plan lookup, kernel dispatch, GEMM setup —
+// is amortized across requests. Batching is governed by two knobs:
+//
+//   max_batch_rows  — a batch closes as soon as it holds this many rows
+//   max_delay_us    — ... or when the oldest member has waited this long
+//
+// and adapts to load through backpressure: the dispatcher blocks
+// pushing a finished batch into the bounded batch queue while every
+// worker is busy, so under saturation the admission queue accumulates
+// and the *next* batch naturally grows — bigger batches exactly when
+// the engine is the bottleneck, minimal latency when it is idle.
+//
+// Per-row results are scattered back to callers through
+// std::promise/std::future. Coalescing is bit-transparent: the engine's
+// per-row accumulation order is independent of batch size, so a row
+// served in a 256-row micro-batch returns the same bits as one served
+// alone (serving_concurrency_test asserts this).
+//
+// Admission control: the front queue is bounded. When it is full the
+// submit returns an already-resolved future carrying
+// Status::Unavailable (shed, not stalled); a request whose deadline
+// has passed by the time a dispatcher or worker sees it resolves to
+// Status::DeadlineExceeded without touching the engine.
+
+#ifndef RELSERVE_SERVING_REQUEST_SCHEDULER_H_
+#define RELSERVE_SERVING_REQUEST_SCHEDULER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "resource/bounded_queue.h"
+#include "serving/serving_session.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+
+struct SchedulerConfig {
+  // A micro-batch closes once it holds this many feature rows.
+  int64_t max_batch_rows = 256;
+  // ... or once the first request in it has waited this long.
+  int64_t max_delay_us = 200;
+  // Admission queue depth; a full queue sheds with Unavailable.
+  size_t queue_capacity = 1024;
+  // Threads executing micro-batches against the session.
+  int num_workers = 2;
+  // Start with the dispatcher paused (tests use this to fill the
+  // admission queue deterministically, then Resume()).
+  bool start_paused = false;
+};
+
+// Counters are atomics: submits race with the dispatcher and workers.
+struct SchedulerStats {
+  std::atomic<int64_t> submitted{0};
+  std::atomic<int64_t> shed_queue_full{0};   // Unavailable at admission
+  std::atomic<int64_t> shed_deadline{0};     // DeadlineExceeded
+  std::atomic<int64_t> batches{0};           // micro-batches executed
+  std::atomic<int64_t> coalesced_requests{0};  // requests that shared
+  std::atomic<int64_t> total_rows{0};        // rows through the engine
+  std::atomic<int64_t> max_batch_rows_seen{0};
+
+  SchedulerStats() = default;
+  SchedulerStats(const SchedulerStats& other) { *this = other; }
+  SchedulerStats& operator=(const SchedulerStats& other) {
+    submitted = other.submitted.load();
+    shed_queue_full = other.shed_queue_full.load();
+    shed_deadline = other.shed_deadline.load();
+    batches = other.batches.load();
+    coalesced_requests = other.coalesced_requests.load();
+    total_rows = other.total_rows.load();
+    max_batch_rows_seen = other.max_batch_rows_seen.load();
+    return *this;
+  }
+
+  double MeanBatchRows() const {
+    const int64_t b = batches.load();
+    return b == 0 ? 0.0
+                  : static_cast<double>(total_rows.load()) /
+                        static_cast<double>(b);
+  }
+};
+
+class RequestScheduler {
+ public:
+  // `session` must outlive the scheduler. The scheduler serializes
+  // nothing about the session itself — ServingSession is internally
+  // thread-safe; the scheduler's job is purely batching policy.
+  RequestScheduler(ServingSession* session, SchedulerConfig config);
+  ~RequestScheduler();  // implies Shutdown()
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  // --- Asynchronous submission --------------------------------------
+  //
+  // `deadline_us`: 0 = no deadline; > 0 = resolve DeadlineExceeded if
+  // not executed within that many microseconds; < 0 = already expired
+  // (tests use this for a deterministic shed).
+
+  // In-memory batch inference (rows coalesce across requests).
+  std::future<Result<Tensor>> SubmitBatch(const std::string& model,
+                                          Tensor input,
+                                          int64_t deadline_us = 0);
+
+  // Cache-tier serving (rows coalesce; hits short-circuit per row
+  // inside the session).
+  std::future<Result<Tensor>> SubmitCached(const std::string& model,
+                                           Tensor input,
+                                           int64_t deadline_us = 0);
+
+  // Whole-table inference. Table scans never coalesce with other
+  // requests — they are already maximal batches.
+  std::future<Result<Tensor>> SubmitPredict(
+      const std::string& model, const std::string& table,
+      const std::string& feature_col = "features",
+      int64_t deadline_us = 0);
+
+  // --- Synchronous conveniences -------------------------------------
+
+  Result<Tensor> PredictBatch(const std::string& model, Tensor input) {
+    return SubmitBatch(model, std::move(input)).get();
+  }
+  Result<Tensor> PredictWithCache(const std::string& model,
+                                  Tensor input) {
+    return SubmitCached(model, std::move(input)).get();
+  }
+
+  // --- Control -------------------------------------------------------
+
+  // Pause()/Resume() gate the dispatcher *before* it pops, so a paused
+  // scheduler admits (or sheds) but never executes.
+  void Pause();
+  void Resume();
+
+  // Closes admission, drains every already-admitted request (each gets
+  // a real result or a typed shed status — never a broken promise),
+  // joins all threads. Idempotent; later submits get Unavailable.
+  void Shutdown();
+
+  SchedulerStats stats() const { return stats_; }
+
+ private:
+  enum class RequestKind { kTable, kBatch, kCached };
+
+  struct Request {
+    RequestKind kind;
+    std::string model;
+    std::string table;        // kTable only
+    std::string feature_col;  // kTable only
+    Tensor input;             // kBatch / kCached
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    std::promise<Result<Tensor>> promise;
+  };
+
+  struct Batch {
+    std::vector<Request> requests;
+  };
+
+  std::future<Result<Tensor>> Submit(Request request);
+
+  // "" when the request cannot coalesce (table scans, rank-<2 inputs).
+  static std::string CoalesceKey(const Request& request);
+  static int64_t RowsOf(const Request& request);
+  static bool Expired(const Request& request,
+                      std::chrono::steady_clock::time_point now);
+
+  void DispatcherLoop();
+  void WorkerLoop();
+  void ExecuteBatch(Batch batch);
+  Result<Tensor> RunSingle(Request& request);
+  void ShedExpired(Request request);
+
+  ServingSession* session_;
+  SchedulerConfig config_;
+  SchedulerStats stats_;
+
+  BoundedQueue<Request> admission_;
+  BoundedQueue<Batch> batch_queue_;
+
+  // Requests popped during a batching window that did not match the
+  // batch being formed; served first on the next iteration (FIFO
+  // across keys, so a lone incompatible request is never starved).
+  std::deque<Request> stash_;
+
+  std::mutex control_mu_;
+  std::condition_variable control_cv_;
+  bool paused_ = false;
+  bool stopped_ = false;
+
+  std::thread dispatcher_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_SERVING_REQUEST_SCHEDULER_H_

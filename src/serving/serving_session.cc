@@ -62,6 +62,7 @@ Result<TableInfo*> ServingSession::GetTable(const std::string& name) {
 
 Status ServingSession::RegisterModel(Model model) {
   const std::string name = model.name();
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
   if (models_.count(name) > 0) {
     return Status::AlreadyExists("model '" + name + "'");
   }
@@ -71,6 +72,10 @@ Status ServingSession::RegisterModel(Model model) {
 
 Result<const Model*> ServingSession::GetModel(
     const std::string& name) const {
+  // Models are never erased, so the pointer stays valid after the
+  // shared lock drops; the lock only orders the map lookup against
+  // concurrent RegisterModel insertions.
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
   auto it = models_.find(name);
   if (it == models_.end()) {
     return Status::NotFound("model '" + name + "'");
@@ -97,19 +102,24 @@ Result<const InferencePlan*> ServingSession::Deploy(
       plan = ForcedPlan(*model, Repr::kRelational, batch_size);
       break;
   }
-  // Drop any previous deployment first so its resident weights leave
-  // the arena before the new ones are charged.
-  deployments_.erase(model_name);
+  // Prepare outside the registry lock, then swap atomically: queries
+  // in flight keep serving the old deployment (their shared_ptr holds
+  // it and its arena charge alive) and never observe a window with no
+  // deployment at all. The old instance's weights leave the arena
+  // when the last in-flight query drops its reference.
   RELSERVE_ASSIGN_OR_RETURN(
       PreparedModel prepared,
       PreparedModel::Prepare(model, std::move(plan), &ctx_));
-  Deployment deployment;
-  deployment.plan = prepared.plan();
-  deployment.prepared =
+  auto deployment = std::make_shared<Deployment>();
+  deployment->plan = prepared.plan();
+  deployment->prepared =
       std::make_unique<PreparedModel>(std::move(prepared));
-  auto [it, inserted] =
-      deployments_.emplace(model_name, std::move(deployment));
-  return &it->second.plan;
+  const InferencePlan* installed_plan = &deployment->plan;
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    deployments_[model_name] = std::move(deployment);
+  }
+  return installed_plan;
 }
 
 Result<int> ServingSession::DeployAot(
@@ -120,8 +130,9 @@ Result<int> ServingSession::DeployAot(
     return Status::InvalidArgument("no batch sizes to compile for");
   }
   RuleBasedOptimizer optimizer(config_.memory_threshold_bytes);
-  std::map<std::string, Deployment>& variants = aot_plans_[model_name];
-  variants.clear();
+  // Compile the variants outside the registry lock; in-flight queries
+  // keep serving the old generation until the swap below.
+  std::map<std::string, std::shared_ptr<Deployment>> variants;
   for (const int64_t batch : batch_sizes) {
     RELSERVE_ASSIGN_OR_RETURN(InferencePlan plan,
                               optimizer.Optimize(*model, batch));
@@ -130,42 +141,53 @@ Result<int> ServingSession::DeployAot(
     RELSERVE_ASSIGN_OR_RETURN(
         PreparedModel prepared,
         PreparedModel::Prepare(model, std::move(plan), &ctx_));
-    Deployment deployment;
-    deployment.plan = prepared.plan();
-    deployment.prepared =
+    auto deployment = std::make_shared<Deployment>();
+    deployment->plan = prepared.plan();
+    deployment->prepared =
         std::make_unique<PreparedModel>(std::move(prepared));
     variants.emplace(signature, std::move(deployment));
   }
-  return static_cast<int>(variants.size());
+  const int compiled = static_cast<int>(variants.size());
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    aot_plans_[model_name] = std::move(variants);
+  }
+  return compiled;
 }
 
 int ServingSession::NumAotPlans(const std::string& model_name) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
   auto it = aot_plans_.find(model_name);
   return it == aot_plans_.end() ? 0
                                 : static_cast<int>(it->second.size());
 }
 
-Result<ServingSession::Deployment*> ServingSession::GetDeployment(
-    const std::string& model_name, int64_t batch_size) {
+Result<std::shared_ptr<ServingSession::Deployment>>
+ServingSession::GetDeployment(const std::string& model_name,
+                              int64_t batch_size) {
   // Runtime plan selection among the AoT-compiled variants: cheap
   // re-optimization yields the signature; the matching prepared plan
-  // is reused without re-chunking any weights.
+  // is reused without re-chunking any weights. The whole resolution
+  // runs under the shared registry lock (the optimizer pass touches
+  // no registry state), and the returned shared_ptr pins the chosen
+  // deployment across the caller's execution.
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
   auto aot = aot_plans_.find(model_name);
-  if (batch_size >= 0 && aot != aot_plans_.end() &&
-      !aot->second.empty()) {
-    auto model = GetModel(model_name);
-    if (model.ok()) {
+  bool has_aot = aot != aot_plans_.end() && !aot->second.empty();
+  if (batch_size >= 0 && has_aot) {
+    auto model = models_.find(model_name);
+    if (model != models_.end()) {
       RuleBasedOptimizer optimizer(config_.memory_threshold_bytes);
-      auto plan = optimizer.Optimize(**model, batch_size);
+      auto plan = optimizer.Optimize(*model->second, batch_size);
       if (plan.ok()) {
         auto variant = aot->second.find(PlanSignature(*plan));
-        if (variant != aot->second.end()) return &variant->second;
+        if (variant != aot->second.end()) return variant->second;
       }
     }
   }
   auto it = deployments_.find(model_name);
   if (it == deployments_.end()) {
-    if (aot != aot_plans_.end() && !aot->second.empty()) {
+    if (has_aot) {
       return Status::NotFound(
           "no AoT plan variant matches batch " +
           std::to_string(batch_size) + " for model '" + model_name +
@@ -174,7 +196,7 @@ Result<ServingSession::Deployment*> ServingSession::GetDeployment(
     return Status::NotFound("model '" + model_name +
                             "' is not deployed");
   }
-  return &it->second;
+  return it->second;
 }
 
 Result<ExecOutput> ServingSession::Predict(
@@ -188,7 +210,7 @@ Result<ExecOutput> ServingSession::Predict(
 
   const int64_t n = table->heap->num_records();
   if (n == 0) return Status::InvalidArgument("empty table");
-  RELSERVE_ASSIGN_OR_RETURN(Deployment* deployment,
+  RELSERVE_ASSIGN_OR_RETURN(std::shared_ptr<Deployment> deployment,
                             GetDeployment(model_name, n));
   const int64_t width = model->sample_shape().NumElements();
 
@@ -256,7 +278,7 @@ Result<ExecOutput> ServingSession::PredictBatch(
     return Status::InvalidArgument("input must have a batch dimension");
   }
   RELSERVE_ASSIGN_OR_RETURN(
-      Deployment* deployment,
+      std::shared_ptr<Deployment> deployment,
       GetDeployment(model_name, input.shape().dim(0)));
   return HybridExecutor::Run(*deployment->prepared, input, &ctx_);
 }
@@ -265,6 +287,7 @@ Status ServingSession::OffloadModel(const std::string& model_name,
                                     ExternalRuntime* runtime) {
   RELSERVE_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
   RELSERVE_RETURN_NOT_OK(runtime->RegisterModel(model));
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
   offloaded_[model_name] = runtime;
   return Status::OK();
 }
@@ -272,12 +295,16 @@ Status ServingSession::OffloadModel(const std::string& model_name,
 Result<Tensor> ServingSession::PredictViaRuntime(
     const std::string& model_name, const std::string& table_name,
     const std::string& feature_col) {
-  auto it = offloaded_.find(model_name);
-  if (it == offloaded_.end()) {
-    return Status::NotFound("model '" + model_name +
-                            "' is not offloaded to a runtime");
+  ExternalRuntime* runtime = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    auto it = offloaded_.find(model_name);
+    if (it == offloaded_.end()) {
+      return Status::NotFound("model '" + model_name +
+                              "' is not offloaded to a runtime");
+    }
+    runtime = it->second;
   }
-  ExternalRuntime* runtime = it->second;
   RELSERVE_ASSIGN_OR_RETURN(TableInfo* table,
                             catalog_->GetTable(table_name));
   RELSERVE_ASSIGN_OR_RETURN(int col,
@@ -300,16 +327,18 @@ Result<Tensor> ServingSession::PredictViaRuntime(
 Status ServingSession::EnableApproxCache(
     const std::string& model_name, int64_t dim,
     ApproxResultCache::Config config) {
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
   if (models_.count(model_name) == 0) {
     return Status::NotFound("model '" + model_name + "'");
   }
-  caches_[model_name] = std::make_unique<ApproxResultCache>(
+  caches_[model_name] = std::make_shared<ApproxResultCache>(
       static_cast<int>(dim), config);
   return Status::OK();
 }
 
 Result<ApproxResultCache*> ServingSession::GetApproxCache(
     const std::string& model_name) {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
   auto it = caches_.find(model_name);
   if (it == caches_.end()) {
     return Status::NotFound("no cache for model '" + model_name + "'");
@@ -318,15 +347,17 @@ Result<ApproxResultCache*> ServingSession::GetApproxCache(
 }
 
 Status ServingSession::EnableExactCache(const std::string& model_name) {
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
   if (models_.count(model_name) == 0) {
     return Status::NotFound("model '" + model_name + "'");
   }
-  exact_caches_[model_name] = std::make_unique<ExactResultCache>();
+  exact_caches_[model_name] = std::make_shared<ExactResultCache>();
   return Status::OK();
 }
 
 Result<ExactResultCache*> ServingSession::GetExactCache(
     const std::string& model_name) {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
   auto it = exact_caches_.find(model_name);
   if (it == exact_caches_.end()) {
     return Status::NotFound("no exact cache for model '" + model_name +
@@ -337,13 +368,18 @@ Result<ExactResultCache*> ServingSession::GetExactCache(
 
 Result<Tensor> ServingSession::PredictWithCache(
     const std::string& model_name, const Tensor& input) {
-  auto approx_it = caches_.find(model_name);
-  auto exact_it = exact_caches_.find(model_name);
-  ApproxResultCache* approx =
-      approx_it == caches_.end() ? nullptr : approx_it->second.get();
-  ExactResultCache* exact = exact_it == exact_caches_.end()
-                                ? nullptr
-                                : exact_it->second.get();
+  // Copy the shared_ptrs out so a concurrent Enable*Cache replacing a
+  // tier cannot free it under this query; the caches themselves are
+  // safe for concurrent Lookup/Insert.
+  std::shared_ptr<ApproxResultCache> approx;
+  std::shared_ptr<ExactResultCache> exact;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    auto approx_it = caches_.find(model_name);
+    if (approx_it != caches_.end()) approx = approx_it->second;
+    auto exact_it = exact_caches_.find(model_name);
+    if (exact_it != exact_caches_.end()) exact = exact_it->second;
+  }
   if (approx == nullptr && exact == nullptr) {
     return Status::NotFound("no cache enabled for model '" +
                             model_name + "'");

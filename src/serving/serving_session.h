@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -163,8 +164,14 @@ class ServingSession {
   // `batch_size` rows: an AoT variant whose representation signature
   // matches what the optimizer would pick for that batch, else the
   // single Deploy()-ed instance. `batch_size` < 0 skips AoT matching.
-  Result<Deployment*> GetDeployment(const std::string& model_name,
-                                    int64_t batch_size = -1);
+  //
+  // Returns a shared_ptr so an in-flight prediction keeps its
+  // deployment (and the prepared weights inside) alive even if a
+  // concurrent Deploy/DeployAot replaces it mid-query — the
+  // use-after-free the serving front-end would otherwise hit. The old
+  // instance's arena charge is released when the last query drops it.
+  Result<std::shared_ptr<Deployment>> GetDeployment(
+      const std::string& model_name, int64_t batch_size = -1);
 
   ServingConfig config_;
   std::unique_ptr<DiskManager> disk_;
@@ -174,13 +181,21 @@ class ServingSession {
   MemoryTracker working_memory_;
   ExecContext ctx_;
 
+  // Guards every registry map below. Queries take it shared (lookups
+  // only — model pointers and shared_ptr values stay valid after the
+  // lock drops); Register/Deploy/Enable take it exclusive. Plan
+  // preparation itself runs outside the lock so serving never stalls
+  // behind a slow compile.
+  mutable std::shared_mutex registry_mu_;
+
   std::map<std::string, std::unique_ptr<Model>> models_;
-  std::map<std::string, Deployment> deployments_;
+  std::map<std::string, std::shared_ptr<Deployment>> deployments_;
   // AoT variants: model name -> representation signature -> deployment.
-  std::map<std::string, std::map<std::string, Deployment>> aot_plans_;
+  std::map<std::string, std::map<std::string, std::shared_ptr<Deployment>>>
+      aot_plans_;
   std::map<std::string, ExternalRuntime*> offloaded_;
-  std::map<std::string, std::unique_ptr<ApproxResultCache>> caches_;
-  std::map<std::string, std::unique_ptr<ExactResultCache>>
+  std::map<std::string, std::shared_ptr<ApproxResultCache>> caches_;
+  std::map<std::string, std::shared_ptr<ExactResultCache>>
       exact_caches_;
 };
 

@@ -10,13 +10,26 @@ namespace relserve {
 std::string BufferPoolStats::ToString() const {
   return "hits=" + std::to_string(hits) +
          " misses=" + std::to_string(misses) +
-         " evictions=" + std::to_string(evictions);
+         " evictions=" + std::to_string(evictions) +
+         " prefetches_issued=" + std::to_string(prefetches_issued) +
+         " prefetches_completed=" +
+         std::to_string(prefetches_completed) +
+         " prefetch_useful=" + std::to_string(prefetch_useful);
 }
 
 BufferPool::BufferPool(DiskManager* disk, int64_t capacity_pages)
     : disk_(disk), capacity_pages_(capacity_pages) {
   RELSERVE_CHECK(capacity_pages >= 1);
   frames_.resize(capacity_pages);
+}
+
+BufferPool::~BufferPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    prefetch_stop_ = true;
+  }
+  prefetch_cv_.notify_all();
+  if (prefetcher_.joinable()) prefetcher_.join();
 }
 
 Result<int64_t> BufferPool::ReserveFrame(
@@ -66,6 +79,7 @@ Result<int64_t> BufferPool::ReserveFrame(
   }
   page_table_.erase(frame.page_id);
   frame.page_id = kInvalidPageId;
+  frame.prefetched = false;
   ++stats_.evictions;
   return victim;
 }
@@ -75,7 +89,9 @@ void BufferPool::ReleaseFrameLocked(int64_t idx) {
   io_cv_.notify_all();
 }
 
-Result<char*> BufferPool::FetchPage(PageId page_id) {
+Result<char*> BufferPool::FetchPage(PageId page_id,
+                                    bool* prefetch_hit) {
+  if (prefetch_hit != nullptr) *prefetch_hit = false;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     auto it = page_table_.find(page_id);
@@ -87,6 +103,12 @@ Result<char*> BufferPool::FetchPage(PageId page_id) {
         // have completed (hit) or vanished (miss).
         io_cv_.wait(lock);
         continue;
+      }
+      if (frame.prefetched) {
+        // First pin of a prefetcher-loaded page: the overlap paid off.
+        frame.prefetched = false;
+        ++stats_.prefetch_useful;
+        if (prefetch_hit != nullptr) *prefetch_hit = true;
       }
       ++frame.pin_count;
       frame.last_used = ++clock_;
@@ -106,6 +128,7 @@ Result<char*> BufferPool::FetchPage(PageId page_id) {
     frame.page_id = page_id;
     frame.pin_count = 1;
     frame.dirty = false;
+    frame.prefetched = false;
     frame.last_used = ++clock_;
     page_table_[page_id] = idx;
     // Load outside the mutex: concurrent fetches of other pages
@@ -129,10 +152,27 @@ Result<char*> BufferPool::NewPage(PageId* out_id) {
   std::unique_lock<std::mutex> lock(mu_);
   RELSERVE_ASSIGN_OR_RETURN(int64_t idx, ReserveFrame(lock));
   const PageId page_id = disk_->AllocatePage();
+  // A recycled id may still have a stale resident copy: a prefetch
+  // that raced the page's DeletePage and loaded it after the free.
+  // Purge the stale mapping so this frame becomes the sole owner.
+  while (true) {
+    auto stale = page_table_.find(page_id);
+    if (stale == page_table_.end()) break;
+    Frame& old = frames_[stale->second];
+    if (old.io_pending) {
+      io_cv_.wait(lock);
+      continue;
+    }
+    old.page_id = kInvalidPageId;
+    old.dirty = false;
+    old.prefetched = false;
+    page_table_.erase(stale);
+  }
   Frame& frame = frames_[idx];
   frame.page_id = page_id;
   frame.pin_count = 1;
   frame.dirty = true;  // must reach disk even if never rewritten
+  frame.prefetched = false;
   frame.last_used = ++clock_;
   page_table_[page_id] = idx;
   lock.unlock();
@@ -183,6 +223,18 @@ Status BufferPool::FlushAll() {
 Status BufferPool::DeletePage(PageId page_id) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    // Cancel any queued-but-not-started prefetch of this page so the
+    // prefetcher cannot resurrect it after the free.
+    if (prefetch_queued_.erase(page_id) > 0) {
+      for (auto it = prefetch_queue_.begin();
+           it != prefetch_queue_.end(); ++it) {
+        if (*it == page_id) {
+          prefetch_queue_.erase(it);
+          break;
+        }
+      }
+      ++stats_.prefetches_completed;  // issued but never loaded
+    }
     while (true) {
       auto it = page_table_.find(page_id);
       if (it == page_table_.end()) break;
@@ -197,12 +249,95 @@ Status BufferPool::DeletePage(PageId page_id) {
       }
       frame.page_id = kInvalidPageId;
       frame.dirty = false;
+      frame.prefetched = false;
       page_table_.erase(it);
       break;
     }
   }
   disk_->FreePage(page_id);
   return Status::OK();
+}
+
+bool BufferPool::Prefetch(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (prefetch_stop_ || page_id == kInvalidPageId) return false;
+  if (page_table_.find(page_id) != page_table_.end()) {
+    return false;  // already resident: no-op
+  }
+  if (prefetch_queued_.count(page_id) > 0) return false;  // queued
+  if (prefetch_queue_.size() >= kMaxQueuedPrefetches) {
+    return false;  // shed: the scan will fault it in normally
+  }
+  EnsurePrefetcherLocked();
+  prefetch_queue_.push_back(page_id);
+  prefetch_queued_.insert(page_id);
+  ++stats_.prefetches_issued;
+  prefetch_cv_.notify_one();
+  return true;
+}
+
+void BufferPool::EnsurePrefetcherLocked() {
+  if (!prefetcher_.joinable()) {
+    prefetcher_ = std::thread([this] { PrefetchLoop(); });
+  }
+}
+
+void BufferPool::PrefetchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    prefetch_cv_.wait(lock, [this] {
+      return prefetch_stop_ || !prefetch_queue_.empty();
+    });
+    if (prefetch_stop_) {
+      // Account for anything still queued so issued == completed at
+      // quiescence even across shutdown.
+      stats_.prefetches_completed +=
+          static_cast<int64_t>(prefetch_queue_.size());
+      prefetch_queue_.clear();
+      prefetch_queued_.clear();
+      return;
+    }
+    const PageId page_id = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    prefetch_queued_.erase(page_id);
+    if (page_table_.find(page_id) != page_table_.end()) {
+      ++stats_.prefetches_completed;  // became resident meanwhile
+      continue;
+    }
+    auto idx = ReserveFrame(lock);
+    if (!idx.ok()) {
+      // Every frame pinned or latched: drop the prefetch rather than
+      // fight the foreground for capacity.
+      ++stats_.prefetches_completed;
+      continue;
+    }
+    // ReserveFrame may have dropped the lock for a victim write-back;
+    // re-validate before claiming the mapping.
+    if (page_table_.find(page_id) != page_table_.end()) {
+      ReleaseFrameLocked(*idx);
+      ++stats_.prefetches_completed;
+      continue;
+    }
+    Frame& frame = frames_[*idx];
+    frame.page_id = page_id;
+    frame.pin_count = 0;  // resident but unpinned: evictable
+    frame.dirty = false;
+    frame.last_used = ++clock_;
+    page_table_[page_id] = *idx;
+    lock.unlock();
+    Status s = disk_->ReadPage(page_id, frame.data.get());
+    lock.lock();
+    frame.io_pending = false;
+    io_cv_.notify_all();
+    if (s.ok()) {
+      frame.prefetched = true;
+    } else {
+      page_table_.erase(page_id);
+      frame.page_id = kInvalidPageId;
+      frame.prefetched = false;
+    }
+    ++stats_.prefetches_completed;
+  }
 }
 
 BufferPoolStats BufferPool::stats() const {

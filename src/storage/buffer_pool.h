@@ -24,10 +24,13 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -40,6 +43,14 @@ struct BufferPoolStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t evictions = 0;
+  // Prefetch pipeline accounting: issued counts pages accepted into
+  // the background queue, completed counts finished load attempts
+  // (including skips), useful counts pins that found a page resident
+  // only because a prefetch loaded it. issued == completed once the
+  // queue drains, so tests can wait for quiescence.
+  int64_t prefetches_issued = 0;
+  int64_t prefetches_completed = 0;
+  int64_t prefetch_useful = 0;
 
   std::string ToString() const;
 };
@@ -53,12 +64,28 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
+  // Stops the background prefetcher (if it ever started) and joins it.
+  ~BufferPool();
+
   // Pins an existing page and returns its frame data. The caller must
   // Unpin with the same id exactly once per fetch. Safe to call from
   // many threads; concurrent fetches of distinct pages overlap their
   // disk reads, and concurrent fetches of the same page perform one
   // load (one miss) while the others wait and count hits.
-  Result<char*> FetchPage(PageId page_id);
+  // `prefetch_hit`, when non-null, is set to whether this pin was
+  // served by a page the prefetcher loaded (first pin only).
+  Result<char*> FetchPage(PageId page_id,
+                          bool* prefetch_hit = nullptr);
+
+  // Asynchronously loads `page_id` into a frame without pinning it, so
+  // a later FetchPage hits instead of stalling on disk. Best effort:
+  // a page that is already resident, already queued, or unservable
+  // (every frame pinned, queue full) is skipped. Returns true iff the
+  // page was accepted into the prefetch queue. The actual I/O runs on
+  // a lazily-started background thread; the per-frame io_pending
+  // latch keeps the load invisible to eviction, fetches, and deletes
+  // until it completes.
+  bool Prefetch(PageId page_id);
 
   // Allocates a new zeroed page, pinned. `out_id` receives the id.
   Result<char*> NewPage(PageId* out_id);
@@ -92,6 +119,9 @@ class BufferPool {
     // evicted, fetched, or deleted; waiters sleep on io_cv_ and
     // re-validate the page table afterwards.
     bool io_pending = false;
+    // Loaded by the prefetcher and not yet pinned; the first pin
+    // counts it as a useful prefetch and clears the flag.
+    bool prefetched = false;
     uint64_t last_used = 0;  // LRU clock
   };
 
@@ -105,6 +135,17 @@ class BufferPool {
   // mu_ held.
   void ReleaseFrameLocked(int64_t idx);
 
+  // Lazily spawns the prefetch worker. Called with mu_ held.
+  void EnsurePrefetcherLocked();
+
+  // The background thread: drains prefetch_queue_, loading each page
+  // into an unpinned frame under the io_pending latch.
+  void PrefetchLoop();
+
+  // Bound on queued-but-not-loaded prefetches; beyond it Prefetch
+  // sheds (the scan will just fault the page in normally).
+  static constexpr size_t kMaxQueuedPrefetches = 256;
+
   DiskManager* const disk_;
   const int64_t capacity_pages_;
   mutable std::mutex mu_;
@@ -113,6 +154,13 @@ class BufferPool {
   std::unordered_map<PageId, int64_t> page_table_;  // page -> frame idx
   uint64_t clock_ = 0;
   BufferPoolStats stats_;
+
+  // Prefetch machinery, all guarded by mu_ except the thread handle.
+  std::deque<PageId> prefetch_queue_;
+  std::unordered_set<PageId> prefetch_queued_;  // dedupe + delete purge
+  std::condition_variable prefetch_cv_;
+  bool prefetch_stop_ = false;
+  std::thread prefetcher_;
 };
 
 // RAII pin guard: unpins on scope exit.

@@ -5,6 +5,7 @@
 #include "relational/operator.h"
 #include "serving/model_versions.h"
 #include "serving/join_pipeline.h"
+#include "serving/request_scheduler.h"
 #include "serving/serving_session.h"
 #include "workloads/datasets.h"
 
@@ -379,6 +380,43 @@ TEST_F(ServingTest, RedeployReleasesOldResidentWeights) {
   const int64_t after_first = session_.working_memory()->used_bytes();
   ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kForceUdf, 10).ok());
   EXPECT_EQ(session_.working_memory()->used_bytes(), after_first);
+}
+
+TEST_F(ServingTest, SchedulerMatchesDirectCall) {
+  LoadFraudSetup();
+  ASSERT_TRUE(session_.Deploy("fraud", ServingMode::kForceUdf, 8).ok());
+  auto batch = workloads::GenBatch(3, Shape{28}, 11);
+  ASSERT_TRUE(batch.ok());
+  auto direct = session_.PredictBatch("fraud", *batch);
+  ASSERT_TRUE(direct.ok());
+  auto expected = direct->ToTensor(session_.exec_context());
+  ASSERT_TRUE(expected.ok());
+
+  RequestScheduler scheduler(&session_, SchedulerConfig{});
+  auto got = scheduler.PredictBatch("fraud", *batch);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->shape(), expected->shape());
+  EXPECT_EQ(got->MaxAbsDiff(*expected), 0.0f);
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted.load(), 1);
+  EXPECT_EQ(stats.batches.load(), 1);
+  EXPECT_EQ(stats.total_rows.load(), 3);
+}
+
+TEST_F(ServingTest, SchedulerServesTableRequests) {
+  LoadFraudSetup(20);
+  ASSERT_TRUE(
+      session_.Deploy("fraud", ServingMode::kAdaptive, 20).ok());
+  auto direct = session_.Predict("fraud", "tx");
+  ASSERT_TRUE(direct.ok());
+  auto expected = direct->ToTensor(session_.exec_context());
+  ASSERT_TRUE(expected.ok());
+
+  RequestScheduler scheduler(&session_, SchedulerConfig{});
+  auto got = scheduler.SubmitPredict("fraud", "tx").get();
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->MaxAbsDiff(*expected), 0.0f);
 }
 
 }  // namespace

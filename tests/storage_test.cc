@@ -663,5 +663,125 @@ TEST(QuantizeTest, ConstantTensorIsExact) {
   EXPECT_FLOAT_EQ(QuantizationError(*t, *q), 0.0f);
 }
 
+// --- BufferPool::Prefetch ---------------------------------------------
+
+// The prefetcher is asynchronous; issued == completed only once its
+// queue has drained, so tests wait for that quiescent point.
+void WaitForPrefetchIdle(const BufferPool& pool) {
+  for (int i = 0; i < 10000; ++i) {
+    const BufferPoolStats s = pool.stats();
+    if (s.prefetches_completed == s.prefetches_issued) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "prefetch queue never drained";
+}
+
+// Writes `n` pages straight to disk, each filled with a byte derived
+// from its id, and returns the ids.
+std::vector<PageId> SeedDiskPages(DiskManager* disk, int n) {
+  std::vector<PageId> ids;
+  for (int i = 0; i < n; ++i) {
+    const PageId id = disk->AllocatePage();
+    std::vector<char> buf(kPageSize,
+                          static_cast<char>('A' + (id % 26)));
+    EXPECT_TRUE(disk->WritePage(id, buf.data()).ok());
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+TEST(BufferPoolPrefetchTest, PrefetchThenPinCountsUseful) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  const std::vector<PageId> ids = SeedDiskPages(&disk, 2);
+
+  EXPECT_TRUE(pool.Prefetch(ids[0]));
+  EXPECT_TRUE(pool.Prefetch(ids[1]));
+  WaitForPrefetchIdle(pool);
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.prefetches_issued, 2);
+  EXPECT_EQ(stats.prefetches_completed, 2);
+  EXPECT_EQ(stats.prefetch_useful, 0);  // nothing pinned yet
+
+  bool hit = false;
+  auto page = pool.FetchPage(ids[0], &hit);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ((*page)[0], static_cast<char>('A' + (ids[0] % 26)));
+  ASSERT_TRUE(pool.UnpinPage(ids[0], false).ok());
+
+  // The second pin of the same page is an ordinary hit, not another
+  // useful prefetch.
+  hit = true;
+  ASSERT_TRUE(pool.FetchPage(ids[0], &hit).ok());
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(pool.UnpinPage(ids[0], false).ok());
+
+  stats = pool.stats();
+  EXPECT_EQ(stats.prefetch_useful, 1);
+}
+
+TEST(BufferPoolPrefetchTest, PrefetchResidentPageIsNoop) {
+  DiskManager disk;
+  BufferPool pool(&disk, 4);
+  PageId id = kInvalidPageId;
+  auto page = pool.NewPage(&id);
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+
+  EXPECT_FALSE(pool.Prefetch(id));  // already resident
+  EXPECT_FALSE(pool.Prefetch(kInvalidPageId));
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.prefetches_issued, 0);
+  EXPECT_EQ(stats.prefetches_completed, 0);
+}
+
+TEST(BufferPoolPrefetchTest, PrefetchRacingEvictionIsSafe) {
+  DiskManager disk;
+  // Two frames and eight pages: prefetches and demand fetches keep
+  // evicting each other's work.
+  BufferPool pool(&disk, 2);
+  const std::vector<PageId> ids = SeedDiskPages(&disk, 8);
+
+  std::thread prefetcher([&] {
+    for (int round = 0; round < 200; ++round) {
+      pool.Prefetch(ids[round % ids.size()]);
+    }
+  });
+  std::thread reader([&] {
+    for (int round = 0; round < 200; ++round) {
+      const PageId id = ids[(round * 3) % ids.size()];
+      auto page = pool.FetchPage(id);
+      ASSERT_TRUE(page.ok());
+      EXPECT_EQ((*page)[kPageSize - 1],
+                static_cast<char>('A' + (id % 26)));
+      ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+    }
+  });
+  prefetcher.join();
+  reader.join();
+  WaitForPrefetchIdle(pool);
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.prefetches_completed, stats.prefetches_issued);
+}
+
+TEST(BufferPoolPrefetchTest, DeletePageCancelsQueuedPrefetch) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  const std::vector<PageId> ids = SeedDiskPages(&disk, 4);
+
+  // Queue prefetches and immediately delete the pages; whichever
+  // prefetches had not started yet must be purged, and the counters
+  // must still converge.
+  for (const PageId id : ids) pool.Prefetch(id);
+  for (const PageId id : ids) {
+    const Status s = pool.DeletePage(id);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  WaitForPrefetchIdle(pool);
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.prefetches_completed, stats.prefetches_issued);
+}
+
 }  // namespace
 }  // namespace relserve
