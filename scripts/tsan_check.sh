@@ -24,18 +24,31 @@ BUILD_DIR="${1:-build-tsan}"
 UBSAN_DIR="${2:-build-ubsan}"
 
 TSAN_TESTS=(resource_test storage_test block_ops_test kernels_test
-            serving_concurrency_test)
-UBSAN_TESTS=(kernels_test tensor_test block_ops_test)
+            serving_concurrency_test chaos_test)
+UBSAN_TESTS=(kernels_test tensor_test block_ops_test chaos_test)
 
 cmake -B "$BUILD_DIR" -S . -DRELSERVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target "${TSAN_TESTS[@]}"
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+# The chaos harness replays deterministic randomized fault schedules;
+# a reduced seed count keeps the sanitizer legs fast while still
+# exercising every failpoint site under TSan/UBSan.
+export RELSERVE_CHAOS_SEEDS="${RELSERVE_CHAOS_SEEDS:-8}"
 for test in "${TSAN_TESTS[@]}"; do
     echo "== TSan: $test =="
     "$BUILD_DIR/tests/$test"
 done
+
+# Environment-activation smoke: a fresh process must arm failpoints
+# from RELSERVE_FAILPOINTS alone (the grammar's end-to-end path). Run
+# against the one test that asserts the armed site fires; the filter
+# matters — earlier tests' teardown would disarm the env-armed site.
+cmake --build "$BUILD_DIR" -j --target failpoint_test
+echo "== TSan: failpoint_test (env activation smoke) =="
+RELSERVE_FAILPOINTS="chaos.smoke=error(Unavailable),limit=2" \
+    "$BUILD_DIR/tests/failpoint_test" --gtest_filter='*EnvActivationSmoke'
 
 cmake -B "$UBSAN_DIR" -S . -DRELSERVE_SANITIZE=undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo

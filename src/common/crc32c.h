@@ -1,0 +1,46 @@
+// CRC32C (Castagnoli) for page checksums.
+//
+// Same runtime-dispatch policy as the GEMM micro-kernels (DESIGN.md
+// "Kernel micro-architecture"): the default build carries no ISA
+// flags; the one SSE4.2 translation unit (crc32c_sse42.cc, built with
+// -msse4.2) is only entered after a cpuid probe says the hardware
+// executes the crc32 instruction. Everything else uses the
+// slice-by-8 table fallback, correct on any target.
+//
+// The Castagnoli polynomial (0x1EDC6F41, reflected 0x82F63B78) is the
+// one iSCSI/ext4/RocksDB/LevelDB use — and the one x86 implements in
+// silicon, which is why checksummed pages cost ~no throughput.
+
+#ifndef RELSERVE_COMMON_CRC32C_H_
+#define RELSERVE_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace relserve {
+namespace crc32c {
+
+// Extends `crc` (the running checksum of everything before `data`)
+// over data[0..n). Dispatches once on first use.
+uint32_t Extend(uint32_t crc, const char* data, size_t n);
+
+// Checksum of a standalone buffer.
+inline uint32_t Value(const char* data, size_t n) {
+  return Extend(0, data, n);
+}
+
+// True when the hardware crc32 instruction path is active.
+bool UsingHardware();
+
+namespace internal {
+// Backends, exposed so tests can assert both produce identical bits.
+uint32_t ExtendScalar(uint32_t crc, const char* data, size_t n);
+// Falls back to ExtendScalar on hardware without SSE4.2 (callers must
+// consult the cpuid probe before relying on the fast path).
+uint32_t ExtendSse42(uint32_t crc, const char* data, size_t n);
+}  // namespace internal
+
+}  // namespace crc32c
+}  // namespace relserve
+
+#endif  // RELSERVE_COMMON_CRC32C_H_

@@ -1,0 +1,56 @@
+// Hardware CRC32C backend: the single translation unit built with
+// -msse4.2 (see src/CMakeLists.txt). Entered only after the cpuid
+// probe in crc32c.cc reports SSE4.2, mirroring how the AVX2 GEMM
+// micro-kernel TU is gated.
+
+#include "common/crc32c.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+
+#include <cstring>
+
+namespace relserve {
+namespace crc32c {
+namespace internal {
+
+uint32_t ExtendSse42(uint32_t crc, const char* data, size_t n) {
+  uint32_t c = ~crc;
+#if defined(__x86_64__)
+  uint64_t c64 = c;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, data, 8);
+    c64 = _mm_crc32_u64(c64, word);
+    data += 8;
+    n -= 8;
+  }
+  c = static_cast<uint32_t>(c64);
+#endif
+  while (n > 0) {
+    c = _mm_crc32_u8(c, static_cast<unsigned char>(*data));
+    ++data;
+    --n;
+  }
+  return ~c;
+}
+
+}  // namespace internal
+}  // namespace crc32c
+}  // namespace relserve
+
+#else  // non-x86: never dispatched to; satisfy the symbol.
+
+namespace relserve {
+namespace crc32c {
+namespace internal {
+
+uint32_t ExtendSse42(uint32_t crc, const char* data, size_t n) {
+  return ExtendScalar(crc, data, n);
+}
+
+}  // namespace internal
+}  // namespace crc32c
+}  // namespace relserve
+
+#endif

@@ -1,0 +1,366 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <random>
+#include <thread>
+
+namespace relserve {
+namespace failpoint {
+
+namespace {
+
+// FNV-1a, used to derive a per-site seed from the global seed so two
+// sites armed with the same schedule draw independent streams.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct SiteState {
+  Spec spec;
+  int64_t hits = 0;
+  int64_t fires = 0;
+  std::mt19937_64 rng;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+  uint64_t global_seed = 42;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::atomic<int>& ArmedCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+void EnableLocked(Registry& registry, const std::string& site,
+                  Spec spec) {
+  auto [it, inserted] = registry.sites.try_emplace(site);
+  SiteState& state = it->second;
+  state.spec = spec;
+  state.hits = 0;
+  state.fires = 0;
+  const uint64_t seed = spec.seed != 0
+                            ? spec.seed
+                            : registry.global_seed ^ HashName(site);
+  state.rng.seed(seed);
+  if (inserted) {
+    ArmedCount().fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// --- RELSERVE_FAILPOINTS grammar -------------------------------------
+//
+//   sites  := site (';' site)*
+//   site   := NAME '=' field (',' field)*
+//   field  := 'error' ['(' CODE ')'] | 'delay' '(' USEC ')'
+//           | 'torn' | 'bitflip' | 'p=' FLOAT | 'skip=' INT
+//           | 'limit=' INT | 'once' | 'seed=' INT
+
+bool ParseCode(const std::string& name, StatusCode* out) {
+  static const std::map<std::string, StatusCode> kCodes = {
+      {"IOError", StatusCode::kIOError},
+      {"Unavailable", StatusCode::kUnavailable},
+      {"DataLoss", StatusCode::kDataLoss},
+      {"Internal", StatusCode::kInternal},
+      {"OutOfMemory", StatusCode::kOutOfMemory},
+      {"DeadlineExceeded", StatusCode::kDeadlineExceeded},
+      {"NotFound", StatusCode::kNotFound},
+  };
+  auto it = kCodes.find(name);
+  if (it == kCodes.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+Status ParseField(const std::string& field, Spec* spec) {
+  auto arg_of = [&field](size_t open) {
+    const size_t close = field.rfind(')');
+    if (close == std::string::npos || close <= open + 1) {
+      return std::string();
+    }
+    return field.substr(open + 1, close - open - 1);
+  };
+  if (field == "error") {
+    spec->action = Action::kError;
+    return Status::OK();
+  }
+  if (field.rfind("error(", 0) == 0) {
+    spec->action = Action::kError;
+    const std::string code = arg_of(5);
+    if (!ParseCode(code, &spec->error_code)) {
+      return Status::InvalidArgument("failpoint: unknown status code '" +
+                                     code + "'");
+    }
+    return Status::OK();
+  }
+  if (field.rfind("delay(", 0) == 0) {
+    spec->action = Action::kDelayUs;
+    const std::string usec = arg_of(5);
+    char* end = nullptr;
+    spec->delay_us = std::strtoll(usec.c_str(), &end, 10);
+    if (usec.empty() || *end != '\0' || spec->delay_us < 0) {
+      return Status::InvalidArgument("failpoint: bad delay '" + usec +
+                                     "'");
+    }
+    return Status::OK();
+  }
+  if (field == "torn") {
+    spec->action = Action::kTornWrite;
+    return Status::OK();
+  }
+  if (field == "bitflip") {
+    spec->action = Action::kBitflip;
+    return Status::OK();
+  }
+  if (field == "once") {
+    spec->limit = 1;
+    return Status::OK();
+  }
+  const size_t eq = field.find('=');
+  if (eq != std::string::npos) {
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "p") {
+      spec->probability = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || spec->probability < 0.0 ||
+          spec->probability > 1.0) {
+        return Status::InvalidArgument("failpoint: bad probability '" +
+                                       value + "'");
+      }
+      return Status::OK();
+    }
+    if (key == "skip" || key == "limit" || key == "seed") {
+      const int64_t n = std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || n < 0) {
+        return Status::InvalidArgument("failpoint: bad " + key + " '" +
+                                       value + "'");
+      }
+      if (key == "skip") spec->skip = n;
+      if (key == "limit") spec->limit = n;
+      if (key == "seed") spec->seed = static_cast<uint64_t>(n);
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("failpoint: unknown field '" + field +
+                                 "'");
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) end = s.size();
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+// Parses RELSERVE_FAILPOINTS exactly once, before the first site
+// evaluation or registry touch. Malformed entries are skipped with the
+// rest still armed (an operator typo must not take serving down).
+void ParseEnvOnce() {
+  static const bool parsed = [] {
+    const char* env = std::getenv("RELSERVE_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') {
+      EnableFromString(env);  // best effort; errors skip the entry
+    }
+    return true;
+  }();
+  (void)parsed;
+}
+
+}  // namespace
+
+bool AnyActive() {
+  ParseEnvOnce();
+  return ArmedCount().load(std::memory_order_relaxed) > 0;
+}
+
+Eval Evaluate(const char* site) {
+  Eval eval;
+  if (!AnyActive()) return eval;
+  int64_t delay_us = 0;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.sites.find(site);
+    if (it == registry.sites.end()) return eval;
+    SiteState& state = it->second;
+    ++state.hits;
+    if (state.hits <= state.spec.skip) return eval;
+    if (state.spec.limit >= 0 && state.fires >= state.spec.limit) {
+      return eval;
+    }
+    if (state.spec.probability < 1.0) {
+      const double draw = std::uniform_real_distribution<double>(
+          0.0, 1.0)(state.rng);
+      if (draw >= state.spec.probability) return eval;
+    }
+    ++state.fires;
+    eval.fired = true;
+    eval.action = state.spec.action;
+    eval.error_code = state.spec.error_code;
+    eval.delay_us = state.spec.delay_us;
+    eval.payload = state.rng();
+    if (eval.action == Action::kDelayUs) delay_us = eval.delay_us;
+  }
+  // Sleep outside the registry lock so a delaying site never blocks
+  // evaluation (or arming) of other sites.
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  return eval;
+}
+
+Status InjectedStatus(const char* site) {
+  if (!AnyActive()) return Status::OK();
+  const Eval eval = Evaluate(site);
+  if (eval.fired && eval.action == Action::kError) {
+    return Status(eval.error_code,
+                  std::string("injected fault at ") + site);
+  }
+  return Status::OK();
+}
+
+Status InjectedIo(const char* site, char* buf, int64_t len,
+                  int64_t* io_len) {
+  if (!AnyActive()) return Status::OK();
+  const Eval eval = Evaluate(site);
+  if (!eval.fired) return Status::OK();
+  switch (eval.action) {
+    case Action::kError:
+      return Status(eval.error_code,
+                    std::string("injected fault at ") + site);
+    case Action::kDelayUs:
+      return Status::OK();  // Evaluate already slept
+    case Action::kTornWrite:
+      if (io_len != nullptr && len > 0) {
+        *io_len = static_cast<int64_t>(eval.payload %
+                                       static_cast<uint64_t>(len));
+      }
+      return Status::OK();
+    case Action::kBitflip:
+      ApplyBitflip(eval, buf, len);
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+void ApplyBitflip(const Eval& eval, char* buf, int64_t len) {
+  if (!eval.fired || eval.action != Action::kBitflip ||
+      buf == nullptr || len <= 0) {
+    return;
+  }
+  const uint64_t bit = eval.payload % (static_cast<uint64_t>(len) * 8);
+  buf[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+}
+
+void Enable(const std::string& site, Spec spec) {
+  ParseEnvOnce();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  EnableLocked(registry, site, spec);
+}
+
+void Disable(const std::string& site) {
+  ParseEnvOnce();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.sites.erase(site) > 0) {
+    ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisableAll() {
+  ParseEnvOnce();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  ArmedCount().fetch_sub(static_cast<int>(registry.sites.size()),
+                         std::memory_order_relaxed);
+  registry.sites.clear();
+}
+
+void SetGlobalSeed(uint64_t seed) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.global_seed = seed;
+}
+
+int64_t HitCount(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+int64_t FireCount(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> ActiveSites() {
+  ParseEnvOnce();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.sites.size());
+  for (const auto& [name, state] : registry.sites) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status EnableFromString(const std::string& config) {
+  Registry& registry = GetRegistry();
+  Status first_error = Status::OK();
+  for (const std::string& entry : Split(config, ';')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (first_error.ok()) {
+        first_error = Status::InvalidArgument(
+            "failpoint: entry '" + entry + "' is not NAME=SPEC");
+      }
+      continue;
+    }
+    const std::string name = entry.substr(0, eq);
+    Spec spec;
+    Status entry_status = Status::OK();
+    for (const std::string& field : Split(entry.substr(eq + 1), ',')) {
+      if (field.empty()) continue;
+      entry_status = ParseField(field, &spec);
+      if (!entry_status.ok()) break;
+    }
+    if (!entry_status.ok()) {
+      if (first_error.ok()) first_error = entry_status;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(registry.mu);
+    EnableLocked(registry, name, spec);
+  }
+  return first_error;
+}
+
+}  // namespace failpoint
+}  // namespace relserve

@@ -1,0 +1,192 @@
+// Failpoint registry: named fault-injection sites for chaos testing.
+//
+// The storage engine, buffer pool, caches, and serving front-end each
+// declare sites ("disk.read", "bufferpool.evict", ...) at the exact
+// code locations where real hardware and software faults strike. A
+// site is free when disarmed — one relaxed atomic load — so failpoints
+// stay compiled into release binaries and chaos schedules can be
+// applied to the same bits that serve traffic.
+//
+// A site is armed programmatically:
+//
+//   failpoint::Enable("disk.write",
+//                     failpoint::Spec::Error(StatusCode::kIOError)
+//                         .Probability(0.1).Limit(3).Seed(7));
+//
+// or from the environment, before any site is evaluated:
+//
+//   RELSERVE_FAILPOINTS="disk.write=error(IOError),p=0.1,limit=3;
+//                        disk.read=delay(500)"   (one line in practice)
+//
+// Triggers compose: `skip` ignores the first N evaluations, `limit`
+// caps total firings (`once` == limit 1), `p` draws from a per-site
+// RNG seeded explicitly (or from the global seed), so a schedule is
+// bit-reproducible run-to-run — the property the chaos harness leans
+// on to replay a failing seed.
+//
+// Actions:
+//   error(CODE)  — the site returns Status(CODE)
+//   delay(USEC)  — the site stalls, then proceeds normally
+//   torn         — write sites persist only a prefix of the buffer
+//                  (simulated crash mid-write; still reports success)
+//   bitflip      — one deterministic bit of the I/O buffer flips
+//                  (silent corruption the checksum layer must catch)
+
+#ifndef RELSERVE_COMMON_FAILPOINT_H_
+#define RELSERVE_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace relserve {
+namespace failpoint {
+
+enum class Action {
+  kError,
+  kDelayUs,
+  kTornWrite,
+  kBitflip,
+};
+
+// How an armed site behaves. Built fluently; every knob has a safe
+// default (fire every evaluation, forever, with IOError).
+struct Spec {
+  Action action = Action::kError;
+  StatusCode error_code = StatusCode::kIOError;
+  int64_t delay_us = 0;
+  double probability = 1.0;  // per-evaluation chance once past `skip`
+  int64_t skip = 0;          // pass through the first N evaluations
+  int64_t limit = -1;        // fire at most N times; -1 = unlimited
+  uint64_t seed = 0;         // 0 = derive from global seed + site name
+
+  static Spec Error(StatusCode code) {
+    Spec spec;
+    spec.action = Action::kError;
+    spec.error_code = code;
+    return spec;
+  }
+  static Spec Delay(int64_t usec) {
+    Spec spec;
+    spec.action = Action::kDelayUs;
+    spec.delay_us = usec;
+    return spec;
+  }
+  static Spec Torn() {
+    Spec spec;
+    spec.action = Action::kTornWrite;
+    return spec;
+  }
+  static Spec Bitflip() {
+    Spec spec;
+    spec.action = Action::kBitflip;
+    return spec;
+  }
+
+  Spec& Probability(double p) {
+    probability = p;
+    return *this;
+  }
+  Spec& Skip(int64_t n) {
+    skip = n;
+    return *this;
+  }
+  Spec& Limit(int64_t n) {
+    limit = n;
+    return *this;
+  }
+  Spec& Once() {
+    limit = 1;
+    return *this;
+  }
+  Spec& Seed(uint64_t s) {
+    seed = s;
+    return *this;
+  }
+};
+
+// The outcome of evaluating a site.
+struct Eval {
+  bool fired = false;
+  Action action = Action::kError;
+  StatusCode error_code = StatusCode::kIOError;
+  int64_t delay_us = 0;
+  // Deterministic per-firing randomness for corruption actions (which
+  // bit to flip, where to tear).
+  uint64_t payload = 0;
+};
+
+// --- Site evaluation (hot path) -------------------------------------
+
+// True iff any site anywhere is armed. One relaxed atomic load; the
+// inline fast path every instrumented callsite takes when the process
+// runs fault-free.
+bool AnyActive();
+
+// Full evaluation of one site: counts the hit, rolls the trigger dice,
+// consumes limit budget. Delay actions sleep here.
+Eval Evaluate(const char* site);
+
+// Convenience for status-only sites: kError evaluations come back as
+// the configured Status, delays sleep, corruption actions are ignored
+// (they are meaningless without a buffer). OK when disarmed.
+Status InjectedStatus(const char* site);
+
+// Convenience for buffer I/O sites. kBitflip flips one deterministic
+// bit of buf[0..len). kTornWrite truncates *io_len (callers persist
+// only that prefix). kError returns the configured Status; delays
+// sleep. `io_len` may be null when the caller cannot tear.
+Status InjectedIo(const char* site, char* buf, int64_t len,
+                  int64_t* io_len);
+
+// Applies a fired kBitflip evaluation to a buffer (for sites that
+// must separate trigger evaluation from the moment the buffer
+// exists). No-op unless eval fired with Action::kBitflip.
+void ApplyBitflip(const Eval& eval, char* buf, int64_t len);
+
+// --- Registry control ------------------------------------------------
+
+// Arms `site` with `spec` (replacing any previous arming).
+void Enable(const std::string& site, Spec spec);
+
+// Disarms one site / every site. Counters for the site are dropped.
+void Disable(const std::string& site);
+void DisableAll();
+
+// Seed mixed into every site whose spec did not pin one. Applies to
+// sites armed after the call.
+void SetGlobalSeed(uint64_t seed);
+
+// Evaluations / firings since the site was armed (0 if not armed).
+int64_t HitCount(const std::string& site);
+int64_t FireCount(const std::string& site);
+
+// Names of currently armed sites (sorted).
+std::vector<std::string> ActiveSites();
+
+// Parses a RELSERVE_FAILPOINTS-grammar string and arms every site in
+// it. Returns InvalidArgument on a malformed entry (already-parsed
+// entries stay armed). The environment variable itself is parsed
+// lazily on the first registry touch.
+Status EnableFromString(const std::string& config);
+
+// RAII arming for tests: enables on construction, disables on exit.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string site, Spec spec) : site_(std::move(site)) {
+    Enable(site_, spec);
+  }
+  ~ScopedFailpoint() { Disable(site_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace failpoint
+}  // namespace relserve
+
+#endif  // RELSERVE_COMMON_FAILPOINT_H_

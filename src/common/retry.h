@@ -1,0 +1,107 @@
+// RetryPolicy: bounded, jittered exponential backoff for transient
+// faults (DESIGN.md "Fault model & recovery").
+//
+// Only *transient* status codes retry — IOError (a syscall failed; the
+// next attempt may not) and Unavailable (a resource was momentarily
+// saturated: admission queue, eviction capacity, open circuit).
+// DataLoss never retries here: the disk manager already performed its
+// bounded re-reads, and the bytes on disk are wrong until rewritten.
+// Client errors (InvalidArgument, NotFound) obviously never retry.
+//
+// Backoff is budgeted twice over: `max_attempts` caps the calls and
+// `total_backoff_budget_us` caps the time spent sleeping, so a retry
+// storm under real overload degrades into fast failure instead of
+// piling latency onto a sinking engine.
+
+#ifndef RELSERVE_COMMON_RETRY_H_
+#define RELSERVE_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace relserve {
+
+struct RetryPolicy {
+  int max_attempts = 3;               // total calls, first one included
+  int64_t initial_backoff_us = 100;   // before the first retry
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_us = 5'000;     // per-sleep cap
+  // Jitter: each sleep is drawn uniformly from
+  // [(1 - jitter) * backoff, backoff] so synchronized retriers spread
+  // out instead of thundering together.
+  double jitter_fraction = 0.5;
+  int64_t total_backoff_budget_us = 20'000;  // across all retries
+
+  static bool IsTransient(const Status& status) {
+    return status.IsIOError() || status.IsUnavailable();
+  }
+};
+
+namespace retry_internal {
+
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+Status StatusOf(const Result<T>& result) {
+  return result.status();
+}
+
+// splitmix64: cheap, seedable jitter source — no global RNG state, so
+// concurrent retriers never contend and a pinned seed replays exactly.
+inline uint64_t NextRand(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace retry_internal
+
+// Calls `fn` (returning Status or Result<T>) up to
+// `policy.max_attempts` times, sleeping a jittered exponential backoff
+// between attempts, while the outcome is transient and backoff budget
+// remains. Returns the last outcome; `retries_out`, when non-null,
+// receives the number of re-attempts performed.
+template <typename Fn>
+auto CallWithRetry(const RetryPolicy& policy, uint64_t jitter_seed,
+                   Fn&& fn, int64_t* retries_out = nullptr)
+    -> decltype(fn()) {
+  auto outcome = fn();
+  int64_t retries = 0;
+  int64_t backoff_us = policy.initial_backoff_us;
+  int64_t slept_us = 0;
+  uint64_t rng = jitter_seed;
+  while (retries + 1 < policy.max_attempts) {
+    const Status status = retry_internal::StatusOf(outcome);
+    if (status.ok() || !RetryPolicy::IsTransient(status)) break;
+    int64_t sleep_us = std::min(backoff_us, policy.max_backoff_us);
+    if (policy.jitter_fraction > 0.0 && sleep_us > 0) {
+      const double scale =
+          1.0 - policy.jitter_fraction *
+                    (static_cast<double>(retry_internal::NextRand(rng) %
+                                         1000) /
+                     1000.0);
+      sleep_us = static_cast<int64_t>(sleep_us * scale);
+    }
+    if (slept_us + sleep_us > policy.total_backoff_budget_us) break;
+    if (sleep_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      slept_us += sleep_us;
+    }
+    backoff_us = static_cast<int64_t>(backoff_us *
+                                      policy.backoff_multiplier);
+    outcome = fn();
+    ++retries;
+  }
+  if (retries_out != nullptr) *retries_out = retries;
+  return outcome;
+}
+
+}  // namespace relserve
+
+#endif  // RELSERVE_COMMON_RETRY_H_

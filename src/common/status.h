@@ -29,6 +29,12 @@ enum class StatusCode {
   // back off), never a crash.
   kDeadlineExceeded,
   kUnavailable,
+  // Storage detected corruption it could not repair (checksum
+  // mismatch surviving the bounded re-read retry). Unlike kIOError
+  // this is NOT retryable: the bytes on disk are wrong, and the page
+  // is quarantined until rewritten (DESIGN.md "Fault model &
+  // recovery").
+  kDataLoss,
 };
 
 // Human-readable name for a status code, e.g. "OutOfMemory".
@@ -73,6 +79,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
@@ -86,6 +95,8 @@ class Status {
   bool IsUnavailable() const {
     return code_ == StatusCode::kUnavailable;
   }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -26,6 +26,9 @@ struct ExecStats {
   // the page already loaded by that prefetch.
   std::atomic<int64_t> prefetch_issued{0};
   std::atomic<int64_t> prefetch_useful{0};
+  // Nodes planned relation-centric that a storage-tier failure forced
+  // to re-execute UDF-centric (DESIGN.md "Fault model & recovery").
+  std::atomic<int64_t> repr_fallbacks{0};
 
   ExecStats() = default;
   ExecStats(const ExecStats& other) { *this = other; }
@@ -36,6 +39,7 @@ struct ExecStats {
     chunkings = other.chunkings.load();
     prefetch_issued = other.prefetch_issued.load();
     prefetch_useful = other.prefetch_useful.load();
+    repr_fallbacks = other.repr_fallbacks.load();
     return *this;
   }
 
@@ -45,7 +49,8 @@ struct ExecStats {
            " assembles=" + std::to_string(assembles.load()) +
            " chunkings=" + std::to_string(chunkings.load()) +
            " prefetch_issued=" + std::to_string(prefetch_issued.load()) +
-           " prefetch_useful=" + std::to_string(prefetch_useful.load());
+           " prefetch_useful=" + std::to_string(prefetch_useful.load()) +
+           " repr_fallbacks=" + std::to_string(repr_fallbacks.load());
   }
 };
 

@@ -130,6 +130,157 @@ Result<Tensor> ExecOutput::ToTensor(ExecContext* ctx) const {
 
 namespace {
 
+// Executes one node in the given representation, transforming `act`
+// in place. On failure the activation is untouched (every mutation
+// goes through RELSERVE_ASSIGN_OR_RETURN, which assigns only on
+// success), which is what makes the representation fallback in
+// RunImpl sound: the node can be re-executed under the other repr.
+Status ExecNode(const Node& node, Repr repr,
+                const PreparedModel& prepared,
+                const std::vector<Shape>& shapes, int64_t batch,
+                Activation* act, ExecContext* ctx) {
+  switch (node.kind) {
+    case OpKind::kInput: {
+      if (!act->blocked() && repr == Repr::kRelational) {
+        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
+      }
+      break;
+    }
+    case OpKind::kMatMul: {
+      if (repr == Repr::kUdf) {
+        RELSERVE_RETURN_NOT_OK(
+            EnsureWhole(act, shapes[node.input], ctx));
+        // Under a relational plan only the blocked copy of this
+        // weight exists; assemble it whole so the UDF fallback can
+        // still execute the node (its pages are typically hot in the
+        // pool even when fresh storage I/O is failing).
+        Tensor weight_whole;
+        Result<const Tensor*> resident =
+            prepared.ResidentWeight(node.weight_name);
+        if (resident.ok()) {
+          weight_whole = **resident;
+        } else {
+          RELSERVE_ASSIGN_OR_RETURN(
+              const BlockStore* blocked,
+              prepared.BlockedWeight(node.weight_name));
+          RELSERVE_ASSIGN_OR_RETURN(weight_whole,
+                                    blockops::Assemble(*blocked, ctx));
+        }
+        RELSERVE_ASSIGN_OR_RETURN(
+            act->tensor,
+            kernels::MatMul(act->tensor, weight_whole,
+                            /*transpose_b=*/true, ctx->tracker,
+                            ctx->pool));
+        act->owned = true;
+      } else {
+        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
+        RELSERVE_ASSIGN_OR_RETURN(
+            const BlockStore* weight,
+            prepared.BlockedWeight(node.weight_name));
+        RELSERVE_ASSIGN_OR_RETURN(
+            act->store,
+            blockops::BlockMatMul(*act->store, *weight, ctx));
+      }
+      break;
+    }
+    case OpKind::kBiasAdd: {
+      RELSERVE_ASSIGN_OR_RETURN(
+          const Tensor* bias,
+          prepared.ResidentWeight(node.weight_name));
+      if (repr == Repr::kUdf) {
+        RELSERVE_RETURN_NOT_OK(
+            EnsureWhole(act, shapes[node.input], ctx));
+        RELSERVE_RETURN_NOT_OK(EnsureOwned(act, ctx));
+        RELSERVE_RETURN_NOT_OK(
+            kernels::BiasAddInPlace(&act->tensor, *bias));
+      } else {
+        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
+        RELSERVE_ASSIGN_OR_RETURN(
+            act->store,
+            blockops::BlockBiasAdd(*act->store, *bias, ctx));
+      }
+      break;
+    }
+    case OpKind::kRelu: {
+      if (repr == Repr::kUdf) {
+        RELSERVE_RETURN_NOT_OK(
+            EnsureWhole(act, shapes[node.input], ctx));
+        RELSERVE_RETURN_NOT_OK(EnsureOwned(act, ctx));
+        kernels::ReluInPlace(&act->tensor);
+      } else {
+        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
+        RELSERVE_ASSIGN_OR_RETURN(
+            act->store, blockops::BlockRelu(*act->store, ctx));
+      }
+      break;
+    }
+    case OpKind::kSoftmax: {
+      if (repr == Repr::kUdf) {
+        RELSERVE_RETURN_NOT_OK(
+            EnsureWhole(act, shapes[node.input], ctx));
+        RELSERVE_RETURN_NOT_OK(EnsureOwned(act, ctx));
+        RELSERVE_RETURN_NOT_OK(
+            kernels::SoftmaxRowsInPlace(&act->tensor));
+      } else {
+        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
+        RELSERVE_ASSIGN_OR_RETURN(
+            act->store, blockops::BlockSoftmaxRows(*act->store, ctx));
+      }
+      break;
+    }
+    case OpKind::kConv2D: {
+      if (repr == Repr::kUdf) {
+        RELSERVE_RETURN_NOT_OK(
+            EnsureWhole(act, shapes[node.input], ctx));
+        RELSERVE_ASSIGN_OR_RETURN(
+            const Tensor* kernel,
+            prepared.ResidentWeight(node.weight_name));
+        RELSERVE_ASSIGN_OR_RETURN(
+            act->tensor,
+            kernels::Conv2D(act->tensor, *kernel, node.stride,
+                            ctx->tracker, ctx->pool));
+        act->owned = true;
+      } else {
+        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
+        RELSERVE_RETURN_NOT_OK(
+            RelationalConv(node, prepared, shapes[node.input],
+                           shapes[node.id], act, ctx));
+      }
+      break;
+    }
+    case OpKind::kMaxPool: {
+      // No block-relation pooling kernel: pooling windows straddle
+      // block boundaries and the op only appears in small CNNs, so
+      // both representations execute it whole-tensor.
+      RELSERVE_RETURN_NOT_OK(
+          EnsureWhole(act, shapes[node.input], ctx));
+      RELSERVE_ASSIGN_OR_RETURN(
+          act->tensor, kernels::MaxPool2x2(act->tensor, ctx->tracker));
+      act->owned = true;
+      break;
+    }
+    case OpKind::kFlatten: {
+      if (act->blocked()) {
+        // A blocked activation is already a [batch, width] relation.
+        break;
+      }
+      RELSERVE_ASSIGN_OR_RETURN(act->tensor,
+                                act->tensor.Reshape(shapes[node.id]));
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+// Storage-tier failures that representation fallback can route
+// around. OutOfMemory is excluded deliberately: the UDF path uses
+// MORE memory than the relational one, so falling back would make an
+// OOM worse, not better.
+bool IsStorageFailure(const Status& status) {
+  return status.IsIOError() || status.IsUnavailable() ||
+         status.IsDataLoss();
+}
+
 Result<ExecOutput> RunImpl(const PreparedModel& prepared,
                            Activation act, int64_t batch,
                            ExecContext* ctx) {
@@ -142,122 +293,23 @@ Result<ExecOutput> RunImpl(const PreparedModel& prepared,
                             model.InferShapes(batch));
 
   for (const Node& node : model.nodes()) {
-    const Repr repr = plan.decisions[node.id].repr;
-    switch (node.kind) {
-      case OpKind::kInput: {
-        if (!act.blocked() && repr == Repr::kRelational) {
-          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
-        }
-        break;
-      }
-      case OpKind::kMatMul: {
-        if (repr == Repr::kUdf) {
-          RELSERVE_RETURN_NOT_OK(
-              EnsureWhole(&act, shapes[node.input], ctx));
-          RELSERVE_ASSIGN_OR_RETURN(
-              const Tensor* weight,
-              prepared.ResidentWeight(node.weight_name));
-          RELSERVE_ASSIGN_OR_RETURN(
-              act.tensor,
-              kernels::MatMul(act.tensor, *weight,
-                              /*transpose_b=*/true, ctx->tracker,
-                              ctx->pool));
-          act.owned = true;
-        } else {
-          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
-          RELSERVE_ASSIGN_OR_RETURN(
-              const BlockStore* weight,
-              prepared.BlockedWeight(node.weight_name));
-          RELSERVE_ASSIGN_OR_RETURN(
-              act.store, blockops::BlockMatMul(*act.store, *weight, ctx));
-        }
-        break;
-      }
-      case OpKind::kBiasAdd: {
-        RELSERVE_ASSIGN_OR_RETURN(
-            const Tensor* bias,
-            prepared.ResidentWeight(node.weight_name));
-        if (repr == Repr::kUdf) {
-          RELSERVE_RETURN_NOT_OK(
-              EnsureWhole(&act, shapes[node.input], ctx));
-          RELSERVE_RETURN_NOT_OK(EnsureOwned(&act, ctx));
-          RELSERVE_RETURN_NOT_OK(
-              kernels::BiasAddInPlace(&act.tensor, *bias));
-        } else {
-          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
-          RELSERVE_ASSIGN_OR_RETURN(
-              act.store, blockops::BlockBiasAdd(*act.store, *bias, ctx));
-        }
-        break;
-      }
-      case OpKind::kRelu: {
-        if (repr == Repr::kUdf) {
-          RELSERVE_RETURN_NOT_OK(
-              EnsureWhole(&act, shapes[node.input], ctx));
-          RELSERVE_RETURN_NOT_OK(EnsureOwned(&act, ctx));
-          kernels::ReluInPlace(&act.tensor);
-        } else {
-          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
-          RELSERVE_ASSIGN_OR_RETURN(act.store,
-                                    blockops::BlockRelu(*act.store, ctx));
-        }
-        break;
-      }
-      case OpKind::kSoftmax: {
-        if (repr == Repr::kUdf) {
-          RELSERVE_RETURN_NOT_OK(
-              EnsureWhole(&act, shapes[node.input], ctx));
-          RELSERVE_RETURN_NOT_OK(EnsureOwned(&act, ctx));
-          RELSERVE_RETURN_NOT_OK(
-              kernels::SoftmaxRowsInPlace(&act.tensor));
-        } else {
-          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
-          RELSERVE_ASSIGN_OR_RETURN(
-              act.store, blockops::BlockSoftmaxRows(*act.store, ctx));
-        }
-        break;
-      }
-      case OpKind::kConv2D: {
-        if (repr == Repr::kUdf) {
-          RELSERVE_RETURN_NOT_OK(
-              EnsureWhole(&act, shapes[node.input], ctx));
-          RELSERVE_ASSIGN_OR_RETURN(
-              const Tensor* kernel,
-              prepared.ResidentWeight(node.weight_name));
-          RELSERVE_ASSIGN_OR_RETURN(
-              act.tensor,
-              kernels::Conv2D(act.tensor, *kernel, node.stride,
-                              ctx->tracker, ctx->pool));
-          act.owned = true;
-        } else {
-          RELSERVE_RETURN_NOT_OK(EnsureBlocked(&act, batch, ctx));
-          RELSERVE_RETURN_NOT_OK(
-              RelationalConv(node, prepared, shapes[node.input],
-                             shapes[node.id], &act, ctx));
-        }
-        break;
-      }
-      case OpKind::kMaxPool: {
-        // No block-relation pooling kernel: pooling windows straddle
-        // block boundaries and the op only appears in small CNNs, so
-        // both representations execute it whole-tensor.
-        RELSERVE_RETURN_NOT_OK(
-            EnsureWhole(&act, shapes[node.input], ctx));
-        RELSERVE_ASSIGN_OR_RETURN(
-            act.tensor, kernels::MaxPool2x2(act.tensor, ctx->tracker));
-        act.owned = true;
-        break;
-      }
-      case OpKind::kFlatten: {
-        if (act.blocked()) {
-          // A blocked activation is already a [batch, width] relation.
-          break;
-        }
-        RELSERVE_ASSIGN_OR_RETURN(act.tensor,
-                                  act.tensor.Reshape(shapes[node.id]));
-        break;
+    const Repr planned = plan.decisions[node.id].repr;
+    Status s = ExecNode(node, planned, prepared, shapes, batch, &act,
+                        ctx);
+    if (!s.ok() && planned == Repr::kRelational &&
+        IsStorageFailure(s)) {
+      // Graceful degradation: the relation-centric op hit the
+      // (failing) storage tier; the whole-tensor path may not need it
+      // at all. ExecNode left `act` intact, so re-execute UDF-centric
+      // — same math, same bits, different physical plan.
+      s = ExecNode(node, Repr::kUdf, prepared, shapes, batch, &act,
+                   ctx);
+      if (s.ok()) {
+        ctx->stats.repr_fallbacks.fetch_add(
+            1, std::memory_order_relaxed);
       }
     }
+    RELSERVE_RETURN_NOT_OK(s);
   }
 
   ExecOutput out;

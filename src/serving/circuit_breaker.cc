@@ -1,0 +1,117 @@
+#include "serving/circuit_breaker.h"
+
+namespace relserve {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config) {}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const auto elapsed =
+          std::chrono::steady_clock::now() - opened_at_;
+      if (elapsed <
+          std::chrono::microseconds(config_.open_cooldown_us)) {
+        ++shed_count_;
+        return false;
+      }
+      // Cooldown over: probe the backend.
+      state_ = State::kHalfOpen;
+      half_open_in_flight_ = 1;
+      half_open_successes_ = 0;
+      return true;
+    }
+    case State::kHalfOpen:
+      if (half_open_in_flight_ >= config_.half_open_max_probes) {
+        ++shed_count_;
+        return false;
+      }
+      ++half_open_in_flight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::TransitionToOpenLocked() {
+  state_ = State::kOpen;
+  opened_at_ = std::chrono::steady_clock::now();
+  ++times_opened_;
+  window_.clear();
+  window_failures_ = 0;
+  half_open_in_flight_ = 0;
+  half_open_successes_ = 0;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    if (half_open_in_flight_ > 0) --half_open_in_flight_;
+    if (++half_open_successes_ >=
+        config_.half_open_successes_to_close) {
+      state_ = State::kClosed;
+      window_.clear();
+      window_failures_ = 0;
+    }
+    return;
+  }
+  if (state_ == State::kOpen) return;  // late result from before opening
+  window_.push_back(false);
+  if (static_cast<int>(window_.size()) > config_.window_size) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // The backend is still sick: one failed probe re-opens.
+    TransitionToOpenLocked();
+    return;
+  }
+  if (state_ == State::kOpen) return;
+  window_.push_back(true);
+  ++window_failures_;
+  if (static_cast<int>(window_.size()) > config_.window_size) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+  if (static_cast<int>(window_.size()) >= config_.min_samples &&
+      static_cast<double>(window_failures_) >=
+          config_.failure_rate_threshold *
+              static_cast<double>(window_.size())) {
+    TransitionToOpenLocked();
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::times_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return times_opened_;
+}
+
+int64_t CircuitBreaker::shed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_count_;
+}
+
+}  // namespace relserve

@@ -1,0 +1,86 @@
+// CircuitBreaker: per-model fast-fail under sustained infrastructure
+// failure (DESIGN.md "Fault model & recovery").
+//
+// Retry handles the *transient* fault; the breaker handles the
+// *persistent* one. When a model's recent executions fail at a rate
+// above the threshold, the breaker opens: further requests shed
+// immediately with Status::Unavailable instead of burning an engine
+// worker (and a retry budget) on a backend that is down. After a
+// cooldown the breaker goes half-open and admits a few probe requests;
+// enough successes close it, any failure re-opens it for another
+// cooldown.
+//
+//   closed ──(failure rate over windowed threshold)──> open
+//   open ──(cooldown elapses)──> half-open
+//   half-open ──(probe successes)──> closed
+//   half-open ──(probe failure)──> open
+//
+// Thread-safe; every serving worker consults the same instance for a
+// given model.
+
+#ifndef RELSERVE_SERVING_CIRCUIT_BREAKER_H_
+#define RELSERVE_SERVING_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace relserve {
+
+struct CircuitBreakerConfig {
+  // Sliding window of recent execution outcomes.
+  int window_size = 32;
+  // The breaker never opens before this many outcomes are recorded —
+  // one unlucky first request must not condemn a model.
+  int min_samples = 8;
+  // Open when (failures / outcomes in window) reaches this.
+  double failure_rate_threshold = 0.5;
+  // How long an open breaker sheds before probing (half-open).
+  int64_t open_cooldown_us = 50'000;
+  // Consecutive half-open successes required to close.
+  int half_open_successes_to_close = 2;
+  // Probes admitted concurrently while half-open.
+  int half_open_max_probes = 2;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {});
+
+  // Should this request execute? False = shed now with Unavailable.
+  // An open breaker whose cooldown elapsed flips to half-open here and
+  // admits up to half_open_max_probes in-flight probes.
+  bool Allow();
+
+  // Outcome of an execution that Allow() admitted.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  int64_t times_opened() const;
+  int64_t shed_count() const;
+
+  static const char* StateName(State state);
+
+ private:
+  void TransitionToOpenLocked();
+
+  const CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::deque<bool> window_;  // true = failure
+  int window_failures_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+  int half_open_in_flight_ = 0;
+  int half_open_successes_ = 0;
+  int64_t times_opened_ = 0;
+  int64_t shed_count_ = 0;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_SERVING_CIRCUIT_BREAKER_H_

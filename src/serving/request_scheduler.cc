@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace relserve {
 
 namespace {
@@ -232,6 +234,75 @@ void RequestScheduler::WorkerLoop() {
   }
 }
 
+CircuitBreaker* RequestScheduler::breaker(const std::string& model) {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  auto it = breakers_.find(model);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(model, std::make_unique<CircuitBreaker>(
+                                 config_.breaker))
+             .first;
+  }
+  return it->second.get();
+}
+
+Result<Tensor> RequestScheduler::RunResilient(
+    const std::string& model,
+    const std::function<Result<Tensor>()>& fn, bool* breaker_shed) {
+  *breaker_shed = false;
+  CircuitBreaker* model_breaker =
+      config_.enable_circuit_breaker ? breaker(model) : nullptr;
+  if (model_breaker != nullptr && !model_breaker->Allow()) {
+    *breaker_shed = true;
+    return Status::Unavailable(
+        "circuit breaker open for model '" + model +
+        "': shedding until the backend recovers");
+  }
+  int64_t retries = 0;
+  const uint64_t seed =
+      jitter_seq_.fetch_add(1, std::memory_order_relaxed) * 2 + 1;
+  // The "scheduler.dispatch" failpoint models a fault between the
+  // scheduler and the engine (chaos tests inject engine-level failure
+  // here without involving the storage stack). It sits inside the
+  // retried closure so injected transients exercise the real retry
+  // path.
+  Result<Tensor> result = CallWithRetry(
+      config_.retry, seed,
+      [&]() -> Result<Tensor> {
+        if (failpoint::AnyActive()) {
+          Status injected =
+              failpoint::InjectedStatus("scheduler.dispatch");
+          if (!injected.ok()) return injected;
+        }
+        return fn();
+      },
+      &retries);
+  if (retries > 0) {
+    stats_.retries.fetch_add(retries, std::memory_order_relaxed);
+  }
+  if (model_breaker != nullptr) {
+    const Status status = result.status();
+    if (status.IsIOError() || status.IsUnavailable() ||
+        status.IsDataLoss()) {
+      model_breaker->RecordFailure();
+    } else {
+      // OK — or a client-level error (InvalidArgument, NotFound): the
+      // backend is reachable, which is what the breaker measures.
+      model_breaker->RecordSuccess();
+    }
+  }
+  if (!result.ok() && result.status().IsIOError()) {
+    // The engine exhausted its retry budget on a transient fault. To
+    // the client this is still "try again later", not "your data is
+    // gone": surface it as Unavailable, keeping DataLoss the only
+    // storage-corruption verdict.
+    return Status::Unavailable(
+        "transient I/O failure persisted across retries: " +
+        result.status().message());
+  }
+  return result;
+}
+
 Result<Tensor> RequestScheduler::RunSingle(Request& request) {
   switch (request.kind) {
     case RequestKind::kTable: {
@@ -272,7 +343,13 @@ void RequestScheduler::ExecuteBatch(Batch batch) {
 
   if (live.size() == 1) {
     Request& request = live[0];
-    Result<Tensor> result = RunSingle(request);
+    bool breaker_shed = false;
+    Result<Tensor> result = RunResilient(
+        request.model, [&] { return RunSingle(request); },
+        &breaker_shed);
+    if (breaker_shed) {
+      stats_.shed_breaker.fetch_add(1, std::memory_order_relaxed);
+    }
     int64_t rows = RowsOf(request);
     if (rows == 0 && result.ok()) {
       // Table scans learn their row count from the output.
@@ -327,13 +404,28 @@ void RequestScheduler::ExecuteBatch(Batch batch) {
   }
 
   Result<Tensor> out_or = Status::Internal("uninitialized");
+  bool breaker_shed = false;
   if (live[0].kind == RequestKind::kBatch) {
-    Result<ExecOutput> exec =
-        session_->PredictBatch(live[0].model, merged);
-    out_or = exec.ok() ? exec->ToTensor(session_->exec_context())
-                       : Result<Tensor>(exec.status());
+    out_or = RunResilient(
+        live[0].model,
+        [&]() -> Result<Tensor> {
+          Result<ExecOutput> exec =
+              session_->PredictBatch(live[0].model, merged);
+          return exec.ok() ? exec->ToTensor(session_->exec_context())
+                           : Result<Tensor>(exec.status());
+        },
+        &breaker_shed);
   } else {
-    out_or = session_->PredictWithCache(live[0].model, merged);
+    out_or = RunResilient(
+        live[0].model,
+        [&] {
+          return session_->PredictWithCache(live[0].model, merged);
+        },
+        &breaker_shed);
+  }
+  if (breaker_shed) {
+    stats_.shed_breaker.fetch_add(static_cast<int64_t>(live.size()),
+                                  std::memory_order_relaxed);
   }
   if (!out_or.ok()) {
     fail_all(out_or.status());

@@ -35,14 +35,19 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "resource/bounded_queue.h"
+#include "serving/circuit_breaker.h"
 #include "serving/serving_session.h"
 #include "tensor/tensor.h"
 
@@ -60,6 +65,13 @@ struct SchedulerConfig {
   // Start with the dispatcher paused (tests use this to fill the
   // admission queue deterministically, then Resume()).
   bool start_paused = false;
+  // Resilience (DESIGN.md "Fault model & recovery"): transient engine
+  // failures (IOError, Unavailable) retry with jittered backoff;
+  // sustained failure opens a per-model circuit breaker that sheds
+  // with Unavailable until the backend recovers.
+  RetryPolicy retry;
+  bool enable_circuit_breaker = true;
+  CircuitBreakerConfig breaker;
 };
 
 // Counters are atomics: submits race with the dispatcher and workers.
@@ -67,6 +79,8 @@ struct SchedulerStats {
   std::atomic<int64_t> submitted{0};
   std::atomic<int64_t> shed_queue_full{0};   // Unavailable at admission
   std::atomic<int64_t> shed_deadline{0};     // DeadlineExceeded
+  std::atomic<int64_t> shed_breaker{0};      // Unavailable, breaker open
+  std::atomic<int64_t> retries{0};           // transient-fault re-runs
   std::atomic<int64_t> batches{0};           // micro-batches executed
   std::atomic<int64_t> coalesced_requests{0};  // requests that shared
   std::atomic<int64_t> total_rows{0};        // rows through the engine
@@ -78,6 +92,8 @@ struct SchedulerStats {
     submitted = other.submitted.load();
     shed_queue_full = other.shed_queue_full.load();
     shed_deadline = other.shed_deadline.load();
+    shed_breaker = other.shed_breaker.load();
+    retries = other.retries.load();
     batches = other.batches.load();
     coalesced_requests = other.coalesced_requests.load();
     total_rows = other.total_rows.load();
@@ -152,6 +168,10 @@ class RequestScheduler {
 
   SchedulerStats stats() const { return stats_; }
 
+  // The per-model breaker (created on first use). Stable for the
+  // scheduler's lifetime; tests observe state transitions through it.
+  CircuitBreaker* breaker(const std::string& model);
+
  private:
   enum class RequestKind { kTable, kBatch, kCached };
 
@@ -184,6 +204,15 @@ class RequestScheduler {
   Result<Tensor> RunSingle(Request& request);
   void ShedExpired(Request request);
 
+  // Wraps one engine execution for `model` in the resilience stack:
+  // breaker admission check (shed -> Unavailable, *breaker_shed set),
+  // jittered retry of transient failures, outcome recording, and
+  // mapping of terminal IOError to Unavailable (retryable from the
+  // client's view — the next attempt may land after recovery).
+  Result<Tensor> RunResilient(const std::string& model,
+                              const std::function<Result<Tensor>()>& fn,
+                              bool* breaker_shed);
+
   ServingSession* session_;
   SchedulerConfig config_;
   SchedulerStats stats_;
@@ -195,6 +224,11 @@ class RequestScheduler {
   // batch being formed; served first on the next iteration (FIFO
   // across keys, so a lone incompatible request is never starved).
   std::deque<Request> stash_;
+
+  std::mutex breakers_mu_;
+  std::unordered_map<std::string, std::unique_ptr<CircuitBreaker>>
+      breakers_;
+  std::atomic<uint64_t> jitter_seq_{0};  // per-execution jitter seeds
 
   std::mutex control_mu_;
   std::condition_variable control_cv_;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "engine/block_ops.h"
 #include "engine/connector.h"
 #include "relational/operator.h"
@@ -37,7 +38,8 @@ std::string PlanSignature(const InferencePlan& plan) {
 
 ServingSession::ServingSession(ServingConfig config)
     : config_(config),
-      disk_(std::make_unique<DiskManager>(config.spill_path)),
+      disk_(std::make_unique<DiskManager>(config.spill_path,
+                                          config.disk)),
       buffer_pool_(std::make_unique<BufferPool>(
           disk_.get(), config.buffer_pool_pages)),
       catalog_(std::make_unique<Catalog>(buffer_pool_.get())),
@@ -398,6 +400,15 @@ Result<Tensor> ServingSession::PredictWithCache(
   for (int64_t r = 0; r < n; ++r) {
     std::vector<float> features(input.data() + r * width,
                                 input.data() + (r + 1) * width);
+    if (failpoint::AnyActive() &&
+        !failpoint::InjectedStatus("cache.lookup").ok()) {
+      // Graceful degradation: a failed cache tier is treated as a
+      // miss and the row takes the full inference path. The cache is
+      // an accelerator, never a correctness dependency — its failure
+      // costs latency, not availability.
+      miss_rows.push_back(r);
+      continue;
+    }
     // Exact tier first (free of accuracy cost), then approximate.
     std::optional<std::vector<float>> cached;
     if (exact != nullptr) cached = exact->Lookup(features);

@@ -30,6 +30,7 @@
 #include "graph/model.h"
 #include "optimizer/optimizer.h"
 #include "storage/catalog.h"
+#include "storage/disk_manager.h"
 
 namespace relserve {
 
@@ -48,6 +49,10 @@ struct ServingConfig {
   int num_threads = 4;
   // Spill file path; empty = unique temp file.
   std::string spill_path;
+  // Spill-file reliability knobs (CRC32C page checksums, re-read
+  // budget). The default honors RELSERVE_PAGE_CHECKSUMS — the bench
+  // ablation switch.
+  DiskManagerOptions disk;
   // Simulated cost of the RDBMS <-> external-runtime hop used by
   // PredictViaRuntime (see TransferLink in engine/connector.h). Zero
   // both fields for a free link.
@@ -66,6 +71,10 @@ class ServingSession {
 
   ServingSession(const ServingSession&) = delete;
   ServingSession& operator=(const ServingSession&) = delete;
+
+  // Construction never aborts. A failed spill-file open lands here and
+  // on every storage I/O the session performs afterwards.
+  Status status() const { return disk_->status(); }
 
   Catalog* catalog() { return catalog_.get(); }
   ExecContext* exec_context() { return &ctx_; }

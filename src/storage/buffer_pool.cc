@@ -3,6 +3,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace relserve {
@@ -14,7 +15,9 @@ std::string BufferPoolStats::ToString() const {
          " prefetches_issued=" + std::to_string(prefetches_issued) +
          " prefetches_completed=" +
          std::to_string(prefetches_completed) +
-         " prefetch_useful=" + std::to_string(prefetch_useful);
+         " prefetch_useful=" + std::to_string(prefetch_useful) +
+         " prefetch_failed=" + std::to_string(prefetch_failed) +
+         " writeback_failures=" + std::to_string(writeback_failures);
 }
 
 BufferPool::BufferPool(DiskManager* disk, int64_t capacity_pages)
@@ -34,54 +37,81 @@ BufferPool::~BufferPool() {
 
 Result<int64_t> BufferPool::ReserveFrame(
     std::unique_lock<std::mutex>& lock) {
-  // First preference: a frame never used (and not reserved by another
-  // thread's in-flight load).
-  for (int64_t i = 0; i < capacity_pages_; ++i) {
-    if (frames_[i].page_id == kInvalidPageId && !frames_[i].io_pending) {
-      if (frames_[i].data == nullptr) {
-        frames_[i].data = std::make_unique<char[]>(kPageSize);
+  std::unordered_set<int64_t> failed_victims;
+  Status last_error = Status::OK();
+  while (true) {
+    // First preference: a frame never used (and not reserved by
+    // another thread's in-flight load). Re-scanned every round — a
+    // frame may have freed while the lock was dropped for a failed
+    // write-back below.
+    for (int64_t i = 0; i < capacity_pages_; ++i) {
+      if (frames_[i].page_id == kInvalidPageId &&
+          !frames_[i].io_pending) {
+        if (frames_[i].data == nullptr) {
+          frames_[i].data = std::make_unique<char[]>(kPageSize);
+        }
+        frames_[i].io_pending = true;
+        return i;
       }
-      frames_[i].io_pending = true;
-      return i;
     }
-  }
-  // Otherwise evict the least-recently-used unpinned, unlatched frame.
-  int64_t victim = -1;
-  uint64_t oldest = std::numeric_limits<uint64_t>::max();
-  for (int64_t i = 0; i < capacity_pages_; ++i) {
-    if (frames_[i].pin_count == 0 && !frames_[i].io_pending &&
-        frames_[i].last_used < oldest) {
-      oldest = frames_[i].last_used;
-      victim = i;
+    // Otherwise evict the least-recently-used unpinned, unlatched
+    // frame that has not already refused to write back this call.
+    int64_t victim = -1;
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (int64_t i = 0; i < capacity_pages_; ++i) {
+      if (frames_[i].pin_count == 0 && !frames_[i].io_pending &&
+          failed_victims.count(i) == 0 &&
+          frames_[i].last_used < oldest) {
+        oldest = frames_[i].last_used;
+        victim = i;
+      }
     }
-  }
-  if (victim < 0) {
-    return Status::OutOfMemory(
-        "buffer pool: all " + std::to_string(capacity_pages_) +
-        " frames pinned or latched");
-  }
-  Frame& frame = frames_[victim];
-  frame.io_pending = true;
-  if (frame.dirty) {
-    // Write back with the map mutex dropped; the latch keeps the frame
-    // (and its page-table mapping) stable, and a concurrent fetch of
-    // this page waits on the latch, then re-misses after the erase.
-    const PageId victim_page = frame.page_id;
-    lock.unlock();
-    Status s = disk_->WritePage(victim_page, frame.data.get());
-    lock.lock();
-    if (!s.ok()) {
-      frame.io_pending = false;
-      io_cv_.notify_all();
-      return s;
+    if (victim < 0) {
+      if (!failed_victims.empty()) {
+        // Every evictable page refused to persist. The dirty frames
+        // stay resident (nothing was lost), but no capacity can be
+        // made — a transient, retryable condition, unlike OutOfMemory.
+        return Status::Unavailable(
+            "buffer pool: write-back failed for all " +
+            std::to_string(failed_victims.size()) +
+            " eviction candidates (last: " + last_error.ToString() +
+            ")");
+      }
+      return Status::OutOfMemory(
+          "buffer pool: all " + std::to_string(capacity_pages_) +
+          " frames pinned or latched");
     }
-    frame.dirty = false;
+    Frame& frame = frames_[victim];
+    frame.io_pending = true;
+    if (frame.dirty) {
+      // Write back with the map mutex dropped; the latch keeps the
+      // frame (and its page-table mapping) stable, and a concurrent
+      // fetch of this page waits on the latch, then re-misses after
+      // the erase.
+      const PageId victim_page = frame.page_id;
+      lock.unlock();
+      Status s = failpoint::InjectedStatus("bufferpool.evict");
+      if (s.ok()) s = disk_->WritePage(victim_page, frame.data.get());
+      lock.lock();
+      if (!s.ok()) {
+        // Keep the victim dirty and resident — its bytes are still
+        // the only copy — clear the latch so waiters proceed, and try
+        // the next candidate.
+        ++stats_.writeback_failures;
+        frame.io_pending = false;
+        io_cv_.notify_all();
+        failed_victims.insert(victim);
+        last_error = s;
+        continue;
+      }
+      frame.dirty = false;
+    }
+    page_table_.erase(frame.page_id);
+    frame.page_id = kInvalidPageId;
+    frame.prefetched = false;
+    ++stats_.evictions;
+    return victim;
   }
-  page_table_.erase(frame.page_id);
-  frame.page_id = kInvalidPageId;
-  frame.prefetched = false;
-  ++stats_.evictions;
-  return victim;
 }
 
 void BufferPool::ReleaseFrameLocked(int64_t idx) {
@@ -332,6 +362,10 @@ void BufferPool::PrefetchLoop() {
     if (s.ok()) {
       frame.prefetched = true;
     } else {
+      // Dropped, never fatal: the foreground fetch will perform (and
+      // surface) the read itself. Counted so chaos runs can assert
+      // the prefetcher absorbed injected faults without dying.
+      ++stats_.prefetch_failed;
       page_table_.erase(page_id);
       frame.page_id = kInvalidPageId;
       frame.prefetched = false;

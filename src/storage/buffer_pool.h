@@ -51,6 +51,11 @@ struct BufferPoolStats {
   int64_t prefetches_issued = 0;
   int64_t prefetches_completed = 0;
   int64_t prefetch_useful = 0;
+  // Resilience accounting: prefetch loads that failed (dropped, never
+  // fatal — the foreground fetch retries the read itself) and eviction
+  // write-backs that failed (the pool retried an alternate victim).
+  int64_t prefetch_failed = 0;
+  int64_t writeback_failures = 0;
 
   std::string ToString() const;
 };
@@ -129,6 +134,12 @@ class BufferPool {
   // unpinned unlatched page if needed. Called with `lock` held; drops
   // and reacquires it around the victim's write-back, so the caller
   // must re-validate the page table afterwards.
+  //
+  // A victim whose write-back fails is left dirty and resident (its
+  // latch cleared — no data is lost, no frame is wedged) and the next
+  // LRU candidate is tried; only when every candidate fails does the
+  // reservation surface Status::Unavailable. The "bufferpool.evict"
+  // failpoint injects a write-back failure for the chosen victim.
   Result<int64_t> ReserveFrame(std::unique_lock<std::mutex>& lock);
 
   // Returns a reserved-but-unused frame to the free state. Called with

@@ -13,7 +13,21 @@ inline constexpr PageId kInvalidPageId = -1;
 // 64 KiB pages: large enough that a tensor block of a few thousand
 // floats spans a handful of pages, small enough that the buffer pool
 // ablations (A3) show real eviction behaviour at laptop scale.
+// kPageSize is the *payload* a buffer-pool frame holds; on disk each
+// page occupies a slot of kPageHeaderSize + kPageSize so the checksum
+// header travels with the data it protects (DESIGN.md "Fault model &
+// recovery").
 inline constexpr int64_t kPageSize = 64 * 1024;
+
+// On-disk page header: {magic, crc32c(payload), page_id}. magic
+// distinguishes checksummed pages, unchecksummed pages, and
+// never-written holes (all-zero header); page_id catches misdirected
+// I/O (a write landing at the wrong offset).
+inline constexpr int64_t kPageHeaderSize = 16;
+inline constexpr int64_t kPageSlotSize = kPageSize + kPageHeaderSize;
+
+inline constexpr uint32_t kPageMagicCrc = 0x52535643;    // "RSVC"
+inline constexpr uint32_t kPageMagicNoCrc = 0x52535630;  // "RSV0"
 
 }  // namespace relserve
 

@@ -1,0 +1,180 @@
+// Unit tests for the failpoint registry: trigger composition
+// (skip/limit/probability), action semantics (error, delay, torn,
+// bitflip), the RELSERVE_FAILPOINTS grammar, and seeded determinism —
+// the property the chaos harness relies on to replay failing seeds.
+
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace relserve {
+namespace failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DisableAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteIsFreeAndSilent) {
+  EXPECT_FALSE(Evaluate("never.armed").fired);
+  EXPECT_TRUE(InjectedStatus("never.armed").ok());
+  EXPECT_EQ(HitCount("never.armed"), 0);
+}
+
+TEST_F(FailpointTest, ErrorActionReturnsConfiguredStatus) {
+  Enable("site.a", Spec::Error(StatusCode::kUnavailable));
+  Status s = InjectedStatus("site.a");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(HitCount("site.a"), 1);
+  EXPECT_EQ(FireCount("site.a"), 1);
+  Disable("site.a");
+  EXPECT_TRUE(InjectedStatus("site.a").ok());
+}
+
+TEST_F(FailpointTest, SkipAndLimitCompose) {
+  // Pass 2 evaluations, then fire at most 3 times, then pass forever.
+  Enable("site.b",
+         Spec::Error(StatusCode::kIOError).Skip(2).Limit(3));
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!InjectedStatus("site.b").ok()) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(HitCount("site.b"), 10);
+  EXPECT_EQ(FireCount("site.b"), 3);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  Enable("site.once", Spec::Error(StatusCode::kIOError).Once());
+  EXPECT_FALSE(InjectedStatus("site.once").ok());
+  EXPECT_TRUE(InjectedStatus("site.once").ok());
+  EXPECT_TRUE(InjectedStatus("site.once").ok());
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeededAndDeterministic) {
+  auto run = [](uint64_t seed) {
+    Enable("site.p",
+           Spec::Error(StatusCode::kIOError).Probability(0.5).Seed(
+               seed));
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(!InjectedStatus("site.p").ok());
+    }
+    Disable("site.p");
+    return outcomes;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_EQ(a, b);  // same seed -> identical schedule
+  EXPECT_NE(a, c);  // different seed -> different schedule
+  int fired = 0;
+  for (const bool f : a) fired += f ? 1 : 0;
+  EXPECT_GT(fired, 8);   // p=0.5 over 64 draws
+  EXPECT_LT(fired, 56);
+}
+
+TEST_F(FailpointTest, TornWriteTruncatesIoLength) {
+  Enable("site.torn", Spec::Torn().Seed(3));
+  char buf[64];
+  std::memset(buf, 'x', sizeof(buf));
+  int64_t io_len = 64;
+  ASSERT_TRUE(InjectedIo("site.torn", buf, 64, &io_len).ok());
+  EXPECT_GE(io_len, 0);
+  EXPECT_LT(io_len, 64);  // a strict prefix
+}
+
+TEST_F(FailpointTest, BitflipFlipsExactlyOneBit) {
+  Enable("site.flip", Spec::Bitflip().Seed(5));
+  std::vector<char> buf(256, 0);
+  int64_t io_len = 256;
+  ASSERT_TRUE(
+      InjectedIo("site.flip", buf.data(), 256, &io_len).ok());
+  int bits_set = 0;
+  for (const char c : buf) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    while (byte != 0) {
+      bits_set += byte & 1;
+      byte >>= 1;
+    }
+  }
+  EXPECT_EQ(bits_set, 1);
+  EXPECT_EQ(io_len, 256);  // bitflip never tears
+}
+
+TEST_F(FailpointTest, ApplyBitflipIsDeferredReplayable) {
+  Enable("site.defer", Spec::Bitflip().Seed(9));
+  const Eval eval = Evaluate("site.defer");
+  ASSERT_TRUE(eval.fired);
+  std::vector<char> a(128, 0), b(128, 0);
+  ApplyBitflip(eval, a.data(), 128);
+  ApplyBitflip(eval, b.data(), 128);
+  EXPECT_EQ(a, b);  // same Eval -> same bit
+  EXPECT_NE(a, std::vector<char>(128, 0));
+}
+
+TEST_F(FailpointTest, EnableFromStringParsesGrammar) {
+  ASSERT_TRUE(EnableFromString(
+                  "x.a=error(Unavailable),p=0.25,skip=1,limit=5;"
+                  "x.b=delay(10);x.c=torn,once;x.d=bitflip,seed=11")
+                  .ok());
+  const auto sites = ActiveSites();
+  EXPECT_EQ(sites.size(), 4u);
+  // x.a passes its first (skipped) evaluation.
+  EXPECT_TRUE(InjectedStatus("x.a").ok());
+  // x.b delays then proceeds: never an error.
+  EXPECT_TRUE(InjectedStatus("x.b").ok());
+}
+
+TEST_F(FailpointTest, MalformedEntriesAreReportedButDoNotDisarmRest) {
+  Status s = EnableFromString("ok.site=error(IOError);bad entry;"
+                              "also.ok=delay(1)");
+  EXPECT_FALSE(s.ok());  // the malformed entry is reported...
+  EXPECT_FALSE(InjectedStatus("ok.site").ok());   // ...but both good
+  EXPECT_TRUE(InjectedStatus("also.ok").ok());    // entries are armed
+  EXPECT_EQ(ActiveSites().size(), 2u);
+}
+
+TEST_F(FailpointTest, UnknownStatusCodeIsInvalidArgument) {
+  Status s = EnableFromString("x=error(Bogus)");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_TRUE(ActiveSites().empty());
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    ScopedFailpoint fp("scoped.site",
+                       Spec::Error(StatusCode::kIOError));
+    EXPECT_FALSE(InjectedStatus("scoped.site").ok());
+  }
+  EXPECT_TRUE(InjectedStatus("scoped.site").ok());
+  if (std::getenv("RELSERVE_FAILPOINTS") == nullptr) {
+    EXPECT_FALSE(AnyActive());  // armed-count bookkeeping is exact
+  }
+}
+
+// Environment-activation smoke: scripts/tsan_check.sh runs this test
+// with RELSERVE_FAILPOINTS="chaos.smoke=error(Unavailable),limit=2"
+// to prove the env path arms real sites in a fresh process. Skipped
+// in a normal ctest run where the variable is unset.
+TEST_F(FailpointTest, EnvActivationSmoke) {
+  const char* env = std::getenv("RELSERVE_FAILPOINTS");
+  if (env == nullptr || std::strstr(env, "chaos.smoke") == nullptr) {
+    GTEST_SKIP() << "RELSERVE_FAILPOINTS not set for this process";
+  }
+  EXPECT_TRUE(AnyActive());
+  Status first = InjectedStatus("chaos.smoke");
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.IsUnavailable());
+}
+
+}  // namespace
+}  // namespace failpoint
+}  // namespace relserve

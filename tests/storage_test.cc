@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "storage/block_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
@@ -337,7 +338,7 @@ TEST(CatalogTest, TablesAndTensorRelations) {
   EXPECT_EQ(catalog.TensorRelationNames().size(), 1u);
 }
 
-TEST(FailureInjectionTest, SpillWriteFailureSurfacesAsIoError) {
+TEST(FailureInjectionTest, EvictionWriteBackRetriesAlternateVictim) {
   DiskManager disk;
   BufferPool pool(&disk, 2);
   PageId a, b;
@@ -345,13 +346,47 @@ TEST(FailureInjectionTest, SpillWriteFailureSurfacesAsIoError) {
   ASSERT_TRUE(pool.UnpinPage(a, /*dirty=*/true).ok());
   ASSERT_TRUE(pool.NewPage(&b).ok());
   ASSERT_TRUE(pool.UnpinPage(b, /*dirty=*/true).ok());
-  // The next eviction must write back a dirty page; make that fail.
-  disk.InjectWriteFailures(1);
+  {
+    // The next eviction's write-back fails once; the pool must absorb
+    // it by evicting the other candidate instead of surfacing it.
+    failpoint::ScopedFailpoint fp(
+        "disk.write",
+        failpoint::Spec::Error(StatusCode::kIOError).Once());
+    PageId c;
+    auto page = pool.NewPage(&c);
+    ASSERT_TRUE(page.ok()) << page.status();
+    ASSERT_TRUE(pool.UnpinPage(c, false).ok());
+  }
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.writeback_failures, 1);
+  EXPECT_GE(stats.evictions, 1);
+  // The failed victim stayed resident and dirty: nothing was lost.
+  auto again = pool.FetchPage(a);
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(pool.UnpinPage(a, false).ok());
+}
+
+TEST(FailureInjectionTest, AllEvictionCandidatesFailingIsUnavailable) {
+  DiskManager disk;
+  BufferPool pool(&disk, 2);
+  PageId a, b;
+  ASSERT_TRUE(pool.NewPage(&a).ok());
+  ASSERT_TRUE(pool.UnpinPage(a, /*dirty=*/true).ok());
+  ASSERT_TRUE(pool.NewPage(&b).ok());
+  ASSERT_TRUE(pool.UnpinPage(b, /*dirty=*/true).ok());
+  {
+    failpoint::ScopedFailpoint fp(
+        "disk.write", failpoint::Spec::Error(StatusCode::kIOError));
+    PageId c;
+    auto page = pool.NewPage(&c);
+    ASSERT_FALSE(page.ok());
+    // Transient (retryable), not an I/O verdict the caller must act
+    // on: the dirty pages are intact and a later attempt can succeed.
+    EXPECT_TRUE(page.status().IsUnavailable()) << page.status();
+    EXPECT_EQ(pool.stats().writeback_failures, 2);
+  }
+  // After the fault clears, the same pool recovers.
   PageId c;
-  auto page = pool.NewPage(&c);
-  ASSERT_FALSE(page.ok());
-  EXPECT_EQ(page.status().code(), StatusCode::kIOError);
-  // After the injected failure clears, the pool works again.
   ASSERT_TRUE(pool.NewPage(&c).ok());
   ASSERT_TRUE(pool.UnpinPage(c, false).ok());
 }
@@ -362,8 +397,12 @@ TEST(FailureInjectionTest, FlushAllReportsWriteFailure) {
   PageId a;
   ASSERT_TRUE(pool.NewPage(&a).ok());
   ASSERT_TRUE(pool.UnpinPage(a, /*dirty=*/true).ok());
-  disk.InjectWriteFailures(1);
-  EXPECT_EQ(pool.FlushAll().code(), StatusCode::kIOError);
+  {
+    failpoint::ScopedFailpoint fp(
+        "disk.write",
+        failpoint::Spec::Error(StatusCode::kIOError).Once());
+    EXPECT_EQ(pool.FlushAll().code(), StatusCode::kIOError);
+  }
   EXPECT_TRUE(pool.FlushAll().ok());  // retry succeeds
 }
 
@@ -373,9 +412,13 @@ TEST(FailureInjectionTest, BlockStorePutFailurePropagates) {
   BlockStore store(&pool, BlockedShape{64, 64, 16, 16});
   auto m = Tensor::Zeros(Shape{64, 64});
   ASSERT_TRUE(m.ok());
-  disk.InjectWriteFailures(2);
+  // Persistent write failure: both eviction candidates fail, so the
+  // reservation inside PutMatrix surfaces Unavailable.
+  failpoint::ScopedFailpoint fp(
+      "disk.write", failpoint::Spec::Error(StatusCode::kIOError));
   Status s = store.PutMatrix(*m);
-  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable()) << s;
 }
 
 TEST(BufferPoolTest, ConcurrentFetchStress) {
