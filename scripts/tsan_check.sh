@@ -23,9 +23,13 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 UBSAN_DIR="${2:-build-ubsan}"
 
+# executor_test and serving_concurrency_test drive the compiled
+# PhysicalPlan stage runner (shared StageStats atomics accumulate
+# across concurrent requests and redeploy swaps).
 TSAN_TESTS=(resource_test storage_test block_ops_test kernels_test
-            serving_concurrency_test chaos_test)
-UBSAN_TESTS=(kernels_test tensor_test block_ops_test chaos_test)
+            executor_test serving_concurrency_test chaos_test)
+UBSAN_TESTS=(kernels_test tensor_test block_ops_test executor_test
+            plan_text_test chaos_test)
 
 cmake -B "$BUILD_DIR" -S . -DRELSERVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -41,10 +41,13 @@ struct CacheStats {
 
   CacheStats() = default;
   CacheStats(const CacheStats& other) { *this = other; }
+  // Relaxed snapshot: stats are read while queries update them;
+  // per-counter coherence is all callers rely on.
   CacheStats& operator=(const CacheStats& other) {
-    lookups = other.lookups.load();
-    hits = other.hits.load();
-    insertions = other.insertions.load();
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    lookups.store(other.lookups.load(kRelaxed), kRelaxed);
+    hits.store(other.hits.load(kRelaxed), kRelaxed);
+    insertions.store(other.insertions.load(kRelaxed), kRelaxed);
     return *this;
   }
 

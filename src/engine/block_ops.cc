@@ -94,9 +94,9 @@ Result<Tensor> Assemble(const BlockStore& store, ExecContext* ctx) {
   return store.ToMatrix(ctx->tracker);
 }
 
-Result<std::unique_ptr<BlockStore>> BlockMatMul(const BlockStore& x,
-                                                const BlockStore& w,
-                                                ExecContext* ctx) {
+Result<std::unique_ptr<BlockStore>> BlockMatMul(
+    const BlockStore& x, const BlockStore& w, ExecContext* ctx,
+    const BlockFn* epilogue) {
   const BlockedShape& xg = x.geometry();
   const BlockedShape& wg = w.geometry();
   if (xg.cols != wg.cols) {
@@ -175,6 +175,9 @@ Result<std::unique_ptr<BlockStore>> BlockMatMul(const BlockStore& x,
       RELSERVE_RETURN_NOT_OK(kernels::GemmInto(
           xb.data, wb.data, /*transpose_b=*/true,
           /*accumulate=*/true, &acc, inner_pool));
+    }
+    if (epilogue != nullptr) {
+      RELSERVE_RETURN_NOT_OK((*epilogue)(rb, jb, &acc));
     }
     RELSERVE_RETURN_NOT_OK(c->Put(TensorBlock{rb, jb, std::move(acc)}));
     ctx->stats.blocks_written += 1;

@@ -39,12 +39,23 @@ Result<std::unique_ptr<BlockStore>> ChunkMatrix(const Tensor& m,
 // arena (may OOM — that is the point of the experiment).
 Result<Tensor> Assemble(const BlockStore& store, ExecContext* ctx);
 
+// A fused elementwise pass over one freshly computed output block
+// (row_block, col_block, payload), applied before the block is written
+// to the store — how matmul epilogues (bias add / relu) ride the block
+// join in the same pass over the data instead of re-scanning the
+// relation per operator. May run from several pool workers at once; it
+// must be thread-safe (pure per-block transforms are).
+using BlockFn = std::function<Status(int64_t, int64_t, Tensor*)>;
+
 // C = X * W^T as block join + aggregation.
 //   x: [rows, inner] blocked; w: [out, inner] blocked (weight layout).
-// Result store has shape [rows, out].
-Result<std::unique_ptr<BlockStore>> BlockMatMul(const BlockStore& x,
-                                                const BlockStore& w,
-                                                ExecContext* ctx);
+// Result store has shape [rows, out]. When `epilogue` is non-null it
+// is applied to each output block's accumulator before the single
+// write — bit-identical to a separate blockwise pass, minus one full
+// read/write of the relation.
+Result<std::unique_ptr<BlockStore>> BlockMatMul(
+    const BlockStore& x, const BlockStore& w, ExecContext* ctx,
+    const BlockFn* epilogue = nullptr);
 
 // Applies `fn` to every block payload, producing a new store with the
 // same geometry. `fn` receives the block's (row_block, col_block) and

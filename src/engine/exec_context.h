@@ -29,17 +29,31 @@ struct ExecStats {
   // Nodes planned relation-centric that a storage-tier failure forced
   // to re-execute UDF-centric (DESIGN.md "Fault model & recovery").
   std::atomic<int64_t> repr_fallbacks{0};
+  // Compiled-plan execution: physical stages run and wall time spent
+  // inside them (the stage runner's per-request attribution; the
+  // per-stage breakdown lives in PhysicalPlan's StageStats).
+  std::atomic<int64_t> stages_executed{0};
+  std::atomic<int64_t> stage_nanos{0};
 
   ExecStats() = default;
   ExecStats(const ExecStats& other) { *this = other; }
+  // Snapshot with relaxed loads/stores: readers copy stats while
+  // workers are still bumping them; each counter is independently
+  // coherent and no ordering between counters is implied (or needed).
   ExecStats& operator=(const ExecStats& other) {
-    blocks_read = other.blocks_read.load();
-    blocks_written = other.blocks_written.load();
-    assembles = other.assembles.load();
-    chunkings = other.chunkings.load();
-    prefetch_issued = other.prefetch_issued.load();
-    prefetch_useful = other.prefetch_useful.load();
-    repr_fallbacks = other.repr_fallbacks.load();
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    blocks_read.store(other.blocks_read.load(kRelaxed), kRelaxed);
+    blocks_written.store(other.blocks_written.load(kRelaxed), kRelaxed);
+    assembles.store(other.assembles.load(kRelaxed), kRelaxed);
+    chunkings.store(other.chunkings.load(kRelaxed), kRelaxed);
+    prefetch_issued.store(other.prefetch_issued.load(kRelaxed),
+                          kRelaxed);
+    prefetch_useful.store(other.prefetch_useful.load(kRelaxed),
+                          kRelaxed);
+    repr_fallbacks.store(other.repr_fallbacks.load(kRelaxed), kRelaxed);
+    stages_executed.store(other.stages_executed.load(kRelaxed),
+                          kRelaxed);
+    stage_nanos.store(other.stage_nanos.load(kRelaxed), kRelaxed);
     return *this;
   }
 
@@ -50,7 +64,8 @@ struct ExecStats {
            " chunkings=" + std::to_string(chunkings.load()) +
            " prefetch_issued=" + std::to_string(prefetch_issued.load()) +
            " prefetch_useful=" + std::to_string(prefetch_useful.load()) +
-           " repr_fallbacks=" + std::to_string(repr_fallbacks.load());
+           " repr_fallbacks=" + std::to_string(repr_fallbacks.load()) +
+           " stages_executed=" + std::to_string(stages_executed.load());
   }
 };
 

@@ -1,6 +1,8 @@
 #include "engine/hybrid_executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
 
 #include "engine/block_ops.h"
 #include "kernels/kernels.h"
@@ -9,7 +11,7 @@ namespace relserve {
 
 namespace {
 
-// The executor's rolling activation: exactly one of tensor/store set.
+// The runner's rolling activation: exactly one of tensor/store set.
 struct Activation {
   Tensor tensor;
   std::unique_ptr<BlockStore> store;
@@ -21,6 +23,10 @@ struct Activation {
 };
 
 // Blocked -> whole (or reshape a whole tensor to the expected shape).
+// Idempotent: compiled ReprTransition stages and the per-stage entry
+// guards both funnel through here, so a runtime representation drift
+// (a fallback left the activation whole where the plan expects
+// blocked, or vice versa) self-corrects at the next stage.
 Status EnsureWhole(Activation* act, const Shape& expected,
                    ExecContext* ctx) {
   if (act->blocked()) {
@@ -61,17 +67,77 @@ Status EnsureOwned(Activation* act, ExecContext* ctx) {
   return Status::OK();
 }
 
+// Applies a stage's fused elementwise chain to the whole activation,
+// in plan order — the same kernel calls the unfused path makes, on
+// the same buffer, so results are bit-identical.
+Status ApplyWholeEpilogue(const std::vector<EpilogueOp>& ops,
+                          Activation* act, ExecContext* ctx) {
+  if (ops.empty()) return Status::OK();
+  RELSERVE_RETURN_NOT_OK(EnsureOwned(act, ctx));
+  for (const EpilogueOp& op : ops) {
+    switch (op.op) {
+      case OpKind::kBiasAdd:
+        RELSERVE_RETURN_NOT_OK(
+            kernels::BiasAddInPlace(&act->tensor, *op.bias));
+        break;
+      case OpKind::kRelu:
+        kernels::ReluInPlace(&act->tensor);
+        break;
+      case OpKind::kSoftmax:
+        RELSERVE_RETURN_NOT_OK(
+            kernels::SoftmaxRowsInPlace(&act->tensor));
+        break;
+      default:
+        return Status::InvalidArgument("bad epilogue op");
+    }
+  }
+  return Status::OK();
+}
+
+// The blockwise counterpart: a per-block pass applying the chain to
+// one output block. `nominal_block_cols` is the producing store's
+// column blocking, needed to slice the bias. Each element sees the
+// same operations in the same order as a separate blockwise pass.
+blockops::BlockFn MakeBlockEpilogue(const std::vector<EpilogueOp>& ops,
+                                    int64_t nominal_block_cols) {
+  return [&ops, nominal_block_cols](int64_t, int64_t cb,
+                                    Tensor* payload) -> Status {
+    for (const EpilogueOp& op : ops) {
+      switch (op.op) {
+        case OpKind::kBiasAdd: {
+          const int64_t col0 = cb * nominal_block_cols;
+          const int64_t width = payload->shape().dim(1);
+          // Slice of the bias covering this column block.
+          RELSERVE_ASSIGN_OR_RETURN(
+              Tensor slice, Tensor::Create(Shape{width}, nullptr));
+          std::memcpy(slice.data(), op.bias->data() + col0,
+                      width * sizeof(float));
+          RELSERVE_RETURN_NOT_OK(
+              kernels::BiasAddInPlace(payload, slice));
+          break;
+        }
+        case OpKind::kRelu:
+          kernels::ReluInPlace(payload);
+          break;
+        default:
+          return Status::InvalidArgument("bad block epilogue op");
+      }
+    }
+    return Status::OK();
+  };
+}
+
 // Relation-centric convolution: streams each image through the
 // im2col ("spatial rewriting") relation and a broadcast join with the
 // kernel relation, appending output feature-map rows into the next
 // activation relation. Working set: one image + one im2col block +
-// one output strip.
-Status RelationalConv(const Node& node, const PreparedModel& prepared,
-                      const Shape& in_shape, const Shape& out_shape,
+// one output strip. A fused relu applies to each strip as it is
+// produced.
+Status RelationalConv(const PhysicalStage& stage, int64_t batch,
                       Activation* act, ExecContext* ctx) {
-  RELSERVE_ASSIGN_OR_RETURN(const Tensor* kernel,
-                            prepared.ResidentWeight(node.weight_name));
-  const int64_t batch = in_shape.dim(0);
+  const Tensor* kernel = stage.weight;
+  const Shape in_shape = stage.InShape(batch);
+  const Shape out_shape = stage.OutShape(batch);
   const int64_t h = in_shape.dim(1);
   const int64_t w = in_shape.dim(2);
   const int64_t c = in_shape.dim(3);
@@ -80,6 +146,7 @@ Status RelationalConv(const Node& node, const PreparedModel& prepared,
   const int64_t kw = kernel->shape().dim(2);
   const int64_t patch = kh * kw * c;
   const int64_t out_pixels = out_shape.dim(1) * out_shape.dim(2);
+  const bool fuse_relu = !stage.epilogue.empty();
   RELSERVE_ASSIGN_OR_RETURN(Tensor kernel_mat,
                             kernel->Reshape(Shape{out_c, patch}));
 
@@ -104,12 +171,13 @@ Status RelationalConv(const Node& node, const PreparedModel& prepared,
           Tensor cols,
           Tensor::Create(Shape{p1 - p0, patch}, ctx->tracker));
       RELSERVE_RETURN_NOT_OK(
-          kernels::Im2ColRowsInto(image, kh, kw, node.stride, p0, p1,
+          kernels::Im2ColRowsInto(image, kh, kw, stage.stride, p0, p1,
                                   &cols));
       RELSERVE_ASSIGN_OR_RETURN(
           Tensor strip,
           kernels::MatMul(cols, kernel_mat, /*transpose_b=*/true,
                           ctx->tracker, ctx->pool));
+      if (fuse_relu) kernels::ReluInPlace(&strip);
       RELSERVE_RETURN_NOT_OK(
           appender.Append(strip.data(), strip.NumElements()));
     }
@@ -130,146 +198,160 @@ Result<Tensor> ExecOutput::ToTensor(ExecContext* ctx) const {
 
 namespace {
 
-// Executes one node in the given representation, transforming `act`
-// in place. On failure the activation is untouched (every mutation
-// goes through RELSERVE_ASSIGN_OR_RETURN, which assigns only on
-// success), which is what makes the representation fallback in
-// RunImpl sound: the node can be re-executed under the other repr.
-Status ExecNode(const Node& node, Repr repr,
-                const PreparedModel& prepared,
-                const std::vector<Shape>& shapes, int64_t batch,
+// Executes one compiled stage, transforming `act` in place. On
+// failure the activation's logical value is untouched (mutations go
+// through RELSERVE_ASSIGN_OR_RETURN, which assigns only on success;
+// the Ensure* helpers at most change its representation), which is
+// what makes the per-stage representation fallback sound: the stage
+// can be re-executed UDF-centric.
+Status RunStage(const PhysicalStage& stage, int64_t batch,
                 Activation* act, ExecContext* ctx) {
-  switch (node.kind) {
-    case OpKind::kInput: {
-      if (!act->blocked() && repr == Repr::kRelational) {
-        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
-      }
-      break;
-    }
-    case OpKind::kMatMul: {
-      if (repr == Repr::kUdf) {
-        RELSERVE_RETURN_NOT_OK(
-            EnsureWhole(act, shapes[node.input], ctx));
-        // Under a relational plan only the blocked copy of this
-        // weight exists; assemble it whole so the UDF fallback can
-        // still execute the node (its pages are typically hot in the
-        // pool even when fresh storage I/O is failing).
-        Tensor weight_whole;
-        Result<const Tensor*> resident =
-            prepared.ResidentWeight(node.weight_name);
-        if (resident.ok()) {
-          weight_whole = **resident;
-        } else {
-          RELSERVE_ASSIGN_OR_RETURN(
-              const BlockStore* blocked,
-              prepared.BlockedWeight(node.weight_name));
-          RELSERVE_ASSIGN_OR_RETURN(weight_whole,
-                                    blockops::Assemble(*blocked, ctx));
-        }
-        RELSERVE_ASSIGN_OR_RETURN(
-            act->tensor,
-            kernels::MatMul(act->tensor, weight_whole,
-                            /*transpose_b=*/true, ctx->tracker,
-                            ctx->pool));
-        act->owned = true;
-      } else {
-        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
-        RELSERVE_ASSIGN_OR_RETURN(
-            const BlockStore* weight,
-            prepared.BlockedWeight(node.weight_name));
-        RELSERVE_ASSIGN_OR_RETURN(
-            act->store,
-            blockops::BlockMatMul(*act->store, *weight, ctx));
-      }
-      break;
-    }
-    case OpKind::kBiasAdd: {
-      RELSERVE_ASSIGN_OR_RETURN(
-          const Tensor* bias,
-          prepared.ResidentWeight(node.weight_name));
-      if (repr == Repr::kUdf) {
-        RELSERVE_RETURN_NOT_OK(
-            EnsureWhole(act, shapes[node.input], ctx));
-        RELSERVE_RETURN_NOT_OK(EnsureOwned(act, ctx));
-        RELSERVE_RETURN_NOT_OK(
-            kernels::BiasAddInPlace(&act->tensor, *bias));
-      } else {
-        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
-        RELSERVE_ASSIGN_OR_RETURN(
-            act->store,
-            blockops::BlockBiasAdd(*act->store, *bias, ctx));
-      }
-      break;
-    }
-    case OpKind::kRelu: {
-      if (repr == Repr::kUdf) {
-        RELSERVE_RETURN_NOT_OK(
-            EnsureWhole(act, shapes[node.input], ctx));
-        RELSERVE_RETURN_NOT_OK(EnsureOwned(act, ctx));
-        kernels::ReluInPlace(&act->tensor);
-      } else {
-        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
-        RELSERVE_ASSIGN_OR_RETURN(
-            act->store, blockops::BlockRelu(*act->store, ctx));
-      }
-      break;
-    }
-    case OpKind::kSoftmax: {
-      if (repr == Repr::kUdf) {
-        RELSERVE_RETURN_NOT_OK(
-            EnsureWhole(act, shapes[node.input], ctx));
-        RELSERVE_RETURN_NOT_OK(EnsureOwned(act, ctx));
-        RELSERVE_RETURN_NOT_OK(
-            kernels::SoftmaxRowsInPlace(&act->tensor));
-      } else {
-        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
-        RELSERVE_ASSIGN_OR_RETURN(
-            act->store, blockops::BlockSoftmaxRows(*act->store, ctx));
-      }
-      break;
-    }
-    case OpKind::kConv2D: {
-      if (repr == Repr::kUdf) {
-        RELSERVE_RETURN_NOT_OK(
-            EnsureWhole(act, shapes[node.input], ctx));
-        RELSERVE_ASSIGN_OR_RETURN(
-            const Tensor* kernel,
-            prepared.ResidentWeight(node.weight_name));
-        RELSERVE_ASSIGN_OR_RETURN(
-            act->tensor,
-            kernels::Conv2D(act->tensor, *kernel, node.stride,
-                            ctx->tracker, ctx->pool));
-        act->owned = true;
-      } else {
-        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
-        RELSERVE_RETURN_NOT_OK(
-            RelationalConv(node, prepared, shapes[node.input],
-                           shapes[node.id], act, ctx));
-      }
-      break;
-    }
-    case OpKind::kMaxPool: {
-      // No block-relation pooling kernel: pooling windows straddle
-      // block boundaries and the op only appears in small CNNs, so
-      // both representations execute it whole-tensor.
+  switch (stage.kind) {
+    case StageKind::kInputChunk:
+      return EnsureBlocked(act, batch, ctx);
+    case StageKind::kReprTransition:
+      if (stage.to_blocked) return EnsureBlocked(act, batch, ctx);
+      return EnsureWhole(act, stage.InShape(batch), ctx);
+    case StageKind::kMatMul: {
       RELSERVE_RETURN_NOT_OK(
-          EnsureWhole(act, shapes[node.input], ctx));
+          EnsureWhole(act, stage.InShape(batch), ctx));
+      RELSERVE_ASSIGN_OR_RETURN(
+          act->tensor,
+          kernels::MatMul(act->tensor, *stage.weight,
+                          /*transpose_b=*/true, ctx->tracker,
+                          ctx->pool));
+      act->owned = true;
+      return ApplyWholeEpilogue(stage.epilogue, act, ctx);
+    }
+    case StageKind::kBlockMatMul: {
+      RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
+      if (act->store->geometry().block_cols !=
+          stage.blocked_weight->geometry().block_cols) {
+        // Upstream row-strip stores (e.g. relational conv output) use
+        // a wider strip blocking than the chunked weight; re-chunk the
+        // activation to the join geometry.
+        RELSERVE_RETURN_NOT_OK(
+            EnsureWhole(act, stage.InShape(batch), ctx));
+        RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
+      }
+      blockops::BlockFn fused;
+      const blockops::BlockFn* epilogue = nullptr;
+      if (!stage.epilogue.empty()) {
+        // Output blocking of the join: C's column blocks follow W's
+        // row blocks.
+        fused = MakeBlockEpilogue(
+            stage.epilogue, stage.blocked_weight->geometry().block_rows);
+        epilogue = &fused;
+      }
+      RELSERVE_ASSIGN_OR_RETURN(
+          act->store,
+          blockops::BlockMatMul(*act->store, *stage.blocked_weight, ctx,
+                                epilogue));
+      return Status::OK();
+    }
+    case StageKind::kConv2D: {
+      RELSERVE_RETURN_NOT_OK(
+          EnsureWhole(act, stage.InShape(batch), ctx));
+      RELSERVE_ASSIGN_OR_RETURN(
+          act->tensor,
+          kernels::Conv2D(act->tensor, *stage.weight, stage.stride,
+                          ctx->tracker, ctx->pool));
+      act->owned = true;
+      return ApplyWholeEpilogue(stage.epilogue, act, ctx);
+    }
+    case StageKind::kRelationalConv: {
+      RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
+      return RelationalConv(stage, batch, act, ctx);
+    }
+    case StageKind::kMaxPool: {
+      RELSERVE_RETURN_NOT_OK(
+          EnsureWhole(act, stage.InShape(batch), ctx));
       RELSERVE_ASSIGN_OR_RETURN(
           act->tensor, kernels::MaxPool2x2(act->tensor, ctx->tracker));
       act->owned = true;
-      break;
+      return ApplyWholeEpilogue(stage.epilogue, act, ctx);
     }
-    case OpKind::kFlatten: {
-      if (act->blocked()) {
-        // A blocked activation is already a [batch, width] relation.
-        break;
-      }
-      RELSERVE_ASSIGN_OR_RETURN(act->tensor,
-                                act->tensor.Reshape(shapes[node.id]));
-      break;
+    case StageKind::kFlatten: {
+      // A blocked activation is already a [batch, width] relation.
+      if (act->blocked()) return Status::OK();
+      RELSERVE_ASSIGN_OR_RETURN(
+          act->tensor, act->tensor.Reshape(stage.OutShape(batch)));
+      return Status::OK();
+    }
+    case StageKind::kElementwise: {
+      RELSERVE_RETURN_NOT_OK(
+          EnsureWhole(act, stage.InShape(batch), ctx));
+      return ApplyWholeEpilogue(stage.epilogue, act, ctx);
+    }
+    case StageKind::kBlockElementwise: {
+      RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
+      blockops::BlockFn fn = MakeBlockEpilogue(
+          stage.epilogue, act->store->geometry().block_cols);
+      RELSERVE_ASSIGN_OR_RETURN(
+          act->store, blockops::MapBlocks(*act->store, fn, ctx));
+      return Status::OK();
+    }
+    case StageKind::kBlockSoftmax: {
+      RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));
+      RELSERVE_ASSIGN_OR_RETURN(
+          act->store, blockops::BlockSoftmaxRows(*act->store, ctx));
+      return Status::OK();
     }
   }
-  return Status::OK();
+  return Status::InvalidArgument("bad stage kind");
+}
+
+// Re-executes a relation-centric stage UDF-centric after a
+// storage-tier failure — same math on whole tensors, so the result is
+// bit-identical; only the physical plan differs. The blocked weight's
+// pages are typically still hot in the pool even when fresh storage
+// I/O is failing.
+Status RunStageUdfFallback(const PhysicalStage& stage, int64_t batch,
+                           Activation* act, ExecContext* ctx) {
+  switch (stage.kind) {
+    case StageKind::kInputChunk:
+    case StageKind::kReprTransition:
+      // The whole-tensor path simply does not need the blocked form;
+      // downstream stages re-block (or fall back themselves).
+      return Status::OK();
+    case StageKind::kBlockMatMul: {
+      RELSERVE_RETURN_NOT_OK(
+          EnsureWhole(act, stage.InShape(batch), ctx));
+      RELSERVE_ASSIGN_OR_RETURN(
+          Tensor weight, blockops::Assemble(*stage.blocked_weight, ctx));
+      RELSERVE_ASSIGN_OR_RETURN(
+          act->tensor,
+          kernels::MatMul(act->tensor, weight, /*transpose_b=*/true,
+                          ctx->tracker, ctx->pool));
+      act->owned = true;
+      return ApplyWholeEpilogue(stage.epilogue, act, ctx);
+    }
+    case StageKind::kRelationalConv: {
+      RELSERVE_RETURN_NOT_OK(
+          EnsureWhole(act, stage.InShape(batch), ctx));
+      RELSERVE_ASSIGN_OR_RETURN(
+          act->tensor,
+          kernels::Conv2D(act->tensor, *stage.weight, stage.stride,
+                          ctx->tracker, ctx->pool));
+      act->owned = true;
+      return ApplyWholeEpilogue(stage.epilogue, act, ctx);
+    }
+    case StageKind::kBlockElementwise: {
+      RELSERVE_RETURN_NOT_OK(
+          EnsureWhole(act, stage.InShape(batch), ctx));
+      return ApplyWholeEpilogue(stage.epilogue, act, ctx);
+    }
+    case StageKind::kBlockSoftmax: {
+      RELSERVE_RETURN_NOT_OK(
+          EnsureWhole(act, stage.InShape(batch), ctx));
+      RELSERVE_RETURN_NOT_OK(EnsureOwned(act, ctx));
+      return kernels::SoftmaxRowsInPlace(&act->tensor);
+    }
+    default:
+      // Stages that already execute whole-tensor (maxpool under a
+      // relational decision): retry the same path.
+      return RunStage(stage, batch, act, ctx);
+  }
 }
 
 // Storage-tier failures that representation fallback can route
@@ -281,51 +363,59 @@ bool IsStorageFailure(const Status& status) {
          status.IsDataLoss();
 }
 
-Result<ExecOutput> RunImpl(const PreparedModel& prepared,
-                           Activation act, int64_t batch,
-                           ExecContext* ctx) {
-  const Model& model = prepared.model();
-  const InferencePlan& plan = prepared.plan();
-  // The plan's representation choices are reused across batch sizes
-  // (the paper's AoT idea: plans compiled at load time, picked at run
-  // time); shapes are re-inferred for the actual batch.
-  RELSERVE_ASSIGN_OR_RETURN(std::vector<Shape> shapes,
-                            model.InferShapes(batch));
-
-  for (const Node& node : model.nodes()) {
-    const Repr planned = plan.decisions[node.id].repr;
-    Status s = ExecNode(node, planned, prepared, shapes, batch, &act,
-                        ctx);
-    if (!s.ok() && planned == Repr::kRelational &&
+Result<ExecOutput> RunPlan(const PhysicalPlan& plan, Activation act,
+                           int64_t batch, ExecContext* ctx) {
+  using Clock = std::chrono::steady_clock;
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  for (const std::unique_ptr<PhysicalStage>& sp : plan.stages()) {
+    const PhysicalStage& stage = *sp;
+    const Clock::time_point start = Clock::now();
+    Status s = RunStage(stage, batch, &act, ctx);
+    if (!s.ok() && stage.repr == Repr::kRelational &&
         IsStorageFailure(s)) {
-      // Graceful degradation: the relation-centric op hit the
-      // (failing) storage tier; the whole-tensor path may not need it
-      // at all. ExecNode left `act` intact, so re-execute UDF-centric
-      // — same math, same bits, different physical plan.
-      s = ExecNode(node, Repr::kUdf, prepared, shapes, batch, &act,
-                   ctx);
+      // Graceful degradation: the relation-centric stage hit the
+      // (failing) storage tier; re-execute just this stage
+      // UDF-centric — same math, same bits, different physical plan.
+      s = RunStageUdfFallback(stage, batch, &act, ctx);
       if (s.ok()) {
-        ctx->stats.repr_fallbacks.fetch_add(
-            1, std::memory_order_relaxed);
+        ctx->stats.repr_fallbacks.fetch_add(1, kRelaxed);
+        stage.stats.fallbacks.fetch_add(1, kRelaxed);
       }
     }
     RELSERVE_RETURN_NOT_OK(s);
+    const int64_t nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - start)
+            .count();
+    stage.stats.invocations.fetch_add(1, kRelaxed);
+    stage.stats.nanos.fetch_add(nanos, kRelaxed);
+    stage.stats.rows.fetch_add(batch, kRelaxed);
+    stage.stats.bytes.fetch_add(
+        batch * stage.OutElemsPerRow() *
+            static_cast<int64_t>(sizeof(float)),
+        kRelaxed);
+    ctx->stats.stages_executed.fetch_add(1, kRelaxed);
+    ctx->stats.stage_nanos.fetch_add(nanos, kRelaxed);
   }
 
   ExecOutput out;
   if (act.blocked()) {
     out.store = std::move(act.store);
   } else {
-    // Final shape as inferred (e.g. [batch, classes]).
+    // Final shape as compiled (e.g. [batch, classes]).
+    std::vector<int64_t> dims;
+    dims.reserve(plan.output_sample().size() + 1);
+    dims.push_back(batch);
+    for (int64_t d : plan.output_sample()) dims.push_back(d);
     RELSERVE_ASSIGN_OR_RETURN(
-        out.tensor, act.tensor.Reshape(shapes[model.output_node()]));
+        out.tensor, act.tensor.Reshape(Shape(std::move(dims))));
   }
   return out;
 }
 
 }  // namespace
 
-Result<ExecOutput> HybridExecutor::Run(const PreparedModel& prepared,
+Result<ExecOutput> HybridExecutor::Run(const PhysicalPlan& plan,
                                        const Tensor& input,
                                        ExecContext* ctx) {
   if (input.shape().ndim() < 1) {
@@ -334,19 +424,31 @@ Result<ExecOutput> HybridExecutor::Run(const PreparedModel& prepared,
   Activation act;
   act.tensor = input;
   act.owned = false;
-  return RunImpl(prepared, std::move(act), input.shape().dim(0), ctx);
+  return RunPlan(plan, std::move(act), input.shape().dim(0), ctx);
+}
+
+Result<ExecOutput> HybridExecutor::Run(const PreparedModel& prepared,
+                                       const Tensor& input,
+                                       ExecContext* ctx) {
+  return Run(prepared.physical(), input, ctx);
 }
 
 Result<ExecOutput> HybridExecutor::RunOnStore(
-    const PreparedModel& prepared,
-    std::unique_ptr<BlockStore> input_store, ExecContext* ctx) {
+    const PhysicalPlan& plan, std::unique_ptr<BlockStore> input_store,
+    ExecContext* ctx) {
   if (input_store == nullptr) {
     return Status::InvalidArgument("null input store");
   }
   const int64_t batch = input_store->geometry().rows;
   Activation act;
   act.store = std::move(input_store);
-  return RunImpl(prepared, std::move(act), batch, ctx);
+  return RunPlan(plan, std::move(act), batch, ctx);
+}
+
+Result<ExecOutput> HybridExecutor::RunOnStore(
+    const PreparedModel& prepared,
+    std::unique_ptr<BlockStore> input_store, ExecContext* ctx) {
+  return RunOnStore(prepared.physical(), std::move(input_store), ctx);
 }
 
 }  // namespace relserve

@@ -1,15 +1,26 @@
-// HybridExecutor: runs a model under a per-node representation plan.
+// HybridExecutor: the stage runner over compiled physical plans.
 //
 // This is the paper's "middle ground": any subgraph may execute
 // UDF-centric (whole tensors in the working arena) or
 // relation-centric (block relations through the buffer pool), with
-// automatic transitions between the two. A plan of all-UDF nodes is
-// the pure UDF-centric architecture; all-relational is the pure
+// transitions between the two. A plan of all-UDF nodes is the pure
+// UDF-centric architecture; all-relational is the pure
 // relation-centric architecture; the adaptive optimizer emits mixes.
+//
+// All of those decisions are taken once, at deploy time, by
+// PhysicalPlan::Compile. Serving a request is a flat loop over the
+// compiled stages — no graph walking, no per-request dispatch on
+// op kind x representation, elementwise chains fused into their
+// producer — that records per-stage wall time, rows and bytes into
+// the plan's StageStats (rendered by EXPLAIN ANALYZE) and totals
+// into ExecStats.
 //
 // Every allocation on the UDF path is charged to the context arena, so
 // an operator whose whole-tensor footprint exceeds the arena comes
-// back as Status::OutOfMemory — the Table 3 outcome.
+// back as Status::OutOfMemory — the Table 3 outcome. A storage-tier
+// failure inside a relation-centric stage re-executes just that stage
+// UDF-centric (same math, same bits), preserving PR-4's graceful
+// degradation.
 
 #ifndef RELSERVE_ENGINE_HYBRID_EXECUTOR_H_
 #define RELSERVE_ENGINE_HYBRID_EXECUTOR_H_
@@ -18,13 +29,14 @@
 
 #include "common/result.h"
 #include "engine/exec_context.h"
+#include "engine/physical_plan.h"
 #include "engine/prepared_model.h"
 #include "storage/block_store.h"
 #include "tensor/tensor.h"
 
 namespace relserve {
 
-// The result of an inference: whole tensor if the final node ran
+// The result of an inference: whole tensor if the final stage ran
 // UDF-centric, block relation if it ran relation-centric (a
 // larger-than-memory output stays blocked, as LandCover's feature map
 // must).
@@ -45,6 +57,8 @@ class HybridExecutor {
   // dims matching the model's sample shape.
   static Result<ExecOutput> Run(const PreparedModel& prepared,
                                 const Tensor& input, ExecContext* ctx);
+  static Result<ExecOutput> Run(const PhysicalPlan& plan,
+                                const Tensor& input, ExecContext* ctx);
 
   // Runs on an input that is already a block relation
   // ([batch, sample_width]) — used when the batch itself exceeds the
@@ -53,6 +67,9 @@ class HybridExecutor {
   static Result<ExecOutput> RunOnStore(
       const PreparedModel& prepared,
       std::unique_ptr<BlockStore> input_store, ExecContext* ctx);
+  static Result<ExecOutput> RunOnStore(
+      const PhysicalPlan& plan, std::unique_ptr<BlockStore> input_store,
+      ExecContext* ctx);
 };
 
 }  // namespace relserve

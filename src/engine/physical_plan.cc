@@ -1,0 +1,416 @@
+#include "engine/physical_plan.h"
+
+#include <cstdio>
+
+#include "engine/block_ops.h"
+
+namespace relserve {
+
+const char* StageKindName(StageKind kind) {
+  switch (kind) {
+    case StageKind::kInputChunk:
+      return "input-chunk";
+    case StageKind::kReprTransition:
+      return "repr-transition";
+    case StageKind::kMatMul:
+      return "matmul";
+    case StageKind::kBlockMatMul:
+      return "block-matmul";
+    case StageKind::kConv2D:
+      return "conv2d";
+    case StageKind::kRelationalConv:
+      return "rel-conv";
+    case StageKind::kMaxPool:
+      return "maxpool";
+    case StageKind::kFlatten:
+      return "flatten";
+    case StageKind::kElementwise:
+      return "elementwise";
+    case StageKind::kBlockElementwise:
+      return "block-elementwise";
+    case StageKind::kBlockSoftmax:
+      return "block-softmax";
+  }
+  return "?";
+}
+
+namespace {
+
+Shape WithBatch(int64_t batch, const std::vector<int64_t>& sample) {
+  std::vector<int64_t> dims;
+  dims.reserve(sample.size() + 1);
+  dims.push_back(batch);
+  for (int64_t d : sample) dims.push_back(d);
+  return Shape(std::move(dims));
+}
+
+int64_t SampleElems(const std::vector<int64_t>& sample) {
+  int64_t n = 1;
+  for (int64_t d : sample) n *= d;
+  return n;
+}
+
+std::string EpilogueSuffix(const EpilogueOp& op) {
+  switch (op.op) {
+    case OpKind::kBiasAdd:
+      return "+bias";
+    case OpKind::kRelu:
+      return "+relu";
+    case OpKind::kSoftmax:
+      return "+softmax";
+    default:
+      return "+?";
+  }
+}
+
+std::string SampleString(const std::vector<int64_t>& sample) {
+  std::string out = "[batch";
+  for (int64_t d : sample) out += ", " + std::to_string(d);
+  return out + "]";
+}
+
+bool IsElementwise(OpKind kind) {
+  return kind == OpKind::kBiasAdd || kind == OpKind::kRelu ||
+         kind == OpKind::kSoftmax;
+}
+
+// May `node` (an elementwise op with representation `rel`) ride
+// `open`'s epilogue? Requires a representation match, a stage kind
+// that produces a freshly writable activation, and — for softmax —
+// matrix-shaped output (row normalization needs rank-2).
+bool CanAttach(const PhysicalStage& open, OpKind op, bool rel) {
+  if (rel != (open.repr == Repr::kRelational)) return false;
+  switch (open.kind) {
+    case StageKind::kMatMul:
+    case StageKind::kConv2D:
+    case StageKind::kMaxPool:
+    case StageKind::kElementwise:
+      if (op == OpKind::kSoftmax) return open.out_sample.size() == 1;
+      return op == OpKind::kBiasAdd || op == OpKind::kRelu;
+    case StageKind::kBlockMatMul:
+    case StageKind::kBlockElementwise:
+      // Softmax needs whole rows; it gets its own row-strip stage.
+      return op == OpKind::kBiasAdd || op == OpKind::kRelu;
+    case StageKind::kRelationalConv:
+      // The streamed conv strips are [pixels, out_c] slices of one
+      // image row; only position-independent ops fuse.
+      return op == OpKind::kRelu;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Shape PhysicalStage::InShape(int64_t batch) const {
+  return WithBatch(batch, in_sample);
+}
+
+Shape PhysicalStage::OutShape(int64_t batch) const {
+  return WithBatch(batch, out_sample);
+}
+
+int64_t PhysicalStage::OutElemsPerRow() const {
+  return SampleElems(out_sample);
+}
+
+Result<std::unique_ptr<PhysicalPlan>> PhysicalPlan::Compile(
+    const Model* model, InferencePlan plan, ExecContext* ctx,
+    Options options) {
+  if (plan.decisions.size() != model->nodes().size()) {
+    return Status::InvalidArgument("plan does not cover the model");
+  }
+  std::unique_ptr<PhysicalPlan> pp(new PhysicalPlan());
+  pp->model_ = model;
+  pp->plan_ = std::move(plan);
+  pp->options_ = options;
+
+  // --- Weight residency --------------------------------------------
+  // Weights of relation-centric matmuls are chunked into block
+  // relations (only O(block) scratch charged); everything else is
+  // made resident whole in the working arena. If even the resident
+  // set does not fit, compilation reports OutOfMemory — the paper's
+  // Amazon-14k outcome.
+  for (const Node& node : model->nodes()) {
+    if (node.weight_name.empty()) continue;
+    const Repr repr = pp->plan_.decisions[node.id].repr;
+    RELSERVE_ASSIGN_OR_RETURN(const Tensor* weight,
+                              model->GetWeight(node.weight_name));
+    const bool chunkable =
+        node.kind == OpKind::kMatMul && repr == Repr::kRelational;
+    if (chunkable) {
+      if (pp->blocked_.count(node.weight_name) > 0) continue;
+      RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> store,
+                                blockops::ChunkMatrix(*weight, ctx));
+      pp->blocked_.emplace(node.weight_name, std::move(store));
+    } else {
+      if (pp->resident_.count(node.weight_name) > 0) continue;
+      // Conv2D kernels are small even for the paper's large conv
+      // workloads (the feature maps explode, not the kernels), so
+      // they stay resident in both representations; biases likewise.
+      RELSERVE_ASSIGN_OR_RETURN(Tensor copy,
+                                weight->Clone(ctx->tracker));
+      pp->resident_.emplace(node.weight_name, std::move(copy));
+    }
+  }
+
+  // --- Shape precomputation ----------------------------------------
+  // Every node shape is [batch, fixed...]; compiling at batch 1
+  // yields the batch-invariant sample dims.
+  RELSERVE_ASSIGN_OR_RETURN(std::vector<Shape> shapes,
+                            model->InferShapes(1));
+  auto sample_dims = [&shapes](int id) {
+    const std::vector<int64_t>& dims = shapes[id].dims();
+    return std::vector<int64_t>(dims.begin() + 1, dims.end());
+  };
+  pp->output_sample_ = sample_dims(model->output_node());
+
+  // --- Lowering -----------------------------------------------------
+  auto annotate = [&](PhysicalStage* s, int node_id) {
+    const NodeDecision& d = pp->plan_.decisions[node_id];
+    s->estimated_bytes = d.estimated_bytes;
+    s->estimated_flops = d.estimated_flops;
+    s->device = d.device;
+  };
+  auto new_stage = [&](StageKind kind, const Node& node,
+                       Repr repr) -> PhysicalStage* {
+    auto s = std::make_unique<PhysicalStage>();
+    s->kind = kind;
+    s->node_id = node.id;
+    s->repr = repr;
+    s->stride = node.stride;
+    s->in_sample =
+        node.input >= 0 ? sample_dims(node.input) : sample_dims(node.id);
+    s->out_sample = sample_dims(node.id);
+    annotate(s.get(), node.id);
+    pp->stages_.push_back(std::move(s));
+    return pp->stages_.back().get();
+  };
+  // An explicit compile-time representation boundary ahead of
+  // `consumer`. At run time it is "ensure" semantics (idempotent), so
+  // a fallback that already changed the activation's representation
+  // passes through unharmed.
+  auto emit_transition = [&](bool to_blocked, const Node& consumer) {
+    PhysicalStage* t = new_stage(StageKind::kReprTransition, consumer,
+                                 to_blocked ? Repr::kRelational
+                                            : Repr::kUdf);
+    t->to_blocked = to_blocked;
+    t->out_sample = t->in_sample;  // transitions move, not compute
+    t->label = to_blocked ? "to-blocked" : "to-whole";
+    t->estimated_flops = 0;
+    t->estimated_bytes = SampleElems(t->in_sample) *
+                         static_cast<int64_t>(sizeof(float));
+  };
+
+  enum class Form { kWhole, kBlocked };
+  Form cur = Form::kWhole;
+  PhysicalStage* open = nullptr;  // fusion candidate
+  int open_node = -1;             // last node lowered so far
+
+  for (const Node& node : model->nodes()) {
+    const NodeDecision& d = pp->plan_.decisions[node.id];
+    const bool rel = d.repr == Repr::kRelational;
+    switch (node.kind) {
+      case OpKind::kInput: {
+        if (rel) {
+          PhysicalStage* s =
+              new_stage(StageKind::kInputChunk, node, Repr::kRelational);
+          s->label = "input-chunk";
+          cur = Form::kBlocked;
+        } else {
+          cur = Form::kWhole;
+        }
+        open = nullptr;
+        break;
+      }
+      case OpKind::kMatMul: {
+        if (rel && cur != Form::kBlocked) {
+          emit_transition(/*to_blocked=*/true, node);
+          cur = Form::kBlocked;
+        }
+        if (!rel && cur != Form::kWhole) {
+          emit_transition(/*to_blocked=*/false, node);
+          cur = Form::kWhole;
+        }
+        PhysicalStage* s = new_stage(
+            rel ? StageKind::kBlockMatMul : StageKind::kMatMul, node,
+            d.repr);
+        if (rel) {
+          s->blocked_weight = pp->blocked_.at(node.weight_name).get();
+          s->label = "block-matmul(" + node.weight_name + ")";
+        } else {
+          s->weight = &pp->resident_.at(node.weight_name);
+          s->label = "matmul(" + node.weight_name + ")";
+        }
+        cur = rel ? Form::kBlocked : Form::kWhole;
+        open = s;
+        break;
+      }
+      case OpKind::kConv2D: {
+        if (rel && cur != Form::kBlocked) {
+          emit_transition(/*to_blocked=*/true, node);
+          cur = Form::kBlocked;
+        }
+        if (!rel && cur != Form::kWhole) {
+          emit_transition(/*to_blocked=*/false, node);
+          cur = Form::kWhole;
+        }
+        PhysicalStage* s = new_stage(
+            rel ? StageKind::kRelationalConv : StageKind::kConv2D, node,
+            d.repr);
+        s->weight = &pp->resident_.at(node.weight_name);
+        s->label = (rel ? "rel-conv(" : "conv2d(") + node.weight_name +
+                   ")";
+        cur = rel ? Form::kBlocked : Form::kWhole;
+        open = s;
+        break;
+      }
+      case OpKind::kMaxPool: {
+        // No block-relation pooling kernel: windows straddle block
+        // boundaries and the op only appears in small CNNs, so both
+        // representations execute it whole-tensor.
+        if (cur != Form::kWhole) {
+          emit_transition(/*to_blocked=*/false, node);
+          cur = Form::kWhole;
+        }
+        PhysicalStage* s = new_stage(StageKind::kMaxPool, node, d.repr);
+        s->label = "maxpool";
+        open = s;
+        break;
+      }
+      case OpKind::kFlatten: {
+        // A blocked activation is already a [batch, width] relation;
+        // whole tensors reshape for free. Kept as a stage so EXPLAIN
+        // shows the logical boundary.
+        PhysicalStage* s = new_stage(StageKind::kFlatten, node, d.repr);
+        s->label = "flatten";
+        open = nullptr;
+        break;
+      }
+      case OpKind::kBiasAdd:
+      case OpKind::kRelu:
+      case OpKind::kSoftmax: {
+        EpilogueOp op;
+        op.op = node.kind;
+        op.node_id = node.id;
+        if (node.kind == OpKind::kBiasAdd) {
+          op.bias = &pp->resident_.at(node.weight_name);
+        }
+        const bool attachable = options.fuse_elementwise &&
+                                open != nullptr &&
+                                node.input == open_node &&
+                                CanAttach(*open, node.kind, rel);
+        if (attachable) {
+          open->label += EpilogueSuffix(op);
+          open->epilogue.push_back(op);
+          open->out_sample = sample_dims(node.id);
+          open->estimated_flops += d.estimated_flops;
+          pp->num_fused_ops_ += 1;
+          break;
+        }
+        if (rel && node.kind == OpKind::kSoftmax) {
+          if (cur != Form::kBlocked) {
+            emit_transition(/*to_blocked=*/true, node);
+            cur = Form::kBlocked;
+          }
+          PhysicalStage* s =
+              new_stage(StageKind::kBlockSoftmax, node, d.repr);
+          s->label = "block-softmax";
+          open = nullptr;  // nothing fuses across a row-strip pass
+          break;
+        }
+        if (rel) {
+          if (cur != Form::kBlocked) {
+            emit_transition(/*to_blocked=*/true, node);
+            cur = Form::kBlocked;
+          }
+          PhysicalStage* s =
+              new_stage(StageKind::kBlockElementwise, node, d.repr);
+          s->label = "block-elementwise" + EpilogueSuffix(op);
+          s->epilogue.push_back(op);
+          open = s;
+          break;
+        }
+        if (cur != Form::kWhole) {
+          emit_transition(/*to_blocked=*/false, node);
+          cur = Form::kWhole;
+        }
+        PhysicalStage* s =
+            new_stage(StageKind::kElementwise, node, d.repr);
+        s->label = "elementwise" + EpilogueSuffix(op);
+        s->epilogue.push_back(op);
+        open = s;
+        break;
+      }
+    }
+    open_node = node.id;
+  }
+  return pp;
+}
+
+Result<const Tensor*> PhysicalPlan::ResidentWeight(
+    const std::string& name) const {
+  auto it = resident_.find(name);
+  if (it == resident_.end()) {
+    return Status::NotFound("resident weight '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<const BlockStore*> PhysicalPlan::BlockedWeight(
+    const std::string& name) const {
+  auto it = blocked_.find(name);
+  if (it == blocked_.end()) {
+    return Status::NotFound("blocked weight '" + name + "'");
+  }
+  return it->second.get();
+}
+
+std::string PhysicalPlan::ToString(bool analyze) const {
+  std::string out = "PhysicalPlan " + model_->name() + ": " +
+                    std::to_string(stages_.size()) + " stages, " +
+                    std::to_string(num_fused_ops_) + " fused op" +
+                    (num_fused_ops_ == 1 ? "" : "s") +
+                    (options_.fuse_elementwise ? ""
+                                               : " (fusion disabled)") +
+                    "\n";
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const PhysicalStage& s = *stages_[i];
+    char flops[32];
+    std::snprintf(flops, sizeof(flops), "%.4g", s.estimated_flops);
+    out += "  [" + std::to_string(i) + "] " + s.label + " " +
+           ReprName(s.repr) + " out=" + SampleString(s.out_sample) +
+           " est=" + std::to_string(s.estimated_bytes) + "B flops=" +
+           flops;
+    if (s.device != DeviceKind::kCpu) {
+      out += " @";
+      out += DeviceKindName(s.device);
+    }
+    if (analyze) {
+      const int64_t calls =
+          s.stats.invocations.load(std::memory_order_relaxed);
+      const int64_t nanos =
+          s.stats.nanos.load(std::memory_order_relaxed);
+      const int64_t rows = s.stats.rows.load(std::memory_order_relaxed);
+      const int64_t bytes =
+          s.stats.bytes.load(std::memory_order_relaxed);
+      const int64_t fallbacks =
+          s.stats.fallbacks.load(std::memory_order_relaxed);
+      char avg[32];
+      std::snprintf(avg, sizeof(avg), "%.1f",
+                    calls > 0 ? static_cast<double>(nanos) / 1e3 /
+                                    static_cast<double>(calls)
+                              : 0.0);
+      out += " | calls=" + std::to_string(calls) + " rows=" +
+             std::to_string(rows) + " avg_us=" + avg + " bytes=" +
+             std::to_string(bytes);
+      if (fallbacks > 0) {
+        out += " fallbacks=" + std::to_string(fallbacks);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace relserve

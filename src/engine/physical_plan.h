@@ -1,0 +1,187 @@
+// PhysicalPlan: the deploy-time-compiled execution pipeline.
+//
+// The adaptive optimizer's InferencePlan is a *logical* annotation —
+// one representation decision per model-graph node. Compiling it once
+// at deploy time produces this physical IR: a flat sequence of typed
+// stages with every run-time-invariant decision already taken:
+//
+//   - weights are bound (resident tensors / chunked block relations —
+//     the residency policy lives here, not in the executor),
+//   - representations are frozen and explicit ReprTransition stages
+//     mark every compile-time blocked<->whole boundary,
+//   - fusible elementwise chains (bias add / relu / softmax) are
+//     collapsed into the preceding matmul/conv stage as an epilogue
+//     that rides the kernel layer's vectorized elementwise strips in
+//     the same pass over the output — the relation-centric win is one
+//     materialized block relation per fused group instead of one per
+//     operator,
+//   - per-sample shapes, cost and footprint annotations are
+//     precomputed, so serving a request is a single loop over stages
+//     with zero graph walking, zero re-optimization and zero
+//     shape inference.
+//
+// The executor (HybridExecutor) is a small runner over this IR; the
+// SQL layer's EXPLAIN / EXPLAIN ANALYZE renders it; per-stage wall
+// time, row and byte counters accumulate in the plan itself (atomics —
+// many requests execute one plan concurrently). A future GPU or
+// remote backend targets the same IR by implementing its stage kinds.
+//
+// Plans are batch-invariant: every node shape is [batch, fixed...] so
+// stages store per-sample dims and rebuild concrete shapes from the
+// request's batch size — one compiled plan serves every batch size
+// that maps to the same representation signature (the AoT story).
+
+#ifndef RELSERVE_ENGINE_PHYSICAL_PLAN_H_
+#define RELSERVE_ENGINE_PHYSICAL_PLAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/exec_context.h"
+#include "graph/model.h"
+#include "optimizer/plan.h"
+#include "storage/block_store.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+
+enum class StageKind {
+  kInputChunk,        // stream/chunk the input batch into a block relation
+  kReprTransition,    // explicit blocked <-> whole boundary
+  kMatMul,            // whole-tensor GEMM (+ fused epilogue)
+  kBlockMatMul,       // block join + aggregation (+ fused epilogue)
+  kConv2D,            // whole-tensor im2col conv (+ fused epilogue)
+  kRelationalConv,    // streamed per-image im2col conv (+ fused relu)
+  kMaxPool,           // whole-tensor 2x2 pool (both representations)
+  kFlatten,           // logical reshape; no data movement when blocked
+  kElementwise,       // standalone whole-tensor elementwise chain
+  kBlockElementwise,  // standalone blockwise elementwise chain
+  kBlockSoftmax,      // row-strip softmax over a block relation
+};
+
+const char* StageKindName(StageKind kind);
+
+// One elementwise operator fused into a stage epilogue (or into a
+// standalone elementwise stage). The bias tensor is bound at compile
+// time for kBiasAdd.
+struct EpilogueOp {
+  OpKind op = OpKind::kRelu;  // kBiasAdd | kRelu | kSoftmax
+  const Tensor* bias = nullptr;
+  int node_id = -1;
+};
+
+// Run-time counters of one stage, accumulated across every execution
+// of the owning plan. Atomics: concurrent requests share the plan.
+// EXPLAIN ANALYZE renders these.
+struct StageStats {
+  std::atomic<int64_t> invocations{0};
+  std::atomic<int64_t> nanos{0};
+  std::atomic<int64_t> rows{0};
+  std::atomic<int64_t> bytes{0};      // activation bytes produced
+  std::atomic<int64_t> fallbacks{0};  // UDF re-executions (storage
+                                      // failure on the relational path)
+};
+
+struct PhysicalStage {
+  StageKind kind = StageKind::kFlatten;
+  // The primary graph node this stage executes (the transition before
+  // a node carries that consumer's id).
+  int node_id = -1;
+  Repr repr = Repr::kUdf;
+  // Rendered name, e.g. "matmul(w0)+bias+relu".
+  std::string label;
+
+  // Pre-bound operands; pointers into the owning plan's weight maps.
+  const Tensor* weight = nullptr;
+  const BlockStore* blocked_weight = nullptr;
+  int64_t stride = 1;
+  std::vector<EpilogueOp> epilogue;
+
+  // Per-sample geometry (batch dim excluded), frozen at compile time.
+  std::vector<int64_t> in_sample;
+  std::vector<int64_t> out_sample;
+  // kReprTransition: true = whole -> blocked, false = blocked -> whole.
+  bool to_blocked = false;
+
+  // Optimizer annotations (summed over fused nodes).
+  int64_t estimated_bytes = 0;
+  double estimated_flops = 0;
+  DeviceKind device = DeviceKind::kCpu;
+
+  mutable StageStats stats;
+
+  // Concrete shapes for a request's batch size.
+  Shape InShape(int64_t batch) const;
+  Shape OutShape(int64_t batch) const;
+  int64_t OutElemsPerRow() const;
+};
+
+class PhysicalPlan {
+ public:
+  struct Options {
+    // Collapse elementwise chains into the producing matmul/conv
+    // stage. Off = one stage per node (the bench ablation switch).
+    bool fuse_elementwise = true;
+  };
+
+  // Compiles the annotated logical plan: binds weights (resident /
+  // chunked per the representation decisions — may OOM exactly where
+  // PreparedModel::Prepare used to), lowers nodes to fused stages,
+  // and precomputes shapes and footprints. The model must outlive the
+  // plan.
+  static Result<std::unique_ptr<PhysicalPlan>> Compile(
+      const Model* model, InferencePlan plan, ExecContext* ctx,
+      Options options);
+  static Result<std::unique_ptr<PhysicalPlan>> Compile(
+      const Model* model, InferencePlan plan, ExecContext* ctx) {
+    return Compile(model, std::move(plan), ctx, Options());
+  }
+
+  const Model& model() const { return *model_; }
+  const InferencePlan& logical_plan() const { return plan_; }
+  const Options& options() const { return options_; }
+  const std::vector<std::unique_ptr<PhysicalStage>>& stages() const {
+    return stages_;
+  }
+  // Elementwise ops riding another stage's epilogue (dispatches saved
+  // per request).
+  int num_fused_ops() const { return num_fused_ops_; }
+  // Sample dims of the model output node.
+  const std::vector<int64_t>& output_sample() const {
+    return output_sample_;
+  }
+
+  // Whole-tensor weight bound for UDF-centric stages.
+  Result<const Tensor*> ResidentWeight(const std::string& name) const;
+  // Block relation of a relation-centric matmul weight.
+  Result<const BlockStore*> BlockedWeight(const std::string& name) const;
+
+  // EXPLAIN rendering of the stage pipeline. With `analyze`, appends
+  // the accumulated per-stage wall times, rows, bytes and fallback
+  // counts (relaxed reads — safe while requests execute).
+  std::string ToString(bool analyze = false) const;
+
+ private:
+  PhysicalPlan() = default;
+
+  const Model* model_ = nullptr;
+  InferencePlan plan_;
+  Options options_;
+  int num_fused_ops_ = 0;
+  std::vector<int64_t> output_sample_;
+  // Weight residency (moved here from PreparedModel): whole tensors
+  // for UDF-centric consumers, block relations for relation-centric
+  // matmuls. Node-based maps: stage pointers stay valid across moves.
+  std::map<std::string, Tensor> resident_;
+  std::map<std::string, std::unique_ptr<BlockStore>> blocked_;
+  std::vector<std::unique_ptr<PhysicalStage>> stages_;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_ENGINE_PHYSICAL_PLAN_H_

@@ -1,63 +1,15 @@
 #include "engine/prepared_model.h"
 
-#include "engine/block_ops.h"
-
 namespace relserve {
 
-Result<PreparedModel> PreparedModel::Prepare(const Model* model,
-                                             InferencePlan plan,
-                                             ExecContext* ctx) {
-  if (plan.decisions.size() != model->nodes().size()) {
-    return Status::InvalidArgument("plan does not cover the model");
-  }
+Result<PreparedModel> PreparedModel::Prepare(
+    const Model* model, InferencePlan plan, ExecContext* ctx,
+    PhysicalPlan::Options options) {
   PreparedModel pm;
-  pm.model_ = model;
-  pm.plan_ = std::move(plan);
-
-  for (const Node& node : model->nodes()) {
-    if (node.weight_name.empty()) continue;
-    const Repr repr = pm.plan_.decisions[node.id].repr;
-    RELSERVE_ASSIGN_OR_RETURN(const Tensor* weight,
-                              model->GetWeight(node.weight_name));
-    const bool chunkable =
-        node.kind == OpKind::kMatMul && repr == Repr::kRelational;
-    if (chunkable) {
-      if (pm.blocked_.count(node.weight_name) > 0) continue;
-      // Chunk [out, in] weight into a block relation; only O(block)
-      // scratch is charged to the working arena.
-      RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> store,
-                                blockops::ChunkMatrix(*weight, ctx));
-      pm.blocked_.emplace(node.weight_name, std::move(store));
-    } else {
-      if (pm.resident_.count(node.weight_name) > 0) continue;
-      // Whole-tensor weight resident in the working arena. A Conv2D
-      // kernel is small even for the paper's large conv workloads
-      // (the *feature maps* are what explode), so kernels stay
-      // resident in both representations.
-      RELSERVE_ASSIGN_OR_RETURN(Tensor copy,
-                                weight->Clone(ctx->tracker));
-      pm.resident_.emplace(node.weight_name, std::move(copy));
-    }
-  }
+  RELSERVE_ASSIGN_OR_RETURN(
+      pm.physical_,
+      PhysicalPlan::Compile(model, std::move(plan), ctx, options));
   return pm;
-}
-
-Result<const Tensor*> PreparedModel::ResidentWeight(
-    const std::string& name) const {
-  auto it = resident_.find(name);
-  if (it == resident_.end()) {
-    return Status::NotFound("resident weight '" + name + "'");
-  }
-  return &it->second;
-}
-
-Result<const BlockStore*> PreparedModel::BlockedWeight(
-    const std::string& name) const {
-  auto it = blocked_.find(name);
-  if (it == blocked_.end()) {
-    return Status::NotFound("blocked weight '" + name + "'");
-  }
-  return it->second.get();
 }
 
 }  // namespace relserve

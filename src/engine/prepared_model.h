@@ -1,23 +1,25 @@
-// PreparedModel: a model bound to an execution plan and an
+// PreparedModel: a model compiled against an execution plan and an
 // ExecContext — the artifact produced when a model is "loaded into the
 // RDBMS".
 //
-// Weights used by UDF-centric nodes are made resident in the working
-// arena (whole tensors); weights of relation-centric matmul nodes are
-// chunked into buffer-pool-backed block stores and the whole-tensor
-// copy is not charged. If even making the resident weights fit fails,
-// Prepare reports OutOfMemory — mirroring the paper's observation that
+// Since the physical-plan refactor this is a thin owner of a
+// PhysicalPlan: Prepare runs PhysicalPlan::Compile, which binds the
+// weights (whole tensors made resident in the working arena for
+// UDF-centric nodes, relation-centric matmul weights chunked into
+// buffer-pool-backed block stores) and lowers the node graph to fused
+// stages. If even making the resident weights fit fails, Prepare
+// reports OutOfMemory — mirroring the paper's observation that
 // "simply the weight matrix exceeds the threshold" for Amazon-14k.
 
 #ifndef RELSERVE_ENGINE_PREPARED_MODEL_H_
 #define RELSERVE_ENGINE_PREPARED_MODEL_H_
 
-#include <map>
 #include <memory>
 #include <string>
 
 #include "common/result.h"
 #include "engine/exec_context.h"
+#include "engine/physical_plan.h"
 #include "graph/model.h"
 #include "optimizer/plan.h"
 #include "storage/block_store.h"
@@ -26,32 +28,40 @@ namespace relserve {
 
 class PreparedModel {
  public:
-  static Result<PreparedModel> Prepare(const Model* model,
-                                       InferencePlan plan,
-                                       ExecContext* ctx);
+  static Result<PreparedModel> Prepare(
+      const Model* model, InferencePlan plan, ExecContext* ctx,
+      PhysicalPlan::Options options = PhysicalPlan::Options());
 
   PreparedModel(PreparedModel&&) = default;
   PreparedModel& operator=(PreparedModel&&) = default;
 
-  const Model& model() const { return *model_; }
-  const InferencePlan& plan() const { return plan_; }
+  const Model& model() const { return physical_->model(); }
+  const InferencePlan& plan() const {
+    return physical_->logical_plan();
+  }
+
+  // The compiled stage pipeline (stable address for the lifetime of
+  // this PreparedModel — stages hold pointers into it).
+  const PhysicalPlan& physical() const { return *physical_; }
 
   // Whole-tensor weight for a UDF-centric node (resident in the
   // working arena). For Conv2D the kernel is stored in its original
   // rank-4 layout.
-  Result<const Tensor*> ResidentWeight(const std::string& name) const;
+  Result<const Tensor*> ResidentWeight(const std::string& name) const {
+    return physical_->ResidentWeight(name);
+  }
 
   // Block store of a relation-centric matmul weight ([out, in]
   // layout).
-  Result<const BlockStore*> BlockedWeight(const std::string& name) const;
+  Result<const BlockStore*> BlockedWeight(
+      const std::string& name) const {
+    return physical_->BlockedWeight(name);
+  }
 
  private:
   PreparedModel() = default;
 
-  const Model* model_ = nullptr;
-  InferencePlan plan_;
-  std::map<std::string, Tensor> resident_;
-  std::map<std::string, std::unique_ptr<BlockStore>> blocked_;
+  std::unique_ptr<PhysicalPlan> physical_;
 };
 
 }  // namespace relserve

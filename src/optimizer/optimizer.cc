@@ -31,6 +31,21 @@ std::string InferencePlan::ToString(const Model& model) const {
   return out;
 }
 
+InferencePlan MakeForcedPlan(const Model& model, Repr repr,
+                             int64_t batch_size) {
+  InferencePlan plan;
+  plan.batch_size = batch_size;
+  plan.memory_threshold_bytes = 0;
+  plan.decisions.reserve(model.nodes().size());
+  for (const Node& node : model.nodes()) {
+    NodeDecision decision;
+    decision.node_id = node.id;
+    decision.repr = repr;
+    plan.decisions.push_back(decision);
+  }
+  return plan;
+}
+
 Result<int64_t> EstimateNodeBytes(const Model& model, int node_id,
                                   int64_t batch_size) {
   RELSERVE_ASSIGN_OR_RETURN(std::vector<Shape> shapes,
@@ -64,14 +79,17 @@ Result<InferencePlan> RuleBasedOptimizer::Optimize(
     decision.repr = (decision.estimated_bytes > memory_threshold_bytes_)
                         ? Repr::kRelational
                         : Repr::kUdf;
+    if (node.kind != OpKind::kInput) {
+      RELSERVE_ASSIGN_OR_RETURN(
+          decision.estimated_flops,
+          model.EstimateNodeFlops(node.id, batch_size));
+    }
     if (devices_ != nullptr && decision.repr == Repr::kUdf &&
         node.kind != OpKind::kInput) {
       RELSERVE_ASSIGN_OR_RETURN(
           std::vector<Shape> shapes, model.InferShapes(batch_size));
-      RELSERVE_ASSIGN_OR_RETURN(
-          double flops, model.EstimateNodeFlops(node.id, batch_size));
       OperatorProfile profile;
-      profile.flops = flops;
+      profile.flops = decision.estimated_flops;
       profile.input_bytes =
           node.input >= 0
               ? shapes[node.input].NumElements() * 4

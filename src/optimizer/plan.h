@@ -28,6 +28,9 @@ struct NodeDecision {
   // The optimizer's memory estimate for the operator (inputs + weights
   // + outputs), in bytes.
   int64_t estimated_bytes = 0;
+  // Arithmetic cost estimate; physical-plan compilation sums this over
+  // fused stages so EXPLAIN can show per-stage work.
+  double estimated_flops = 0;
   // Device placement from the producer-transfer-consumer cost model
   // (paper Sec. 3(2)); annotated when the optimizer is given a
   // DeviceAllocator, advisory otherwise.
@@ -51,6 +54,13 @@ struct InferencePlan {
   // Human-readable EXPLAIN-style rendering.
   std::string ToString(const Model& model) const;
 };
+
+// A plan that pins every node to one representation — the pure
+// UDF-centric / pure relation-centric architectures the paper
+// compares against (ServingMode::kForceUdf / kForceRelational).
+// Estimates stay zero: forced plans bypass the cost model by design.
+InferencePlan MakeForcedPlan(const Model& model, Repr repr,
+                             int64_t batch_size);
 
 }  // namespace relserve
 

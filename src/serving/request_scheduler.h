@@ -88,16 +88,22 @@ struct SchedulerStats {
 
   SchedulerStats() = default;
   SchedulerStats(const SchedulerStats& other) { *this = other; }
+  // Relaxed snapshot: stats are read while scheduler workers update
+  // them; per-counter coherence is all callers rely on.
   SchedulerStats& operator=(const SchedulerStats& other) {
-    submitted = other.submitted.load();
-    shed_queue_full = other.shed_queue_full.load();
-    shed_deadline = other.shed_deadline.load();
-    shed_breaker = other.shed_breaker.load();
-    retries = other.retries.load();
-    batches = other.batches.load();
-    coalesced_requests = other.coalesced_requests.load();
-    total_rows = other.total_rows.load();
-    max_batch_rows_seen = other.max_batch_rows_seen.load();
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    submitted.store(other.submitted.load(kRelaxed), kRelaxed);
+    shed_queue_full.store(other.shed_queue_full.load(kRelaxed),
+                          kRelaxed);
+    shed_deadline.store(other.shed_deadline.load(kRelaxed), kRelaxed);
+    shed_breaker.store(other.shed_breaker.load(kRelaxed), kRelaxed);
+    retries.store(other.retries.load(kRelaxed), kRelaxed);
+    batches.store(other.batches.load(kRelaxed), kRelaxed);
+    coalesced_requests.store(other.coalesced_requests.load(kRelaxed),
+                             kRelaxed);
+    total_rows.store(other.total_rows.load(kRelaxed), kRelaxed);
+    max_batch_rows_seen.store(other.max_batch_rows_seen.load(kRelaxed),
+                              kRelaxed);
     return *this;
   }
 

@@ -11,18 +11,6 @@ namespace relserve {
 
 namespace {
 
-InferencePlan ForcedPlan(const Model& model, Repr repr,
-                         int64_t batch_size) {
-  InferencePlan plan;
-  plan.batch_size = batch_size;
-  plan.memory_threshold_bytes = 0;
-  plan.decisions.reserve(model.nodes().size());
-  for (const Node& node : model.nodes()) {
-    plan.decisions.push_back(NodeDecision{node.id, repr, 0});
-  }
-  return plan;
-}
-
 // A plan's representation choices as a compact key ("uurru..."), the
 // identity under which AoT variants are cached.
 std::string PlanSignature(const InferencePlan& plan) {
@@ -98,10 +86,10 @@ Result<const InferencePlan*> ServingSession::Deploy(
       break;
     }
     case ServingMode::kForceUdf:
-      plan = ForcedPlan(*model, Repr::kUdf, batch_size);
+      plan = MakeForcedPlan(*model, Repr::kUdf, batch_size);
       break;
     case ServingMode::kForceRelational:
-      plan = ForcedPlan(*model, Repr::kRelational, batch_size);
+      plan = MakeForcedPlan(*model, Repr::kRelational, batch_size);
       break;
   }
   // Prepare outside the registry lock, then swap atomically: queries
@@ -155,6 +143,14 @@ Result<int> ServingSession::DeployAot(
     aot_plans_[model_name] = std::move(variants);
   }
   return compiled;
+}
+
+Result<std::shared_ptr<const PhysicalPlan>>
+ServingSession::DeployedPhysicalPlan(const std::string& model_name) {
+  RELSERVE_ASSIGN_OR_RETURN(std::shared_ptr<Deployment> deployment,
+                            GetDeployment(model_name));
+  return std::shared_ptr<const PhysicalPlan>(
+      deployment, &deployment->prepared->physical());
 }
 
 int ServingSession::NumAotPlans(const std::string& model_name) const {

@@ -111,6 +111,13 @@ class ServingSession {
   // The number of AoT plan variants held for a model (0 if none).
   int NumAotPlans(const std::string& model_name) const;
 
+  // The compiled stage pipeline of the current default deployment —
+  // what EXPLAIN ANALYZE renders. The aliasing shared_ptr keeps the
+  // whole deployment (weights included) alive while the caller reads
+  // stage stats, even across a concurrent redeploy.
+  Result<std::shared_ptr<const PhysicalPlan>> DeployedPhysicalPlan(
+      const std::string& model_name);
+
   // --- In-database inference ----------------------------------------
 
   // Runs the deployed model over every row of `table_name`

@@ -18,6 +18,7 @@ class Parser {
     Statement stmt;
     if (ConsumeKeyword("EXPLAIN")) {
       stmt.kind = Statement::Kind::kExplainSelect;
+      stmt.analyze = ConsumeKeyword("ANALYZE");
       RELSERVE_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
       return stmt;
     }

@@ -117,6 +117,9 @@ struct InsertStatement {
 struct Statement {
   enum class Kind { kSelect, kExplainSelect, kCreateTable, kInsert };
   Kind kind = Kind::kSelect;
+  // EXPLAIN ANALYZE: execute the query, then render the plan with the
+  // accumulated per-stage timings (kExplainSelect only).
+  bool analyze = false;
   SelectStatement select;        // kSelect / kExplainSelect
   CreateTableStatement create;   // kCreateTable
   InsertStatement insert;        // kInsert
@@ -125,7 +128,7 @@ struct Statement {
 // Parses one SELECT statement.
 Result<SelectStatement> Parse(const std::string& query);
 
-// Parses any supported statement (SELECT / EXPLAIN SELECT /
+// Parses any supported statement (SELECT / EXPLAIN [ANALYZE] SELECT /
 // CREATE TABLE / INSERT INTO).
 Result<Statement> ParseStatement(const std::string& query);
 

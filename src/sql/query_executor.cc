@@ -292,10 +292,20 @@ std::string QueryResult::ToString(int64_t max_rows) const {
 
 namespace {
 
+// Executes a parsed SELECT (defined below, after the helpers it
+// needs). EXPLAIN ANALYZE runs the query through it before rendering.
+Result<QueryResult> ExecuteSelect(ServingSession* session,
+                                  const SelectStatement& stmt);
+
 // EXPLAIN: the bound relational pipeline plus each referenced model's
-// optimizer plan at the table's current cardinality.
+// optimizer plan at the table's current cardinality. With `analyze`,
+// each deployed model's compiled stage pipeline follows, including
+// the per-stage wall times, rows, bytes and representation-fallback
+// counts accumulated so far (the execution that EXPLAIN ANALYZE just
+// performed included).
 Result<std::string> ExplainSelect(ServingSession* session,
-                                  const SelectStatement& stmt) {
+                                  const SelectStatement& stmt,
+                                  bool analyze) {
   RELSERVE_ASSIGN_OR_RETURN(TableInfo * table,
                             session->GetTable(stmt.table));
   std::string out;
@@ -328,6 +338,15 @@ Result<std::string> ExplainSelect(ServingSession* session,
         InferencePlan plan,
         optimizer.Optimize(*model, std::max<int64_t>(1, rows)));
     out += plan.ToString(*model);
+    if (analyze) {
+      Result<std::shared_ptr<const PhysicalPlan>> physical =
+          session->DeployedPhysicalPlan(item.model);
+      if (physical.ok()) {
+        out += (*physical)->ToString(/*analyze=*/true);
+      } else {
+        out += "PhysicalPlan " + item.model + ": (not deployed)\n";
+      }
+    }
   }
   return out;
 }
@@ -368,8 +387,16 @@ Result<StatementResult> ExecuteStatement(ServingSession* session,
       break;
     }
     case Statement::Kind::kExplainSelect: {
-      RELSERVE_ASSIGN_OR_RETURN(result.message,
-                                ExplainSelect(session, stmt.select));
+      if (stmt.analyze) {
+        // ANALYZE executes the query first (deploying referenced
+        // models on first use) so the rendered stage pipeline carries
+        // real timings; the row output is discarded.
+        RELSERVE_RETURN_NOT_OK(
+            ExecuteSelect(session, stmt.select).status());
+      }
+      RELSERVE_ASSIGN_OR_RETURN(
+          result.message,
+          ExplainSelect(session, stmt.select, stmt.analyze));
       return result;
     }
     case Statement::Kind::kCreateTable: {
@@ -413,6 +440,13 @@ Result<StatementResult> ExecuteStatement(ServingSession* session,
 Result<QueryResult> ExecuteQuery(ServingSession* session,
                                  const std::string& query) {
   RELSERVE_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(query));
+  return ExecuteSelect(session, stmt);
+}
+
+namespace {
+
+Result<QueryResult> ExecuteSelect(ServingSession* session,
+                                  const SelectStatement& stmt) {
   RELSERVE_ASSIGN_OR_RETURN(TableInfo * table,
                             session->GetTable(stmt.table));
   const Schema& schema = table->schema;
@@ -514,6 +548,8 @@ Result<QueryResult> ExecuteQuery(ServingSession* session,
   RELSERVE_RETURN_NOT_OK(ApplyOrderAndLimit(stmt, &result));
   return result;
 }
+
+}  // namespace
 
 }  // namespace sql
 }  // namespace relserve

@@ -43,6 +43,19 @@ class ExecutorTest : public ::testing::Test {
     return out.ToTensor(&ctx_);
   }
 
+  Result<Tensor> RunWithOptions(const Model& model, InferencePlan plan,
+                                const Tensor& input, bool fuse) {
+    PhysicalPlan::Options options;
+    options.fuse_elementwise = fuse;
+    RELSERVE_ASSIGN_OR_RETURN(
+        PreparedModel prepared,
+        PreparedModel::Prepare(&model, std::move(plan), &ctx_,
+                               options));
+    RELSERVE_ASSIGN_OR_RETURN(
+        ExecOutput out, HybridExecutor::Run(prepared, input, &ctx_));
+    return out.ToTensor(&ctx_);
+  }
+
   DiskManager disk_;
   BufferPool pool_;
   MemoryTracker tracker_;
@@ -231,6 +244,99 @@ TEST_F(ExecutorTest, ArenaFullyReleasedAfterQuery) {
   }
   // Prepared weights and all intermediates are out of scope.
   EXPECT_EQ(tracker_.used_bytes(), 0);
+}
+
+// Fusing the bias/relu/softmax epilogue into the producing stage must
+// not perturb a single bit: the fused path calls the same kernels in
+// the same order on the same buffers. Exercised across odd/tail shapes
+// where blocked layouts leave partial 8x8 blocks.
+TEST_F(ExecutorTest, FusedMatchesUnfusedBitIdenticalUdf) {
+  auto model = BuildFFNN("m", {13, 7, 5, 3}, 5);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(9, Shape{13}, 21);
+  ASSERT_TRUE(input.ok());
+  auto fused = RunWithOptions(*model, UniformPlan(*model, Repr::kUdf),
+                              *input, /*fuse=*/true);
+  auto plain = RunWithOptions(*model, UniformPlan(*model, Repr::kUdf),
+                              *input, /*fuse=*/false);
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FLOAT_EQ(fused->MaxAbsDiff(*plain), 0.0f);
+}
+
+TEST_F(ExecutorTest, FusedMatchesUnfusedBitIdenticalRelational) {
+  // 13/7/5/3 widths and batch 9 are all non-multiples of the 8x8 block
+  // geometry, so every stage sees ragged tail blocks.
+  auto model = BuildFFNN("m", {13, 7, 5, 3}, 5);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(9, Shape{13}, 21);
+  ASSERT_TRUE(input.ok());
+  auto fused = RunWithOptions(
+      *model, UniformPlan(*model, Repr::kRelational), *input,
+      /*fuse=*/true);
+  auto plain = RunWithOptions(
+      *model, UniformPlan(*model, Repr::kRelational), *input,
+      /*fuse=*/false);
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FLOAT_EQ(fused->MaxAbsDiff(*plain), 0.0f);
+}
+
+TEST_F(ExecutorTest, FusedMatchesUnfusedBitIdenticalMixed) {
+  auto model = BuildFFNN("m", {13, 7, 5, 3}, 5);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(9, Shape{13}, 21);
+  ASSERT_TRUE(input.ok());
+  // First layer relational, rest UDF: fusion must stay bit-exact
+  // across the repr transition too.
+  InferencePlan mixed = UniformPlan(*model, Repr::kUdf);
+  mixed.decisions[0].repr = Repr::kRelational;
+  mixed.decisions[1].repr = Repr::kRelational;
+  mixed.decisions[2].repr = Repr::kRelational;
+  mixed.decisions[3].repr = Repr::kRelational;
+  InferencePlan mixed2;
+  mixed2.decisions = mixed.decisions;
+  auto fused = RunWithOptions(*model, std::move(mixed), *input,
+                              /*fuse=*/true);
+  auto plain = RunWithOptions(*model, std::move(mixed2), *input,
+                              /*fuse=*/false);
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FLOAT_EQ(fused->MaxAbsDiff(*plain), 0.0f);
+}
+
+TEST_F(ExecutorTest, FusedMatchesUnfusedBitIdenticalConv) {
+  ConvLayerSpec conv{3, 2, 2, 1, /*relu=*/true, /*maxpool=*/false};
+  auto model = BuildCNN("cnn", Shape{7, 7, 3}, {conv}, {5}, 3);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(3, Shape{7, 7, 3}, 13);
+  ASSERT_TRUE(input.ok());
+  for (Repr repr : {Repr::kUdf, Repr::kRelational}) {
+    auto fused = RunWithOptions(*model, UniformPlan(*model, repr),
+                                *input, /*fuse=*/true);
+    auto plain = RunWithOptions(*model, UniformPlan(*model, repr),
+                                *input, /*fuse=*/false);
+    ASSERT_TRUE(fused.ok()) << fused.status();
+    ASSERT_TRUE(plain.ok()) << plain.status();
+    EXPECT_FLOAT_EQ(fused->MaxAbsDiff(*plain), 0.0f);
+  }
+}
+
+TEST_F(ExecutorTest, StageStatsAccumulateAcrossRuns) {
+  auto model = BuildFFNN("m", {4, 3, 2}, 7);
+  ASSERT_TRUE(model.ok());
+  auto input = workloads::GenBatch(2, Shape{4}, 3);
+  ASSERT_TRUE(input.ok());
+  auto prepared = PreparedModel::Prepare(
+      &*model, UniformPlan(*model, Repr::kUdf), &ctx_);
+  ASSERT_TRUE(prepared.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(HybridExecutor::Run(*prepared, *input, &ctx_).ok());
+  }
+  for (const auto& stage : prepared->physical().stages()) {
+    EXPECT_EQ(stage->stats.invocations.load(), 3);
+    EXPECT_EQ(stage->stats.rows.load(), 6);
+  }
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/physical_plan.h"
 #include "graph/model.h"
 #include "serving/request_scheduler.h"
 #include "serving/serving_session.h"
@@ -149,6 +150,51 @@ TEST_F(ServingConcurrencyTest, RedeployMidFlightKeepsOldPlanAlive) {
   for (int i = 0; i < 25; ++i) {
     ASSERT_TRUE(session_.Deploy("m", ServingMode::kForceUdf, 8).ok());
     ASSERT_TRUE(session_.DeployAot("m", {4, 8, 16}).ok());
+  }
+  stop = true;
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_F(ServingConcurrencyTest, RedeploySwapsCompiledPlanAtomically) {
+  LoadModel();
+  auto batch = workloads::GenBatch(8, Shape{16}, 7);
+  ASSERT_TRUE(batch.ok());
+  auto expected = DirectRow("m", *batch);
+  ASSERT_TRUE(expected.ok());
+
+  // Readers run inference and render EXPLAIN ANALYZE off the deployed
+  // PhysicalPlan while a writer swaps compiled plans (alternating
+  // reprs, so the stage pipeline genuinely changes shape underneath).
+  // The aliasing shared_ptr returned by DeployedPhysicalPlan must keep
+  // each snapshot — stages, resident weights, stats — alive through
+  // the swap.
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  for (int c = 0; c < 2; ++c) {
+    readers.emplace_back([&] {
+      while (!stop) {
+        auto got = DirectRow("m", *batch);
+        if (!got.ok() || got->MaxAbsDiff(*expected) > 1e-5f) ++bad;
+      }
+    });
+  }
+  readers.emplace_back([&] {
+    while (!stop) {
+      auto plan = session_.DeployedPhysicalPlan("m");
+      if (!plan.ok()) {
+        ++bad;
+        continue;
+      }
+      const std::string text = (*plan)->ToString(/*analyze=*/true);
+      if (text.find("PhysicalPlan m:") == std::string::npos) ++bad;
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(session_.Deploy("m", ServingMode::kForceUdf, 8).ok());
+    ASSERT_TRUE(
+        session_.Deploy("m", ServingMode::kForceRelational, 8).ok());
   }
   stop = true;
   for (std::thread& t : readers) t.join();

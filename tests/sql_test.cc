@@ -383,6 +383,38 @@ TEST_F(SqlExecTest, ExplainShowsPipelineAndModelPlan) {
   EXPECT_NE(result->message.find("udf"), std::string::npos);
 }
 
+TEST_F(SqlExecTest, ExplainAnalyzeRunsQueryAndShowsStageTimings) {
+  auto result = ExecuteStatement(
+      &session_,
+      "EXPLAIN ANALYZE SELECT id, PREDICT(scorer) FROM tx "
+      "WHERE amount > 50 LIMIT 5");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->has_rows);
+  // The logical pipeline is still rendered...
+  EXPECT_NE(result->message.find("SeqScan tx"), std::string::npos)
+      << result->message;
+  // ...plus the compiled physical plan with executed-stage stats: the
+  // query actually ran, so every stage carries calls and timings.
+  EXPECT_NE(result->message.find("PhysicalPlan scorer:"),
+            std::string::npos)
+      << result->message;
+  EXPECT_NE(result->message.find("calls="), std::string::npos)
+      << result->message;
+  EXPECT_NE(result->message.find("avg_us="), std::string::npos)
+      << result->message;
+  EXPECT_NE(result->message.find("rows="), std::string::npos)
+      << result->message;
+}
+
+TEST_F(SqlExecTest, PlainExplainDoesNotExecute) {
+  auto result = ExecuteStatement(
+      &session_, "EXPLAIN SELECT id, PREDICT(scorer) FROM tx");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Without ANALYZE the physical stage stats are absent.
+  EXPECT_EQ(result->message.find("calls="), std::string::npos)
+      << result->message;
+}
+
 TEST_F(SqlExecTest, ResultToStringRenders) {
   auto result = ExecuteQuery(
       &session_, "SELECT id, amount FROM tx LIMIT 2");
