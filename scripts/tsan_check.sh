@@ -25,11 +25,15 @@ UBSAN_DIR="${2:-build-ubsan}"
 
 # executor_test and serving_concurrency_test drive the compiled
 # PhysicalPlan stage runner (shared StageStats atomics accumulate
-# across concurrent requests and redeploy swaps).
+# across concurrent requests and redeploy swaps). columnar_test runs
+# the fragment-parallel ColumnarScan (morsels decode fragments
+# concurrently into a shared output vector and accumulate atomic
+# telemetry) plus the lock-free ScanCostModel EWMA.
 TSAN_TESTS=(resource_test storage_test block_ops_test kernels_test
-            executor_test serving_concurrency_test chaos_test)
+            executor_test serving_concurrency_test chaos_test
+            columnar_test)
 UBSAN_TESTS=(kernels_test tensor_test block_ops_test executor_test
-            plan_text_test chaos_test)
+            plan_text_test chaos_test columnar_test)
 
 cmake -B "$BUILD_DIR" -S . -DRELSERVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo

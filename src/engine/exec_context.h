@@ -34,6 +34,11 @@ struct ExecStats {
   // per-stage breakdown lives in PhysicalPlan's StageStats).
   std::atomic<int64_t> stages_executed{0};
   std::atomic<int64_t> stage_nanos{0};
+  // Relational scan volume: rows decoded from table storage (either
+  // layout) and the payload bytes those rows carried. Bumped from
+  // inside fragment-parallel morsels; EXPLAIN ANALYZE renders both.
+  std::atomic<int64_t> rows_scanned{0};
+  std::atomic<int64_t> bytes_scanned{0};
 
   ExecStats() = default;
   ExecStats(const ExecStats& other) { *this = other; }
@@ -54,6 +59,8 @@ struct ExecStats {
     stages_executed.store(other.stages_executed.load(kRelaxed),
                           kRelaxed);
     stage_nanos.store(other.stage_nanos.load(kRelaxed), kRelaxed);
+    rows_scanned.store(other.rows_scanned.load(kRelaxed), kRelaxed);
+    bytes_scanned.store(other.bytes_scanned.load(kRelaxed), kRelaxed);
     return *this;
   }
 
@@ -65,7 +72,9 @@ struct ExecStats {
            " prefetch_issued=" + std::to_string(prefetch_issued.load()) +
            " prefetch_useful=" + std::to_string(prefetch_useful.load()) +
            " repr_fallbacks=" + std::to_string(repr_fallbacks.load()) +
-           " stages_executed=" + std::to_string(stages_executed.load());
+           " stages_executed=" + std::to_string(stages_executed.load()) +
+           " rows_scanned=" + std::to_string(rows_scanned.load()) +
+           " bytes_scanned=" + std::to_string(bytes_scanned.load());
   }
 };
 

@@ -297,6 +297,12 @@ Status RunStage(const PhysicalStage& stage, int64_t batch,
           act->store, blockops::BlockSoftmaxRows(*act->store, ctx));
       return Status::OK();
     }
+    case StageKind::kColumnarScan:
+    case StageKind::kColumnarGather:
+      // Relational input stages; they run before the model pipeline
+      // (ColumnarScan / ExecuteColumnarGather) and never compile into
+      // a PhysicalPlan.
+      return Status::Internal("columnar stage inside a model plan");
   }
   return Status::InvalidArgument("bad stage kind");
 }

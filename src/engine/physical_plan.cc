@@ -1,7 +1,10 @@
 #include "engine/physical_plan.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 
+#include "common/failpoint.h"
 #include "engine/block_ops.h"
 
 namespace relserve {
@@ -30,11 +33,38 @@ const char* StageKindName(StageKind kind) {
       return "block-elementwise";
     case StageKind::kBlockSoftmax:
       return "block-softmax";
+    case StageKind::kColumnarScan:
+      return "columnar-scan";
+    case StageKind::kColumnarGather:
+      return "columnar-gather";
   }
   return "?";
 }
 
 namespace {
+
+// " | calls=... rows=... avg_us=... bytes=..." (relaxed reads — safe
+// while requests execute). Shared by plan and standalone renderings.
+void AppendStageStats(const StageStats& stats, std::string* out) {
+  const int64_t calls =
+      stats.invocations.load(std::memory_order_relaxed);
+  const int64_t nanos = stats.nanos.load(std::memory_order_relaxed);
+  const int64_t rows = stats.rows.load(std::memory_order_relaxed);
+  const int64_t bytes = stats.bytes.load(std::memory_order_relaxed);
+  const int64_t fallbacks =
+      stats.fallbacks.load(std::memory_order_relaxed);
+  char avg[32];
+  std::snprintf(avg, sizeof(avg), "%.1f",
+                calls > 0 ? static_cast<double>(nanos) / 1e3 /
+                                static_cast<double>(calls)
+                          : 0.0);
+  *out += " | calls=" + std::to_string(calls) + " rows=" +
+          std::to_string(rows) + " avg_us=" + avg + " bytes=" +
+          std::to_string(bytes);
+  if (fallbacks > 0) {
+    *out += " fallbacks=" + std::to_string(fallbacks);
+  }
+}
 
 Shape WithBatch(int64_t batch, const std::vector<int64_t>& sample) {
   std::vector<int64_t> dims;
@@ -386,31 +416,66 @@ std::string PhysicalPlan::ToString(bool analyze) const {
       out += " @";
       out += DeviceKindName(s.device);
     }
-    if (analyze) {
-      const int64_t calls =
-          s.stats.invocations.load(std::memory_order_relaxed);
-      const int64_t nanos =
-          s.stats.nanos.load(std::memory_order_relaxed);
-      const int64_t rows = s.stats.rows.load(std::memory_order_relaxed);
-      const int64_t bytes =
-          s.stats.bytes.load(std::memory_order_relaxed);
-      const int64_t fallbacks =
-          s.stats.fallbacks.load(std::memory_order_relaxed);
-      char avg[32];
-      std::snprintf(avg, sizeof(avg), "%.1f",
-                    calls > 0 ? static_cast<double>(nanos) / 1e3 /
-                                    static_cast<double>(calls)
-                              : 0.0);
-      out += " | calls=" + std::to_string(calls) + " rows=" +
-             std::to_string(rows) + " avg_us=" + avg + " bytes=" +
-             std::to_string(bytes);
-      if (fallbacks > 0) {
-        out += " fallbacks=" + std::to_string(fallbacks);
-      }
-    }
+    if (analyze) AppendStageStats(s.stats, &out);
     out += "\n";
   }
   return out;
+}
+
+std::string RenderStandaloneStage(const PhysicalStage& stage,
+                                  bool analyze) {
+  std::string out = "[" + std::string(StageKindName(stage.kind)) +
+                    "] " + stage.label;
+  if (analyze) AppendStageStats(stage.stats, &out);
+  return out;
+}
+
+Result<Tensor> ExecuteColumnarGather(
+    const PhysicalStage& stage,
+    const std::vector<ColumnBatch>& batches, int chunk_index,
+    int64_t width, const std::string& column_name,
+    MemoryTracker* tracker) {
+  RELSERVE_RETURN_NOT_OK(failpoint::InjectedStatus("columnar.pivot"));
+  const auto t0 = std::chrono::steady_clock::now();
+  int64_t total_rows = 0;
+  for (const ColumnBatch& batch : batches) {
+    total_rows += batch.num_rows;
+  }
+  RELSERVE_ASSIGN_OR_RETURN(
+      Tensor tile, Tensor::Create(Shape{total_rows, width}, tracker));
+  float* dst = tile.data();
+  for (const ColumnBatch& batch : batches) {
+    if (batch.num_rows == 0) continue;
+    const ColumnChunk& chunk = batch.columns[chunk_index];
+    if (chunk.type != ValueType::kFloatVector) {
+      return Status::InvalidArgument("column '" + column_name +
+                                     "' is not a feature vector");
+    }
+    for (int64_t r = 0; r < chunk.length; ++r) {
+      const int64_t n = chunk.vec_offsets[r + 1] - chunk.vec_offsets[r];
+      if (n != width) {
+        return Status::InvalidArgument(
+            "column '" + column_name + "' row has width " +
+            std::to_string(n) + ", model expects " +
+            std::to_string(width));
+      }
+    }
+    // Widths validated uniform, so the chunk's flattened payload
+    // already *is* the row-major tile slice — one memcpy per chunk.
+    const int64_t elems = chunk.vec_offsets[chunk.length];
+    std::memcpy(dst, chunk.vec_data.data(), elems * sizeof(float));
+    dst += elems;
+  }
+  const int64_t nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  stage.stats.invocations.fetch_add(1, std::memory_order_relaxed);
+  stage.stats.nanos.fetch_add(nanos, std::memory_order_relaxed);
+  stage.stats.rows.fetch_add(total_rows, std::memory_order_relaxed);
+  stage.stats.bytes.fetch_add(total_rows * width * sizeof(float),
+                              std::memory_order_relaxed);
+  return tile;
 }
 
 }  // namespace relserve

@@ -45,6 +45,7 @@
 #include "engine/exec_context.h"
 #include "graph/model.h"
 #include "optimizer/plan.h"
+#include "relational/column_batch.h"
 #include "storage/block_store.h"
 #include "tensor/tensor.h"
 
@@ -62,6 +63,8 @@ enum class StageKind {
   kElementwise,       // standalone whole-tensor elementwise chain
   kBlockElementwise,  // standalone blockwise elementwise chain
   kBlockSoftmax,      // row-strip softmax over a block relation
+  kColumnarScan,      // vectorized fragment-parallel table scan
+  kColumnarGather,    // column chunks -> packed GEMM input tile
 };
 
 const char* StageKindName(StageKind kind);
@@ -120,6 +123,26 @@ struct PhysicalStage {
   Shape OutShape(int64_t batch) const;
   int64_t OutElemsPerRow() const;
 };
+
+// EXPLAIN-style one-line rendering of a stage that lives outside a
+// compiled model plan (the relational scan/gather stages a serving
+// session keeps per table). With `analyze`, appends the same
+// calls/rows/avg_us/bytes counters PhysicalPlan::ToString renders.
+std::string RenderStandaloneStage(const PhysicalStage& stage,
+                                  bool analyze);
+
+// The columnar -> tensor pivot: gathers a float-vector feature chunk
+// (slot `chunk_index` of each batch) straight into a packed
+// [total_rows, width] GEMM input tile — contiguous memcpys from the
+// chunks' flattened payloads, no Row/Value materialization.
+// InvalidArgument when a row's vector is not exactly `width` wide;
+// trips the "columnar.pivot" failpoint. Stats (invocations, nanos,
+// rows, bytes) accumulate into `stage`.
+Result<Tensor> ExecuteColumnarGather(
+    const PhysicalStage& stage,
+    const std::vector<ColumnBatch>& batches, int chunk_index,
+    int64_t width, const std::string& column_name,
+    MemoryTracker* tracker);
 
 class PhysicalPlan {
  public:

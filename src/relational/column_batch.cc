@@ -1,0 +1,202 @@
+#include "relational/column_batch.h"
+
+#include "common/logging.h"
+
+namespace relserve {
+
+void ColumnChunk::Reserve(int64_t n) {
+  switch (type) {
+    case ValueType::kInt64:
+      i64.reserve(n);
+      break;
+    case ValueType::kFloat64:
+      f64.reserve(n);
+      break;
+    case ValueType::kString:
+      str.reserve(n);
+      break;
+    case ValueType::kFloatVector:
+      vec_offsets.reserve(n + 1);
+      break;
+  }
+}
+
+void ColumnChunk::PushValidity(bool valid) {
+  if (valid && validity.empty()) return;  // all-valid fast path
+  if (validity.empty()) {
+    // First null: materialize an all-valid prefix for rows [0, length).
+    validity.assign(static_cast<size_t>((length + 8) >> 3), 0);
+    for (int64_t r = 0; r < length; ++r) {
+      validity[static_cast<size_t>(r >> 3)] |=
+          static_cast<uint8_t>(1u << (r & 7));
+    }
+  }
+  const int64_t r = length;
+  if (static_cast<size_t>(r >> 3) >= validity.size()) {
+    validity.push_back(0);
+  }
+  if (valid) {
+    validity[static_cast<size_t>(r >> 3)] |=
+        static_cast<uint8_t>(1u << (r & 7));
+  }
+}
+
+void ColumnChunk::AppendValue(const Value& v) {
+  RELSERVE_DCHECK(v.type() == type);
+  PushValidity(/*valid=*/true);
+  switch (type) {
+    case ValueType::kInt64:
+      i64.push_back(v.AsInt64());
+      break;
+    case ValueType::kFloat64:
+      f64.push_back(v.AsFloat64());
+      break;
+    case ValueType::kString:
+      str.push_back(v.AsString());
+      break;
+    case ValueType::kFloatVector: {
+      const std::vector<float>& vec = v.AsFloatVector();
+      vec_data.insert(vec_data.end(), vec.begin(), vec.end());
+      vec_offsets.push_back(static_cast<int64_t>(vec_data.size()));
+      break;
+    }
+  }
+  ++length;
+}
+
+void ColumnChunk::AppendNull() {
+  PushValidity(/*valid=*/false);
+  switch (type) {
+    case ValueType::kInt64:
+      i64.push_back(0);
+      break;
+    case ValueType::kFloat64:
+      f64.push_back(0.0);
+      break;
+    case ValueType::kString:
+      str.emplace_back();
+      break;
+    case ValueType::kFloatVector:
+      vec_offsets.push_back(static_cast<int64_t>(vec_data.size()));
+      break;
+  }
+  ++length;
+}
+
+void ColumnChunk::AppendFrom(const ColumnChunk& src, int64_t r) {
+  RELSERVE_DCHECK(src.type == type);
+  PushValidity(src.IsValid(r));
+  switch (type) {
+    case ValueType::kInt64:
+      i64.push_back(src.i64[r]);
+      break;
+    case ValueType::kFloat64:
+      f64.push_back(src.f64[r]);
+      break;
+    case ValueType::kString:
+      str.push_back(src.str[r]);
+      break;
+    case ValueType::kFloatVector: {
+      const int64_t lo = src.vec_offsets[r];
+      const int64_t hi = src.vec_offsets[r + 1];
+      vec_data.insert(vec_data.end(), src.vec_data.begin() + lo,
+                      src.vec_data.begin() + hi);
+      vec_offsets.push_back(static_cast<int64_t>(vec_data.size()));
+      break;
+    }
+  }
+  ++length;
+}
+
+Value ColumnChunk::GetValue(int64_t r) const {
+  RELSERVE_DCHECK(r >= 0 && r < length);
+  switch (type) {
+    case ValueType::kInt64:
+      return Value(i64[r]);
+    case ValueType::kFloat64:
+      return Value(f64[r]);
+    case ValueType::kString:
+      return Value(str[r]);
+    case ValueType::kFloatVector: {
+      const int64_t lo = vec_offsets[r];
+      const int64_t hi = vec_offsets[r + 1];
+      return Value(std::vector<float>(vec_data.begin() + lo,
+                                      vec_data.begin() + hi));
+    }
+  }
+  return Value();
+}
+
+int64_t ColumnChunk::ByteSize() const {
+  int64_t bytes = static_cast<int64_t>(validity.size());
+  switch (type) {
+    case ValueType::kInt64:
+      bytes += static_cast<int64_t>(i64.size()) * 8;
+      break;
+    case ValueType::kFloat64:
+      bytes += static_cast<int64_t>(f64.size()) * 8;
+      break;
+    case ValueType::kString:
+      for (const std::string& s : str) {
+        bytes += static_cast<int64_t>(s.size()) + 4;
+      }
+      break;
+    case ValueType::kFloatVector:
+      bytes += static_cast<int64_t>(vec_data.size()) * 4 +
+               static_cast<int64_t>(vec_offsets.size()) * 8;
+      break;
+  }
+  return bytes;
+}
+
+ColumnBatch::ColumnBatch(const Schema& s) : schema(s) {
+  columns.reserve(s.num_columns());
+  for (const Column& c : s.columns()) {
+    columns.emplace_back(c.type);
+  }
+}
+
+void ColumnBatch::Reserve(int64_t n) {
+  for (ColumnChunk& c : columns) c.Reserve(n);
+}
+
+void ColumnBatch::AppendRow(const Row& row) {
+  RELSERVE_DCHECK(row.num_values() ==
+                  static_cast<int>(columns.size()));
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns[c].AppendValue(row.value(static_cast<int>(c)));
+  }
+  ++num_rows;
+}
+
+Row ColumnBatch::RowAt(int64_t r) const {
+  std::vector<Value> values;
+  values.reserve(columns.size());
+  for (const ColumnChunk& c : columns) {
+    values.push_back(c.GetValue(r));
+  }
+  return Row(std::move(values));
+}
+
+std::vector<Row> ColumnBatch::ToRows() const {
+  std::vector<Row> rows;
+  rows.reserve(num_rows);
+  for (int64_t r = 0; r < num_rows; ++r) rows.push_back(RowAt(r));
+  return rows;
+}
+
+ColumnBatch ColumnBatch::FromRows(const Schema& s,
+                                  const std::vector<Row>& rows) {
+  ColumnBatch batch(s);
+  batch.Reserve(static_cast<int64_t>(rows.size()));
+  for (const Row& row : rows) batch.AppendRow(row);
+  return batch;
+}
+
+int64_t ColumnBatch::ByteSize() const {
+  int64_t bytes = 0;
+  for (const ColumnChunk& c : columns) bytes += c.ByteSize();
+  return bytes;
+}
+
+}  // namespace relserve

@@ -1,0 +1,108 @@
+// ColumnBatch / ColumnChunk: the batch-at-a-time unit of the
+// vectorized execution path.
+//
+// A chunk holds one column of ~1-4K rows as a contiguous typed array
+// (int64/double/string, or a flattened float-vector payload with
+// per-row offsets) plus an optional validity bitmap. Operators iterate
+// tight loops over these arrays instead of boxing every cell into a
+// Value, which is what makes scan/filter/project vectorizable and lets
+// feature columns move into GEMM input tiles with plain memcpys.
+//
+// NULL semantics: the Value model has no NULL alternative, so a null
+// slot still stores a type-default payload (0 / 0.0 / "" / empty
+// vector). The bitmap records which slots were null at ingest; the
+// row-compatibility shim and the vectorized evaluator both see the
+// default payload, keeping the two paths bit-identical until a real
+// NULL type lands in the Value layer.
+
+#ifndef RELSERVE_RELATIONAL_COLUMN_BATCH_H_
+#define RELSERVE_RELATIONAL_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/row.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace relserve {
+
+struct ColumnChunk {
+  ValueType type = ValueType::kInt64;
+  int64_t length = 0;
+  // Validity bitmap, LSB-first: row r is valid iff bit r of
+  // validity[r/8] is set. Empty means every row is valid (the common
+  // case pays no bitmap cost).
+  std::vector<uint8_t> validity;
+
+  // Exactly one payload below is populated, selected by `type`.
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string> str;
+  // Float-vector payload, flattened: row r spans
+  // vec_data[vec_offsets[r], vec_offsets[r+1]).
+  std::vector<float> vec_data;
+  std::vector<int64_t> vec_offsets;  // size length+1 once constructed
+
+  ColumnChunk() { vec_offsets.push_back(0); }
+  explicit ColumnChunk(ValueType t) : type(t) {
+    vec_offsets.push_back(0);
+  }
+
+  void Reserve(int64_t n);
+
+  // Appends one cell; the value's type must match `type`.
+  void AppendValue(const Value& v);
+  // Appends a null slot (type-default payload, bitmap bit cleared).
+  void AppendNull();
+  // Appends row `r` of `src` (same type), preserving validity.
+  void AppendFrom(const ColumnChunk& src, int64_t r);
+
+  bool has_nulls() const { return !validity.empty(); }
+  bool IsValid(int64_t r) const {
+    return validity.empty() ||
+           (validity[static_cast<size_t>(r >> 3)] >> (r & 7)) & 1;
+  }
+  bool IsNull(int64_t r) const { return !IsValid(r); }
+
+  // Boxes row `r` into a Value (null slots box their default payload).
+  Value GetValue(int64_t r) const;
+
+  // Approximate in-memory payload bytes (what a scan touched).
+  int64_t ByteSize() const;
+
+ private:
+  // Tracks validity for one appended slot; materializes the bitmap
+  // lazily on the first null.
+  void PushValidity(bool valid);
+};
+
+// A horizontal slice of a relation in columnar form: one chunk per
+// schema column, all of equal length.
+struct ColumnBatch {
+  Schema schema;
+  std::vector<ColumnChunk> columns;
+  int64_t num_rows = 0;
+
+  ColumnBatch() = default;
+  explicit ColumnBatch(const Schema& s);
+
+  void Reserve(int64_t n);
+
+  // Appends one row; arity and per-column types must match the schema.
+  void AppendRow(const Row& row);
+
+  // Boxes row `r` back into the row representation.
+  Row RowAt(int64_t r) const;
+  std::vector<Row> ToRows() const;
+
+  static ColumnBatch FromRows(const Schema& s,
+                              const std::vector<Row>& rows);
+
+  int64_t ByteSize() const;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_RELATIONAL_COLUMN_BATCH_H_

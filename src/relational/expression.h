@@ -45,6 +45,8 @@ class Expression {
   ExprKind kind() const { return kind_; }
   int column_index() const { return column_index_; }
   const Value& literal() const { return literal_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  double epsilon() const { return epsilon_; }
 
   // Evaluates against one row. Comparison/boolean results are Int64
   // 0/1.

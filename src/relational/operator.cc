@@ -10,6 +10,8 @@ namespace relserve {
 Result<std::vector<Row>> Collect(RowIterator* it) {
   RELSERVE_RETURN_NOT_OK(it->Open());
   std::vector<Row> rows;
+  const int64_t hint = it->SizeHint();
+  if (hint > 0) rows.reserve(hint);
   Row row;
   while (true) {
     RELSERVE_ASSIGN_OR_RETURN(bool has, it->Next(&row));
@@ -36,6 +38,18 @@ Result<bool> SeqScan::Next(Row* row) {
         heap_->ReadPageRecords(page_index_, &page_records_));
     ++page_index_;
     record_index_ = 0;
+    if (rows_scanned_ != nullptr) {
+      rows_scanned_->fetch_add(
+          static_cast<int64_t>(page_records_.size()),
+          std::memory_order_relaxed);
+    }
+    if (bytes_scanned_ != nullptr) {
+      int64_t bytes = 0;
+      for (const std::string& r : page_records_) {
+        bytes += static_cast<int64_t>(r.size());
+      }
+      bytes_scanned_->fetch_add(bytes, std::memory_order_relaxed);
+    }
   }
   const std::string& record = page_records_[record_index_++];
   RELSERVE_ASSIGN_OR_RETURN(

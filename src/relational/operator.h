@@ -9,6 +9,8 @@
 #ifndef RELSERVE_RELATIONAL_OPERATOR_H_
 #define RELSERVE_RELATIONAL_OPERATOR_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -33,6 +35,10 @@ class RowIterator {
   virtual Result<bool> Next(Row* row) = 0;
 
   virtual const Schema& schema() const = 0;
+
+  // Expected (or upper-bound) output row count, valid after Open();
+  // -1 when unknown. Consumers use it to reserve() result buffers.
+  virtual int64_t SizeHint() const { return -1; }
 };
 
 using RowIteratorPtr = std::unique_ptr<RowIterator>;
@@ -51,6 +57,15 @@ class SeqScan : public RowIterator {
   Status Open() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return schema_; }
+  int64_t SizeHint() const override { return heap_->num_records(); }
+
+  // Optional relaxed-atomic sinks bumped as pages are decoded, so
+  // EXPLAIN ANALYZE reports what the row path actually touched.
+  void set_telemetry(std::atomic<int64_t>* rows_scanned,
+                     std::atomic<int64_t>* bytes_scanned) {
+    rows_scanned_ = rows_scanned;
+    bytes_scanned_ = bytes_scanned;
+  }
 
  private:
   const TableHeap* heap_;
@@ -58,6 +73,8 @@ class SeqScan : public RowIterator {
   int64_t page_index_ = 0;
   std::vector<std::string> page_records_;
   size_t record_index_ = 0;
+  std::atomic<int64_t>* rows_scanned_ = nullptr;
+  std::atomic<int64_t>* bytes_scanned_ = nullptr;
 };
 
 // Scans an in-memory row vector (for intermediate results).
@@ -72,6 +89,9 @@ class MemScan : public RowIterator {
   }
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return schema_; }
+  int64_t SizeHint() const override {
+    return static_cast<int64_t>(rows_.size());
+  }
 
  private:
   std::vector<Row> rows_;
@@ -105,6 +125,7 @@ class Project : public RowIterator {
   Status Open() override { return child_->Open(); }
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return schema_; }
+  int64_t SizeHint() const override { return child_->SizeHint(); }
 
  private:
   RowIteratorPtr child_;
@@ -121,6 +142,9 @@ class Sort : public RowIterator {
   Status Open() override;
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return child_->schema(); }
+  int64_t SizeHint() const override {
+    return static_cast<int64_t>(sorted_.size());
+  }
 
  private:
   RowIteratorPtr child_;
@@ -141,6 +165,11 @@ class Limit : public RowIterator {
   }
   Result<bool> Next(Row* row) override;
   const Schema& schema() const override { return child_->schema(); }
+  int64_t SizeHint() const override {
+    const int64_t child_hint = child_->SizeHint();
+    if (child_hint < 0) return limit_;
+    return std::min(child_hint, limit_);
+  }
 
  private:
   RowIteratorPtr child_;

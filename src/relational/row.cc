@@ -32,6 +32,28 @@ std::string Row::ToString() const {
 }
 
 void Row::SerializeTo(std::string* out) const {
+  // Exact encoded size up front: one growth instead of a realloc per
+  // value (ingest serializes every row through here).
+  size_t encoded = 0;
+  for (const Value& v : values_) {
+    encoded += 1;  // type tag
+    switch (v.type()) {
+      case ValueType::kInt64:
+        encoded += sizeof(int64_t);
+        break;
+      case ValueType::kFloat64:
+        encoded += sizeof(double);
+        break;
+      case ValueType::kString:
+        encoded += sizeof(uint32_t) + v.AsString().size();
+        break;
+      case ValueType::kFloatVector:
+        encoded += sizeof(uint32_t) +
+                   v.AsFloatVector().size() * sizeof(float);
+        break;
+    }
+  }
+  out->reserve(out->size() + encoded);
   for (const Value& v : values_) {
     AppendPod<uint8_t>(out, static_cast<uint8_t>(v.type()));
     switch (v.type()) {

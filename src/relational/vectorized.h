@@ -1,0 +1,121 @@
+// Vectorized (batch-at-a-time) execution over ColumnBatch.
+//
+// The row operators in operator.h pull one boxed Row per Next(); the
+// functions here evaluate expressions over whole chunks — tight loops
+// on contiguous int64/double arrays producing branch-free selection
+// vectors — and scan a ColumnarTable fragment-parallel on the shared
+// ThreadPool (morsel = fragment, grains from ScanCostModel). The
+// semantics contract is exact: every query must produce bit-identical
+// rows through either path, including the row evaluator's typed
+// equality (Int64 3 != Float64 3.0), per-row AND/OR short-circuit
+// (errors in an unevaluated branch are suppressed), and double
+// arithmetic applied in the same order per row.
+//
+// ColumnarRowScan is the compatibility shim: a RowIterator over the
+// batch scan, so every row operator (joins, aggregates, sorts)
+// composes over columnar tables unchanged.
+
+#ifndef RELSERVE_RELATIONAL_VECTORIZED_H_
+#define RELSERVE_RELATIONAL_VECTORIZED_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/column_batch.h"
+#include "relational/expression.h"
+#include "relational/operator.h"
+#include "resource/thread_pool.h"
+#include "storage/column_store.h"
+
+namespace relserve {
+
+// Ascending row indices into a batch that passed a predicate.
+using SelVector = std::vector<int32_t>;
+
+// Evaluates `pred` over rows sel[0..n) of `batch` (nullptr sel = all
+// rows) and returns the passing subset. `col_map`, when non-null,
+// maps table column index -> chunk slot in `batch` (-1 = absent), so
+// predicates bound against the table schema evaluate over a
+// projection-pushed-down batch.
+Result<SelVector> EvalPredicate(const Expression& pred,
+                                const ColumnBatch& batch,
+                                const int32_t* sel, int64_t n,
+                                const std::vector<int>* col_map = nullptr);
+Result<SelVector> EvalPredicate(const Expression& pred,
+                                const ColumnBatch& batch);
+
+// Gathers `sel` rows of the chunks named by `slots` into a fresh
+// batch with schema `out_schema`.
+ColumnBatch CompactBatch(const ColumnBatch& batch, const SelVector& sel,
+                         const std::vector<int>& slots,
+                         const Schema& out_schema);
+
+struct ColumnarScanOptions {
+  // Predicate over the *table* schema; null = no filter.
+  ExprPtr predicate;
+  // Output columns as table indices; empty = all columns in order.
+  std::vector<int> projection;
+  // Fragment-parallel scan when a pool is given and the cost model
+  // says the table is big enough.
+  ThreadPool* pool = nullptr;
+  bool force_serial = false;
+  // Cap on emitted rows (applied after the filter); -1 = no cap.
+  int64_t limit = -1;
+};
+
+struct ColumnarScanOutput {
+  std::vector<ColumnBatch> batches;  // fragment order, may hold empties
+  Schema schema;                     // projection schema
+  int64_t rows_scanned = 0;   // rows decoded from fragments
+  int64_t bytes_scanned = 0;  // chunk payload bytes decoded
+  int64_t rows_emitted = 0;   // rows surviving filter+limit
+  int64_t nanos = 0;
+  bool parallel = false;
+
+  std::vector<Row> ToRows() const;
+};
+
+// Scans `table` with filter + projection pushdown. Fragments are
+// decoded, filtered and compacted independently (deterministic
+// fragment order in the output) and in parallel when profitable.
+// Feeds measured cost back into ScanCostModel.
+Result<ColumnarScanOutput> ColumnarScan(const ColumnarTable& table,
+                                        const ColumnarScanOptions& opts);
+
+// Row-at-a-time compatibility shim over the batch path: decodes one
+// fragment at a time and serves boxed rows, so row operators compose
+// over columnar tables.
+class ColumnarRowScan : public RowIterator {
+ public:
+  explicit ColumnarRowScan(const ColumnarTable* table)
+      : table_(table), schema_(table->schema()) {}
+
+  Status Open() override {
+    fragment_ = 0;
+    row_ = 0;
+    batch_ = ColumnBatch();
+    return Status::OK();
+  }
+  Result<bool> Next(Row* row) override;
+  const Schema& schema() const override { return schema_; }
+  int64_t SizeHint() const override { return table_->num_rows(); }
+
+ private:
+  const ColumnarTable* table_;
+  Schema schema_;
+  int64_t fragment_ = 0;
+  ColumnBatch batch_;
+  int64_t row_ = 0;
+};
+
+// Scan over whichever layout the table uses (exactly one of
+// heap/columnar is non-null in the catalog).
+RowIteratorPtr MakeTableScan(const TableHeap* heap,
+                             const ColumnarTable* columnar,
+                             const Schema& schema);
+
+}  // namespace relserve
+
+#endif  // RELSERVE_RELATIONAL_VECTORIZED_H_

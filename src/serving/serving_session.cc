@@ -6,6 +6,7 @@
 #include "engine/block_ops.h"
 #include "engine/connector.h"
 #include "relational/operator.h"
+#include "relational/vectorized.h"
 
 namespace relserve {
 
@@ -42,8 +43,28 @@ ServingSession::ServingSession(ServingConfig config)
 }
 
 Result<TableInfo*> ServingSession::CreateTable(const std::string& name,
-                                               Schema schema) {
-  return catalog_->CreateTable(name, std::move(schema));
+                                               Schema schema,
+                                               TableLayout layout) {
+  return catalog_->CreateTable(name, std::move(schema), layout);
+}
+
+ServingSession::ColumnarTableStages* ServingSession::ColumnarStages(
+    const std::string& table_name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    auto it = columnar_stages_.find(table_name);
+    if (it != columnar_stages_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  auto& slot = columnar_stages_[table_name];
+  if (slot == nullptr) {
+    slot = std::make_unique<ColumnarTableStages>();
+    slot->scan.kind = StageKind::kColumnarScan;
+    slot->scan.label = "scan " + table_name;
+    slot->gather.kind = StageKind::kColumnarGather;
+    slot->gather.label = "pivot " + table_name;
+  }
+  return slot.get();
 }
 
 Result<TableInfo*> ServingSession::GetTable(const std::string& name) {
@@ -206,15 +227,74 @@ Result<ExecOutput> ServingSession::Predict(
   RELSERVE_ASSIGN_OR_RETURN(int col,
                             table->schema.FieldIndex(feature_col));
 
-  const int64_t n = table->heap->num_records();
+  const int64_t n = table->num_rows();
   if (n == 0) return Status::InvalidArgument("empty table");
   RELSERVE_ASSIGN_OR_RETURN(std::shared_ptr<Deployment> deployment,
                             GetDeployment(model_name, n));
   const int64_t width = model->sample_shape().NumElements();
 
-  SeqScan scan(table->heap.get(), table->schema);
   const bool stream_input =
       deployment->plan.decisions[0].repr == Repr::kRelational;
+
+  if (table->layout == TableLayout::kColumnar) {
+    // Vectorized fast path: scan only the feature column (fragment-
+    // parallel), then move the chunks' flattened payloads straight
+    // into the model input — no Row/Value boxing anywhere.
+    ColumnarTableStages* stages = ColumnarStages(table_name);
+    ColumnarScanOptions opts;
+    opts.projection = {col};
+    opts.pool = pool_.get();
+    RELSERVE_ASSIGN_OR_RETURN(ColumnarScanOutput scanned,
+                              ColumnarScan(*table->columnar, opts));
+    stages->scan.stats.invocations.fetch_add(1,
+                                             std::memory_order_relaxed);
+    stages->scan.stats.nanos.fetch_add(scanned.nanos,
+                                       std::memory_order_relaxed);
+    stages->scan.stats.rows.fetch_add(scanned.rows_scanned,
+                                      std::memory_order_relaxed);
+    stages->scan.stats.bytes.fetch_add(scanned.bytes_scanned,
+                                       std::memory_order_relaxed);
+
+    if (stream_input) {
+      // Chunks feed the block relation directly; each fragment's
+      // payload is already the row-major strip AppendRow expects.
+      RELSERVE_ASSIGN_OR_RETURN(
+          blockops::MatrixStreamWriter writer,
+          blockops::MatrixStreamWriter::Create(n, width, &ctx_));
+      for (const ColumnBatch& batch : scanned.batches) {
+        if (batch.num_rows == 0) continue;
+        const ColumnChunk& chunk = batch.columns[0];
+        for (int64_t r = 0; r < chunk.length; ++r) {
+          const int64_t row_width =
+              chunk.vec_offsets[r + 1] - chunk.vec_offsets[r];
+          if (row_width != width) {
+            return Status::InvalidArgument(
+                "feature width " + std::to_string(row_width) +
+                " != model input width " + std::to_string(width));
+          }
+          RELSERVE_RETURN_NOT_OK(writer.AppendRow(
+              chunk.vec_data.data() + chunk.vec_offsets[r]));
+        }
+      }
+      RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> store,
+                                writer.Finish());
+      return HybridExecutor::RunOnStore(*deployment->prepared,
+                                        std::move(store), &ctx_);
+    }
+
+    RELSERVE_ASSIGN_OR_RETURN(
+        Tensor input,
+        ExecuteColumnarGather(stages->gather, scanned.batches,
+                              /*chunk_index=*/0, width, feature_col,
+                              &working_memory_));
+    std::vector<int64_t> dims = {n};
+    for (int64_t d : model->sample_shape().dims()) dims.push_back(d);
+    RELSERVE_ASSIGN_OR_RETURN(Tensor shaped,
+                              input.Reshape(Shape(std::move(dims))));
+    return HybridExecutor::Run(*deployment->prepared, shaped, &ctx_);
+  }
+
+  SeqScan scan(table->heap.get(), table->schema);
 
   if (stream_input) {
     // The batch never exists whole: rows go straight into a block
@@ -309,9 +389,13 @@ Result<Tensor> ServingSession::PredictViaRuntime(
                             table->schema.FieldIndex(feature_col));
 
   // Export: scan -> wire encoding -> copy across the system boundary.
-  SeqScan scan(table->heap.get(), table->schema);
-  RELSERVE_ASSIGN_OR_RETURN(std::string encoded,
-                            Connector::EncodeFeatureStream(&scan, col));
+  // MakeTableScan serves whichever layout the table uses.
+  RowIteratorPtr scan = MakeTableScan(table->heap.get(),
+                                      table->columnar.get(),
+                                      table->schema);
+  RELSERVE_ASSIGN_OR_RETURN(
+      std::string encoded,
+      Connector::EncodeFeatureStream(scan.get(), col));
   const std::string request =
       Connector::Transmit(encoded, config_.connector_link);
   RELSERVE_ASSIGN_OR_RETURN(std::string response,

@@ -26,6 +26,7 @@
 #include "engine/exec_context.h"
 #include "engine/external_runtime.h"
 #include "engine/hybrid_executor.h"
+#include "engine/physical_plan.h"
 #include "engine/prepared_model.h"
 #include "graph/model.h"
 #include "optimizer/optimizer.h"
@@ -84,8 +85,18 @@ class ServingSession {
 
   // --- Tables -------------------------------------------------------
 
-  Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema,
+                                 TableLayout layout = TableLayout::kRow);
   Result<TableInfo*> GetTable(const std::string& name);
+
+  // The per-table EXPLAIN ANALYZE stages of the vectorized serving
+  // path (columnar-scan + columnar-gather). Created lazily on first
+  // access; stats accumulate across Predict calls on columnar tables.
+  struct ColumnarTableStages {
+    PhysicalStage scan;
+    PhysicalStage gather;
+  };
+  ColumnarTableStages* ColumnarStages(const std::string& table_name);
 
   // --- Models -------------------------------------------------------
 
@@ -210,6 +221,8 @@ class ServingSession {
   std::map<std::string, std::map<std::string, std::shared_ptr<Deployment>>>
       aot_plans_;
   std::map<std::string, ExternalRuntime*> offloaded_;
+  std::map<std::string, std::unique_ptr<ColumnarTableStages>>
+      columnar_stages_;
   std::map<std::string, std::shared_ptr<ApproxResultCache>> caches_;
   std::map<std::string, std::shared_ptr<ExactResultCache>>
       exact_caches_;

@@ -12,7 +12,7 @@ const std::unordered_set<std::string>& Keywords() {
   static const auto* kKeywords = new std::unordered_set<std::string>{
       "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "LIMIT", "AS",
       "GROUP", "BY", "CREATE", "TABLE", "INSERT", "INTO", "VALUES",
-      "EXPLAIN", "ANALYZE", "ORDER", "ASC", "DESC",
+      "EXPLAIN", "ANALYZE", "ORDER", "ASC", "DESC", "STORAGE",
   };
   return *kKeywords;
 }

@@ -4,9 +4,12 @@
 #include <cstring>
 #include <memory>
 
+#include "engine/physical_plan.h"
 #include "kernels/kernels.h"
+#include "optimizer/scan_cost.h"
 #include "relational/expression.h"
 #include "relational/operator.h"
+#include "relational/vectorized.h"
 #include "sql/parser.h"
 
 namespace relserve {
@@ -70,6 +73,32 @@ Result<ExprPtr> BindPredicate(const Predicate& predicate,
   return Status::Internal("unhandled predicate kind");
 }
 
+// Runs a PREDICT item over a prebuilt [n, width] feature tensor;
+// returns the model output matrix [n, classes].
+Result<Tensor> RunPredictOnInput(ServingSession* session,
+                                 const SelectItem& item,
+                                 const Model* model, Tensor input,
+                                 int64_t n) {
+  std::vector<int64_t> dims = {n};
+  for (int64_t d : model->sample_shape().dims()) dims.push_back(d);
+  RELSERVE_ASSIGN_OR_RETURN(Tensor shaped,
+                            input.Reshape(Shape(std::move(dims))));
+
+  // Deploy on first use (adaptive), then reuse the deployment.
+  Result<ExecOutput> out = session->PredictBatch(item.model, shaped);
+  if (!out.ok() && out.status().IsNotFound()) {
+    RELSERVE_RETURN_NOT_OK(
+        session->Deploy(item.model, ServingMode::kAdaptive, n)
+            .status());
+    out = session->PredictBatch(item.model, shaped);
+  }
+  RELSERVE_RETURN_NOT_OK(out.status());
+  RELSERVE_ASSIGN_OR_RETURN(Tensor scores,
+                            out->ToTensor(session->exec_context()));
+  const int64_t classes = scores.NumElements() / n;
+  return scores.Reshape(Shape{n, classes});
+}
+
 // Runs a PREDICT over the qualifying rows' feature column; returns the
 // model output matrix [rows.size(), classes].
 Result<Tensor> RunPredict(ServingSession* session,
@@ -96,24 +125,30 @@ Result<Tensor> RunPredict(ServingSession* session,
     std::memcpy(input.data() + r * width, v.AsFloatVector().data(),
                 width * sizeof(float));
   }
-  std::vector<int64_t> dims = {n};
-  for (int64_t d : model->sample_shape().dims()) dims.push_back(d);
-  RELSERVE_ASSIGN_OR_RETURN(Tensor shaped,
-                            input.Reshape(Shape(std::move(dims))));
+  return RunPredictOnInput(session, item, model, std::move(input), n);
+}
 
-  // Deploy on first use (adaptive), then reuse the deployment.
-  Result<ExecOutput> out = session->PredictBatch(item.model, shaped);
-  if (!out.ok() && out.status().IsNotFound()) {
-    RELSERVE_RETURN_NOT_OK(
-        session->Deploy(item.model, ServingMode::kAdaptive, n)
-            .status());
-    out = session->PredictBatch(item.model, shaped);
-  }
-  RELSERVE_RETURN_NOT_OK(out.status());
-  RELSERVE_ASSIGN_OR_RETURN(Tensor scores,
-                            out->ToTensor(session->exec_context()));
-  const int64_t classes = scores.NumElements() / n;
-  return scores.Reshape(Shape{n, classes});
+// Columnar PREDICT: the filtered chunks pivot straight into the GEMM
+// input tile (one memcpy per fragment) — no Row/Value boxing.
+Result<Tensor> RunPredictOnBatches(ServingSession* session,
+                                   const SelectItem& item,
+                                   const Schema& schema,
+                                   const std::string& table_name,
+                                   const std::vector<ColumnBatch>& batches,
+                                   int64_t n) {
+  RELSERVE_ASSIGN_OR_RETURN(int col,
+                            schema.FieldIndex(item.feature_col));
+  RELSERVE_ASSIGN_OR_RETURN(const Model* model,
+                            session->GetModel(item.model));
+  const int64_t width = model->sample_shape().NumElements();
+  ServingSession::ColumnarTableStages* stages =
+      session->ColumnarStages(table_name);
+  RELSERVE_ASSIGN_OR_RETURN(
+      Tensor input,
+      ExecuteColumnarGather(stages->gather, batches, col, width,
+                            item.feature_col,
+                            session->working_memory()));
+  return RunPredictOnInput(session, item, model, std::move(input), n);
 }
 
 std::string AggName(AggregateFunc func) {
@@ -309,9 +344,19 @@ Result<std::string> ExplainSelect(ServingSession* session,
   RELSERVE_ASSIGN_OR_RETURN(TableInfo * table,
                             session->GetTable(stmt.table));
   std::string out;
-  const int64_t rows = table->heap->num_records();
-  out += "SeqScan " + stmt.table + " (" + std::to_string(rows) +
-         " rows)\n";
+  const int64_t rows = table->num_rows();
+  const bool columnar = table->layout == TableLayout::kColumnar;
+  if (columnar) {
+    out += "ColumnarScan " + stmt.table + " (" + std::to_string(rows) +
+           " rows, " +
+           std::to_string(table->columnar->num_fragments()) +
+           " fragments x " +
+           std::to_string(table->columnar->fragment_rows()) +
+           " rows/fragment)\n";
+  } else {
+    out += "SeqScan " + stmt.table + " (" + std::to_string(rows) +
+           " rows)\n";
+  }
   if (stmt.where != nullptr) {
     RELSERVE_ASSIGN_OR_RETURN(ExprPtr predicate,
                               BindPredicate(*stmt.where, table->schema));
@@ -324,6 +369,15 @@ Result<std::string> ExplainSelect(ServingSession* session,
   }
   if (stmt.limit.has_value()) {
     out += "  Limit: " + std::to_string(*stmt.limit) + "\n";
+  }
+  if (columnar) {
+    // The session-owned vectorized stages; with ANALYZE their
+    // counters carry the execution this statement just performed.
+    ServingSession::ColumnarTableStages* stages =
+        session->ColumnarStages(stmt.table);
+    out += "  " + RenderStandaloneStage(stages->scan, analyze) + "\n";
+    out += "  " + RenderStandaloneStage(stages->gather, analyze) + "\n";
+    if (analyze) out += "  " + ScanCostModel::ToString() + "\n";
   }
   RuleBasedOptimizer optimizer(
       session->config().memory_threshold_bytes);
@@ -402,9 +456,13 @@ Result<StatementResult> ExecuteStatement(ServingSession* session,
     case Statement::Kind::kCreateTable: {
       RELSERVE_RETURN_NOT_OK(
           session->CreateTable(stmt.create.table,
-                               Schema(stmt.create.columns))
+                               Schema(stmt.create.columns),
+                               stmt.create.columnar
+                                   ? TableLayout::kColumnar
+                                   : TableLayout::kRow)
               .status());
-      result.message = "created table " + stmt.create.table;
+      result.message = "created table " + stmt.create.table +
+                       (stmt.create.columnar ? " (columnar)" : "");
       return result;
     }
     case Statement::Kind::kInsert: {
@@ -422,9 +480,13 @@ Result<StatementResult> ExecuteStatement(ServingSession* session,
           }
         }
         Row row(std::move(coerced));
-        std::string bytes;
-        row.SerializeTo(&bytes);
-        RELSERVE_RETURN_NOT_OK(table->heap->Append(bytes));
+        if (table->layout == TableLayout::kColumnar) {
+          RELSERVE_RETURN_NOT_OK(table->columnar->AppendRow(row));
+        } else {
+          std::string bytes;
+          row.SerializeTo(&bytes);
+          RELSERVE_RETURN_NOT_OK(table->heap->Append(bytes));
+        }
       }
       result.message = "inserted " +
                        std::to_string(stmt.insert.rows.size()) +
@@ -451,21 +513,58 @@ Result<QueryResult> ExecuteSelect(ServingSession* session,
                             session->GetTable(stmt.table));
   const Schema& schema = table->schema;
 
-  // scan -> [filter] -> [limit]
-  RowIteratorPtr plan =
-      std::make_unique<SeqScan>(table->heap.get(), schema);
+  ExprPtr predicate;
   if (stmt.where != nullptr) {
-    RELSERVE_ASSIGN_OR_RETURN(ExprPtr predicate,
+    RELSERVE_ASSIGN_OR_RETURN(predicate,
                               BindPredicate(*stmt.where, schema));
-    plan = std::make_unique<Filter>(std::move(plan), predicate);
   }
   // With ORDER BY, LIMIT applies to the *sorted* output, so it cannot
   // be pushed into the pipeline.
-  if (stmt.limit.has_value() && !stmt.order_by.has_value()) {
-    plan = std::make_unique<Limit>(std::move(plan), *stmt.limit);
+  const bool push_limit =
+      stmt.limit.has_value() && !stmt.order_by.has_value();
+  ExecStats* exec_stats = &session->exec_context()->stats;
+
+  std::vector<Row> base_rows;
+  // The filtered chunks of a columnar scan, kept so PREDICT items can
+  // pivot them straight into GEMM tiles below.
+  std::vector<ColumnBatch> kept_batches;
+  const bool columnar = table->layout == TableLayout::kColumnar;
+  if (columnar) {
+    // Vectorized path: filter + limit pushdown into the
+    // fragment-parallel scan; rows are boxed once, after the filter.
+    ColumnarScanOptions opts;
+    opts.predicate = predicate;
+    opts.pool = session->thread_pool();
+    if (push_limit) opts.limit = *stmt.limit;
+    RELSERVE_ASSIGN_OR_RETURN(ColumnarScanOutput scanned,
+                              ColumnarScan(*table->columnar, opts));
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    exec_stats->rows_scanned.fetch_add(scanned.rows_scanned, kRelaxed);
+    exec_stats->bytes_scanned.fetch_add(scanned.bytes_scanned,
+                                        kRelaxed);
+    ServingSession::ColumnarTableStages* stages =
+        session->ColumnarStages(stmt.table);
+    stages->scan.stats.invocations.fetch_add(1, kRelaxed);
+    stages->scan.stats.nanos.fetch_add(scanned.nanos, kRelaxed);
+    stages->scan.stats.rows.fetch_add(scanned.rows_scanned, kRelaxed);
+    stages->scan.stats.bytes.fetch_add(scanned.bytes_scanned,
+                                       kRelaxed);
+    base_rows = scanned.ToRows();
+    kept_batches = std::move(scanned.batches);
+  } else {
+    // scan -> [filter] -> [limit]
+    auto scan = std::make_unique<SeqScan>(table->heap.get(), schema);
+    scan->set_telemetry(&exec_stats->rows_scanned,
+                        &exec_stats->bytes_scanned);
+    RowIteratorPtr plan = std::move(scan);
+    if (predicate != nullptr) {
+      plan = std::make_unique<Filter>(std::move(plan), predicate);
+    }
+    if (push_limit) {
+      plan = std::make_unique<Limit>(std::move(plan), *stmt.limit);
+    }
+    RELSERVE_ASSIGN_OR_RETURN(base_rows, Collect(plan.get()));
   }
-  RELSERVE_ASSIGN_OR_RETURN(std::vector<Row> base_rows,
-                            Collect(plan.get()));
 
   // Evaluate PREDICT items and append their values as extra columns
   // of an "extended" relation the select list (and any GROUP BY)
@@ -482,8 +581,12 @@ Result<QueryResult> ExecuteSelect(ServingSession* session,
                                       ? ValueType::kFloatVector
                                       : ValueType::kInt64});
     if (extended_rows.empty()) continue;
-    RELSERVE_ASSIGN_OR_RETURN(
-        Tensor scores, RunPredict(session, item, schema, extended_rows));
+    Result<Tensor> predicted =
+        columnar ? RunPredictOnBatches(
+                       session, item, schema, stmt.table, kept_batches,
+                       static_cast<int64_t>(extended_rows.size()))
+                 : RunPredict(session, item, schema, extended_rows);
+    RELSERVE_ASSIGN_OR_RETURN(Tensor scores, std::move(predicted));
     const int64_t classes = scores.shape().dim(1);
     for (size_t r = 0; r < extended_rows.size(); ++r) {
       if (item.kind == ItemKind::kPredict) {

@@ -3,14 +3,21 @@
 namespace relserve {
 
 Result<TableInfo*> Catalog::CreateTable(const std::string& name,
-                                        Schema schema) {
+                                        Schema schema,
+                                        TableLayout layout) {
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "'");
   }
   auto info = std::make_unique<TableInfo>();
   info->name = name;
   info->schema = std::move(schema);
-  info->heap = std::make_unique<TableHeap>(pool_);
+  info->layout = layout;
+  if (layout == TableLayout::kColumnar) {
+    info->columnar =
+        std::make_unique<ColumnarTable>(pool_, info->schema);
+  } else {
+    info->heap = std::make_unique<TableHeap>(pool_);
+  }
   TableInfo* raw = info.get();
   tables_[name] = std::move(info);
   return raw;

@@ -16,14 +16,27 @@
 #include "common/result.h"
 #include "relational/schema.h"
 #include "storage/block_store.h"
+#include "storage/column_store.h"
 #include "storage/table_heap.h"
 
 namespace relserve {
 
+// Physical layout of a row table: record-at-a-time heap pages, or the
+// fragment-partitioned column store (CREATE TABLE ... STORAGE
+// COLUMNAR).
+enum class TableLayout { kRow, kColumnar };
+
 struct TableInfo {
   std::string name;
   Schema schema;
+  // Exactly one of the two is set, per `layout`.
+  TableLayout layout = TableLayout::kRow;
   std::unique_ptr<TableHeap> heap;
+  std::unique_ptr<ColumnarTable> columnar;
+
+  int64_t num_rows() const {
+    return heap != nullptr ? heap->num_records() : columnar->num_rows();
+  }
 };
 
 class Catalog {
@@ -34,7 +47,8 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   // Creates an empty table; AlreadyExists if the name is taken.
-  Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema,
+                                 TableLayout layout = TableLayout::kRow);
 
   Result<TableInfo*> GetTable(const std::string& name);
 

@@ -1,0 +1,113 @@
+// ColumnarTable: fragment-partitioned, column-major table storage.
+//
+// A table is split into fragments — horizontal partitions of
+// `fragment_rows` rows (the morsel unit of fragment-parallel scans).
+// Each sealed fragment stores one page stream per column through the
+// BufferPool, so column streams inherit the CRC32C page checksums,
+// quarantine-on-corruption, LRU eviction and prefetching the row heap
+// already relies on. A scan that projects two of ten columns touches
+// two page streams, not ten.
+//
+// Column stream encoding (little-endian), one stream per
+// (fragment, column):
+//
+//   [u8 value_type][i64 rows][u8 has_validity]
+//   [(rows+7)/8 validity bytes]            when has_validity
+//   payload:
+//     kInt64 / kFloat64:  rows * 8 bytes, fixed width
+//     kString:            [i64 total_bytes][u32 len]*rows [bytes...]
+//     kFloatVector:       [i64 total_elems][u32 n]*rows [floats...]
+//
+// The open tail fragment accumulates appends in memory (a
+// ColumnBatch) and seals to pages when it reaches `fragment_rows`;
+// scans see it as the last fragment. Appends are single-writer;
+// concurrent scans of sealed fragments are safe (the BufferPool is
+// thread-safe and fragment metadata is immutable once sealed), but
+// scanning concurrently with appends is not supported yet — that is
+// the serve-while-ingest work this layout exists to unlock.
+
+#ifndef RELSERVE_STORAGE_COLUMN_STORE_H_
+#define RELSERVE_STORAGE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/column_batch.h"
+#include "relational/row.h"
+#include "relational/schema.h"
+#include "storage/buffer_pool.h"
+
+namespace relserve {
+
+class ColumnarTable {
+ public:
+  // ~1-4K rows per batch keeps a chunk of doubles inside L2 while
+  // amortizing per-batch dispatch; 4096 doubles = 32 KiB = half a page.
+  static constexpr int64_t kDefaultFragmentRows = 4096;
+
+  ColumnarTable(BufferPool* pool, Schema schema,
+                int64_t fragment_rows = kDefaultFragmentRows);
+
+  ColumnarTable(const ColumnarTable&) = delete;
+  ColumnarTable& operator=(const ColumnarTable&) = delete;
+
+  // Appends one row (arity/types must match the schema); seals the
+  // tail fragment automatically when it fills.
+  Status AppendRow(const Row& row);
+
+  // Column-wise append; may span multiple fragments.
+  Status AppendBatch(const ColumnBatch& batch);
+
+  // Appends one all-null row (exercises the validity bitmaps; the
+  // Value layer has no NULL, so these read back as type defaults).
+  Status AppendNullRow();
+
+  // Flushes the open tail fragment to pages. Empty tails are skipped
+  // unless `allow_empty` (tests use empty sealed fragments to probe
+  // scan edge cases).
+  Status SealActiveFragment(bool allow_empty = false);
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  int64_t fragment_rows() const { return fragment_rows_; }
+  // Sealed fragments plus the open tail when it holds rows.
+  int64_t num_fragments() const;
+  int64_t FragmentRowCount(int64_t f) const;
+  // Encoded bytes across sealed column streams.
+  int64_t sealed_bytes() const { return sealed_bytes_; }
+
+  // Reads fragment `f`, restricted to `columns` (table column
+  // indices, ascending; nullptr = all). The returned batch's chunks
+  // are positional over the requested columns. Fails with the
+  // underlying storage error — DataLoss once a column page is
+  // checksum-quarantined — and trips the "columnar.scan" failpoint.
+  Result<ColumnBatch> ReadFragment(
+      int64_t f, const std::vector<int>* columns = nullptr) const;
+
+ private:
+  struct ColumnStream {
+    std::vector<PageId> pages;
+    int64_t bytes = 0;  // encoded length
+  };
+  struct Fragment {
+    int64_t rows = 0;
+    std::vector<ColumnStream> columns;
+  };
+
+  Status WriteStream(const std::string& encoded, ColumnStream* out);
+  Status ReadStream(const ColumnStream& stream, std::string* out) const;
+
+  BufferPool* const pool_;
+  const Schema schema_;
+  const int64_t fragment_rows_;
+  std::vector<Fragment> fragments_;
+  ColumnBatch active_;  // open tail, not yet on pages
+  int64_t num_rows_ = 0;
+  int64_t sealed_bytes_ = 0;
+};
+
+}  // namespace relserve
+
+#endif  // RELSERVE_STORAGE_COLUMN_STORE_H_

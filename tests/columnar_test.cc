@@ -1,0 +1,530 @@
+// Columnar storage + vectorized scan tests. The heart of the suite is
+// the bit-identity contract: every query must produce exactly the same
+// rows through the row pipeline (SeqScan -> Filter -> Limit) and the
+// vectorized path (ColumnarScan), including typed equality, per-row
+// short-circuit and NULL-slot defaults.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "engine/physical_plan.h"
+#include "optimizer/scan_cost.h"
+#include "relational/column_batch.h"
+#include "relational/expression.h"
+#include "relational/operator.h"
+#include "relational/vectorized.h"
+#include "resource/thread_pool.h"
+#include "storage/buffer_pool.h"
+#include "storage/column_store.h"
+#include "storage/disk_manager.h"
+#include "storage/table_heap.h"
+
+namespace relserve {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ValueType::kInt64},
+                 {"score", ValueType::kFloat64},
+                 {"name", ValueType::kString},
+                 {"features", ValueType::kFloatVector}});
+}
+
+Row TestRow(int64_t i) {
+  return Row({Value(i), Value(static_cast<double>(i % 7) * 0.5),
+              Value(std::string("n") + std::to_string(i % 5)),
+              Value(std::vector<float>{static_cast<float>(i),
+                                       static_cast<float>(i) * 0.5f})});
+}
+
+// Both layouts over the same rows, plus the row-pipeline helpers the
+// bit-identity tests compare against.
+struct DualTable {
+  DiskManager disk;
+  BufferPool pool;
+  TableHeap heap;
+  ColumnarTable columnar;
+  Schema schema = TestSchema();
+
+  explicit DualTable(int64_t rows, int64_t fragment_rows = 8)
+      : pool(&disk, 256), heap(&pool),
+        columnar(&pool, TestSchema(), fragment_rows) {
+    Fill(rows);
+  }
+
+  void Fill(int64_t rows) {
+    for (int64_t i = 0; i < rows; ++i) {
+      Row row = TestRow(i);
+      std::string bytes;
+      row.SerializeTo(&bytes);
+      ASSERT_TRUE(heap.Append(bytes).ok());
+      ASSERT_TRUE(columnar.AppendRow(row).ok());
+    }
+  }
+
+  std::vector<Row> RowPath(ExprPtr predicate, int64_t limit = -1) {
+    RowIteratorPtr plan = std::make_unique<SeqScan>(&heap, schema);
+    if (predicate != nullptr) {
+      plan = std::make_unique<Filter>(std::move(plan), predicate);
+    }
+    if (limit >= 0) {
+      plan = std::make_unique<Limit>(std::move(plan), limit);
+    }
+    auto rows = Collect(plan.get());
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? *rows : std::vector<Row>{};
+  }
+
+  std::vector<Row> ColumnarPath(ExprPtr predicate, int64_t limit = -1,
+                                ThreadPool* tp = nullptr,
+                                bool force_serial = false) {
+    ColumnarScanOptions opts;
+    opts.predicate = std::move(predicate);
+    opts.pool = tp;
+    opts.force_serial = force_serial;
+    opts.limit = limit;
+    auto out = ColumnarScan(columnar, opts);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? out->ToRows() : std::vector<Row>{};
+  }
+};
+
+void ExpectSameRows(const std::vector<Row>& a,
+                    const std::vector<Row>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "row " << i;
+  }
+}
+
+// --- ColumnChunk / ColumnBatch ---------------------------------------
+
+TEST(ColumnChunkTest, RoundTripsAllTypes) {
+  const Schema schema = TestSchema();
+  ColumnBatch batch(schema);
+  for (int64_t i = 0; i < 10; ++i) batch.AppendRow(TestRow(i));
+  EXPECT_EQ(batch.num_rows, 10);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(batch.RowAt(i), TestRow(i)) << "row " << i;
+  }
+}
+
+TEST(ColumnChunkTest, NullsUseLazyValidityBitmap) {
+  ColumnChunk chunk(ValueType::kInt64);
+  chunk.AppendValue(Value(int64_t{1}));
+  EXPECT_FALSE(chunk.has_nulls());  // no bitmap until the first null
+  chunk.AppendNull();
+  chunk.AppendValue(Value(int64_t{3}));
+  ASSERT_TRUE(chunk.has_nulls());
+  EXPECT_TRUE(chunk.IsValid(0));
+  EXPECT_TRUE(chunk.IsNull(1));
+  EXPECT_TRUE(chunk.IsValid(2));
+  // Null slots box the type default (the Value layer has no NULL).
+  EXPECT_EQ(chunk.GetValue(1), Value(int64_t{0}));
+  EXPECT_EQ(chunk.GetValue(2), Value(int64_t{3}));
+}
+
+TEST(ColumnBatchTest, FromRowsToRowsRoundTrip) {
+  const Schema schema = TestSchema();
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 17; ++i) rows.push_back(TestRow(i));
+  ColumnBatch batch = ColumnBatch::FromRows(schema, rows);
+  ExpectSameRows(batch.ToRows(), rows);
+}
+
+// --- ColumnarTable ---------------------------------------------------
+
+TEST(ColumnarTableTest, FragmentRoundTripThroughBufferPool) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  ColumnarTable table(&pool, TestSchema(), /*fragment_rows=*/4);
+  for (int64_t i = 0; i < 11; ++i) {
+    ASSERT_TRUE(table.AppendRow(TestRow(i)).ok());
+  }
+  EXPECT_EQ(table.num_rows(), 11);
+  // 2 sealed fragments of 4 plus the open tail of 3.
+  EXPECT_EQ(table.num_fragments(), 3);
+  EXPECT_EQ(table.FragmentRowCount(0), 4);
+  EXPECT_EQ(table.FragmentRowCount(2), 3);
+  EXPECT_GT(table.sealed_bytes(), 0);
+
+  int64_t i = 0;
+  for (int64_t f = 0; f < table.num_fragments(); ++f) {
+    auto batch = table.ReadFragment(f);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    for (int64_t r = 0; r < batch->num_rows; ++r, ++i) {
+      EXPECT_EQ(batch->RowAt(r), TestRow(i));
+    }
+  }
+  EXPECT_EQ(i, 11);
+}
+
+TEST(ColumnarTableTest, NullRowsSurviveSealAndDecode) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  ColumnarTable table(&pool, TestSchema(), /*fragment_rows=*/4);
+  ASSERT_TRUE(table.AppendRow(TestRow(0)).ok());
+  ASSERT_TRUE(table.AppendNullRow().ok());
+  ASSERT_TRUE(table.AppendRow(TestRow(2)).ok());
+  ASSERT_TRUE(table.SealActiveFragment().ok());
+
+  auto batch = table.ReadFragment(0);
+  ASSERT_TRUE(batch.ok());
+  for (const ColumnChunk& chunk : batch->columns) {
+    EXPECT_TRUE(chunk.IsValid(0));
+    EXPECT_TRUE(chunk.IsNull(1));
+    EXPECT_TRUE(chunk.IsValid(2));
+  }
+  EXPECT_EQ(batch->RowAt(0), TestRow(0));
+  EXPECT_EQ(batch->RowAt(2), TestRow(2));
+  // The null row decodes as type defaults.
+  EXPECT_EQ(batch->RowAt(1),
+            Row({Value(int64_t{0}), Value(0.0), Value(std::string()),
+                 Value(std::vector<float>{})}));
+}
+
+TEST(ColumnarTableTest, EmptySealedFragmentsScanClean) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  ColumnarTable table(&pool, TestSchema(), /*fragment_rows=*/4);
+  ASSERT_TRUE(table.SealActiveFragment(/*allow_empty=*/true).ok());
+  ASSERT_TRUE(table.AppendRow(TestRow(0)).ok());
+  ASSERT_TRUE(table.SealActiveFragment().ok());
+  ASSERT_TRUE(table.SealActiveFragment(/*allow_empty=*/true).ok());
+  EXPECT_EQ(table.num_rows(), 1);
+  EXPECT_EQ(table.num_fragments(), 3);
+
+  ColumnarScanOptions opts;
+  auto out = ColumnarScan(table, opts);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->rows_emitted, 1);
+  ExpectSameRows(out->ToRows(), {TestRow(0)});
+}
+
+TEST(ColumnarTableTest, BatchSizeEdges) {
+  // Row counts straddling the fragment boundary: 1, N-1, N, N+1.
+  constexpr int64_t kN = 4;
+  for (int64_t rows : {int64_t{1}, kN - 1, kN, kN + 1}) {
+    DualTable t(rows, kN);
+    ExpectSameRows(t.ColumnarPath(nullptr), t.RowPath(nullptr));
+  }
+}
+
+TEST(ColumnarTableTest, AppendBatchSpansFragments) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  ColumnarTable table(&pool, TestSchema(), /*fragment_rows=*/4);
+  const Schema schema = TestSchema();
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 10; ++i) rows.push_back(TestRow(i));
+  ASSERT_TRUE(
+      table.AppendBatch(ColumnBatch::FromRows(schema, rows)).ok());
+  EXPECT_EQ(table.num_rows(), 10);
+  ColumnarScanOptions opts;
+  auto out = ColumnarScan(table, opts);
+  ASSERT_TRUE(out.ok());
+  ExpectSameRows(out->ToRows(), rows);
+}
+
+// --- Bit-identity: row pipeline vs vectorized path -------------------
+
+TEST(BitIdentityTest, UnfilteredScan) {
+  DualTable t(37);
+  ExpectSameRows(t.ColumnarPath(nullptr), t.RowPath(nullptr));
+}
+
+TEST(BitIdentityTest, TypedEquality) {
+  DualTable t(37);
+  // Int64 column = Int64 literal: matches.
+  ExprPtr eq_int = Expression::Binary(
+      ExprKind::kEq, Expression::Column(0),
+      Expression::Literal(Value(int64_t{5})));
+  auto rows = t.RowPath(eq_int);
+  EXPECT_EQ(rows.size(), 1u);
+  ExpectSameRows(t.ColumnarPath(eq_int), rows);
+
+  // Int64 column = Float64 literal: typed equality, never equal —
+  // through both paths.
+  ExprPtr eq_mixed = Expression::Binary(
+      ExprKind::kEq, Expression::Column(0),
+      Expression::Literal(Value(5.0)));
+  EXPECT_TRUE(t.RowPath(eq_mixed).empty());
+  EXPECT_TRUE(t.ColumnarPath(eq_mixed).empty());
+
+  // String and float-vector equality.
+  ExprPtr eq_str = Expression::Binary(
+      ExprKind::kEq, Expression::Column(2),
+      Expression::Literal(Value(std::string("n3"))));
+  ExpectSameRows(t.ColumnarPath(eq_str), t.RowPath(eq_str));
+  ExprPtr eq_vec = Expression::Binary(
+      ExprKind::kEq, Expression::Column(3),
+      Expression::Literal(Value(std::vector<float>{6.0f, 3.0f})));
+  auto vec_rows = t.RowPath(eq_vec);
+  EXPECT_EQ(vec_rows.size(), 1u);
+  ExpectSameRows(t.ColumnarPath(eq_vec), vec_rows);
+}
+
+TEST(BitIdentityTest, ComparisonsArithmeticAndBand) {
+  DualTable t(53);
+  std::vector<ExprPtr> predicates;
+  // score < 2.0
+  predicates.push_back(Expression::Binary(
+      ExprKind::kLt, Expression::Column(1),
+      Expression::Literal(Value(2.0))));
+  // id <= 10 (int widens to double exactly like the row evaluator)
+  predicates.push_back(Expression::Binary(
+      ExprKind::kLe, Expression::Column(0),
+      Expression::Literal(Value(int64_t{10}))));
+  // id + score < 20.5 (same double arithmetic order per row)
+  predicates.push_back(Expression::Binary(
+      ExprKind::kLt,
+      Expression::Binary(ExprKind::kAdd, Expression::Column(0),
+                         Expression::Column(1)),
+      Expression::Literal(Value(20.5))));
+  // |score - 1.0| <= 0.5 (the band predicate)
+  predicates.push_back(Expression::AbsDiffLe(
+      Expression::Column(1), Expression::Literal(Value(1.0)), 0.5));
+  // Bare numeric truthiness: id * score (0 rows drop).
+  predicates.push_back(Expression::Binary(
+      ExprKind::kMul, Expression::Column(0), Expression::Column(1)));
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    auto expect = t.RowPath(predicates[i]);
+    EXPECT_FALSE(expect.empty()) << "predicate " << i;
+    EXPECT_LT(expect.size(), 53u) << "predicate " << i;
+    ExpectSameRows(t.ColumnarPath(predicates[i]), expect);
+  }
+}
+
+TEST(BitIdentityTest, BooleanConnectives) {
+  DualTable t(53);
+  ExprPtr lt = Expression::Binary(ExprKind::kLt, Expression::Column(0),
+                                  Expression::Literal(Value(int64_t{30})));
+  ExprPtr eq = Expression::Binary(
+      ExprKind::kEq, Expression::Column(2),
+      Expression::Literal(Value(std::string("n2"))));
+  for (ExprKind kind : {ExprKind::kAnd, ExprKind::kOr}) {
+    ExprPtr pred = Expression::Binary(kind, lt, eq);
+    ExpectSameRows(t.ColumnarPath(pred), t.RowPath(pred));
+  }
+  ExprPtr negated = Expression::Not(
+      Expression::Binary(ExprKind::kOr, lt, eq));
+  ExpectSameRows(t.ColumnarPath(negated), t.RowPath(negated));
+}
+
+TEST(BitIdentityTest, AndShortCircuitSuppressesRightErrors) {
+  DualTable t(20);
+  // (id = -1) AND (bad column): the left side never passes, so the
+  // right side's error must stay suppressed — both paths.
+  ExprPtr guarded = Expression::Binary(
+      ExprKind::kAnd,
+      Expression::Binary(ExprKind::kEq, Expression::Column(0),
+                         Expression::Literal(Value(int64_t{-1}))),
+      Expression::Column(99));
+  EXPECT_TRUE(t.RowPath(guarded).empty());
+  ColumnarScanOptions opts;
+  opts.predicate = guarded;
+  auto out = ColumnarScan(t.columnar, opts);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->rows_emitted, 0);
+
+  // Unguarded, the same bad reference fails identically.
+  ColumnarScanOptions bad;
+  bad.predicate = Expression::Column(99);
+  auto row_it = std::make_unique<SeqScan>(&t.heap, t.schema);
+  Filter filter(std::move(row_it), bad.predicate);
+  auto row_result = Collect(&filter);
+  auto col_result = ColumnarScan(t.columnar, bad);
+  ASSERT_FALSE(row_result.ok());
+  ASSERT_FALSE(col_result.ok());
+  EXPECT_EQ(col_result.status().ToString(),
+            row_result.status().ToString());
+}
+
+TEST(BitIdentityTest, LimitPushdown) {
+  DualTable t(37);
+  ExprPtr pred = Expression::Binary(
+      ExprKind::kLt, Expression::Column(1),
+      Expression::Literal(Value(2.0)));
+  for (int64_t limit : {0, 1, 7, 100}) {
+    ExpectSameRows(t.ColumnarPath(pred, limit), t.RowPath(pred, limit));
+  }
+}
+
+TEST(BitIdentityTest, ProjectionPushdown) {
+  DualTable t(21);
+  for (std::vector<int> proj :
+       {std::vector<int>{3}, {1, 2}, {2, 0}, {0, 1, 2, 3}}) {
+    ColumnarScanOptions opts;
+    opts.projection = proj;
+    auto out = ColumnarScan(t.columnar, opts);
+    ASSERT_TRUE(out.ok());
+    auto scan = std::make_unique<SeqScan>(&t.heap, t.schema);
+    Project project(std::move(scan), proj);
+    auto expect = Collect(&project);
+    ASSERT_TRUE(expect.ok());
+    ExpectSameRows(out->ToRows(), *expect);
+    EXPECT_EQ(out->schema.ToString(), project.schema().ToString());
+  }
+}
+
+TEST(BitIdentityTest, PredicateOnUnprojectedColumn) {
+  DualTable t(29);
+  // Filter on score, emit only id: the scan must decode score for the
+  // filter but keep it out of the output.
+  ColumnarScanOptions opts;
+  opts.projection = {0};
+  opts.predicate = Expression::Binary(
+      ExprKind::kLt, Expression::Column(1),
+      Expression::Literal(Value(1.5)));
+  auto out = ColumnarScan(t.columnar, opts);
+  ASSERT_TRUE(out.ok());
+  auto scan = std::make_unique<SeqScan>(&t.heap, t.schema);
+  auto filter = std::make_unique<Filter>(std::move(scan),
+                                         opts.predicate);
+  Project project(std::move(filter), {0});
+  auto expect = Collect(&project);
+  ASSERT_TRUE(expect.ok());
+  ExpectSameRows(out->ToRows(), *expect);
+}
+
+TEST(BitIdentityTest, RowScanShimComposesWithRowOperators) {
+  DualTable t(37);
+  // The shim must serve the row-operator API bit-identically.
+  ColumnarRowScan shim(&t.columnar);
+  auto from_shim = Collect(&shim);
+  ASSERT_TRUE(from_shim.ok());
+  ExpectSameRows(*from_shim, t.RowPath(nullptr));
+  EXPECT_EQ(shim.SizeHint(), 37);
+
+  RowIteratorPtr made =
+      MakeTableScan(nullptr, &t.columnar, t.schema);
+  ExprPtr pred = Expression::Binary(
+      ExprKind::kLt, Expression::Column(0),
+      Expression::Literal(Value(int64_t{9})));
+  Filter filter(std::move(made), pred);
+  auto filtered = Collect(&filter);
+  ASSERT_TRUE(filtered.ok());
+  ExpectSameRows(*filtered, t.RowPath(pred));
+}
+
+// --- Fragment parallelism --------------------------------------------
+
+TEST(ParallelScanTest, ParallelMatchesSerial) {
+  ScanCostModel::ResetForTest();
+  DualTable t(20000, /*fragment_rows=*/512);
+  ThreadPool pool(4);
+  ExprPtr pred = Expression::Binary(
+      ExprKind::kLt, Expression::Column(1),
+      Expression::Literal(Value(1.7)));
+
+  ColumnarScanOptions par;
+  par.predicate = pred;
+  par.pool = &pool;
+  auto parallel = ColumnarScan(t.columnar, par);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_TRUE(parallel->parallel);  // big enough to fan out
+
+  ColumnarScanOptions ser;
+  ser.predicate = pred;
+  ser.force_serial = true;
+  auto serial = ColumnarScan(t.columnar, ser);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_FALSE(serial->parallel);
+
+  ExpectSameRows(parallel->ToRows(), serial->ToRows());
+  ExpectSameRows(serial->ToRows(), t.RowPath(pred));
+  EXPECT_EQ(parallel->rows_scanned, 20000);
+  EXPECT_EQ(serial->rows_scanned, 20000);
+}
+
+TEST(ParallelScanTest, TinyTableStaysSerial) {
+  ScanCostModel::ResetForTest();
+  DualTable t(16, /*fragment_rows=*/4);
+  ThreadPool pool(4);
+  ColumnarScanOptions opts;
+  opts.pool = &pool;
+  auto out = ColumnarScan(t.columnar, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->parallel);  // dispatch would cost more than the scan
+}
+
+TEST(ParallelScanTest, TelemetryCountsRowsAndBytes) {
+  DualTable t(100, /*fragment_rows=*/16);
+  ColumnarScanOptions opts;
+  opts.predicate = Expression::Binary(
+      ExprKind::kLt, Expression::Column(0),
+      Expression::Literal(Value(int64_t{10})));
+  auto out = ColumnarScan(t.columnar, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows_scanned, 100);  // decoded, pre-filter
+  EXPECT_EQ(out->rows_emitted, 10);   // post-filter
+  EXPECT_GT(out->bytes_scanned, 0);
+  EXPECT_GT(out->nanos, 0);
+}
+
+TEST(ScanCostModelTest, LearnsFromObservations) {
+  ScanCostModel::ResetForTest();
+  EXPECT_DOUBLE_EQ(ScanCostModel::ColumnarNsPerCell(),
+                   ScanCostModel::kSeedColumnarNsPerCell);
+  // Feed consistently slower scans; the EWMA must move toward them.
+  for (int i = 0; i < 50; ++i) {
+    ScanCostModel::ObserveColumnarScan(/*cells=*/1000,
+                                       /*nanos=*/10 * 1000);
+  }
+  EXPECT_GT(ScanCostModel::ColumnarNsPerCell(), 8.0);
+  ScanCostModel::ResetForTest();
+  EXPECT_DOUBLE_EQ(ScanCostModel::ColumnarNsPerCell(),
+                   ScanCostModel::kSeedColumnarNsPerCell);
+}
+
+// --- Columnar gather (the GEMM-tile pivot) ---------------------------
+
+TEST(ColumnarGatherTest, MatchesRowPivot) {
+  DualTable t(37);
+  ColumnarScanOptions opts;
+  opts.projection = {3};
+  auto out = ColumnarScan(t.columnar, opts);
+  ASSERT_TRUE(out.ok());
+
+  MemoryTracker tracker("test", 64 << 20);
+  PhysicalStage stage;
+  stage.kind = StageKind::kColumnarGather;
+  auto tile = ExecuteColumnarGather(stage, out->batches,
+                                    /*chunk_index=*/0, /*width=*/2,
+                                    "features", &tracker);
+  ASSERT_TRUE(tile.ok()) << tile.status().ToString();
+  ASSERT_EQ(tile->shape().dim(0), 37);
+  ASSERT_EQ(tile->shape().dim(1), 2);
+  // The row-at-a-time pivot the gather replaces.
+  auto rows = t.RowPath(nullptr);
+  for (int64_t r = 0; r < 37; ++r) {
+    const std::vector<float>& f = rows[r].value(3).AsFloatVector();
+    EXPECT_EQ(tile->data()[r * 2 + 0], f[0]) << "row " << r;
+    EXPECT_EQ(tile->data()[r * 2 + 1], f[1]) << "row " << r;
+  }
+  EXPECT_EQ(stage.stats.invocations.load(), 1);
+  EXPECT_EQ(stage.stats.rows.load(), 37);
+}
+
+TEST(ColumnarGatherTest, RejectsWidthMismatchAndWrongType) {
+  DualTable t(5);
+  ColumnarScanOptions opts;
+  auto out = ColumnarScan(t.columnar, opts);
+  ASSERT_TRUE(out.ok());
+  MemoryTracker tracker("test", 64 << 20);
+  PhysicalStage stage;
+  stage.kind = StageKind::kColumnarGather;
+  // features are width 2; asking for 3 must fail per-row, not by
+  // compensating across rows.
+  auto bad_width = ExecuteColumnarGather(stage, out->batches, 3, 3,
+                                         "features", &tracker);
+  EXPECT_TRUE(bad_width.status().IsInvalidArgument());
+  // Chunk 0 is the int64 id column.
+  auto bad_type = ExecuteColumnarGather(stage, out->batches, 0, 2,
+                                        "id", &tracker);
+  EXPECT_TRUE(bad_type.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace relserve

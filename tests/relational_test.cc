@@ -6,7 +6,9 @@
 #include "relational/operator.h"
 #include "relational/row.h"
 #include "relational/schema.h"
+#include "relational/vectorized.h"
 #include "storage/buffer_pool.h"
+#include "storage/column_store.h"
 #include "storage/table_heap.h"
 
 namespace relserve {
@@ -283,6 +285,49 @@ TEST_F(OperatorTest, HashAggregateGroupsByKey) {
     if (r.value(0).AsInt64() == 1) sum_for_1 = r.value(1).AsFloat64();
   }
   EXPECT_DOUBLE_EQ(sum_for_1, 40.0);
+}
+
+TEST_F(OperatorTest, ColumnarShimComposesWithSortAndAggregate) {
+  // The row-at-a-time shim over a columnar table must be a drop-in
+  // replacement for SeqScan under heavier row operators.
+  auto heap = MakeTable(30);
+  ColumnarTable columnar(&pool_, schema_, /*fragment_rows=*/7);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        columnar.AppendRow(MakeRow({Value(int64_t{i}), Value(i * 1.5)})).ok());
+  }
+
+  auto pred = Expression::Binary(ExprKind::kLe, Expression::Literal(Value(15.0)),
+                                 Expression::Column(1));
+
+  auto run_sort = [&](RowIteratorPtr scan) {
+    auto filter = std::make_unique<Filter>(std::move(scan), pred);
+    Sort sort(std::move(filter), /*key=*/0, /*descending=*/true);
+    return Collect(&sort);
+  };
+  auto heap_sorted = run_sort(std::make_unique<SeqScan>(heap.get(), schema_));
+  auto col_sorted = run_sort(MakeTableScan(nullptr, &columnar, schema_));
+  ASSERT_TRUE(heap_sorted.ok());
+  ASSERT_TRUE(col_sorted.ok());
+  ASSERT_EQ(heap_sorted->size(), col_sorted->size());
+  for (size_t i = 0; i < heap_sorted->size(); ++i) {
+    EXPECT_EQ((*heap_sorted)[i], (*col_sorted)[i]);
+  }
+
+  auto run_agg = [&](RowIteratorPtr scan) {
+    auto filter = std::make_unique<Filter>(std::move(scan), pred);
+    HashAggregate agg(std::move(filter), {},
+                      {{AggFunc::kCount, -1, "n"}, {AggFunc::kSum, 1, "sum"}});
+    return Collect(&agg);
+  };
+  auto heap_agg = run_agg(std::make_unique<SeqScan>(heap.get(), schema_));
+  auto col_agg = run_agg(MakeTableScan(nullptr, &columnar, schema_));
+  ASSERT_TRUE(heap_agg.ok());
+  ASSERT_TRUE(col_agg.ok());
+  ASSERT_EQ(heap_agg->size(), 1u);
+  EXPECT_EQ((*heap_agg)[0].value(0).AsInt64(), (*col_agg)[0].value(0).AsInt64());
+  EXPECT_DOUBLE_EQ((*heap_agg)[0].value(1).AsFloat64(),
+                   (*col_agg)[0].value(1).AsFloat64());
 }
 
 TEST_F(OperatorTest, PipelineScanFilterAggregate) {

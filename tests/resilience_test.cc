@@ -20,7 +20,13 @@
 #include "serving/circuit_breaker.h"
 #include "serving/request_scheduler.h"
 #include "serving/serving_session.h"
+#include "engine/physical_plan.h"
+#include "optimizer/scan_cost.h"
+#include "relational/vectorized.h"
+#include "resource/memory_tracker.h"
+#include "resource/thread_pool.h"
 #include "storage/buffer_pool.h"
+#include "storage/column_store.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 #include "workloads/datasets.h"
@@ -561,6 +567,91 @@ TEST_F(ResilienceTest, RelationalStorageFailureFallsBackToUdf) {
   EXPECT_GT(session.exec_context()->stats.repr_fallbacks.load(),
             before);
   EXPECT_EQ(tensor->MaxAbsDiff(*truth), 0.0f);
+}
+
+// --- Columnar scan / pivot ------------------------------------------
+
+Schema ColumnarFaultSchema() {
+  return Schema({{"id", ValueType::kInt64},
+                 {"features", ValueType::kFloatVector}});
+}
+
+Row ColumnarFaultRow(int64_t i) {
+  return Row({Value(i), Value(std::vector<float>{
+                            static_cast<float>(i), 2.0f})});
+}
+
+TEST_F(ResilienceTest, ColumnarScanFailpointSurfacesTypedError) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  ColumnarTable table(&pool, ColumnarFaultSchema(),
+                      /*fragment_rows=*/8);
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(table.AppendRow(ColumnarFaultRow(i)).ok());
+  }
+  ScopedFailpoint fp("columnar.scan",
+                     Spec::Error(StatusCode::kIOError));
+  Result<ColumnarScanOutput> out =
+      ColumnarScan(table, ColumnarScanOptions());
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsIOError()) << out.status().ToString();
+}
+
+TEST_F(ResilienceTest, ColumnarPivotFailpointSurfacesTypedError) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  ColumnarTable table(&pool, ColumnarFaultSchema(),
+                      /*fragment_rows=*/8);
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(table.AppendRow(ColumnarFaultRow(i)).ok());
+  }
+  Result<ColumnarScanOutput> out =
+      ColumnarScan(table, ColumnarScanOptions());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  ScopedFailpoint fp("columnar.pivot",
+                     Spec::Error(StatusCode::kIOError));
+  PhysicalStage stage;
+  stage.kind = StageKind::kColumnarGather;
+  stage.label = "pivot t";
+  MemoryTracker tracker("test");
+  Result<Tensor> tile = ExecuteColumnarGather(
+      stage, out->batches, /*chunk_index=*/1, /*width=*/2, "features",
+      &tracker);
+  ASSERT_FALSE(tile.ok());
+  EXPECT_TRUE(tile.status().IsIOError()) << tile.status().ToString();
+}
+
+TEST_F(ResilienceTest, QuarantinedColumnPageDegradesToTypedDataLoss) {
+  ScanCostModel::ResetForTest();
+  DiskManager disk;
+  // Two frames: almost every sealed column page is evicted by the
+  // time the scan runs, so fetches go back to disk.
+  BufferPool pool(&disk, 2);
+  ColumnarTable table(&pool, ColumnarFaultSchema(),
+                      /*fragment_rows=*/512);
+  for (int64_t i = 0; i < 9000; ++i) {
+    ASSERT_TRUE(table.AppendRow(ColumnarFaultRow(i)).ok());
+  }
+  ThreadPool tp(2);
+  ColumnarScanOptions opts;
+  opts.pool = &tp;
+
+  // Clean pass first: this geometry fans out fragment-parallel.
+  Result<ColumnarScanOutput> clean = ColumnarScan(table, opts);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_TRUE(clean->parallel);
+  EXPECT_EQ(clean->rows_emitted, 9000);
+
+  // Persistent read-side corruption: every page fetch flips a bit,
+  // the bounded re-read never sees a clean copy, the page is
+  // quarantined, and the scan degrades to a typed DataLoss instead
+  // of serving corrupt feature vectors.
+  ScopedFailpoint fp("disk.read", Spec::Bitflip());
+  Result<ColumnarScanOutput> out = ColumnarScan(table, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsDataLoss()) << out.status().ToString();
+  EXPECT_GE(disk.num_quarantined(), 1);
 }
 
 }  // namespace

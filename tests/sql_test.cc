@@ -104,11 +104,16 @@ TEST(ParserTest, RejectsMalformedQueries) {
 class SqlExecTest : public ::testing::Test {
  protected:
   SqlExecTest() : session_(ServingConfig{}) {
-    auto table = session_.CreateTable(
-        "tx", Schema({{"id", ValueType::kInt64},
-                      {"amount", ValueType::kFloat64},
-                      {"features", ValueType::kFloatVector}}));
+    const Schema schema({{"id", ValueType::kInt64},
+                         {"amount", ValueType::kFloat64},
+                         {"features", ValueType::kFloatVector}});
+    auto table = session_.CreateTable("tx", schema);
     EXPECT_TRUE(table.ok());
+    // Columnar clone of tx, holding identical rows: every dual-path
+    // test below asserts bit-identical results across the two.
+    auto clone =
+        session_.CreateTable("tx_col", schema, TableLayout::kColumnar);
+    EXPECT_TRUE(clone.ok());
     for (int i = 0; i < 20; ++i) {
       std::vector<float> features(8, static_cast<float>(i) * 0.1f);
       Row row({Value(int64_t{i}), Value(i * 10.0),
@@ -116,10 +121,34 @@ class SqlExecTest : public ::testing::Test {
       std::string bytes;
       row.SerializeTo(&bytes);
       EXPECT_TRUE((*table)->heap->Append(bytes).ok());
+      EXPECT_TRUE((*clone)->columnar->AppendRow(row).ok());
     }
     auto model = BuildFFNN("scorer", {8, 16, 3}, 5);
     EXPECT_TRUE(model.ok());
     EXPECT_TRUE(session_.RegisterModel(std::move(*model)).ok());
+  }
+
+  // Runs `query_tmpl` against both layouts ($T = table name) and
+  // asserts identical schema and rows.
+  void ExpectSameResults(const std::string& query_tmpl) {
+    auto fill = [&](const std::string& name) {
+      std::string q = query_tmpl;
+      const size_t pos = q.find("$T");
+      EXPECT_NE(pos, std::string::npos) << query_tmpl;
+      q.replace(pos, 2, name);
+      return q;
+    };
+    auto row_result = ExecuteQuery(&session_, fill("tx"));
+    auto col_result = ExecuteQuery(&session_, fill("tx_col"));
+    ASSERT_TRUE(row_result.ok()) << row_result.status();
+    ASSERT_TRUE(col_result.ok()) << col_result.status();
+    EXPECT_EQ(row_result->schema.ToString(),
+              col_result->schema.ToString());
+    ASSERT_EQ(row_result->rows.size(), col_result->rows.size());
+    for (size_t i = 0; i < row_result->rows.size(); ++i) {
+      EXPECT_EQ(row_result->rows[i], col_result->rows[i])
+          << query_tmpl << " row " << i;
+    }
   }
 
   ServingSession session_;
@@ -413,6 +442,111 @@ TEST_F(SqlExecTest, PlainExplainDoesNotExecute) {
   // Without ANALYZE the physical stage stats are absent.
   EXPECT_EQ(result->message.find("calls="), std::string::npos)
       << result->message;
+}
+
+// --- Columnar layout through SQL -------------------------------------
+
+TEST(ParserTest, StorageClause) {
+  auto columnar = ParseStatement(
+      "CREATE TABLE t (id INT64) STORAGE COLUMNAR");
+  ASSERT_TRUE(columnar.ok());
+  EXPECT_TRUE(columnar->create.columnar);
+  auto row = ParseStatement("CREATE TABLE t (id INT64) STORAGE ROW");
+  ASSERT_TRUE(row.ok());
+  EXPECT_FALSE(row->create.columnar);
+  auto implicit = ParseStatement("CREATE TABLE t (id INT64)");
+  ASSERT_TRUE(implicit.ok());
+  EXPECT_FALSE(implicit->create.columnar);
+  EXPECT_TRUE(
+      ParseStatement("CREATE TABLE t (id INT64) STORAGE PAPER")
+          .status()
+          .IsInvalidArgument());
+  // COLUMNAR/ROW are not reserved: columns may use the names.
+  EXPECT_TRUE(
+      ParseStatement("CREATE TABLE t (row INT64, columnar INT64)").ok());
+}
+
+TEST_F(SqlExecTest, DualPathBitIdentity) {
+  ExpectSameResults("SELECT * FROM $T");
+  ExpectSameResults("SELECT id FROM $T WHERE amount >= 50 LIMIT 3");
+  ExpectSameResults(
+      "SELECT id, amount FROM $T WHERE id < 15 AND amount > 20");
+  ExpectSameResults(
+      "SELECT id FROM $T WHERE id = 3 OR NOT (amount <= 120)");
+  ExpectSameResults("SELECT id FROM $T WHERE amount = 50");
+  // Typed equality: id is INT64, 3.0 is a float literal — no rows
+  // through either path.
+  ExpectSameResults("SELECT id FROM $T WHERE id = 3.0");
+  ExpectSameResults(
+      "SELECT COUNT(*), SUM(amount), AVG(amount) FROM $T "
+      "WHERE id < 10");
+  ExpectSameResults(
+      "SELECT id, amount FROM $T ORDER BY amount DESC LIMIT 4");
+  ExpectSameResults("SELECT id FROM $T WHERE amount < -1");
+}
+
+TEST_F(SqlExecTest, DualPathPredict) {
+  ExpectSameResults(
+      "SELECT id, PREDICT(scorer) AS p FROM $T WHERE id < 4");
+  ExpectSameResults(
+      "SELECT PREDICT_CLASS(scorer) AS cls, COUNT(*) AS n FROM $T "
+      "GROUP BY cls ORDER BY cls");
+}
+
+TEST_F(SqlExecTest, ColumnarCreateInsertSelectRoundTrip) {
+  auto created = ExecuteStatement(
+      &session_,
+      "CREATE TABLE sensors_col (id INT64, reading FLOAT64, "
+      "embedding FLOAT_VECTOR) STORAGE COLUMNAR");
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_NE(created->message.find("columnar"), std::string::npos);
+  auto* info = *session_.GetTable("sensors_col");
+  EXPECT_EQ(info->layout, TableLayout::kColumnar);
+  EXPECT_NE(info->columnar, nullptr);
+  EXPECT_EQ(info->heap, nullptr);
+
+  auto inserted = ExecuteStatement(
+      &session_,
+      "INSERT INTO sensors_col VALUES "
+      "(1, 20.5, [0.1, 0.2]), (2, 21, [0.3, 0.4])");
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+
+  auto rows = ExecuteStatement(
+      &session_, "SELECT id, reading FROM sensors_col WHERE id = 2");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->query.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows->query.rows[0].value(1).AsFloat64(), 21.0);
+}
+
+TEST_F(SqlExecTest, ExplainShowsColumnarScan) {
+  auto result = ExecuteStatement(
+      &session_, "EXPLAIN SELECT id FROM tx_col WHERE amount > 50");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result->message.find("ColumnarScan tx_col"),
+            std::string::npos)
+      << result->message;
+  EXPECT_NE(result->message.find("fragments"), std::string::npos);
+  EXPECT_NE(result->message.find("[columnar-scan]"), std::string::npos);
+  EXPECT_NE(result->message.find("[columnar-gather]"),
+            std::string::npos);
+  // Without ANALYZE no stage counters are rendered.
+  EXPECT_EQ(result->message.find("calls="), std::string::npos);
+}
+
+TEST_F(SqlExecTest, ExplainAnalyzeRendersColumnarScanStats) {
+  auto result = ExecuteStatement(
+      &session_,
+      "EXPLAIN ANALYZE SELECT id FROM tx_col WHERE amount > 50");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const std::string& m = result->message;
+  EXPECT_NE(m.find("[columnar-scan] scan tx_col"), std::string::npos)
+      << m;
+  // The execution ANALYZE just performed shows up in the counters:
+  // 20 rows decoded, non-zero payload bytes.
+  EXPECT_NE(m.find("calls="), std::string::npos) << m;
+  EXPECT_NE(m.find("rows=20"), std::string::npos) << m;
+  EXPECT_NE(m.find("bytes="), std::string::npos) << m;
+  EXPECT_NE(m.find("scan cost:"), std::string::npos) << m;
 }
 
 TEST_F(SqlExecTest, ResultToStringRenders) {
