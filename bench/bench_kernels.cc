@@ -3,10 +3,11 @@
 // skinny shapes, comparing the portable scalar micro-kernel against
 // the runtime-dispatched SIMD path at 1/4/8 pool threads.
 //
-// This bench is the calibration source for the optimizer's CPU
-// throughput constant (resource/device_model.h:
-// kCalibratedCpuGemmFlops) and the before/after record in
-// EXPERIMENTS.md. Each measurement also emits a BENCH_JSON line
+// This bench cross-checks the optimizer's runtime-probed CPU
+// throughput (resource/device_model.h: CalibratedCpuGemmFlops()) and
+// is the before/after record in EXPERIMENTS.md. It also measures the
+// int8 quantized GEMM arm against the fp32 weight-layout GEMM at the
+// same shapes. Each measurement also emits a BENCH_JSON line
 // (grep ^BENCH_JSON) like bench_parallel_scaling. On hardware without
 // AVX2+FMA the "dispatched" rows legitimately equal the scalar rows —
 // the dispatcher has nothing faster to select.
@@ -19,6 +20,7 @@
 #include "bench_util.h"
 #include "common/timer.h"
 #include "kernels/cpu_features.h"
+#include "kernels/int8_gemm.h"
 #include "kernels/kernels.h"
 #include "resource/thread_pool.h"
 
@@ -57,6 +59,25 @@ Result<double> TimeGemm(const GemmShape& shape, bool transpose_b,
   return bench::TimeBest(repeats, [&]() -> Status {
     return kernels::GemmInto(a, b, transpose_b, /*accumulate=*/false,
                              &c, pool);
+  });
+}
+
+// Times the int8 quantized arm on a weight-layout (transposed-B)
+// shape. The effective-GFLOP/s metric counts the same 2mnk fp32
+// multiplies the dense path would do, so rows are directly comparable
+// with gemm_tb.
+Result<double> TimeInt8Gemm(const GemmShape& shape, int repeats,
+                            ThreadPool* pool) {
+  RELSERVE_ASSIGN_OR_RETURN(Tensor a,
+                            FilledTensor(Shape{shape.m, shape.k}, 0.5f));
+  RELSERVE_ASSIGN_OR_RETURN(Tensor w,
+                            FilledTensor(Shape{shape.n, shape.k}, 0.25f));
+  RELSERVE_ASSIGN_OR_RETURN(kernels::Int8Weight qw,
+                            kernels::QuantizeWeightPerChannel(w));
+  RELSERVE_ASSIGN_OR_RETURN(Tensor c,
+                            Tensor::Create(Shape{shape.m, shape.n}));
+  return bench::TimeBest(repeats, [&]() -> Status {
+    return kernels::Int8GemmTransBInto(a, qw, &c, pool);
   });
 }
 
@@ -149,6 +170,65 @@ int Run() {
       }
       std::printf("\n");
     }
+  }
+
+  // Int8 quantized arm vs the fp32 weight-layout GEMM it replaces.
+  // Effective GFLOP/s counts the dense-equivalent 2mnk multiplies, so
+  // "vs-fp32" is the end-to-end kernel-arm speedup the optimizer buys
+  // by quantizing (target: >= 1.8x at 512^3 single-thread on AVX2).
+  std::printf("Int8 quantized arm (effective GFLOP/s, dense-equivalent "
+              "work):\n");
+  for (const GemmShape& shape : shapes) {
+    const double flops =
+        2.0 * static_cast<double>(shape.m) * shape.n * shape.k;
+    for (int threads : thread_counts) {
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+      kernels::SetActiveSimdLevel(dispatched);
+      Result<double> fp32_seconds =
+          TimeGemm(shape, /*transpose_b=*/true, repeats, pool.get());
+      if (!fp32_seconds.ok()) {
+        std::printf("gemm_tb failed: %s\n",
+                    fp32_seconds.status().ToString().c_str());
+        return 1;
+      }
+      for (const SimdLevel level : levels) {
+        kernels::SetActiveSimdLevel(level);
+        Result<double> seconds = TimeInt8Gemm(shape, repeats, pool.get());
+        if (!seconds.ok()) {
+          std::printf("gemm_int8 failed: %s\n",
+                      seconds.status().ToString().c_str());
+          return 1;
+        }
+        const double gflops = flops / *seconds / 1e9;
+        const double vs_fp32 = *fp32_seconds / *seconds;
+        char shape_cell[48], gflops_cell[32], speedup_cell[32];
+        std::snprintf(shape_cell, sizeof(shape_cell), "%lldx%lldx%lld",
+                      static_cast<long long>(shape.m),
+                      static_cast<long long>(shape.n),
+                      static_cast<long long>(shape.k));
+        std::snprintf(gflops_cell, sizeof(gflops_cell), "%.2f", gflops);
+        std::snprintf(speedup_cell, sizeof(speedup_cell), "%.2fx vs fp32",
+                      vs_fp32);
+        bench::PrintRow({"gemm_int8", shape.kind, shape_cell,
+                         kernels::SimdLevelName(level),
+                         std::to_string(threads), gflops_cell,
+                         speedup_cell});
+        bench::PrintBenchJson(
+            "kernels",
+            {{"op", bench::JsonStr("gemm_int8")},
+             {"shape", bench::JsonStr(shape.kind)},
+             {"m", std::to_string(shape.m)},
+             {"n", std::to_string(shape.n)},
+             {"k", std::to_string(shape.k)},
+             {"isa", bench::JsonStr(kernels::SimdLevelName(level))},
+             {"threads", std::to_string(threads)},
+             {"latency_s", bench::JsonNum(*seconds)},
+             {"gflops", bench::JsonNum(gflops)},
+             {"speedup_vs_fp32", bench::JsonNum(vs_fp32)}});
+      }
+    }
+    std::printf("\n");
   }
 
   for (int threads : thread_counts) {

@@ -20,6 +20,8 @@
 
 #include "common/result.h"
 #include "common/timer.h"
+#include "kernels/cpu_features.h"
+#include "kernels/int8_gemm.h"
 
 namespace relserve {
 namespace bench {
@@ -151,6 +153,14 @@ inline void PrintBenchJson(
   for (const auto& [key, value] : fields) {
     line += ",\"" + key + "\":" + value;
   }
+  // Every line self-describes the kernel substrate it was measured on:
+  // the SIMD level the dispatcher is actually using right now and the
+  // RELSERVE_QUANTIZE override state — so scraped results are never
+  // compared across silently different backends.
+  line += ",\"dispatch_isa\":" +
+          JsonStr(kernels::SimdLevelName(kernels::ActiveSimdLevel()));
+  line += ",\"quantize_mode\":" +
+          JsonStr(kernels::QuantizeModeName(kernels::ActiveQuantizeMode()));
   line += "}";
   std::printf("%s\n", line.c_str());
 }

@@ -29,11 +29,16 @@ UBSAN_DIR="${2:-build-ubsan}"
 # the fragment-parallel ColumnarScan (morsels decode fragments
 # concurrently into a shared output vector and accumulate atomic
 # telemetry) plus the lock-free ScanCostModel EWMA.
+# quantized_kernels_test runs the int8/sparse/top-k kernel arms under
+# row-morsel parallelism (per-worker quantization scratch and
+# selectors, asserting bit-identical output at every thread count)
+# and their SIMD dispatch tables under UBSan.
 TSAN_TESTS=(resource_test storage_test block_ops_test kernels_test
             executor_test serving_concurrency_test chaos_test
-            columnar_test)
+            columnar_test quantized_kernels_test)
 UBSAN_TESTS=(kernels_test tensor_test block_ops_test executor_test
-            plan_text_test chaos_test columnar_test)
+            plan_text_test chaos_test columnar_test
+            quantized_kernels_test)
 
 cmake -B "$BUILD_DIR" -S . -DRELSERVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo

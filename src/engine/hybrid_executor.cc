@@ -6,6 +6,7 @@
 
 #include "engine/block_ops.h"
 #include "kernels/kernels.h"
+#include "kernels/topk.h"
 
 namespace relserve {
 
@@ -215,13 +216,63 @@ Status RunStage(const PhysicalStage& stage, int64_t batch,
     case StageKind::kMatMul: {
       RELSERVE_RETURN_NOT_OK(
           EnsureWhole(act, stage.InShape(batch), ctx));
-      RELSERVE_ASSIGN_OR_RETURN(
-          act->tensor,
-          kernels::MatMul(act->tensor, *stage.weight,
-                          /*transpose_b=*/true, ctx->tracker,
-                          ctx->pool));
+      if (stage.int8_weight != nullptr) {
+        RELSERVE_ASSIGN_OR_RETURN(
+            Tensor out,
+            Tensor::Create(Shape{batch, stage.int8_weight->out},
+                           ctx->tracker));
+        RELSERVE_RETURN_NOT_OK(kernels::Int8GemmTransBInto(
+            act->tensor, *stage.int8_weight, &out, ctx->pool));
+        act->tensor = std::move(out);
+      } else if (stage.sparse_weight != nullptr) {
+        RELSERVE_ASSIGN_OR_RETURN(
+            Tensor out,
+            Tensor::Create(Shape{batch, stage.sparse_weight->out},
+                           ctx->tracker));
+        RELSERVE_RETURN_NOT_OK(kernels::SparseGemmTransBInto(
+            act->tensor, *stage.sparse_weight, &out, ctx->pool));
+        act->tensor = std::move(out);
+      } else {
+        RELSERVE_ASSIGN_OR_RETURN(
+            act->tensor,
+            kernels::MatMul(act->tensor, *stage.weight,
+                            /*transpose_b=*/true, ctx->tracker,
+                            ctx->pool));
+      }
       act->owned = true;
       return ApplyWholeEpilogue(stage.epilogue, act, ctx);
+    }
+    case StageKind::kMatMulTopK: {
+      RELSERVE_RETURN_NOT_OK(
+          EnsureWhole(act, stage.InShape(batch), ctx));
+      kernels::TopKOptions opts;
+      opts.k = stage.topk;
+      // The fused epilogue compiles into the kernel's options: bias
+      // and relu apply pre-selection, softmax to the k survivors.
+      for (const EpilogueOp& op : stage.epilogue) {
+        switch (op.op) {
+          case OpKind::kBiasAdd:
+            opts.bias = op.bias;
+            break;
+          case OpKind::kRelu:
+            opts.relu = true;
+            break;
+          case OpKind::kSoftmax:
+            opts.softmax = true;
+            break;
+          default:
+            return Status::InvalidArgument("bad top-k epilogue op");
+        }
+      }
+      RELSERVE_ASSIGN_OR_RETURN(
+          Tensor out, Tensor::Create(Shape{batch, 2 * stage.topk},
+                                     ctx->tracker));
+      RELSERVE_RETURN_NOT_OK(kernels::MatMulTopKInto(
+          act->tensor, stage.weight, stage.int8_weight,
+          stage.sparse_weight, opts, &out, ctx->pool));
+      act->tensor = std::move(out);
+      act->owned = true;
+      return Status::OK();
     }
     case StageKind::kBlockMatMul: {
       RELSERVE_RETURN_NOT_OK(EnsureBlocked(act, batch, ctx));

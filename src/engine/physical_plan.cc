@@ -17,6 +17,8 @@ const char* StageKindName(StageKind kind) {
       return "repr-transition";
     case StageKind::kMatMul:
       return "matmul";
+    case StageKind::kMatMulTopK:
+      return "matmul-topk";
     case StageKind::kBlockMatMul:
       return "block-matmul";
     case StageKind::kConv2D:
@@ -117,6 +119,12 @@ bool CanAttach(const PhysicalStage& open, OpKind op, bool rel) {
     case StageKind::kElementwise:
       if (op == OpKind::kSoftmax) return open.out_sample.size() == 1;
       return op == OpKind::kBiasAdd || op == OpKind::kRelu;
+    case StageKind::kMatMulTopK:
+      // The fused top-k kernel owns the whole epilogue contract: bias
+      // and relu apply per channel block before selection, softmax
+      // renormalizes the k survivors after it.
+      return op == OpKind::kBiasAdd || op == OpKind::kRelu ||
+             op == OpKind::kSoftmax;
     case StageKind::kBlockMatMul:
     case StageKind::kBlockElementwise:
       // Softmax needs whole rows; it gets its own row-strip stage.
@@ -163,7 +171,8 @@ Result<std::unique_ptr<PhysicalPlan>> PhysicalPlan::Compile(
   // Amazon-14k outcome.
   for (const Node& node : model->nodes()) {
     if (node.weight_name.empty()) continue;
-    const Repr repr = pp->plan_.decisions[node.id].repr;
+    const NodeDecision& nd = pp->plan_.decisions[node.id];
+    const Repr repr = nd.repr;
     RELSERVE_ASSIGN_OR_RETURN(const Tensor* weight,
                               model->GetWeight(node.weight_name));
     const bool chunkable =
@@ -173,6 +182,21 @@ Result<std::unique_ptr<PhysicalPlan>> PhysicalPlan::Compile(
       RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> store,
                                 blockops::ChunkMatrix(*weight, ctx));
       pp->blocked_.emplace(node.weight_name, std::move(store));
+    } else if (node.kind == OpKind::kMatMul &&
+               nd.arm == KernelArm::kInt8) {
+      // Quantize once at deploy time; the int8 pack + scales replace
+      // the fp32 resident copy for this consumer (a 4x memory win).
+      if (pp->int8_weights_.count(node.weight_name) > 0) continue;
+      RELSERVE_ASSIGN_OR_RETURN(
+          kernels::Int8Weight qw,
+          kernels::QuantizeWeightPerChannel(*weight));
+      pp->int8_weights_.emplace(node.weight_name, std::move(qw));
+    } else if (node.kind == OpKind::kMatMul &&
+               nd.arm == KernelArm::kSparse) {
+      if (pp->sparse_weights_.count(node.weight_name) > 0) continue;
+      RELSERVE_ASSIGN_OR_RETURN(kernels::CsrWeight csr,
+                                kernels::BuildCsrWeight(*weight));
+      pp->sparse_weights_.emplace(node.weight_name, std::move(csr));
     } else {
       if (pp->resident_.count(node.weight_name) > 0) continue;
       // Conv2D kernels are small even for the paper's large conv
@@ -262,15 +286,38 @@ Result<std::unique_ptr<PhysicalPlan>> PhysicalPlan::Compile(
           emit_transition(/*to_blocked=*/false, node);
           cur = Form::kWhole;
         }
+        const bool topk_head = !rel && d.topk > 0;
         PhysicalStage* s = new_stage(
-            rel ? StageKind::kBlockMatMul : StageKind::kMatMul, node,
-            d.repr);
+            rel ? StageKind::kBlockMatMul
+                : (topk_head ? StageKind::kMatMulTopK
+                             : StageKind::kMatMul),
+            node, d.repr);
         if (rel) {
           s->blocked_weight = pp->blocked_.at(node.weight_name).get();
           s->label = "block-matmul(" + node.weight_name + ")";
+        } else if (d.arm == KernelArm::kInt8) {
+          s->int8_weight = &pp->int8_weights_.at(node.weight_name);
+          s->label = "int8-matmul(" + node.weight_name + ")";
+        } else if (d.arm == KernelArm::kSparse) {
+          s->sparse_weight = &pp->sparse_weights_.at(node.weight_name);
+          s->weight_density = d.weight_density;
+          char dens[32];
+          std::snprintf(dens, sizeof(dens), "d=%.3f",
+                        d.weight_density);
+          s->label =
+              "sparse-matmul(" + node.weight_name + "," + dens + ")";
         } else {
           s->weight = &pp->resident_.at(node.weight_name);
           s->label = "matmul(" + node.weight_name + ")";
+        }
+        if (topk_head) {
+          // The stage emits the packed [k values, k indices] row, not
+          // the full logits row — frozen here so every downstream
+          // shape (and the stats byte accounting) reflects the
+          // never-materialized head.
+          s->topk = d.topk;
+          s->label += "+topk(" + std::to_string(d.topk) + ")";
+          s->out_sample = {2 * d.topk};
         }
         cur = rel ? Form::kBlocked : Form::kWhole;
         open = s;
@@ -326,14 +373,23 @@ Result<std::unique_ptr<PhysicalPlan>> PhysicalPlan::Compile(
         if (node.kind == OpKind::kBiasAdd) {
           op.bias = &pp->resident_.at(node.weight_name);
         }
-        const bool attachable = options.fuse_elementwise &&
-                                open != nullptr &&
-                                node.input == open_node &&
-                                CanAttach(*open, node.kind, rel);
+        // A top-k head MUST absorb its elementwise consumers even with
+        // fusion disabled: the epilogue is part of the stage's kernel
+        // contract (a standalone softmax over the packed [values,
+        // indices] row would be nonsense), not an optimization.
+        const bool topk_open =
+            open != nullptr && open->kind == StageKind::kMatMulTopK;
+        const bool attachable =
+            (options.fuse_elementwise || topk_open) && open != nullptr &&
+            node.input == open_node && CanAttach(*open, node.kind, rel);
         if (attachable) {
           open->label += EpilogueSuffix(op);
           open->epilogue.push_back(op);
-          open->out_sample = sample_dims(node.id);
+          if (!topk_open) {
+            // Top-k stages keep their frozen [2k] sample — the fused
+            // ops don't change the packed output row.
+            open->out_sample = sample_dims(node.id);
+          }
           open->estimated_flops += d.estimated_flops;
           pp->num_fused_ops_ += 1;
           break;
@@ -374,6 +430,13 @@ Result<std::unique_ptr<PhysicalPlan>> PhysicalPlan::Compile(
       }
     }
     open_node = node.id;
+  }
+  // A fused top-k head changes the plan's output contract: the model
+  // output is the packed [batch, 2k] top-k relation, not the full
+  // logits matrix.
+  if (!pp->stages_.empty() &&
+      pp->stages_.back()->kind == StageKind::kMatMulTopK) {
+    pp->output_sample_ = pp->stages_.back()->out_sample;
   }
   return pp;
 }

@@ -44,6 +44,8 @@
 #include "common/result.h"
 #include "engine/exec_context.h"
 #include "graph/model.h"
+#include "kernels/int8_gemm.h"
+#include "kernels/sparse_gemm.h"
 #include "optimizer/plan.h"
 #include "relational/column_batch.h"
 #include "storage/block_store.h"
@@ -55,6 +57,7 @@ enum class StageKind {
   kInputChunk,        // stream/chunk the input batch into a block relation
   kReprTransition,    // explicit blocked <-> whole boundary
   kMatMul,            // whole-tensor GEMM (+ fused epilogue)
+  kMatMulTopK,        // matmul + fused top-k epilogue; emits [batch, 2k]
   kBlockMatMul,       // block join + aggregation (+ fused epilogue)
   kConv2D,            // whole-tensor im2col conv (+ fused epilogue)
   kRelationalConv,    // streamed per-image im2col conv (+ fused relu)
@@ -100,9 +103,17 @@ struct PhysicalStage {
   std::string label;
 
   // Pre-bound operands; pointers into the owning plan's weight maps.
+  // Matmul stages bind exactly one of weight / blocked_weight /
+  // int8_weight / sparse_weight — the optimizer's kernel arm, frozen.
   const Tensor* weight = nullptr;
   const BlockStore* blocked_weight = nullptr;
+  const kernels::Int8Weight* int8_weight = nullptr;
+  const kernels::CsrWeight* sparse_weight = nullptr;
   int64_t stride = 1;
+  // kMatMulTopK: classes kept per row; out_sample is [2 * topk].
+  int64_t topk = 0;
+  // Measured weight density of the sparse arm (EXPLAIN annotation).
+  double weight_density = 1.0;
   std::vector<EpilogueOp> epilogue;
 
   // Per-sample geometry (batch dim excluded), frozen at compile time.
@@ -202,6 +213,10 @@ class PhysicalPlan {
   // matmuls. Node-based maps: stage pointers stay valid across moves.
   std::map<std::string, Tensor> resident_;
   std::map<std::string, std::unique_ptr<BlockStore>> blocked_;
+  // Deploy-time-compressed weight arms (the fp32 copy is NOT kept for
+  // these consumers — the quantized/sparse form replaces it).
+  std::map<std::string, kernels::Int8Weight> int8_weights_;
+  std::map<std::string, kernels::CsrWeight> sparse_weights_;
   std::vector<std::unique_ptr<PhysicalStage>> stages_;
 };
 

@@ -1,0 +1,235 @@
+// AVX2 int8 block backend (the `maddubs` pipeline).
+//
+// Like micro_kernel_avx2.cc this is compiled with -mavx2 (per-file in
+// src/CMakeLists.txt, x86 only) and only entered behind the cpuid
+// probe. The 4-row x 2-channel register tile keeps 8 i32 accumulators
+// plus one weight vector and one activation vector live; per 32-byte
+// k-step each (row, channel) pair costs one _mm256_maddubs_epi16
+// (u8 x s8 -> saturating i16 pairs — saturation impossible because
+// activations are on the shifted 7-bit grid, see int8_gemm.h) and one
+// _mm256_madd_epi16 against ones (i16 pairs -> i32).
+//
+// The tile epilogue is where the cycles hide at serving-size k: a
+// naive per-accumulator horizontal sum plus scalar dequant costs about
+// as much as the 16-step k-loop it follows. So the fast path reduces
+// all 8 accumulators with one hadd tree (10 integer ops for 8 totals)
+// and dequantizes 4 outputs per SSE vector. Everything stays exact:
+// for kp <= 2^16 the full dot and its shift correction fit i32
+// (|dot| <= kp * 127 * 127 < 2^30.x), integer lane adds commute, and
+// _mm_cvtepi32_ps performs the same IEEE int-to-float conversion the
+// scalar backend's cast does — so the result is bit-identical.
+// Larger kp (not a serving shape) takes the chunked int64 path.
+
+#include "kernels/int8_gemm.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace relserve {
+namespace kernels {
+namespace internal {
+namespace {
+
+// Largest contraction (in k elements) whose full dot products and
+// shift corrections stay exact in i32 lanes: |dot| <= 2^16 * 16129
+// ~= 1.06e9 and |64 * row_sum| <= 2^16 * 8128 ~= 5.3e8, both (and
+// their difference) below 2^31.
+constexpr int64_t kFastK = 1 << 16;
+
+// Largest per-chunk contraction that keeps the i32 lanes exact on the
+// int64 fallback path: each 32-element step adds at most
+// 2 * 32258 = 64516 per lane, so 2^19 / 32 = 16384 steps stay below
+// 1.1e9 < 2^31.
+constexpr int64_t kChunkK = 1 << 19;
+
+inline int64_t HsumEpi32(__m256i v) {
+  // Exact: integer lane addition in any order.
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+  return static_cast<int64_t>(_mm_cvtsi128_si32(s));
+}
+
+// One (row, channel) pair over the full padded contraction — the edge
+// path for partial tiles and oversized kp. Still exact integer, so it
+// composes freely with the fast path.
+int64_t DotOne(const uint8_t* a, const int8_t* w, int64_t kp) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  int64_t total = 0;
+  for (int64_t c0 = 0; c0 < kp; c0 += kChunkK) {
+    const int64_t c1 = c0 + kChunkK < kp ? c0 + kChunkK : kp;
+    __m256i acc = _mm256_setzero_si256();
+    for (int64_t p = c0; p < c1; p += 32) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p));
+      const __m256i vw =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + p));
+      acc = _mm256_add_epi32(
+          acc, _mm256_madd_epi16(_mm256_maddubs_epi16(va, vw), ones));
+    }
+    total += HsumEpi32(acc);
+  }
+  return total;
+}
+
+// The shared dequant expression — must stay textually in sync with
+// ScalarGemmBlock in int8_gemm.cc.
+inline float Dequant(int64_t dot, int64_t row_sum, float sa, float sw) {
+  return static_cast<float>(dot - 64 * row_sum) * (sa * sw);
+}
+
+// Reduces four 8-lane i32 accumulators to one __m128i of their four
+// totals, in accumulator order. Pure integer adds — exact.
+inline __m128i ReduceQuad(__m256i s0, __m256i s1, __m256i s2,
+                          __m256i s3) {
+  const __m256i v =
+      _mm256_hadd_epi32(_mm256_hadd_epi32(s0, s1),
+                        _mm256_hadd_epi32(s2, s3));
+  return _mm_add_epi32(_mm256_castsi256_si128(v),
+                       _mm256_extracti128_si256(v, 1));
+}
+
+void Avx2GemmBlock(const uint8_t* a, int64_t lda, int64_t rows,
+                   const int8_t* w, int64_t ldw, int64_t chans,
+                   int64_t kp, const float* a_scales,
+                   const float* w_scales, const int64_t* row_sums,
+                   float* out, int64_t ldo) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  int64_t r0 = 0;
+  if (kp <= kFastK) {
+    for (; r0 + 4 <= rows; r0 += 4) {
+      const uint8_t* a0 = a + r0 * lda;
+      const uint8_t* a1 = a0 + lda;
+      const uint8_t* a2 = a0 + 2 * lda;
+      const uint8_t* a3 = a0 + 3 * lda;
+      const float sa0 = a_scales[r0];
+      const float sa1 = a_scales[r0 + 1];
+      const float sa2 = a_scales[r0 + 2];
+      const float sa3 = a_scales[r0 + 3];
+      int64_t c0 = 0;
+      for (; c0 + 2 <= chans; c0 += 2) {
+        const int8_t* w0 = w + c0 * ldw;
+        const int8_t* w1 = w0 + ldw;
+        __m256i s00 = _mm256_setzero_si256();
+        __m256i s01 = _mm256_setzero_si256();
+        __m256i s10 = _mm256_setzero_si256();
+        __m256i s11 = _mm256_setzero_si256();
+        __m256i s20 = _mm256_setzero_si256();
+        __m256i s21 = _mm256_setzero_si256();
+        __m256i s30 = _mm256_setzero_si256();
+        __m256i s31 = _mm256_setzero_si256();
+        for (int64_t p = 0; p < kp; p += 32) {
+          const __m256i vw0 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(w0 + p));
+          const __m256i vw1 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(w1 + p));
+          __m256i va;
+          va = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(a0 + p));
+          s00 = _mm256_add_epi32(
+              s00,
+              _mm256_madd_epi16(_mm256_maddubs_epi16(va, vw0), ones));
+          s01 = _mm256_add_epi32(
+              s01,
+              _mm256_madd_epi16(_mm256_maddubs_epi16(va, vw1), ones));
+          va = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(a1 + p));
+          s10 = _mm256_add_epi32(
+              s10,
+              _mm256_madd_epi16(_mm256_maddubs_epi16(va, vw0), ones));
+          s11 = _mm256_add_epi32(
+              s11,
+              _mm256_madd_epi16(_mm256_maddubs_epi16(va, vw1), ones));
+          va = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(a2 + p));
+          s20 = _mm256_add_epi32(
+              s20,
+              _mm256_madd_epi16(_mm256_maddubs_epi16(va, vw0), ones));
+          s21 = _mm256_add_epi32(
+              s21,
+              _mm256_madd_epi16(_mm256_maddubs_epi16(va, vw1), ones));
+          va = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(a3 + p));
+          s30 = _mm256_add_epi32(
+              s30,
+              _mm256_madd_epi16(_mm256_maddubs_epi16(va, vw0), ones));
+          s31 = _mm256_add_epi32(
+              s31,
+              _mm256_madd_epi16(_mm256_maddubs_epi16(va, vw1), ones));
+        }
+        // q0 = [dot(r0,c0), dot(r0,c1), dot(r1,c0), dot(r1,c1)] etc.
+        const __m128i q0 = ReduceQuad(s00, s01, s10, s11);
+        const __m128i q1 = ReduceQuad(s20, s21, s30, s31);
+        const int32_t k0 =
+            static_cast<int32_t>(64 * row_sums[c0]);
+        const int32_t k1 =
+            static_cast<int32_t>(64 * row_sums[c0 + 1]);
+        const __m128i corr = _mm_setr_epi32(k0, k1, k0, k1);
+        const float sw0 = w_scales[c0];
+        const float sw1 = w_scales[c0 + 1];
+        const __m128 f0 = _mm_mul_ps(
+            _mm_cvtepi32_ps(_mm_sub_epi32(q0, corr)),
+            _mm_setr_ps(sa0 * sw0, sa0 * sw1, sa1 * sw0, sa1 * sw1));
+        const __m128 f1 = _mm_mul_ps(
+            _mm_cvtepi32_ps(_mm_sub_epi32(q1, corr)),
+            _mm_setr_ps(sa2 * sw0, sa2 * sw1, sa3 * sw0, sa3 * sw1));
+        float* o = out + r0 * ldo + c0;
+        _mm_storel_pi(reinterpret_cast<__m64*>(o), f0);
+        _mm_storeh_pi(reinterpret_cast<__m64*>(o + ldo), f0);
+        _mm_storel_pi(reinterpret_cast<__m64*>(o + 2 * ldo), f1);
+        _mm_storeh_pi(reinterpret_cast<__m64*>(o + 3 * ldo), f1);
+      }
+      for (; c0 < chans; ++c0) {
+        const int8_t* wc = w + c0 * ldw;
+        out[r0 * ldo + c0] =
+            Dequant(DotOne(a0, wc, kp), row_sums[c0], sa0,
+                    w_scales[c0]);
+        out[(r0 + 1) * ldo + c0] =
+            Dequant(DotOne(a1, wc, kp), row_sums[c0], sa1,
+                    w_scales[c0]);
+        out[(r0 + 2) * ldo + c0] =
+            Dequant(DotOne(a2, wc, kp), row_sums[c0], sa2,
+                    w_scales[c0]);
+        out[(r0 + 3) * ldo + c0] =
+            Dequant(DotOne(a3, wc, kp), row_sums[c0], sa3,
+                    w_scales[c0]);
+      }
+    }
+  }
+  for (; r0 < rows; ++r0) {
+    const uint8_t* ar = a + r0 * lda;
+    for (int64_t c = 0; c < chans; ++c) {
+      out[r0 * ldo + c] = Dequant(DotOne(ar, w + c * ldw, kp),
+                                  row_sums[c], a_scales[r0],
+                                  w_scales[c]);
+    }
+  }
+}
+
+constexpr Int8Backend kAvx2Int8Backend = {
+    SimdLevel::kAvx2, "avx2-maddubs", Avx2GemmBlock};
+
+}  // namespace
+
+const Int8Backend* GetAvx2Int8Backend() { return &kAvx2Int8Backend; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace relserve
+
+#else  // !__AVX2__: non-x86 target or flags not applied
+
+namespace relserve {
+namespace kernels {
+namespace internal {
+
+const Int8Backend* GetAvx2Int8Backend() { return nullptr; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace relserve
+
+#endif

@@ -1,0 +1,206 @@
+// AVX-VNNI int8 block backend (the `vpdpbusd` pipeline).
+//
+// VEX-encoded VNNI fuses the maddubs + madd + add triple of the plain
+// AVX2 backend into a single u8 x s8 dot-product-accumulate per
+// (row, channel) pair and k-step — tripling the ALU throughput
+// ceiling of the inner loop. Unlike maddubs there is no saturating
+// i16 stage at all: the four byte products are exact i16 values whose
+// sum is accumulated into the i32 lane without saturation, for any
+// inputs. The lane totals are therefore the same exact integers the
+// other backends produce (integer addition commutes across the
+// different 2-vs-4 product groupings), so this backend slots under
+// the kAvx2 dispatch level with the same bit-identity guarantee.
+//
+// Per-step i32 lane growth is bounded exactly as in the maddubs
+// backend — one group of four shifted-u7 products per lane,
+// |sum| <= 4 * 127 * 127 = 64516 — so the same kFastK / kChunkK
+// exactness windows apply. The epilogue (hadd-tree reduction +
+// vectorized dequant) is shared logic; see int8_kernel_avx2.cc for
+// the derivation.
+//
+// Compiled with -mavx2 -mavxvnni (per-file in src/CMakeLists.txt,
+// x86 only); entered only when the running CPU reports AVX-VNNI.
+
+#include "kernels/int8_gemm.h"
+
+#if defined(__AVXVNNI__)
+
+#include <immintrin.h>
+
+namespace relserve {
+namespace kernels {
+namespace internal {
+namespace {
+
+constexpr int64_t kFastK = 1 << 16;
+constexpr int64_t kChunkK = 1 << 19;
+
+inline int64_t HsumEpi32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+  return static_cast<int64_t>(_mm_cvtsi128_si32(s));
+}
+
+int64_t DotOne(const uint8_t* a, const int8_t* w, int64_t kp) {
+  int64_t total = 0;
+  for (int64_t c0 = 0; c0 < kp; c0 += kChunkK) {
+    const int64_t c1 = c0 + kChunkK < kp ? c0 + kChunkK : kp;
+    __m256i acc = _mm256_setzero_si256();
+    for (int64_t p = c0; p < c1; p += 32) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p));
+      const __m256i vw =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + p));
+      acc = _mm256_dpbusd_avx_epi32(acc, va, vw);
+    }
+    total += HsumEpi32(acc);
+  }
+  return total;
+}
+
+// The shared dequant expression — must stay textually in sync with
+// ScalarGemmBlock in int8_gemm.cc.
+inline float Dequant(int64_t dot, int64_t row_sum, float sa, float sw) {
+  return static_cast<float>(dot - 64 * row_sum) * (sa * sw);
+}
+
+inline __m128i ReduceQuad(__m256i s0, __m256i s1, __m256i s2,
+                          __m256i s3) {
+  const __m256i v =
+      _mm256_hadd_epi32(_mm256_hadd_epi32(s0, s1),
+                        _mm256_hadd_epi32(s2, s3));
+  return _mm_add_epi32(_mm256_castsi256_si128(v),
+                       _mm256_extracti128_si256(v, 1));
+}
+
+void VnniGemmBlock(const uint8_t* a, int64_t lda, int64_t rows,
+                   const int8_t* w, int64_t ldw, int64_t chans,
+                   int64_t kp, const float* a_scales,
+                   const float* w_scales, const int64_t* row_sums,
+                   float* out, int64_t ldo) {
+  int64_t r0 = 0;
+  if (kp <= kFastK) {
+    for (; r0 + 4 <= rows; r0 += 4) {
+      const uint8_t* a0 = a + r0 * lda;
+      const uint8_t* a1 = a0 + lda;
+      const uint8_t* a2 = a0 + 2 * lda;
+      const uint8_t* a3 = a0 + 3 * lda;
+      const float sa0 = a_scales[r0];
+      const float sa1 = a_scales[r0 + 1];
+      const float sa2 = a_scales[r0 + 2];
+      const float sa3 = a_scales[r0 + 3];
+      int64_t c0 = 0;
+      for (; c0 + 2 <= chans; c0 += 2) {
+        const int8_t* w0 = w + c0 * ldw;
+        const int8_t* w1 = w0 + ldw;
+        __m256i s00 = _mm256_setzero_si256();
+        __m256i s01 = _mm256_setzero_si256();
+        __m256i s10 = _mm256_setzero_si256();
+        __m256i s11 = _mm256_setzero_si256();
+        __m256i s20 = _mm256_setzero_si256();
+        __m256i s21 = _mm256_setzero_si256();
+        __m256i s30 = _mm256_setzero_si256();
+        __m256i s31 = _mm256_setzero_si256();
+        for (int64_t p = 0; p < kp; p += 32) {
+          const __m256i vw0 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(w0 + p));
+          const __m256i vw1 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(w1 + p));
+          __m256i va;
+          va = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(a0 + p));
+          s00 = _mm256_dpbusd_avx_epi32(s00, va, vw0);
+          s01 = _mm256_dpbusd_avx_epi32(s01, va, vw1);
+          va = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(a1 + p));
+          s10 = _mm256_dpbusd_avx_epi32(s10, va, vw0);
+          s11 = _mm256_dpbusd_avx_epi32(s11, va, vw1);
+          va = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(a2 + p));
+          s20 = _mm256_dpbusd_avx_epi32(s20, va, vw0);
+          s21 = _mm256_dpbusd_avx_epi32(s21, va, vw1);
+          va = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(a3 + p));
+          s30 = _mm256_dpbusd_avx_epi32(s30, va, vw0);
+          s31 = _mm256_dpbusd_avx_epi32(s31, va, vw1);
+        }
+        const __m128i q0 = ReduceQuad(s00, s01, s10, s11);
+        const __m128i q1 = ReduceQuad(s20, s21, s30, s31);
+        const int32_t k0 =
+            static_cast<int32_t>(64 * row_sums[c0]);
+        const int32_t k1 =
+            static_cast<int32_t>(64 * row_sums[c0 + 1]);
+        const __m128i corr = _mm_setr_epi32(k0, k1, k0, k1);
+        const float sw0 = w_scales[c0];
+        const float sw1 = w_scales[c0 + 1];
+        const __m128 f0 = _mm_mul_ps(
+            _mm_cvtepi32_ps(_mm_sub_epi32(q0, corr)),
+            _mm_setr_ps(sa0 * sw0, sa0 * sw1, sa1 * sw0, sa1 * sw1));
+        const __m128 f1 = _mm_mul_ps(
+            _mm_cvtepi32_ps(_mm_sub_epi32(q1, corr)),
+            _mm_setr_ps(sa2 * sw0, sa2 * sw1, sa3 * sw0, sa3 * sw1));
+        float* o = out + r0 * ldo + c0;
+        _mm_storel_pi(reinterpret_cast<__m64*>(o), f0);
+        _mm_storeh_pi(reinterpret_cast<__m64*>(o + ldo), f0);
+        _mm_storel_pi(reinterpret_cast<__m64*>(o + 2 * ldo), f1);
+        _mm_storeh_pi(reinterpret_cast<__m64*>(o + 3 * ldo), f1);
+      }
+      for (; c0 < chans; ++c0) {
+        const int8_t* wc = w + c0 * ldw;
+        out[r0 * ldo + c0] =
+            Dequant(DotOne(a0, wc, kp), row_sums[c0], sa0,
+                    w_scales[c0]);
+        out[(r0 + 1) * ldo + c0] =
+            Dequant(DotOne(a1, wc, kp), row_sums[c0], sa1,
+                    w_scales[c0]);
+        out[(r0 + 2) * ldo + c0] =
+            Dequant(DotOne(a2, wc, kp), row_sums[c0], sa2,
+                    w_scales[c0]);
+        out[(r0 + 3) * ldo + c0] =
+            Dequant(DotOne(a3, wc, kp), row_sums[c0], sa3,
+                    w_scales[c0]);
+      }
+    }
+  }
+  for (; r0 < rows; ++r0) {
+    const uint8_t* ar = a + r0 * lda;
+    for (int64_t c = 0; c < chans; ++c) {
+      out[r0 * ldo + c] = Dequant(DotOne(ar, w + c * ldw, kp),
+                                  row_sums[c], a_scales[r0],
+                                  w_scales[c]);
+    }
+  }
+}
+
+constexpr Int8Backend kVnniInt8Backend = {
+    SimdLevel::kAvx2, "avx2-vnni", VnniGemmBlock};
+
+}  // namespace
+
+const Int8Backend* GetVnniInt8Backend() {
+  // One cpuid consult; the OSXSAVE/ymm-state check is covered by the
+  // kAvx2 gate every caller already passed through.
+  static const bool supported = __builtin_cpu_supports("avxvnni");
+  return supported ? &kVnniInt8Backend : nullptr;
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace relserve
+
+#else  // !__AVXVNNI__: non-x86 target, old compiler, or flags absent
+
+namespace relserve {
+namespace kernels {
+namespace internal {
+
+const Int8Backend* GetVnniInt8Backend() { return nullptr; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace relserve
+
+#endif

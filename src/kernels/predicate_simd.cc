@@ -1,0 +1,85 @@
+// Scalar predicate strips — the always-correct reference the AVX2
+// backend must match bit-for-bit. These are the exact loops the
+// vectorized evaluator used before the SIMD backends existed.
+
+#include "kernels/predicate_simd.h"
+
+#include <cmath>
+
+namespace relserve {
+namespace kernels {
+namespace {
+
+int64_t ScalarLtF64(const double* a, const double* b,
+                    const int32_t* sel, int64_t n, int32_t* out) {
+  int64_t m = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[m] = sel[i];
+    m += a[i] < b[i];
+  }
+  return m;
+}
+
+int64_t ScalarLeF64(const double* a, const double* b,
+                    const int32_t* sel, int64_t n, int32_t* out) {
+  int64_t m = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[m] = sel[i];
+    m += a[i] <= b[i];
+  }
+  return m;
+}
+
+int64_t ScalarEqF64(const double* a, const double* b,
+                    const int32_t* sel, int64_t n, int32_t* out) {
+  int64_t m = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[m] = sel[i];
+    m += a[i] == b[i];
+  }
+  return m;
+}
+
+int64_t ScalarAbsDiffLeF64(const double* a, const double* b, double eps,
+                           const int32_t* sel, int64_t n, int32_t* out) {
+  int64_t m = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[m] = sel[i];
+    m += std::fabs(a[i] - b[i]) <= eps;
+  }
+  return m;
+}
+
+int64_t ScalarEqI64(const int64_t* a, const int64_t* b,
+                    const int32_t* sel, int64_t n, int32_t* out) {
+  int64_t m = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[m] = sel[i];
+    m += a[i] == b[i];
+  }
+  return m;
+}
+
+int64_t ScalarNonzeroF64(const double* v, const int32_t* sel, int64_t n,
+                         int32_t* out) {
+  int64_t m = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[m] = sel[i];
+    m += v[i] != 0.0;
+  }
+  return m;
+}
+
+constexpr PredicateKernels kScalarPredicateKernels = {
+    SimdLevel::kScalar, ScalarLtF64,      ScalarLeF64, ScalarEqF64,
+    ScalarAbsDiffLeF64, ScalarEqI64,      ScalarNonzeroF64,
+};
+
+}  // namespace
+
+const PredicateKernels* GetScalarPredicateKernels() {
+  return &kScalarPredicateKernels;
+}
+
+}  // namespace kernels
+}  // namespace relserve

@@ -1,0 +1,65 @@
+// Branch-free SIMD predicate evaluation over columnar chunks.
+//
+// The vectorized expression evaluator (relational/vectorized.cc)
+// reduces every comparison to a strip over two dense operand arrays
+// aligned with the current selection vector:
+//
+//   out[m] = sel[i]; m += compare(a[i], b[i]);
+//
+// These kernels implement exactly that strip: an AVX2 backend compares
+// 4 doubles (or 4 int64s) per step with _mm256_cmp_pd / cmpeq_epi64,
+// extracts the lane mask, and appends the surviving sel entries with
+// the same branch-free increment the scalar loop uses. Comparison
+// semantics match the scalar operators exactly — ordered non-signaling
+// predicates for < / <= / == (NaN compares false, like the C++
+// operators) and an unordered != for truthiness (NaN != 0.0 is true) —
+// so the selection output is BIT-IDENTICAL to the scalar backend's on
+// every input, including NaNs, negative zeros and denormals.
+
+#ifndef RELSERVE_KERNELS_PREDICATE_SIMD_H_
+#define RELSERVE_KERNELS_PREDICATE_SIMD_H_
+
+#include <cstdint>
+
+#include "kernels/cpu_features.h"
+
+namespace relserve {
+namespace kernels {
+
+// One ISA's predicate strips. Each kernel scans `n` dense operand
+// entries, writes the sel values of passing rows to `out` (caller
+// provides capacity n), and returns the pass count.
+struct PredicateKernels {
+  SimdLevel level;
+  int64_t (*lt_f64)(const double* a, const double* b,
+                    const int32_t* sel, int64_t n, int32_t* out);
+  int64_t (*le_f64)(const double* a, const double* b,
+                    const int32_t* sel, int64_t n, int32_t* out);
+  int64_t (*eq_f64)(const double* a, const double* b,
+                    const int32_t* sel, int64_t n, int32_t* out);
+  // |a - b| <= eps (the approximate-match predicate).
+  int64_t (*absdiff_le_f64)(const double* a, const double* b, double eps,
+                            const int32_t* sel, int64_t n, int32_t* out);
+  int64_t (*eq_i64)(const int64_t* a, const int64_t* b,
+                    const int32_t* sel, int64_t n, int32_t* out);
+  // v != 0.0 (numeric truthiness; NaN is truthy).
+  int64_t (*nonzero_f64)(const double* v, const int32_t* sel, int64_t n,
+                         int32_t* out);
+};
+
+const PredicateKernels* GetScalarPredicateKernels();
+// nullptr when this build/platform has no AVX2 backend.
+const PredicateKernels* GetAvx2PredicateKernels();
+
+inline const PredicateKernels* GetPredicateKernels(SimdLevel level) {
+  if (level == SimdLevel::kAvx2) {
+    const PredicateKernels* avx2 = GetAvx2PredicateKernels();
+    if (avx2 != nullptr) return avx2;
+  }
+  return GetScalarPredicateKernels();
+}
+
+}  // namespace kernels
+}  // namespace relserve
+
+#endif  // RELSERVE_KERNELS_PREDICATE_SIMD_H_

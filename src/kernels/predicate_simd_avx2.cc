@@ -1,0 +1,153 @@
+// AVX2 predicate strips. Compiled with -mavx2 (per-file in
+// src/CMakeLists.txt, x86 only) and only entered behind the cpuid
+// probe.
+//
+// Each step compares 4 doubles (or 4 int64s), movemasks the lane
+// results, and appends the surviving sel entries with the same
+// branch-free `out[m] = sel[i]; m += bit` increment as the scalar
+// strip — there is no divergent control flow, so the emitted
+// selection vector is bit-identical to the scalar backend's. The
+// comparison predicates are chosen to match C++ operator semantics on
+// every special value: _CMP_LT_OQ / _CMP_LE_OQ / _CMP_EQ_OQ are
+// ordered (NaN -> false, like <, <=, ==) and _CMP_NEQ_UQ is unordered
+// (NaN != 0.0 -> true, like !=).
+
+#include "kernels/predicate_simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace relserve {
+namespace kernels {
+namespace {
+
+// Appends the sel entries selected by the low 4 bits of `mask`.
+inline int64_t AppendMask4(int mask, const int32_t* sel, int64_t i,
+                           int32_t* out, int64_t m) {
+  out[m] = sel[i + 0];
+  m += mask & 1;
+  out[m] = sel[i + 1];
+  m += (mask >> 1) & 1;
+  out[m] = sel[i + 2];
+  m += (mask >> 2) & 1;
+  out[m] = sel[i + 3];
+  m += (mask >> 3) & 1;
+  return m;
+}
+
+template <int kPred>
+int64_t CmpF64(const double* a, const double* b, const int32_t* sel,
+               int64_t n, int32_t* out) {
+  int64_t m = 0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i);
+    const __m256d vb = _mm256_loadu_pd(b + i);
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(va, vb, kPred));
+    m = AppendMask4(mask, sel, i, out, m);
+  }
+  for (; i < n; ++i) {
+    out[m] = sel[i];
+    if (kPred == _CMP_LT_OQ) {
+      m += a[i] < b[i];
+    } else if (kPred == _CMP_LE_OQ) {
+      m += a[i] <= b[i];
+    } else {
+      m += a[i] == b[i];
+    }
+  }
+  return m;
+}
+
+int64_t Avx2AbsDiffLeF64(const double* a, const double* b, double eps,
+                         const int32_t* sel, int64_t n, int32_t* out) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const __m256d veps = _mm256_set1_pd(eps);
+  int64_t m = 0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d diff =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d mag = _mm256_andnot_pd(sign_mask, diff);
+    const int mask =
+        _mm256_movemask_pd(_mm256_cmp_pd(mag, veps, _CMP_LE_OQ));
+    m = AppendMask4(mask, sel, i, out, m);
+  }
+  for (; i < n; ++i) {
+    out[m] = sel[i];
+    m += std::fabs(a[i] - b[i]) <= eps;
+  }
+  return m;
+}
+
+int64_t Avx2EqI64(const int64_t* a, const int64_t* b,
+                  const int32_t* sel, int64_t n, int32_t* out) {
+  int64_t m = 0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const int mask = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb)));
+    m = AppendMask4(mask, sel, i, out, m);
+  }
+  for (; i < n; ++i) {
+    out[m] = sel[i];
+    m += a[i] == b[i];
+  }
+  return m;
+}
+
+int64_t Avx2NonzeroF64(const double* v, const int32_t* sel, int64_t n,
+                       int32_t* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  int64_t m = 0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(v + i), zero, _CMP_NEQ_UQ));
+    m = AppendMask4(mask, sel, i, out, m);
+  }
+  for (; i < n; ++i) {
+    out[m] = sel[i];
+    m += v[i] != 0.0;
+  }
+  return m;
+}
+
+constexpr PredicateKernels kAvx2PredicateKernels = {
+    SimdLevel::kAvx2,
+    CmpF64<_CMP_LT_OQ>,
+    CmpF64<_CMP_LE_OQ>,
+    CmpF64<_CMP_EQ_OQ>,
+    Avx2AbsDiffLeF64,
+    Avx2EqI64,
+    Avx2NonzeroF64,
+};
+
+}  // namespace
+
+const PredicateKernels* GetAvx2PredicateKernels() {
+  return &kAvx2PredicateKernels;
+}
+
+}  // namespace kernels
+}  // namespace relserve
+
+#else  // !__AVX2__: non-x86 target or flags not applied
+
+namespace relserve {
+namespace kernels {
+
+const PredicateKernels* GetAvx2PredicateKernels() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace relserve
+
+#endif

@@ -1,0 +1,144 @@
+#include "kernels/sparse_gemm.h"
+
+#include <algorithm>
+
+#include "kernels/cpu_features.h"
+
+namespace relserve {
+namespace kernels {
+
+namespace {
+
+// Rows accumulated per CSR walk. The activation chunk is transposed
+// into a [k, 8] lane-major scratch so one pass over a channel's
+// nonzeros updates 8 row accumulators from a single contiguous
+// 8-float load per nonzero — the index/value loads amortize and the
+// CPU gets 8 independent fp32 add chains instead of one latency-bound
+// chain. Each lane still sums the same values in the same
+// ascending-index mul-then-add order, so results are bit-identical to
+// the single-row walk.
+constexpr int64_t kSparseRowChunk = 8;
+
+void ScalarCsrDot8(const float* xT, const int32_t* cols,
+                   const float* vals, int64_t nnz, float* acc) {
+  float local[kSparseRowChunk] = {};
+  for (int64_t i = 0; i < nnz; ++i) {
+    const float wv = vals[i];
+    const float* lane = xT + static_cast<int64_t>(cols[i]) * 8;
+    for (int64_t r = 0; r < kSparseRowChunk; ++r) {
+      local[r] += lane[r] * wv;
+    }
+  }
+  for (int64_t r = 0; r < kSparseRowChunk; ++r) acc[r] = local[r];
+}
+
+internal::CsrDot8Fn PickCsrDot8() {
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    const internal::CsrDot8Fn avx2 = internal::GetAvx2CsrDot8();
+    if (avx2 != nullptr) return avx2;
+  }
+  return ScalarCsrDot8;
+}
+
+}  // namespace
+
+namespace internal {
+
+void CsrBlockDot(const float* x0, int64_t k, int64_t rows,
+                 const CsrWeight& w, int64_t c0, int64_t bw, float* y,
+                 int64_t ldy) {
+  const CsrDot8Fn dot8 = PickCsrDot8();
+  // Lane-major transpose scratch; zero lanes for a partial tail chunk
+  // contribute exact zeros that are discarded on writeback.
+  std::vector<float> xT(static_cast<size_t>(k * kSparseRowChunk));
+  float acc[kSparseRowChunk];
+  for (int64_t r0 = 0; r0 < rows; r0 += kSparseRowChunk) {
+    const int64_t rt = std::min(kSparseRowChunk, rows - r0);
+    for (int64_t p = 0; p < k; ++p) {
+      float* lane = xT.data() + p * kSparseRowChunk;
+      for (int64_t r = 0; r < rt; ++r) {
+        lane[r] = x0[(r0 + r) * k + p];
+      }
+      for (int64_t r = rt; r < kSparseRowChunk; ++r) lane[r] = 0.0f;
+    }
+    for (int64_t c = 0; c < bw; ++c) {
+      const int64_t o = c0 + c;
+      const int64_t lo = w.row_ptr[static_cast<size_t>(o)];
+      const int64_t hi = w.row_ptr[static_cast<size_t>(o + 1)];
+      dot8(xT.data(), w.col_idx.data() + lo, w.values.data() + lo,
+           hi - lo, acc);
+      for (int64_t r = 0; r < rt; ++r) {
+        y[(r0 + r) * ldy + c] = acc[r];
+      }
+    }
+  }
+}
+
+}  // namespace internal
+
+Result<double> MeasureWeightDensity(const Tensor& w) {
+  if (w.shape().ndim() != 2) {
+    return Status::InvalidArgument("density expects a matrix weight");
+  }
+  const int64_t total = w.NumElements();
+  if (total == 0) return 0.0;
+  const float* data = w.data();
+  int64_t nnz = 0;
+  for (int64_t i = 0; i < total; ++i) nnz += data[i] != 0.0f;
+  return static_cast<double>(nnz) / static_cast<double>(total);
+}
+
+Result<CsrWeight> BuildCsrWeight(const Tensor& w) {
+  if (w.shape().ndim() != 2) {
+    return Status::InvalidArgument("CSR weight must be a matrix");
+  }
+  CsrWeight csr;
+  csr.out = w.shape().dim(0);
+  csr.in = w.shape().dim(1);
+  csr.row_ptr.reserve(static_cast<size_t>(csr.out + 1));
+  csr.row_ptr.push_back(0);
+  const float* data = w.data();
+  for (int64_t o = 0; o < csr.out; ++o) {
+    const float* row = data + o * csr.in;
+    for (int64_t p = 0; p < csr.in; ++p) {
+      if (row[p] != 0.0f) {
+        csr.col_idx.push_back(static_cast<int32_t>(p));
+        csr.values.push_back(row[p]);
+      }
+    }
+    csr.row_ptr.push_back(static_cast<int64_t>(csr.values.size()));
+  }
+  return csr;
+}
+
+Status SparseGemmTransBInto(const Tensor& a, const CsrWeight& w,
+                            Tensor* out, ThreadPool* pool) {
+  if (a.shape().ndim() != 2 || out->shape().ndim() != 2) {
+    return Status::InvalidArgument("sparse gemm expects matrices");
+  }
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  if (k != w.in || out->shape().dim(0) != m ||
+      out->shape().dim(1) != w.out) {
+    return Status::InvalidArgument("sparse gemm shape mismatch");
+  }
+  if (m == 0 || w.out == 0) return Status::OK();
+  const float* src = a.data();
+  float* dst = out->data();
+  // Row morsels over the batch: every (row, channel) output is one
+  // ascending-index chain owned by one worker — deterministic.
+  auto run_rows = [&](int64_t r_lo, int64_t r_hi) {
+    internal::CsrBlockDot(src + r_lo * k, k, r_hi - r_lo, w, 0, w.out,
+                          dst + r_lo * w.out, w.out);
+  };
+  if (pool != nullptr && m >= 2) {
+    pool->ParallelFor(0, m, run_rows, /*grain=*/0,
+                      /*work_hint=*/2 * m * w.nnz());
+  } else {
+    run_rows(0, m);
+  }
+  return Status::OK();
+}
+
+}  // namespace kernels
+}  // namespace relserve

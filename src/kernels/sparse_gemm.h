@@ -1,0 +1,87 @@
+// CSR sparse-weight kernel — the optimizer arm for extreme-
+// classification layers whose weight matrices are mostly zero (the
+// Amazon-14k shape after pruning).
+//
+// The dense GEMM path deliberately never branches on zeros
+// (kernels.h); this is the explicit sparse entry point it defers to.
+// The weight is compressed once at deploy time into CSR over output
+// channels (one row per channel, ascending column indices); each
+// (batch row, channel) product is one ascending-index fp32 chain, so
+// results are identical at any thread count and — because adding an
+// exact 0.0f term is a no-op — bit-identical to a naive ascending-k
+// dense dot over the original weight.
+
+#ifndef RELSERVE_KERNELS_SPARSE_GEMM_H_
+#define RELSERVE_KERNELS_SPARSE_GEMM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "resource/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+namespace kernels {
+
+struct CsrWeight {
+  int64_t out = 0;  // output channels (CSR rows)
+  int64_t in = 0;   // contraction width (CSR columns)
+  std::vector<int64_t> row_ptr;  // [out + 1]
+  std::vector<int32_t> col_idx;  // [nnz], ascending per row
+  std::vector<float> values;     // [nnz]
+
+  int64_t nnz() const { return static_cast<int64_t>(values.size()); }
+  double density() const {
+    const int64_t total = out * in;
+    return total > 0 ? static_cast<double>(nnz()) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(row_ptr.size() * sizeof(int64_t) +
+                                col_idx.size() * sizeof(int32_t) +
+                                values.size() * sizeof(float));
+  }
+};
+
+// Fraction of exactly-nonzero entries of a [out, in] weight matrix —
+// what the optimizer compares against the density threshold.
+Result<double> MeasureWeightDensity(const Tensor& w);
+
+// Deploy-time CSR compression of a [out, in] weight.
+Result<CsrWeight> BuildCsrWeight(const Tensor& w);
+
+// out[m, n] = a[m, k] * w[n, k]^T over the CSR weight. `out` must be
+// preallocated [m, w.out]; `pool` may be null.
+Status SparseGemmTransBInto(const Tensor& a, const CsrWeight& w,
+                            Tensor* out, ThreadPool* pool = nullptr);
+
+namespace internal {
+
+// Inner block kernel shared with the fused top-k driver: channels
+// [c0, c0 + bw) of the CSR weight against `rows` consecutive input
+// rows starting at `x0` (stride `k`), written to y[r * ldy + c]. The
+// activation chunk is transposed once into a [k, 8] lane-major
+// scratch so every nonzero reads one contiguous 8-float vector, but
+// each (row, channel) result is still the same ascending-index fp32
+// mul-then-add chain as a naive dot — the bit-identity contract of
+// the sparse arm.
+void CsrBlockDot(const float* x0, int64_t k, int64_t rows,
+                 const CsrWeight& w, int64_t c0, int64_t bw, float* y,
+                 int64_t ldy);
+
+// One channel's nonzeros against 8 transposed activation lanes:
+//   acc[r] = sum_i xT[cols[i] * 8 + r] * vals[i]   (mul, then add —
+// never fused, so every lane matches the scalar chain bit-for-bit).
+using CsrDot8Fn = void (*)(const float* xT, const int32_t* cols,
+                           const float* vals, int64_t nnz, float* acc);
+
+// nullptr when this build/platform has no AVX2 backend.
+CsrDot8Fn GetAvx2CsrDot8();
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace relserve
+
+#endif  // RELSERVE_KERNELS_SPARSE_GEMM_H_

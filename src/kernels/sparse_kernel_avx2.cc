@@ -1,0 +1,57 @@
+// AVX2 CSR lane kernel. Compiled with -mavx2 (per-file in
+// src/CMakeLists.txt, x86 only) and only entered behind the cpuid
+// probe.
+//
+// One channel's nonzeros against 8 transposed activation lanes: each
+// nonzero is one contiguous 8-float load, one broadcast, one multiply
+// and one add. The multiply and add are separate instructions on
+// purpose — fusing them (FMA) would skip the intermediate rounding and
+// break the sparse arm's bit-identity contract with the scalar
+// mul-then-add chain. This TU therefore requests only -mavx2, not
+// -mfma.
+
+#include "kernels/sparse_gemm.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace relserve {
+namespace kernels {
+namespace {
+
+void Avx2CsrDot8(const float* xT, const int32_t* cols,
+                 const float* vals, int64_t nnz, float* acc) {
+  __m256 sum = _mm256_setzero_ps();
+  for (int64_t i = 0; i < nnz; ++i) {
+    const __m256 lane =
+        _mm256_loadu_ps(xT + static_cast<int64_t>(cols[i]) * 8);
+    const __m256 wv = _mm256_set1_ps(vals[i]);
+    sum = _mm256_add_ps(sum, _mm256_mul_ps(lane, wv));
+  }
+  _mm256_storeu_ps(acc, sum);
+}
+
+}  // namespace
+
+namespace internal {
+
+CsrDot8Fn GetAvx2CsrDot8() { return Avx2CsrDot8; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace relserve
+
+#else  // !__AVX2__: non-x86 target or flags not applied
+
+namespace relserve {
+namespace kernels {
+namespace internal {
+
+CsrDot8Fn GetAvx2CsrDot8() { return nullptr; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace relserve
+
+#endif

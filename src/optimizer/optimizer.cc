@@ -1,5 +1,10 @@
 #include "optimizer/optimizer.h"
 
+#include <cstdio>
+
+#include "kernels/int8_gemm.h"
+#include "kernels/sparse_gemm.h"
+
 namespace relserve {
 
 const char* ReprName(Repr repr) {
@@ -8,6 +13,18 @@ const char* ReprName(Repr repr) {
       return "udf";
     case Repr::kRelational:
       return "relational";
+  }
+  return "?";
+}
+
+const char* KernelArmName(KernelArm arm) {
+  switch (arm) {
+    case KernelArm::kDense:
+      return "dense";
+    case KernelArm::kInt8:
+      return "int8";
+    case KernelArm::kSparse:
+      return "sparse";
   }
   return "?";
 }
@@ -25,6 +42,19 @@ std::string InferencePlan::ToString(const Model& model) const {
     if (d.device != DeviceKind::kCpu) {
       out += " @";
       out += DeviceKindName(d.device);
+    }
+    // Kernel-arm annotations render only when non-default so plans
+    // without the quantized/sparse arms keep their historical text.
+    if (d.arm == KernelArm::kInt8) {
+      out += " [int8]";
+    } else if (d.arm == KernelArm::kSparse) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " [sparse d=%.3f]",
+                    d.weight_density);
+      out += buf;
+    }
+    if (d.topk > 0) {
+      out += " +topk(" + std::to_string(d.topk) + ")";
     }
     out += "\n";
   }
@@ -97,7 +127,45 @@ Result<InferencePlan> RuleBasedOptimizer::Optimize(
       profile.output_bytes = shapes[node.id].NumElements() * 4;
       decision.device = devices_->Choose(profile).kind;
     }
+    if (node.kind == OpKind::kMatMul && !node.weight_name.empty() &&
+        decision.repr == Repr::kUdf &&
+        decision.device == DeviceKind::kCpu) {
+      if (tuning_.enable_sparse) {
+        RELSERVE_ASSIGN_OR_RETURN(const Tensor* w,
+                                  model.GetWeight(node.weight_name));
+        RELSERVE_ASSIGN_OR_RETURN(decision.weight_density,
+                                  kernels::MeasureWeightDensity(*w));
+        if (decision.weight_density < tuning_.sparse_density_threshold) {
+          decision.arm = KernelArm::kSparse;
+        }
+      }
+      if (tuning_.enable_int8 && decision.arm == KernelArm::kDense) {
+        decision.arm = KernelArm::kInt8;
+      }
+      // RELSERVE_QUANTIZE is the operator's kill switch / force switch
+      // for the quantized arm; it outranks the per-node decision.
+      const kernels::QuantizeMode qmode = kernels::ActiveQuantizeMode();
+      if (qmode == kernels::QuantizeMode::kInt8) {
+        decision.arm = KernelArm::kInt8;
+      } else if (qmode == kernels::QuantizeMode::kOff &&
+                 decision.arm == KernelArm::kInt8) {
+        decision.arm = KernelArm::kDense;
+      }
+    }
     plan.decisions.push_back(decision);
+  }
+  if (tuning_.topk > 0) {
+    // The fused top-k epilogue targets the classification head: the
+    // LAST matmul of the graph, provided it runs UDF-centric on the
+    // CPU (whole-tensor stages are where the fusion hooks live).
+    for (auto it = plan.decisions.rbegin(); it != plan.decisions.rend();
+         ++it) {
+      if (model.node(it->node_id).kind != OpKind::kMatMul) continue;
+      if (it->repr == Repr::kUdf && it->device == DeviceKind::kCpu) {
+        it->topk = tuning_.topk;
+      }
+      break;
+    }
   }
   return plan;
 }

@@ -23,6 +23,27 @@ namespace relserve {
 Result<int64_t> EstimateNodeBytes(const Model& model, int node_id,
                                   int64_t batch_size);
 
+// Kernel-arm knobs for the optimizer. Defaults leave every arm off so
+// existing deployments (and golden plan texts) are unchanged; serving
+// configs opt in per deployment.
+struct OptimizerTuning {
+  // Consider the deploy-time int8 quantized arm for UDF-centric CPU
+  // matmuls. RELSERVE_QUANTIZE overrides this in both directions
+  // ("int8" forces it on, "off" forces it off).
+  bool enable_int8 = false;
+  // Consider the CSR sparse arm when the measured weight density falls
+  // below `sparse_density_threshold`.
+  bool enable_sparse = false;
+  // Break-even density calibrated from the kernels' measured
+  // throughput ratio: the CSR chain sustains roughly 1/4 of the packed
+  // fp32 GEMM's effective FLOP rate (indexed gathers vs contiguous
+  // FMA), so sparse wins once >75% of the multiplies are skippable.
+  double sparse_density_threshold = 0.25;
+  // > 0 fuses a top-k epilogue into the model's final matmul (the
+  // classification head) so the full logits row is never materialized.
+  int64_t topk = 0;
+};
+
 class RuleBasedOptimizer {
  public:
   // `memory_threshold_bytes` mirrors the paper's 2 GB constant.
@@ -33,9 +54,11 @@ class RuleBasedOptimizer {
   // outputs. Only UDF-centric operators are eligible — tensor blocks
   // flowing through the buffer pool stay on the CPU.
   explicit RuleBasedOptimizer(int64_t memory_threshold_bytes,
-                              const DeviceAllocator* devices = nullptr)
+                              const DeviceAllocator* devices = nullptr,
+                              OptimizerTuning tuning = OptimizerTuning())
       : memory_threshold_bytes_(memory_threshold_bytes),
-        devices_(devices) {}
+        devices_(devices),
+        tuning_(tuning) {}
 
   // Chooses a representation per node. Input nodes follow their own
   // footprint (a batch too large to materialize is chunked on entry).
@@ -46,9 +69,12 @@ class RuleBasedOptimizer {
     return memory_threshold_bytes_;
   }
 
+  const OptimizerTuning& tuning() const { return tuning_; }
+
  private:
   int64_t memory_threshold_bytes_;
   const DeviceAllocator* devices_;
+  OptimizerTuning tuning_;
 };
 
 }  // namespace relserve

@@ -22,6 +22,16 @@ enum class Repr {
 
 const char* ReprName(Repr repr);
 
+// Per-matmul kernel backend choice. Orthogonal to Repr: the arm picks
+// HOW a UDF-centric matmul multiplies, not where its tensors live.
+enum class KernelArm {
+  kDense,   // fp32 packed GEMM (the default)
+  kInt8,    // deploy-time-quantized int8 weights, dynamic activations
+  kSparse,  // CSR weight kernel for mostly-zero layers
+};
+
+const char* KernelArmName(KernelArm arm);
+
 struct NodeDecision {
   int node_id = -1;
   Repr repr = Repr::kUdf;
@@ -35,6 +45,16 @@ struct NodeDecision {
   // (paper Sec. 3(2)); annotated when the optimizer is given a
   // DeviceAllocator, advisory otherwise.
   DeviceKind device = DeviceKind::kCpu;
+  // Kernel backend for matmul nodes (dense fp32 unless the optimizer
+  // picked the quantized or sparse arm).
+  KernelArm arm = KernelArm::kDense;
+  // Measured fraction of nonzero weight entries; 1.0 when not measured.
+  // Drives the sparse-arm decision and is shown by EXPLAIN.
+  double weight_density = 1.0;
+  // > 0 requests the fused matmul + top-k epilogue on this node (the
+  // extreme-classification head); the stage then emits [batch, 2k]
+  // instead of the full logits row.
+  int64_t topk = 0;
 };
 
 struct InferencePlan {

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "kernels/predicate_simd.h"
 #include "optimizer/scan_cost.h"
 
 namespace relserve {
@@ -227,12 +228,9 @@ Result<SelVector> Evaluator::EvalEq(const Expression& e,
       RELSERVE_RETURN_NOT_OK(EvalInt64(left, sel, n, a.data()));
       RELSERVE_RETURN_NOT_OK(EvalInt64(right, sel, n, b.data()));
       out.resize(n);
-      int64_t m = 0;
-      for (int64_t i = 0; i < n; ++i) {
-        out[m] = sel[i];
-        m += a[i] == b[i];
-      }
-      out.resize(m);
+      const kernels::PredicateKernels* pk =
+          kernels::GetPredicateKernels(kernels::ActiveSimdLevel());
+      out.resize(pk->eq_i64(a.data(), b.data(), sel, n, out.data()));
       return out;
     }
     case ValueType::kFloat64: {
@@ -240,12 +238,9 @@ Result<SelVector> Evaluator::EvalEq(const Expression& e,
       RELSERVE_RETURN_NOT_OK(EvalNumeric(left, sel, n, a.data()));
       RELSERVE_RETURN_NOT_OK(EvalNumeric(right, sel, n, b.data()));
       out.resize(n);
-      int64_t m = 0;
-      for (int64_t i = 0; i < n; ++i) {
-        out[m] = sel[i];
-        m += a[i] == b[i];
-      }
-      out.resize(m);
+      const kernels::PredicateKernels* pk =
+          kernels::GetPredicateKernels(kernels::ActiveSimdLevel());
+      out.resize(pk->eq_f64(a.data(), b.data(), sel, n, out.data()));
       return out;
     }
     case ValueType::kString: {
@@ -344,19 +339,11 @@ Result<SelVector> Evaluator::EvalBool(const Expression& e,
       RELSERVE_RETURN_NOT_OK(
           EvalNumeric(*e.children()[1], sel, n, b.data()));
       SelVector out(n);
-      int64_t m = 0;
-      if (e.kind() == ExprKind::kLt) {
-        for (int64_t i = 0; i < n; ++i) {
-          out[m] = sel[i];
-          m += a[i] < b[i];
-        }
-      } else {
-        for (int64_t i = 0; i < n; ++i) {
-          out[m] = sel[i];
-          m += a[i] <= b[i];
-        }
-      }
-      out.resize(m);
+      const kernels::PredicateKernels* pk =
+          kernels::GetPredicateKernels(kernels::ActiveSimdLevel());
+      const auto strip =
+          e.kind() == ExprKind::kLt ? pk->lt_f64 : pk->le_f64;
+      out.resize(strip(a.data(), b.data(), sel, n, out.data()));
       return out;
     }
     case ExprKind::kAbsDiffLe: {
@@ -367,12 +354,10 @@ Result<SelVector> Evaluator::EvalBool(const Expression& e,
           EvalNumeric(*e.children()[1], sel, n, b.data()));
       const double eps = e.epsilon();
       SelVector out(n);
-      int64_t m = 0;
-      for (int64_t i = 0; i < n; ++i) {
-        out[m] = sel[i];
-        m += std::fabs(a[i] - b[i]) <= eps;
-      }
-      out.resize(m);
+      const kernels::PredicateKernels* pk =
+          kernels::GetPredicateKernels(kernels::ActiveSimdLevel());
+      out.resize(pk->absdiff_le_f64(a.data(), b.data(), eps, sel, n,
+                                    out.data()));
       return out;
     }
     default: {
@@ -380,12 +365,9 @@ Result<SelVector> Evaluator::EvalBool(const Expression& e,
       std::vector<double> v(n);
       RELSERVE_RETURN_NOT_OK(EvalNumeric(e, sel, n, v.data()));
       SelVector out(n);
-      int64_t m = 0;
-      for (int64_t i = 0; i < n; ++i) {
-        out[m] = sel[i];
-        m += v[i] != 0.0;
-      }
-      out.resize(m);
+      const kernels::PredicateKernels* pk =
+          kernels::GetPredicateKernels(kernels::ActiveSimdLevel());
+      out.resize(pk->nonzero_f64(v.data(), sel, n, out.data()));
       return out;
     }
   }

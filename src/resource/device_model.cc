@@ -1,8 +1,49 @@
 #include "resource/device_model.h"
 
+#include <chrono>
+
 #include "common/logging.h"
+#include "kernels/kernels.h"
 
 namespace relserve {
+
+double CalibratedCpuGemmFlops() {
+  // One-shot probe, cached for the process: a 256^3 GEMM through the
+  // same dispatched micro-kernels serving uses (single thread — the
+  // cost model wants per-core throughput), best of 3 to shed cold
+  // caches and first-touch faults. Thread-safe via static-local init.
+  static const double calibrated = [] {
+    constexpr int64_t kDim = 256;
+    auto a = Tensor::Create(Shape{kDim, kDim}, nullptr);
+    auto b = Tensor::Create(Shape{kDim, kDim}, nullptr);
+    auto c = Tensor::Create(Shape{kDim, kDim}, nullptr);
+    if (!a.ok() || !b.ok() || !c.ok()) return kFallbackCpuGemmFlops;
+    float* pa = a->data();
+    float* pb = b->data();
+    // Deterministic non-trivial fill; values are irrelevant to timing
+    // but denormals would not be, so keep them O(1).
+    for (int64_t i = 0; i < kDim * kDim; ++i) {
+      pa[i] = 0.25f + static_cast<float>(i % 7) * 0.125f;
+      pb[i] = 0.5f - static_cast<float>(i % 5) * 0.0625f;
+    }
+    using Clock = std::chrono::steady_clock;
+    double best_seconds = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const Clock::time_point t0 = Clock::now();
+      const Status s = kernels::GemmInto(*a, *b, /*transpose_b=*/true,
+                                         /*accumulate=*/false, &*c,
+                                         /*pool=*/nullptr);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      if (!s.ok()) return kFallbackCpuGemmFlops;
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+    }
+    if (best_seconds <= 0.0) return kFallbackCpuGemmFlops;
+    return 2.0 * static_cast<double>(kDim) * static_cast<double>(kDim) *
+           static_cast<double>(kDim) / best_seconds;
+  }();
+  return calibrated;
+}
 
 const char* DeviceKindName(DeviceKind kind) {
   switch (kind) {

@@ -23,20 +23,27 @@ enum class DeviceKind { kCpu, kAccelerator };
 
 const char* DeviceKindName(DeviceKind kind);
 
-// Default CPU throughput for the cost model, re-calibrated against
-// the dispatched GEMM micro-kernels (`bench_kernels`, 512^3 fp32,
-// single thread, AVX2+FMA): ~75 GFLOP/s sustained on the reference
-// container vs ~11 GFLOP/s for the pre-micro-kernel scalar loops. A
-// faster CPU substrate shifts the producer-transfer-consumer balance
-// toward staying on the host, so keeping this constant honest keeps
-// the optimizer's device decisions honest.
-inline constexpr double kCalibratedCpuGemmFlops = 75e9;
+// Fallback CPU throughput for the cost model when the runtime probe
+// below cannot run (e.g. the timed GEMM itself fails): ~75 GFLOP/s was
+// measured on the original dev container (`bench_kernels`, 512^3 fp32,
+// single thread, AVX2+FMA).
+inline constexpr double kFallbackCpuGemmFlops = 75e9;
+
+// Measured CPU GEMM throughput in FLOP/s: a small timed GEMM runs
+// through the dispatched micro-kernels ONCE on first use (best of a
+// few repetitions, single thread) and the result is cached for the
+// process. A faster or slower CPU substrate shifts the
+// producer-transfer-consumer balance, so probing the actual machine —
+// instead of trusting a constant calibrated on someone else's dev box
+// — keeps the optimizer's device decisions honest.
+double CalibratedCpuGemmFlops();
 
 struct DeviceSpec {
   DeviceKind kind = DeviceKind::kCpu;
   std::string name = "cpu";
   // Sustained compute throughput in FLOP/s for dense linear algebra.
-  double flops_per_second = kCalibratedCpuGemmFlops;
+  // Defaults to the one-shot runtime calibration.
+  double flops_per_second = CalibratedCpuGemmFlops();
   // Host<->device link; irrelevant (infinite) for the host CPU.
   double transfer_bytes_per_second = 0.0;  // 0 => no transfer needed
   // Fixed per-kernel launch overhead in seconds.

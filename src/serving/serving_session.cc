@@ -1,6 +1,8 @@
 #include "serving/serving_session.h"
 
+#include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "common/failpoint.h"
 #include "engine/block_ops.h"
@@ -12,13 +14,19 @@ namespace relserve {
 
 namespace {
 
-// A plan's representation choices as a compact key ("uurru..."), the
-// identity under which AoT variants are cached.
+// A plan's representation and kernel-arm choices as a compact key
+// ("uurru..." plus arm/topk markers), the identity under which AoT
+// variants are cached. Two plans that agree on representations but
+// differ in kernel arms bind different weight forms and must not
+// share a compiled instance.
 std::string PlanSignature(const InferencePlan& plan) {
   std::string signature;
   signature.reserve(plan.decisions.size());
   for (const NodeDecision& d : plan.decisions) {
     signature += d.repr == Repr::kUdf ? 'u' : 'r';
+    if (d.arm == KernelArm::kInt8) signature += 'q';
+    if (d.arm == KernelArm::kSparse) signature += 's';
+    if (d.topk > 0) signature += 'k' + std::to_string(d.topk);
   }
   return signature;
 }
@@ -32,7 +40,11 @@ ServingSession::ServingSession(ServingConfig config)
       buffer_pool_(std::make_unique<BufferPool>(
           disk_.get(), config.buffer_pool_pages)),
       catalog_(std::make_unique<Catalog>(buffer_pool_.get())),
-      pool_(std::make_unique<ThreadPool>(config.num_threads)),
+      pool_(std::make_unique<ThreadPool>(
+          config.num_threads > 0
+              ? config.num_threads
+              : std::max(1, static_cast<int>(
+                                std::thread::hardware_concurrency())))),
       working_memory_("db-working-memory",
                       config.working_memory_bytes) {
   ctx_.tracker = &working_memory_;
@@ -101,7 +113,8 @@ Result<const InferencePlan*> ServingSession::Deploy(
   InferencePlan plan;
   switch (mode) {
     case ServingMode::kAdaptive: {
-      RuleBasedOptimizer optimizer(config_.memory_threshold_bytes);
+      RuleBasedOptimizer optimizer(config_.memory_threshold_bytes, nullptr,
+                                   config_.optimizer_tuning);
       RELSERVE_ASSIGN_OR_RETURN(plan,
                                 optimizer.Optimize(*model, batch_size));
       break;
@@ -140,7 +153,8 @@ Result<int> ServingSession::DeployAot(
   if (batch_sizes.empty()) {
     return Status::InvalidArgument("no batch sizes to compile for");
   }
-  RuleBasedOptimizer optimizer(config_.memory_threshold_bytes);
+  RuleBasedOptimizer optimizer(config_.memory_threshold_bytes, nullptr,
+                                   config_.optimizer_tuning);
   // Compile the variants outside the registry lock; in-flight queries
   // keep serving the old generation until the swap below.
   std::map<std::string, std::shared_ptr<Deployment>> variants;
@@ -196,7 +210,8 @@ ServingSession::GetDeployment(const std::string& model_name,
   if (batch_size >= 0 && has_aot) {
     auto model = models_.find(model_name);
     if (model != models_.end()) {
-      RuleBasedOptimizer optimizer(config_.memory_threshold_bytes);
+      RuleBasedOptimizer optimizer(config_.memory_threshold_bytes, nullptr,
+                                   config_.optimizer_tuning);
       auto plan = optimizer.Optimize(*model->second, batch_size);
       if (plan.ok()) {
         auto variant = aot->second.find(PlanSignature(*plan));

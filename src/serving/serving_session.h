@@ -47,7 +47,11 @@ struct ServingConfig {
   // Tensor block geometry for relation-centric execution.
   int64_t block_rows = 512;
   int64_t block_cols = 512;
-  int num_threads = 4;
+  // Worker threads for intra-query parallelism. 0 (the default)
+  // sizes the pool to the hardware: oversubscribing a small machine
+  // roughly doubles the latency of morsel-parallel kernels, so a
+  // fixed count is only for tests/benches that pin one deliberately.
+  int num_threads = 0;
   // Spill file path; empty = unique temp file.
   std::string spill_path;
   // Spill-file reliability knobs (CRC32C page checksums, re-read
@@ -58,6 +62,10 @@ struct ServingConfig {
   // PredictViaRuntime (see TransferLink in engine/connector.h). Zero
   // both fields for a free link.
   TransferLink connector_link;
+  // Kernel-arm knobs handed to the adaptive optimizer (int8 quantized
+  // arm, CSR sparse arm, fused top-k head). Defaults leave every arm
+  // off; RELSERVE_QUANTIZE further overrides the int8 arm at runtime.
+  OptimizerTuning optimizer_tuning;
 };
 
 enum class ServingMode {

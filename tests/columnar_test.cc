@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "engine/physical_plan.h"
+#include "kernels/cpu_features.h"
+#include "kernels/predicate_simd.h"
 #include "optimizer/scan_cost.h"
 #include "relational/column_batch.h"
 #include "relational/expression.h"
@@ -524,6 +527,125 @@ TEST(ColumnarGatherTest, RejectsWidthMismatchAndWrongType) {
   auto bad_type = ExecuteColumnarGather(stage, out->batches, 0, 2,
                                         "id", &tracker);
   EXPECT_TRUE(bad_type.status().IsInvalidArgument());
+}
+
+// -----------------------------------------------------------------------
+// Predicate SIMD strips: the AVX2 backend must emit a selection vector
+// bit-identical to the scalar reference on every input — including
+// NaN, signed zero, and denormal lanes — at every length (vector body
+// + scalar tail).
+// -----------------------------------------------------------------------
+
+TEST(PredicateSimdTest, Avx2SelectionBitIdenticalToScalar) {
+  const kernels::PredicateKernels* scalar =
+      kernels::GetScalarPredicateKernels();
+  const kernels::PredicateKernels* avx2 =
+      kernels::GetAvx2PredicateKernels();
+  ASSERT_NE(scalar, nullptr);
+  if (avx2 == nullptr ||
+      kernels::DetectSimdLevel() != kernels::SimdLevel::kAvx2) {
+    GTEST_SKIP() << "no AVX2 predicate backend on this host";
+  }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  // Values chosen so every comparison outcome and special-value rule
+  // is exercised in both the 4-wide body and the tail.
+  const std::vector<double> specials = {0.0,  -0.0,   1.0, -1.0, nan,
+                                        inf,  -inf,   denorm, 2.5,
+                                        -2.5, 1e300, -1e300};
+  for (int64_t n : {0, 1, 3, 4, 5, 7, 8, 64, 67}) {
+    std::vector<double> a(n), b(n);
+    std::vector<int64_t> ia(n), ib(n);
+    std::vector<int32_t> sel(n);
+    uint64_t state = 17 + static_cast<uint64_t>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      a[i] = specials[(state >> 33) % specials.size()];
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      b[i] = specials[(state >> 33) % specials.size()];
+      ia[i] = static_cast<int64_t>(state >> 61) - 4;
+      ib[i] = static_cast<int64_t>(state >> 62) - 2;
+      sel[i] = static_cast<int32_t>(i * 3 + 1);  // non-trivial sel ids
+    }
+    std::vector<int32_t> got(n), want(n);
+    auto check = [&](const char* what, int64_t wn, int64_t gn) {
+      ASSERT_EQ(wn, gn) << what << " n=" << n;
+      for (int64_t i = 0; i < wn; ++i) {
+        ASSERT_EQ(want[i], got[i]) << what << " n=" << n << " i=" << i;
+      }
+    };
+    check("lt_f64",
+          scalar->lt_f64(a.data(), b.data(), sel.data(), n, want.data()),
+          avx2->lt_f64(a.data(), b.data(), sel.data(), n, got.data()));
+    check("le_f64",
+          scalar->le_f64(a.data(), b.data(), sel.data(), n, want.data()),
+          avx2->le_f64(a.data(), b.data(), sel.data(), n, got.data()));
+    check("eq_f64",
+          scalar->eq_f64(a.data(), b.data(), sel.data(), n, want.data()),
+          avx2->eq_f64(a.data(), b.data(), sel.data(), n, got.data()));
+    check("absdiff_le_f64",
+          scalar->absdiff_le_f64(a.data(), b.data(), 1.5, sel.data(), n,
+                                 want.data()),
+          avx2->absdiff_le_f64(a.data(), b.data(), 1.5, sel.data(), n,
+                               got.data()));
+    check("eq_i64",
+          scalar->eq_i64(ia.data(), ib.data(), sel.data(), n,
+                         want.data()),
+          avx2->eq_i64(ia.data(), ib.data(), sel.data(), n, got.data()));
+    check("nonzero_f64",
+          scalar->nonzero_f64(a.data(), sel.data(), n, want.data()),
+          avx2->nonzero_f64(a.data(), sel.data(), n, got.data()));
+  }
+}
+
+TEST(PredicateSimdTest, SpecialValueSemanticsMatchCppOperators) {
+  // The strips must implement the C++ operator truth table exactly:
+  // ordered comparisons reject NaN, truthiness (!=) accepts it,
+  // -0.0 == 0.0 compares equal.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> a = {nan, 0.0, -0.0, nan};
+  const std::vector<double> b = {nan, -0.0, 0.0, 1.0};
+  const std::vector<int32_t> sel = {10, 11, 12, 13};
+  std::vector<int32_t> out(4);
+  for (const kernels::PredicateKernels* pk :
+       {kernels::GetScalarPredicateKernels(),
+        kernels::GetAvx2PredicateKernels()}) {
+    if (pk == nullptr) continue;
+    // NaN fails every ordered comparison; zeros compare equal.
+    EXPECT_EQ(pk->lt_f64(a.data(), b.data(), sel.data(), 4, out.data()),
+              0);
+    ASSERT_EQ(
+        pk->eq_f64(a.data(), b.data(), sel.data(), 4, out.data()), 2);
+    EXPECT_EQ(out[0], 11);
+    EXPECT_EQ(out[1], 12);
+    // Truthiness: NaN != 0.0 is true, both zeros are falsy.
+    ASSERT_EQ(pk->nonzero_f64(a.data(), sel.data(), 4, out.data()), 2);
+    EXPECT_EQ(out[0], 10);
+    EXPECT_EQ(out[1], 13);
+    // |NaN - x| <= eps is false (NaN poisons the difference).
+    EXPECT_EQ(pk->absdiff_le_f64(a.data(), b.data(), 100.0, sel.data(),
+                                 4, out.data()),
+              2);
+  }
+}
+
+TEST(PredicateSimdTest, VectorizedFilterIdenticalAcrossSimdLevels) {
+  // End-to-end: the same columnar filter query must select the same
+  // rows whichever predicate backend the evaluator dispatches to.
+  DualTable t(257);
+  ExprPtr pred = Expression::Binary(ExprKind::kLt, Expression::Column(1),
+                                    Expression::Literal(Value(2.0)));
+  auto run = [&](kernels::SimdLevel level) {
+    kernels::SetActiveSimdLevel(level);
+    auto rows = t.ColumnarPath(pred);
+    kernels::SetActiveSimdLevel(kernels::DetectSimdLevel());
+    return rows;
+  };
+  const std::vector<Row> scalar_rows = run(kernels::SimdLevel::kScalar);
+  const std::vector<Row> avx2_rows = run(kernels::SimdLevel::kAvx2);
+  EXPECT_FALSE(scalar_rows.empty());
+  ExpectSameRows(scalar_rows, avx2_rows);
 }
 
 }  // namespace
