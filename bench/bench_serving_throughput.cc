@@ -16,6 +16,8 @@
 //
 // Env knobs:
 //   RELSERVE_SERVE_REQUESTS — requests per client (default 32)
+//   RELSERVE_BENCH_CLIENTS  — comma-separated client counts to sweep
+//                             (default "1,8,32")
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +42,22 @@ const char* kModel = "Caching-FFNN";
 int RequestsPerClient() {
   const char* s = std::getenv("RELSERVE_SERVE_REQUESTS");
   return s != nullptr ? std::atoi(s) : 32;
+}
+
+// RELSERVE_BENCH_CLIENTS="1,8,64" overrides the swept client counts
+// (machines with more cores want wider sweeps; CI wants narrower).
+std::vector<int> ClientCounts() {
+  const char* s = std::getenv("RELSERVE_BENCH_CLIENTS");
+  if (s == nullptr || *s == '\0') return {1, 8, 32};
+  std::vector<int> counts;
+  for (const char* p = s; *p != '\0';) {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p) break;  // malformed tail: keep what parsed
+    if (v > 0) counts.push_back(static_cast<int>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return counts.empty() ? std::vector<int>{1, 8, 32} : counts;
 }
 
 struct RunResult {
@@ -280,7 +298,7 @@ Status Run() {
   }
 
   const int per_client = RequestsPerClient();
-  const std::vector<int> client_counts = {1, 8, 32};
+  const std::vector<int> client_counts = ClientCounts();
   const std::vector<int64_t> delays_us = {0, 200, 1000};
 
   std::printf("Concurrent serving front-end: closed-loop clients, "

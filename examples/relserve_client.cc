@@ -1,0 +1,85 @@
+// relserve_client: CLI for the relserve wire protocol.
+//
+//   $ ./build/examples/relserve_client [port] ping
+//   $ ./build/examples/relserve_client [port] predict [rows]
+//   $ ./build/examples/relserve_client [port] stats
+//
+// (port defaults to 7543 — pass it first when the server picked a
+// different one.) `predict` ships a [rows, 28] float batch to the
+// fraud-detector model the server deploys at boot and prints the
+// first prediction row.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/client.h"
+#include "tensor/tensor.h"
+
+using relserve::Shape;
+using relserve::Tensor;
+using relserve::net::NetClient;
+
+int main(int argc, char** argv) {
+  int arg = 1;
+  uint16_t port = 7543;
+  if (arg < argc && std::atoi(argv[arg]) > 0) {
+    port = static_cast<uint16_t>(std::atoi(argv[arg++]));
+  }
+  const std::string cmd = arg < argc ? argv[arg++] : "ping";
+
+  auto client = NetClient::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (cmd == "ping") {
+    if (auto s = (*client)->Ping(); !s.ok()) {
+      std::fprintf(stderr, "ping: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (cmd == "stats") {
+    auto json = (*client)->Stats();
+    if (!json.ok()) {
+      std::fprintf(stderr, "stats: %s\n",
+                   json.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+  if (cmd == "predict") {
+    const int64_t rows = arg < argc ? std::atoll(argv[arg]) : 4;
+    auto input = Tensor::Zeros(Shape({rows, 28}));
+    if (!input.ok()) {
+      std::fprintf(stderr, "alloc: %s\n",
+                   input.status().ToString().c_str());
+      return 1;
+    }
+    float* data = input->data();
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < 28; ++c) {
+        data[r * 28 + c] = 0.01f * static_cast<float>(r + c);
+      }
+    }
+    auto out = (*client)->Predict("fraud-detector", *input);
+    if (!out.ok()) {
+      std::fprintf(stderr, "predict: %s\n",
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("predictions %s; row 0 = [%.4f, %.4f]\n",
+                out->shape().ToString().c_str(), out->At(0, 0),
+                out->At(0, 1));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s' "
+               "(ping | predict [rows] | stats)\n", cmd.c_str());
+  return 1;
+}

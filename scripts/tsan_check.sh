@@ -32,13 +32,18 @@ UBSAN_DIR="${2:-build-ubsan}"
 # quantized_kernels_test runs the int8/sparse/top-k kernel arms under
 # row-morsel parallelism (per-worker quantization scratch and
 # selectors, asserting bit-identical output at every thread count)
-# and their SIMD dispatch tables under UBSan.
+# and their SIMD dispatch tables under UBSan. net_serving_test drives
+# the epoll server's shared write path (scheduler threads encoding and
+# flushing replies directly under per-connection write mutexes, both
+# callback and completer-pool completion modes, inflight counters,
+# drain-on-shutdown) under TSan, and the wire codec's memcpy-cursor
+# frame parsing over torn and corrupted frames under UBSan.
 TSAN_TESTS=(resource_test storage_test block_ops_test kernels_test
             executor_test serving_concurrency_test chaos_test
-            columnar_test quantized_kernels_test)
+            columnar_test quantized_kernels_test net_serving_test)
 UBSAN_TESTS=(kernels_test tensor_test block_ops_test executor_test
             plan_text_test chaos_test columnar_test
-            quantized_kernels_test)
+            quantized_kernels_test net_serving_test)
 
 cmake -B "$BUILD_DIR" -S . -DRELSERVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -81,6 +81,7 @@ bool ParseCode(const std::string& name, StatusCode* out) {
       {"OutOfMemory", StatusCode::kOutOfMemory},
       {"DeadlineExceeded", StatusCode::kDeadlineExceeded},
       {"NotFound", StatusCode::kNotFound},
+      {"ProtocolError", StatusCode::kProtocolError},
   };
   auto it = kCodes.find(name);
   if (it == kCodes.end()) return false;

@@ -1,0 +1,98 @@
+#include "common/io_util.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/failpoint.h"
+
+namespace relserve {
+namespace io {
+
+namespace {
+
+// Evaluates the per-attempt failpoints shared by every full-transfer
+// loop: returns true when the attempt must report EINTR; otherwise
+// caps *req when the short-transfer site fired.
+bool InjectEintrOrShort(const char* eintr_site, const char* short_site,
+                        int64_t* req) {
+  if (!failpoint::AnyActive()) return false;
+  if (eintr_site != nullptr &&
+      failpoint::Evaluate(eintr_site).fired) {
+    errno = EINTR;
+    return true;
+  }
+  if (short_site != nullptr &&
+      failpoint::Evaluate(short_site).fired) {
+    *req = std::max<int64_t>(1, *req / 2);
+  }
+  return false;
+}
+
+}  // namespace
+
+Status PreadFull(int fd, char* buf, int64_t len, int64_t offset,
+                 const char* eintr_site, const char* short_site,
+                 int64_t* out_done) {
+  int64_t done = 0;
+  while (done < len) {
+    int64_t req = len - done;
+    ssize_t n;
+    if (InjectEintrOrShort(eintr_site, short_site, &req)) {
+      n = -1;
+    } else {
+      n = ::pread(fd, buf + done, static_cast<size_t>(req),
+                  offset + done);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread at offset " +
+                             std::to_string(offset + done));
+    }
+    if (n == 0) break;  // past EOF
+    done += n;
+  }
+  *out_done = done;
+  return Status::OK();
+}
+
+Status PwriteFull(int fd, const char* buf, int64_t len, int64_t offset,
+                  const char* eintr_site, const char* short_site) {
+  int64_t done = 0;
+  while (done < len) {
+    int64_t req = len - done;
+    ssize_t n;
+    if (InjectEintrOrShort(eintr_site, short_site, &req)) {
+      n = -1;
+    } else {
+      n = ::pwrite(fd, buf + done, static_cast<size_t>(req),
+                   offset + done);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite at offset " +
+                             std::to_string(offset + done));
+    }
+    done += n;
+  }
+  return Status::OK();
+}
+
+ssize_t ReadSome(int fd, char* buf, size_t len,
+                 const char* short_site) {
+  if (short_site != nullptr && failpoint::AnyActive() &&
+      failpoint::Evaluate(short_site).fired) {
+    // Deliver the stream a few bytes at a time: every frame boundary
+    // lands mid-header or mid-payload, forcing the reassembly path.
+    len = std::min<size_t>(len, 3);
+  }
+  return RetryEintr([&] { return ::read(fd, buf, len); });
+}
+
+ssize_t WriteSome(int fd, const char* buf, size_t len) {
+  return RetryEintr([&] { return ::write(fd, buf, len); });
+}
+
+}  // namespace io
+}  // namespace relserve

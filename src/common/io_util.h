@@ -1,0 +1,69 @@
+// Shared EINTR-resume I/O loops (DESIGN.md "Fault model & recovery",
+// "Network serving front-end").
+//
+// Every raw syscall this codebase performs — positioned file I/O in
+// DiskManager, socket accept/read/write and epoll_wait in src/net/ —
+// can be interrupted by a signal and return EINTR, or transfer fewer
+// bytes than requested. The resume loops live here, in one place, so
+// the storage and network paths share a single audited implementation
+// instead of each growing its own subtly different copy.
+//
+// The positioned full-transfer loops carry optional failpoint sites
+// ("<site>.eintr" forces an EINTR return, "<site>.short" caps one
+// transfer) so tests drive both resume branches deterministically —
+// the same instrumentation DiskManager has had since PR 4, now reused
+// by the socket layer.
+
+#ifndef RELSERVE_COMMON_IO_UTIL_H_
+#define RELSERVE_COMMON_IO_UTIL_H_
+
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace relserve {
+namespace io {
+
+// Calls `fn` (a syscall returning ssize_t/int with errno semantics)
+// until it returns >= 0 or fails with an errno other than EINTR.
+// The canonical wrapper for accept4 / read / write / epoll_wait.
+template <typename Fn>
+inline auto RetryEintr(Fn&& fn) -> decltype(fn()) {
+  decltype(fn()) n;
+  do {
+    n = fn();
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+// Full positioned read with EINTR resume. Returns the bytes actually
+// read in *out_done — short only at EOF. `eintr_site` / `short_site`
+// are failpoint names driving the resume branches in tests; either
+// may be null to skip instrumentation.
+Status PreadFull(int fd, char* buf, int64_t len, int64_t offset,
+                 const char* eintr_site, const char* short_site,
+                 int64_t* out_done);
+
+// Full positioned write with EINTR resume and short-write
+// continuation, failpoint-instrumented like PreadFull.
+Status PwriteFull(int fd, const char* buf, int64_t len, int64_t offset,
+                  const char* eintr_site, const char* short_site);
+
+// One read() with EINTR resume. Returns the syscall result: > 0 bytes
+// read, 0 at EOF/half-close, or -1 with errno (EAGAIN/EWOULDBLOCK on
+// a drained non-blocking socket). `short_site`, when armed, caps the
+// requested length to a few bytes so frame-reassembly paths see
+// maximally fragmented input deterministically.
+ssize_t ReadSome(int fd, char* buf, size_t len,
+                 const char* short_site = nullptr);
+
+// One write() with EINTR resume; same contract as ReadSome.
+ssize_t WriteSome(int fd, const char* buf, size_t len);
+
+}  // namespace io
+}  // namespace relserve
+
+#endif  // RELSERVE_COMMON_IO_UTIL_H_

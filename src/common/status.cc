@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kProtocolError:
+      return "ProtocolError";
   }
   return "Unknown";
 }

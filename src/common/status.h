@@ -35,6 +35,13 @@ enum class StatusCode {
   // is quarantined until rewritten (DESIGN.md "Fault model &
   // recovery").
   kDataLoss,
+  // The network front-end received bytes that violate the wire
+  // protocol: bad magic/version, a malformed frame body, or a frame
+  // whose declared length exceeds the server's cap (oversized frames
+  // close the connection instead of allocating unbounded buffers).
+  // Maps onto the wire status byte (DESIGN.md "Network serving
+  // front-end").
+  kProtocolError,
 };
 
 // Human-readable name for a status code, e.g. "OutOfMemory".
@@ -82,6 +89,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
@@ -97,6 +107,9 @@ class Status {
   }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsProtocolError() const {
+    return code_ == StatusCode::kProtocolError;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

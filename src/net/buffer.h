@@ -1,0 +1,97 @@
+// net::Buffer: the per-connection growable byte ring used on both
+// sides of a socket (DESIGN.md "Network serving front-end").
+//
+// Layout is a single contiguous array with a moving read head —
+// [ consumed | readable | writable ] — the classic network-buffer
+// shape (muduo/netty): readable bytes stay contiguous so the frame
+// decoder can parse headers in place and memcpy a predict payload
+// straight into an aligned Tensor buffer, with no intermediate Row
+// boxing and no two-segment stitching a true circular ring would
+// force on every frame.
+//
+// The ring behavior comes from head recycling: consumed space at the
+// front is reclaimed either when the buffer empties (free — pointers
+// reset) or by one memmove when a reserve would otherwise grow the
+// array while most of it is dead space. Growth is amortized-doubling
+// and bounded by the server's frame cap — an oversized frame is
+// rejected before any reserve happens.
+
+#ifndef RELSERVE_NET_BUFFER_H_
+#define RELSERVE_NET_BUFFER_H_
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+namespace relserve {
+namespace net {
+
+class Buffer {
+ public:
+  // --- Read side -----------------------------------------------------
+
+  const char* data() const { return storage_.data() + head_; }
+  // Mutable view of the readable span — the frame encoder patches a
+  // frame's length prefix in place after appending its body (offsets
+  // relative to data() are stable across Append: compaction only
+  // drops already-consumed bytes off the front).
+  char* mutable_data() { return storage_.data() + head_; }
+  size_t size() const { return tail_ - head_; }
+  bool empty() const { return head_ == tail_; }
+
+  // Drops `n` readable bytes off the front (n <= size()).
+  void Consume(size_t n) {
+    head_ += n;
+    if (head_ == tail_) {
+      head_ = 0;
+      tail_ = 0;
+    }
+  }
+
+  void Clear() {
+    head_ = 0;
+    tail_ = 0;
+  }
+
+  // --- Write side ----------------------------------------------------
+
+  // Contiguous uninitialized space for at least `n` more bytes;
+  // commit what was actually produced with CommitWrite. Recycles the
+  // consumed front span by memmove before growing the array.
+  char* WritableSpan(size_t n) {
+    if (storage_.size() - tail_ < n) {
+      if (head_ > 0) {
+        std::memmove(storage_.data(), storage_.data() + head_,
+                     tail_ - head_);
+        tail_ -= head_;
+        head_ = 0;
+      }
+      if (storage_.size() - tail_ < n) {
+        size_t grown = storage_.empty() ? 1024 : storage_.size();
+        while (grown - tail_ < n) grown *= 2;
+        storage_.resize(grown);
+      }
+    }
+    return storage_.data() + tail_;
+  }
+
+  void CommitWrite(size_t n) { tail_ += n; }
+
+  void Append(const void* p, size_t n) {
+    std::memcpy(WritableSpan(n), p, n);
+    CommitWrite(n);
+  }
+
+  // Bytes currently held by the backing array (telemetry).
+  size_t capacity() const { return storage_.size(); }
+
+ private:
+  std::vector<char> storage_;
+  size_t head_ = 0;  // first readable byte
+  size_t tail_ = 0;  // one past last readable byte
+};
+
+}  // namespace net
+}  // namespace relserve
+
+#endif  // RELSERVE_NET_BUFFER_H_

@@ -1,0 +1,156 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/io_util.h"
+
+namespace relserve {
+namespace net {
+
+Result<std::unique_ptr<NetClient>> NetClient::Connect(
+    const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address " + host);
+  }
+  const int rc = static_cast<int>(io::RetryEintr([&] {
+    return ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  }));
+  if (rc != 0) {
+    const Status status = Status::IOError(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<NetClient>(new NetClient(fd));
+}
+
+NetClient::~NetClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status NetClient::FlushOut() {
+  while (!out_.empty()) {
+    const ssize_t n = io::WriteSome(fd_, out_.data(), out_.size());
+    if (n < 0) {
+      // Blocking socket: only real errors land here.
+      return Status::IOError(std::string("write: ") +
+                             std::strerror(errno));
+    }
+    out_.Consume(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status NetClient::SendPredict(uint64_t request_id,
+                              const std::string& model,
+                              const Tensor& input,
+                              int64_t deadline_us) {
+  AppendPredictRequest(request_id, model, input, deadline_us, &out_);
+  return FlushOut();
+}
+
+Status NetClient::SendPing(uint64_t request_id) {
+  AppendPingFrame(request_id, /*is_reply=*/false, &out_);
+  return FlushOut();
+}
+
+Result<Reply> NetClient::ReceiveReply() {
+  while (true) {
+    if (in_.size() >= kLenPrefixBytes) {
+      uint32_t frame_len = 0;
+      std::memcpy(&frame_len, in_.data(), sizeof(frame_len));
+      if (frame_len < kFrameHeaderBytes) {
+        return Status::ProtocolError(
+            "reply frame length " + std::to_string(frame_len) +
+            " below header size");
+      }
+      if (in_.size() >= kLenPrefixBytes + frame_len) {
+        const char* frame = in_.data() + kLenPrefixBytes;
+        RELSERVE_ASSIGN_OR_RETURN(
+            FrameHeader header,
+            DecodeFrameHeader(frame, frame_len));
+        Result<Reply> reply =
+            DecodeReply(header, frame + kFrameHeaderBytes,
+                        frame_len - kFrameHeaderBytes);
+        in_.Consume(kLenPrefixBytes + frame_len);
+        return reply;
+      }
+    }
+    char* span = in_.WritableSpan(64 * 1024);
+    const ssize_t n = io::ReadSome(fd_, span, 64 * 1024);
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (n < 0) {
+      return Status::IOError(std::string("read: ") +
+                             std::strerror(errno));
+    }
+    in_.CommitWrite(static_cast<size_t>(n));
+  }
+}
+
+Result<Tensor> NetClient::Predict(const std::string& model,
+                                  const Tensor& input,
+                                  int64_t deadline_us) {
+  const uint64_t id = next_request_id_++;
+  RELSERVE_RETURN_NOT_OK(SendPredict(id, model, input, deadline_us));
+  RELSERVE_ASSIGN_OR_RETURN(Reply reply, ReceiveReply());
+  if (reply.header.request_id != id) {
+    return Status::ProtocolError(
+        "reply id " + std::to_string(reply.header.request_id) +
+        " does not match request id " + std::to_string(id));
+  }
+  RELSERVE_RETURN_NOT_OK(reply.status);
+  return std::move(reply.tensor);
+}
+
+Status NetClient::Deploy(const std::string& model, uint8_t mode,
+                         int64_t batch_size) {
+  const uint64_t id = next_request_id_++;
+  AppendDeployRequest(id, model, mode, batch_size, &out_);
+  RELSERVE_RETURN_NOT_OK(FlushOut());
+  RELSERVE_ASSIGN_OR_RETURN(Reply reply, ReceiveReply());
+  return reply.status;
+}
+
+Result<std::string> NetClient::Stats() {
+  const uint64_t id = next_request_id_++;
+  AppendStatsRequest(id, &out_);
+  RELSERVE_RETURN_NOT_OK(FlushOut());
+  RELSERVE_ASSIGN_OR_RETURN(Reply reply, ReceiveReply());
+  RELSERVE_RETURN_NOT_OK(reply.status);
+  return reply.text;
+}
+
+Status NetClient::Ping() {
+  const uint64_t id = next_request_id_++;
+  RELSERVE_RETURN_NOT_OK(SendPing(id));
+  RELSERVE_ASSIGN_OR_RETURN(Reply reply, ReceiveReply());
+  return reply.status;
+}
+
+void NetClient::CloseWrite() { ::shutdown(fd_, SHUT_WR); }
+
+}  // namespace net
+}  // namespace relserve

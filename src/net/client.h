@@ -1,0 +1,83 @@
+// NetClient: a blocking client for the relserve wire protocol.
+//
+// One connection, synchronous request/reply by default; the split
+// Send*/ReceiveReply half is public so load generators can pipeline
+// many outstanding requests on a single socket (replies carry the
+// request id, so matching is the caller's choice of map or FIFO).
+// The benchmark's epoll load generator uses the frame encoders from
+// wire.h directly; this class is the simple path for examples, tests,
+// and the CLI.
+
+#ifndef RELSERVE_NET_CLIENT_H_
+#define RELSERVE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "net/buffer.h"
+#include "net/wire.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+namespace net {
+
+class NetClient {
+ public:
+  static Result<std::unique_ptr<NetClient>> Connect(
+      const std::string& host, uint16_t port);
+
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  // --- Synchronous round trips ---------------------------------------
+
+  // Ships `input` ([rows, dim] float32), returns the prediction
+  // tensor. A typed non-OK reply status (DeadlineExceeded shed,
+  // NotFound model, ...) comes back as that Status.
+  Result<Tensor> Predict(const std::string& model, const Tensor& input,
+                         int64_t deadline_us = 0);
+
+  // mode: 0 adaptive / 1 force-udf / 2 force-relational.
+  Status Deploy(const std::string& model, uint8_t mode,
+                int64_t batch_size);
+
+  // The server's stats JSON (scheduler + network counters).
+  Result<std::string> Stats();
+
+  Status Ping();
+
+  // --- Pipelining half -----------------------------------------------
+  //
+  // Send* enqueue one frame and flush it; ReceiveReply blocks for the
+  // next reply frame in stream order. Request ids are caller-chosen.
+
+  Status SendPredict(uint64_t request_id, const std::string& model,
+                     const Tensor& input, int64_t deadline_us = 0);
+  Status SendPing(uint64_t request_id);
+  Result<Reply> ReceiveReply();
+
+  // Half-close: shutdown(SHUT_WR). The server answers everything in
+  // flight, then closes; ReceiveReply still drains those replies.
+  void CloseWrite();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit NetClient(int fd) : fd_(fd) {}
+
+  Status FlushOut();
+
+  int fd_ = -1;
+  Buffer out_;
+  Buffer in_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace relserve
+
+#endif  // RELSERVE_NET_CLIENT_H_

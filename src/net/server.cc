@@ -1,0 +1,747 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+
+#include "common/failpoint.h"
+#include "common/io_util.h"
+
+namespace relserve {
+namespace net {
+
+namespace {
+
+// Per-readiness-event read budget: level-triggered + re-arm means a
+// firehose connection simply fires again, so capping one event keeps
+// the loop fair across hundreds of sockets.
+constexpr size_t kReadChunk = 64 * 1024;
+constexpr int64_t kMaxReadPerEvent = 1 << 20;
+
+// Bit-flips land in the magic/version bytes so an injected corrupt
+// frame is always *detectably* corrupt (a payload flip would be
+// silent wrong bits — the opposite of what the fuzz test asserts).
+constexpr size_t kCorruptRegionBytes = 5;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<NetServer>> NetServer::Start(
+    ServingSession* session, RequestScheduler* scheduler,
+    NetServerConfig config) {
+  std::unique_ptr<NetServer> server(
+      new NetServer(session, scheduler, config));
+  RELSERVE_RETURN_NOT_OK(server->Listen());
+  for (auto& loop : server->loops_) {
+    loop->thread =
+        std::thread(&NetServer::LoopThread, server.get(), loop.get());
+  }
+  if (config.use_completer_pool) {
+    const int completers = std::max(1, config.num_completers);
+    server->completers_.reserve(completers);
+    for (int i = 0; i < completers; ++i) {
+      server->completers_.emplace_back(&NetServer::CompleterThread,
+                                       server.get());
+    }
+  }
+  return server;
+}
+
+NetServer::NetServer(ServingSession* session,
+                     RequestScheduler* scheduler, NetServerConfig config)
+    : session_(session),
+      scheduler_(scheduler),
+      config_(config),
+      // Large enough that completion handoff never blocks a loop in
+      // practice: outstanding completions are bounded by the
+      // scheduler's admission queue anyway.
+      completions_(1 << 16) {}
+
+NetServer::~NetServer() { Shutdown(); }
+
+Status NetServer::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                     SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address " +
+                                   config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IOError(std::string("bind: ") +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) {
+    return Status::IOError(std::string("listen: ") +
+                           std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+
+  int num_loops = config_.num_loops;
+  if (num_loops <= 0) {
+    // One shard per ~4 cores, capped: the loops only read, decode,
+    // and re-arm (completers write replies), so a few go a long way —
+    // and on a small machine extra shards are pure context-switch
+    // overhead.
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_loops = std::max(1, std::min(4, static_cast<int>(hw / 4)));
+  }
+  loops_.reserve(num_loops);
+  for (int i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epoll_fd < 0) {
+      return Status::IOError(std::string("epoll_create1: ") +
+                             std::strerror(errno));
+    }
+    if (::pipe2(loop->wake_pipe, O_NONBLOCK | O_CLOEXEC) != 0) {
+      return Status::IOError(std::string("pipe2: ") +
+                             std::strerror(errno));
+    }
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    // EPOLLEXCLUSIVE: one shard wakes per pending accept, and the
+    // kernel spreads connections across shards for us — no handoff
+    // machinery between loops.
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.u64 = 0;  // 0 = the listen socket
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) !=
+        0) {
+      return Status::IOError(std::string("epoll_ctl(listen): ") +
+                             std::strerror(errno));
+    }
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = 1;  // 1 = the wakeup pipe
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_pipe[0],
+                    &ev) != 0) {
+      return Status::IOError(std::string("epoll_ctl(wake): ") +
+                             std::strerror(errno));
+    }
+    loops_.push_back(std::move(loop));
+  }
+  return Status::OK();
+}
+
+void NetServer::WakeLoop(EventLoop* loop) {
+  // Collapse bursts: the loop clears wake_pending before draining, so
+  // exactly one byte is in flight per loop iteration no matter how
+  // many completions land meanwhile.
+  if (loop->wake_pending.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  const char byte = 1;
+  // Nonblocking; a full pipe already guarantees a pending wakeup.
+  (void)io::WriteSome(loop->wake_pipe[1], &byte, 1);
+}
+
+void NetServer::AcceptAll(EventLoop* loop) {
+  while (true) {
+    const int fd = static_cast<int>(io::RetryEintr([&] {
+      return ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    }));
+    if (fd < 0) return;  // EAGAIN (or transient accept failure)
+    const int one = 1;
+    // Replies are small frames on a request/response cycle; Nagle
+    // would add 40ms to every closed-loop client.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    conn->loop = loop;
+    conn->last_activity_ms.store(NowMs(), std::memory_order_relaxed);
+    loop->conns.emplace(conn->id, conn);
+    stats_.connections_accepted.fetch_add(1,
+                                          std::memory_order_relaxed);
+
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+    ev.data.u64 = conn->id + 2;  // ids 0/1 are listen/wake
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      CloseConnection(conn);
+    }
+  }
+}
+
+void NetServer::CloseConnection(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->state == Connection::State::kClosed) return;
+  ::epoll_ctl(conn->loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  {
+    // Under write_mu so the close can never race a completer's
+    // direct write — after this, completers see kClosed and skip.
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    conn->state = Connection::State::kClosed;
+    ::close(conn->fd);
+  }
+  conn->loop->conns.erase(conn->id);
+  stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool NetServer::FlushLocked(Connection* conn) {
+  while (!conn->out.empty()) {
+    const ssize_t n = io::WriteSome(conn->fd, conn->out.data(),
+                                    conn->out.size());
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;  // peer reset mid-write
+    }
+    conn->out.Consume(static_cast<size_t>(n));
+    stats_.bytes_out.fetch_add(n, std::memory_order_relaxed);
+  }
+  conn->last_activity_ms.store(NowMs(), std::memory_order_relaxed);
+  return true;
+}
+
+void NetServer::FlushWrites(const std::shared_ptr<Connection>& conn) {
+  size_t backlog = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->state == Connection::State::kClosed) return;
+    if (!FlushLocked(conn.get())) {
+      conn->broken = true;
+    }
+    if (!conn->broken) backlog = conn->out.size();
+  }
+  if (conn->broken) {
+    // Unlocked first: CloseConnection retakes write_mu.
+    CloseConnection(conn);
+    return;
+  }
+  // Backpressure: a connection that won't drain its replies stops
+  // being read until it does — the client can't run the server out
+  // of reply memory by never reading.
+  conn->reading_paused =
+      static_cast<int64_t>(backlog) > config_.write_buffer_limit;
+}
+
+bool NetServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                              const char* frame, size_t len) {
+  Result<FrameHeader> header_or = DecodeFrameHeader(frame, len);
+  if (!header_or.ok()) {
+    // Unframeable: the stream has no trustworthy boundaries past this
+    // point. Best-effort typed reply (request id unknown — 0), close.
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      AppendErrorReply(0, Opcode::kPing, header_or.status(),
+                       &conn->out);
+      stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      FlushLocked(conn.get());  // best-effort: we close either way
+    }
+    CloseConnection(conn);
+    return false;
+  }
+  const FrameHeader header = *header_or;
+  const char* body = frame + kFrameHeaderBytes;
+  const size_t body_len = len - kFrameHeaderBytes;
+  stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+
+  switch (header.opcode) {
+    case Opcode::kPing: {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      AppendPingFrame(header.request_id, /*is_reply=*/true,
+                      &conn->out);
+      stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    case Opcode::kStats: {
+      const std::string json = StatsJson();
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      AppendTextReply(header.request_id, Opcode::kStats, Status::OK(),
+                      json, &conn->out);
+      stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    case Opcode::kDeploy: {
+      Result<DeployRequest> req_or =
+          DecodeDeployRequest(body, body_len);
+      if (!req_or.ok()) {
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        AppendErrorReply(header.request_id, Opcode::kDeploy,
+                         req_or.status(), &conn->out);
+        stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+        return true;  // body-level error: framing is still sound
+      }
+      static constexpr ServingMode kModes[] = {
+          ServingMode::kAdaptive, ServingMode::kForceUdf,
+          ServingMode::kForceRelational};
+      // Deploy compiles a plan (tens of microseconds) inline on the
+      // loop thread; it is a control-plane rarity, not a hot path.
+      const Status status =
+          session_
+              ->Deploy(req_or->model, kModes[req_or->mode],
+                       req_or->batch_size)
+              .status();
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      AppendTextReply(header.request_id, Opcode::kDeploy, status,
+                      status.ok() ? "deployed" : status.message(),
+                      &conn->out);
+      stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    case Opcode::kPredict: {
+      Result<PredictRequest> req_or =
+          DecodePredictRequest(body, body_len);
+      if (!req_or.ok()) {
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        AppendErrorReply(header.request_id, Opcode::kPredict,
+                         req_or.status(), &conn->out);
+        stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // The single ingress copy: payload bytes leave the read ring
+      // straight into an aligned Tensor the coalescer/GEMM tile path
+      // consumes — no Row boxing in between.
+      Result<Tensor> input_or = PredictInputTensor(*req_or);
+      if (!input_or.ok()) {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        AppendErrorReply(header.request_id, Opcode::kPredict,
+                         input_or.status(), &conn->out);
+        stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+      if (config_.use_completer_pool) {
+        // Futures path: a completer pops the pair and blocks on the
+        // future; admission control happens inside SubmitBatch (a
+        // full queue resolves it immediately with Unavailable).
+        Completion completion;
+        completion.future =
+            scheduler_
+                ->SubmitBatch(req_or->model, std::move(*input_or),
+                              req_or->deadline_us)
+                .share();
+        completion.conn = conn;
+        completion.request_id = header.request_id;
+        completions_.Push(std::move(completion));
+        return true;
+      }
+      // Callback path: whichever scheduler thread resolves the
+      // request (worker after the batch, dispatcher/submitter for
+      // sheds) encodes and flushes the reply right there.
+      const uint64_t request_id = header.request_id;
+      callbacks_outstanding_.fetch_add(1, std::memory_order_acq_rel);
+      scheduler_->SubmitBatchCallback(
+          req_or->model, std::move(*input_or), req_or->deadline_us,
+          [this, conn, request_id](Result<Tensor> result) {
+            CompleteRequest(conn, request_id, std::move(result));
+            if (callbacks_outstanding_.fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+              std::lock_guard<std::mutex> lock(cb_mu_);
+              cb_cv_.notify_all();
+            }
+          });
+      return true;
+    }
+  }
+  return true;
+}
+
+bool NetServer::DrainFrames(const std::shared_ptr<Connection>& conn) {
+  while (conn->in.size() >= kLenPrefixBytes) {
+    uint32_t frame_len = 0;
+    std::memcpy(&frame_len, conn->in.data(), sizeof(frame_len));
+    if (frame_len < kFrameHeaderBytes ||
+        static_cast<int64_t>(frame_len) > config_.max_frame_bytes) {
+      // The cap is enforced on the *declared* length, before any
+      // buffer ever grows toward it.
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        AppendErrorReply(
+            0, Opcode::kPing,
+            Status::ProtocolError(
+                "declared frame length " + std::to_string(frame_len) +
+                " outside [16, " +
+                std::to_string(config_.max_frame_bytes) + "]"),
+            &conn->out);
+        stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+        FlushLocked(conn.get());  // best-effort: we close either way
+      }
+      CloseConnection(conn);
+      return false;
+    }
+    if (conn->in.size() < kLenPrefixBytes + frame_len) {
+      return true;  // partial frame: wait for more bytes
+    }
+    char* frame = conn->in.mutable_data() + kLenPrefixBytes;
+    if (failpoint::AnyActive()) {
+      const failpoint::Eval eval =
+          failpoint::Evaluate("net.frame.corrupt");
+      if (eval.fired) {
+        const size_t bit =
+            eval.payload % (kCorruptRegionBytes * 8);
+        frame[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+      }
+    }
+    const bool alive = DispatchFrame(conn, frame, frame_len);
+    if (!alive) return false;
+    conn->in.Consume(kLenPrefixBytes + frame_len);
+  }
+  return true;
+}
+
+void NetServer::HandleReadable(
+    const std::shared_ptr<Connection>& conn) {
+  int64_t read_this_event = 0;
+  while (read_this_event < kMaxReadPerEvent) {
+    char* span = conn->in.WritableSpan(kReadChunk);
+    const ssize_t n =
+        io::ReadSome(conn->fd, span, kReadChunk, "net.read.short");
+    if (n > 0) {
+      conn->in.CommitWrite(static_cast<size_t>(n));
+      stats_.bytes_in.fetch_add(n, std::memory_order_relaxed);
+      read_this_event += n;
+      conn->last_activity_ms.store(NowMs(), std::memory_order_relaxed);
+      // A short read means the kernel buffer is drained: skip the
+      // would-be-EAGAIN syscall. Level-triggered epoll re-fires if
+      // more bytes race in behind us.
+      if (static_cast<size_t>(n) < kReadChunk) break;
+      continue;
+    }
+    if (n == 0) {
+      // Peer half-closed its write side: no more requests will
+      // arrive, but every in-flight one still gets its reply. Under
+      // write_mu: completions read `state` under it to decide whether
+      // a draining connection needs the loop.
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      conn->state = Connection::State::kPeerHalfClosed;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn);
+    return;
+  }
+  if (!DrainFrames(conn)) return;  // closed on protocol error
+  FlushWrites(conn);
+}
+
+void NetServer::RearmOrClose(const std::shared_ptr<Connection>& conn) {
+  if (conn->state == Connection::State::kClosed) return;
+  // Order matters: a completer appends the reply *before* it drops
+  // inflight, so inflight==0 observed first means every owed reply is
+  // already in `out` (or flushed) by the time we check it.
+  const int64_t inflight =
+      conn->inflight.load(std::memory_order_acquire);
+  bool out_empty;
+  bool broken;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    out_empty = conn->out.empty();
+    broken = conn->broken;
+  }
+  if (broken) {
+    CloseConnection(conn);
+    return;
+  }
+  // A half-closed (or draining) connection with nothing left to send
+  // and nothing in flight is done.
+  const bool draining =
+      conn->state == Connection::State::kPeerHalfClosed ||
+      stopping_.load(std::memory_order_acquire);
+  if (draining && inflight == 0 && out_empty) {
+    CloseConnection(conn);
+    return;
+  }
+  uint32_t events = EPOLLRDHUP | EPOLLONESHOT;
+  if (conn->state == Connection::State::kOpen &&
+      !conn->reading_paused &&
+      !stopping_.load(std::memory_order_acquire)) {
+    events |= EPOLLIN;
+  }
+  if (!out_empty) events |= EPOLLOUT;
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.u64 = conn->id + 2;
+  if (::epoll_ctl(conn->loop->epoll_fd, EPOLL_CTL_MOD, conn->fd,
+                  &ev) != 0) {
+    CloseConnection(conn);
+  }
+}
+
+void NetServer::HandleEvent(const std::shared_ptr<Connection>& conn,
+                            uint32_t events) {
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    // Flush what we can (the peer may only have reset one side).
+    FlushWrites(conn);
+    CloseConnection(conn);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    FlushWrites(conn);
+    if (conn->state == Connection::State::kClosed) return;
+  }
+  if ((events & (EPOLLIN | EPOLLRDHUP)) != 0 &&
+      conn->state == Connection::State::kOpen) {
+    HandleReadable(conn);
+    if (conn->state == Connection::State::kClosed) return;
+  }
+  RearmOrClose(conn);
+}
+
+void NetServer::SweepIdle(EventLoop* loop) {
+  if (config_.idle_timeout_ms <= 0) return;
+  const int64_t now = NowMs();
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (const auto& [id, conn] : loop->conns) {
+    if (conn->inflight.load(std::memory_order_acquire) != 0) continue;
+    if (now - conn->last_activity_ms.load(std::memory_order_relaxed) <=
+        config_.idle_timeout_ms) {
+      continue;
+    }
+    bool out_empty;
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      out_empty = conn->out.empty();
+    }
+    if (out_empty) idle.push_back(conn);
+  }
+  for (const auto& conn : idle) {
+    stats_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn);
+  }
+}
+
+void NetServer::LoopThread(EventLoop* loop) {
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  int64_t drain_deadline_ms = 0;
+  bool accepting = true;
+
+  while (true) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping && accepting) {
+      // Drain phase: stop accepting, stop reading, flush what's owed.
+      ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      accepting = false;
+      drain_deadline_ms = NowMs() + config_.drain_timeout_ms;
+    }
+    if (stopping && !accepting) {
+      // Completers flush fully-drained replies without waking the
+      // loop, so drain progress (inflight hitting zero) is polled:
+      // the 10ms epoll timeout below bounds the polling latency.
+      std::vector<std::shared_ptr<Connection>> all;
+      all.reserve(loop->conns.size());
+      for (const auto& [id, conn] : loop->conns) all.push_back(conn);
+      for (const auto& conn : all) {
+        FlushWrites(conn);
+        if (conn->state == Connection::State::kClosed) continue;
+        RearmOrClose(conn);
+      }
+    }
+    if (stopping &&
+        (loop->conns.empty() || NowMs() >= drain_deadline_ms)) {
+      break;
+    }
+
+    const int timeout_ms =
+        stopping ? 10 : (config_.idle_timeout_ms > 0 ? 20 : 200);
+    const int n = static_cast<int>(io::RetryEintr([&] {
+      return ::epoll_wait(loop->epoll_fd, events, kMaxEvents,
+                          timeout_ms);
+    }));
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == 0) {
+        if (accepting) AcceptAll(loop);
+        continue;
+      }
+      if (tag == 1) {
+        // Clear before draining: a completer nudging after this point
+        // writes a fresh byte and the next iteration picks it up.
+        loop->wake_pending.store(false, std::memory_order_release);
+        char sink[256];
+        while (io::ReadSome(loop->wake_pipe[0], sink, sizeof(sink)) >
+               0) {
+        }
+        continue;
+      }
+      auto it = loop->conns.find(tag - 2);
+      if (it == loop->conns.end()) continue;  // closed pre-dispatch
+      // Copy out of the map: CloseConnection erases the entry while
+      // HandleEvent is still running, which would leave a reference
+      // into a destroyed map node.
+      const std::shared_ptr<Connection> conn = it->second;
+      HandleEvent(conn, events[i].events);
+    }
+
+    // Completer nudges: connections with backlogged, broken, or
+    // drain-eligible write sides.
+    std::vector<std::shared_ptr<Connection>> pending;
+    {
+      std::lock_guard<std::mutex> lock(loop->pending_mu);
+      pending.swap(loop->pending_writes);
+    }
+    for (const auto& conn : pending) {
+      // Cleared before the flush: a completer landing mid-flush
+      // re-queues the connection for the next round.
+      conn->pending.store(false, std::memory_order_release);
+      if (conn->state == Connection::State::kClosed) continue;
+      FlushWrites(conn);
+      if (conn->state == Connection::State::kClosed) continue;
+      RearmOrClose(conn);
+    }
+
+    SweepIdle(loop);
+  }
+
+  // Exit: anything still open is past the drain budget.
+  std::vector<std::shared_ptr<Connection>> rest;
+  rest.reserve(loop->conns.size());
+  for (const auto& [id, conn] : loop->conns) rest.push_back(conn);
+  for (const auto& conn : rest) CloseConnection(conn);
+}
+
+void NetServer::CompleteRequest(
+    const std::shared_ptr<Connection>& conn, uint64_t request_id,
+    Result<Tensor> result) {
+  bool need_loop = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->state != Connection::State::kClosed) {
+      if (result.ok()) {
+        AppendPredictOkReply(request_id, *result, &conn->out);
+      } else {
+        AppendErrorReply(request_id, Opcode::kPredict,
+                         result.status(), &conn->out);
+      }
+      stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      // The hot path: flush straight to the socket from right here.
+      // The event loop is only involved when the socket pushes back
+      // (EPOLLOUT arming), the write fails, or the connection is
+      // winding down — a fully flushed reply on an open connection
+      // costs zero loop work and zero wakeups.
+      if (!FlushLocked(conn.get())) conn->broken = true;
+      need_loop = conn->broken || !conn->out.empty() ||
+                  conn->state != Connection::State::kOpen;
+    }
+  }
+  conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+  if (need_loop &&
+      !conn->pending.exchange(true, std::memory_order_acq_rel)) {
+    {
+      std::lock_guard<std::mutex> lock(conn->loop->pending_mu);
+      conn->loop->pending_writes.push_back(conn);
+    }
+    WakeLoop(conn->loop);
+  }
+}
+
+void NetServer::CompleterThread() {
+  while (std::optional<Completion> task = completions_.Pop()) {
+    Result<Tensor> result = task->future.get();
+    CompleteRequest(task->conn, task->request_id, std::move(result));
+  }
+}
+
+std::string NetServer::StatsJson() const {
+  const SchedulerStats sched = scheduler_->stats();
+  const NetServerStats& s = stats_;
+  auto n = [](int64_t v) { return std::to_string(v); };
+  std::string json = "{\"scheduler\":{";
+  json += "\"submitted\":" + n(sched.submitted.load()) + ",";
+  json += "\"shed_queue_full\":" + n(sched.shed_queue_full.load()) +
+          ",";
+  json += "\"shed_deadline\":" + n(sched.shed_deadline.load()) + ",";
+  json += "\"shed_breaker\":" + n(sched.shed_breaker.load()) + ",";
+  json += "\"batches\":" + n(sched.batches.load()) + ",";
+  json += "\"coalesced_requests\":" +
+          n(sched.coalesced_requests.load()) + ",";
+  json += "\"total_rows\":" + n(sched.total_rows.load()) + ",";
+  char mean[32];
+  std::snprintf(mean, sizeof(mean), "%.2f", sched.MeanBatchRows());
+  json += std::string("\"mean_batch_rows\":") + mean + "},";
+  json += "\"server\":{";
+  json += "\"connections_accepted\":" +
+          n(s.connections_accepted.load()) + ",";
+  json += "\"connections_closed\":" + n(s.connections_closed.load()) +
+          ",";
+  json += "\"frames_in\":" + n(s.frames_in.load()) + ",";
+  json += "\"frames_out\":" + n(s.frames_out.load()) + ",";
+  json += "\"bytes_in\":" + n(s.bytes_in.load()) + ",";
+  json += "\"bytes_out\":" + n(s.bytes_out.load()) + ",";
+  json += "\"protocol_errors\":" + n(s.protocol_errors.load()) + ",";
+  json += "\"idle_closed\":" + n(s.idle_closed.load()) + "}}";
+  return json;
+}
+
+void NetServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  for (auto& loop : loops_) WakeLoop(loop.get());
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  completions_.Close();
+  for (std::thread& t : completers_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    // Callback path: wait out completions still running on scheduler
+    // threads (the scheduler resolves every admitted request in
+    // bounded time, shutdown or not). After this, no scheduler thread
+    // holds a reference into the server.
+    std::unique_lock<std::mutex> lock(cb_mu_);
+    cb_cv_.wait(lock, [this] {
+      return callbacks_outstanding_.load(std::memory_order_acquire) ==
+             0;
+    });
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (auto& loop : loops_) {
+    if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+    if (loop->wake_pipe[0] >= 0) ::close(loop->wake_pipe[0]);
+    if (loop->wake_pipe[1] >= 0) ::close(loop->wake_pipe[1]);
+    loop->epoll_fd = loop->wake_pipe[0] = loop->wake_pipe[1] = -1;
+  }
+}
+
+}  // namespace net
+}  // namespace relserve

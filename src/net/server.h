@@ -1,0 +1,267 @@
+// NetServer: the epoll network serving front-end (DESIGN.md "Network
+// serving front-end").
+//
+// A small shard of event-loop threads each owns a level-triggered
+// epoll set with EPOLLONESHOT re-arm per connection: every readiness
+// event disarms the fd until the owning loop finishes handling it and
+// re-arms with exactly the interest set the connection's state machine
+// wants (EPOLLIN while reading is allowed, EPOLLOUT only while bytes
+// are pending — backpressure gating). The listen socket is registered
+// in every shard with EPOLLEXCLUSIVE, so the kernel spreads accepts
+// across shards and each connection lives its whole life on one loop
+// thread. Requests decoded from a connection's read ring flow through
+// admission control into the RequestScheduler, so cross-request
+// micro-batching coalesces rows *across sockets*; completions come
+// back from the scheduler's futures on a completer pool that encodes
+// reply bytes and flushes the socket directly under the connection's
+// write mutex — the event loop is only involved when the socket
+// pushes back (EPOLLOUT) or the connection is winding down.
+//
+// Connection lifecycle is explicit state-machine code:
+//
+//   kOpen            reading frames, dispatching, writing replies
+//   kPeerHalfClosed  read() hit EOF (client shutdown(SHUT_WR)); no
+//                    more reads, but every in-flight request still
+//                    gets its reply flushed before close
+//   kClosed          fd closed (set under write_mu so a completer can
+//                    never write to a recycled descriptor)
+//
+// and a connection dies immediately on: unframeable input (bad
+// magic/version, or a declared frame length over max_frame_bytes —
+// the cap is checked *before* any buffer growth, so a hostile length
+// can never balloon memory), a write error, or idle timeout. Server
+// shutdown drains: admission stops, in-flight replies flush, bounded
+// by drain_timeout_ms.
+
+#ifndef RELSERVE_NET_SERVER_H_
+#define RELSERVE_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/buffer.h"
+#include "net/wire.h"
+#include "resource/bounded_queue.h"
+#include "serving/request_scheduler.h"
+#include "serving/serving_session.h"
+
+namespace relserve {
+namespace net {
+
+struct NetServerConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned; NetServer::port() reports
+  int backlog = 511;
+  // Frames whose declared length exceeds this close the connection
+  // (ProtocolError) instead of allocating unbounded buffers.
+  int64_t max_frame_bytes = 64LL << 20;
+  // Close connections with no traffic for this long; 0 = never.
+  int64_t idle_timeout_ms = 0;
+  // Stop reading from a connection whose outbound buffer exceeds this
+  // (EPOLLOUT-gated backpressure); reading resumes once drained.
+  int64_t write_buffer_limit = 8LL << 20;
+  // Event-loop shards; connections are spread across them by
+  // EPOLLEXCLUSIVE accept. 0 = pick from hardware_concurrency (extra
+  // shards on a small machine just add context switches). Clamped to
+  // >= 1.
+  int num_loops = 0;
+  // Completion path. Default (false): the scheduler thread that
+  // resolves a predict invokes the server's completion callback
+  // inline — the reply is encoded and flushed with zero extra thread
+  // handoffs. True: predicts go through scheduler futures drained by
+  // a completer pool (one more handoff, but completions never borrow
+  // scheduler-thread time; useful when reply encode/flush is heavy).
+  bool use_completer_pool = false;
+  // Threads turning scheduler futures into flushed reply bytes
+  // (use_completer_pool = true only).
+  int num_completers = 2;
+  // Shutdown drain budget: how long to keep flushing pending replies.
+  int64_t drain_timeout_ms = 5000;
+};
+
+struct NetServerStats {
+  std::atomic<int64_t> connections_accepted{0};
+  std::atomic<int64_t> connections_closed{0};
+  std::atomic<int64_t> frames_in{0};
+  std::atomic<int64_t> frames_out{0};
+  std::atomic<int64_t> bytes_in{0};
+  std::atomic<int64_t> bytes_out{0};
+  std::atomic<int64_t> protocol_errors{0};
+  std::atomic<int64_t> idle_closed{0};
+
+  NetServerStats() = default;
+  NetServerStats(const NetServerStats& other) { *this = other; }
+  // Relaxed snapshot, same contract as SchedulerStats.
+  NetServerStats& operator=(const NetServerStats& other) {
+    constexpr auto kRelaxed = std::memory_order_relaxed;
+    connections_accepted.store(
+        other.connections_accepted.load(kRelaxed), kRelaxed);
+    connections_closed.store(other.connections_closed.load(kRelaxed),
+                             kRelaxed);
+    frames_in.store(other.frames_in.load(kRelaxed), kRelaxed);
+    frames_out.store(other.frames_out.load(kRelaxed), kRelaxed);
+    bytes_in.store(other.bytes_in.load(kRelaxed), kRelaxed);
+    bytes_out.store(other.bytes_out.load(kRelaxed), kRelaxed);
+    protocol_errors.store(other.protocol_errors.load(kRelaxed),
+                          kRelaxed);
+    idle_closed.store(other.idle_closed.load(kRelaxed), kRelaxed);
+    return *this;
+  }
+};
+
+class NetServer {
+ public:
+  // Binds, listens, spawns the event-loop shards + completer pool.
+  // `session` and `scheduler` must outlive the server.
+  static Result<std::unique_ptr<NetServer>> Start(
+      ServingSession* session, RequestScheduler* scheduler,
+      NetServerConfig config);
+
+  ~NetServer();  // implies Shutdown()
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // The bound port (resolves config.port == 0).
+  uint16_t port() const { return port_; }
+
+  // Stops accepting, drains in-flight requests and pending reply
+  // bytes (bounded by drain_timeout_ms), closes every connection,
+  // joins all threads. Idempotent.
+  void Shutdown();
+
+  NetServerStats stats() const { return stats_; }
+
+  // Renders scheduler + server counters as the stats-opcode JSON.
+  std::string StatsJson() const;
+
+ private:
+  struct EventLoop;
+
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    EventLoop* loop = nullptr;  // owning shard, fixed at accept
+    enum class State { kOpen, kPeerHalfClosed, kClosed };
+    // Written by the owning loop thread (kClosed under write_mu, so
+    // close never races a completer holding the lock); read freely by
+    // the loop, under write_mu by completers.
+    State state = State::kOpen;
+    Buffer in;  // owning loop thread only
+    // The write side is shared: completers encode replies into `out`
+    // and flush the socket directly — the hot path never detours
+    // through the event loop. write_mu serializes out/fd writes and
+    // gates them against close (fd reuse is the hazard: a write after
+    // ::close could land on a recycled descriptor).
+    std::mutex write_mu;
+    Buffer out;
+    bool broken = false;  // fatal write error seen by a completer
+    // Requests submitted to the scheduler whose replies are not yet
+    // flushed; a connection can only drain-close at zero (completers
+    // hold a shared_ptr anyway — this gates *drain*, not lifetime).
+    std::atomic<int64_t> inflight{0};
+    // True while the connection sits in its loop's pending list: one
+    // entry per flush round no matter how many completions request one.
+    std::atomic<bool> pending{false};
+    bool reading_paused = false;  // backpressure: out over the limit
+    std::atomic<int64_t> last_activity_ms{0};
+  };
+
+  // One epoll shard. Its conns map, accepting flag, and drain state
+  // are touched only by its own thread; the pending list is the
+  // completer → loop handoff.
+  struct EventLoop {
+    int epoll_fd = -1;
+    int wake_pipe[2] = {-1, -1};
+    std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns;
+    // Connections a completer wants the loop to look at (backlogged,
+    // broken, or drain-eligible writes).
+    std::mutex pending_mu;
+    std::vector<std::shared_ptr<Connection>> pending_writes;
+    // Collapses completer wakeups: one self-pipe byte per loop
+    // iteration, not one per completed request.
+    std::atomic<bool> wake_pending{false};
+    std::thread thread;
+  };
+
+  struct Completion {
+    std::shared_future<Result<Tensor>> future;
+    std::shared_ptr<Connection> conn;
+    uint64_t request_id = 0;
+  };
+
+  NetServer(ServingSession* session, RequestScheduler* scheduler,
+            NetServerConfig config);
+
+  Status Listen();
+  void LoopThread(EventLoop* loop);
+  void CompleterThread();
+  // Encodes `result` for `request_id`, flushes the socket directly
+  // under conn->write_mu, and nudges the owning loop only when it has
+  // work (backlog, broken socket, or a drain-eligible connection).
+  // Called by completers (futures path) or straight from scheduler
+  // threads (callback path).
+  void CompleteRequest(const std::shared_ptr<Connection>& conn,
+                       uint64_t request_id, Result<Tensor> result);
+
+  void AcceptAll(EventLoop* loop);
+  // Handles one epoll event for `conn`; afterwards the fd is either
+  // re-armed with the state machine's interest set or closed.
+  void HandleEvent(const std::shared_ptr<Connection>& conn,
+                   uint32_t events);
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  // Parses and dispatches every complete frame in conn->in. Returns
+  // false when the connection must close (unframeable input).
+  bool DrainFrames(const std::shared_ptr<Connection>& conn);
+  // One frame (header already sliced off the length prefix).
+  bool DispatchFrame(const std::shared_ptr<Connection>& conn,
+                     const char* frame, size_t len);
+  // Flushes conn->out to the socket; write_mu must be held. Returns
+  // false on a fatal write error (the caller closes / marks broken).
+  bool FlushLocked(Connection* conn);
+  // Lock-acquiring wrapper used by the event loop.
+  void FlushWrites(const std::shared_ptr<Connection>& conn);
+  void RearmOrClose(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void SweepIdle(EventLoop* loop);
+  void WakeLoop(EventLoop* loop);
+
+  ServingSession* session_;
+  RequestScheduler* scheduler_;
+  NetServerConfig config_;
+  NetServerStats stats_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<uint64_t> next_conn_id_{1};
+
+  BoundedQueue<Completion> completions_;
+  std::vector<std::thread> completers_;
+
+  std::atomic<bool> stopping_{false};
+  // Callback-path completions still running inside scheduler threads;
+  // Shutdown waits for zero so a callback can never touch a freed
+  // server (the scheduler may outlive us and fire late sheds).
+  std::atomic<int64_t> callbacks_outstanding_{0};
+  std::mutex cb_mu_;
+  std::condition_variable cb_cv_;
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+};
+
+}  // namespace net
+}  // namespace relserve
+
+#endif  // RELSERVE_NET_SERVER_H_

@@ -1,0 +1,404 @@
+#include "net/wire.h"
+
+#include <cstring>
+#include <limits>
+
+namespace relserve {
+namespace net {
+
+namespace {
+
+// --- Little-endian cursor primitives --------------------------------
+//
+// The hosts this protocol targets are little-endian x86; memcpy keeps
+// every access alignment-safe (the frame decoder parses in place at
+// arbitrary offsets of the connection buffer), and UBSan gates it.
+
+class Reader {
+ public:
+  Reader(const char* p, size_t len) : p_(p), end_(p + len) {}
+
+  bool U8(uint8_t* v) { return Fixed(v); }
+  bool U16(uint16_t* v) { return Fixed(v); }
+  bool U32(uint32_t* v) { return Fixed(v); }
+  bool U64(uint64_t* v) { return Fixed(v); }
+  bool I64(int64_t* v) { return Fixed(v); }
+
+  bool Bytes(size_t n, const char** out) {
+    if (Remaining() < n) return false;
+    *out = p_;
+    p_ += n;
+    return true;
+  }
+
+  size_t Remaining() const { return static_cast<size_t>(end_ - p_); }
+  const char* Cursor() const { return p_; }
+
+ private:
+  template <typename T>
+  bool Fixed(T* v) {
+    if (Remaining() < sizeof(T)) return false;
+    std::memcpy(v, p_, sizeof(T));
+    p_ += sizeof(T);
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+class Writer {
+ public:
+  explicit Writer(Buffer* out) : out_(out) {}
+
+  void U8(uint8_t v) { Fixed(v); }
+  void U16(uint16_t v) { Fixed(v); }
+  void U32(uint32_t v) { Fixed(v); }
+  void U64(uint64_t v) { Fixed(v); }
+  void I64(int64_t v) { Fixed(v); }
+  void Bytes(const void* p, size_t n) { out_->Append(p, n); }
+
+ private:
+  template <typename T>
+  void Fixed(T v) {
+    out_->Append(&v, sizeof(T));
+  }
+
+  Buffer* out_;
+};
+
+// Reserves the length prefix, writes the 16-byte header, and patches
+// the prefix when destroyed — so encoders just append their body.
+// `prefix_at_` is an offset into the buffer's readable span, which is
+// stable across appends (growth/compaction never reorders readable
+// bytes relative to data()).
+class FrameWriter {
+ public:
+  FrameWriter(uint64_t request_id, Opcode opcode, uint8_t status,
+              Buffer* out)
+      : out_(out), writer_(out), prefix_at_(out->size()) {
+    writer_.U32(0);  // patched by the destructor
+    writer_.U32(kMagic);
+    writer_.U8(kWireVersion);
+    writer_.U8(static_cast<uint8_t>(opcode));
+    writer_.U8(status);
+    writer_.U8(0);  // flags
+    writer_.U64(request_id);
+  }
+
+  ~FrameWriter() {
+    const uint32_t frame_len = static_cast<uint32_t>(
+        out_->size() - prefix_at_ - kLenPrefixBytes);
+    std::memcpy(out_->mutable_data() + prefix_at_, &frame_len,
+                sizeof(frame_len));
+  }
+
+  Writer& body() { return writer_; }
+
+ private:
+  Buffer* out_;
+  Writer writer_;
+  size_t prefix_at_;
+};
+
+constexpr size_t kMaxModelName = 4096;
+constexpr int kMaxNdim = 8;
+
+}  // namespace
+
+uint8_t WireStatusByte(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kOutOfMemory: return 2;
+    case StatusCode::kNotFound: return 3;
+    case StatusCode::kAlreadyExists: return 4;
+    case StatusCode::kIOError: return 5;
+    case StatusCode::kNotImplemented: return 6;
+    case StatusCode::kInternal: return 7;
+    case StatusCode::kDeadlineExceeded: return 8;
+    case StatusCode::kUnavailable: return 9;
+    case StatusCode::kDataLoss: return 10;
+    case StatusCode::kProtocolError: return 11;
+  }
+  return 7;  // Internal
+}
+
+StatusCode StatusCodeFromWire(uint8_t byte) {
+  switch (byte) {
+    case 0: return StatusCode::kOk;
+    case 1: return StatusCode::kInvalidArgument;
+    case 2: return StatusCode::kOutOfMemory;
+    case 3: return StatusCode::kNotFound;
+    case 4: return StatusCode::kAlreadyExists;
+    case 5: return StatusCode::kIOError;
+    case 6: return StatusCode::kNotImplemented;
+    case 7: return StatusCode::kInternal;
+    case 8: return StatusCode::kDeadlineExceeded;
+    case 9: return StatusCode::kUnavailable;
+    case 10: return StatusCode::kDataLoss;
+    case 11: return StatusCode::kProtocolError;
+    default: return StatusCode::kInternal;
+  }
+}
+
+Result<FrameHeader> DecodeFrameHeader(const char* p, size_t len) {
+  Reader reader(p, len);
+  FrameHeader header;
+  uint8_t opcode = 0;
+  if (!reader.U32(&header.magic) || !reader.U8(&header.version) ||
+      !reader.U8(&opcode) || !reader.U8(&header.status) ||
+      !reader.U8(&header.flags) || !reader.U64(&header.request_id)) {
+    return Status::ProtocolError("frame shorter than fixed header");
+  }
+  if (header.magic != kMagic) {
+    return Status::ProtocolError("bad frame magic");
+  }
+  if (header.version != kWireVersion) {
+    return Status::ProtocolError(
+        "unsupported wire version " + std::to_string(header.version));
+  }
+  if (header.flags != 0) {
+    return Status::ProtocolError("nonzero reserved flags");
+  }
+  if (opcode > static_cast<uint8_t>(Opcode::kStats)) {
+    return Status::ProtocolError("unknown opcode " +
+                                 std::to_string(opcode));
+  }
+  header.opcode = static_cast<Opcode>(opcode);
+  return header;
+}
+
+namespace {
+
+Status DecodeModelName(Reader* reader, std::string* model) {
+  uint16_t model_len = 0;
+  if (!reader->U16(&model_len)) {
+    return Status::ProtocolError("truncated model-name length");
+  }
+  if (model_len > kMaxModelName) {
+    return Status::ProtocolError("model name over 4096 bytes");
+  }
+  const char* name = nullptr;
+  if (!reader->Bytes(model_len, &name)) {
+    return Status::ProtocolError("truncated model name");
+  }
+  model->assign(name, model_len);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PredictRequest> DecodePredictRequest(const char* body,
+                                            size_t len) {
+  Reader reader(body, len);
+  PredictRequest request;
+  RELSERVE_RETURN_NOT_OK(DecodeModelName(&reader, &request.model));
+  uint8_t dtype = 0, ndim = 0;
+  if (!reader.I64(&request.deadline_us) || !reader.U8(&dtype) ||
+      !reader.U8(&ndim)) {
+    return Status::ProtocolError("truncated predict header");
+  }
+  if (dtype != kDtypeFloat32) {
+    return Status::ProtocolError("unsupported dtype " +
+                                 std::to_string(dtype));
+  }
+  if (ndim == 0 || ndim > kMaxNdim) {
+    return Status::ProtocolError("predict rank must be 1..8, got " +
+                                 std::to_string(ndim));
+  }
+  int64_t elems = 1;
+  request.dims.reserve(ndim);
+  for (int i = 0; i < ndim; ++i) {
+    int64_t dim = 0;
+    if (!reader.I64(&dim)) {
+      return Status::ProtocolError("truncated dims array");
+    }
+    if (dim <= 0 ||
+        (elems != 0 &&
+         dim > std::numeric_limits<int64_t>::max() / 4 / elems)) {
+      return Status::ProtocolError("invalid tensor dimension");
+    }
+    elems *= dim;
+    request.dims.push_back(dim);
+  }
+  request.payload_bytes = elems * static_cast<int64_t>(sizeof(float));
+  if (reader.Remaining() !=
+      static_cast<size_t>(request.payload_bytes)) {
+    return Status::ProtocolError(
+        "payload bytes do not match declared shape: have " +
+        std::to_string(reader.Remaining()) + ", shape needs " +
+        std::to_string(request.payload_bytes));
+  }
+  request.payload = reader.Cursor();
+  return request;
+}
+
+Result<DeployRequest> DecodeDeployRequest(const char* body,
+                                          size_t len) {
+  Reader reader(body, len);
+  DeployRequest request;
+  RELSERVE_RETURN_NOT_OK(DecodeModelName(&reader, &request.model));
+  if (!reader.U8(&request.mode) || !reader.I64(&request.batch_size)) {
+    return Status::ProtocolError("truncated deploy body");
+  }
+  if (request.mode > 2) {
+    return Status::ProtocolError("deploy mode must be 0..2");
+  }
+  if (request.batch_size <= 0) {
+    return Status::ProtocolError("deploy batch_size must be positive");
+  }
+  if (reader.Remaining() != 0) {
+    return Status::ProtocolError("trailing bytes after deploy body");
+  }
+  return request;
+}
+
+Result<Tensor> PredictInputTensor(const PredictRequest& request) {
+  RELSERVE_ASSIGN_OR_RETURN(Tensor tensor,
+                            Tensor::Create(Shape(request.dims)));
+  std::memcpy(tensor.data(), request.payload,
+              static_cast<size_t>(request.payload_bytes));
+  return tensor;
+}
+
+void AppendPingFrame(uint64_t request_id, bool is_reply, Buffer* out) {
+  FrameWriter frame(request_id, Opcode::kPing,
+                    is_reply ? WireStatusByte(StatusCode::kOk) : 0,
+                    out);
+  (void)frame;
+}
+
+void AppendPredictRequest(uint64_t request_id, const std::string& model,
+                          const Tensor& input, int64_t deadline_us,
+                          Buffer* out) {
+  FrameWriter frame(request_id, Opcode::kPredict, 0, out);
+  Writer& body = frame.body();
+  body.U16(static_cast<uint16_t>(model.size()));
+  body.Bytes(model.data(), model.size());
+  body.I64(deadline_us);
+  body.U8(kDtypeFloat32);
+  body.U8(static_cast<uint8_t>(input.shape().ndim()));
+  for (int64_t dim : input.shape().dims()) body.I64(dim);
+  body.Bytes(input.data(), static_cast<size_t>(input.ByteSize()));
+}
+
+void AppendPredictOkReply(uint64_t request_id, const Tensor& output,
+                          Buffer* out) {
+  FrameWriter frame(request_id, Opcode::kPredict,
+                    WireStatusByte(StatusCode::kOk), out);
+  Writer& body = frame.body();
+  body.U8(kDtypeFloat32);
+  body.U8(static_cast<uint8_t>(output.shape().ndim()));
+  for (int64_t dim : output.shape().dims()) body.I64(dim);
+  body.Bytes(output.data(), static_cast<size_t>(output.ByteSize()));
+}
+
+void AppendDeployRequest(uint64_t request_id, const std::string& model,
+                         uint8_t mode, int64_t batch_size,
+                         Buffer* out) {
+  FrameWriter frame(request_id, Opcode::kDeploy, 0, out);
+  Writer& body = frame.body();
+  body.U16(static_cast<uint16_t>(model.size()));
+  body.Bytes(model.data(), model.size());
+  body.U8(mode);
+  body.I64(batch_size);
+}
+
+void AppendStatsRequest(uint64_t request_id, Buffer* out) {
+  FrameWriter frame(request_id, Opcode::kStats, 0, out);
+  (void)frame;
+}
+
+void AppendTextReply(uint64_t request_id, Opcode opcode,
+                     const Status& status, const std::string& text,
+                     Buffer* out) {
+  FrameWriter frame(request_id, opcode, WireStatusByte(status.code()),
+                    out);
+  Writer& body = frame.body();
+  const uint16_t len = static_cast<uint16_t>(
+      std::min<size_t>(text.size(),
+                       std::numeric_limits<uint16_t>::max()));
+  body.U16(len);
+  body.Bytes(text.data(), len);
+}
+
+void AppendErrorReply(uint64_t request_id, Opcode opcode,
+                      const Status& status, Buffer* out) {
+  AppendTextReply(request_id, opcode, status, status.message(), out);
+}
+
+Result<Reply> DecodeReply(const FrameHeader& header, const char* body,
+                          size_t len) {
+  Reply reply;
+  reply.header = header;
+  const StatusCode code = StatusCodeFromWire(header.status);
+
+  if (code != StatusCode::kOk) {
+    Reader reader(body, len);
+    uint16_t msg_len = 0;
+    std::string message = "(no message)";
+    const char* msg = nullptr;
+    if (reader.U16(&msg_len) && reader.Bytes(msg_len, &msg)) {
+      message.assign(msg, msg_len);
+    }
+    reply.status = Status(code, std::move(message));
+    return reply;
+  }
+
+  reply.status = Status::OK();
+  switch (header.opcode) {
+    case Opcode::kPing:
+      return reply;
+    case Opcode::kPredict: {
+      PredictRequest dummy;
+      Reader reader(body, len);
+      uint8_t dtype = 0, ndim = 0;
+      if (!reader.U8(&dtype) || !reader.U8(&ndim)) {
+        return Status::ProtocolError("truncated predict reply header");
+      }
+      if (dtype != kDtypeFloat32 || ndim == 0 || ndim > kMaxNdim) {
+        return Status::ProtocolError("bad predict reply dtype/rank");
+      }
+      int64_t elems = 1;
+      dummy.dims.reserve(ndim);
+      for (int i = 0; i < ndim; ++i) {
+        int64_t dim = 0;
+        if (!reader.I64(&dim)) {
+          return Status::ProtocolError("truncated reply dims");
+        }
+        if (dim <= 0 ||
+            dim > std::numeric_limits<int64_t>::max() / 4 /
+                      std::max<int64_t>(elems, 1)) {
+          return Status::ProtocolError("invalid reply dimension");
+        }
+        elems *= dim;
+        dummy.dims.push_back(dim);
+      }
+      dummy.payload_bytes = elems * static_cast<int64_t>(sizeof(float));
+      if (reader.Remaining() !=
+          static_cast<size_t>(dummy.payload_bytes)) {
+        return Status::ProtocolError("reply payload/shape mismatch");
+      }
+      dummy.payload = reader.Cursor();
+      RELSERVE_ASSIGN_OR_RETURN(reply.tensor,
+                                PredictInputTensor(dummy));
+      return reply;
+    }
+    case Opcode::kDeploy:
+    case Opcode::kStats: {
+      Reader reader(body, len);
+      uint16_t text_len = 0;
+      const char* text = nullptr;
+      if (!reader.U16(&text_len) || !reader.Bytes(text_len, &text)) {
+        return Status::ProtocolError("truncated text reply body");
+      }
+      reply.text.assign(text, text_len);
+      return reply;
+    }
+  }
+  return Status::ProtocolError("unknown reply opcode");
+}
+
+}  // namespace net
+}  // namespace relserve

@@ -1,0 +1,158 @@
+// Length-prefixed binary wire protocol of the network serving
+// front-end (DESIGN.md "Network serving front-end").
+//
+// Every frame, request or reply, is
+//
+//   u32  frame_len    — bytes that follow this field (header + body)
+//   u32  magic        — kMagic; rejects non-relserve peers
+//   u8   version      — kWireVersion
+//   u8   opcode       — Opcode below; replies echo the request's
+//   u8   status       — wire status byte; 0 (OK) on requests
+//   u8   flags        — reserved, must be 0
+//   u64  request_id   — client-chosen; replies echo it, so a client
+//                       may pipeline many requests per connection
+//   ...body           — opcode-specific, layouts below
+//
+// all little-endian (the protocol targets loopback/rack peers on the
+// same byte order; the version byte guards future changes). Bodies:
+//
+//   predict request:  u16 model_len, model bytes, i64 deadline_us,
+//                     u8 dtype (0 = float32), u8 ndim,
+//                     i64 dims[ndim], payload (row-major floats)
+//   predict reply:    OK: u8 dtype, u8 ndim, i64 dims[ndim], payload
+//                     error: u16 msg_len, message bytes
+//   deploy request:   u16 model_len, model bytes, u8 mode
+//                     (0 adaptive / 1 udf / 2 relational),
+//                     i64 batch_size
+//   deploy reply:     u16 msg_len, message bytes (empty on OK)
+//   stats request:    empty
+//   stats reply:      u16 len, JSON text (scheduler + server counters)
+//   ping:             empty both ways
+//
+// A reply's `status` byte is the typed Status of the serving path:
+// the scheduler's DeadlineExceeded/Unavailable sheds, the session's
+// NotFound, storage's DataLoss — and ProtocolError for frames the
+// server could parse enough to answer. Frames it cannot trust at all
+// (bad magic/version, or a declared length over the server's cap)
+// earn a best-effort ProtocolError reply with request_id 0 and a
+// closed connection: past a framing error the stream has no reliable
+// frame boundaries, and an oversized length must never drive buffer
+// growth.
+
+#ifndef RELSERVE_NET_WIRE_H_
+#define RELSERVE_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/buffer.h"
+#include "tensor/tensor.h"
+
+namespace relserve {
+namespace net {
+
+inline constexpr uint32_t kMagic = 0x564C5352;  // "RSLV" on the wire
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kLenPrefixBytes = 4;
+inline constexpr size_t kFrameHeaderBytes = 16;  // after the prefix
+inline constexpr uint8_t kDtypeFloat32 = 0;
+
+enum class Opcode : uint8_t {
+  kPing = 0,
+  kPredict = 1,
+  kDeploy = 2,
+  kStats = 3,
+};
+
+// --- Wire status byte ------------------------------------------------
+//
+// Stable on-the-wire values; never renumber. Unknown bytes decode to
+// kInternal rather than faking OK.
+
+uint8_t WireStatusByte(StatusCode code);
+StatusCode StatusCodeFromWire(uint8_t byte);
+
+// --- Frame header ----------------------------------------------------
+
+struct FrameHeader {
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  Opcode opcode = Opcode::kPing;
+  uint8_t status = 0;
+  uint8_t flags = 0;
+  uint64_t request_id = 0;
+};
+
+// Parses the 16 header bytes that follow the length prefix. Fails
+// with ProtocolError on bad magic/version/flags (opcode is validated
+// too — an unknown opcode cannot be dispatched).
+Result<FrameHeader> DecodeFrameHeader(const char* p, size_t len);
+
+// --- Decoded request bodies -----------------------------------------
+//
+// Decoders borrow from the connection's read buffer: `payload` points
+// into the frame bytes, so the server copies it exactly once — into
+// the aligned Tensor the GEMM tile path consumes — with no Row boxing
+// or intermediate message object in between.
+
+struct PredictRequest {
+  std::string model;
+  int64_t deadline_us = 0;
+  std::vector<int64_t> dims;
+  const char* payload = nullptr;
+  int64_t payload_bytes = 0;
+};
+
+struct DeployRequest {
+  std::string model;
+  uint8_t mode = 0;  // 0 adaptive / 1 udf / 2 relational
+  int64_t batch_size = 0;
+};
+
+Result<PredictRequest> DecodePredictRequest(const char* body,
+                                            size_t len);
+Result<DeployRequest> DecodeDeployRequest(const char* body, size_t len);
+
+// Materializes a decoded predict payload as a Tensor (the single
+// copy of the ingress path).
+Result<Tensor> PredictInputTensor(const PredictRequest& request);
+
+// --- Frame encoders --------------------------------------------------
+//
+// All append one complete frame (length prefix included) to `out`.
+
+void AppendPingFrame(uint64_t request_id, bool is_reply, Buffer* out);
+void AppendPredictRequest(uint64_t request_id, const std::string& model,
+                          const Tensor& input, int64_t deadline_us,
+                          Buffer* out);
+void AppendPredictOkReply(uint64_t request_id, const Tensor& output,
+                          Buffer* out);
+void AppendDeployRequest(uint64_t request_id, const std::string& model,
+                         uint8_t mode, int64_t batch_size, Buffer* out);
+void AppendStatsRequest(uint64_t request_id, Buffer* out);
+// Replies whose body is `u16 len + text`: deploy acks, stats JSON.
+void AppendTextReply(uint64_t request_id, Opcode opcode,
+                     const Status& status, const std::string& text,
+                     Buffer* out);
+// Any-opcode error reply: status byte + `u16 len + message` body.
+void AppendErrorReply(uint64_t request_id, Opcode opcode,
+                      const Status& status, Buffer* out);
+
+// --- Reply decoding (client side) ------------------------------------
+
+struct Reply {
+  FrameHeader header;
+  Status status;         // decoded from header.status (+ body message)
+  Tensor tensor;         // predict OK replies
+  std::string text;      // stats / deploy / error-message bodies
+};
+
+Result<Reply> DecodeReply(const FrameHeader& header, const char* body,
+                          size_t len);
+
+}  // namespace net
+}  // namespace relserve
+
+#endif  // RELSERVE_NET_WIRE_H_

@@ -8,14 +8,14 @@
 
 namespace relserve {
 
-namespace {
-
-void Fulfill(std::promise<Result<Tensor>>& promise,
-             Result<Tensor> value) {
-  promise.set_value(std::move(value));
+void RequestScheduler::Fulfill(Request& request,
+                               Result<Tensor> value) {
+  if (request.on_done) {
+    request.on_done(std::move(value));
+    return;
+  }
+  request.promise.set_value(std::move(value));
 }
-
-}  // namespace
 
 RequestScheduler::RequestScheduler(ServingSession* session,
                                    SchedulerConfig config)
@@ -51,6 +51,22 @@ std::future<Result<Tensor>> RequestScheduler::SubmitBatch(
   return Submit(std::move(request));
 }
 
+void RequestScheduler::SubmitBatchCallback(
+    const std::string& model, Tensor input, int64_t deadline_us,
+    std::function<void(Result<Tensor>)> on_done) {
+  Request request;
+  request.kind = RequestKind::kBatch;
+  request.model = model;
+  request.input = std::move(input);
+  request.has_deadline = deadline_us != 0;
+  request.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(deadline_us);
+  request.on_done = std::move(on_done);
+  // Sheds resolve through the callback too (inline, possibly on this
+  // very thread); the returned future is vacuous and dropped.
+  Submit(std::move(request));
+}
+
 std::future<Result<Tensor>> RequestScheduler::SubmitCached(
     const std::string& model, Tensor input, int64_t deadline_us) {
   Request request;
@@ -83,7 +99,7 @@ std::future<Result<Tensor>> RequestScheduler::Submit(Request request) {
   {
     std::lock_guard<std::mutex> lock(control_mu_);
     if (stopped_) {
-      Fulfill(request.promise,
+      Fulfill(request,
               Status::Unavailable("scheduler is shut down"));
       return future;
     }
@@ -92,7 +108,7 @@ std::future<Result<Tensor>> RequestScheduler::Submit(Request request) {
     // TryPush leaves `request` intact on failure, so the promise is
     // still ours to resolve.
     stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
-    Fulfill(request.promise,
+    Fulfill(request,
             Status::Unavailable(
                 "admission queue full: serving front-end overloaded"));
   }
@@ -130,7 +146,7 @@ bool RequestScheduler::Expired(
 
 void RequestScheduler::ShedExpired(Request request) {
   stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
-  Fulfill(request.promise,
+  Fulfill(request,
           Status::DeadlineExceeded(
               "request deadline expired before execution"));
 }
@@ -361,7 +377,7 @@ void RequestScheduler::ExecuteBatch(Batch batch) {
            !stats_.max_batch_rows_seen.compare_exchange_weak(prev,
                                                              rows)) {
     }
-    Fulfill(request.promise, std::move(result));
+    Fulfill(request, std::move(result));
     return;
   }
 
@@ -375,7 +391,7 @@ void RequestScheduler::ExecuteBatch(Batch batch) {
 
   auto fail_all = [&live](const Status& status) {
     for (Request& request : live) {
-      Fulfill(request.promise, Result<Tensor>(status));
+      Fulfill(request, Result<Tensor>(status));
     }
   };
 
@@ -450,7 +466,7 @@ void RequestScheduler::ExecuteBatch(Batch batch) {
     out_dims[0] = rows;
     Result<Tensor> slice_or = Tensor::Create(Shape(out_dims), nullptr);
     if (!slice_or.ok()) {
-      Fulfill(request.promise, std::move(slice_or));
+      Fulfill(request, std::move(slice_or));
       offset_rows += rows;
       continue;
     }
@@ -458,7 +474,7 @@ void RequestScheduler::ExecuteBatch(Batch batch) {
                 out.data() + offset_rows * out_row_elems,
                 rows * out_row_elems * sizeof(float));
     offset_rows += rows;
-    Fulfill(request.promise, std::move(slice_or));
+    Fulfill(request, std::move(slice_or));
   }
 }
 

@@ -137,6 +137,16 @@ class RequestScheduler {
                                           Tensor input,
                                           int64_t deadline_us = 0);
 
+  // Like SubmitBatch, but the result is delivered by invoking
+  // `on_done` inline on whichever scheduler thread resolves the
+  // request (a worker after execution; the dispatcher or even the
+  // submitting thread for sheds) instead of through a future. This is
+  // the zero-handoff completion path the network front-end uses: the
+  // callback must be cheap-ish and must not re-enter the scheduler.
+  void SubmitBatchCallback(
+      const std::string& model, Tensor input, int64_t deadline_us,
+      std::function<void(Result<Tensor>)> on_done);
+
   // Cache-tier serving (rows coalesce; hits short-circuit per row
   // inside the session).
   std::future<Result<Tensor>> SubmitCached(const std::string& model,
@@ -190,6 +200,9 @@ class RequestScheduler {
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline{};
     std::promise<Result<Tensor>> promise;
+    // Non-empty = callback completion: resolved by calling this
+    // instead of the promise (see SubmitBatchCallback).
+    std::function<void(Result<Tensor>)> on_done;
   };
 
   struct Batch {
@@ -197,6 +210,10 @@ class RequestScheduler {
   };
 
   std::future<Result<Tensor>> Submit(Request request);
+
+  // Resolves a request: invokes on_done inline when set (callback
+  // completion), otherwise fulfills the promise.
+  static void Fulfill(Request& request, Result<Tensor> value);
 
   // "" when the request cannot coalesce (table scans, rank-<2 inputs).
   static std::string CoalesceKey(const Request& request);

@@ -146,6 +146,32 @@ Result<const InferencePlan*> ServingSession::Deploy(
   return installed_plan;
 }
 
+Status ServingSession::Undeploy(const std::string& model_name) {
+  std::shared_ptr<Deployment> dropped;
+  std::map<std::string, std::shared_ptr<Deployment>> dropped_aot;
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    const auto it = deployments_.find(model_name);
+    const auto aot = aot_plans_.find(model_name);
+    if (it == deployments_.end() && aot == aot_plans_.end()) {
+      return Status::NotFound("model '" + model_name +
+                              "' has no deployment");
+    }
+    if (it != deployments_.end()) {
+      dropped = std::move(it->second);
+      deployments_.erase(it);
+    }
+    if (aot != aot_plans_.end()) {
+      dropped_aot = std::move(aot->second);
+      aot_plans_.erase(aot);
+    }
+  }
+  // `dropped` destructs outside the lock: queries that resolved their
+  // deployment before the erase finish on their pinned shared_ptr;
+  // anything resolving after gets a typed NotFound.
+  return Status::OK();
+}
+
 Result<int> ServingSession::DeployAot(
     const std::string& model_name,
     const std::vector<int64_t>& batch_sizes) {

@@ -119,6 +119,14 @@ class ServingSession {
                                       ServingMode mode,
                                       int64_t batch_size);
 
+  // Drops every deployed plan (default + AoT variants) for the model;
+  // the registered model itself stays. In-flight queries that already
+  // resolved their deployment finish on the pinned shared_ptr;
+  // requests resolving afterwards — including ones sitting in the
+  // scheduler's queue between admission and dispatch — get a typed
+  // NotFound, never a crash. NotFound if nothing was deployed.
+  Status Undeploy(const std::string& model_name);
+
   // Ahead-of-time compilation (paper Sec. 2): when the model is
   // loaded, compile one prepared plan per *distinct representation
   // signature* across the given batch sizes; at query time

@@ -10,6 +10,7 @@
 
 #include "common/crc32c.h"
 #include "common/failpoint.h"
+#include "common/io_util.h"
 
 namespace relserve {
 
@@ -27,71 +28,10 @@ bool HeaderIsHole(const PageHeader& header) {
   return header.magic == 0 && header.crc == 0 && header.page_id == 0;
 }
 
-// Full positioned read with EINTR resume. Returns the bytes actually
-// read — short only at EOF. The "<site>.eintr" / "<site>.short"
-// failpoints drive the resume branches deterministically in tests:
-// eintr simulates a signal interrupting the syscall, short caps one
-// transfer so the loop must continue from the partial offset.
-Status ReadFull(int fd, char* buf, int64_t len, int64_t offset,
-                const char* eintr_site, const char* short_site,
-                int64_t* out_done) {
-  int64_t done = 0;
-  while (done < len) {
-    int64_t req = len - done;
-    ssize_t n;
-    if (failpoint::AnyActive() &&
-        failpoint::Evaluate(eintr_site).fired) {
-      errno = EINTR;
-      n = -1;
-    } else {
-      if (failpoint::AnyActive() &&
-          failpoint::Evaluate(short_site).fired) {
-        req = std::max<int64_t>(1, req / 2);
-      }
-      n = ::pread(fd, buf + done, static_cast<size_t>(req),
-                  offset + done);
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("pread at offset " +
-                             std::to_string(offset + done));
-    }
-    if (n == 0) break;  // past EOF
-    done += n;
-  }
-  *out_done = done;
-  return Status::OK();
-}
-
-// Full positioned write with EINTR resume and short-write
-// continuation, failpoint-instrumented like ReadFull.
-Status WriteFull(int fd, const char* buf, int64_t len, int64_t offset,
-                 const char* eintr_site, const char* short_site) {
-  int64_t done = 0;
-  while (done < len) {
-    int64_t req = len - done;
-    ssize_t n;
-    if (failpoint::AnyActive() &&
-        failpoint::Evaluate(eintr_site).fired) {
-      errno = EINTR;
-      n = -1;
-    } else {
-      if (failpoint::AnyActive() &&
-          failpoint::Evaluate(short_site).fired) {
-        req = std::max<int64_t>(1, req / 2);
-      }
-      n = ::pwrite(fd, buf + done, static_cast<size_t>(req),
-                   offset + done);
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("pwrite at offset " +
-                             std::to_string(offset + done));
-    }
-    done += n;
-  }
-  return Status::OK();
-}
+// The EINTR-resume / short-transfer-resume loops live in
+// common/io_util.{h,cc} and are shared with the socket layer; the
+// "<site>.eintr" / "<site>.short" failpoints drive the resume
+// branches deterministically in tests.
 
 }  // namespace
 
@@ -200,7 +140,7 @@ Status DiskManager::ReadAttempt(PageId page_id, char* out) {
   const int64_t slot = page_id * kPageSlotSize;
   char header_bytes[kPageHeaderSize];
   int64_t header_done = 0;
-  RELSERVE_RETURN_NOT_OK(ReadFull(fd_, header_bytes, kPageHeaderSize,
+  RELSERVE_RETURN_NOT_OK(io::PreadFull(fd_, header_bytes, kPageHeaderSize,
                                   slot, "disk.read.eintr",
                                   "disk.read.short", &header_done));
   PageHeader header;
@@ -221,7 +161,7 @@ Status DiskManager::ReadAttempt(PageId page_id, char* out) {
   }
 
   int64_t payload_done = 0;
-  RELSERVE_RETURN_NOT_OK(ReadFull(fd_, out, kPageSize,
+  RELSERVE_RETURN_NOT_OK(io::PreadFull(fd_, out, kPageSize,
                                   slot + kPageHeaderSize,
                                   "disk.read.eintr", "disk.read.short",
                                   &payload_done));
@@ -322,10 +262,10 @@ Status DiskManager::WritePage(PageId page_id, const char* data) {
   const int64_t slot = page_id * kPageSlotSize;
   char header_bytes[kPageHeaderSize];
   std::memcpy(header_bytes, &header, kPageHeaderSize);
-  RELSERVE_RETURN_NOT_OK(WriteFull(fd_, header_bytes, kPageHeaderSize,
+  RELSERVE_RETURN_NOT_OK(io::PwriteFull(fd_, header_bytes, kPageHeaderSize,
                                    slot, "disk.write.eintr",
                                    "disk.write.short"));
-  RELSERVE_RETURN_NOT_OK(WriteFull(fd_, payload, payload_len,
+  RELSERVE_RETURN_NOT_OK(io::PwriteFull(fd_, payload, payload_len,
                                    slot + kPageHeaderSize,
                                    "disk.write.eintr",
                                    "disk.write.short"));

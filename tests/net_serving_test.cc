@@ -1,0 +1,538 @@
+// Tests for the epoll network serving front-end: the framed wire
+// protocol must round-trip predictions bit-identically, typed errors
+// must cross the wire as typed statuses, and no sequence of torn,
+// truncated, oversized, or garbage frames may crash the server or
+// corrupt a neighboring connection. Fragmented reads (the
+// net.read.short failpoint caps every recv at 3 bytes) and
+// deterministically corrupted frames (net.frame.corrupt) exercise
+// reassembly and rejection on the same code the benchmarks drive.
+//
+// This binary is part of scripts/tsan_check.sh — every assertion here
+// also runs under ThreadSanitizer and UBSan.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/io_util.h"
+#include "graph/model.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "serving/request_scheduler.h"
+#include "serving/serving_session.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace {
+
+ServingConfig SmallConfig() {
+  ServingConfig config;
+  config.buffer_pool_pages = 256;
+  config.working_memory_bytes = 64LL << 20;
+  config.memory_threshold_bytes = 1LL << 20;
+  config.block_rows = 16;
+  config.block_cols = 16;
+  config.num_threads = 2;
+  return config;
+}
+
+// A raw blocking loopback socket for wire-level malformed-input tests
+// (NetClient only speaks well-formed frames).
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool Send(const void* p, size_t n) {
+    const char* bytes = static_cast<const char*>(p);
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t w = io::WriteSome(fd_, bytes + done, n - done);
+      if (w <= 0) return false;
+      done += static_cast<size_t>(w);
+    }
+    return true;
+  }
+  void CloseWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  // Reads until EOF (or error); returns everything received.
+  std::vector<char> DrainToEof() {
+    std::vector<char> all;
+    char buf[4096];
+    while (true) {
+      const ssize_t n = io::ReadSome(fd_, buf, sizeof(buf));
+      if (n <= 0) break;
+      all.insert(all.end(), buf, buf + n);
+    }
+    return all;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+class NetServingTest : public ::testing::Test {
+ protected:
+  NetServingTest() : session_(SmallConfig()) {}
+
+  void StartServer(net::NetServerConfig net_config = {}) {
+    auto model = BuildFFNN("m", {16, 32, 4}, 3);
+    ASSERT_TRUE(model.ok());
+    ASSERT_TRUE(session_.RegisterModel(std::move(*model)).ok());
+    ASSERT_TRUE(session_.Deploy("m", ServingMode::kForceUdf, 8).ok());
+
+    SchedulerConfig sched_config;
+    sched_config.max_batch_rows = 16;
+    sched_config.max_delay_us = 100;
+    sched_config.num_workers = 2;
+    scheduler_ =
+        std::make_unique<RequestScheduler>(&session_, sched_config);
+    auto server =
+        net::NetServer::Start(&session_, scheduler_.get(), net_config);
+    ASSERT_TRUE(server.ok()) << server.status();
+    server_ = std::move(*server);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+    if (scheduler_ != nullptr) scheduler_->Shutdown();
+  }
+
+  std::unique_ptr<net::NetClient> Connect() {
+    auto client = net::NetClient::Connect("127.0.0.1",
+                                          server_->port());
+    EXPECT_TRUE(client.ok()) << client.status();
+    return client.ok() ? std::move(*client) : nullptr;
+  }
+
+  Result<Tensor> Direct(const Tensor& input) {
+    return scheduler_->PredictBatch("m", input);
+  }
+
+  ServingSession session_;
+  std::unique_ptr<RequestScheduler> scheduler_;
+  std::unique_ptr<net::NetServer> server_;
+};
+
+TEST_F(NetServingTest, PingRoundTrip) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(NetServingTest, PredictRoundTripBitIdentical) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  auto row = workloads::GenBatch(1, Shape{16}, 11);
+  ASSERT_TRUE(row.ok());
+  auto expected = Direct(*row);
+  ASSERT_TRUE(expected.ok());
+
+  auto got = client->Predict("m", *row);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_EQ(got->shape().NumElements(),
+            expected->shape().NumElements());
+  // Bit-identical, not approximately equal: the wire carries raw
+  // float bytes both ways and coalescing is bit-transparent.
+  EXPECT_EQ(std::memcmp(got->data(), expected->data(),
+                        expected->shape().NumElements() *
+                            sizeof(float)),
+            0);
+}
+
+TEST_F(NetServingTest, MultiRowBatchRoundTrips) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  auto batch = workloads::GenBatch(8, Shape{16}, 12);
+  ASSERT_TRUE(batch.ok());
+  auto expected = Direct(*batch);
+  ASSERT_TRUE(expected.ok());
+
+  auto got = client->Predict("m", *batch);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->MaxAbsDiff(*expected), 0.0f);
+}
+
+TEST_F(NetServingTest, TypedErrorsCrossTheWire) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  auto row = workloads::GenBatch(1, Shape{16}, 13);
+  ASSERT_TRUE(row.ok());
+
+  // Unknown model: the session's NotFound arrives typed.
+  auto missing = client->Predict("nope", *row);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status();
+
+  // Pre-expired deadline: the scheduler's shed arrives typed.
+  auto expired = client->Predict("m", *row, /*deadline_us=*/-1);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_TRUE(expired.status().IsDeadlineExceeded())
+      << expired.status();
+
+  // The connection survives both typed errors.
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(NetServingTest, DeployAndStatsOverTheWire) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  // Redeploy the registered model relationally over the wire.
+  EXPECT_TRUE(client->Deploy("m", /*mode=*/2, /*batch=*/8).ok());
+  auto row = workloads::GenBatch(1, Shape{16}, 14);
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE(client->Predict("m", *row).ok());
+
+  // Deploying an unregistered model fails typed.
+  EXPECT_TRUE(client->Deploy("nope", 0, 8).IsNotFound());
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->find("\"scheduler\""), std::string::npos);
+  EXPECT_NE(stats->find("\"frames_in\""), std::string::npos);
+}
+
+TEST_F(NetServingTest, PipelinedRequestsMatchByRequestId) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  auto row = workloads::GenBatch(1, Shape{16}, 15);
+  ASSERT_TRUE(row.ok());
+  auto expected = Direct(*row);
+  ASSERT_TRUE(expected.ok());
+
+  // Many requests in flight on one socket before any reply is read;
+  // replies carry ids, and every id comes back exactly once.
+  constexpr int kInFlight = 24;
+  for (int i = 0; i < kInFlight; ++i) {
+    ASSERT_TRUE(client->SendPredict(100 + i, "m", *row).ok());
+  }
+  std::set<uint64_t> seen;
+  for (int i = 0; i < kInFlight; ++i) {
+    auto reply = client->ReceiveReply();
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    ASSERT_TRUE(reply->status.ok()) << reply->status;
+    EXPECT_GE(reply->header.request_id, 100u);
+    EXPECT_LT(reply->header.request_id, 100u + kInFlight);
+    EXPECT_TRUE(seen.insert(reply->header.request_id).second);
+    EXPECT_EQ(reply->tensor.MaxAbsDiff(*expected), 0.0f);
+  }
+}
+
+TEST_F(NetServingTest, ConcurrentClientsAllBitIdentical) {
+  StartServer();
+  auto row = workloads::GenBatch(1, Shape{16}, 16);
+  ASSERT_TRUE(row.ok());
+  auto expected = Direct(*row);
+  ASSERT_TRUE(expected.ok());
+
+  // 8 threads x 1 connection x 16 closed-loop predicts; rows from
+  // different sockets coalesce into shared micro-batches, results
+  // must stay per-request exact.
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 16;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      auto client = net::NetClient::Connect("127.0.0.1",
+                                            server_->port());
+      if (!client.ok()) {
+        bad.fetch_add(kPerClient);
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        auto got = (*client)->Predict("m", *row);
+        if (!got.ok() || got->MaxAbsDiff(*expected) != 0.0f) ++bad;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GE(scheduler_->stats().coalesced_requests.load(), 0);
+}
+
+TEST_F(NetServingTest, CompleterPoolFallbackServesConcurrently) {
+  // The futures + completer-pool completion mode (callback completion
+  // is the default); same concurrent bit-identity contract, exercising
+  // the scheduler-future -> completer handoff instead of inline
+  // callbacks.
+  net::NetServerConfig config;
+  config.use_completer_pool = true;
+  StartServer(config);
+  auto row = workloads::GenBatch(1, Shape{16}, 21);
+  ASSERT_TRUE(row.ok());
+  auto expected = Direct(*row);
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 12;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      auto client = net::NetClient::Connect("127.0.0.1",
+                                            server_->port());
+      if (!client.ok()) {
+        bad.fetch_add(kPerClient);
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        auto got = (*client)->Predict("m", *row);
+        if (!got.ok() || got->MaxAbsDiff(*expected) != 0.0f) ++bad;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_F(NetServingTest, BadMagicGetsProtocolErrorAndClose) {
+  StartServer();
+  RawConn raw(server_->port());
+  ASSERT_TRUE(raw.connected());
+
+  // A well-framed 16-byte header with the wrong magic.
+  char frame[20];
+  const uint32_t len = 16;
+  std::memcpy(frame, &len, 4);
+  std::memset(frame + 4, 0xAB, 16);
+  ASSERT_TRUE(raw.Send(frame, sizeof(frame)));
+
+  const std::vector<char> reply = raw.DrainToEof();  // server closed
+  // The best-effort reply is a ProtocolError frame with request id 0.
+  ASSERT_GE(reply.size(), net::kLenPrefixBytes + net::kFrameHeaderBytes);
+  auto header = net::DecodeFrameHeader(
+      reply.data() + net::kLenPrefixBytes,
+      reply.size() - net::kLenPrefixBytes);
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_EQ(header->request_id, 0u);
+  EXPECT_EQ(net::StatusCodeFromWire(header->status),
+            StatusCode::kProtocolError);
+  EXPECT_GE(server_->stats().protocol_errors.load(), 1);
+}
+
+TEST_F(NetServingTest, OversizedFrameClosesWithoutAllocating) {
+  net::NetServerConfig config;
+  config.max_frame_bytes = 4096;
+  StartServer(config);
+  RawConn raw(server_->port());
+  ASSERT_TRUE(raw.connected());
+
+  // Declare a 512 MB frame on a server capped at 4 KB. The cap check
+  // runs on the declared length — before any buffer growth.
+  const uint32_t huge = 512u << 20;
+  ASSERT_TRUE(raw.Send(&huge, sizeof(huge)));
+
+  const std::vector<char> reply = raw.DrainToEof();
+  ASSERT_GE(reply.size(), net::kLenPrefixBytes + net::kFrameHeaderBytes);
+  auto header = net::DecodeFrameHeader(
+      reply.data() + net::kLenPrefixBytes,
+      reply.size() - net::kLenPrefixBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(net::StatusCodeFromWire(header->status),
+            StatusCode::kProtocolError);
+  EXPECT_GE(server_->stats().protocol_errors.load(), 1);
+
+  // The server is still healthy for the next client.
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(NetServingTest, TruncatedFrameThenHalfCloseIsClean) {
+  StartServer();
+  RawConn raw(server_->port());
+  ASSERT_TRUE(raw.connected());
+
+  // Half a predict frame, then FIN: nothing to reply to, the server
+  // just closes its side without dispatching anything.
+  net::Buffer full;
+  auto row = workloads::GenBatch(1, Shape{16}, 17);
+  ASSERT_TRUE(row.ok());
+  net::AppendPredictRequest(7, "m", *row, 0, &full);
+  ASSERT_TRUE(raw.Send(full.data(), full.size() / 2));
+  raw.CloseWrite();
+  EXPECT_TRUE(raw.DrainToEof().empty());
+  EXPECT_EQ(server_->stats().frames_in.load(), 0);
+}
+
+TEST_F(NetServingTest, GarbageBytesNeverCrashTheServer) {
+  StartServer();
+  // Deterministic LCG garbage, several connections' worth. Every
+  // connection must end in a server-side close (oversized/broken
+  // framing), and the server must stay fully serviceable after.
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (int round = 0; round < 8; ++round) {
+    RawConn raw(server_->port());
+    ASSERT_TRUE(raw.connected());
+    char junk[512];
+    for (char& b : junk) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      b = static_cast<char>(state >> 33);
+    }
+    ASSERT_TRUE(raw.Send(junk, sizeof(junk)));
+    raw.CloseWrite();
+    raw.DrainToEof();
+  }
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST_F(NetServingTest, ShortReadsReassembleFrames) {
+  StartServer();
+  // Cap every server-side recv at 3 bytes: a multi-hundred-byte
+  // predict frame arrives in ~100 fragments and must reassemble.
+  failpoint::ScopedFailpoint short_reads(
+      "net.read.short", failpoint::Spec::Bitflip());
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  auto row = workloads::GenBatch(1, Shape{16}, 18);
+  ASSERT_TRUE(row.ok());
+  auto expected = Direct(*row);
+  ASSERT_TRUE(expected.ok());
+  auto got = client->Predict("m", *row);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->MaxAbsDiff(*expected), 0.0f);
+}
+
+TEST_F(NetServingTest, CorruptedFrameIsDetectedAndRejected) {
+  StartServer();
+  // Flip one deterministic bit in the next frame's magic/version
+  // region: the server must answer ProtocolError and close — never
+  // dispatch the corrupted frame.
+  failpoint::ScopedFailpoint corrupt(
+      "net.frame.corrupt", failpoint::Spec::Bitflip().Once());
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  auto row = workloads::GenBatch(1, Shape{16}, 19);
+  ASSERT_TRUE(row.ok());
+  auto got = client->Predict("m", *row);
+  ASSERT_FALSE(got.ok());
+  // Either the typed reply arrived before the close, or the close won
+  // the race; both are protocol-clean outcomes.
+  EXPECT_TRUE(got.status().IsProtocolError() ||
+              got.status().IsUnavailable())
+      << got.status();
+  EXPECT_GE(server_->stats().protocol_errors.load(), 1);
+}
+
+TEST_F(NetServingTest, IdleConnectionsAreSwept) {
+  net::NetServerConfig config;
+  config.idle_timeout_ms = 50;
+  StartServer(config);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Ping().ok());
+  // Go quiet past the timeout; the sweeper closes us.
+  auto reply = client->ReceiveReply();  // blocks until the close
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().IsUnavailable()) << reply.status();
+  EXPECT_GE(server_->stats().idle_closed.load(), 1);
+}
+
+TEST_F(NetServingTest, HalfCloseStillDeliversPendingReplies) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  auto row = workloads::GenBatch(1, Shape{16}, 20);
+  ASSERT_TRUE(row.ok());
+  auto expected = Direct(*row);
+  ASSERT_TRUE(expected.ok());
+
+  // Requests in flight, then shutdown(SHUT_WR): the server finishes
+  // every admitted request and flushes the replies before closing.
+  constexpr int kInFlight = 6;
+  for (int i = 0; i < kInFlight; ++i) {
+    ASSERT_TRUE(client->SendPredict(200 + i, "m", *row).ok());
+  }
+  client->CloseWrite();
+  int ok = 0;
+  for (int i = 0; i < kInFlight; ++i) {
+    auto reply = client->ReceiveReply();
+    if (reply.ok() && reply->status.ok() &&
+        reply->tensor.MaxAbsDiff(*expected) == 0.0f) {
+      ++ok;
+    }
+  }
+  EXPECT_EQ(ok, kInFlight);
+  // And then the close arrives.
+  EXPECT_TRUE(client->ReceiveReply().status().IsUnavailable());
+}
+
+TEST_F(NetServingTest, ShutdownDrainsInFlightRequests) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  auto row = workloads::GenBatch(1, Shape{16}, 21);
+  ASSERT_TRUE(row.ok());
+
+  constexpr int kInFlight = 4;
+  for (int i = 0; i < kInFlight; ++i) {
+    ASSERT_TRUE(client->SendPredict(300 + i, "m", *row).ok());
+  }
+  // Wait until the server has actually read and admitted them, so the
+  // drain contract (not a read/shutdown race) is what's under test.
+  while (server_->stats().frames_in.load() < kInFlight) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server_->Shutdown();
+  int ok = 0;
+  for (int i = 0; i < kInFlight; ++i) {
+    auto reply = client->ReceiveReply();
+    if (reply.ok() && reply->status.ok()) ++ok;
+  }
+  EXPECT_EQ(ok, kInFlight);
+}
+
+TEST_F(NetServingTest, WireStatusBytesAreStable) {
+  // On-the-wire values are a protocol contract; renumbering Status
+  // enum internals must never leak to the wire.
+  EXPECT_EQ(net::WireStatusByte(StatusCode::kOk), 0);
+  EXPECT_EQ(net::StatusCodeFromWire(0), StatusCode::kOk);
+  EXPECT_EQ(net::StatusCodeFromWire(
+                net::WireStatusByte(StatusCode::kProtocolError)),
+            StatusCode::kProtocolError);
+  EXPECT_EQ(net::StatusCodeFromWire(
+                net::WireStatusByte(StatusCode::kDeadlineExceeded)),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(net::StatusCodeFromWire(
+                net::WireStatusByte(StatusCode::kNotFound)),
+            StatusCode::kNotFound);
+  // Unknown bytes decode to kInternal, never to kOk.
+  EXPECT_EQ(net::StatusCodeFromWire(0xEE), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace relserve

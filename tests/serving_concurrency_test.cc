@@ -223,6 +223,77 @@ TEST_F(ServingConcurrencyTest, ExpiredDeadlineShedsTyped) {
   EXPECT_EQ(scheduler.stats().shed_deadline.load(), 1);
 }
 
+TEST_F(ServingConcurrencyTest, ZeroDeadlineMeansNoDeadline) {
+  LoadModel();
+  SchedulerConfig config;
+  config.start_paused = true;
+  RequestScheduler scheduler(&session_, config);
+
+  auto row = workloads::GenBatch(1, Shape{16}, 4);
+  ASSERT_TRUE(row.ok());
+  // Deadline 0 is "no deadline", not "due immediately": the request
+  // sits queued far longer than any batching window and must still
+  // execute, not shed.
+  auto pending = scheduler.SubmitBatch("m", *row, /*deadline_us=*/0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  scheduler.Resume();
+  auto result = pending.get();
+  EXPECT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(scheduler.stats().shed_deadline.load(), 0);
+}
+
+TEST_F(ServingConcurrencyTest, TinyDeadlineExpiresWhileQueued) {
+  LoadModel();
+  SchedulerConfig config;
+  config.start_paused = true;
+  RequestScheduler scheduler(&session_, config);
+
+  auto row = workloads::GenBatch(1, Shape{16}, 5);
+  ASSERT_TRUE(row.ok());
+  // A positive-but-tiny deadline that lapses between admission and
+  // dispatch (the scheduler is paused through it) must shed with
+  // DeadlineExceeded at dispatch, never execute late.
+  auto doomed = scheduler.SubmitBatch("m", *row, /*deadline_us=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  scheduler.Resume();
+  auto result = doomed.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status();
+  EXPECT_EQ(scheduler.stats().shed_deadline.load(), 1);
+}
+
+TEST_F(ServingConcurrencyTest, UndeployBetweenAdmissionAndDispatch) {
+  LoadModel();
+  SchedulerConfig config;
+  config.start_paused = true;
+  RequestScheduler scheduler(&session_, config);
+
+  auto row = workloads::GenBatch(1, Shape{16}, 6);
+  ASSERT_TRUE(row.ok());
+  // Admit while deployed, undeploy before the dispatcher runs: the
+  // queued request must resolve with a typed NotFound — never a crash,
+  // never a hang.
+  auto orphaned = scheduler.SubmitBatch("m", *row);
+  ASSERT_TRUE(session_.Undeploy("m").ok());
+  scheduler.Resume();
+  auto result = orphaned.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound()) << result.status();
+
+  // Still NotFound on a fresh submission...
+  auto still_gone = scheduler.SubmitBatch("m", *row).get();
+  ASSERT_FALSE(still_gone.ok());
+  EXPECT_TRUE(still_gone.status().IsNotFound());
+
+  // ...and redeploying brings the model back without a new scheduler.
+  ASSERT_TRUE(session_.Deploy("m", ServingMode::kForceUdf, 8).ok());
+  auto back = scheduler.SubmitBatch("m", *row).get();
+  EXPECT_TRUE(back.ok()) << back.status();
+
+  // Undeploying a model that has nothing deployed is a typed NotFound.
+  EXPECT_TRUE(session_.Undeploy("nope").IsNotFound());
+}
+
 TEST_F(ServingConcurrencyTest, FullAdmissionQueueShedsTyped) {
   LoadModel();
   SchedulerConfig config;
