@@ -38,12 +38,19 @@ UBSAN_DIR="${2:-build-ubsan}"
 # callback and completer-pool completion modes, inflight counters,
 # drain-on-shutdown) under TSan, and the wire codec's memcpy-cursor
 # frame parsing over torn and corrupted frames under UBSan.
+# mvcc_test runs serve-while-ingest schedules (readers pinning
+# snapshots against a committing writer: version clock, visibility
+# map, and cache-fence atomics) under TSan; wal_recovery_test runs
+# group-commit leader election across concurrent ingest threads under
+# TSan, and the WAL codec's byte-cursor frame encode/decode over
+# corrupted and torn logs under UBSan.
 TSAN_TESTS=(resource_test storage_test block_ops_test kernels_test
             executor_test serving_concurrency_test chaos_test
-            columnar_test quantized_kernels_test net_serving_test)
+            columnar_test quantized_kernels_test net_serving_test
+            mvcc_test wal_recovery_test)
 UBSAN_TESTS=(kernels_test tensor_test block_ops_test executor_test
             plan_text_test chaos_test columnar_test
-            quantized_kernels_test net_serving_test)
+            quantized_kernels_test net_serving_test wal_recovery_test)
 
 cmake -B "$BUILD_DIR" -S . -DRELSERVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo

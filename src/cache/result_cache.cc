@@ -28,9 +28,16 @@ std::string ExactResultCache::Key(const std::vector<float>& features) {
 
 void ExactResultCache::Insert(const std::vector<float>& features,
                               std::vector<float> prediction) {
+  Insert(features, std::move(prediction),
+         fence_.load(std::memory_order_acquire));
+}
+
+void ExactResultCache::Insert(const std::vector<float>& features,
+                              std::vector<float> prediction,
+                              uint64_t version) {
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
-    map_[Key(features)] = std::move(prediction);
+    map_[Key(features)] = Entry{std::move(prediction), version};
   }
   stats_.insertions += 1;
 }
@@ -38,15 +45,49 @@ void ExactResultCache::Insert(const std::vector<float>& features,
 std::optional<std::vector<float>> ExactResultCache::Lookup(
     const std::vector<float>& features) {
   stats_.lookups += 1;
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = map_.find(Key(features));
-  if (it == map_.end()) return std::nullopt;
-  stats_.hits += 1;
-  return it->second;
+  const std::string key = Key(features);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    if (it->second.version >=
+        fence_.load(std::memory_order_acquire)) {
+      stats_.hits += 1;
+      return it->second.prediction;
+    }
+  }
+  // Fenced entry: erase it (re-checking under the writer lock — a
+  // racing Insert may have refreshed it with a newer stamp).
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end() &&
+        it->second.version < fence_.load(std::memory_order_acquire)) {
+      map_.erase(it);
+      stats_.invalidations += 1;
+    }
+  }
+  return std::nullopt;
+}
+
+void ExactResultCache::Invalidate(uint64_t version) {
+  uint64_t cur = fence_.load(std::memory_order_relaxed);
+  while (cur < version &&
+         !fence_.compare_exchange_weak(cur, version,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+  }
 }
 
 Status ApproxResultCache::Insert(const std::vector<float>& features,
                                  std::vector<float> prediction) {
+  return Insert(features, std::move(prediction),
+                fence_.load(std::memory_order_acquire));
+}
+
+Status ApproxResultCache::Insert(const std::vector<float>& features,
+                                 std::vector<float> prediction,
+                                 uint64_t version) {
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     RELSERVE_ASSIGN_OR_RETURN(int64_t id, index_->Add(features));
@@ -54,6 +95,7 @@ Status ApproxResultCache::Insert(const std::vector<float>& features,
       return Status::Internal("cache id out of sync with index");
     }
     predictions_.push_back(std::move(prediction));
+    versions_.push_back(version);
   }
   stats_.insertions += 1;
   return Status::OK();
@@ -67,8 +109,21 @@ std::optional<std::vector<float>> ApproxResultCache::Lookup(
   if (!neighbors.ok() || neighbors->empty()) return std::nullopt;
   const AnnIndex::Neighbor& nearest = neighbors->front();
   if (nearest.distance > config_.max_distance) return std::nullopt;
+  if (versions_[nearest.id] < fence_.load(std::memory_order_acquire)) {
+    stats_.invalidations += 1;
+    return std::nullopt;
+  }
   stats_.hits += 1;
   return predictions_[nearest.id];
+}
+
+void ApproxResultCache::Invalidate(uint64_t version) {
+  uint64_t cur = fence_.load(std::memory_order_relaxed);
+  while (cur < version &&
+         !fence_.compare_exchange_weak(cur, version,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+  }
 }
 
 namespace {

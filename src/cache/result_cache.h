@@ -38,6 +38,9 @@ struct CacheStats {
   std::atomic<int64_t> lookups{0};
   std::atomic<int64_t> hits{0};
   std::atomic<int64_t> insertions{0};
+  // Entries rejected by the version fence: their input rows were
+  // superseded by a commit after the prediction was computed.
+  std::atomic<int64_t> invalidations{0};
 
   CacheStats() = default;
   CacheStats(const CacheStats& other) { *this = other; }
@@ -48,6 +51,7 @@ struct CacheStats {
     lookups.store(other.lookups.load(kRelaxed), kRelaxed);
     hits.store(other.hits.load(kRelaxed), kRelaxed);
     insertions.store(other.insertions.load(kRelaxed), kRelaxed);
+    invalidations.store(other.invalidations.load(kRelaxed), kRelaxed);
     return *this;
   }
 
@@ -62,14 +66,37 @@ struct CacheStats {
 // are atomics updated outside any exclusive section. This is what
 // lets the serving scheduler fill a batched miss while other client
 // threads keep probing the same cache.
+//
+// Version fencing (DESIGN.md "Durability & snapshot isolation"): every
+// entry is stamped with the MVCC snapshot its input rows were read at,
+// and Invalidate(v) raises a fence below which entries no longer hit.
+// An entry is valid iff entry.version >= fence — an entry computed at
+// snapshot s is stale exactly when some commit c with s < c touched
+// the serving table, and Invalidate(c) makes the fence at least c.
+// Staleness is therefore impossible by construction even against a
+// racing commit: an in-flight prediction stamps the snapshot it
+// *pinned before reading*, so if a commit lands between its read and
+// its Insert, the stamp is already below the fence and the entry never
+// hits. The default Insert overload stamps the current fence (always
+// valid), so single-table static workloads behave exactly as before.
 class ExactResultCache {
  public:
   void Insert(const std::vector<float>& features,
               std::vector<float> prediction);
+  void Insert(const std::vector<float>& features,
+              std::vector<float> prediction, uint64_t version);
 
-  // The cached prediction for exactly these features, if present.
+  // The cached prediction for exactly these features, if present and
+  // not version-fenced. Fenced entries are erased on discovery.
   std::optional<std::vector<float>> Lookup(
       const std::vector<float>& features);
+
+  // Fences out every entry computed at a snapshot below `version`.
+  void Invalidate(uint64_t version);
+
+  uint64_t fence() const {
+    return fence_.load(std::memory_order_acquire);
+  }
 
   const CacheStats& stats() const { return stats_; }
   int64_t size() const {
@@ -78,10 +105,16 @@ class ExactResultCache {
   }
 
  private:
+  struct Entry {
+    std::vector<float> prediction;
+    uint64_t version = 0;
+  };
+
   static std::string Key(const std::vector<float>& features);
 
   mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::vector<float>> map_;
+  std::unordered_map<std::string, Entry> map_;
+  std::atomic<uint64_t> fence_{0};
   CacheStats stats_;
 };
 
@@ -107,9 +140,20 @@ class ApproxResultCache {
 
   Status Insert(const std::vector<float>& features,
                 std::vector<float> prediction);
+  Status Insert(const std::vector<float>& features,
+                std::vector<float> prediction, uint64_t version);
 
   std::optional<std::vector<float>> Lookup(
       const std::vector<float>& features);
+
+  // Version fence, same contract as ExactResultCache::Invalidate.
+  // Fenced entries stop hitting immediately; their ANN graph nodes
+  // remain (the index has no removal) and are skipped at lookup.
+  void Invalidate(uint64_t version);
+
+  uint64_t fence() const {
+    return fence_.load(std::memory_order_acquire);
+  }
 
   const CacheStats& stats() const { return stats_; }
   int64_t size() const {
@@ -125,6 +169,8 @@ class ApproxResultCache {
   mutable std::shared_mutex mu_;
   std::unique_ptr<AnnIndex> index_;
   std::vector<std::vector<float>> predictions_;  // by index id
+  std::vector<uint64_t> versions_;               // by index id
+  std::atomic<uint64_t> fence_{0};
   CacheStats stats_;
 };
 

@@ -177,6 +177,27 @@ void NetServer::AcceptAll(EventLoop* loop) {
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
     }));
     if (fd < 0) return;  // EAGAIN (or transient accept failure)
+    const int64_t live =
+        live_conns_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (config_.max_connections > 0 &&
+        live > config_.max_connections) {
+      live_conns_.fetch_sub(1, std::memory_order_acq_rel);
+      // Typed refusal so the client can distinguish "server full"
+      // from a network failure. Best-effort single write: if the
+      // socket won't take the bytes we close regardless.
+      Buffer refusal;
+      AppendErrorReply(
+          0, Opcode::kPing,
+          Status::Unavailable("connection limit reached (" +
+                              std::to_string(config_.max_connections) +
+                              ")"),
+          &refusal);
+      (void)io::WriteSome(fd, refusal.data(), refusal.size());
+      ::close(fd);
+      stats_.connections_refused.fetch_add(1,
+                                           std::memory_order_relaxed);
+      continue;
+    }
     const int one = 1;
     // Replies are small frames on a request/response cycle; Nagle
     // would add 40ms to every closed-loop client.
@@ -213,6 +234,7 @@ void NetServer::CloseConnection(
     ::close(conn->fd);
   }
   conn->loop->conns.erase(conn->id);
+  live_conns_.fetch_sub(1, std::memory_order_acq_rel);
   stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -452,6 +474,35 @@ void NetServer::HandleReadable(
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     CloseConnection(conn);
     return;
+  }
+  if (config_.max_conn_memory_bytes > 0) {
+    int64_t total;
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      total = static_cast<int64_t>(conn->in.size() + conn->out.size());
+    }
+    if (total > config_.max_conn_memory_bytes) {
+      // One peer pinning more than its share of buffer memory (giant
+      // partial frames plus unread replies) is closed outright — the
+      // per-frame and write-buffer caps bound each side, this bounds
+      // their sum.
+      stats_.memory_closed.fetch_add(1, std::memory_order_relaxed);
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        AppendErrorReply(
+            0, Opcode::kPing,
+            Status::ProtocolError(
+                "connection buffers (" + std::to_string(total) +
+                " bytes) exceed max_conn_memory_bytes " +
+                std::to_string(config_.max_conn_memory_bytes)),
+            &conn->out);
+        stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+        FlushLocked(conn.get());  // best-effort: we close either way
+      }
+      CloseConnection(conn);
+      return;
+    }
   }
   if (!DrainFrames(conn)) return;  // closed on protocol error
   FlushWrites(conn);
@@ -703,7 +754,10 @@ std::string NetServer::StatsJson() const {
   json += "\"bytes_in\":" + n(s.bytes_in.load()) + ",";
   json += "\"bytes_out\":" + n(s.bytes_out.load()) + ",";
   json += "\"protocol_errors\":" + n(s.protocol_errors.load()) + ",";
-  json += "\"idle_closed\":" + n(s.idle_closed.load()) + "}}";
+  json += "\"idle_closed\":" + n(s.idle_closed.load()) + ",";
+  json += "\"connections_refused\":" +
+          n(s.connections_refused.load()) + ",";
+  json += "\"memory_closed\":" + n(s.memory_closed.load()) + "}}";
   return json;
 }
 

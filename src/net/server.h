@@ -70,6 +70,16 @@ struct NetServerConfig {
   // Stop reading from a connection whose outbound buffer exceeds this
   // (EPOLLOUT-gated backpressure); reading resumes once drained.
   int64_t write_buffer_limit = 8LL << 20;
+  // Live-connection cap across all shards: an accept past the cap is
+  // answered with a best-effort typed Unavailable frame and closed
+  // immediately, so a well-behaved client can tell "server full" from
+  // a network failure. 0 = unlimited.
+  int64_t max_connections = 0;
+  // Total buffered bytes (read ring + pending replies) one connection
+  // may hold; past it the connection gets a typed ProtocolError reply
+  // and is closed. Bounds what one abusive peer can pin regardless of
+  // max_frame_bytes and write_buffer_limit. 0 = unlimited.
+  int64_t max_conn_memory_bytes = 0;
   // Event-loop shards; connections are spread across them by
   // EPOLLEXCLUSIVE accept. 0 = pick from hardware_concurrency (extra
   // shards on a small machine just add context switches). Clamped to
@@ -98,6 +108,10 @@ struct NetServerStats {
   std::atomic<int64_t> bytes_out{0};
   std::atomic<int64_t> protocol_errors{0};
   std::atomic<int64_t> idle_closed{0};
+  // Accepts refused at max_connections.
+  std::atomic<int64_t> connections_refused{0};
+  // Connections closed for exceeding max_conn_memory_bytes.
+  std::atomic<int64_t> memory_closed{0};
 
   NetServerStats() = default;
   NetServerStats(const NetServerStats& other) { *this = other; }
@@ -115,6 +129,9 @@ struct NetServerStats {
     protocol_errors.store(other.protocol_errors.load(kRelaxed),
                           kRelaxed);
     idle_closed.store(other.idle_closed.load(kRelaxed), kRelaxed);
+    connections_refused.store(
+        other.connections_refused.load(kRelaxed), kRelaxed);
+    memory_closed.store(other.memory_closed.load(kRelaxed), kRelaxed);
     return *this;
   }
 };
@@ -246,6 +263,10 @@ class NetServer {
 
   std::vector<std::unique_ptr<EventLoop>> loops_;
   std::atomic<uint64_t> next_conn_id_{1};
+  // Live connections across all shards; the accept cap reserves a
+  // slot (fetch_add) before admitting, so the cap is exact even with
+  // EPOLLEXCLUSIVE spreading accepts across loops.
+  std::atomic<int64_t> live_conns_{0};
 
   BoundedQueue<Completion> completions_;
   std::vector<std::thread> completers_;

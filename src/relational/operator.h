@@ -21,6 +21,7 @@
 #include "relational/expression.h"
 #include "relational/row.h"
 #include "relational/schema.h"
+#include "storage/mvcc.h"
 #include "storage/table_heap.h"
 
 namespace relserve {
@@ -67,14 +68,26 @@ class SeqScan : public RowIterator {
     bytes_scanned_ = bytes_scanned;
   }
 
+  // MVCC snapshot read: rows whose version interval does not contain
+  // `snapshot` are skipped. Row ordinals follow insertion order —
+  // exactly the VisibilityMap's row index.
+  void set_visibility(const VisibilityMap* visibility,
+                      Version snapshot) {
+    visibility_ = visibility;
+    snapshot_ = snapshot;
+  }
+
  private:
   const TableHeap* heap_;
   Schema schema_;
   int64_t page_index_ = 0;
   std::vector<std::string> page_records_;
   size_t record_index_ = 0;
+  int64_t ordinal_ = 0;
   std::atomic<int64_t>* rows_scanned_ = nullptr;
   std::atomic<int64_t>* bytes_scanned_ = nullptr;
+  const VisibilityMap* visibility_ = nullptr;
+  Version snapshot_ = 0;
 };
 
 // Scans an in-memory row vector (for intermediate results).

@@ -561,7 +561,30 @@ Result<ColumnarScanOutput> ColumnarScan(const ColumnarTable& table,
     return kept;
   };
 
+  const Schema rest_schema = schema.Project(rest_cols);
+
   auto scan_fragment = [&](int64_t f) {
+    // Table ordinal of this fragment's first row, read before the
+    // fragment itself: seals never move a fragment's start, and rows a
+    // concurrent commit appends after this point carry begin versions
+    // beyond any already-pinned snapshot.
+    const int64_t frag_start =
+        opts.visibility != nullptr ? table.FragmentStartRow(f) : 0;
+    SelVector vis_sel;
+    bool vis_filtered = false;
+    // Visibility pre-selection (within-fragment offsets), computed
+    // once the fragment's decoded row count is known. Fully visible
+    // fragments skip the per-row pass entirely.
+    auto compute_visibility = [&](int64_t rows) {
+      if (opts.visibility == nullptr) return;
+      if (opts.visibility->AllVisible(frag_start, rows,
+                                      opts.snapshot)) {
+        return;
+      }
+      opts.visibility->VisibleSelection(frag_start, rows,
+                                        opts.snapshot, &vis_sel);
+      vis_filtered = true;
+    };
     ColumnBatch batch;
     SelVector sel;
     bool filtered = false;
@@ -576,8 +599,15 @@ Result<ColumnarScanOutput> ColumnarScan(const ColumnarTable& table,
                              std::memory_order_relaxed);
       bytes_scanned.fetch_add(pred_batch.ByteSize(),
                               std::memory_order_relaxed);
-      Result<SelVector> passed = EvalPredicate(
-          *opts.predicate, pred_batch, nullptr, 0, &pred_col_map);
+      compute_visibility(pred_batch.num_rows);
+      Result<SelVector> passed =
+          vis_filtered
+              ? EvalPredicate(*opts.predicate, pred_batch,
+                              vis_sel.data(),
+                              static_cast<int64_t>(vis_sel.size()),
+                              &pred_col_map)
+              : EvalPredicate(*opts.predicate, pred_batch, nullptr, 0,
+                              &pred_col_map);
       if (!passed.ok()) {
         statuses[f] = passed.status();
         return;
@@ -596,6 +626,17 @@ Result<ColumnarScanOutput> ColumnarScan(const ColumnarTable& table,
       ColumnBatch rest_batch = std::move(rest).ValueOrDie();
       bytes_scanned.fetch_add(rest_batch.ByteSize(),
                               std::memory_order_relaxed);
+      if (rest_batch.num_rows > pred_batch.num_rows) {
+        // A concurrent append grew the open tail between the two
+        // reads; trim the rest columns back to the rows the predicate
+        // saw so every chunk of the assembled batch agrees.
+        SelVector head(pred_batch.num_rows);
+        std::iota(head.begin(), head.end(), 0);
+        std::vector<int> identity(rest_batch.columns.size());
+        std::iota(identity.begin(), identity.end(), 0);
+        rest_batch =
+            CompactBatch(rest_batch, head, identity, rest_schema);
+      }
       batch = ColumnBatch(needed_schema);
       for (size_t i = 0; i < needed.size(); ++i) {
         const int c = needed[i];
@@ -616,14 +657,23 @@ Result<ColumnarScanOutput> ColumnarScan(const ColumnarTable& table,
                              std::memory_order_relaxed);
       bytes_scanned.fetch_add(batch.ByteSize(),
                               std::memory_order_relaxed);
+      compute_visibility(batch.num_rows);
       if (opts.predicate != nullptr) {
-        Result<SelVector> passed = EvalPredicate(
-            *opts.predicate, batch, nullptr, 0, &col_map);
+        Result<SelVector> passed =
+            vis_filtered
+                ? EvalPredicate(*opts.predicate, batch, vis_sel.data(),
+                                static_cast<int64_t>(vis_sel.size()),
+                                &col_map)
+                : EvalPredicate(*opts.predicate, batch, nullptr, 0,
+                                &col_map);
         if (!passed.ok()) {
           statuses[f] = passed.status();
           return;
         }
         sel = std::move(passed).ValueOrDie();
+        filtered = true;
+      } else if (vis_filtered) {
+        sel = std::move(vis_sel);
         filtered = true;
       }
     }
@@ -708,14 +758,25 @@ Result<ColumnarScanOutput> ColumnarScan(const ColumnarTable& table,
 }
 
 Result<bool> ColumnarRowScan::Next(Row* row) {
-  while (row_ >= batch_.num_rows) {
-    if (fragment_ >= table_->num_fragments()) return false;
-    RELSERVE_ASSIGN_OR_RETURN(
-        batch_, table_->ReadFragment(fragment_++, nullptr));
-    row_ = 0;
+  while (true) {
+    while (row_ >= batch_.num_rows) {
+      if (fragment_ >= table_->num_fragments()) return false;
+      // Start ordinal read before the fragment: a concurrent seal
+      // never moves it, and rows appended afterwards carry begin
+      // versions beyond any pinned snapshot.
+      batch_start_ = table_->FragmentStartRow(fragment_);
+      RELSERVE_ASSIGN_OR_RETURN(
+          batch_, table_->ReadFragment(fragment_++, nullptr));
+      row_ = 0;
+    }
+    const int64_t r = row_++;
+    if (visibility_ != nullptr &&
+        !visibility_->IsVisible(batch_start_ + r, snapshot_)) {
+      continue;  // not in this reader's snapshot
+    }
+    *row = batch_.RowAt(r);
+    return true;
   }
-  *row = batch_.RowAt(row_++);
-  return true;
 }
 
 RowIteratorPtr MakeTableScan(const TableHeap* heap,

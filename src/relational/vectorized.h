@@ -28,6 +28,7 @@
 #include "relational/operator.h"
 #include "resource/thread_pool.h"
 #include "storage/column_store.h"
+#include "storage/mvcc.h"
 
 namespace relserve {
 
@@ -63,6 +64,13 @@ struct ColumnarScanOptions {
   bool force_serial = false;
   // Cap on emitted rows (applied after the filter); -1 = no cap.
   int64_t limit = -1;
+  // MVCC snapshot read: rows of each fragment that are not visible at
+  // `snapshot` are dropped before the predicate runs (the visibility
+  // selection feeds EvalPredicate as the initial selection vector).
+  // Fragments that are entirely visible take the AllVisible fast path
+  // and skip per-row checks. null = every row visible.
+  const VisibilityMap* visibility = nullptr;
+  Version snapshot = 0;
 };
 
 struct ColumnarScanOutput {
@@ -102,12 +110,22 @@ class ColumnarRowScan : public RowIterator {
   const Schema& schema() const override { return schema_; }
   int64_t SizeHint() const override { return table_->num_rows(); }
 
+  // MVCC snapshot read, mirroring SeqScan::set_visibility.
+  void set_visibility(const VisibilityMap* visibility,
+                      Version snapshot) {
+    visibility_ = visibility;
+    snapshot_ = snapshot;
+  }
+
  private:
   const ColumnarTable* table_;
   Schema schema_;
   int64_t fragment_ = 0;
   ColumnBatch batch_;
   int64_t row_ = 0;
+  int64_t batch_start_ = 0;  // table ordinal of batch_ row 0
+  const VisibilityMap* visibility_ = nullptr;
+  Version snapshot_ = 0;
 };
 
 // Scan over whichever layout the table uses (exactly one of

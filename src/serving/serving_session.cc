@@ -1,5 +1,7 @@
 #include "serving/serving_session.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstring>
 #include <thread>
@@ -52,12 +54,69 @@ ServingSession::ServingSession(ServingConfig config)
   ctx_.buffer_pool = buffer_pool_.get();
   ctx_.block_rows = config.block_rows;
   ctx_.block_cols = config.block_cols;
+
+  if (!config_.wal_dir.empty()) {
+    // Replay whatever log survives at the configured path, then open
+    // it for appending. Construction never aborts: a failed replay or
+    // open parks the error in wal_status_, and every subsequent
+    // ApplyWrite refuses with it rather than writing non-durably.
+    ::mkdir(config_.wal_dir.c_str(), 0755);  // best-effort
+    const std::string wal_path = config_.wal_dir + "/relserve.wal";
+    Result<RecoveryStats> recovered =
+        RecoverCatalog(wal_path, catalog_.get(), &clock_);
+    if (!recovered.ok()) {
+      wal_status_ = recovered.status();
+      return;
+    }
+    recovery_stats_ = std::move(recovered).ValueOrDie();
+    WalOptions wal_opts;
+    wal_opts.path = wal_path;
+    wal_opts.fsync_policy = config_.wal_fsync;
+    wal_opts.group_window_us = config_.wal_group_window_us;
+    Result<std::unique_ptr<WriteAheadLog>> wal =
+        WriteAheadLog::Open(wal_opts);
+    if (!wal.ok()) {
+      wal_status_ = wal.status();
+      return;
+    }
+    wal_ = std::move(wal).ValueOrDie();
+  }
 }
 
 Result<TableInfo*> ServingSession::CreateTable(const std::string& name,
                                                Schema schema,
                                                TableLayout layout) {
-  return catalog_->CreateTable(name, std::move(schema), layout);
+  if (wal_ == nullptr) {
+    if (!config_.wal_dir.empty() && !wal_status_.ok()) {
+      return wal_status_;
+    }
+    return catalog_->CreateTable(name, std::move(schema), layout);
+  }
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  const uint64_t txn = next_txn_++;
+  WalRecord create;
+  create.type = WalRecord::Type::kCreateTable;
+  create.txn_id = txn;
+  create.table = name;
+  create.layout = static_cast<uint8_t>(layout);
+  EncodeSchema(schema, &create.schema_encoding);
+  RELSERVE_ASSIGN_OR_RETURN(uint64_t lsn, wal_->Append(create));
+  // Catalog failure (duplicate name) leaves the logged create
+  // uncommitted; recovery drops it.
+  RELSERVE_ASSIGN_OR_RETURN(
+      TableInfo * table,
+      catalog_->CreateTable(name, std::move(schema), layout));
+  const Version v = clock_.Allocate();
+  WalRecord commit_rec;
+  commit_rec.type = WalRecord::Type::kCommit;
+  commit_rec.txn_id = txn;
+  commit_rec.table = name;
+  commit_rec.commit_version = v;
+  commit_rec.op_count = 1;
+  RELSERVE_ASSIGN_OR_RETURN(lsn, wal_->Append(commit_rec));
+  RELSERVE_RETURN_NOT_OK(wal_->WaitDurable(lsn));
+  clock_.Publish(v);
+  return table;
 }
 
 ServingSession::ColumnarTableStages* ServingSession::ColumnarStages(
@@ -81,6 +140,154 @@ ServingSession::ColumnarTableStages* ServingSession::ColumnarStages(
 
 Result<TableInfo*> ServingSession::GetTable(const std::string& name) {
   return catalog_->GetTable(name);
+}
+
+Status ServingSession::ApplyWrite(const std::string& table_name,
+                                  std::vector<WriteOp> ops) {
+  if (ops.empty()) return Status::OK();
+  RELSERVE_ASSIGN_OR_RETURN(TableInfo* table,
+                            catalog_->GetTable(table_name));
+  // Validate and serialize outside the commit lock.
+  std::vector<std::string> row_bytes(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const WriteOp& op = ops[i];
+    if (op.kind != WriteOp::Kind::kInsert && op.ordinal < 0) {
+      return Status::InvalidArgument(
+          "update/delete needs a row ordinal");
+    }
+    if (op.kind != WriteOp::Kind::kDelete) {
+      op.row.SerializeTo(&row_bytes[i]);
+    }
+  }
+
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  if (!config_.wal_dir.empty() && !wal_status_.ok()) {
+    // The configured WAL never opened/recovered: refuse rather than
+    // apply a write that would not survive a crash.
+    return wal_status_;
+  }
+  const uint64_t txn = next_txn_++;
+
+  // 1. Log every op, then the commit record, then wait for
+  //    durability. Any failure here returns before a single storage
+  //    mutation: recovery sees an uncommitted (or absent) transaction
+  //    and drops it — no torn writes, no phantom rows.
+  uint64_t last_lsn = 0;
+  if (wal_ != nullptr) {
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const WriteOp& op = ops[i];
+      WalRecord rec;
+      rec.txn_id = txn;
+      rec.table = table_name;
+      switch (op.kind) {
+        case WriteOp::Kind::kInsert:
+          rec.type = WalRecord::Type::kInsert;
+          rec.row_bytes = row_bytes[i];
+          break;
+        case WriteOp::Kind::kUpdate:
+          rec.type = WalRecord::Type::kUpdate;
+          rec.ordinal = op.ordinal;
+          rec.row_bytes = row_bytes[i];
+          break;
+        case WriteOp::Kind::kDelete:
+          rec.type = WalRecord::Type::kDelete;
+          rec.ordinal = op.ordinal;
+          break;
+      }
+      RELSERVE_ASSIGN_OR_RETURN(last_lsn, wal_->Append(rec));
+    }
+  }
+  const Version v = clock_.Allocate();
+  if (wal_ != nullptr) {
+    WalRecord commit_rec;
+    commit_rec.type = WalRecord::Type::kCommit;
+    commit_rec.txn_id = txn;
+    commit_rec.table = table_name;
+    commit_rec.commit_version = v;
+    commit_rec.op_count = static_cast<uint32_t>(ops.size());
+    RELSERVE_ASSIGN_OR_RETURN(last_lsn, wal_->Append(commit_rec));
+    RELSERVE_RETURN_NOT_OK(wal_->WaitDurable(last_lsn));
+  }
+
+  // 2. Apply. The version is not yet published, so rows landing here
+  //    carry begin = v > every pinned snapshot — concurrent readers
+  //    cannot observe a partially applied transaction.
+  VisibilityMap* vis = table->visibility.get();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const WriteOp& op = ops[i];
+    if (op.kind != WriteOp::Kind::kInsert) {
+      RELSERVE_RETURN_NOT_OK(vis->MarkDeleted(op.ordinal, v));
+    }
+    if (op.kind != WriteOp::Kind::kDelete) {
+      // Interval first, bytes second: an untracked ordinal defaults
+      // to always-visible, so registering [v, inf) before the row
+      // physically exists is what keeps a reader pinned below v from
+      // glimpsing it mid-append. (A storage failure past this point
+      // leaves memory behind the durable log either way — the commit
+      // is already on disk.)
+      vis->PadTo(table->num_rows());
+      vis->AppendRow(v);
+      if (table->heap != nullptr) {
+        RELSERVE_RETURN_NOT_OK(table->heap->Append(
+            row_bytes[i].data(),
+            static_cast<int64_t>(row_bytes[i].size())));
+      } else {
+        RELSERVE_RETURN_NOT_OK(table->columnar->AppendRow(op.row));
+      }
+    }
+  }
+
+  // 3. Publish, then fence the caches serving this table. A cached
+  //    entry stamped with a snapshot < v can no longer hit.
+  clock_.Publish(v);
+  InvalidateCachesForTable(table_name, v);
+  return Status::OK();
+}
+
+Status ServingSession::IngestRows(const std::string& table_name,
+                                  const std::vector<Row>& rows) {
+  std::vector<WriteOp> ops;
+  ops.reserve(rows.size());
+  for (const Row& row : rows) {
+    WriteOp op;
+    op.kind = WriteOp::Kind::kInsert;
+    op.row = row;
+    ops.push_back(std::move(op));
+  }
+  return ApplyWrite(table_name, std::move(ops));
+}
+
+Status ServingSession::BindCacheToTable(const std::string& model_name,
+                                        const std::string& table_name) {
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  if (models_.count(model_name) == 0) {
+    return Status::NotFound("model '" + model_name + "'");
+  }
+  std::vector<std::string>& bound = cache_bindings_[table_name];
+  if (std::find(bound.begin(), bound.end(), model_name) ==
+      bound.end()) {
+    bound.push_back(model_name);
+  }
+  return Status::OK();
+}
+
+void ServingSession::InvalidateCachesForTable(
+    const std::string& table_name, Version version) {
+  std::vector<std::shared_ptr<ApproxResultCache>> approx;
+  std::vector<std::shared_ptr<ExactResultCache>> exact;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    auto it = cache_bindings_.find(table_name);
+    if (it == cache_bindings_.end()) return;
+    for (const std::string& model : it->second) {
+      auto a = caches_.find(model);
+      if (a != caches_.end()) approx.push_back(a->second);
+      auto e = exact_caches_.find(model);
+      if (e != exact_caches_.end()) exact.push_back(e->second);
+    }
+  }
+  for (auto& cache : approx) cache->Invalidate(version);
+  for (auto& cache : exact) cache->Invalidate(version);
 }
 
 Status ServingSession::RegisterModel(Model model) {
@@ -262,13 +469,28 @@ ServingSession::GetDeployment(const std::string& model_name,
 Result<ExecOutput> ServingSession::Predict(
     const std::string& model_name, const std::string& table_name,
     const std::string& feature_col) {
+  return PredictAtSnapshot(model_name, table_name, feature_col,
+                           PinSnapshot());
+}
+
+Result<ExecOutput> ServingSession::PredictAtSnapshot(
+    const std::string& model_name, const std::string& table_name,
+    const std::string& feature_col, Version snapshot) {
   RELSERVE_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
   RELSERVE_ASSIGN_OR_RETURN(TableInfo* table,
                             catalog_->GetTable(table_name));
   RELSERVE_ASSIGN_OR_RETURN(int col,
                             table->schema.FieldIndex(feature_col));
 
-  const int64_t n = table->num_rows();
+  // The visible row count at the pinned snapshot is the model's batch
+  // size. Rows a concurrent commit appends after this point carry
+  // begin versions beyond `snapshot`, so the scans below return
+  // exactly `n` rows.
+  const VisibilityMap* vis = table->visibility.get();
+  const int64_t n =
+      vis != nullptr
+          ? vis->VisibleCount(0, table->num_rows(), snapshot)
+          : table->num_rows();
   if (n == 0) return Status::InvalidArgument("empty table");
   RELSERVE_ASSIGN_OR_RETURN(std::shared_ptr<Deployment> deployment,
                             GetDeployment(model_name, n));
@@ -285,6 +507,8 @@ Result<ExecOutput> ServingSession::Predict(
     ColumnarScanOptions opts;
     opts.projection = {col};
     opts.pool = pool_.get();
+    opts.visibility = vis;
+    opts.snapshot = snapshot;
     RELSERVE_ASSIGN_OR_RETURN(ColumnarScanOutput scanned,
                               ColumnarScan(*table->columnar, opts));
     stages->scan.stats.invocations.fetch_add(1,
@@ -336,6 +560,7 @@ Result<ExecOutput> ServingSession::Predict(
   }
 
   SeqScan scan(table->heap.get(), table->schema);
+  scan.set_visibility(vis, snapshot);
 
   if (stream_input) {
     // The batch never exists whole: rows go straight into a block
@@ -491,6 +716,11 @@ Result<ExactResultCache*> ServingSession::GetExactCache(
 
 Result<Tensor> ServingSession::PredictWithCache(
     const std::string& model_name, const Tensor& input) {
+  // Pin the snapshot before any lookup: entries inserted below are
+  // stamped with it, so a commit that lands during this call (version
+  // > snap) raises the fence above the stamp and the entry can never
+  // serve a stale hit — the invalidation race is lost by construction.
+  const Version snap = PinSnapshot();
   // Copy the shared_ptrs out so a concurrent Enable*Cache replacing a
   // tier cannot free it under this query; the caches themselves are
   // safe for concurrent Lookup/Insert.
@@ -574,10 +804,10 @@ Result<Tensor> ServingSession::PredictWithCache(
       std::vector<float> prediction(
           miss_output.data() + i * out_width,
           miss_output.data() + (i + 1) * out_width);
-      if (exact != nullptr) exact->Insert(features, prediction);
+      if (exact != nullptr) exact->Insert(features, prediction, snap);
       if (approx != nullptr) {
         RELSERVE_RETURN_NOT_OK(
-            approx->Insert(features, std::move(prediction)));
+            approx->Insert(features, std::move(prediction), snap));
       }
     }
   } else {

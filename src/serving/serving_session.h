@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -30,8 +31,12 @@
 #include "engine/prepared_model.h"
 #include "graph/model.h"
 #include "optimizer/optimizer.h"
+#include "relational/row.h"
 #include "storage/catalog.h"
 #include "storage/disk_manager.h"
+#include "storage/mvcc.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
 
 namespace relserve {
 
@@ -66,6 +71,24 @@ struct ServingConfig {
   // arm, CSR sparse arm, fused top-k head). Defaults leave every arm
   // off; RELSERVE_QUANTIZE further overrides the int8 arm at runtime.
   OptimizerTuning optimizer_tuning;
+  // Durability: when non-empty, the session write-ahead-logs every
+  // CreateTable/ApplyWrite to <wal_dir>/relserve.wal, replaying it on
+  // construction (crash recovery). Empty = in-memory only, exactly the
+  // pre-WAL behavior.
+  std::string wal_dir;
+  WalFsyncPolicy wal_fsync = WalFsyncPolicy::kEveryCommit;
+  int64_t wal_group_window_us = 200;
+};
+
+// One row mutation inside an ApplyWrite transaction.
+struct WriteOp {
+  enum class Kind { kInsert, kUpdate, kDelete };
+  Kind kind = Kind::kInsert;
+  // Physical row ordinal targeted by kUpdate/kDelete (the scan-visible
+  // insertion order); ignored for kInsert.
+  int64_t ordinal = -1;
+  // New row contents for kInsert/kUpdate.
+  Row row;
 };
 
 enum class ServingMode {
@@ -96,6 +119,41 @@ class ServingSession {
   Result<TableInfo*> CreateTable(const std::string& name, Schema schema,
                                  TableLayout layout = TableLayout::kRow);
   Result<TableInfo*> GetTable(const std::string& name);
+
+  // --- Transactional writes (serve-while-ingest) --------------------
+
+  // Applies `ops` to `table_name` as one atomic, durable transaction:
+  // WAL-log every op plus a commit record, wait for durability per the
+  // fsync policy, apply the storage mutations, publish the commit
+  // version, then fence the result caches bound to the table. Readers
+  // pinned at an earlier snapshot never see any of it; readers pinning
+  // afterwards see all of it. On a WAL failure nothing is applied and
+  // the typed error (kIOError / injected code) surfaces to the caller.
+  Status ApplyWrite(const std::string& table_name,
+                    std::vector<WriteOp> ops);
+
+  // Convenience: one insert-only transaction.
+  Status IngestRows(const std::string& table_name,
+                    const std::vector<Row>& rows);
+
+  // The snapshot a read should evaluate at: every commit published so
+  // far, nothing in flight.
+  Version PinSnapshot() const { return clock_.LatestPublished(); }
+
+  // Version clock / WAL / recovery introspection. wal() is null when
+  // the session runs without a WAL (empty wal_dir) or its open failed
+  // (see wal_status()).
+  VersionClock* version_clock() { return &clock_; }
+  WriteAheadLog* wal() { return wal_.get(); }
+  const Status& wal_status() const { return wal_status_; }
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  // Declares that cached predictions for `model_name` are computed
+  // from rows of `table_name`: every committed write to the table
+  // fences the model's cache tiers, so a hit can never return a
+  // prediction older than the rows it was derived from.
+  Status BindCacheToTable(const std::string& model_name,
+                          const std::string& table_name);
 
   // The per-table EXPLAIN ANALYZE stages of the vectorized serving
   // path (columnar-scan + columnar-gather). Created lazily on first
@@ -154,6 +212,15 @@ class ServingSession {
   Result<ExecOutput> Predict(const std::string& model_name,
                              const std::string& table_name,
                              const std::string& feature_col = "features");
+
+  // Predict evaluated at an explicit MVCC snapshot: only rows whose
+  // version interval contains `snapshot` feed the model. Bit-identical
+  // across concurrent ingest for any fixed snapshot. Predict() itself
+  // delegates here at PinSnapshot().
+  Result<ExecOutput> PredictAtSnapshot(const std::string& model_name,
+                                       const std::string& table_name,
+                                       const std::string& feature_col,
+                                       Version snapshot);
 
   // Runs the deployed model on an in-memory batch.
   Result<ExecOutput> PredictBatch(const std::string& model_name,
@@ -216,6 +283,12 @@ class ServingSession {
   Result<std::shared_ptr<Deployment>> GetDeployment(
       const std::string& model_name, int64_t batch_size = -1);
 
+  // Fences every cache tier bound to `table_name` at `version` (a
+  // just-published commit). Caches registered after the lookup copy
+  // are created empty, so they cannot hold a stale entry.
+  void InvalidateCachesForTable(const std::string& table_name,
+                                Version version);
+
   ServingConfig config_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> buffer_pool_;
@@ -242,6 +315,25 @@ class ServingSession {
   std::map<std::string, std::shared_ptr<ApproxResultCache>> caches_;
   std::map<std::string, std::shared_ptr<ExactResultCache>>
       exact_caches_;
+  // table name -> models whose caches derive from that table
+  // (guarded by registry_mu_ like every registry map).
+  std::map<std::string, std::vector<std::string>> cache_bindings_;
+
+  // --- Durability & MVCC --------------------------------------------
+
+  // Serializes the whole commit protocol (log ops + commit record,
+  // wait durable, apply, publish). One lock means transactions never
+  // interleave in the WAL, which is what lets recovery equate LSN
+  // order with apply order.
+  std::mutex commit_mu_;
+  VersionClock clock_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  // Why the WAL is absent/degraded: OK when disabled by config, the
+  // open/recovery error otherwise. ApplyWrite refuses to run when the
+  // configured WAL failed — no silent loss of durability.
+  Status wal_status_ = Status::OK();
+  RecoveryStats recovery_stats_;
+  uint64_t next_txn_ = 1;  // under commit_mu_
 };
 
 }  // namespace relserve

@@ -86,6 +86,34 @@ class Parser {
       RELSERVE_RETURN_NOT_OK(ExpectEnd());
       return stmt;
     }
+    if (ConsumeKeyword("UPDATE")) {
+      stmt.kind = Statement::Kind::kUpdate;
+      RELSERVE_ASSIGN_OR_RETURN(stmt.update.table, ExpectIdentifier());
+      RELSERVE_RETURN_NOT_OK(ExpectKeyword("SET"));
+      while (true) {
+        SetClause set;
+        RELSERVE_ASSIGN_OR_RETURN(set.column, ExpectIdentifier());
+        RELSERVE_RETURN_NOT_OK(ExpectSymbol("="));
+        RELSERVE_ASSIGN_OR_RETURN(set.value, ParseLiteral());
+        stmt.update.sets.push_back(std::move(set));
+        if (!ConsumeSymbol(",")) break;
+      }
+      if (ConsumeKeyword("WHERE")) {
+        RELSERVE_ASSIGN_OR_RETURN(stmt.update.where, ParseOr());
+      }
+      RELSERVE_RETURN_NOT_OK(ExpectEnd());
+      return stmt;
+    }
+    if (ConsumeKeyword("DELETE")) {
+      stmt.kind = Statement::Kind::kDelete;
+      RELSERVE_RETURN_NOT_OK(ExpectKeyword("FROM"));
+      RELSERVE_ASSIGN_OR_RETURN(stmt.del.table, ExpectIdentifier());
+      if (ConsumeKeyword("WHERE")) {
+        RELSERVE_ASSIGN_OR_RETURN(stmt.del.where, ParseOr());
+      }
+      RELSERVE_RETURN_NOT_OK(ExpectEnd());
+      return stmt;
+    }
     stmt.kind = Statement::Kind::kSelect;
     RELSERVE_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
     return stmt;

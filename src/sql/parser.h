@@ -116,8 +116,33 @@ struct InsertStatement {
   std::vector<std::vector<Value>> rows;
 };
 
+// UPDATE <table> SET col = literal [, col = literal]* [WHERE ...]
+struct SetClause {
+  std::string column;
+  Value value;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<SetClause> sets;
+  PredicatePtr where;  // may be null (updates every row)
+};
+
+// DELETE FROM <table> [WHERE ...]
+struct DeleteStatement {
+  std::string table;
+  PredicatePtr where;  // may be null (deletes every row)
+};
+
 struct Statement {
-  enum class Kind { kSelect, kExplainSelect, kCreateTable, kInsert };
+  enum class Kind {
+    kSelect,
+    kExplainSelect,
+    kCreateTable,
+    kInsert,
+    kUpdate,
+    kDelete,
+  };
   Kind kind = Kind::kSelect;
   // EXPLAIN ANALYZE: execute the query, then render the plan with the
   // accumulated per-stage timings (kExplainSelect only).
@@ -125,6 +150,8 @@ struct Statement {
   SelectStatement select;        // kSelect / kExplainSelect
   CreateTableStatement create;   // kCreateTable
   InsertStatement insert;        // kInsert
+  UpdateStatement update;        // kUpdate
+  DeleteStatement del;           // kDelete
 };
 
 // Parses one SELECT statement.

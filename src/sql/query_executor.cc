@@ -468,6 +468,8 @@ Result<StatementResult> ExecuteStatement(ServingSession* session,
     case Statement::Kind::kInsert: {
       RELSERVE_ASSIGN_OR_RETURN(TableInfo * table,
                                 session->GetTable(stmt.insert.table));
+      std::vector<Row> rows;
+      rows.reserve(stmt.insert.rows.size());
       for (const std::vector<Value>& values : stmt.insert.rows) {
         RELSERVE_RETURN_NOT_OK(CheckInsertRow(table->schema, values));
         // Coerce int literals destined for FLOAT64 columns.
@@ -479,18 +481,93 @@ Result<StatementResult> ExecuteStatement(ServingSession* session,
                 static_cast<double>(coerced[c].AsInt64()));
           }
         }
-        Row row(std::move(coerced));
-        if (table->layout == TableLayout::kColumnar) {
-          RELSERVE_RETURN_NOT_OK(table->columnar->AppendRow(row));
-        } else {
-          std::string bytes;
-          row.SerializeTo(&bytes);
-          RELSERVE_RETURN_NOT_OK(table->heap->Append(bytes));
+        rows.emplace_back(std::move(coerced));
+      }
+      // One atomic transaction through the WAL/MVCC write path; a
+      // failed append or commit surfaces its typed Status here with
+      // zero rows applied — never a silent success.
+      RELSERVE_RETURN_NOT_OK(
+          session->IngestRows(stmt.insert.table, rows));
+      result.rows_affected = static_cast<int64_t>(rows.size());
+      result.message = "inserted " + std::to_string(rows.size()) +
+                       " rows into " + stmt.insert.table;
+      return result;
+    }
+    case Statement::Kind::kUpdate:
+    case Statement::Kind::kDelete: {
+      const bool is_update = stmt.kind == Statement::Kind::kUpdate;
+      const std::string& table_name =
+          is_update ? stmt.update.table : stmt.del.table;
+      RELSERVE_ASSIGN_OR_RETURN(TableInfo * table,
+                                session->GetTable(table_name));
+      const Schema& schema = table->schema;
+      const Predicate* where =
+          is_update ? stmt.update.where.get() : stmt.del.where.get();
+      ExprPtr predicate;
+      if (where != nullptr) {
+        RELSERVE_ASSIGN_OR_RETURN(predicate,
+                                  BindPredicate(*where, schema));
+      }
+      std::vector<std::pair<int, Value>> sets;
+      if (is_update) {
+        for (const SetClause& set : stmt.update.sets) {
+          RELSERVE_ASSIGN_OR_RETURN(int index,
+                                    schema.FieldIndex(set.column));
+          Value v = set.value;
+          if (schema.column(index).type == ValueType::kFloat64 &&
+              v.type() == ValueType::kInt64) {
+            v = Value(static_cast<double>(v.AsInt64()));
+          }
+          if (v.type() != schema.column(index).type) {
+            return Status::InvalidArgument(
+                "column '" + set.column + "' expects " +
+                ValueTypeName(schema.column(index).type) + ", got " +
+                ValueTypeName(v.type()));
+          }
+          sets.emplace_back(index, std::move(v));
         }
       }
-      result.message = "inserted " +
-                       std::to_string(stmt.insert.rows.size()) +
-                       " rows into " + stmt.insert.table;
+      // Collect target ordinals at a pinned snapshot: the scan walks
+      // every physical row in insertion order (= VisibilityMap
+      // ordinal); invisible rows — deleted, superseded, or committed
+      // after the pin — are skipped before the WHERE runs.
+      const Version snap = session->PinSnapshot();
+      const VisibilityMap* vis = table->visibility.get();
+      RowIteratorPtr scan = MakeTableScan(
+          table->heap.get(), table->columnar.get(), schema);
+      RELSERVE_RETURN_NOT_OK(scan->Open());
+      std::vector<WriteOp> ops;
+      Row row;
+      int64_t ordinal = 0;
+      while (true) {
+        RELSERVE_ASSIGN_OR_RETURN(bool has, scan->Next(&row));
+        if (!has) break;
+        const int64_t ord = ordinal++;
+        if (vis != nullptr && !vis->IsVisible(ord, snap)) continue;
+        if (predicate != nullptr) {
+          RELSERVE_ASSIGN_OR_RETURN(bool pass,
+                                    predicate->EvaluateBool(row));
+          if (!pass) continue;
+        }
+        WriteOp op;
+        op.ordinal = ord;
+        if (is_update) {
+          op.kind = WriteOp::Kind::kUpdate;
+          std::vector<Value> values = row.values();
+          for (const auto& [index, v] : sets) values[index] = v;
+          op.row = Row(std::move(values));
+        } else {
+          op.kind = WriteOp::Kind::kDelete;
+        }
+        ops.push_back(std::move(op));
+      }
+      const int64_t affected = static_cast<int64_t>(ops.size());
+      RELSERVE_RETURN_NOT_OK(
+          session->ApplyWrite(table_name, std::move(ops)));
+      result.rows_affected = affected;
+      result.message = (is_update ? "updated " : "deleted ") +
+                       std::to_string(affected) + " rows in " +
+                       table_name;
       return result;
     }
   }
@@ -512,6 +589,11 @@ Result<QueryResult> ExecuteSelect(ServingSession* session,
   RELSERVE_ASSIGN_OR_RETURN(TableInfo * table,
                             session->GetTable(stmt.table));
   const Schema& schema = table->schema;
+  // Pin one MVCC snapshot for the whole statement: every scan below
+  // evaluates at it, so the result is a consistent cut of history
+  // even while concurrent ingest commits land.
+  const Version snapshot = session->PinSnapshot();
+  const VisibilityMap* visibility = table->visibility.get();
 
   ExprPtr predicate;
   if (stmt.where != nullptr) {
@@ -535,6 +617,8 @@ Result<QueryResult> ExecuteSelect(ServingSession* session,
     ColumnarScanOptions opts;
     opts.predicate = predicate;
     opts.pool = session->thread_pool();
+    opts.visibility = visibility;
+    opts.snapshot = snapshot;
     if (push_limit) opts.limit = *stmt.limit;
     RELSERVE_ASSIGN_OR_RETURN(ColumnarScanOutput scanned,
                               ColumnarScan(*table->columnar, opts));
@@ -556,6 +640,7 @@ Result<QueryResult> ExecuteSelect(ServingSession* session,
     auto scan = std::make_unique<SeqScan>(table->heap.get(), schema);
     scan->set_telemetry(&exec_stats->rows_scanned,
                         &exec_stats->bytes_scanned);
+    scan->set_visibility(visibility, snapshot);
     RowIteratorPtr plan = std::move(scan);
     if (predicate != nullptr) {
       plan = std::make_unique<Filter>(std::move(plan), predicate);

@@ -34,11 +34,15 @@ Result<QueryResult> ExecuteQuery(ServingSession* session,
 
 // Any supported statement: SELECT (rows), EXPLAIN SELECT (the bound
 // plan, including each referenced model's per-operator representation
-// decisions), CREATE TABLE, INSERT INTO ... VALUES.
+// decisions), CREATE TABLE, INSERT INTO ... VALUES, UPDATE ... SET,
+// DELETE FROM. DML commits atomically through the session's WAL/MVCC
+// write path: a WAL append or fsync failure aborts the statement with
+// its typed Status and zero rows applied.
 struct StatementResult {
   bool has_rows = false;
   QueryResult query;    // when has_rows
   std::string message;  // DDL/DML confirmations and EXPLAIN text
+  int64_t rows_affected = 0;  // DML only
 };
 
 Result<StatementResult> ExecuteStatement(ServingSession* session,

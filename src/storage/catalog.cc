@@ -18,6 +18,7 @@ Result<TableInfo*> Catalog::CreateTable(const std::string& name,
   } else {
     info->heap = std::make_unique<TableHeap>(pool_);
   }
+  info->visibility = std::make_unique<VisibilityMap>();
   TableInfo* raw = info.get();
   tables_[name] = std::move(info);
   return raw;

@@ -17,6 +17,7 @@
 #include "relational/schema.h"
 #include "storage/block_store.h"
 #include "storage/column_store.h"
+#include "storage/mvcc.h"
 #include "storage/table_heap.h"
 
 namespace relserve {
@@ -33,6 +34,9 @@ struct TableInfo {
   TableLayout layout = TableLayout::kRow;
   std::unique_ptr<TableHeap> heap;
   std::unique_ptr<ColumnarTable> columnar;
+  // Per-row begin/end version intervals; rows appended outside the
+  // MVCC write path are untracked and visible at every snapshot.
+  std::unique_ptr<VisibilityMap> visibility;
 
   int64_t num_rows() const {
     return heap != nullptr ? heap->num_records() : columnar->num_rows();

@@ -213,20 +213,22 @@ Status ColumnarTable::AppendRow(const Row& row) {
           ValueTypeName(row.value(c).type()));
     }
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   active_.AppendRow(row);
-  ++num_rows_;
+  num_rows_.fetch_add(1, std::memory_order_release);
   if (active_.num_rows >= fragment_rows_) {
-    return SealActiveFragment();
+    return SealActiveLocked(/*allow_empty=*/false);
   }
   return Status::OK();
 }
 
 Status ColumnarTable::AppendNullRow() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (ColumnChunk& c : active_.columns) c.AppendNull();
   ++active_.num_rows;
-  ++num_rows_;
+  num_rows_.fetch_add(1, std::memory_order_release);
   if (active_.num_rows >= fragment_rows_) {
-    return SealActiveFragment();
+    return SealActiveLocked(/*allow_empty=*/false);
   }
   return Status::OK();
 }
@@ -236,14 +238,15 @@ Status ColumnarTable::AppendBatch(const ColumnBatch& batch) {
       schema_.num_columns()) {
     return Status::InvalidArgument("batch arity mismatch");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (int64_t r = 0; r < batch.num_rows; ++r) {
     for (int c = 0; c < schema_.num_columns(); ++c) {
       active_.columns[c].AppendFrom(batch.columns[c], r);
     }
     ++active_.num_rows;
-    ++num_rows_;
+    num_rows_.fetch_add(1, std::memory_order_release);
     if (active_.num_rows >= fragment_rows_) {
-      RELSERVE_RETURN_NOT_OK(SealActiveFragment());
+      RELSERVE_RETURN_NOT_OK(SealActiveLocked(/*allow_empty=*/false));
     }
   }
   return Status::OK();
@@ -289,14 +292,21 @@ Status ColumnarTable::ReadStream(const ColumnStream& stream,
 }
 
 Status ColumnarTable::SealActiveFragment(bool allow_empty) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return SealActiveLocked(allow_empty);
+}
+
+Status ColumnarTable::SealActiveLocked(bool allow_empty) {
   if (active_.num_rows == 0 && !allow_empty) return Status::OK();
   Fragment frag;
   frag.rows = active_.num_rows;
+  frag.start = SealedRowsLocked();
   frag.columns.resize(schema_.num_columns());
   for (int c = 0; c < schema_.num_columns(); ++c) {
     const std::string encoded = EncodeChunk(active_.columns[c]);
     RELSERVE_RETURN_NOT_OK(WriteStream(encoded, &frag.columns[c]));
-    sealed_bytes_ += frag.columns[c].bytes;
+    sealed_bytes_.fetch_add(frag.columns[c].bytes,
+                            std::memory_order_relaxed);
   }
   fragments_.push_back(std::move(frag));
   active_ = ColumnBatch(schema_);
@@ -304,21 +314,31 @@ Status ColumnarTable::SealActiveFragment(bool allow_empty) {
 }
 
 int64_t ColumnarTable::num_fragments() const {
-  return static_cast<int64_t>(fragments_.size()) +
-         (active_.num_rows > 0 ? 1 : 0);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return NumFragmentsLocked();
 }
 
 int64_t ColumnarTable::FragmentRowCount(int64_t f) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (f < static_cast<int64_t>(fragments_.size())) {
     return fragments_[f].rows;
   }
   return active_.num_rows;
 }
 
+int64_t ColumnarTable::FragmentStartRow(int64_t f) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (f < static_cast<int64_t>(fragments_.size())) {
+    return fragments_[f].start;
+  }
+  return SealedRowsLocked();  // open tail starts after sealed rows
+}
+
 Result<ColumnBatch> ColumnarTable::ReadFragment(
     int64_t f, const std::vector<int>* columns) const {
   RELSERVE_RETURN_NOT_OK(failpoint::InjectedStatus("columnar.scan"));
-  if (f < 0 || f >= num_fragments()) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (f < 0 || f >= NumFragmentsLocked()) {
     return Status::InvalidArgument("fragment " + std::to_string(f) +
                                    " out of range");
   }

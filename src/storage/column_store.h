@@ -20,16 +20,21 @@
 //
 // The open tail fragment accumulates appends in memory (a
 // ColumnBatch) and seals to pages when it reaches `fragment_rows`;
-// scans see it as the last fragment. Appends are single-writer;
-// concurrent scans of sealed fragments are safe (the BufferPool is
-// thread-safe and fragment metadata is immutable once sealed), but
-// scanning concurrently with appends is not supported yet — that is
-// the serve-while-ingest work this layout exists to unlock.
+// scans see it as the last fragment. Appends are single-writer, but
+// scanning concurrently with appends is supported: appends and seals
+// run under the writer half of an internal shared_mutex, fragment
+// reads under the reader half, so a scan observes either the
+// pre-append or post-append tail, never a torn one. Snapshot
+// consistency on top of that is the VisibilityMap's job — rows
+// committed after a reader pinned its snapshot are physically present
+// but filtered out (DESIGN.md "Durability & snapshot isolation").
 
 #ifndef RELSERVE_STORAGE_COLUMN_STORE_H_
 #define RELSERVE_STORAGE_COLUMN_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -70,13 +75,20 @@ class ColumnarTable {
   Status SealActiveFragment(bool allow_empty = false);
 
   const Schema& schema() const { return schema_; }
-  int64_t num_rows() const { return num_rows_; }
+  int64_t num_rows() const {
+    return num_rows_.load(std::memory_order_acquire);
+  }
   int64_t fragment_rows() const { return fragment_rows_; }
   // Sealed fragments plus the open tail when it holds rows.
   int64_t num_fragments() const;
   int64_t FragmentRowCount(int64_t f) const;
+  // First table row ordinal of fragment `f` — the base that maps a
+  // within-fragment offset to the VisibilityMap's row index.
+  int64_t FragmentStartRow(int64_t f) const;
   // Encoded bytes across sealed column streams.
-  int64_t sealed_bytes() const { return sealed_bytes_; }
+  int64_t sealed_bytes() const {
+    return sealed_bytes_.load(std::memory_order_relaxed);
+  }
 
   // Reads fragment `f`, restricted to `columns` (table column
   // indices, ascending; nullptr = all). The returned batch's chunks
@@ -93,19 +105,35 @@ class ColumnarTable {
   };
   struct Fragment {
     int64_t rows = 0;
+    int64_t start = 0;  // first table row ordinal in this fragment
     std::vector<ColumnStream> columns;
   };
 
   Status WriteStream(const std::string& encoded, ColumnStream* out);
   Status ReadStream(const ColumnStream& stream, std::string* out) const;
 
+  // Callers hold mu_ exclusively.
+  Status SealActiveLocked(bool allow_empty);
+  int64_t NumFragmentsLocked() const {
+    return static_cast<int64_t>(fragments_.size()) +
+           (active_.num_rows > 0 ? 1 : 0);
+  }
+  int64_t SealedRowsLocked() const {
+    return fragments_.empty()
+               ? 0
+               : fragments_.back().start + fragments_.back().rows;
+  }
+
   BufferPool* const pool_;
   const Schema schema_;
   const int64_t fragment_rows_;
+  // Appends/seals exclusive, fragment reads shared: a reader sees the
+  // tail either before or after a concurrent append, never mid-copy.
+  mutable std::shared_mutex mu_;
   std::vector<Fragment> fragments_;
   ColumnBatch active_;  // open tail, not yet on pages
-  int64_t num_rows_ = 0;
-  int64_t sealed_bytes_ = 0;
+  std::atomic<int64_t> num_rows_{0};
+  std::atomic<int64_t> sealed_bytes_{0};
 };
 
 }  // namespace relserve

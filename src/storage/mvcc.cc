@@ -1,0 +1,85 @@
+#include "storage/mvcc.h"
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+
+namespace relserve {
+
+void VisibilityMap::AppendRow(Version begin) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!begin_.empty() && begin_.back() > begin) monotone_ = false;
+  begin_.push_back(begin);
+  end_.push_back(kLiveRow);
+}
+
+void VisibilityMap::PadTo(int64_t rows) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (rows <= static_cast<int64_t>(begin_.size())) return;
+  if (!begin_.empty() && begin_.back() > 0) monotone_ = false;
+  begin_.resize(rows, 0);
+  end_.resize(rows, kLiveRow);
+}
+
+Status VisibilityMap::MarkDeleted(int64_t row, Version end) {
+  if (row < 0) {
+    return Status::InvalidArgument("negative row ordinal " +
+                                   std::to_string(row));
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (row >= static_cast<int64_t>(begin_.size())) {
+    if (!begin_.empty() && begin_.back() > 0) monotone_ = false;
+    begin_.resize(row + 1, 0);
+    end_.resize(row + 1, kLiveRow);
+  }
+  if (end_[row] == kLiveRow || end_[row] > end) end_[row] = end;
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool VisibilityMap::IsVisible(int64_t row, Version snapshot) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return VisibleLocked(row, snapshot);
+}
+
+bool VisibilityMap::AllVisible(int64_t first, int64_t count,
+                               Version snapshot) const {
+  if (count <= 0) return true;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const int64_t tracked = static_cast<int64_t>(begin_.size());
+  if (first >= tracked) return true;  // wholly untracked = bulk rows
+  if (deletes_.load(std::memory_order_relaxed) == 0 && monotone_) {
+    // begin versions ascend, so the last tracked row of the range
+    // bounds them all.
+    const int64_t last = std::min(first + count, tracked) - 1;
+    return begin_[last] <= snapshot;
+  }
+  const int64_t hi = std::min(first + count, tracked);
+  for (int64_t r = first; r < hi; ++r) {
+    if (!VisibleLocked(r, snapshot)) return false;
+  }
+  return true;
+}
+
+void VisibilityMap::VisibleSelection(int64_t first, int64_t count,
+                                     Version snapshot,
+                                     std::vector<int32_t>* sel) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (int64_t r = 0; r < count; ++r) {
+    if (VisibleLocked(first + r, snapshot)) {
+      sel->push_back(static_cast<int32_t>(r));
+    }
+  }
+}
+
+int64_t VisibilityMap::VisibleCount(int64_t first, int64_t count,
+                                    Version snapshot) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  int64_t n = 0;
+  for (int64_t r = 0; r < count; ++r) {
+    n += VisibleLocked(first + r, snapshot);
+  }
+  return n;
+}
+
+}  // namespace relserve

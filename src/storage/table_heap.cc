@@ -20,10 +20,11 @@ constexpr int32_t kOverflowTag = -1;
 }  // namespace
 
 Status TableHeap::Append(const char* data, int64_t size) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const int64_t payload = kPageSize - kHeaderSize;
   if (size + static_cast<int64_t>(sizeof(int32_t)) <= payload) {
     RELSERVE_RETURN_NOT_OK(AppendInline(data, size));
-    ++num_records_;
+    num_records_.fetch_add(1, std::memory_order_release);
     return Status::OK();
   }
   // Out-of-line: payload spans fresh overflow pages; the heap page
@@ -57,7 +58,7 @@ Status TableHeap::Append(const char* data, int64_t size) {
     WriteI32(tag, kOverflowTag);
     RELSERVE_RETURN_NOT_OK(pool_->UnpinPage(last, /*dirty=*/true));
   }
-  ++num_records_;
+  num_records_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -93,11 +94,16 @@ Status TableHeap::AppendInline(const char* data, int64_t size) {
 }
 
 Status TableHeap::ReadOverflow(int64_t index, std::string* out) const {
-  if (index < 0 || index >= static_cast<int64_t>(overflow_.size())) {
-    return Status::Internal("bad overflow index " +
-                            std::to_string(index));
+  OverflowEntry entry;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (index < 0 ||
+        index >= static_cast<int64_t>(overflow_.size())) {
+      return Status::Internal("bad overflow index " +
+                              std::to_string(index));
+    }
+    entry = overflow_[index];
   }
-  const OverflowEntry& entry = overflow_[index];
   out->resize(entry.size);
   char* dst = out->data();
   int64_t remaining = entry.size;
@@ -117,17 +123,20 @@ Status TableHeap::ReadOverflow(int64_t index, std::string* out) const {
 
 Status TableHeap::ReadPageRecords(int64_t page_index,
                                   std::vector<std::string>* out) const {
-  if (page_index < 0 || page_index >= num_pages()) {
-    return Status::InvalidArgument("page index " +
-                                   std::to_string(page_index) +
-                                   " out of range");
-  }
-  const PageId page_id = pages_[page_index];
   // Decode the inline records (and stub indices) while the page is
   // pinned; resolve overflow payloads afterwards so only one page is
-  // ever pinned at a time.
+  // ever pinned at a time. The reader lock spans the page decode so a
+  // concurrent Append cannot repack the page mid-copy.
   std::vector<int64_t> overflow_slots;  // out index -> overflow index
   {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (page_index < 0 ||
+        page_index >= static_cast<int64_t>(pages_.size())) {
+      return Status::InvalidArgument("page index " +
+                                     std::to_string(page_index) +
+                                     " out of range");
+    }
+    const PageId page_id = pages_[page_index];
     RELSERVE_ASSIGN_OR_RETURN(char* page, pool_->FetchPage(page_id));
     const int32_t count = ReadI32(page);
     const char* cursor = page + kHeaderSize;

@@ -7,12 +7,20 @@
 // line on a dedicated chain of overflow pages, with an inline stub
 // (length tag -1 + overflow index) in the heap page — the classic
 // TOAST/overflow-page design.
+//
+// Appending concurrently with scans is safe: Append runs under the
+// writer half of an internal shared_mutex, page reads under the reader
+// half, so a reader sees each page either before or after an append
+// lands on it. Snapshot semantics (hiding rows committed after a
+// reader pinned its version) are layered above via the VisibilityMap.
 
 #ifndef RELSERVE_STORAGE_TABLE_HEAP_H_
 #define RELSERVE_STORAGE_TABLE_HEAP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -47,8 +55,11 @@ class TableHeap {
   Status ReadPageRecords(int64_t page_index,
                          std::vector<std::string>* out) const;
 
-  int64_t num_records() const { return num_records_; }
+  int64_t num_records() const {
+    return num_records_.load(std::memory_order_acquire);
+  }
   int64_t num_pages() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return static_cast<int64_t>(pages_.size());
   }
 
@@ -70,9 +81,11 @@ class TableHeap {
   Status ReadOverflow(int64_t index, std::string* out) const;
 
   BufferPool* const pool_;
+  // Appends exclusive, page/overflow reads shared.
+  mutable std::shared_mutex mu_;
   std::vector<PageId> pages_;
   std::vector<OverflowEntry> overflow_;
-  int64_t num_records_ = 0;
+  std::atomic<int64_t> num_records_{0};
 };
 
 }  // namespace relserve

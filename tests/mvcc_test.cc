@@ -1,0 +1,363 @@
+// MVCC snapshot-visibility tests: the version clock and per-row
+// interval map unit contracts, snapshot-pinned reads that stay
+// bit-identical while concurrent ingest lands, and the cache version
+// fence that makes a stale cached prediction impossible by
+// construction — a commit to a bound table always fences entries
+// stamped with any earlier snapshot, including entries raced in by
+// lookups that began before the commit.
+//
+// This binary is part of scripts/tsan_check.sh — the serve-while-
+// ingest schedules here also run under ThreadSanitizer and UBSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "graph/model.h"
+#include "serving/serving_session.h"
+#include "storage/mvcc.h"
+#include "workloads/datasets.h"
+
+namespace relserve {
+namespace {
+
+constexpr int64_t kDim = 8;
+
+ServingConfig SmallConfig() {
+  ServingConfig config;
+  config.buffer_pool_pages = 256;
+  config.working_memory_bytes = 64LL << 20;
+  config.memory_threshold_bytes = 1LL << 20;
+  config.block_rows = 16;
+  config.block_cols = 16;
+  config.num_threads = 2;
+  return config;
+}
+
+Row MakeRow(int64_t id) {
+  std::vector<float> features(kDim);
+  for (int64_t i = 0; i < kDim; ++i) {
+    features[i] = static_cast<float>(id * kDim + i) * 0.01f;
+  }
+  return Row({Value(id), Value(std::move(features))});
+}
+
+TEST(VersionClockTest, AllocatePublishPin) {
+  VersionClock clock;
+  EXPECT_EQ(clock.LatestPublished(), 0u);
+  const Version v1 = clock.Allocate();
+  const Version v2 = clock.Allocate();
+  EXPECT_LT(v1, v2);
+  // Allocation alone publishes nothing: a pinned snapshot can never
+  // name a version whose mutations are still being applied.
+  EXPECT_EQ(clock.LatestPublished(), 0u);
+  clock.Publish(v1);
+  EXPECT_EQ(clock.LatestPublished(), v1);
+  clock.Publish(v2);
+  EXPECT_EQ(clock.LatestPublished(), v2);
+  // Publish never goes backwards.
+  clock.Publish(v1);
+  EXPECT_EQ(clock.LatestPublished(), v2);
+  // Recovery jump: both counters move past the recovered maximum.
+  clock.AdvanceTo(100);
+  EXPECT_EQ(clock.LatestPublished(), 100u);
+  EXPECT_GT(clock.Allocate(), 100u);
+}
+
+TEST(VisibilityMapTest, UntrackedRowsAreAlwaysVisible) {
+  VisibilityMap map;
+  EXPECT_TRUE(map.IsVisible(0, 0));
+  EXPECT_TRUE(map.IsVisible(12345, 0));
+  EXPECT_TRUE(map.AllVisible(0, 1000, 0));
+  EXPECT_EQ(map.VisibleCount(0, 1000, 0), 1000);
+}
+
+TEST(VisibilityMapTest, IntervalRules) {
+  VisibilityMap map;
+  map.AppendRow(5);  // row 0: [5, inf)
+  map.AppendRow(7);  // row 1: [7, inf)
+  EXPECT_FALSE(map.IsVisible(0, 4));
+  EXPECT_TRUE(map.IsVisible(0, 5));  // begin <= snap is inclusive
+  EXPECT_TRUE(map.IsVisible(0, 6));
+  EXPECT_FALSE(map.IsVisible(1, 6));
+  EXPECT_TRUE(map.IsVisible(1, 7));
+
+  // Delete at version 9: visible at 8, gone at 9 (end > snap rule —
+  // the deleting transaction's own version no longer sees the row).
+  ASSERT_TRUE(map.MarkDeleted(0, 9).ok());
+  EXPECT_TRUE(map.IsVisible(0, 8));
+  EXPECT_FALSE(map.IsVisible(0, 9));
+  EXPECT_FALSE(map.IsVisible(0, 100));
+  EXPECT_EQ(map.delete_count(), 1);
+}
+
+TEST(VisibilityMapTest, PadToTracksBulkRowsAsAlwaysVisible) {
+  VisibilityMap map;
+  map.PadTo(3);  // three bulk-loaded rows
+  map.AppendRow(4);
+  EXPECT_EQ(map.tracked_rows(), 4);
+  for (int64_t r = 0; r < 3; ++r) {
+    EXPECT_TRUE(map.IsVisible(r, 0));
+  }
+  EXPECT_FALSE(map.IsVisible(3, 3));
+  EXPECT_TRUE(map.IsVisible(3, 4));
+  EXPECT_TRUE(map.AllVisible(0, 4, 4));
+  EXPECT_FALSE(map.AllVisible(0, 4, 2));
+}
+
+TEST(VisibilityMapTest, VisibleSelectionOffsetsAreFragmentRelative) {
+  VisibilityMap map;
+  for (Version v = 1; v <= 8; ++v) map.AppendRow(v);
+  std::vector<int32_t> sel;
+  // Rows 4..7 carry begin versions 5..8; at snapshot 6 the fragment
+  // starting at row 4 sees offsets 0 (begin 5) and 1 (begin 6).
+  map.VisibleSelection(4, 4, 6, &sel);
+  EXPECT_EQ(sel, (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(map.VisibleCount(4, 4, 6), 2);
+  EXPECT_FALSE(map.AllVisible(4, 4, 6));
+  EXPECT_TRUE(map.AllVisible(4, 4, 8));
+}
+
+class MvccServingTest : public ::testing::Test {
+ protected:
+  MvccServingTest() : session_(SmallConfig()) {}
+
+  void SetUpTableAndModel(int64_t initial_rows) {
+    ASSERT_TRUE(
+        session_.CreateTable("tx", workloads::FeatureTableSchema())
+            .ok());
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < initial_rows; ++i) {
+      rows.push_back(MakeRow(i));
+    }
+    ASSERT_TRUE(session_.IngestRows("tx", rows).ok());
+    auto model = BuildFFNN("m", {kDim, 16, 2}, 5);
+    ASSERT_TRUE(model.ok());
+    ASSERT_TRUE(session_.RegisterModel(std::move(*model)).ok());
+    ASSERT_TRUE(
+        session_.Deploy("m", ServingMode::kForceUdf, 32).ok());
+  }
+
+  Result<Tensor> PredictAt(Version snap) {
+    auto out = session_.PredictAtSnapshot("m", "tx", "features", snap);
+    RELSERVE_RETURN_NOT_OK(out.status());
+    return out->ToTensor(session_.exec_context());
+  }
+
+  ServingSession session_;
+};
+
+TEST_F(MvccServingTest, SnapshotReadsSeeWholeCommitsOrNothing) {
+  SetUpTableAndModel(10);
+  const Version snap10 = session_.PinSnapshot();
+  auto at10 = PredictAt(snap10);
+  ASSERT_TRUE(at10.ok()) << at10.status();
+  EXPECT_EQ(at10->shape().dim(0), 10);
+
+  std::vector<Row> more;
+  for (int64_t i = 10; i < 25; ++i) more.push_back(MakeRow(i));
+  ASSERT_TRUE(session_.IngestRows("tx", more).ok());
+  const Version snap25 = session_.PinSnapshot();
+  EXPECT_GT(snap25, snap10);
+
+  // The old snapshot still evaluates over exactly the old 10 rows,
+  // bit-identically; the new one sees the whole 15-row commit.
+  auto again10 = PredictAt(snap10);
+  ASSERT_TRUE(again10.ok());
+  EXPECT_EQ(again10->shape().dim(0), 10);
+  EXPECT_EQ(again10->MaxAbsDiff(*at10), 0.0f);
+  auto at25 = PredictAt(snap25);
+  ASSERT_TRUE(at25.ok());
+  EXPECT_EQ(at25->shape().dim(0), 25);
+}
+
+TEST_F(MvccServingTest, UpdateAndDeleteRespectSnapshots) {
+  SetUpTableAndModel(6);
+  const Version before = session_.PinSnapshot();
+
+  WriteOp update;
+  update.kind = WriteOp::Kind::kUpdate;
+  update.ordinal = 1;
+  update.row = MakeRow(100);
+  WriteOp del;
+  del.kind = WriteOp::Kind::kDelete;
+  del.ordinal = 4;
+  ASSERT_TRUE(session_.ApplyWrite("tx", {update, del}).ok());
+  const Version after = session_.PinSnapshot();
+
+  // Before: 6 original rows. After: 6 - 1 deleted - 1 superseded + 1
+  // new version = 5 visible rows.
+  auto old_out = PredictAt(before);
+  ASSERT_TRUE(old_out.ok());
+  EXPECT_EQ(old_out->shape().dim(0), 6);
+  auto new_out = PredictAt(after);
+  ASSERT_TRUE(new_out.ok());
+  EXPECT_EQ(new_out->shape().dim(0), 5);
+}
+
+TEST_F(MvccServingTest, ColumnarTableSnapshotsBehaveIdentically) {
+  ASSERT_TRUE(session_
+                  .CreateTable("ctx",
+                               workloads::FeatureTableSchema(),
+                               TableLayout::kColumnar)
+                  .ok());
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 12; ++i) rows.push_back(MakeRow(i));
+  ASSERT_TRUE(session_.IngestRows("ctx", rows).ok());
+  auto model = BuildFFNN("m", {kDim, 16, 2}, 5);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(session_.RegisterModel(std::move(*model)).ok());
+  ASSERT_TRUE(session_.Deploy("m", ServingMode::kForceUdf, 32).ok());
+
+  const Version snap12 = session_.PinSnapshot();
+  auto at12 = session_.PredictAtSnapshot("m", "ctx", "features",
+                                         snap12);
+  ASSERT_TRUE(at12.ok()) << at12.status();
+  auto t12 = at12->ToTensor(session_.exec_context());
+  ASSERT_TRUE(t12.ok());
+  EXPECT_EQ(t12->shape().dim(0), 12);
+
+  ASSERT_TRUE(
+      session_.IngestRows("ctx", {MakeRow(50), MakeRow(51)}).ok());
+  auto again = session_.PredictAtSnapshot("m", "ctx", "features",
+                                          snap12);
+  ASSERT_TRUE(again.ok());
+  auto t_again = again->ToTensor(session_.exec_context());
+  ASSERT_TRUE(t_again.ok());
+  EXPECT_EQ(t_again->shape().dim(0), 12);
+  EXPECT_EQ(t_again->MaxAbsDiff(*t12), 0.0f);
+  auto now = session_.PredictAtSnapshot("m", "ctx", "features",
+                                        session_.PinSnapshot());
+  ASSERT_TRUE(now.ok());
+  auto t_now = now->ToTensor(session_.exec_context());
+  ASSERT_TRUE(t_now.ok());
+  EXPECT_EQ(t_now->shape().dim(0), 14);
+}
+
+// The serve-while-ingest acceptance criterion: Predicts running
+// concurrently with ingest are bit-identical to a serial re-read at
+// the same pinned snapshot.
+TEST_F(MvccServingTest, ConcurrentIngestBitIdenticalAtFixedSnapshot) {
+  SetUpTableAndModel(16);
+  std::atomic<bool> done{false};
+  std::thread writer([this, &done] {
+    for (int64_t txn = 0; txn < 40; ++txn) {
+      std::vector<Row> rows;
+      for (int64_t i = 0; i < 8; ++i) {
+        rows.push_back(MakeRow(1000 + txn * 8 + i));
+      }
+      ASSERT_TRUE(session_.IngestRows("tx", rows).ok());
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Reader under churn: every pinned snapshot must read the same
+  // bytes twice while the writer commits behind it.
+  std::map<Version, Tensor> observed;
+  do {  // at least one observation even if the writer wins the race
+    const Version snap = session_.PinSnapshot();
+    auto first = PredictAt(snap);
+    ASSERT_TRUE(first.ok()) << first.status();
+    auto second = PredictAt(snap);
+    ASSERT_TRUE(second.ok()) << second.status();
+    ASSERT_EQ(first->shape(), second->shape());
+    ASSERT_EQ(first->MaxAbsDiff(*second), 0.0f) << "snap " << snap;
+    observed.emplace(snap, std::move(*first));
+  } while (!done.load(std::memory_order_acquire));
+  writer.join();
+
+  // Serial re-reads after all ingest has quiesced reproduce every
+  // under-churn result exactly.
+  ASSERT_FALSE(observed.empty());
+  for (const auto& [snap, tensor] : observed) {
+    auto serial = PredictAt(snap);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_EQ(serial->shape(), tensor.shape());
+    EXPECT_EQ(serial->MaxAbsDiff(tensor), 0.0f) << "snap " << snap;
+  }
+  // And the final snapshot sees every committed row.
+  auto final_out = PredictAt(session_.PinSnapshot());
+  ASSERT_TRUE(final_out.ok());
+  EXPECT_EQ(final_out->shape().dim(0), 16 + 40 * 8);
+}
+
+// Stale cache hits are impossible by construction: entries are
+// stamped with the snapshot pinned *before* the lookup, and a commit
+// to the bound table fences every version at or below its own — so an
+// entry computed from pre-commit rows can never satisfy a post-commit
+// lookup.
+TEST_F(MvccServingTest, CommittedWriteFencesBoundCaches) {
+  SetUpTableAndModel(8);
+  ASSERT_TRUE(session_.EnableExactCache("m").ok());
+  ASSERT_TRUE(session_.BindCacheToTable("m", "tx").ok());
+  auto cache = session_.GetExactCache("m");
+  ASSERT_TRUE(cache.ok());
+
+  auto input = workloads::GenBatch(1, Shape{kDim}, 33);
+  ASSERT_TRUE(input.ok());
+
+  // Warm, then hit.
+  auto first = session_.PredictWithCache("m", *input);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = session_.PredictWithCache("m", *input);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*cache)->stats().hits.load(), 1);
+
+  // A committed write to the bound table fences the warm entry.
+  ASSERT_TRUE(session_.IngestRows("tx", {MakeRow(99)}).ok());
+  EXPECT_GE((*cache)->fence(), session_.PinSnapshot());
+
+  auto third = session_.PredictWithCache("m", *input);
+  ASSERT_TRUE(third.ok());
+  // No new hit: the fenced entry was discovered stale and erased
+  // (invalidations counts lazy erases at lookup).
+  EXPECT_EQ((*cache)->stats().hits.load(), 1);
+  EXPECT_GE((*cache)->stats().invalidations.load(), 1);
+
+  // The refill is stamped post-commit, so it serves hits again until
+  // the next write.
+  auto fourth = session_.PredictWithCache("m", *input);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_EQ((*cache)->stats().hits.load(), 2);
+}
+
+// Raced inserts cannot resurrect stale entries: an insert stamped
+// with a pre-commit snapshot version lands below the fence a racing
+// commit publishes, so it can never be served afterwards.
+TEST_F(MvccServingTest, RacingCacheInsertLandsBelowFence) {
+  SetUpTableAndModel(8);
+  ASSERT_TRUE(session_.EnableExactCache("m").ok());
+  ASSERT_TRUE(session_.BindCacheToTable("m", "tx").ok());
+  auto cache = session_.GetExactCache("m");
+  ASSERT_TRUE(cache.ok());
+
+  auto input = workloads::GenBatch(1, Shape{kDim}, 34);
+  ASSERT_TRUE(input.ok());
+  auto prediction = session_.PredictBatch("m", *input);
+  ASSERT_TRUE(prediction.ok());
+  auto tensor = prediction->ToTensor(session_.exec_context());
+  ASSERT_TRUE(tensor.ok());
+  const std::vector<float> features(input->data(),
+                                    input->data() + kDim);
+  const std::vector<float> pred(
+      tensor->data(),
+      tensor->data() + tensor->shape().NumElements());
+
+  // Simulate the race PredictWithCache closes by construction: the
+  // lookup pinned `snap`, the commit landed before the insert did.
+  const Version snap = session_.PinSnapshot();
+  ASSERT_TRUE(session_.IngestRows("tx", {MakeRow(77)}).ok());
+  (*cache)->Insert(features, pred, snap);
+
+  const int64_t hits_before = (*cache)->stats().hits.load();
+  auto out = session_.PredictWithCache("m", *input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*cache)->stats().hits.load(), hits_before);
+}
+
+}  // namespace
+}  // namespace relserve
