@@ -13,7 +13,7 @@
 #include "common/random.h"
 #include "graph/model.h"
 #include "kernels/kernels.h"
-#include "storage/dedup.h"
+#include "storage/physical_block_index.h"
 #include "storage/quantize.h"
 #include "tensor/tensor_block.h"
 #include "workloads/datasets.h"

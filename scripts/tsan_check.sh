@@ -43,13 +43,18 @@ UBSAN_DIR="${2:-build-ubsan}"
 # map, and cache-fence atomics) under TSan; wal_recovery_test runs
 # group-commit leader election across concurrent ingest threads under
 # TSan, and the WAL codec's byte-cursor frame encode/decode over
-# corrupted and torn logs under UBSan.
-TSAN_TESTS=(resource_test storage_test block_ops_test kernels_test
-            executor_test serving_concurrency_test chaos_test
-            columnar_test quantized_kernels_test net_serving_test
-            mvcc_test wal_recovery_test)
+# corrupted and torn logs under UBSan. dedup_test hammers the
+# content-addressed PhysicalBlockIndex (concurrent intern/release
+# refcounting, shared BlockStores, multi-tenant deploy/undeploy
+# lifecycle) under TSan, and its CRC-then-memcmp byte comparison over
+# raw page payloads under UBSan; serving_concurrency_test's churn case
+# races Deploy/Undeploy against in-flight Predicts over shared blocks.
+TSAN_TESTS=(resource_test storage_test dedup_test block_ops_test
+            kernels_test executor_test serving_concurrency_test
+            chaos_test columnar_test quantized_kernels_test
+            net_serving_test mvcc_test wal_recovery_test)
 UBSAN_TESTS=(kernels_test tensor_test block_ops_test executor_test
-            plan_text_test chaos_test columnar_test
+            plan_text_test chaos_test columnar_test dedup_test
             quantized_kernels_test net_serving_test wal_recovery_test)
 
 cmake -B "$BUILD_DIR" -S . -DRELSERVE_SANITIZE=thread \

@@ -72,14 +72,20 @@ Status ParallelBlockTasks(ThreadPool* pool, int64_t n,
 }  // namespace
 
 Result<std::unique_ptr<BlockStore>> ChunkMatrix(const Tensor& m,
-                                                ExecContext* ctx) {
+                                                ExecContext* ctx,
+                                                bool share_weights) {
   if (m.shape().ndim() != 2) {
     return Status::InvalidArgument("ChunkMatrix expects a matrix");
   }
   BlockedShape geometry{m.shape().dim(0), m.shape().dim(1),
                         ctx->block_rows, ctx->block_cols};
-  RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> store,
-                            NewStore(ctx, geometry));
+  std::unique_ptr<BlockStore> store;
+  if (share_weights && ctx->block_index != nullptr) {
+    store = std::make_unique<BlockStore>(
+        ctx->block_index, geometry, ctx->dedup_tolerance);
+  } else {
+    RELSERVE_ASSIGN_OR_RETURN(store, NewStore(ctx, geometry));
+  }
   RELSERVE_RETURN_NOT_OK(store->PutMatrix(m, ctx->tracker));
   ctx->stats.chunkings += 1;
   ctx->stats.blocks_written +=

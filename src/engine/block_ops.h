@@ -31,9 +31,15 @@ namespace relserve {
 namespace blockops {
 
 // Chunks an in-memory matrix into a new buffer-pool-backed store with
-// the context's block geometry, using O(block) scratch memory.
-Result<std::unique_ptr<BlockStore>> ChunkMatrix(const Tensor& m,
-                                                ExecContext* ctx);
+// the context's block geometry, using O(block) scratch memory. With
+// `share_weights` set and a block index on the context, blocks are
+// resolved through the content-addressed index (at the context's
+// dedup tolerance) so identical blocks across deployed models share
+// pages — the deploy-time weight path. Activation chunking leaves it
+// false: transient stores are write-once/drop and dedup there is pure
+// hashing overhead.
+Result<std::unique_ptr<BlockStore>> ChunkMatrix(
+    const Tensor& m, ExecContext* ctx, bool share_weights = false);
 
 // Assembles a store back into a whole tensor charged to the context
 // arena (may OOM — that is the point of the experiment).

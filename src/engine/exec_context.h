@@ -13,6 +13,8 @@
 
 namespace relserve {
 
+class PhysicalBlockIndex;
+
 // Counters are atomics because relation-centric operators update them
 // from inside ParallelFor morsels; totals stay exact under any
 // interleaving.
@@ -90,6 +92,13 @@ struct ExecContext {
   // Nominal tensor block geometry for relation-centric chunking.
   int64_t block_rows = 512;
   int64_t block_cols = 512;
+  // Content-addressed physical block index for deploy-time weight
+  // binding (null = every store owns private pages). Transient
+  // activation stores never route through it regardless.
+  PhysicalBlockIndex* block_index = nullptr;
+  // Elementwise tolerance for weight dedup (0 = byte-exact; the
+  // paper's accuracy-aware mode accepts a bounded L-infinity error).
+  float dedup_tolerance = 0.0f;
 
   ExecStats stats;
 };

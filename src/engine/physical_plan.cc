@@ -152,6 +152,17 @@ int64_t PhysicalStage::OutElemsPerRow() const {
   return SampleElems(out_sample);
 }
 
+PhysicalPlan::~PhysicalPlan() {
+  // Drop the plan's references on shared resident weights. The
+  // canonical buffers themselves are refcounted Tensors, so the order
+  // against resident_'s destruction is immaterial; the index entry
+  // (and its accounting) dies at the last referencing plan.
+  if (block_index_ == nullptr) return;
+  for (const PhysicalBlockId id : interned_resident_) {
+    block_index_->Release(id);
+  }
+}
+
 Result<std::unique_ptr<PhysicalPlan>> PhysicalPlan::Compile(
     const Model* model, InferencePlan plan, ExecContext* ctx,
     Options options) {
@@ -179,8 +190,18 @@ Result<std::unique_ptr<PhysicalPlan>> PhysicalPlan::Compile(
         node.kind == OpKind::kMatMul && repr == Repr::kRelational;
     if (chunkable) {
       if (pp->blocked_.count(node.weight_name) > 0) continue;
-      RELSERVE_ASSIGN_OR_RETURN(std::unique_ptr<BlockStore> store,
-                                blockops::ChunkMatrix(*weight, ctx));
+      // Weight chunks route through the shared block index when the
+      // context carries one: N fine-tuned variants resolve identical
+      // blocks to the same ref-counted pages.
+      RELSERVE_ASSIGN_OR_RETURN(
+          std::unique_ptr<BlockStore> store,
+          blockops::ChunkMatrix(*weight, ctx, /*share_weights=*/true));
+      pp->footprint_.logical_bytes += store->TotalBytes();
+      pp->footprint_.physical_bytes +=
+          store->TotalBytes() - store->shared_bytes();
+      pp->footprint_.shared_blocks += store->shared_blocks();
+      pp->footprint_.total_blocks +=
+          static_cast<int64_t>(store->entries().size());
       pp->blocked_.emplace(node.weight_name, std::move(store));
     } else if (node.kind == OpKind::kMatMul &&
                nd.arm == KernelArm::kInt8) {
@@ -190,21 +211,49 @@ Result<std::unique_ptr<PhysicalPlan>> PhysicalPlan::Compile(
       RELSERVE_ASSIGN_OR_RETURN(
           kernels::Int8Weight qw,
           kernels::QuantizeWeightPerChannel(*weight));
+      pp->footprint_.logical_bytes += qw.ByteSize();
+      pp->footprint_.physical_bytes += qw.ByteSize();
+      pp->footprint_.total_blocks += 1;
       pp->int8_weights_.emplace(node.weight_name, std::move(qw));
     } else if (node.kind == OpKind::kMatMul &&
                nd.arm == KernelArm::kSparse) {
       if (pp->sparse_weights_.count(node.weight_name) > 0) continue;
       RELSERVE_ASSIGN_OR_RETURN(kernels::CsrWeight csr,
                                 kernels::BuildCsrWeight(*weight));
+      pp->footprint_.logical_bytes += csr.ByteSize();
+      pp->footprint_.physical_bytes += csr.ByteSize();
+      pp->footprint_.total_blocks += 1;
       pp->sparse_weights_.emplace(node.weight_name, std::move(csr));
     } else {
       if (pp->resident_.count(node.weight_name) > 0) continue;
       // Conv2D kernels are small even for the paper's large conv
       // workloads (the feature maps explode, not the kernels), so
       // they stay resident in both representations; biases likewise.
-      RELSERVE_ASSIGN_OR_RETURN(Tensor copy,
-                                weight->Clone(ctx->tracker));
-      pp->resident_.emplace(node.weight_name, std::move(copy));
+      pp->footprint_.logical_bytes += weight->ByteSize();
+      pp->footprint_.total_blocks += 1;
+      if (ctx->block_index != nullptr) {
+        // Resident dedup shares the canonical Tensor buffer: the
+        // first deployment charges the arena, later ones charge
+        // nothing and hold a reference.
+        RELSERVE_ASSIGN_OR_RETURN(
+            PhysicalBlockIndex::Interned interned,
+            ctx->block_index->InternResident(
+                *weight, ctx->dedup_tolerance, ctx->tracker));
+        pp->block_index_ = ctx->block_index;
+        pp->interned_resident_.push_back(interned.id);
+        if (interned.deduped) {
+          pp->footprint_.shared_blocks += 1;
+        } else {
+          pp->footprint_.physical_bytes += weight->ByteSize();
+        }
+        pp->resident_.emplace(node.weight_name,
+                              std::move(interned.payload));
+      } else {
+        RELSERVE_ASSIGN_OR_RETURN(Tensor copy,
+                                  weight->Clone(ctx->tracker));
+        pp->footprint_.physical_bytes += weight->ByteSize();
+        pp->resident_.emplace(node.weight_name, std::move(copy));
+      }
     }
   }
 

@@ -155,6 +155,21 @@ Result<Tensor> ExecuteColumnarGather(
     int64_t width, const std::string& column_name,
     MemoryTracker* tracker);
 
+// Deploy-time weight accounting of one compiled plan. Logical bytes
+// are what naive per-model storage would hold; physical bytes are
+// what this plan actually allocated after resolving blocks through
+// the shared PhysicalBlockIndex (equal when no index is configured).
+// SHOW MODELS and bench_multitenant render these.
+struct WeightFootprint {
+  int64_t logical_bytes = 0;
+  int64_t physical_bytes = 0;
+  // Weight blocks resolved to a physical block another deployment
+  // (or an earlier weight of this one) already owns, out of all
+  // weight blocks the plan bound.
+  int64_t shared_blocks = 0;
+  int64_t total_blocks = 0;
+};
+
 class PhysicalPlan {
  public:
   struct Options {
@@ -195,10 +210,17 @@ class PhysicalPlan {
   // Block relation of a relation-centric matmul weight.
   Result<const BlockStore*> BlockedWeight(const std::string& name) const;
 
+  // Deploy-time weight accounting (stable after Compile).
+  const WeightFootprint& weight_footprint() const { return footprint_; }
+
   // EXPLAIN rendering of the stage pipeline. With `analyze`, appends
   // the accumulated per-stage wall times, rows, bytes and fallback
   // counts (relaxed reads — safe while requests execute).
   std::string ToString(bool analyze = false) const;
+
+  // Releases the plan's references on shared resident weight blocks
+  // (blocked weights release theirs through their BlockStores).
+  ~PhysicalPlan();
 
  private:
   PhysicalPlan() = default;
@@ -217,6 +239,11 @@ class PhysicalPlan {
   // these consumers — the quantized/sparse form replaces it).
   std::map<std::string, kernels::Int8Weight> int8_weights_;
   std::map<std::string, kernels::CsrWeight> sparse_weights_;
+  // Ref-counted handles on shared resident weights (the index the
+  // session owns outlives every plan compiled against it).
+  PhysicalBlockIndex* block_index_ = nullptr;
+  std::vector<PhysicalBlockId> interned_resident_;
+  WeightFootprint footprint_;
   std::vector<std::unique_ptr<PhysicalStage>> stages_;
 };
 

@@ -757,7 +757,20 @@ std::string NetServer::StatsJson() const {
   json += "\"idle_closed\":" + n(s.idle_closed.load()) + ",";
   json += "\"connections_refused\":" +
           n(s.connections_refused.load()) + ",";
-  json += "\"memory_closed\":" + n(s.memory_closed.load()) + "}}";
+  json += "\"memory_closed\":" + n(s.memory_closed.load()) + "},";
+  // Cross-model weight dedup: live shared-block state of the
+  // session's PhysicalBlockIndex (all zeros when dedup is off).
+  PhysicalBlockStats dedup;
+  if (session_->block_index() != nullptr) {
+    dedup = session_->block_index()->stats();
+  }
+  json += "\"dedup\":{";
+  json += "\"unique_blocks\":" + n(dedup.unique_blocks) + ",";
+  json += "\"logical_refs\":" + n(dedup.logical_refs) + ",";
+  json += "\"physical_bytes\":" + n(dedup.physical_bytes) + ",";
+  json += "\"logical_bytes\":" + n(dedup.logical_bytes) + ",";
+  json += "\"dedup_hits\":" + n(dedup.dedup_hits) + ",";
+  json += "\"freed_blocks\":" + n(dedup.freed_blocks) + "}}";
   return json;
 }
 

@@ -1,6 +1,7 @@
 #include "serving/model_versions.h"
 
 #include <algorithm>
+#include <set>
 
 #include "engine/hybrid_executor.h"
 #include "engine/prepared_model.h"
@@ -44,8 +45,24 @@ Result<std::vector<ModelVersion>> CreateQuantizedVersion(
                         node.input);
     }
   }
+  // Only matmul weights are worth compressing — they dominate the
+  // footprint. Everything else (biases, conv kernels) is carried over
+  // as a buffer-sharing copy of the base tensor, byte-identical, so
+  // deploy-time binding through the shared PhysicalBlockIndex dedups
+  // those layers against the base model's deployment.
+  std::set<std::string> matmul_weights;
+  for (const Node& node : base->nodes()) {
+    if (node.kind == OpKind::kMatMul && !node.weight_name.empty()) {
+      matmul_weights.insert(node.weight_name);
+    }
+  }
   int64_t quantized_bytes = 0;
   for (const auto& [name, weight] : base->weights()) {
+    if (matmul_weights.count(name) == 0) {
+      // Shared with the base: no marginal bytes for this version.
+      RELSERVE_RETURN_NOT_OK(quantized.AddWeight(name, weight));
+      continue;
+    }
     RELSERVE_ASSIGN_OR_RETURN(QuantizedTensor q,
                               QuantizeUniform8(weight));
     quantized_bytes += q.ByteSize() + static_cast<int64_t>(

@@ -41,6 +41,10 @@ ServingSession::ServingSession(ServingConfig config)
                                           config.disk)),
       buffer_pool_(std::make_unique<BufferPool>(
           disk_.get(), config.buffer_pool_pages)),
+      block_index_(config.dedup_weights
+                       ? std::make_unique<PhysicalBlockIndex>(
+                             buffer_pool_.get())
+                       : nullptr),
       catalog_(std::make_unique<Catalog>(buffer_pool_.get())),
       pool_(std::make_unique<ThreadPool>(
           config.num_threads > 0
@@ -54,6 +58,8 @@ ServingSession::ServingSession(ServingConfig config)
   ctx_.buffer_pool = buffer_pool_.get();
   ctx_.block_rows = config.block_rows;
   ctx_.block_cols = config.block_cols;
+  ctx_.block_index = block_index_.get();
+  ctx_.dedup_tolerance = config.dedup_tolerance;
 
   if (!config_.wal_dir.empty()) {
     // Replay whatever log survives at the configured path, then open
@@ -426,6 +432,39 @@ int ServingSession::NumAotPlans(const std::string& model_name) const {
   auto it = aot_plans_.find(model_name);
   return it == aot_plans_.end() ? 0
                                 : static_cast<int>(it->second.size());
+}
+
+std::vector<ServingSession::DeployedModelInfo>
+ServingSession::ListDeployedModels() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  // Name -> info, aggregating the default deployment and every AoT
+  // variant (each compiled plan binds its own weight set).
+  std::map<std::string, DeployedModelInfo> by_name;
+  auto fold = [&by_name](const std::string& name,
+                         const Deployment& deployment) {
+    DeployedModelInfo& info = by_name[name];
+    info.name = name;
+    info.num_plans += 1;
+    const WeightFootprint& fp =
+        deployment.prepared->physical().weight_footprint();
+    info.logical_weight_bytes += fp.logical_bytes;
+    info.physical_weight_bytes += fp.physical_bytes;
+    info.shared_blocks += fp.shared_blocks;
+    info.total_blocks += fp.total_blocks;
+  };
+  for (const auto& [name, deployment] : deployments_) {
+    fold(name, *deployment);
+  }
+  for (const auto& [name, variants] : aot_plans_) {
+    for (const auto& [signature, deployment] : variants) {
+      (void)signature;
+      fold(name, *deployment);
+    }
+  }
+  std::vector<DeployedModelInfo> out;
+  out.reserve(by_name.size());
+  for (auto& [name, info] : by_name) out.push_back(std::move(info));
+  return out;
 }
 
 Result<std::shared_ptr<ServingSession::Deployment>>

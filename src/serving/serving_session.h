@@ -35,6 +35,7 @@
 #include "storage/catalog.h"
 #include "storage/disk_manager.h"
 #include "storage/mvcc.h"
+#include "storage/physical_block_index.h"
 #include "storage/recovery.h"
 #include "storage/wal.h"
 
@@ -78,6 +79,16 @@ struct ServingConfig {
   std::string wal_dir;
   WalFsyncPolicy wal_fsync = WalFsyncPolicy::kEveryCommit;
   int64_t wal_group_window_us = 200;
+  // Cross-model weight deduplication: deploy-time weight binding
+  // resolves blocks through a content-addressed, ref-counted
+  // PhysicalBlockIndex so fine-tuned variants share identical weight
+  // pages/buffers. Off = every deployment owns private copies (the
+  // naive arm of bench_multitenant).
+  bool dedup_weights = true;
+  // Elementwise tolerance for weight-block matching. 0 (the default)
+  // is byte-exact — deduped deployments stay bit-identical. Positive
+  // values enable the paper's accuracy-aware mode.
+  float dedup_tolerance = 0.0f;
 };
 
 // One row mutation inside an ApplyWrite transaction.
@@ -196,6 +207,30 @@ class ServingSession {
   // The number of AoT plan variants held for a model (0 if none).
   int NumAotPlans(const std::string& model_name) const;
 
+  // --- Multi-tenant introspection -----------------------------------
+
+  // One deployed model as SHOW MODELS renders it: plan count (default
+  // + AoT variants) and the weight bytes those plans bind, logical
+  // (naive per-model storage) vs. physical (after shared-block
+  // resolution through the block index).
+  struct DeployedModelInfo {
+    std::string name;
+    int num_plans = 0;
+    int64_t logical_weight_bytes = 0;
+    int64_t physical_weight_bytes = 0;
+    int64_t shared_blocks = 0;
+    int64_t total_blocks = 0;
+  };
+
+  // Snapshot of every deployed model, name-ordered.
+  std::vector<DeployedModelInfo> ListDeployedModels() const;
+
+  // The shared weight-block index (null when dedup_weights is off).
+  PhysicalBlockIndex* block_index() { return block_index_.get(); }
+  const PhysicalBlockIndex* block_index() const {
+    return block_index_.get();
+  }
+
   // The compiled stage pipeline of the current default deployment —
   // what EXPLAIN ANALYZE renders. The aliasing shared_ptr keeps the
   // whole deployment (weights included) alive while the caller reads
@@ -292,6 +327,10 @@ class ServingSession {
   ServingConfig config_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> buffer_pool_;
+  // Declared before the deployment maps below: plans release their
+  // shared block handles into the index at destruction, so the index
+  // must be destroyed after them (members destruct in reverse order).
+  std::unique_ptr<PhysicalBlockIndex> block_index_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<ThreadPool> pool_;
   MemoryTracker working_memory_;

@@ -13,7 +13,7 @@ const std::unordered_set<std::string>& Keywords() {
       "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "LIMIT", "AS",
       "GROUP", "BY", "CREATE", "TABLE", "INSERT", "INTO", "VALUES",
       "EXPLAIN", "ANALYZE", "ORDER", "ASC", "DESC", "STORAGE",
-      "UPDATE", "SET", "DELETE",
+      "UPDATE", "SET", "DELETE", "SHOW", "MODELS",
   };
   return *kKeywords;
 }

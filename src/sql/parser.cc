@@ -114,6 +114,12 @@ class Parser {
       RELSERVE_RETURN_NOT_OK(ExpectEnd());
       return stmt;
     }
+    if (ConsumeKeyword("SHOW")) {
+      stmt.kind = Statement::Kind::kShowModels;
+      RELSERVE_RETURN_NOT_OK(ExpectKeyword("MODELS"));
+      RELSERVE_RETURN_NOT_OK(ExpectEnd());
+      return stmt;
+    }
     stmt.kind = Statement::Kind::kSelect;
     RELSERVE_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
     return stmt;

@@ -142,6 +142,7 @@ struct Statement {
     kInsert,
     kUpdate,
     kDelete,
+    kShowModels,
   };
   Kind kind = Kind::kSelect;
   // EXPLAIN ANALYZE: execute the query, then render the plan with the

@@ -493,6 +493,29 @@ Result<StatementResult> ExecuteStatement(ServingSession* session,
                        " rows into " + stmt.insert.table;
       return result;
     }
+    case Statement::Kind::kShowModels: {
+      // One row per deployed model: compiled plan count and the
+      // logical-vs-physical weight bytes after shared-block
+      // resolution through the session's PhysicalBlockIndex.
+      result.has_rows = true;
+      result.query.schema = Schema({
+          Column{"model", ValueType::kString},
+          Column{"plans", ValueType::kInt64},
+          Column{"logical_bytes", ValueType::kInt64},
+          Column{"physical_bytes", ValueType::kInt64},
+          Column{"shared_blocks", ValueType::kInt64},
+          Column{"total_blocks", ValueType::kInt64},
+      });
+      for (const ServingSession::DeployedModelInfo& info :
+           session->ListDeployedModels()) {
+        result.query.rows.emplace_back(std::vector<Value>{
+            Value(info.name), Value(int64_t{info.num_plans}),
+            Value(info.logical_weight_bytes),
+            Value(info.physical_weight_bytes),
+            Value(info.shared_blocks), Value(info.total_blocks)});
+      }
+      return result;
+    }
     case Statement::Kind::kUpdate:
     case Statement::Kind::kDelete: {
       const bool is_update = stmt.kind == Statement::Kind::kUpdate;

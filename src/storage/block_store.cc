@@ -7,6 +7,11 @@ namespace relserve {
 
 BlockStore::~BlockStore() {
   for (const BlockEntry& entry : entries_) {
+    if (entry.shared()) {
+      // The index owns the pages; they die with the last reference.
+      index_->Release(entry.physical);
+      continue;
+    }
     for (const PageId page_id : entry.pages) {
       // Best effort: a failure here only delays reuse.
       pool_->DeletePage(page_id);
@@ -23,6 +28,20 @@ Status BlockStore::Put(const TensorBlock& block) {
   entry.col_block = block.col_block;
   entry.rows = block.data.shape().dim(0);
   entry.cols = block.data.shape().dim(1);
+  if (index_ != nullptr) {
+    RELSERVE_ASSIGN_OR_RETURN(
+        PhysicalBlockIndex::Interned interned,
+        index_->Intern(block.data, tolerance_));
+    entry.pages = std::move(interned.pages);
+    entry.physical = interned.id;
+    std::lock_guard<std::mutex> lock(entries_mu_);
+    if (interned.deduped) {
+      shared_blocks_ += 1;
+      shared_bytes_ += entry.ByteSize();
+    }
+    entries_.push_back(std::move(entry));
+    return Status::OK();
+  }
   const char* src = reinterpret_cast<const char*>(block.data.data());
   int64_t remaining = entry.ByteSize();
   while (remaining > 0) {

@@ -7,6 +7,16 @@
 // of the tensor stays on pages (resident or spilled). Block metadata
 // (coordinates, shape, page list) is kept in memory — it is catalog
 // data, tiny compared to payloads.
+//
+// A store owns its pages privately by default — the right mode for
+// transient activation relations, which are write-once/drop and would
+// only pay hashing overhead for dedup. Constructed over a
+// PhysicalBlockIndex instead, the store becomes a *logical* relation:
+// Put resolves each payload through the content-addressed index, the
+// entry's page list points at a shared ref-counted physical block (N
+// fine-tuned model variants resolve identical weight blocks to the
+// same pages, so they share buffer-pool frames too), and the dtor
+// drops references rather than deleting pages.
 
 #ifndef RELSERVE_STORAGE_BLOCK_STORE_H_
 #define RELSERVE_STORAGE_BLOCK_STORE_H_
@@ -17,6 +27,7 @@
 
 #include "common/result.h"
 #include "storage/buffer_pool.h"
+#include "storage/physical_block_index.h"
 #include "tensor/tensor_block.h"
 
 namespace relserve {
@@ -28,19 +39,37 @@ class BlockStore {
     int64_t col_block = 0;
     int64_t rows = 0;
     int64_t cols = 0;
+    // Pages backing the payload. For a shared entry this is a copy of
+    // the physical block's page list — reads never touch the index.
     std::vector<PageId> pages;
+    // The ref-counted physical block serving this entry, or
+    // kInvalidPhysicalBlockId for a privately owned entry.
+    PhysicalBlockId physical = kInvalidPhysicalBlockId;
 
+    bool shared() const { return physical != kInvalidPhysicalBlockId; }
     int64_t ByteSize() const {
       return rows * cols * static_cast<int64_t>(sizeof(float));
     }
   };
 
+  // Private-page store (activations, and weights when dedup is off).
   BlockStore(BufferPool* pool, BlockedShape geometry)
       : pool_(pool), geometry_(geometry) {}
 
-  // Dropping a store recycles its pages back to the disk manager's
-  // free list — intermediate activation relations are transient, and
-  // without recycling every query would grow the spill file.
+  // Shared store: every Put resolves through `index` (not owned, must
+  // outlive the store) with elementwise `tolerance` (0 = byte-exact).
+  BlockStore(PhysicalBlockIndex* index, BlockedShape geometry,
+             float tolerance)
+      : pool_(index->pool()),
+        geometry_(geometry),
+        index_(index),
+        tolerance_(tolerance) {}
+
+  // Dropping a store recycles its private pages back to the disk
+  // manager's free list — intermediate activation relations are
+  // transient, and without recycling every query would grow the spill
+  // file. Shared entries release their index reference instead; the
+  // physical pages die with the last referencing store.
   ~BlockStore();
 
   BlockStore(const BlockStore&) = delete;
@@ -48,6 +77,10 @@ class BlockStore {
   BlockStore(BlockStore&& other) noexcept
       : pool_(other.pool_),
         geometry_(other.geometry_),
+        index_(other.index_),
+        tolerance_(other.tolerance_),
+        shared_blocks_(other.shared_blocks_),
+        shared_bytes_(other.shared_bytes_),
         entries_(std::move(other.entries_)) {
     other.entries_.clear();
   }
@@ -83,13 +116,26 @@ class BlockStore {
   const std::vector<BlockEntry>& entries() const { return entries_; }
   const BlockedShape& geometry() const { return geometry_; }
   BufferPool* pool() const { return pool_; }
+  PhysicalBlockIndex* index() const { return index_; }
 
-  // Total payload bytes across all stored blocks.
+  // Total payload bytes across all stored blocks (the *logical* size:
+  // shared entries count fully even though their pages are shared).
   int64_t TotalBytes() const;
+
+  // Dedup outcome of a shared store: entries that resolved to a
+  // physical block that already existed, and their payload bytes
+  // (i.e. bytes this store did not allocate). Zero for private
+  // stores. Stable after the last Put.
+  int64_t shared_blocks() const { return shared_blocks_; }
+  int64_t shared_bytes() const { return shared_bytes_; }
 
  private:
   BufferPool* pool_;
   BlockedShape geometry_;
+  PhysicalBlockIndex* index_ = nullptr;  // null = private pages
+  float tolerance_ = 0.0f;
+  int64_t shared_blocks_ = 0;  // under entries_mu_ during Put
+  int64_t shared_bytes_ = 0;
   std::mutex entries_mu_;  // guards entries_ during concurrent Put
   std::vector<BlockEntry> entries_;
 };

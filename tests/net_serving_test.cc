@@ -220,6 +220,12 @@ TEST_F(NetServingTest, DeployAndStatsOverTheWire) {
   ASSERT_TRUE(stats.ok()) << stats.status();
   EXPECT_NE(stats->find("\"scheduler\""), std::string::npos);
   EXPECT_NE(stats->find("\"frames_in\""), std::string::npos);
+  // Cross-model weight dedup state rides the same stats frame. The
+  // relational redeploy above interned weight blocks, so the live
+  // counters are nonzero.
+  EXPECT_NE(stats->find("\"dedup\""), std::string::npos);
+  EXPECT_NE(stats->find("\"unique_blocks\""), std::string::npos);
+  EXPECT_EQ(stats->find("\"unique_blocks\":0,"), std::string::npos);
 }
 
 TEST_F(NetServingTest, PipelinedRequestsMatchByRequestId) {

@@ -19,6 +19,7 @@
 #include "graph/model.h"
 #include "serving/request_scheduler.h"
 #include "serving/serving_session.h"
+#include "storage/physical_block_index.h"
 #include "workloads/datasets.h"
 
 namespace relserve {
@@ -376,6 +377,76 @@ TEST_F(ServingConcurrencyTest, ConcurrentCacheTrafficIsSafe) {
   auto cache = session_.GetExactCache("m");
   ASSERT_TRUE(cache.ok());
   EXPECT_GT((*cache)->stats().lookups.load(), 0);
+}
+
+TEST_F(ServingConcurrencyTest, DeployUndeployPredictChurn) {
+  // Several same-seed variants (identical weights, so every relational
+  // deployment shares its blocks through the PhysicalBlockIndex) are
+  // deployed, undeployed, and served concurrently. In-flight requests
+  // hold the plan via shared_ptr, so an Undeploy racing a Predict must
+  // never produce a use-after-free — only a typed NotFound for
+  // requests that resolve after the teardown. TSan covers the index's
+  // internal locking.
+  constexpr int kChurnVariants = 4;
+  for (int i = 0; i < kChurnVariants; ++i) {
+    auto model =
+        BuildFFNN("v" + std::to_string(i), {16, 32, 4}, /*seed=*/3);
+    ASSERT_TRUE(model.ok());
+    ASSERT_TRUE(session_.RegisterModel(std::move(*model)).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_status{0};
+
+  std::thread churner([&] {
+    for (int round = 0; round < 30; ++round) {
+      for (int i = 0; i < kChurnVariants; ++i) {
+        const std::string name = "v" + std::to_string(i);
+        auto deployed =
+            session_.Deploy(name, ServingMode::kForceRelational, 4);
+        if (!deployed.ok()) ++bad_status;
+      }
+      // Tear down in a different order than deployment so the last
+      // reference to a shared block moves between variants.
+      for (int i = kChurnVariants - 1; i >= 0; --i) {
+        auto s = session_.Undeploy("v" + std::to_string(i));
+        if (!s.ok()) ++bad_status;
+      }
+    }
+    stop = true;
+  });
+
+  std::vector<std::thread> predictors;
+  for (int t = 0; t < 3; ++t) {
+    predictors.emplace_back([&, t] {
+      auto batch = workloads::GenBatch(4, Shape{16}, 900 + t);
+      if (!batch.ok()) {
+        ++bad_status;
+        return;
+      }
+      int spins = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string name =
+            "v" + std::to_string(spins++ % kChurnVariants);
+        auto out = session_.PredictBatch(name, *batch);
+        // NotFound is the expected race outcome; anything else is a
+        // real failure.
+        if (!out.ok() && !out.status().IsNotFound()) ++bad_status;
+      }
+    });
+  }
+
+  churner.join();
+  for (std::thread& t : predictors) t.join();
+  EXPECT_EQ(bad_status.load(), 0);
+
+  // Everything was undeployed: the shared-block index must be empty
+  // again (no leaked refs from any interleaving).
+  ASSERT_NE(session_.block_index(), nullptr);
+  const PhysicalBlockStats stats = session_.block_index()->stats();
+  EXPECT_EQ(stats.unique_blocks, 0);
+  EXPECT_EQ(stats.logical_refs, 0);
+  EXPECT_EQ(stats.physical_bytes, 0);
 }
 
 }  // namespace

@@ -371,6 +371,51 @@ TEST_F(SqlExecTest, CreateInsertSelectRoundTrip) {
   EXPECT_DOUBLE_EQ(rows->query.rows[0].value(1).AsFloat64(), 21.0);
 }
 
+TEST_F(SqlExecTest, ShowModelsListsDeployments) {
+  // Nothing deployed yet: the statement succeeds with zero rows.
+  auto empty = ExecuteStatement(&session_, "SHOW MODELS");
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  ASSERT_TRUE(empty->has_rows);
+  EXPECT_EQ(empty->query.rows.size(), 0u);
+
+  ASSERT_TRUE(
+      session_.Deploy("scorer", ServingMode::kForceRelational, 8)
+          .ok());
+  auto shown = ExecuteStatement(&session_, "show models");
+  ASSERT_TRUE(shown.ok()) << shown.status();
+  ASSERT_TRUE(shown->has_rows);
+  ASSERT_EQ(shown->query.rows.size(), 1u);
+  const Row& row = shown->query.rows[0];
+  EXPECT_EQ(row.value(0).AsString(), "scorer");
+  EXPECT_EQ(row.value(1).AsInt64(), 1);  // one compiled plan
+  // One private deployment: physical == logical, nothing shared yet.
+  const int64_t logical = row.value(2).AsInt64();
+  const int64_t physical = row.value(3).AsInt64();
+  EXPECT_GT(logical, 0);
+  EXPECT_EQ(logical, physical);
+  EXPECT_EQ(row.value(4).AsInt64(), 0);
+  EXPECT_GT(row.value(5).AsInt64(), 0);
+
+  // A second identical model dedups its weight blocks against the
+  // first: physical bytes collapse, shared blocks show up.
+  auto clone = BuildFFNN("scorer2", {8, 16, 3}, 5);
+  ASSERT_TRUE(clone.ok());
+  ASSERT_TRUE(session_.RegisterModel(std::move(*clone)).ok());
+  ASSERT_TRUE(
+      session_.Deploy("scorer2", ServingMode::kForceRelational, 8)
+          .ok());
+  auto both = ExecuteStatement(&session_, "SHOW MODELS");
+  ASSERT_TRUE(both.ok());
+  ASSERT_EQ(both->query.rows.size(), 2u);
+  const Row& second = both->query.rows[1];
+  EXPECT_EQ(second.value(0).AsString(), "scorer2");
+  EXPECT_EQ(second.value(3).AsInt64(), 0);  // fully deduped
+  EXPECT_EQ(second.value(4).AsInt64(), second.value(5).AsInt64());
+
+  // Trailing garbage is a parse error, not a crash.
+  EXPECT_FALSE(ExecuteStatement(&session_, "SHOW MODELS now").ok());
+}
+
 TEST_F(SqlExecTest, InsertValidatesSchema) {
   ASSERT_TRUE(ExecuteStatement(&session_,
                                "CREATE TABLE small (id INT64)")

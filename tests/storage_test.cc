@@ -12,7 +12,7 @@
 #include "storage/block_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
-#include "storage/dedup.h"
+#include "storage/physical_block_index.h"
 #include "storage/disk_manager.h"
 #include "storage/quantize.h"
 #include "storage/table_heap.h"
